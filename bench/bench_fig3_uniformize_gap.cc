@@ -1,0 +1,134 @@
+// Experiment E6 — Figure 3 + Example 4.2: the uniformization gap.
+//
+// Part A (semi-analytic, large k): build the Example 4.2 staircase instance,
+// run the REAL noisy partition (Algorithm 5), and evaluate the paper's error
+// expressions with the measured per-bucket join sizes:
+//   plain  (Thm 3.3): sqrt(count·(Δ+λ)) + (Δ+λ)·sqrt(λ)
+//   unif   (Eq. (2)): λ^{3/2}(Δ+λ) + sqrt(λ)·Σ_i sqrt(count_i·2^i)
+// Example 4.2 predicts the ratio grows like k^{1/3}/polylog.
+// (PMW cannot be materialized at these k — the expressions are exactly the
+// quantities the paper's analysis assigns to each algorithm; DESIGN.md E6.)
+//
+// Part B (end-to-end, small k): measured PMW errors for Algorithm 1 vs
+// Algorithm 4 on the same instance, showing both pipelines run.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/partition_two_table.h"
+#include "core/theory_bounds.h"
+#include "core/two_table.h"
+#include "core/uniformize.h"
+#include "lowerbound/hard_instances.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "relational/join.h"
+#include "sensitivity/local_sensitivity.h"
+
+namespace dpjoin {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "E6", "Figure 3 / Example 4.2 (uniformized sensitivity)",
+      "Algorithm 4 improves Algorithm 1 by ~k^{1/3} on the degree staircase "
+      "(error k^{4/3} -> k·polylog)");
+
+  const PrivacyParams params(1.0, 1e-4);
+  const double lambda = params.Lambda();
+
+  // ---- Part A: semi-analytic gap at large k -------------------------------
+  std::cout << "Part A — paper error expressions on the REAL Algorithm-5 "
+               "partition (noisy degrees):\n";
+  TablePrinter table_a({"k", "n", "count", "Delta", "#buckets",
+                        "alpha(Alg 1)", "alpha(Alg 4)", "gap ratio",
+                        "k^(1/3)"});
+  std::vector<double> ks, ratios;
+  const std::vector<int64_t> k_values =
+      bench::QuickMode() ? std::vector<int64_t>{64, 256}
+                         : std::vector<int64_t>{64, 256, 1024, 4096};
+  for (int64_t k : k_values) {
+    const Example42Instance example = MakeExample42Instance(k);
+    const Instance& instance = example.instance;
+    const double count = JoinCount(instance);
+    const double delta_ls = TwoTableDelta(instance);
+
+    Rng rng(static_cast<uint64_t>(k) + 11);
+    auto partition = PartitionTwoTable(instance, params.Half(), lambda, rng);
+    DPJOIN_CHECK(partition.ok(), partition.status().ToString());
+
+    // Plain: sqrt(count·(Δ+λ)) + (Δ+λ)√λ  (f_upper cancels in the ratio).
+    const double alpha_plain =
+        std::sqrt(count * (delta_ls + lambda)) +
+        (delta_ls + lambda) * std::sqrt(lambda);
+    // Uniformized, Eq. (2): λ^{3/2}(Δ+λ) + √λ·Σ_i sqrt(count_i·2^i·λ).
+    double alpha_unif = std::pow(lambda, 1.5) * (delta_ls + lambda);
+    for (const TwoTableBucket& bucket : partition->buckets) {
+      const double bucket_count = JoinCount(bucket.sub_instance);
+      const double gamma =
+          lambda * std::pow(2.0, static_cast<double>(bucket.bucket_index));
+      alpha_unif += std::sqrt(bucket_count * gamma);
+    }
+    const double ratio = alpha_plain / alpha_unif;
+    table_a.AddRow(
+        {std::to_string(k), TablePrinter::Num(instance.InputSize()),
+         TablePrinter::Num(count), TablePrinter::Num(delta_ls),
+         std::to_string(partition->buckets.size()),
+         TablePrinter::Num(alpha_plain), TablePrinter::Num(alpha_unif),
+         TablePrinter::Num(ratio),
+         TablePrinter::Num(std::cbrt(static_cast<double>(k)))});
+    ks.push_back(static_cast<double>(k));
+    ratios.push_back(ratio);
+  }
+  table_a.Print();
+
+  const double gap_slope = bench::LogLogSlope(ks, ratios);
+  bench::Verdict(ratios.back() > ratios.front(),
+                 "uniformization gap grows with k");
+  bench::Verdict(gap_slope > 0.15 && gap_slope < 0.55,
+                 "gap scales ~k^(1/3) (fitted exponent " +
+                     TablePrinter::Num(gap_slope) + ", theory 1/3 - o(1))");
+
+  // ---- Part B: end-to-end releases at small k -----------------------------
+  std::cout << "\nPart B — end-to-end PMW releases at k = 16 (both "
+               "pipelines; at this scale the per-bucket TLap masks dominate, "
+               "see DESIGN.md):\n";
+  const Example42Instance small = MakeExample42Instance(16);
+  ReleaseOptions options;
+  options.pmw_max_rounds = 12;
+  const int seeds = bench::QuickMode() ? 2 : 3;
+  SampleStats plain_errs, unif_errs;
+  for (int seed = 0; seed < seeds; ++seed) {
+    Rng wl_rng(600 + static_cast<uint64_t>(seed));
+    const QueryFamily family = MakeWorkload(
+        small.instance.query(), WorkloadKind::kRandomSign, 2, wl_rng);
+    Rng rng1(700 + static_cast<uint64_t>(seed));
+    Rng rng2(800 + static_cast<uint64_t>(seed));
+    auto plain = TwoTable(small.instance, family, params, options, rng1);
+    auto unif =
+        UniformizeTwoTable(small.instance, family, params, options, rng2);
+    DPJOIN_CHECK(plain.ok(), plain.status().ToString());
+    DPJOIN_CHECK(unif.ok(), unif.status().ToString());
+    plain_errs.Add(WorkloadError(family, small.instance, plain->synthetic));
+    unif_errs.Add(
+        WorkloadError(family, small.instance, unif->release.synthetic));
+  }
+  TablePrinter table_b({"algorithm", "median err", "min", "max"});
+  table_b.AddRow({"TwoTable (Alg 1)", TablePrinter::Num(plain_errs.Median()),
+                  TablePrinter::Num(plain_errs.Min()),
+                  TablePrinter::Num(plain_errs.Max())});
+  table_b.AddRow({"Uniformize (Alg 4)", TablePrinter::Num(unif_errs.Median()),
+                  TablePrinter::Num(unif_errs.Min()),
+                  TablePrinter::Num(unif_errs.Max())});
+  table_b.Print();
+  bench::Verdict(unif_errs.Median() < 10.0 * plain_errs.Median(),
+                 "end-to-end uniformize overhead bounded at small scale "
+                 "(asymptotic win shown in Part A)");
+  return bench::Finish();
+}
+
+}  // namespace
+}  // namespace dpjoin
+
+int main() { return dpjoin::Run(); }

@@ -1,0 +1,123 @@
+// Experiment E12 — substrate micro-benchmarks (google-benchmark).
+//
+// Throughput of the building blocks: join evaluation, boundary queries,
+// residual sensitivity, join-tensor materialization, all-query contraction,
+// one PMW round, and the two-table partition.
+
+#include <benchmark/benchmark.h>
+
+#include "core/partition_two_table.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "release/pmw.h"
+#include "relational/generators.h"
+#include "relational/join.h"
+#include "sensitivity/residual_sensitivity.h"
+
+namespace dpjoin {
+namespace {
+
+Instance ZipfInstance(int64_t tuples) {
+  const JoinQuery query = MakeTwoTableQuery(64, 512, 64);
+  Rng rng(42);
+  return MakeZipfTwoTableInstance(query, tuples, 1.1, rng);
+}
+
+void BM_JoinCount(benchmark::State& state) {
+  const Instance instance = ZipfInstance(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JoinCount(instance));
+  }
+  state.SetItemsProcessed(state.iterations() * instance.InputSize());
+}
+BENCHMARK(BM_JoinCount)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_BoundaryQuery(benchmark::State& state) {
+  const Instance instance = ZipfInstance(state.range(0));
+  const RelationSet e = RelationSet::Of(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BoundaryQuery(instance, e));
+  }
+}
+BENCHMARK(BM_BoundaryQuery)->Arg(1000)->Arg(10000);
+
+void BM_ResidualSensitivityTwoTable(benchmark::State& state) {
+  const Instance instance = ZipfInstance(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ResidualSensitivityValue(instance, 0.1));
+  }
+}
+BENCHMARK(BM_ResidualSensitivityTwoTable)->Arg(1000)->Arg(10000);
+
+void BM_ResidualSensitivityPath3(benchmark::State& state) {
+  const JoinQuery query = MakePathQuery(3, 32);
+  Rng rng(7);
+  const Instance instance =
+      MakeZipfPathInstance(query, state.range(0), 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ResidualSensitivityValue(instance, 0.1));
+  }
+}
+BENCHMARK(BM_ResidualSensitivityPath3)->Arg(300)->Arg(3000);
+
+void BM_JoinTensor(benchmark::State& state) {
+  const JoinQuery query = MakeTwoTableQuery(16, 64, 16);
+  Rng rng(9);
+  const Instance instance =
+      MakeZipfTwoTableInstance(query, state.range(0), 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JoinTensor(instance));
+  }
+}
+BENCHMARK(BM_JoinTensor)->Arg(1000)->Arg(10000);
+
+void BM_EvaluateAllOnTensor(benchmark::State& state) {
+  const JoinQuery query = MakeTwoTableQuery(16, 64, 16);
+  Rng rng(11);
+  const Instance instance = MakeZipfTwoTableInstance(query, 2000, 1.0, rng);
+  const QueryFamily family = MakeWorkload(
+      query, WorkloadKind::kRandomSign, state.range(0), rng);
+  const DenseTensor tensor = JoinTensor(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateAllOnTensor(family, tensor));
+  }
+  state.SetItemsProcessed(state.iterations() * family.TotalCount());
+}
+BENCHMARK(BM_EvaluateAllOnTensor)->Arg(3)->Arg(7)->Arg(15);
+
+void BM_PmwRelease(benchmark::State& state) {
+  const JoinQuery query = MakeTwoTableQuery(16, 64, 16);
+  Rng data_rng(13);
+  const Instance instance =
+      MakeZipfTwoTableInstance(query, 2000, 1.0, data_rng);
+  Rng wl_rng(14);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 4, wl_rng);
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 64.0;
+  options.num_rounds = state.range(0);
+  for (auto _ : state) {
+    Rng rng(15);
+    benchmark::DoNotOptimize(
+        PrivateMultiplicativeWeights(instance, family, options, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PmwRelease)->Arg(4)->Arg(16);
+
+void BM_PartitionTwoTable(benchmark::State& state) {
+  const Instance instance = ZipfInstance(state.range(0));
+  const PrivacyParams params(1.0, 1e-4);
+  for (auto _ : state) {
+    Rng rng(17);
+    benchmark::DoNotOptimize(
+        PartitionTwoTable(instance, params, 0.0, rng));
+  }
+}
+BENCHMARK(BM_PartitionTwoTable)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace dpjoin
+
+BENCHMARK_MAIN();

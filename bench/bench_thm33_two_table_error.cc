@@ -1,0 +1,112 @@
+// Experiment E3 — Theorem 3.3 (Algorithm 1 error) vs Theorem 3.5 (lower
+// bound): measured two-table error across an (OUT, Δ) grid.
+//
+// Instances: nb join values of degree Δ on both sides ⇒ count = nb·Δ²,
+// LS = Δ. The paper predicts α = Õ(√(OUT·(Δ+λ)) + (Δ+λ)√λ) (up to f_upper)
+// and α = Ω̃(min{OUT, √(OUT·Δ)·f_lower}). We check: measured error within a
+// constant multiple of the upper bound, above a fraction of the lower
+// bound's shape, and monotone in both OUT and Δ.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/theory_bounds.h"
+#include "core/two_table.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "relational/join.h"
+#include "sensitivity/local_sensitivity.h"
+
+namespace dpjoin {
+namespace {
+
+Instance MakeRegularInstance(int64_t num_join_values, int64_t degree) {
+  const JoinQuery query =
+      MakeTwoTableQuery(degree, num_join_values, degree);
+  Instance instance = Instance::Make(query);
+  for (int64_t b = 0; b < num_join_values; ++b) {
+    for (int64_t j = 0; j < degree; ++j) {
+      DPJOIN_CHECK(instance.AddTuple(0, {j, b}, 1).ok());
+      DPJOIN_CHECK(instance.AddTuple(1, {b, j}, 1).ok());
+    }
+  }
+  return instance;
+}
+
+int Run() {
+  bench::PrintHeader(
+      "E3", "Theorem 3.3 upper / Theorem 3.5 lower bound",
+      "alpha = O~(sqrt(OUT*(Delta+lambda)))·f_upper, Omega~(min{OUT, "
+      "sqrt(OUT*Delta)}·f_lower)");
+
+  const PrivacyParams params(1.0, 1e-5);
+  const int seeds = bench::QuickMode() ? 2 : 4;
+  ReleaseOptions options;
+  options.pmw_max_rounds = 24;
+
+  struct GridPoint {
+    int64_t degree;
+    int64_t num_join_values;
+  };
+  const std::vector<GridPoint> grid = {
+      {2, 64}, {2, 256}, {8, 16}, {8, 64}, {32, 4}, {32, 16},
+  };
+
+  TablePrinter table({"Delta", "OUT", "count(I)", "median err", "upper bound",
+                      "err/upper", "lower bound", "err/lower"});
+  bool within_upper = true;
+  bool above_lower_shape = true;
+  std::vector<double> outs, errors;
+  for (const GridPoint& point : grid) {
+    const Instance instance =
+        MakeRegularInstance(point.num_join_values, point.degree);
+    const double count = JoinCount(instance);
+    const double delta_ls = TwoTableDelta(instance);
+
+    SampleStats errs;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(1000 + static_cast<uint64_t>(seed) * 37 +
+              static_cast<uint64_t>(point.degree));
+      const QueryFamily family = MakeWorkload(
+          instance.query(), WorkloadKind::kRandomSign, 4, rng);
+      auto result = TwoTable(instance, family, params, options, rng);
+      DPJOIN_CHECK(result.ok(), result.status().ToString());
+      errs.Add(WorkloadError(family, instance, result->synthetic));
+    }
+    const double upper = TwoTableUpperBound(
+        count, delta_ls, instance.query().ReleaseDomainSize(), 25.0, params);
+    const double lower = JoinLowerBound(
+        count, delta_ls, instance.query().ReleaseDomainSize(), params);
+    table.AddRow({TablePrinter::Num(delta_ls), TablePrinter::Num(count),
+                  TablePrinter::Num(count), TablePrinter::Num(errs.Median()),
+                  TablePrinter::Num(upper),
+                  TablePrinter::Num(errs.Median() / upper),
+                  TablePrinter::Num(lower),
+                  TablePrinter::Num(errs.Median() / lower)});
+    within_upper &= errs.Median() <= 3.0 * upper;
+    // The lower bound is for worst-case query families; our random-sign
+    // family needn't saturate it, but the measured error shouldn't sit
+    // orders of magnitude below the count-mask floor either.
+    above_lower_shape &= errs.Median() >= 0.01 * lower;
+    outs.push_back(count);
+    errors.push_back(errs.Median());
+  }
+  table.Print();
+
+  bench::Verdict(within_upper,
+                 "measured error <= 3x Theorem 3.3 bound at every grid point");
+  bench::Verdict(above_lower_shape,
+                 "measured error within the lower-bound shape band");
+  // Scaling in OUT at fixed Δ = 8 (rows 3, 4 of the grid).
+  const double slope =
+      bench::LogLogSlope({outs[2], outs[3]}, {errors[2], errors[3]});
+  bench::Verdict(slope > 0.0,
+                 "error grows with OUT at fixed Delta (slope " +
+                     TablePrinter::Num(slope) + ", theory 0.5)");
+  return bench::Finish();
+}
+
+}  // namespace
+}  // namespace dpjoin
+
+int main() { return dpjoin::Run(); }

@@ -1,0 +1,78 @@
+// Shared scaffolding for the experiment harness binaries.
+//
+// Every bench prints: a header naming the paper artifact it reproduces, a
+// table of measured-vs-predicted series, and PASS/FAIL shape verdicts that
+// EXPERIMENTS.md records. Benches honor DPJOIN_BENCH_QUICK=1 (fewer seeds /
+// smaller grids) for smoke runs.
+
+#ifndef DPJOIN_BENCH_BENCH_UTIL_H_
+#define DPJOIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table_printer.h"
+
+namespace dpjoin {
+namespace bench {
+
+inline bool QuickMode() {
+  const char* env = std::getenv("DPJOIN_BENCH_QUICK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline void PrintHeader(const std::string& experiment_id,
+                        const std::string& artifact,
+                        const std::string& claim) {
+  std::cout << "==============================================================="
+               "=\n";
+  std::cout << "Experiment " << experiment_id << " — " << artifact << "\n";
+  std::cout << "Paper claim: " << claim << "\n";
+  std::cout << "==============================================================="
+               "=\n";
+}
+
+inline int g_failures = 0;
+
+inline void Verdict(bool ok, const std::string& message) {
+  std::cout << (ok ? "[SHAPE PASS] " : "[SHAPE FAIL] ") << message << "\n";
+  if (!ok) ++g_failures;
+}
+
+inline int Finish() {
+  if (g_failures > 0) {
+    std::cout << g_failures << " shape check(s) failed\n";
+  } else {
+    std::cout << "all shape checks passed\n";
+  }
+  std::cout.flush();
+  // Benches report shape failures in text but exit 0: a reproduction on a
+  // different substrate may legitimately land outside a band, and the
+  // harness loop ("for b in build/bench/*") should keep going.
+  return 0;
+}
+
+/// Least-squares slope of log(y) against log(x) — scaling-exponent fits.
+inline double LogLogSlope(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  const size_t n = xs.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  return (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+}  // namespace bench
+}  // namespace dpjoin
+
+#endif  // DPJOIN_BENCH_BENCH_UTIL_H_

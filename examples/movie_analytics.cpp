@@ -1,0 +1,124 @@
+// Movie analytics: Ratings(user, movie) ⋈ Movies(movie, genre).
+//
+// The analyst wants weighted genre statistics over the rating-genre join —
+// e.g. "how many ratings land on each genre", "how much do weekday-heavy
+// users rate nostalgic genres" — without learning about any single rating.
+// One synthetic dataset answers the whole query family (paper §1: answering
+// each query separately would exhaust the privacy budget by composition).
+//
+// Movie popularity is Zipf-distributed, which makes the join-value degrees
+// (ratings per movie) skewed — exactly the regime where the sensitivity
+// machinery of the paper matters.
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/two_table.h"
+#include "core/uniformize.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "relational/generators.h"
+#include "relational/join.h"
+#include "sensitivity/local_sensitivity.h"
+
+using namespace dpjoin;
+
+namespace {
+
+constexpr int64_t kUsers = 12;
+constexpr int64_t kMovies = 24;
+constexpr int64_t kGenres = 6;
+const char* kGenreNames[kGenres] = {"drama",  "comedy", "action",
+                                    "horror", "docu",   "scifi"};
+
+// Per-genre indicator queries over R2 = Movies(movie, genre).
+std::vector<TableQuery> GenreQueries(const JoinQuery& query) {
+  std::vector<TableQuery> out = {MakeAllOnesQuery(query, 1)};
+  const int64_t dom = query.relation_domain_size(1);
+  for (int64_t g = 0; g < kGenres; ++g) {
+    TableQuery tq;
+    tq.label = kGenreNames[g];
+    tq.values.assign(static_cast<size_t>(dom), 0.0);
+    // R2 tuple code = movie·kGenres + genre (attributes ascending: B, C).
+    for (int64_t movie = 0; movie < kMovies; ++movie) {
+      tq.values[static_cast<size_t>(movie * kGenres + g)] = 1.0;
+    }
+    out.push_back(std::move(tq));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto query_or = JoinQuery::Create(
+      {{"user", kUsers}, {"movie", kMovies}, {"genre", kGenres}},
+      {{"user", "movie"}, {"movie", "genre"}});
+  if (!query_or.ok()) {
+    std::cerr << query_or.status() << "\n";
+    return 1;
+  }
+  const JoinQuery query = *query_or;
+
+  // Data: Zipf-popular movies; every movie has exactly one genre.
+  Instance instance = Instance::Make(query);
+  Rng data_rng(2023);
+  const std::vector<int64_t> ratings_per_movie =
+      ZipfCounts(kMovies, /*total=*/600, /*s=*/1.1);
+  for (int64_t movie = 0; movie < kMovies; ++movie) {
+    for (int64_t r = 0; r < ratings_per_movie[static_cast<size_t>(movie)];
+         ++r) {
+      (void)instance.AddTuple(0, {data_rng.UniformInt(0, kUsers - 1), movie},
+                              1);
+    }
+    (void)instance.AddTuple(1, {movie, movie % kGenres}, 1);
+  }
+  std::cout << "Ratings ⋈ Movies: n = " << instance.InputSize()
+            << " records, join size = " << JoinCount(instance)
+            << ", hottest movie has " << TwoTableDelta(instance)
+            << " ratings (= local sensitivity)\n\n";
+
+  // Workload: genre aggregates on the Movies side × {all-users, per-user
+  // weightings} on the Ratings side.
+  Rng workload_rng(5);
+  std::vector<TableQuery> user_side =
+      MakeRandomUniformQueries(query, 0, /*count=*/3, workload_rng);
+  auto family_or =
+      QueryFamily::Create(query, {user_side, GenreQueries(query)});
+  if (!family_or.ok()) {
+    std::cerr << family_or.status() << "\n";
+    return 1;
+  }
+  const QueryFamily& family = *family_or;
+
+  const PrivacyParams params(1.0, 1e-5);
+  ReleaseOptions options;
+  options.pmw_max_rounds = 32;
+  Rng rng(99);
+  auto result = TwoTable(instance, family, params, options, rng);
+  if (!result.ok()) {
+    std::cerr << "release failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  // Genre table: true vs private rating counts (user-side all-ones).
+  const auto truth = EvaluateAllOnInstance(family, instance);
+  const auto priv = EvaluateAllOnTensor(family, result->synthetic);
+  TablePrinter table({"genre", "true ratings", "private estimate", "error"});
+  for (int64_t g = 0; g < kGenres; ++g) {
+    const int64_t flat = family.index().Encode({0, g + 1});
+    table.AddRow({kGenreNames[g],
+                  TablePrinter::Num(truth[static_cast<size_t>(flat)]),
+                  TablePrinter::Num(priv[static_cast<size_t>(flat)]),
+                  TablePrinter::Num(
+                      std::abs(truth[static_cast<size_t>(flat)] -
+                               priv[static_cast<size_t>(flat)]))});
+  }
+  table.Print();
+  std::cout << "\nℓ∞ error over the full " << family.TotalCount()
+            << "-query family: "
+            << MaxAbsDifference(truth, priv) << "\n";
+  std::cout << "(every further query over the released dataset is free — "
+               "post-processing of DP output)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Org telemetry: Assignments(team, engineer) ⋈ Budgets(team, project) — a
+// hierarchical join (star on `team`) with extreme team-size skew, released
+// with the §4.2 machinery: attribute tree, Algorithm 6/7 decomposition into
+// degree configurations, and a MultiTable release per configuration.
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "hierarchical/attribute_tree.h"
+#include "hierarchical/uniformize_hierarchical.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "relational/join.h"
+
+using namespace dpjoin;
+
+int main() {
+  auto query_or = JoinQuery::Create(
+      {{"team", 8}, {"engineer", 32}, {"project", 8}},
+      {{"team", "engineer"}, {"team", "project"}});
+  if (!query_or.ok()) {
+    std::cerr << query_or.status() << "\n";
+    return 1;
+  }
+  const JoinQuery query = *query_or;
+  std::cout << "Query: " << query.ToString()
+            << (query.IsHierarchical() ? "  (hierarchical)" : "") << "\n";
+
+  auto tree = AttributeTree::Build(query);
+  if (!tree.ok()) {
+    std::cerr << tree.status() << "\n";
+    return 1;
+  }
+  std::cout << "attribute tree:\n" << tree->ToString(query) << "\n";
+
+  // One mega-team (team 0: 24 engineers), several small teams.
+  Instance instance = Instance::Make(query);
+  for (int64_t e = 0; e < 24; ++e) {
+    (void)instance.AddTuple(0, {0, e}, 1);
+  }
+  for (int64_t t = 1; t < 8; ++t) {
+    (void)instance.AddTuple(0, {t, 24 + t}, 1);
+  }
+  for (int64_t t = 0; t < 8; ++t) {
+    (void)instance.AddTuple(1, {t, t % 8}, 1);
+    (void)instance.AddTuple(1, {t, (t + 3) % 8}, 1);
+  }
+  std::cout << "n = " << instance.InputSize()
+            << ", count(I) = " << JoinCount(instance) << "\n\n";
+
+  // Release with hierarchical uniformization.
+  const PrivacyParams params(1.0, 1e-2);
+  Rng workload_rng(8);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kPrefix, 3, workload_rng);
+  ReleaseOptions options;
+  options.pmw_max_rounds = 12;
+  Rng rng(55);
+  auto result =
+      UniformizeHierarchical(instance, family, params, options, rng);
+  if (!result.ok()) {
+    std::cerr << "release failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  // The degree configurations found by Algorithm 6/7.
+  TablePrinter table({"degree configuration", "tuples", "join size",
+                      "Δ̃ used", "RS^σ bound"});
+  for (const HierBucketInfo& info : result->bucket_info) {
+    table.AddRow({info.config.ToString(query), std::to_string(info.input_size),
+                  TablePrinter::Num(info.count),
+                  TablePrinter::Num(info.delta_tilde),
+                  TablePrinter::Num(info.config_rs_bound)});
+  }
+  table.Print();
+  std::cout << "max tuple participation across sub-instances: "
+            << result->max_participation << " (Lemma 4.10's log^c n)\n";
+  std::cout << "privacy ledger (group factors per Lemma 4.11):\n"
+            << result->release.accountant.ToString() << "\n";
+
+  const double error =
+      WorkloadError(family, instance, result->release.synthetic);
+  std::cout << "ℓ∞ workload error over " << family.TotalCount()
+            << " queries: " << error << "\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Supply chain: Suppliers(region, part) ⋈ Stock(part, site) ⋈
+// Shipments(site, lane) — a three-relation path join released with
+// Algorithm 3 (MultiTable), which calibrates to residual sensitivity since
+// local sensitivity itself is volatile for m ≥ 3 (paper §3.3).
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/multi_table.h"
+#include "core/theory_bounds.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "relational/generators.h"
+#include "relational/join.h"
+#include "sensitivity/local_sensitivity.h"
+#include "sensitivity/residual_sensitivity.h"
+
+using namespace dpjoin;
+
+int main() {
+  auto query_or = JoinQuery::Create({{"region", 4},
+                                     {"part", 8},
+                                     {"site", 8},
+                                     {"lane", 4}},
+                                    {{"region", "part"},
+                                     {"part", "site"},
+                                     {"site", "lane"}});
+  if (!query_or.ok()) {
+    std::cerr << query_or.status() << "\n";
+    return 1;
+  }
+  const JoinQuery query = *query_or;
+
+  // Skewed logistics data: a few hub parts/sites dominate.
+  Rng data_rng(77);
+  const Instance instance =
+      MakeZipfPathInstance(query, /*tuples_per_relation=*/80, /*zipf_s=*/1.2,
+                           data_rng);
+  const PrivacyParams params(1.0, 1e-4);
+  const double beta = 1.0 / params.Lambda();
+
+  std::cout << "Query: " << query.ToString() << "\n";
+  std::cout << "n = " << instance.InputSize()
+            << ", count(I) = " << JoinCount(instance) << "\n";
+  // Sensitivity diagnostics — why Algorithm 3 exists:
+  const double ls = LocalSensitivity(instance);
+  const ResidualSensitivityResult rs = ResidualSensitivity(instance, beta);
+  std::cout << "local sensitivity LS = " << ls
+            << " (NOT usable directly: its own sensitivity is large for "
+               "m = 3)\n";
+  std::cout << "residual sensitivity RS^β = " << rs.value << " (argmax k = "
+            << rs.argmax_k << ", searched " << rs.k_searched
+            << " values of k)\n\n";
+
+  // Workload: end-to-end flow queries (prefix aggregates per relation).
+  Rng workload_rng(3);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kPrefix, 3, workload_rng);
+
+  ReleaseOptions options;
+  options.pmw_max_rounds = 24;
+  Rng rng(123);
+  auto result = MultiTable(instance, family, params, options, rng);
+  if (!result.ok()) {
+    std::cerr << "release failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  const auto truth = EvaluateAllOnInstance(family, instance);
+  const auto priv = EvaluateAllOnTensor(family, result->synthetic);
+  TablePrinter table({"query", "true", "private", "error"});
+  for (int64_t q :
+       {int64_t{0}, int64_t{1}, family.TotalCount() / 3,
+        family.TotalCount() - 1}) {
+    table.AddRow({family.LabelOf(q),
+                  TablePrinter::Num(truth[static_cast<size_t>(q)]),
+                  TablePrinter::Num(priv[static_cast<size_t>(q)]),
+                  TablePrinter::Num(std::abs(
+                      truth[static_cast<size_t>(q)] -
+                      priv[static_cast<size_t>(q)]))});
+  }
+  table.Print();
+
+  const double error = MaxAbsDifference(truth, priv);
+  const double bound = MultiTableUpperBound(
+      JoinCount(instance), result->delta_tilde, query.ReleaseDomainSize(),
+      static_cast<double>(family.TotalCount()), params);
+  std::cout << "\nℓ∞ error " << error << " vs Theorem 1.5 bound " << bound
+            << " (ratio " << error / bound << ")\n";
+  std::cout << "privacy ledger:\n" << result->accountant.ToString();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Small fixed-capacity bitsets for attribute sets and relation sets.
+//
+// Join queries have constant size (data complexity — paper §1.1), so both
+// the attribute universe and the relation universe fit in one 64-bit word.
+
+#ifndef DPJOIN_COMMON_BITSET_H_
+#define DPJOIN_COMMON_BITSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+/// A set of small non-negative integers (capacity 64) with value semantics.
+/// Tag is a phantom type so AttributeSet and RelationSet don't mix.
+template <typename Tag>
+class SmallBitset {
+ public:
+  static constexpr int kCapacity = 64;
+
+  constexpr SmallBitset() = default;
+
+  /// Singleton set {i}.
+  static SmallBitset Of(int i) {
+    SmallBitset s;
+    s.Insert(i);
+    return s;
+  }
+
+  /// {0, 1, ..., n-1}.
+  static SmallBitset FirstN(int n) {
+    DPJOIN_CHECK(n >= 0 && n <= kCapacity, "bitset capacity exceeded");
+    SmallBitset s;
+    s.bits_ = (n == kCapacity) ? ~0ULL : ((1ULL << n) - 1);
+    return s;
+  }
+
+  static SmallBitset FromElements(const std::vector<int>& elements) {
+    SmallBitset s;
+    for (int e : elements) s.Insert(e);
+    return s;
+  }
+
+  void Insert(int i) {
+    DPJOIN_CHECK(i >= 0 && i < kCapacity, "bitset element out of range");
+    bits_ |= (1ULL << i);
+  }
+
+  void Erase(int i) {
+    DPJOIN_CHECK(i >= 0 && i < kCapacity, "bitset element out of range");
+    bits_ &= ~(1ULL << i);
+  }
+
+  bool Contains(int i) const {
+    DPJOIN_CHECK(i >= 0 && i < kCapacity, "bitset element out of range");
+    return (bits_ >> i) & 1ULL;
+  }
+
+  int Count() const { return std::popcount(bits_); }
+  bool Empty() const { return bits_ == 0; }
+
+  bool IsSubsetOf(SmallBitset other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  bool Intersects(SmallBitset other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  SmallBitset Union(SmallBitset other) const {
+    SmallBitset s;
+    s.bits_ = bits_ | other.bits_;
+    return s;
+  }
+  SmallBitset Intersect(SmallBitset other) const {
+    SmallBitset s;
+    s.bits_ = bits_ & other.bits_;
+    return s;
+  }
+  SmallBitset Minus(SmallBitset other) const {
+    SmallBitset s;
+    s.bits_ = bits_ & ~other.bits_;
+    return s;
+  }
+
+  /// Elements in ascending order.
+  std::vector<int> Elements() const {
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(Count()));
+    uint64_t b = bits_;
+    while (b != 0) {
+      const int i = std::countr_zero(b);
+      out.push_back(i);
+      b &= b - 1;
+    }
+    return out;
+  }
+
+  /// Smallest element; set must be non-empty.
+  int First() const {
+    DPJOIN_CHECK(bits_ != 0, "First() of empty set");
+    return std::countr_zero(bits_);
+  }
+
+  uint64_t bits() const { return bits_; }
+
+  friend bool operator==(SmallBitset a, SmallBitset b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(SmallBitset a, SmallBitset b) {
+    return a.bits_ != b.bits_;
+  }
+  friend bool operator<(SmallBitset a, SmallBitset b) {
+    return a.bits_ < b.bits_;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (int e : Elements()) {
+      if (!first) out += ",";
+      out += std::to_string(e);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+struct AttributeTag {};
+struct RelationTag {};
+
+/// A set of attribute indices of a JoinQuery.
+using AttributeSet = SmallBitset<AttributeTag>;
+/// A set of relation indices of a JoinQuery.
+using RelationSet = SmallBitset<RelationTag>;
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_COMMON_BITSET_H_

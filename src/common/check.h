@@ -1,0 +1,89 @@
+// DPJOIN_CHECK: invariant assertions for programmer errors.
+//
+// Unlike Status (recoverable, caller-visible errors), a failed CHECK means
+// the library itself is in a state it promised could not happen; it prints
+// the failure and aborts. Checks stay on in release builds (database-engine
+// practice: a wrong answer is worse than a crash).
+
+#ifndef DPJOIN_COMMON_CHECK_H_
+#define DPJOIN_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dpjoin {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::cerr << "DPJOIN_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) std::cerr << " — " << message;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dpjoin
+
+#define DPJOIN_CHECK(cond, ...)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dpjoin::internal::CheckFailed(__FILE__, __LINE__, #cond,       \
+                                      ::std::string{__VA_ARGS__});     \
+    }                                                                  \
+  } while (false)
+
+#define DPJOIN_CHECK_EQ(a, b)                                               \
+  do {                                                                      \
+    if (!((a) == (b))) {                                                    \
+      ::std::ostringstream _oss;                                            \
+      _oss << "expected " << (a) << " == " << (b);                          \
+      ::dpjoin::internal::CheckFailed(__FILE__, __LINE__, #a " == " #b,     \
+                                      _oss.str());                          \
+    }                                                                       \
+  } while (false)
+
+#define DPJOIN_CHECK_LT(a, b)                                               \
+  do {                                                                      \
+    if (!((a) < (b))) {                                                     \
+      ::std::ostringstream _oss;                                            \
+      _oss << "expected " << (a) << " < " << (b);                           \
+      ::dpjoin::internal::CheckFailed(__FILE__, __LINE__, #a " < " #b,      \
+                                      _oss.str());                          \
+    }                                                                       \
+  } while (false)
+
+#define DPJOIN_CHECK_LE(a, b)                                               \
+  do {                                                                      \
+    if (!((a) <= (b))) {                                                    \
+      ::std::ostringstream _oss;                                            \
+      _oss << "expected " << (a) << " <= " << (b);                          \
+      ::dpjoin::internal::CheckFailed(__FILE__, __LINE__, #a " <= " #b,     \
+                                      _oss.str());                          \
+    }                                                                       \
+  } while (false)
+
+#define DPJOIN_CHECK_GT(a, b)                                               \
+  do {                                                                      \
+    if (!((a) > (b))) {                                                     \
+      ::std::ostringstream _oss;                                            \
+      _oss << "expected " << (a) << " > " << (b);                           \
+      ::dpjoin::internal::CheckFailed(__FILE__, __LINE__, #a " > " #b,      \
+                                      _oss.str());                          \
+    }                                                                       \
+  } while (false)
+
+#define DPJOIN_CHECK_GE(a, b)                                               \
+  do {                                                                      \
+    if (!((a) >= (b))) {                                                    \
+      ::std::ostringstream _oss;                                            \
+      _oss << "expected " << (a) << " >= " << (b);                          \
+      ::dpjoin::internal::CheckFailed(__FILE__, __LINE__, #a " >= " #b,     \
+                                      _oss.str());                          \
+    }                                                                       \
+  } while (false)
+
+#endif  // DPJOIN_COMMON_CHECK_H_

@@ -1,0 +1,58 @@
+// Small numeric helpers shared across modules.
+
+#ifndef DPJOIN_COMMON_MATH_UTIL_H_
+#define DPJOIN_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+/// log2 ceiling of a positive value; Log2Ceil(1) == 0.
+inline int64_t Log2Ceil(double x) {
+  DPJOIN_CHECK_GT(x, 0.0);
+  return static_cast<int64_t>(std::ceil(std::log2(x)));
+}
+
+/// Integer power with overflow checks (base >= 0, exp >= 0).
+inline int64_t IPow(int64_t base, int64_t exp) {
+  DPJOIN_CHECK_GE(base, 0);
+  DPJOIN_CHECK_GE(exp, 0);
+  int64_t result = 1;
+  for (int64_t i = 0; i < exp; ++i) {
+    DPJOIN_CHECK(base == 0 || result <= INT64_MAX / std::max<int64_t>(base, 1),
+                 "IPow overflow");
+    result *= base;
+  }
+  return result;
+}
+
+/// Numerically stable log-sum-exp.
+inline double LogSumExp(const std::vector<double>& xs) {
+  DPJOIN_CHECK(!xs.empty(), "LogSumExp of empty vector");
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;  // all -inf (or a +inf dominates)
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  DPJOIN_CHECK_LE(lo, hi);
+  return std::min(hi, std::max(lo, x));
+}
+
+/// True when |a - b| <= atol + rtol * max(|a|, |b|).
+inline bool NearlyEqual(double a, double b, double rtol = 1e-9,
+                        double atol = 1e-12) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_COMMON_MATH_UTIL_H_

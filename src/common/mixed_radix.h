@@ -1,0 +1,89 @@
+// Mixed-radix coding between tuples of small integers and flat indices.
+//
+// Used to address (a) tuples within a per-table domain D_i = Π_x dom(x) and
+// (b) joint tuples within the release domain D = Π_i D_i. The last digit is
+// the fastest-varying one (row-major), so iterating flat indices in order
+// enumerates tuples lexicographically.
+
+#ifndef DPJOIN_COMMON_MIXED_RADIX_H_
+#define DPJOIN_COMMON_MIXED_RADIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+/// A fixed shape (r_0, ..., r_{k-1}) of positive radices with helpers to
+/// encode digit vectors into flat indices and back.
+class MixedRadix {
+ public:
+  MixedRadix() = default;
+
+  explicit MixedRadix(std::vector<int64_t> radices)
+      : radices_(std::move(radices)) {
+    strides_.resize(radices_.size());
+    int64_t stride = 1;
+    for (size_t i = radices_.size(); i-- > 0;) {
+      DPJOIN_CHECK_GT(radices_[i], 0);
+      strides_[i] = stride;
+      // Guard against overflow of the total size.
+      DPJOIN_CHECK(stride <= (INT64_MAX / radices_[i]),
+                   "mixed-radix space overflows int64");
+      stride *= radices_[i];
+    }
+    size_ = stride;
+  }
+
+  size_t num_digits() const { return radices_.size(); }
+  int64_t radix(size_t i) const { return radices_[i]; }
+  const std::vector<int64_t>& radices() const { return radices_; }
+
+  /// Total number of codable tuples (product of radices; 1 when empty).
+  int64_t size() const { return size_; }
+
+  /// Flat index of a digit vector.
+  int64_t Encode(const std::vector<int64_t>& digits) const {
+    DPJOIN_CHECK_EQ(digits.size(), radices_.size());
+    int64_t index = 0;
+    for (size_t i = 0; i < digits.size(); ++i) {
+      DPJOIN_CHECK(digits[i] >= 0 && digits[i] < radices_[i],
+                   "digit out of range");
+      index += digits[i] * strides_[i];
+    }
+    return index;
+  }
+
+  /// Digit vector of a flat index.
+  std::vector<int64_t> Decode(int64_t index) const {
+    DPJOIN_CHECK(index >= 0 && index < size_, "index out of range");
+    std::vector<int64_t> digits(radices_.size());
+    DecodeInto(index, &digits);
+    return digits;
+  }
+
+  /// Decode into a pre-sized buffer (avoids allocation in hot loops).
+  void DecodeInto(int64_t index, std::vector<int64_t>* digits) const {
+    DPJOIN_CHECK_EQ(digits->size(), radices_.size());
+    for (size_t i = 0; i < radices_.size(); ++i) {
+      (*digits)[i] = (index / strides_[i]) % radices_[i];
+    }
+  }
+
+  /// Extracts digit i of a flat index without full decoding.
+  int64_t Digit(int64_t index, size_t i) const {
+    return (index / strides_[i]) % radices_[i];
+  }
+
+  int64_t stride(size_t i) const { return strides_[i]; }
+
+ private:
+  std::vector<int64_t> radices_;
+  std::vector<int64_t> strides_;
+  int64_t size_ = 1;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_COMMON_MIXED_RADIX_H_

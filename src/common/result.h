@@ -1,0 +1,81 @@
+// Result<T>: value-or-Status, the library's StatusOr.
+
+#ifndef DPJOIN_COMMON_RESULT_H_
+#define DPJOIN_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace dpjoin {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+/// Access to the value when the Result holds an error is a programmer error
+/// and aborts (DPJOIN_CHECK), mirroring arrow::Result semantics.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit, enables `return status;`).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    DPJOIN_CHECK(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    DPJOIN_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    DPJOIN_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    DPJOIN_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dpjoin
+
+/// Evaluates `expr` (a Result<T>), propagating errors; on success assigns
+/// the unwrapped value to `lhs`.
+#define DPJOIN_ASSIGN_OR_RETURN(lhs, expr)                     \
+  DPJOIN_ASSIGN_OR_RETURN_IMPL_(                               \
+      DPJOIN_CONCAT_(_dpjoin_result_, __LINE__), lhs, expr)
+
+#define DPJOIN_CONCAT_INNER_(a, b) a##b
+#define DPJOIN_CONCAT_(a, b) DPJOIN_CONCAT_INNER_(a, b)
+
+#define DPJOIN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // DPJOIN_COMMON_RESULT_H_

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in dpjoin takes an explicit Rng&, so that tests
+// and benchmarks are reproducible from a single seed. The Rng is NOT a
+// cryptographically secure source; this library is a research reproduction,
+// and the DP guarantees proved in the paper assume ideal randomness.
+
+#ifndef DPJOIN_COMMON_RNG_H_
+#define DPJOIN_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+/// Seeded random generator used throughout the library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    DPJOIN_CHECK(lo < hi, "empty interval");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    DPJOIN_CHECK(lo <= hi, "empty range");
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  size_t UniformIndex(size_t n) {
+    DPJOIN_CHECK(n > 0, "empty index range");
+    return static_cast<size_t>(
+        std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_));
+  }
+
+  /// Standard normal variate.
+  double Gaussian() {
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Standard exponential variate (rate 1).
+  double Exponential() {
+    return std::exponential_distribution<double>(1.0)(engine_);
+  }
+
+  /// Spawns an independent child generator; used to give each repetition of
+  /// an experiment its own stream without coupling to the parent's state.
+  Rng Fork() { return Rng(engine_()); }
+
+  /// Underlying engine, for std distributions not wrapped above.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_COMMON_RNG_H_

@@ -1,0 +1,90 @@
+// Streaming summary statistics used by benches and tests.
+
+#ifndef DPJOIN_COMMON_STATS_H_
+#define DPJOIN_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+/// Accumulates samples and reports mean / stddev / stderr / min / max /
+/// quantiles. Stores samples (bench repetition counts are small).
+class SampleStats {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const {
+    DPJOIN_CHECK(!samples_.empty(), "no samples");
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  /// Sample standard deviation (n-1 denominator); 0 for a single sample.
+  double StdDev() const {
+    DPJOIN_CHECK(!samples_.empty(), "no samples");
+    if (samples_.size() < 2) return 0.0;
+    const double m = Mean();
+    double ss = 0.0;
+    for (double x : samples_) ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+  }
+
+  double StdError() const {
+    DPJOIN_CHECK(!samples_.empty(), "no samples");
+    return StdDev() / std::sqrt(static_cast<double>(samples_.size()));
+  }
+
+  double Min() const {
+    DPJOIN_CHECK(!samples_.empty(), "no samples");
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    DPJOIN_CHECK(!samples_.empty(), "no samples");
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Empirical q-quantile via nearest-rank on the sorted samples.
+  double Quantile(double q) const {
+    DPJOIN_CHECK(!samples_.empty(), "no samples");
+    DPJOIN_CHECK(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+    EnsureSorted();
+    const size_t n = samples_.size();
+    size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+    if (rank > 0) --rank;
+    return sorted_samples_[std::min(rank, n - 1)];
+  }
+
+  double Median() const { return Quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_) {
+      sorted_samples_ = samples_;
+      std::sort(sorted_samples_.begin(), sorted_samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_COMMON_STATS_H_

@@ -1,0 +1,36 @@
+// Fixed-width ASCII table output for benchmark harnesses.
+//
+// Every bench binary prints its series as a table so EXPERIMENTS.md can be
+// assembled directly from bench output.
+
+#ifndef DPJOIN_COMMON_TABLE_PRINTER_H_
+#define DPJOIN_COMMON_TABLE_PRINTER_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dpjoin {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with `precision` significant-ish digits (%.*g).
+  static std::string Num(double v, int precision = 5);
+
+  /// Prints header + separator + rows to `os`.
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,88 @@
+#include "core/flawed.h"
+
+#include <cmath>
+
+#include "dp/truncated_laplace.h"
+#include "query/evaluation.h"
+#include "release/pmw.h"
+#include "sensitivity/local_sensitivity.h"
+
+namespace dpjoin {
+
+Result<ReleaseResult> FlawedNaiveJoinAsOne(const Instance& instance,
+                                           const QueryFamily& family,
+                                           const PrivacyParams& params,
+                                           const ReleaseOptions& options,
+                                           Rng& rng) {
+  // Single-table PMW applied to J as if it were the private input: the
+  // total mass is (essentially) count(I) itself. We model the "treat J as a
+  // single table" step with sensitivity 1 and an exact total — the leak the
+  // paper describes is that Σ_x F(x) tracks count(I).
+  PmwOptions pmw_options;
+  pmw_options.params = params;
+  pmw_options.delta_tilde = 1.0;
+  pmw_options.leak_exact_total = true;
+  pmw_options.num_rounds = options.pmw_rounds;
+  pmw_options.max_rounds = options.pmw_max_rounds;
+  pmw_options.record_trace = options.record_trace;
+  pmw_options.per_round_epsilon_override = options.pmw_epsilon_prime_override;
+  DPJOIN_ASSIGN_OR_RETURN(
+      PmwResult pmw,
+      PrivateMultiplicativeWeights(instance, family, pmw_options, rng));
+  ReleaseResult result;
+  result.synthetic = std::move(pmw.synthetic);
+  result.delta_tilde = 1.0;
+  result.noisy_total = pmw.noisy_total;
+  result.pmw_rounds = pmw.rounds;
+  result.accountant.SpendSequential("flawed-naive/NOT-DP", params);
+  return result;
+}
+
+Result<ReleaseResult> FlawedPadThenRelease(const Instance& instance,
+                                           const QueryFamily& family,
+                                           const PrivacyParams& params,
+                                           const ReleaseOptions& options,
+                                           Rng& rng) {
+  const double epsilon = params.epsilon;
+  const double delta = params.delta;
+  ReleaseResult result;
+
+  // Step 1: J̃1 = single-table PMW on J (same flawed step as above).
+  PmwOptions pmw_options;
+  pmw_options.params = PrivacyParams(epsilon / 2, delta / 2);
+  pmw_options.delta_tilde = 1.0;
+  pmw_options.leak_exact_total = true;
+  pmw_options.num_rounds = options.pmw_rounds;
+  pmw_options.max_rounds = options.pmw_max_rounds;
+  pmw_options.per_round_epsilon_override = options.pmw_epsilon_prime_override;
+  DPJOIN_ASSIGN_OR_RETURN(
+      PmwResult pmw,
+      PrivateMultiplicativeWeights(instance, family, pmw_options, rng));
+
+  // Step 2: Δ̃ = Δ + TLap^{τ(ε/2,δ/2,1)}_{2/ε}.
+  const double ls = LocalSensitivity(instance);
+  const TruncatedLaplace bound_noise =
+      TruncatedLaplace::ForSensitivity(epsilon / 2, delta / 2, 1.0);
+  result.delta_tilde = ls + bound_noise.Sample(rng);
+
+  // Step 3: J̃2 = η uniform random records, η ~ TLap^{τ(ε/2,δ/2,Δ̃)}_{2Δ̃/ε}.
+  const TruncatedLaplace pad_noise = TruncatedLaplace::ForSensitivity(
+      epsilon / 2, delta / 2, result.delta_tilde);
+  const int64_t eta = static_cast<int64_t>(std::llround(pad_noise.Sample(rng)));
+  DenseTensor combined = std::move(pmw.synthetic);
+  for (int64_t s = 0; s < eta; ++s) {
+    const int64_t cell = static_cast<int64_t>(
+        rng.UniformIndex(static_cast<size_t>(combined.size())));
+    combined.Add(cell, 1.0);
+  }
+
+  // Step 4: F = J̃1 ∪ J̃2. Padding AFTER releasing J̃1 is the flaw: J̃1's
+  // internal mass distribution still reveals count(I) (Example 3.1).
+  result.synthetic = std::move(combined);
+  result.noisy_total = pmw.noisy_total + static_cast<double>(eta);
+  result.pmw_rounds = pmw.rounds;
+  result.accountant.SpendSequential("flawed-pad/NOT-DP", params);
+  return result;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,41 @@
+// The two FLAWED join-as-one variants from §3.1, kept as baselines so the
+// Figure 1 / Example 3.1 privacy-violation experiments can be reproduced.
+// Neither is differentially private — do not use them for actual release.
+
+#ifndef DPJOIN_CORE_FLAWED_H_
+#define DPJOIN_CORE_FLAWED_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/release_result.h"
+#include "dp/privacy_params.h"
+#include "query/query_family.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// §3.1 "A Natural (but Flawed) Idea": compute J = JoinI and run single-table
+/// PMW on it directly. The released dataset's total mass equals count(I),
+/// which can differ by Δ ≫ 1 between neighbors (Figure 1), so an adversary
+/// distinguishes them from the total mass alone.
+Result<ReleaseResult> FlawedNaiveJoinAsOne(const Instance& instance,
+                                           const QueryFamily& family,
+                                           const PrivacyParams& params,
+                                           const ReleaseOptions& options,
+                                           Rng& rng);
+
+/// §3.1 "Another Natural (but Still Flawed) Idea": release J̃1 via PMW as
+/// above, then pad with J̃2 = η uniform dummy tuples,
+/// η ~ TLap^{τ(ε/2,δ/2,Δ̃)}_{2Δ̃/ε}, and output J̃1 ∪ J̃2. Masks the total
+/// but still violates DP (Example 3.1): on the Figure-1 pair the region
+/// D′ keeps ~count(I) mass under I yet is empty with constant probability
+/// under I′.
+Result<ReleaseResult> FlawedPadThenRelease(const Instance& instance,
+                                           const QueryFamily& family,
+                                           const PrivacyParams& params,
+                                           const ReleaseOptions& options,
+                                           Rng& rng);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_CORE_FLAWED_H_

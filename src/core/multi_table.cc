@@ -1,0 +1,54 @@
+#include "core/multi_table.h"
+
+#include <cmath>
+
+#include "dp/truncated_laplace.h"
+#include "release/pmw.h"
+#include "sensitivity/residual_sensitivity.h"
+
+namespace dpjoin {
+
+Result<ReleaseResult> MultiTable(const Instance& instance,
+                                 const QueryFamily& family,
+                                 const PrivacyParams& params,
+                                 const ReleaseOptions& options, Rng& rng) {
+  const double epsilon = params.epsilon;
+  const double delta = params.delta;
+  if (delta <= 0.0) {
+    return Status::InvalidArgument("MultiTable needs delta > 0");
+  }
+
+  ReleaseResult result;
+
+  // Line 1: β = 1/λ.
+  const double beta = 1.0 / params.Lambda();
+
+  // Line 2: Δ̃ = RS^β(I)·exp(TLap^{τ(ε/2,δ/2,β)}_{2β/ε}).
+  const double residual = ResidualSensitivityValue(instance, beta);
+  const TruncatedLaplace tlap =
+      TruncatedLaplace::ForSensitivity(epsilon / 2, delta / 2, beta);
+  result.delta_tilde = residual * std::exp(tlap.Sample(rng));
+  result.accountant.SpendSequential("multi-table/rs-bound",
+                                    PrivacyParams(epsilon / 2, delta / 2));
+
+  // Line 3: PMW_{ε/2,δ/2,Δ̃}(I).
+  PmwOptions pmw_options;
+  pmw_options.params = PrivacyParams(epsilon / 2, delta / 2);
+  pmw_options.delta_tilde = result.delta_tilde;
+  pmw_options.num_rounds = options.pmw_rounds;
+  pmw_options.max_rounds = options.pmw_max_rounds;
+  pmw_options.record_trace = options.record_trace;
+  pmw_options.per_round_epsilon_override = options.pmw_epsilon_prime_override;
+  DPJOIN_ASSIGN_OR_RETURN(
+      PmwResult pmw, PrivateMultiplicativeWeights(instance, family,
+                                                  pmw_options, rng));
+  result.synthetic = std::move(pmw.synthetic);
+  result.noisy_total = pmw.noisy_total;
+  result.pmw_rounds = pmw.rounds;
+  for (const auto& entry : pmw.accountant.entries()) {
+    result.accountant.SpendSequential(entry.label, entry.params);
+  }
+  return result;
+}
+
+}  // namespace dpjoin

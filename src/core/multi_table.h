@@ -1,0 +1,32 @@
+// MultiTable — Algorithm 3 (paper §3.3).
+//
+//   1. β ← 1/λ                           (λ = (1/ε)·log(1/δ))
+//   2. Δ̃ ← RS^β_count(I) · e^{TLap^{τ(ε/2,δ/2,β)}_{2β/ε}}
+//      (ln RS^β has global sensitivity ≤ β, so the multiplicative noisy
+//       bound is (ε/2, δ/2)-DP and never under-estimates RS)
+//   3. return PMW_{ε/2,δ/2,Δ̃}(I)
+//
+// Guarantees: (ε, δ)-DP (Lemma 3.7); error
+// O((√(count·RS^β) + RS^β·√λ)·f_upper) w.p. 1 − 1/poly(|Q|) (Theorem 1.5).
+
+#ifndef DPJOIN_CORE_MULTI_TABLE_H_
+#define DPJOIN_CORE_MULTI_TABLE_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/release_result.h"
+#include "dp/privacy_params.h"
+#include "query/query_family.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// Runs Algorithm 3 on a join query with any number of relations.
+Result<ReleaseResult> MultiTable(const Instance& instance,
+                                 const QueryFamily& family,
+                                 const PrivacyParams& params,
+                                 const ReleaseOptions& options, Rng& rng);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_CORE_MULTI_TABLE_H_

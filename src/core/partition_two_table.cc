@@ -1,0 +1,139 @@
+#include "core/partition_two_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "dp/truncated_laplace.h"
+
+namespace dpjoin {
+
+namespace {
+
+// Bucket index for a (possibly noisy) degree: max{1, ⌈log2(deg/λ)⌉}.
+int BucketOf(double degree, double lambda) {
+  if (degree <= lambda) return 1;
+  return std::max(1, static_cast<int>(std::ceil(std::log2(degree / lambda))));
+}
+
+// Builds sub-instances from a bucket assignment over shared-attribute codes.
+Result<TwoTablePartition> BuildPartition(
+    const Instance& instance, AttributeSet shared,
+    const std::unordered_map<int64_t, int>& bucket_of, double lambda) {
+  // Collect per-bucket instances (ordered by bucket index).
+  std::map<int, Instance> instances;
+  std::map<int, int64_t> value_counts;
+  for (const auto& [value, bucket] : bucket_of) {
+    (void)value;
+    if (instances.find(bucket) == instances.end()) {
+      instances.emplace(bucket, Instance(instance.query_ptr()));
+      value_counts.emplace(bucket, 0);
+    }
+  }
+  for (const auto& [value, bucket] : bucket_of) {
+    (void)value;
+    ++value_counts[bucket];
+  }
+  for (int rel = 0; rel < 2; ++rel) {
+    const Relation& source = instance.relation(rel);
+    for (const auto& [code, freq] : source.entries()) {
+      const int64_t value = source.ProjectCode(code, shared);
+      auto it = bucket_of.find(value);
+      DPJOIN_CHECK(it != bucket_of.end(), "join value missing from buckets");
+      instances.at(it->second)
+          .mutable_relation(rel)
+          .SetFrequencyByCode(code, freq);
+    }
+  }
+  TwoTablePartition partition;
+  partition.lambda = lambda;
+  for (auto& [bucket, sub] : instances) {
+    if (sub.InputSize() == 0) continue;  // noise-only bucket: nothing to keep
+    partition.buckets.push_back(
+        {bucket, std::move(sub), value_counts.at(bucket)});
+  }
+  return partition;
+}
+
+Result<AttributeSet> SharedAttribute(const Instance& instance) {
+  if (instance.query().num_relations() != 2) {
+    return Status::InvalidArgument(
+        "Partition-TwoTable requires a two-relation query");
+  }
+  const AttributeSet shared = instance.query()
+                                  .attributes_of(0)
+                                  .Intersect(instance.query().attributes_of(1));
+  if (shared.Empty()) {
+    return Status::InvalidArgument("two-table query must share an attribute");
+  }
+  return shared;
+}
+
+}  // namespace
+
+Result<TwoTablePartition> PartitionTwoTable(const Instance& instance,
+                                            const PrivacyParams& params,
+                                            double lambda, Rng& rng) {
+  DPJOIN_ASSIGN_OR_RETURN(AttributeSet shared, SharedAttribute(instance));
+  if (lambda <= 0.0) lambda = params.Lambda();
+
+  const auto deg1 = instance.relation(0).DegreeMap(shared);
+  const auto deg2 = instance.relation(1).DegreeMap(shared);
+
+  // Values of dom(B) with no tuple in either relation produce empty
+  // restrictions regardless of their noisy bucket, so only realized join
+  // values need bucketing (their buckets are still decided by NOISY degrees,
+  // preserving the DP argument of Lemma C.1).
+  const TruncatedLaplace tlap =
+      TruncatedLaplace::ForSensitivity(params.epsilon, params.delta, 1.0);
+  std::unordered_map<int64_t, int> bucket_of;
+  auto consider = [&](int64_t value) {
+    if (bucket_of.count(value) > 0) return;
+    const auto it1 = deg1.find(value);
+    const auto it2 = deg2.find(value);
+    const int64_t d1 = it1 == deg1.end() ? 0 : it1->second;
+    const int64_t d2 = it2 == deg2.end() ? 0 : it2->second;
+    const double noisy =
+        static_cast<double>(std::max(d1, d2)) + tlap.Sample(rng);
+    bucket_of.emplace(value, BucketOf(noisy, lambda));
+  };
+  for (const auto& [value, d] : deg1) {
+    (void)d;
+    consider(value);
+  }
+  for (const auto& [value, d] : deg2) {
+    (void)d;
+    consider(value);
+  }
+  return BuildPartition(instance, shared, bucket_of, lambda);
+}
+
+Result<TwoTablePartition> UniformPartitionTwoTable(const Instance& instance,
+                                                   double lambda) {
+  DPJOIN_ASSIGN_OR_RETURN(AttributeSet shared, SharedAttribute(instance));
+  DPJOIN_CHECK_GT(lambda, 0.0);
+  const auto deg1 = instance.relation(0).DegreeMap(shared);
+  const auto deg2 = instance.relation(1).DegreeMap(shared);
+  std::unordered_map<int64_t, int> bucket_of;
+  auto consider = [&](int64_t value) {
+    if (bucket_of.count(value) > 0) return;
+    const auto it1 = deg1.find(value);
+    const auto it2 = deg2.find(value);
+    const int64_t d1 = it1 == deg1.end() ? 0 : it1->second;
+    const int64_t d2 = it2 == deg2.end() ? 0 : it2->second;
+    bucket_of.emplace(value,
+                      BucketOf(static_cast<double>(std::max(d1, d2)), lambda));
+  };
+  for (const auto& [value, d] : deg1) {
+    (void)d;
+    consider(value);
+  }
+  for (const auto& [value, d] : deg2) {
+    (void)d;
+    consider(value);
+  }
+  return BuildPartition(instance, shared, bucket_of, lambda);
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,51 @@
+// Partition-TwoTable — Algorithm 5 (paper §4.1).
+//
+// Buckets the join values b ∈ dom(B) by NOISY maximum degree
+//   g̃deg(b) = max{deg_1(b), deg_2(b)} + TLap^{τ(ε,δ,1)}_{1/ε},
+// into geometric buckets (γ_{i−1}, γ_i] with γ_i = λ·2^i, and splits the
+// instance into tuple-disjoint sub-instances, one per non-empty bucket.
+// The partition is (ε, δ)-DP (Lemma C.1: degrees have sensitivity 1 and the
+// output is post-processing of truncated-Laplace-noised degrees).
+
+#ifndef DPJOIN_CORE_PARTITION_TWO_TABLE_H_
+#define DPJOIN_CORE_PARTITION_TWO_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dp/privacy_params.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// One bucket of the partition.
+struct TwoTableBucket {
+  int bucket_index = 0;       ///< i, with ceiling γ_i = λ·2^i.
+  Instance sub_instance;      ///< (R^i_1, R^i_2).
+  int64_t num_join_values = 0;///< |B_i| among values with tuples.
+};
+
+/// The partition plus diagnostics.
+struct TwoTablePartition {
+  std::vector<TwoTableBucket> buckets;  ///< non-empty buckets, ascending i.
+  double lambda = 0.0;                  ///< bucket scale λ.
+};
+
+/// Runs Algorithm 5 with the given (ε, δ) partition budget. `lambda` is the
+/// bucket scale; pass 0 to use params.Lambda() (the paper's choice — note
+/// the paper's λ refers to the OVERALL algorithm budget, so Uniformize
+/// passes its own λ explicitly).
+Result<TwoTablePartition> PartitionTwoTable(const Instance& instance,
+                                            const PrivacyParams& params,
+                                            double lambda, Rng& rng);
+
+/// The deterministic uniform partition π* of Definition 4.3 (buckets by TRUE
+/// degree; not DP — analysis/bench baseline for Theorem 4.4).
+Result<TwoTablePartition> UniformPartitionTwoTable(const Instance& instance,
+                                                   double lambda);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_CORE_PARTITION_TWO_TABLE_H_

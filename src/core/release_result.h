@@ -1,0 +1,40 @@
+// Common output type of the release algorithms (Algorithms 1, 3, 4).
+
+#ifndef DPJOIN_CORE_RELEASE_RESULT_H_
+#define DPJOIN_CORE_RELEASE_RESULT_H_
+
+#include <cstdint>
+
+#include "dp/composition.h"
+#include "query/dense_tensor.h"
+
+namespace dpjoin {
+
+/// Tuning knobs shared by the release algorithms (they forward to PMW).
+struct ReleaseOptions {
+  /// PMW round override; 0 = theory-driven k.
+  int64_t pmw_rounds = 0;
+  /// Cap on PMW rounds.
+  int64_t pmw_max_rounds = 64;
+  /// Record PMW per-round traces.
+  bool record_trace = false;
+  /// EXPERIMENTAL: forwarded to PmwOptions::per_round_epsilon_override
+  /// (see release/pmw.h for the caveat); 0 = paper formula.
+  double pmw_epsilon_prime_override = 0.0;
+};
+
+/// A released synthetic dataset F plus the mechanism diagnostics that the
+/// paper's analysis talks about. Only `synthetic` is a DP output; the other
+/// fields are diagnostics for experiments (they echo privatized values or
+/// non-released internals, as labelled).
+struct ReleaseResult {
+  DenseTensor synthetic;        ///< F : ×_i D_i → R≥0.
+  double delta_tilde = 0.0;     ///< Δ̃ passed to PMW (privatized value).
+  double noisy_total = 0.0;     ///< n̂ used by PMW (privatized value).
+  int64_t pmw_rounds = 0;       ///< k.
+  PrivacyAccountant accountant; ///< full budget ledger.
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_CORE_RELEASE_RESULT_H_

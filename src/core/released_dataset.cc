@@ -1,0 +1,66 @@
+#include "core/released_dataset.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "query/evaluation.h"
+#include "query/quantize.h"
+
+namespace dpjoin {
+
+ReleasedDataset::ReleasedDataset(std::shared_ptr<const JoinQuery> query,
+                                 DenseTensor tensor)
+    : query_(std::move(query)), tensor_(std::move(tensor)) {
+  DPJOIN_CHECK(query_ != nullptr, "ReleasedDataset needs a query");
+  DPJOIN_CHECK_EQ(tensor_.shape().num_digits(),
+                  static_cast<size_t>(query_->num_relations()));
+}
+
+double ReleasedDataset::Answer(const QueryFamily& family,
+                               const std::vector<int64_t>& parts) const {
+  return EvaluateOnTensor(family, parts, tensor_);
+}
+
+std::vector<double> ReleasedDataset::AnswerAll(
+    const QueryFamily& family) const {
+  return EvaluateAllOnTensor(family, tensor_);
+}
+
+ReleasedDataset ReleasedDataset::Quantized(Rng& rng) const {
+  return ReleasedDataset(query_, QuantizeRandomized(tensor_, rng));
+}
+
+std::string ReleasedDataset::CsvHeader() const {
+  std::ostringstream oss;
+  for (int r = 0; r < query_->num_relations(); ++r) {
+    for (int attr : query_->attribute_order_of(r)) {
+      oss << "R" << (r + 1) << "." << query_->attribute_name(attr) << ",";
+    }
+  }
+  oss << "mass";
+  return oss.str();
+}
+
+Status ReleasedDataset::WriteCsv(std::ostream& os) const {
+  os << CsvHeader() << "\n";
+  const MixedRadix& shape = tensor_.shape();
+  std::vector<int64_t> rel_codes(shape.num_digits());
+  for (int64_t flat = 0; flat < tensor_.size(); ++flat) {
+    const double mass = tensor_.At(flat);
+    if (mass <= 0.0) continue;
+    shape.DecodeInto(flat, &rel_codes);
+    for (int r = 0; r < query_->num_relations(); ++r) {
+      const MixedRadix& coder = query_->tuple_space(r);
+      for (size_t d = 0; d < coder.num_digits(); ++d) {
+        os << coder.Digit(rel_codes[static_cast<size_t>(r)], d) << ",";
+      }
+    }
+    os << mass << "\n";
+  }
+  if (!os.good()) {
+    return Status::Internal("CSV stream write failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,62 @@
+// ReleasedDataset: the user-facing handle on a DP release.
+//
+// Bundles the synthetic tensor with its query/schema context and provides
+// the operations a downstream consumer performs: answer queries (all
+// post-processing — no further budget), quantize to an integer synthetic
+// table (the paper's F : ×D_i → N), and export records as CSV.
+
+#ifndef DPJOIN_CORE_RELEASED_DATASET_H_
+#define DPJOIN_CORE_RELEASED_DATASET_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "query/dense_tensor.h"
+#include "query/query_family.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+
+/// A released synthetic dataset plus its schema. All methods are
+/// post-processing of the DP output.
+class ReleasedDataset {
+ public:
+  ReleasedDataset(std::shared_ptr<const JoinQuery> query, DenseTensor tensor);
+
+  const JoinQuery& query() const { return *query_; }
+  const DenseTensor& tensor() const { return tensor_; }
+
+  /// Total released mass (the privatized n̂).
+  double TotalMass() const { return tensor_.TotalMass(); }
+
+  /// q(F) for one product query of `family` (per-table indices `parts`).
+  double Answer(const QueryFamily& family,
+                const std::vector<int64_t>& parts) const;
+
+  /// q(F) for every query in `family` (indexed by family.index()).
+  std::vector<double> AnswerAll(const QueryFamily& family) const;
+
+  /// Integer synthetic dataset via unbiased randomized rounding (the
+  /// paper's F : ×D_i → N). Post-processing; no budget consumed.
+  ReleasedDataset Quantized(Rng& rng) const;
+
+  /// Writes the dataset as CSV: one row per joint record with positive
+  /// (integer or real) mass — columns are one attribute-value list per
+  /// relation plus the multiplicity. Quantize first for integer rows.
+  Status WriteCsv(std::ostream& os) const;
+
+  /// CSV header matching WriteCsv ("R1.A,R1.B,R2.B,R2.C,mass").
+  std::string CsvHeader() const;
+
+ private:
+  std::shared_ptr<const JoinQuery> query_;
+  DenseTensor tensor_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_CORE_RELEASED_DATASET_H_

@@ -1,0 +1,211 @@
+#include "core/theory_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+double SingleTableUpperBound(double n, double domain_size, double query_count,
+                             const PrivacyParams& params) {
+  return std::sqrt(std::max(n, 0.0)) *
+         FUpper(domain_size, query_count, params.epsilon, params.delta);
+}
+
+double SingleTableLowerBound(double n, double domain_size,
+                             const PrivacyParams& params) {
+  return std::min(n, std::sqrt(std::max(n, 0.0)) *
+                         FLower(domain_size, params.epsilon));
+}
+
+double PmwUpperBound(double count, double delta_tilde, double domain_size,
+                     double query_count, const PrivacyParams& params) {
+  const double lambda = params.Lambda();
+  return (std::sqrt(std::max(count, 0.0) * delta_tilde) +
+          delta_tilde * std::sqrt(lambda)) *
+         FUpper(domain_size, query_count, params.epsilon, params.delta);
+}
+
+double TwoTableUpperBound(double count, double local_sensitivity,
+                          double domain_size, double query_count,
+                          const PrivacyParams& params) {
+  const double lambda = params.Lambda();
+  return PmwUpperBound(count, local_sensitivity + lambda, domain_size,
+                       query_count, params);
+}
+
+double JoinLowerBound(double out, double local_sensitivity, double domain_size,
+                      const PrivacyParams& params) {
+  return std::min(out, std::sqrt(out * local_sensitivity) *
+                           FLower(domain_size, params.epsilon));
+}
+
+double MultiTableUpperBound(double count, double residual_sensitivity,
+                            double domain_size, double query_count,
+                            const PrivacyParams& params) {
+  return PmwUpperBound(count, residual_sensitivity, domain_size, query_count,
+                       params);
+}
+
+double UniformizedTwoTableUpperBound(const std::vector<double>& bucket_counts,
+                                     double local_sensitivity,
+                                     double domain_size, double query_count,
+                                     const PrivacyParams& params) {
+  const double lambda = params.Lambda();
+  double sum = std::pow(lambda, 1.5) * (local_sensitivity + lambda);
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double gamma = std::pow(2.0, static_cast<double>(i + 1)) * lambda;
+    sum += std::sqrt(std::max(bucket_counts[i], 0.0) * gamma);
+  }
+  return sum * FUpper(domain_size, query_count, params.epsilon, params.delta);
+}
+
+double UniformizedTwoTableLowerBound(const std::vector<double>& bucket_counts,
+                                     double domain_size,
+                                     const PrivacyParams& params) {
+  const double lambda = params.Lambda();
+  double best = 0.0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double gamma = std::pow(2.0, static_cast<double>(i + 1)) * lambda;
+    const double candidate =
+        std::min(bucket_counts[i], std::sqrt(bucket_counts[i] * gamma) *
+                                       FLower(domain_size, params.epsilon));
+    best = std::max(best, candidate);
+  }
+  return best;
+}
+
+namespace {
+
+// Fractional edge cover of a generic hypergraph given as attribute masks per
+// edge (empty edges allowed — they cover nothing). Same vertex-enumeration
+// LP as JoinQuery::FractionalEdgeCoverNumber.
+double FractionalEdgeCoverOfMasks(const std::vector<uint64_t>& edges,
+                                  uint64_t vertices) {
+  if (vertices == 0) return 0.0;
+  const int m = static_cast<int>(edges.size());
+  std::vector<int> vertex_ids;
+  for (int v = 0; v < 64; ++v) {
+    if ((vertices >> v) & 1) vertex_ids.push_back(v);
+  }
+  const int na = static_cast<int>(vertex_ids.size());
+  const int total = na + 2 * m;
+
+  auto row_of = [&](int c, std::vector<double>* row, double* rhs) {
+    row->assign(static_cast<size_t>(m), 0.0);
+    if (c < na) {
+      for (int r = 0; r < m; ++r) {
+        if ((edges[static_cast<size_t>(r)] >> vertex_ids[static_cast<size_t>(c)]) & 1) {
+          (*row)[static_cast<size_t>(r)] = 1.0;
+        }
+      }
+      *rhs = 1.0;
+    } else if (c < na + m) {
+      (*row)[static_cast<size_t>(c - na)] = 1.0;
+      *rhs = 0.0;
+    } else {
+      (*row)[static_cast<size_t>(c - na - m)] = 1.0;
+      *rhs = 1.0;
+    }
+  };
+  auto feasible = [&](const std::vector<double>& w) {
+    for (int r = 0; r < m; ++r) {
+      if (w[static_cast<size_t>(r)] < -1e-9 || w[static_cast<size_t>(r)] > 1.0 + 1e-9) return false;
+    }
+    for (int v : vertex_ids) {
+      double cover = 0.0;
+      for (int r = 0; r < m; ++r) {
+        if ((edges[static_cast<size_t>(r)] >> v) & 1) cover += w[static_cast<size_t>(r)];
+      }
+      if (cover < 1.0 - 1e-9) return false;
+    }
+    return true;
+  };
+  auto solve = [&](std::vector<std::vector<double>> mat, std::vector<double> rhs,
+                   std::vector<double>* out) {
+    const size_t k = rhs.size();
+    for (size_t col = 0; col < k; ++col) {
+      size_t pivot = col;
+      for (size_t row = col + 1; row < k; ++row) {
+        if (std::abs(mat[row][col]) > std::abs(mat[pivot][col])) pivot = row;
+      }
+      if (std::abs(mat[pivot][col]) < 1e-12) return false;
+      std::swap(mat[col], mat[pivot]);
+      std::swap(rhs[col], rhs[pivot]);
+      for (size_t row = 0; row < k; ++row) {
+        if (row == col) continue;
+        const double f = mat[row][col] / mat[col][col];
+        if (f == 0.0) continue;
+        for (size_t c2 = col; c2 < k; ++c2) mat[row][c2] -= f * mat[col][c2];
+        rhs[row] -= f * rhs[col];
+      }
+    }
+    out->resize(k);
+    for (size_t i = 0; i < k; ++i) (*out)[i] = rhs[i] / mat[i][i];
+    return true;
+  };
+
+  // A vertex of an infeasible LP doesn't exist; but a vertex uncovered by
+  // every edge makes the LP infeasible — callers ensure coverage. W ≡ 1 is
+  // then always feasible.
+  double best = static_cast<double>(m);
+  std::vector<int> idx(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) idx[static_cast<size_t>(i)] = i;
+  while (true) {
+    std::vector<std::vector<double>> mat(static_cast<size_t>(m));
+    std::vector<double> rhs(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      double r = 0.0;
+      row_of(idx[static_cast<size_t>(i)], &mat[static_cast<size_t>(i)], &r);
+      rhs[static_cast<size_t>(i)] = r;
+    }
+    std::vector<double> w;
+    if (solve(mat, rhs, &w) && feasible(w)) {
+      double obj = 0.0;
+      for (double v : w) obj += v;
+      best = std::min(best, obj);
+    }
+    int pos = m - 1;
+    while (pos >= 0 && idx[static_cast<size_t>(pos)] == total - m + pos) --pos;
+    if (pos < 0) break;
+    ++idx[static_cast<size_t>(pos)];
+    for (int i = pos + 1; i < m; ++i) {
+      idx[static_cast<size_t>(i)] = idx[static_cast<size_t>(i - 1)] + 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double WorstCaseErrorExponent01(const JoinQuery& query) {
+  const double rho = query.FractionalEdgeCoverNumber();
+  // max over E ⊊ [m] of ρ(H_{E,∂E}).
+  const int m = query.num_relations();
+  double worst_residual = 0.0;
+  for (uint64_t bits = 1; bits + 1 < (uint64_t{1} << m); ++bits) {
+    RelationSet set;
+    for (int r = 0; r < m; ++r) {
+      if ((bits >> r) & 1) set.Insert(r);
+    }
+    const AttributeSet boundary = query.Boundary(set);
+    uint64_t vertices = 0;
+    std::vector<uint64_t> edges;
+    for (int r : set.Elements()) {
+      const AttributeSet surviving = query.attributes_of(r).Minus(boundary);
+      edges.push_back(surviving.bits());
+      vertices |= surviving.bits();
+    }
+    worst_residual = std::max(
+        worst_residual, FractionalEdgeCoverOfMasks(edges, vertices));
+  }
+  // α = O(√(n^ρ · n^{ρ_res})) ⇒ exponent (ρ + ρ_res)/2.
+  return 0.5 * (rho + worst_residual);
+}
+
+double WorstCaseErrorExponentWeighted(const JoinQuery& query) {
+  return static_cast<double>(query.num_relations()) - 0.5;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,70 @@
+// Closed-form error expressions from the paper, used by benches to print
+// predicted-vs-measured series. All formulas drop the unstated constants of
+// the O(·)/Ω̃(·) notation — benches compare SHAPE (scaling, winners,
+// crossovers), not absolute values.
+
+#ifndef DPJOIN_CORE_THEORY_BOUNDS_H_
+#define DPJOIN_CORE_THEORY_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/privacy_params.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+
+/// Theorem 1.3 (single table): α = O(√n · f_upper).
+double SingleTableUpperBound(double n, double domain_size, double query_count,
+                             const PrivacyParams& params);
+
+/// Theorem 1.4 (single table): α = Ω̃(min{n, √n · f_lower}).
+double SingleTableLowerBound(double n, double domain_size,
+                             const PrivacyParams& params);
+
+/// Theorem A.1 (PMW): α = O((√(count·Δ̃) + Δ̃·√λ)·f_upper).
+double PmwUpperBound(double count, double delta_tilde, double domain_size,
+                     double query_count, const PrivacyParams& params);
+
+/// Theorem 3.3 (Algorithm 1, two-table):
+/// α = O((√(count·(Δ+λ)) + (Δ+λ)·√λ)·f_upper).
+double TwoTableUpperBound(double count, double local_sensitivity,
+                          double domain_size, double query_count,
+                          const PrivacyParams& params);
+
+/// Theorem 3.5 / 1.6 (lower bound): α = Ω̃(min{OUT, √(OUT·Δ)·f_lower}).
+double JoinLowerBound(double out, double local_sensitivity, double domain_size,
+                      const PrivacyParams& params);
+
+/// Theorem 1.5 (Algorithm 3, multi-table):
+/// α = O((√(count·RS) + RS·√λ)·f_upper).
+double MultiTableUpperBound(double count, double residual_sensitivity,
+                            double domain_size, double query_count,
+                            const PrivacyParams& params);
+
+/// Theorem 4.4 (uniformized two-table): given per-bucket join sizes
+/// count(I^i_{π*}) for buckets i = 1..ℓ with bucket ceilings γ_i = λ·2^i,
+/// α = O((λ^{3/2}(Δ+λ) + Σ_i √(count_i · 2^i·λ)) · f_upper).
+double UniformizedTwoTableUpperBound(const std::vector<double>& bucket_counts,
+                                     double local_sensitivity,
+                                     double domain_size, double query_count,
+                                     const PrivacyParams& params);
+
+/// Theorem 4.5 (uniformized lower bound):
+/// α = Ω̃(max_i min{OUT_i, √(OUT_i·2^i·λ)·f_lower}).
+double UniformizedTwoTableLowerBound(const std::vector<double>& bucket_counts,
+                                     double domain_size,
+                                     const PrivacyParams& params);
+
+/// Appendix B.3 worst-case closed form, 0/1 relations (case 1):
+/// α = O(√(n^{ρ(H)} · max_{E⊊[m]} n^{ρ(H_{E,∂E})})), exponents from the
+/// fractional edge-cover LP.
+double WorstCaseErrorExponent01(const JoinQuery& query);
+
+/// Appendix B.3 worst-case, Z≥0 relations (case 2): α = O(n^{m−1/2});
+/// returns the exponent m − 1/2.
+double WorstCaseErrorExponentWeighted(const JoinQuery& query);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_CORE_THEORY_BOUNDS_H_

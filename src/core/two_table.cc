@@ -1,0 +1,52 @@
+#include "core/two_table.h"
+
+#include "dp/truncated_laplace.h"
+#include "release/pmw.h"
+#include "sensitivity/local_sensitivity.h"
+
+namespace dpjoin {
+
+Result<ReleaseResult> TwoTable(const Instance& instance,
+                               const QueryFamily& family,
+                               const PrivacyParams& params,
+                               const ReleaseOptions& options, Rng& rng) {
+  if (instance.query().num_relations() != 2) {
+    return Status::InvalidArgument(
+        "TwoTable (Algorithm 1) requires a two-relation query");
+  }
+  const double epsilon = params.epsilon;
+  const double delta = params.delta;
+
+  ReleaseResult result;
+
+  // Line 1: Δ̃ = Δ + TLap^{τ(ε/2,δ/2,1)}_{2/ε}; LS_count has global
+  // sensitivity 1 for two-table joins, so this is an (ε/2, δ/2)-DP upper
+  // bound on Δ (noise is non-negative by construction of TLap).
+  const double delta_ls = TwoTableDelta(instance);
+  const TruncatedLaplace tlap =
+      TruncatedLaplace::ForSensitivity(epsilon / 2, delta / 2, 1.0);
+  result.delta_tilde = delta_ls + tlap.Sample(rng);
+  result.accountant.SpendSequential("two-table/delta-bound",
+                                    PrivacyParams(epsilon / 2, delta / 2));
+
+  // Line 2: PMW_{ε/2,δ/2,Δ̃}(I).
+  PmwOptions pmw_options;
+  pmw_options.params = PrivacyParams(epsilon / 2, delta / 2);
+  pmw_options.delta_tilde = result.delta_tilde;
+  pmw_options.num_rounds = options.pmw_rounds;
+  pmw_options.max_rounds = options.pmw_max_rounds;
+  pmw_options.record_trace = options.record_trace;
+  pmw_options.per_round_epsilon_override = options.pmw_epsilon_prime_override;
+  DPJOIN_ASSIGN_OR_RETURN(
+      PmwResult pmw, PrivateMultiplicativeWeights(instance, family,
+                                                  pmw_options, rng));
+  result.synthetic = std::move(pmw.synthetic);
+  result.noisy_total = pmw.noisy_total;
+  result.pmw_rounds = pmw.rounds;
+  for (const auto& entry : pmw.accountant.entries()) {
+    result.accountant.SpendSequential(entry.label, entry.params);
+  }
+  return result;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,34 @@
+// TwoTable — Algorithm 1 (paper §3.1).
+//
+//   1. Δ̃ ← Δ + TLap^{τ(ε/2,δ/2,1)}_{2/ε}       (Δ = LS_count(I), whose own
+//      global sensitivity is 1 for two-table joins)
+//   2. return PMW_{ε/2,δ/2,Δ̃}(I)
+//
+// Guarantees: (ε, δ)-DP (Lemma 3.2); error
+// O((√(count·(Δ+λ)) + (Δ+λ)√λ)·f_upper) w.p. 1 − 1/poly(|Q|)
+// (Theorem 3.3).
+
+#ifndef DPJOIN_CORE_TWO_TABLE_H_
+#define DPJOIN_CORE_TWO_TABLE_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/release_result.h"
+#include "dp/privacy_params.h"
+#include "query/query_family.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// Runs Algorithm 1. Fails with InvalidArgument unless the instance's query
+/// has exactly two relations (use MultiTable otherwise — the paper's §3.3
+/// explains why this algorithm is unsound for m ≥ 3: LS itself then has
+/// large global sensitivity).
+Result<ReleaseResult> TwoTable(const Instance& instance,
+                               const QueryFamily& family,
+                               const PrivacyParams& params,
+                               const ReleaseOptions& options, Rng& rng);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_CORE_TWO_TABLE_H_

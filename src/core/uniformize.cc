@@ -1,0 +1,57 @@
+#include "core/uniformize.h"
+
+#include "core/partition_two_table.h"
+#include "core/two_table.h"
+#include "query/evaluation.h"
+#include "relational/join.h"
+
+namespace dpjoin {
+
+Result<UniformizeResult> UniformizeTwoTable(const Instance& instance,
+                                            const QueryFamily& family,
+                                            const PrivacyParams& params,
+                                            const ReleaseOptions& options,
+                                            Rng& rng) {
+  const PrivacyParams half = params.Half();
+
+  UniformizeResult result;
+
+  // Line 1: partition with (ε/2, δ/2). The bucket scale is the λ of the
+  // OVERALL budget, matching the paper's fixed γ_i = λ·2^i grid.
+  DPJOIN_ASSIGN_OR_RETURN(
+      TwoTablePartition partition,
+      PartitionTwoTable(instance, half, params.Lambda(), rng));
+  result.release.accountant.SpendSequential("uniformize/partition", half);
+
+  // Lines 2–3: per-bucket TwoTable at (ε/2, δ/2); buckets are tuple-disjoint
+  // so these compose in parallel.
+  DenseTensor combined(ReleaseShape(instance.query()));
+  std::vector<PrivacyParams> branches;
+  for (const TwoTableBucket& bucket : partition.buckets) {
+    DPJOIN_ASSIGN_OR_RETURN(
+        ReleaseResult sub,
+        TwoTable(bucket.sub_instance, family, half, options, rng));
+    combined.AddTensor(sub.synthetic);
+    branches.push_back(half);
+
+    UniformizeBucketInfo info;
+    info.bucket_index = bucket.bucket_index;
+    info.count = JoinCount(bucket.sub_instance);
+    info.delta_tilde = sub.delta_tilde;
+    info.input_size = bucket.sub_instance.InputSize();
+    result.bucket_info.push_back(info);
+    result.release.delta_tilde =
+        std::max(result.release.delta_tilde, sub.delta_tilde);
+    result.release.noisy_total += sub.noisy_total;
+    result.release.pmw_rounds += sub.pmw_rounds;
+  }
+  if (!branches.empty()) {
+    result.release.accountant.SpendParallel("uniformize/buckets", branches);
+  }
+
+  // Line 4: union of the per-bucket synthetic datasets.
+  result.release.synthetic = std::move(combined);
+  return result;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,52 @@
+// Uniformize — Algorithm 4 (paper §4).
+//
+//   1. I ← Partition_{ε/2,δ/2}(I)
+//   2. for each sub-instance I′ ∈ I: F(I′) ← release_{ε/2,δ/2}(I′)
+//   3. return ∪_{I′} F(I′)
+//
+// The partition is tuple-disjoint for two-table joins, so step 2 composes in
+// parallel across sub-instances and the whole algorithm is (ε, δ)-DP
+// (Lemma 4.1). The per-bucket primitive is TwoTable (Algorithm 1) for
+// two-table queries — exactly the §4.1 instantiation; the hierarchical
+// variant lives in src/hierarchical/uniformize_hierarchical.h.
+
+#ifndef DPJOIN_CORE_UNIFORMIZE_H_
+#define DPJOIN_CORE_UNIFORMIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/release_result.h"
+#include "dp/privacy_params.h"
+#include "query/query_family.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// Per-bucket diagnostics from a uniformized release.
+struct UniformizeBucketInfo {
+  int bucket_index = 0;      ///< i with degree ceiling γ_i = λ·2^i.
+  double count = 0.0;        ///< count(I^i) (diagnostic; not released).
+  double delta_tilde = 0.0;  ///< per-bucket Δ̃.
+  int64_t input_size = 0;    ///< Σ tuples in the bucket.
+};
+
+/// Output of Uniformize: the released union plus per-bucket diagnostics.
+struct UniformizeResult {
+  ReleaseResult release;
+  std::vector<UniformizeBucketInfo> bucket_info;
+};
+
+/// Runs Algorithm 4 on a two-table instance (Partition-TwoTable + TwoTable
+/// per bucket).
+Result<UniformizeResult> UniformizeTwoTable(const Instance& instance,
+                                            const QueryFamily& family,
+                                            const PrivacyParams& params,
+                                            const ReleaseOptions& options,
+                                            Rng& rng);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_CORE_UNIFORMIZE_H_

@@ -1,0 +1,72 @@
+#include "dp/composition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+PrivacyParams AdvancedComposition(double epsilon0, double delta0, int64_t k,
+                                  double delta_slack) {
+  DPJOIN_CHECK_GT(epsilon0, 0.0);
+  DPJOIN_CHECK_GE(delta0, 0.0);
+  DPJOIN_CHECK_GT(k, 0);
+  DPJOIN_CHECK_GT(delta_slack, 0.0);
+  const double kd = static_cast<double>(k);
+  const double eps = epsilon0 * std::sqrt(2.0 * kd * std::log(1.0 / delta_slack)) +
+                     kd * epsilon0 * (std::exp(epsilon0) - 1.0);
+  const double del = kd * delta0 + delta_slack;
+  return PrivacyParams(eps, std::min(del, 0.5));
+}
+
+double PmwPerRoundEpsilon(double epsilon, double delta, int64_t k) {
+  DPJOIN_CHECK_GT(epsilon, 0.0);
+  DPJOIN_CHECK_GT(delta, 0.0);
+  DPJOIN_CHECK_GT(k, 0);
+  // Algorithm 2, line 3: ε' = ε / (16·sqrt(k·log(1/δ))).
+  return epsilon /
+         (16.0 * std::sqrt(static_cast<double>(k) * std::log(1.0 / delta)));
+}
+
+void PrivacyAccountant::SpendSequential(const std::string& label,
+                                        PrivacyParams params) {
+  entries_.push_back({label, params});
+}
+
+void PrivacyAccountant::SpendParallel(
+    const std::string& label, const std::vector<PrivacyParams>& branches) {
+  DPJOIN_CHECK(!branches.empty(), "parallel spend with no branches");
+  double max_eps = 0.0, max_del = 0.0;
+  for (const auto& b : branches) {
+    max_eps = std::max(max_eps, b.epsilon);
+    max_del = std::max(max_del, b.delta);
+  }
+  entries_.push_back({label, PrivacyParams(max_eps, max_del)});
+}
+
+PrivacyParams PrivacyAccountant::Total() const {
+  double eps = 0.0, del = 0.0;
+  for (const auto& e : entries_) {
+    eps += e.params.epsilon;
+    del += e.params.delta;
+  }
+  DPJOIN_CHECK_GT(eps, 0.0);
+  return PrivacyParams(eps, std::min(del, 0.5));
+}
+
+std::string PrivacyAccountant::ToString() const {
+  std::ostringstream oss;
+  for (const auto& e : entries_) {
+    oss << e.label << ": (" << e.params.epsilon << ", " << e.params.delta
+        << ")\n";
+  }
+  if (!entries_.empty()) {
+    const PrivacyParams total = Total();
+    oss << "total: (" << total.epsilon << ", " << total.delta << ")\n";
+  }
+  return oss.str();
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,60 @@
+// Differential-privacy composition accounting.
+//
+// The release algorithms in this library record every budget spend into a
+// PrivacyAccountant; tests assert that the totals match the guarantees the
+// paper proves (Lemmas 3.2, 3.7, 4.1, 4.11). The accountant supports the
+// three rules used by the paper:
+//   * basic (sequential) composition: (Σε_i, Σδ_i);
+//   * parallel composition: max over branches operating on disjoint data;
+//   * advanced composition (the form used in Theorem A.1's PMW analysis).
+
+#ifndef DPJOIN_DP_COMPOSITION_H_
+#define DPJOIN_DP_COMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "dp/privacy_params.h"
+
+namespace dpjoin {
+
+/// Total (ε, δ) of running k adaptive (ε0, δ0)-DP mechanisms under advanced
+/// composition with slack δ′:  ε = ε0·sqrt(2k·ln(1/δ′)) + k·ε0·(e^{ε0}−1),
+/// δ = k·δ0 + δ′.
+PrivacyParams AdvancedComposition(double epsilon0, double delta0, int64_t k,
+                                  double delta_slack);
+
+/// Inverse used by PMW: the per-round ε′ that makes k rounds compose to ε
+/// overall. The paper (Algorithm 2, line 3) uses ε′ = ε / (16·sqrt(k·ln(1/δ))).
+double PmwPerRoundEpsilon(double epsilon, double delta, int64_t k);
+
+/// A ledger of named budget spends with basic/parallel aggregation.
+class PrivacyAccountant {
+ public:
+  /// Records a sequential spend (basic composition with everything else).
+  void SpendSequential(const std::string& label, PrivacyParams params);
+
+  /// Records a group of spends on DISJOINT data partitions (parallel
+  /// composition): contributes the max ε and max δ of the group.
+  void SpendParallel(const std::string& label,
+                     const std::vector<PrivacyParams>& branches);
+
+  /// Total consumed budget under basic composition of all recorded entries.
+  PrivacyParams Total() const;
+
+  struct Entry {
+    std::string label;
+    PrivacyParams params;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Human-readable ledger.
+  std::string ToString() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_DP_COMPOSITION_H_

@@ -1,0 +1,41 @@
+#include "dp/exponential_mechanism.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace dpjoin {
+
+size_t ExponentialMechanism(const std::vector<double>& scores, double epsilon,
+                            Rng& rng) {
+  DPJOIN_CHECK(!scores.empty(), "EM over empty candidate set");
+  DPJOIN_CHECK_GT(epsilon, 0.0);
+  size_t best = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < scores.size(); ++i) {
+    // Standard Gumbel variate: -log(Exp(1)).
+    const double gumbel = -std::log(rng.Exponential());
+    const double value = 0.5 * epsilon * scores[i] + gumbel;
+    if (value > best_value) {
+      best_value = value;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<double> ExponentialMechanismProbabilities(
+    const std::vector<double>& scores, double epsilon) {
+  DPJOIN_CHECK(!scores.empty(), "EM over empty candidate set");
+  std::vector<double> logits(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) logits[i] = 0.5 * epsilon * scores[i];
+  const double lse = LogSumExp(logits);
+  std::vector<double> probs(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    probs[i] = std::exp(logits[i] - lse);
+  }
+  return probs;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,35 @@
+// Exponential mechanism (McSherry–Talwar), used by PMW to select the
+// worst-approximated query each round.
+//
+// Given scores s(I, c) with sensitivity at most 1, samples candidate c with
+// probability ∝ exp(0.5·ε·s(I, c)); this is (ε, 0)-DP. (The paper's listing
+// writes exp(-0.5·ε·s) with s a *quality* score to be maximized; we follow
+// the standard maximization convention — callers pass higher-is-better
+// scores.)
+
+#ifndef DPJOIN_DP_EXPONENTIAL_MECHANISM_H_
+#define DPJOIN_DP_EXPONENTIAL_MECHANISM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dpjoin {
+
+/// Samples an index from `scores` with Pr[i] ∝ exp(0.5·ε·scores[i]).
+///
+/// Implemented via the Gumbel-max trick (argmax_i 0.5·ε·s_i + G_i with G_i
+/// i.i.d. standard Gumbel), which is numerically stable for widely spread
+/// scores and exactly equivalent to softmax sampling.
+size_t ExponentialMechanism(const std::vector<double>& scores, double epsilon,
+                            Rng& rng);
+
+/// Exact selection probabilities (softmax of 0.5·ε·scores); used by tests to
+/// validate the sampler and by diagnostics.
+std::vector<double> ExponentialMechanismProbabilities(
+    const std::vector<double>& scores, double epsilon);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_DP_EXPONENTIAL_MECHANISM_H_

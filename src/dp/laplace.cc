@@ -1,0 +1,44 @@
+#include "dp/laplace.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+Laplace::Laplace(double scale) : scale_(scale) {
+  DPJOIN_CHECK_GT(scale, 0.0);
+}
+
+double Laplace::Sample(Rng& rng) const {
+  // Inverse-CDF sampling: u uniform in (-1/2, 1/2),
+  // x = -b * sgn(u) * ln(1 - 2|u|).
+  double u = rng.UniformDouble() - 0.5;
+  // Guard the measure-zero endpoint that would give log(0).
+  if (u == 0.5) u = 0.49999999999999994;
+  const double sign = (u < 0.0) ? -1.0 : 1.0;
+  return -scale_ * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+double Laplace::Pdf(double x) const {
+  return std::exp(-std::abs(x) / scale_) / (2.0 * scale_);
+}
+
+double Laplace::Cdf(double x) const {
+  if (x < 0.0) return 0.5 * std::exp(x / scale_);
+  return 1.0 - 0.5 * std::exp(-x / scale_);
+}
+
+double Laplace::TailProbability(double t) const {
+  DPJOIN_CHECK_GE(t, 0.0);
+  return std::exp(-t / scale_);
+}
+
+double AddLaplaceNoise(double value, double sensitivity, double epsilon,
+                       Rng& rng) {
+  DPJOIN_CHECK_GT(sensitivity, 0.0);
+  DPJOIN_CHECK_GT(epsilon, 0.0);
+  return value + Laplace(sensitivity / epsilon).Sample(rng);
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,40 @@
+// Laplace mechanism primitives.
+
+#ifndef DPJOIN_DP_LAPLACE_H_
+#define DPJOIN_DP_LAPLACE_H_
+
+#include "common/rng.h"
+
+namespace dpjoin {
+
+/// Zero-mean Laplace distribution with scale b: pdf(x) ∝ exp(-|x|/b).
+class Laplace {
+ public:
+  explicit Laplace(double scale);
+
+  double scale() const { return scale_; }
+
+  /// Draws one variate.
+  double Sample(Rng& rng) const;
+
+  /// Probability density at x.
+  double Pdf(double x) const;
+
+  /// Cumulative distribution at x.
+  double Cdf(double x) const;
+
+  /// Pr[|X| > t] for t >= 0 (tail bound used in utility analyses).
+  double TailProbability(double t) const;
+
+ private:
+  double scale_;
+};
+
+/// Laplace-mechanism helper: value + Lap(sensitivity/epsilon).
+/// This is the (ε, 0)-DP mechanism for a `sensitivity`-sensitive statistic.
+double AddLaplaceNoise(double value, double sensitivity, double epsilon,
+                       Rng& rng);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_DP_LAPLACE_H_

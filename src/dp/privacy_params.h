@@ -1,0 +1,63 @@
+// Privacy parameters (ε, δ) and the paper's derived quantities.
+//
+// Conventions from the paper (Section 1.1, "Notation"):
+//   * 0 < ε ≤ O(1), 0 ≤ δ ≤ 1/2;
+//   * λ = (1/ε)·ln(1/δ), the recurring bucket-width / noise-scale parameter;
+//   * f_lower(D, Q, ε)    = sqrt(1/ε) · sqrt(log |D|);
+//   * f_upper(D, Q, ε, δ) = f_lower · sqrt(log |Q| · log(1/δ)).
+
+#ifndef DPJOIN_DP_PRIVACY_PARAMS_H_
+#define DPJOIN_DP_PRIVACY_PARAMS_H_
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+/// An (ε, δ) differential-privacy budget.
+struct PrivacyParams {
+  double epsilon = 1.0;
+  double delta = 1e-6;
+
+  PrivacyParams() = default;
+  PrivacyParams(double eps, double del) : epsilon(eps), delta(del) {
+    DPJOIN_CHECK_GT(epsilon, 0.0);
+    DPJOIN_CHECK(delta >= 0.0 && delta <= 0.5, "delta outside [0, 1/2]");
+  }
+
+  /// Budget with both parameters scaled by `f` (basic composition shares).
+  PrivacyParams Scaled(double f) const {
+    DPJOIN_CHECK_GT(f, 0.0);
+    return PrivacyParams(epsilon * f, delta * f);
+  }
+
+  /// Half of this budget — the ubiquitous (ε/2, δ/2) split in Algorithms 1–3.
+  PrivacyParams Half() const { return Scaled(0.5); }
+
+  /// λ = (1/ε)·ln(1/δ). Requires δ > 0.
+  double Lambda() const {
+    DPJOIN_CHECK_GT(delta, 0.0);
+    return std::log(1.0 / delta) / epsilon;
+  }
+};
+
+/// f_lower(D, Q, ε) = sqrt(log|D| / ε). `domain_size` is |D|.
+inline double FLower(double domain_size, double epsilon) {
+  DPJOIN_CHECK_GT(domain_size, 1.0);
+  DPJOIN_CHECK_GT(epsilon, 0.0);
+  return std::sqrt(std::log(domain_size) / epsilon);
+}
+
+/// f_upper(D, Q, ε, δ) = f_lower(D, Q, ε) · sqrt(log|Q| · log(1/δ)).
+inline double FUpper(double domain_size, double query_count, double epsilon,
+                     double delta) {
+  DPJOIN_CHECK_GT(query_count, 1.0);
+  DPJOIN_CHECK_GT(delta, 0.0);
+  return FLower(domain_size, epsilon) *
+         std::sqrt(std::log(query_count) * std::log(1.0 / delta));
+}
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_DP_PRIVACY_PARAMS_H_

@@ -1,0 +1,75 @@
+#include "dp/truncated_laplace.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+double TruncatedLaplaceTau(double epsilon, double delta, double sensitivity) {
+  DPJOIN_CHECK_GT(epsilon, 0.0);
+  DPJOIN_CHECK_GT(delta, 0.0);
+  DPJOIN_CHECK_GT(sensitivity, 0.0);
+  return (sensitivity / epsilon) *
+         std::log(1.0 + (std::exp(epsilon) - 1.0) / delta);
+}
+
+TruncatedLaplace::TruncatedLaplace(double scale, double tau)
+    : scale_(scale), tau_(tau) {
+  DPJOIN_CHECK_GT(scale, 0.0);
+  DPJOIN_CHECK_GT(tau, 0.0);
+  // ∫_0^{2τ} exp(-|x-τ|/b) dx = 2b(1 - e^{-τ/b}).
+  normalizer_ = 2.0 * scale_ * (1.0 - std::exp(-tau_ / scale_));
+}
+
+TruncatedLaplace TruncatedLaplace::ForSensitivity(double epsilon, double delta,
+                                                  double sensitivity) {
+  // Section 2: u + TLap^{τ(ε,δ,Δ)}_{Δ/ε} ≈_{(ε,δ)} v + TLap^{τ(ε,δ,Δ)}_{Δ/ε}
+  // whenever |u − v| ≤ Δ. Callers pass the (ε, δ) SHARE they spend — e.g.
+  // Algorithm 1 writes TLap^{τ(ε/2,δ/2,1)}_{2/ε}, which is exactly
+  // ForSensitivity(ε/2, δ/2, 1) since 2/ε = 1/(ε/2).
+  const double tau = TruncatedLaplaceTau(epsilon, delta, sensitivity);
+  return TruncatedLaplace(sensitivity / epsilon, tau);
+}
+
+double TruncatedLaplace::Sample(Rng& rng) const {
+  const double b = scale_;
+  const double half = b * (1.0 - std::exp(-tau_ / b));  // mass of [0, τ]
+  double u = rng.UniformDouble();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  const double target = u * normalizer_;
+  double x;
+  if (target <= half) {
+    // Left branch: unnormalized CDF(x) = b(e^{(x-τ)/b} - e^{-τ/b}).
+    x = tau_ + b * std::log(target / b + std::exp(-tau_ / b));
+  } else {
+    // Right branch: CDF(x) = half + b(1 - e^{-(x-τ)/b}).
+    const double v = target - half;
+    x = tau_ - b * std::log(1.0 - v / b);
+  }
+  // Clamp away floating-point spill outside the support.
+  if (x < 0.0) x = 0.0;
+  if (x > 2.0 * tau_) x = 2.0 * tau_;
+  return x;
+}
+
+double TruncatedLaplace::Pdf(double x) const {
+  if (x < 0.0 || x > 2.0 * tau_) return 0.0;
+  return std::exp(-std::abs(x - tau_) / scale_) / normalizer_;
+}
+
+double TruncatedLaplace::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 2.0 * tau_) return 1.0;
+  const double b = scale_;
+  double mass;
+  if (x <= tau_) {
+    mass = b * (std::exp((x - tau_) / b) - std::exp(-tau_ / b));
+  } else {
+    mass = b * (1.0 - std::exp(-tau_ / b)) +
+           b * (1.0 - std::exp(-(x - tau_) / b));
+  }
+  return mass / normalizer_;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,109 @@
+#include "hierarchical/attribute_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+Result<AttributeTree> AttributeTree::Build(const JoinQuery& query) {
+  if (!query.IsHierarchical()) {
+    return Status::InvalidArgument(
+        "query is not hierarchical: atoms are not laminar");
+  }
+  const int na = query.num_attributes();
+  AttributeTree tree;
+  tree.parents_.assign(static_cast<size_t>(na), -1);
+  tree.children_.assign(static_cast<size_t>(na), {});
+  tree.proper_ancestors_.assign(static_cast<size_t>(na), AttributeSet());
+
+  // Group attributes by identical atoms; groups are chained by index.
+  std::map<uint64_t, std::vector<int>> groups;
+  for (int a = 0; a < na; ++a) {
+    groups[query.Atom(a).bits()].push_back(a);
+    for (int b = 0; b < na; ++b) {
+      if (b != a && query.Atom(a).IsSubsetOf(query.Atom(b)) &&
+          query.Atom(a) != query.Atom(b)) {
+        tree.proper_ancestors_[static_cast<size_t>(a)].Insert(b);
+      }
+    }
+  }
+
+  for (const auto& [atom_bits, members] : groups) {
+    const RelationSet atom =
+        RelationSet::FromElements({});  // reconstruct below
+    (void)atom;
+    // Parent group: the minimal strict superset atom (laminarity makes the
+    // strict supersets a chain, so "minimal" is well defined).
+    const RelationSet this_atom = query.Atom(members.front());
+    bool has_parent = false;
+    RelationSet best;
+    for (const auto& [other_bits, other_members] : groups) {
+      (void)other_members;
+      if (other_bits == atom_bits) continue;
+      const RelationSet other = query.Atom(groups.at(other_bits).front());
+      if (this_atom.IsSubsetOf(other)) {
+        if (!has_parent || other.IsSubsetOf(best)) {
+          best = other;
+          has_parent = true;
+        }
+      }
+    }
+    // Chain members of the group; the head hangs off the parent group's tail.
+    if (has_parent) {
+      tree.parents_[static_cast<size_t>(members.front())] =
+          groups.at(best.bits()).back();
+    }
+    for (size_t i = 1; i < members.size(); ++i) {
+      tree.parents_[static_cast<size_t>(members[i])] = members[i - 1];
+    }
+  }
+
+  for (int a = 0; a < na; ++a) {
+    const int p = tree.parents_[static_cast<size_t>(a)];
+    if (p < 0) {
+      tree.roots_.push_back(a);
+    } else {
+      tree.children_[static_cast<size_t>(p)].push_back(a);
+    }
+  }
+  for (auto& kids : tree.children_) std::sort(kids.begin(), kids.end());
+  std::sort(tree.roots_.begin(), tree.roots_.end());
+
+  // Post-order (children before parents).
+  auto visit = [&](auto&& self, int node) -> void {
+    for (int child : tree.children_[static_cast<size_t>(node)]) {
+      self(self, child);
+    }
+    tree.post_order_.push_back(node);
+  };
+  for (int root : tree.roots_) visit(visit, root);
+  DPJOIN_CHECK_EQ(static_cast<int>(tree.post_order_.size()), na);
+  return tree;
+}
+
+AttributeSet AttributeTree::TreeAncestors(int attr) const {
+  AttributeSet out;
+  int cur = Parent(attr);
+  while (cur >= 0) {
+    out.Insert(cur);
+    cur = Parent(cur);
+  }
+  return out;
+}
+
+std::string AttributeTree::ToString(const JoinQuery& query) const {
+  std::ostringstream oss;
+  auto render = [&](auto&& self, int node, int depth) -> void {
+    for (int i = 0; i < depth; ++i) oss << "  ";
+    oss << query.attribute_name(node) << "  (atom="
+        << query.Atom(node).ToString() << ")\n";
+    for (int child : Children(node)) self(self, child, depth + 1);
+  };
+  for (int root : roots_) render(render, root, 0);
+  return oss.str();
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,65 @@
+// Attribute tree of a hierarchical join query (paper §4.2, Figure 4).
+//
+// A query is hierarchical when the atoms atom(x) = {i : x ∈ x_i} form a
+// laminar family; attributes then organize into a forest where each relation
+// is a root-to-node path. Attributes with strictly larger atoms are
+// ancestors; attributes with identical atoms are chained by index.
+
+#ifndef DPJOIN_HIERARCHICAL_ATTRIBUTE_TREE_H_
+#define DPJOIN_HIERARCHICAL_ATTRIBUTE_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+
+/// Immutable attribute forest over a hierarchical query.
+class AttributeTree {
+ public:
+  /// Builds the tree; fails with InvalidArgument when the query is not
+  /// hierarchical.
+  static Result<AttributeTree> Build(const JoinQuery& query);
+
+  /// Parent attribute in the tree (-1 for roots).
+  int Parent(int attr) const { return parents_[static_cast<size_t>(attr)]; }
+
+  /// Children in ascending attribute order.
+  const std::vector<int>& Children(int attr) const {
+    return children_[static_cast<size_t>(attr)];
+  }
+
+  /// Root attributes (one per tree of the forest).
+  const std::vector<int>& Roots() const { return roots_; }
+
+  /// Tree ancestors of `attr` (strict: excludes `attr` itself).
+  AttributeSet TreeAncestors(int attr) const;
+
+  /// The "proper ancestors" used by Algorithm 7 line 1:
+  /// {y : atom(attr) ⊊ atom(y)} — attributes whose atom strictly contains
+  /// atom(attr). Coincides with TreeAncestors when all atoms are distinct.
+  AttributeSet ProperAncestors(int attr) const {
+    return proper_ancestors_[static_cast<size_t>(attr)];
+  }
+
+  /// Attributes in post-order (every node after all its descendants) — the
+  /// visit order of Algorithm 6.
+  const std::vector<int>& PostOrder() const { return post_order_; }
+
+  /// ASCII rendering of the forest (for docs/examples).
+  std::string ToString(const JoinQuery& query) const;
+
+ private:
+  std::vector<int> parents_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> roots_;
+  std::vector<AttributeSet> proper_ancestors_;
+  std::vector<int> post_order_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_HIERARCHICAL_ATTRIBUTE_TREE_H_

@@ -1,0 +1,86 @@
+#include "hierarchical/decompose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "dp/truncated_laplace.h"
+#include "hierarchical/max_degree.h"
+
+namespace dpjoin {
+
+Result<std::vector<DecomposeBucket>> Decompose(const Instance& instance,
+                                               const AttributeTree& tree,
+                                               int attribute,
+                                               const PrivacyParams& params,
+                                               double lambda, Rng& rng) {
+  const JoinQuery& query = instance.query();
+  if (attribute < 0 || attribute >= query.num_attributes()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (lambda <= 0.0) lambda = params.Lambda();
+
+  // Line 1: y = proper ancestors, E = atom(x).
+  const AttributeSet y = tree.ProperAncestors(attribute);
+  const RelationSet rels = query.Atom(attribute);
+
+  // Lines 3–6: noisy-degree bucketing of realized y-values. Join-supported
+  // degrees from Definition 4.7, zero degrees for y-values that appear in
+  // some R_j but never join.
+  const std::unordered_map<int64_t, int64_t> degrees =
+      HierDegreeMap(instance, rels, y);
+  const TruncatedLaplace tlap =
+      TruncatedLaplace::ForSensitivity(params.epsilon, params.delta, 1.0);
+
+  std::unordered_map<int64_t, int> bucket_of;
+  auto bucket_for = [&](int64_t y_code) {
+    if (bucket_of.count(y_code) > 0) return;
+    const auto it = degrees.find(y_code);
+    const double deg = it == degrees.end() ? 0.0
+                                           : static_cast<double>(it->second);
+    const double noisy = deg + tlap.Sample(rng);
+    const int bucket =
+        (noisy <= lambda)
+            ? 1
+            : std::max(1, static_cast<int>(std::ceil(std::log2(noisy / lambda))));
+    bucket_of.emplace(y_code, bucket);
+  };
+  for (int rel : rels.Elements()) {
+    const Relation& r = instance.relation(rel);
+    for (const auto& [code, freq] : r.entries()) {
+      (void)freq;
+      bucket_for(r.ProjectCode(code, y));
+    }
+  }
+
+  // Lines 7–10: split relations of E by bucket; relations outside E shared.
+  std::map<int, Instance> outputs;
+  for (const auto& [y_code, bucket] : bucket_of) {
+    (void)y_code;
+    if (outputs.find(bucket) == outputs.end()) {
+      Instance sub(instance.query_ptr());
+      for (int rel = 0; rel < instance.num_relations(); ++rel) {
+        if (!rels.Contains(rel)) {
+          sub.mutable_relation(rel) = instance.relation(rel);
+        }
+      }
+      outputs.emplace(bucket, std::move(sub));
+    }
+  }
+  for (int rel : rels.Elements()) {
+    const Relation& source = instance.relation(rel);
+    for (const auto& [code, freq] : source.entries()) {
+      const int bucket = bucket_of.at(source.ProjectCode(code, y));
+      outputs.at(bucket).mutable_relation(rel).SetFrequencyByCode(code, freq);
+    }
+  }
+
+  std::vector<DecomposeBucket> result;
+  for (auto& [bucket, sub] : outputs) {
+    result.push_back({bucket, std::move(sub)});
+  }
+  return result;
+}
+
+}  // namespace dpjoin

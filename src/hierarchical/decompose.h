@@ -1,0 +1,42 @@
+// Decompose — Algorithm 7 (paper §4.2.2).
+//
+// Given an attribute x, buckets the values t ∈ dom(y) (y = proper ancestors
+// of x, E = atom(x)) by NOISY degree
+//   g̃deg_{E,y}(t) = deg_{E,y}(t) + TLap^{τ(ε,δ,1)}_{1/ε}
+// into geometric buckets i = max{1, ⌈log2(g̃deg/λ)⌉}, and splits the
+// relations of E accordingly (relations outside E are shared, NOT split —
+// which is why hierarchical uniformization pays the group-privacy factor of
+// Lemma 4.11).
+
+#ifndef DPJOIN_HIERARCHICAL_DECOMPOSE_H_
+#define DPJOIN_HIERARCHICAL_DECOMPOSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dp/privacy_params.h"
+#include "hierarchical/attribute_tree.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// One output bucket of a Decompose step.
+struct DecomposeBucket {
+  int bucket_index = 0;  ///< i, degrees in (λ·2^{i−1}, λ·2^i] after noise.
+  Instance sub_instance;
+};
+
+/// Runs Algorithm 7 on attribute x. `lambda` is the bucket scale (the
+/// overall algorithm's λ). Every realized y-value (appearing in any R_j,
+/// j ∈ atom(x)) is bucketed; values with no tuples contribute nothing.
+Result<std::vector<DecomposeBucket>> Decompose(const Instance& instance,
+                                               const AttributeTree& tree,
+                                               int attribute,
+                                               const PrivacyParams& params,
+                                               double lambda, Rng& rng);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_HIERARCHICAL_DECOMPOSE_H_

@@ -1,0 +1,75 @@
+#include "hierarchical/degree_config.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "hierarchical/q_aggregate_bound.h"
+#include "sensitivity/residual_sensitivity.h"
+
+namespace dpjoin {
+
+std::string DegreeConfiguration::ToString(const JoinQuery& query) const {
+  std::ostringstream oss;
+  oss << "σ{";
+  bool first = true;
+  for (size_t a = 0; a < buckets.size(); ++a) {
+    if (buckets[a] <= 0) continue;
+    if (!first) oss << ", ";
+    oss << query.attribute_name(static_cast<int>(a)) << "→" << buckets[a];
+    first = false;
+  }
+  oss << "}";
+  return oss.str();
+}
+
+Result<std::unordered_map<uint64_t, double>> ConfigBoundaryBounds(
+    const JoinQuery& query, const AttributeTree& tree,
+    const DegreeConfiguration& config, double lambda) {
+  DPJOIN_CHECK_GT(lambda, 0.0);
+  DPJOIN_CHECK_EQ(static_cast<int>(config.buckets.size()),
+                  query.num_attributes());
+  const int m = query.num_relations();
+  std::unordered_map<uint64_t, double> bounds;
+  for (uint64_t bits = 0; bits < (uint64_t{1} << m); ++bits) {
+    RelationSet set;
+    for (int r = 0; r < m; ++r) {
+      if ((bits >> r) & 1) set.Insert(r);
+    }
+    if (set.Empty()) {
+      bounds[bits] = 1.0;
+      continue;
+    }
+    DPJOIN_ASSIGN_OR_RETURN(QAggregateBoundStructure structure,
+                            BoundaryBoundFactors(query, tree, set));
+    double bound = 1.0;
+    for (const DegreeFactor& factor : structure.factors) {
+      if (factor.attribute < 0) {
+        return Status::Internal(
+            "q-aggregate factor matches no attribute; query should be "
+            "hierarchical with per-attribute factors (Lemma 4.8)");
+      }
+      const int bucket =
+          config.buckets[static_cast<size_t>(factor.attribute)];
+      if (bucket <= 0) {
+        return Status::FailedPrecondition(
+            "degree configuration does not cover attribute " +
+            query.attribute_name(factor.attribute));
+      }
+      bound *= lambda * std::pow(2.0, static_cast<double>(bucket));
+    }
+    bounds[bits] = bound;
+  }
+  return bounds;
+}
+
+Result<double> ConfigResidualSensitivity(const JoinQuery& query,
+                                         const AttributeTree& tree,
+                                         const DegreeConfiguration& config,
+                                         double lambda, double beta) {
+  DPJOIN_ASSIGN_OR_RETURN(auto bounds,
+                          ConfigBoundaryBounds(query, tree, config, lambda));
+  return ResidualSensitivityFromBoundaries(query, bounds, beta).value;
+}
+
+}  // namespace dpjoin

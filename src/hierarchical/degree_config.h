@@ -1,0 +1,51 @@
+// Degree configurations σ (Definition 4.9) and the sensitivities they
+// induce (paper §4.2.2, Theorem C.2).
+//
+// σ assigns each attribute x (equivalently, each admissible pair
+// (E, y) = (atom(x), ancestors(x))) a bucket index; a sub-instance conforms
+// to σ when every realized degree deg_{E,y}(·) lies in (λ·2^{σ−1}, λ·2^σ].
+// Under σ, every boundary query T_E is upper bounded by the product of its
+// Lemma-4.8 factors' bucket ceilings, giving the configuration residual
+// sensitivity RS^σ.
+
+#ifndef DPJOIN_HIERARCHICAL_DEGREE_CONFIG_H_
+#define DPJOIN_HIERARCHICAL_DEGREE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "hierarchical/attribute_tree.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+
+/// Bucket index per attribute (σ(atom(x), ancestors(x)) = buckets[x]);
+/// 0 = unassigned (⊥).
+struct DegreeConfiguration {
+  std::vector<int> buckets;
+
+  std::string ToString(const JoinQuery& query) const;
+};
+
+/// Upper bounds on every boundary query T_F under σ: maps relation-set bits
+/// to Π_{factors of T_F} λ·2^{σ(x')} (and 1 for F = ∅). Factors come from
+/// BoundaryBoundFactors; unmatched factors (no corresponding attribute)
+/// make the computation fail — they cannot occur for hierarchical queries
+/// (Lemma 4.8).
+Result<std::unordered_map<uint64_t, double>> ConfigBoundaryBounds(
+    const JoinQuery& query, const AttributeTree& tree,
+    const DegreeConfiguration& config, double lambda);
+
+/// RS^σ: residual sensitivity computed from the σ-induced boundary bounds
+/// (Theorem C.2's per-configuration sensitivity).
+Result<double> ConfigResidualSensitivity(const JoinQuery& query,
+                                         const AttributeTree& tree,
+                                         const DegreeConfiguration& config,
+                                         double lambda, double beta);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_HIERARCHICAL_DEGREE_CONFIG_H_

@@ -1,0 +1,59 @@
+#include "hierarchical/max_degree.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+#include "relational/join.h"
+
+namespace dpjoin {
+
+std::unordered_map<int64_t, int64_t> HierDegreeMap(const Instance& instance,
+                                                   RelationSet rels,
+                                                   AttributeSet y) {
+  const JoinQuery& query = instance.query();
+  DPJOIN_CHECK(!rels.Empty(), "degree of an empty relation set");
+
+  if (rels.Count() == 1) {
+    const Relation& rel = instance.relation(rels.First());
+    DPJOIN_CHECK(y.IsSubsetOf(rel.attributes()),
+                 "y must be within the relation's attributes");
+    return rel.DegreeMap(y);
+  }
+
+  const AttributeSet cap = query.IntersectAttributes(rels);
+  DPJOIN_CHECK(y.IsSubsetOf(cap), "y must be within ∧E");
+  const std::vector<int> cap_attrs = cap.Elements();
+  const std::vector<int> y_attrs = y.Elements();
+
+  // Distinct ∧E-projections of joining combinations, keyed per y-value.
+  std::unordered_set<int64_t> seen;  // codes over ∧E
+  std::unordered_map<int64_t, int64_t> degrees;
+  EnumerateSubJoin(
+      instance, rels,
+      [&](const std::vector<int64_t>&, const std::vector<int64_t>& assignment,
+          int64_t) {
+        int64_t cap_code = 0;
+        for (int attr : cap_attrs) {
+          cap_code = cap_code * query.domain_size(attr) + assignment[attr];
+        }
+        if (!seen.insert(cap_code).second) return;
+        int64_t y_code = 0;
+        for (int attr : y_attrs) {
+          y_code = y_code * query.domain_size(attr) + assignment[attr];
+        }
+        ++degrees[y_code];
+      });
+  return degrees;
+}
+
+int64_t MaxHierDegree(const Instance& instance, RelationSet rels,
+                      AttributeSet y) {
+  int64_t best = 0;
+  for (const auto& [key, deg] : HierDegreeMap(instance, rels, y)) {
+    (void)key;
+    best = std::max(best, deg);
+  }
+  return best;
+}
+
+}  // namespace dpjoin

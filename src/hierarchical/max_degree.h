@@ -1,0 +1,34 @@
+// Degrees and maximum degrees for hierarchical joins (Definition 4.7).
+//
+//   deg_{E,y}(t) = Σ_{t'∈dom(x_i): π_y t' = t} R_i(t')           if E = {i}
+//   deg_{E,y}(t) = |{t' ∈ Ψ_E(I) : π_y t' = t}|                  otherwise,
+// where Ψ_E(I) = {π_{∧E} t' : t' ∈ dom(∨E), Π_{i∈E} R_i(π_{x_i} t') > 0} is
+// the set of distinct ∧E-projections of joining combinations of E.
+//
+//   mdeg_E(y) = max_t deg_{E,y}(t).
+
+#ifndef DPJOIN_HIERARCHICAL_MAX_DEGREE_H_
+#define DPJOIN_HIERARCHICAL_MAX_DEGREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bitset.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// deg_{E,y}(·) for every realized y-value; keys are mixed-radix codes of
+/// the y attributes (ascending order, domain sizes as radices). Requires
+/// y ⊆ x_i for |E| = 1 and y ⊆ ∧E otherwise.
+std::unordered_map<int64_t, int64_t> HierDegreeMap(const Instance& instance,
+                                                   RelationSet rels,
+                                                   AttributeSet y);
+
+/// mdeg_E(y) (0 on empty data).
+int64_t MaxHierDegree(const Instance& instance, RelationSet rels,
+                      AttributeSet y);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_HIERARCHICAL_MAX_DEGREE_H_

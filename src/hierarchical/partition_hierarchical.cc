@@ -1,0 +1,60 @@
+#include "hierarchical/partition_hierarchical.h"
+
+#include <unordered_map>
+
+#include "hierarchical/decompose.h"
+
+namespace dpjoin {
+
+Result<HierarchicalPartition> PartitionHierarchical(
+    const Instance& instance, const AttributeTree& tree,
+    const PrivacyParams& params, double lambda, Rng& rng,
+    int64_t max_sub_instances) {
+  if (lambda <= 0.0) lambda = params.Lambda();
+
+  HierarchicalPartition partition;
+  DegreeConfiguration empty_config;
+  empty_config.buckets.assign(
+      static_cast<size_t>(instance.query().num_attributes()), 0);
+  partition.sub_instances.push_back({instance, empty_config});
+
+  // Algorithm 6 main loop: bottom-up (post-order) over the attribute tree;
+  // each visited attribute refines every current sub-instance.
+  for (int attr : tree.PostOrder()) {
+    std::vector<ConfiguredSubInstance> next;
+    for (ConfiguredSubInstance& entry : partition.sub_instances) {
+      DPJOIN_ASSIGN_OR_RETURN(
+          std::vector<DecomposeBucket> buckets,
+          Decompose(entry.sub_instance, tree, attr, params, lambda, rng));
+      for (DecomposeBucket& bucket : buckets) {
+        DegreeConfiguration config = entry.config;
+        config.buckets[static_cast<size_t>(attr)] = bucket.bucket_index;
+        next.push_back({std::move(bucket.sub_instance), std::move(config)});
+      }
+      if (static_cast<int64_t>(next.size()) > max_sub_instances) {
+        return Status::FailedPrecondition(
+            "hierarchical partition exceeded the sub-instance cap");
+      }
+    }
+    partition.sub_instances = std::move(next);
+  }
+
+  // Measured participation bound (Lemma 4.10, second property).
+  for (int rel = 0; rel < instance.num_relations(); ++rel) {
+    std::unordered_map<int64_t, int64_t> appearances;
+    for (const ConfiguredSubInstance& entry : partition.sub_instances) {
+      for (const auto& [code, freq] : entry.sub_instance.relation(rel).entries()) {
+        (void)freq;
+        ++appearances[code];
+      }
+    }
+    for (const auto& [code, count] : appearances) {
+      (void)code;
+      partition.max_participation =
+          std::max(partition.max_participation, count);
+    }
+  }
+  return partition;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,46 @@
+// Partition-Hierarchical — Algorithm 6 (paper §4.2.2).
+//
+// Bottom-up over the attribute tree (post-order), every current
+// sub-instance is further split by Decompose on the visited attribute. The
+// output sub-instances have pairwise-disjoint join results whose union is
+// JoinI, each tuple participates in O(log^c n) of them, and each
+// sub-instance carries a distinct degree configuration σ (Lemma 4.10).
+
+#ifndef DPJOIN_HIERARCHICAL_PARTITION_HIERARCHICAL_H_
+#define DPJOIN_HIERARCHICAL_PARTITION_HIERARCHICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dp/privacy_params.h"
+#include "hierarchical/attribute_tree.h"
+#include "hierarchical/degree_config.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// A sub-instance with its degree configuration.
+struct ConfiguredSubInstance {
+  Instance sub_instance;
+  DegreeConfiguration config;
+};
+
+struct HierarchicalPartition {
+  std::vector<ConfiguredSubInstance> sub_instances;
+  /// Max number of sub-instances any single input tuple appears in
+  /// (the log^c n participation bound of Lemma 4.10, measured).
+  int64_t max_participation = 0;
+};
+
+/// Runs Algorithm 6 with per-Decompose budget (ε, δ). `max_sub_instances`
+/// bounds the blow-up (FailedPrecondition beyond it).
+Result<HierarchicalPartition> PartitionHierarchical(
+    const Instance& instance, const AttributeTree& tree,
+    const PrivacyParams& params, double lambda, Rng& rng,
+    int64_t max_sub_instances = 4096);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_HIERARCHICAL_PARTITION_HIERARCHICAL_H_

@@ -1,0 +1,83 @@
+#include "hierarchical/q_aggregate_bound.h"
+
+#include "common/check.h"
+#include "hierarchical/max_degree.h"
+
+namespace dpjoin {
+
+namespace {
+
+int MatchFactorAttribute(const JoinQuery& query, const AttributeTree& tree,
+                         RelationSet rels, AttributeSet y) {
+  for (int a = 0; a < query.num_attributes(); ++a) {
+    if (query.Atom(a) == rels && tree.ProperAncestors(a) == y) return a;
+  }
+  return -1;
+}
+
+Status Recurse(const JoinQuery& query, const AttributeTree& tree,
+               RelationSet rels, AttributeSet y,
+               QAggregateBoundStructure* out, int depth) {
+  if (depth > 2 * query.num_attributes() + 2 * query.num_relations()) {
+    return Status::Internal("q-aggregate recursion failed to terminate");
+  }
+  if (rels.Empty()) return Status::OK();  // T_∅ = 1, no factors
+
+  // Case (1).
+  if (rels.Count() == 1) {
+    out->factors.push_back(
+        {rels, y, MatchFactorAttribute(query, tree, rels, y)});
+    return Status::OK();
+  }
+
+  const std::vector<RelationSet> components =
+      query.ConnectedComponents(rels, y);
+  if (components.size() > 1) {
+    // Case (2.1): T_{E,y} ≤ Π_{E'} T_{E', y∩(∨E')}.
+    for (RelationSet component : components) {
+      const AttributeSet y_sub =
+          y.Intersect(query.UnionAttributes(component));
+      DPJOIN_RETURN_NOT_OK(Recurse(query, tree, component, y_sub, out,
+                                   depth + 1));
+    }
+    return Status::OK();
+  }
+
+  // Case (2.2): connected residual, so y ⊊ ∧E and
+  // T_{E,y} ≤ mdeg_E(y) · T_{E,∧E}.
+  const AttributeSet cap = query.IntersectAttributes(rels);
+  if (y == cap) {
+    return Status::InvalidArgument(
+        "H_{E,∧E} is connected with |E| ≥ 2 — query is not hierarchical");
+  }
+  DPJOIN_CHECK(y.IsSubsetOf(cap), "case 2.2 requires y ⊆ ∧E");
+  out->factors.push_back({rels, y, MatchFactorAttribute(query, tree, rels, y)});
+  return Recurse(query, tree, rels, cap, out, depth + 1);
+}
+
+}  // namespace
+
+Result<QAggregateBoundStructure> QAggregateBoundFactors(
+    const JoinQuery& query, const AttributeTree& tree, RelationSet rels,
+    AttributeSet y) {
+  QAggregateBoundStructure structure;
+  DPJOIN_RETURN_NOT_OK(Recurse(query, tree, rels, y, &structure, 0));
+  return structure;
+}
+
+Result<QAggregateBoundStructure> BoundaryBoundFactors(
+    const JoinQuery& query, const AttributeTree& tree, RelationSet rels) {
+  return QAggregateBoundFactors(query, tree, rels, query.Boundary(rels));
+}
+
+double EvaluateQAggregateBound(const Instance& instance,
+                               const QAggregateBoundStructure& structure) {
+  double bound = 1.0;
+  for (const DegreeFactor& factor : structure.factors) {
+    bound *= static_cast<double>(
+        MaxHierDegree(instance, factor.rels, factor.y));
+  }
+  return bound;
+}
+
+}  // namespace dpjoin

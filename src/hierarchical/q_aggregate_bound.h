@@ -1,0 +1,57 @@
+// Upper bound on q-aggregate queries T_{E,y} via products of maximum
+// degrees (paper §4.2.1, cases (1), (2.1), (2.2); Lemma 4.8).
+//
+// The recursion:
+//   (1)   |E| = 1:            T_{E,y} = mdeg_E(y)                  [factor]
+//   (2.1) H_{E,y} disconnected: T_{E,y} ≤ Π_{E'∈C_E} T_{E', y∩∨E'}
+//   (2.2) H_{E,y} connected:   T_{E,y} ≤ mdeg_E(y) · T_{E,∧E}      [factor]
+//
+// Every factor mdeg_{E'}(y') corresponds to a distinct attribute x with
+// E' = atom(x) and y' = the (proper) ancestors of x (Lemma 4.8), which is
+// what makes degree configurations well defined.
+
+#ifndef DPJOIN_HIERARCHICAL_Q_AGGREGATE_BOUND_H_
+#define DPJOIN_HIERARCHICAL_Q_AGGREGATE_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "hierarchical/attribute_tree.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// One mdeg factor of the bound.
+struct DegreeFactor {
+  RelationSet rels;    ///< E' = atom(x) for the matched attribute.
+  AttributeSet y;      ///< y' = proper ancestors of x.
+  int attribute = -1;  ///< the attribute x of Lemma 4.8 (-1 if unmatched).
+};
+
+/// The factor structure of the T_{E,y} upper bound. Data-independent: it
+/// depends only on the query and (E, y).
+struct QAggregateBoundStructure {
+  std::vector<DegreeFactor> factors;
+};
+
+/// Computes the factor structure for T_{E,y}. Fails when the query is not
+/// hierarchical (the recursion needs case 2.2 → 2.1 termination, which the
+/// paper proves for hierarchical queries).
+Result<QAggregateBoundStructure> QAggregateBoundFactors(
+    const JoinQuery& query, const AttributeTree& tree, RelationSet rels,
+    AttributeSet y);
+
+/// Factor structure for the boundary query T_E = T_{E,∂E}.
+Result<QAggregateBoundStructure> BoundaryBoundFactors(const JoinQuery& query,
+                                                      const AttributeTree& tree,
+                                                      RelationSet rels);
+
+/// Evaluates the bound numerically on an instance: Π_factors mdeg_{E'}(y').
+double EvaluateQAggregateBound(const Instance& instance,
+                               const QAggregateBoundStructure& structure);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_HIERARCHICAL_Q_AGGREGATE_BOUND_H_

@@ -1,0 +1,51 @@
+// Uniformize for hierarchical joins — Algorithm 4 instantiated with
+// Partition-Hierarchical (Algorithm 6) and MultiTable (Algorithm 3) as the
+// per-sub-instance primitive (paper §4.2, Theorem C.2).
+//
+// Privacy (Lemma 4.11): (O(log^c n)·ε, O(log^c n)·δ)-DP — unlike the
+// two-table case, sub-instances share the tuples of relations outside the
+// decomposed atoms, so group privacy over the measured participation bound
+// applies. The accountant reports the ledger with the measured factor.
+
+#ifndef DPJOIN_HIERARCHICAL_UNIFORMIZE_HIERARCHICAL_H_
+#define DPJOIN_HIERARCHICAL_UNIFORMIZE_HIERARCHICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/release_result.h"
+#include "dp/privacy_params.h"
+#include "hierarchical/attribute_tree.h"
+#include "hierarchical/degree_config.h"
+#include "query/query_family.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// Per-sub-instance diagnostics.
+struct HierBucketInfo {
+  DegreeConfiguration config;
+  double count = 0.0;            ///< count of the sub-instance.
+  double delta_tilde = 0.0;      ///< Δ̃ its MultiTable used.
+  double config_rs_bound = 0.0;  ///< RS^σ upper bound (Theorem C.2 quantity).
+  int64_t input_size = 0;
+};
+
+struct HierUniformizeResult {
+  ReleaseResult release;
+  std::vector<HierBucketInfo> bucket_info;
+  int64_t max_participation = 0;  ///< measured group-privacy factor.
+};
+
+/// Runs hierarchical Uniformize. Fails when the query is not hierarchical
+/// or the partition exceeds `max_sub_instances`.
+Result<HierUniformizeResult> UniformizeHierarchical(
+    const Instance& instance, const QueryFamily& family,
+    const PrivacyParams& params, const ReleaseOptions& options, Rng& rng,
+    int64_t max_sub_instances = 4096);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_HIERARCHICAL_UNIFORMIZE_HIERARCHICAL_H_

@@ -1,0 +1,50 @@
+#include "lowerbound/distinguisher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+double EmpiricalEpsilonLowerBound(double p, double p_prime, double delta,
+                                  int64_t trials, double cap) {
+  DPJOIN_CHECK_GT(trials, 0);
+  // Smooth zero-probability estimates with the rule-of-three style floor
+  // 1/(trials+1) so a 0-count gives a finite (but large) bound.
+  const double floor = 1.0 / static_cast<double>(trials + 1);
+  auto one_direction = [&](double a, double b) {
+    const double numer = a - delta;
+    if (numer <= 0.0) return 0.0;
+    return std::log(numer / std::max(b, floor));
+  };
+  const double bound =
+      std::max(one_direction(p, p_prime), one_direction(p_prime, p));
+  return std::clamp(bound, 0.0, cap);
+}
+
+DistinguisherResult DistinguishByThreshold(const MechanismStatistic& statistic,
+                                           const Instance& instance,
+                                           const Instance& neighbor,
+                                           double threshold, int64_t trials,
+                                           double delta, Rng& rng,
+                                           double cap) {
+  DPJOIN_CHECK_GT(trials, 0);
+  DistinguisherResult result;
+  result.trials = trials;
+  int64_t hits = 0, hits_prime = 0;
+  for (int64_t t = 0; t < trials; ++t) {
+    Rng child = rng.Fork();
+    if (statistic(instance, child) >= threshold) ++hits;
+    Rng child_prime = rng.Fork();
+    if (statistic(neighbor, child_prime) >= threshold) ++hits_prime;
+  }
+  result.p_event = static_cast<double>(hits) / static_cast<double>(trials);
+  result.p_event_prime =
+      static_cast<double>(hits_prime) / static_cast<double>(trials);
+  result.empirical_epsilon = EmpiricalEpsilonLowerBound(
+      result.p_event, result.p_event_prime, delta, trials, cap);
+  return result;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,49 @@
+// Empirical differential-privacy distinguisher (Example 3.1 methodology).
+//
+// Estimates Pr[statistic(A(I)) ∈ S] and Pr[statistic(A(I′)) ∈ S] on a pair
+// of neighboring instances by repeated runs, and converts the gap into a
+// lower bound on the ε any (ε, δ)-DP algorithm must spend to produce that
+// behaviour: DP requires p ≤ e^ε·p′ + δ, so ε ≥ ln((p − δ)/p′).
+
+#ifndef DPJOIN_LOWERBOUND_DISTINGUISHER_H_
+#define DPJOIN_LOWERBOUND_DISTINGUISHER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// One mechanism run → a real-valued statistic of its output.
+using MechanismStatistic =
+    std::function<double(const Instance& instance, Rng& rng)>;
+
+/// Result of an empirical distinguishing experiment.
+struct DistinguisherResult {
+  double p_event = 0.0;        ///< \hat{Pr}[stat(A(I)) ≥ threshold]
+  double p_event_prime = 0.0;  ///< \hat{Pr}[stat(A(I′)) ≥ threshold]
+  int64_t trials = 0;
+  /// Empirical lower bound on ε (−inf-free; 0 when no violation is visible,
+  /// +large when p′ estimates to 0 while p does not — capped at `cap`).
+  double empirical_epsilon = 0.0;
+};
+
+/// Runs `trials` independent executions on each instance and thresholds the
+/// statistic.
+DistinguisherResult DistinguishByThreshold(const MechanismStatistic& statistic,
+                                           const Instance& instance,
+                                           const Instance& neighbor,
+                                           double threshold, int64_t trials,
+                                           double delta, Rng& rng,
+                                           double cap = 20.0);
+
+/// ε lower bound implied by event probabilities under (ε, δ)-DP:
+/// max over both directions of ln((p − δ)/p′), clamped to [0, cap].
+double EmpiricalEpsilonLowerBound(double p, double p_prime, double delta,
+                                  int64_t trials, double cap = 20.0);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_LOWERBOUND_DISTINGUISHER_H_

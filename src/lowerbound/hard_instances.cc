@@ -1,0 +1,210 @@
+#include "lowerbound/hard_instances.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "query/evaluation.h"
+
+namespace dpjoin {
+
+Figure1Pair MakeFigure1Pair(int64_t n, int64_t domain) {
+  DPJOIN_CHECK_GE(n, 1);
+  const int64_t dom = std::max(n, domain);
+  const JoinQuery query = MakeTwoTableQuery(dom, dom, dom);
+  Instance instance = Instance::Make(query);
+  for (int64_t i = 0; i < n; ++i) {
+    DPJOIN_CHECK(instance.AddTuple(0, {i, 0}, 1).ok());
+  }
+  DPJOIN_CHECK(instance.AddTuple(1, {0, 0}, 1).ok());
+  Instance neighbor = instance;
+  DPJOIN_CHECK(neighbor.AddTuple(1, {0, 0}, -1).ok());
+  return {std::move(instance), std::move(neighbor)};
+}
+
+double Figure1RegionMass(const Instance& instance,
+                         const DenseTensor& synthetic) {
+  const JoinQuery& query = instance.query();
+  const Relation& r1 = instance.relation(0);
+  const int b_attr = query.attributes_of(0)
+                         .Intersect(query.attributes_of(1))
+                         .First();
+  const int b_digit = r1.DigitOf(b_attr);
+  const MixedRadix& shape = synthetic.shape();
+  double mass = 0.0;
+  // D′: R1 tuple displays B = 0, R2 tuple is exactly (0, 0) (code 0).
+  for (int64_t flat = 0; flat < shape.size(); ++flat) {
+    const int64_t code2 = shape.Digit(flat, 1);
+    if (code2 != 0) continue;
+    const int64_t code1 = shape.Digit(flat, 0);
+    if (r1.tuple_space().Digit(code1, static_cast<size_t>(b_digit)) != 0) {
+      continue;
+    }
+    mass += synthetic.At(flat);
+  }
+  return mass;
+}
+
+Result<Theorem35Instance> MakeTheorem35Instance(
+    const std::vector<int64_t>& single_table, int64_t rows, int64_t delta) {
+  if (single_table.empty() || rows <= 0 || delta <= 0) {
+    return Status::InvalidArgument(
+        "need a non-empty table, positive rows and delta");
+  }
+  const int64_t d = static_cast<int64_t>(single_table.size());
+  for (int64_t count : single_table) {
+    if (count < 0 || count > rows) {
+      return Status::OutOfRange("table count outside [0, rows]");
+    }
+  }
+  auto query = JoinQuery::Create(
+      {{"A", d}, {"B", d * rows}, {"C", delta}}, {{"A", "B"}, {"B", "C"}});
+  DPJOIN_RETURN_NOT_OK(query.status());
+
+  Theorem35Instance out{Instance::Make(*query), d, rows, delta};
+  // R1(a, (b1, b2)) = 1[a = b1 ∧ b2 < T(a)]; B encodes (b1, b2) = b1·rows+b2.
+  for (int64_t a = 0; a < d; ++a) {
+    for (int64_t b2 = 0; b2 < single_table[static_cast<size_t>(a)]; ++b2) {
+      DPJOIN_RETURN_NOT_OK(out.instance.AddTuple(0, {a, a * rows + b2}, 1));
+    }
+  }
+  // R2 ≡ 1.
+  for (int64_t b = 0; b < d * rows; ++b) {
+    for (int64_t c = 0; c < delta; ++c) {
+      DPJOIN_RETURN_NOT_OK(out.instance.AddTuple(1, {b, c}, 1));
+    }
+  }
+  return out;
+}
+
+Result<QueryFamily> LiftSingleTableQueries(
+    const Theorem35Instance& construction,
+    const std::vector<std::vector<double>>& single_table_queries) {
+  if (single_table_queries.empty()) {
+    return Status::InvalidArgument("need at least one single-table query");
+  }
+  const JoinQuery& query = construction.instance.query();
+  const int64_t dom1 = query.relation_domain_size(0);
+  const int64_t dom_b = query.domain_size(1);
+  std::vector<TableQuery> q1;
+  for (size_t j = 0; j < single_table_queries.size(); ++j) {
+    const auto& q = single_table_queries[j];
+    if (static_cast<int64_t>(q.size()) != construction.d) {
+      return Status::InvalidArgument("query arity != single-table domain");
+    }
+    TableQuery tq;
+    tq.label = "lift" + std::to_string(j);
+    tq.values.resize(static_cast<size_t>(dom1));
+    // Relation 0 tuple code = a·|dom(B)| + b (attributes ascending: A then B).
+    for (int64_t a = 0; a < construction.d; ++a) {
+      for (int64_t b = 0; b < dom_b; ++b) {
+        tq.values[static_cast<size_t>(a * dom_b + b)] =
+            q[static_cast<size_t>(a)];
+      }
+    }
+    q1.push_back(std::move(tq));
+  }
+  TableQuery ones;
+  ones.label = "ones";
+  ones.values.assign(static_cast<size_t>(query.relation_domain_size(1)), 1.0);
+  return QueryFamily::Create(query, {std::move(q1), {std::move(ones)}});
+}
+
+double SingleTableAnswer(const std::vector<int64_t>& single_table,
+                         const std::vector<double>& query) {
+  DPJOIN_CHECK_EQ(single_table.size(), query.size());
+  double total = 0.0;
+  for (size_t a = 0; a < single_table.size(); ++a) {
+    total += query[a] * static_cast<double>(single_table[a]);
+  }
+  return total;
+}
+
+Instance MakeFigure3Instance(int64_t k) {
+  DPJOIN_CHECK_GE(k, 1);
+  const JoinQuery query = MakeTwoTableQuery(k, k, k);
+  Instance instance = Instance::Make(query);
+  for (int64_t i = 1; i <= k; ++i) {
+    const int64_t b = i - 1;
+    for (int64_t j = 0; j < i; ++j) {
+      DPJOIN_CHECK(instance.AddTuple(0, {j, b}, 1).ok());
+      DPJOIN_CHECK(instance.AddTuple(1, {b, j}, 1).ok());
+    }
+  }
+  return instance;
+}
+
+Example42Instance MakeExample42Instance(int64_t k) {
+  DPJOIN_CHECK_GE(k, 2);
+  const int64_t levels = static_cast<int64_t>(
+      std::floor(2.0 / 3.0 * std::log2(static_cast<double>(k))));
+  std::vector<int64_t> level_values;
+  std::vector<int64_t> level_degrees;
+  int64_t total_values = 0;
+  for (int64_t i = 0; i <= levels; ++i) {
+    const int64_t values = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(
+               static_cast<double>(k * k) /
+               std::pow(8.0, static_cast<double>(i)))));
+    level_values.push_back(values);
+    level_degrees.push_back(int64_t{1} << i);
+    total_values += values;
+  }
+  const int64_t max_degree = level_degrees.back();
+  const JoinQuery query =
+      MakeTwoTableQuery(max_degree, total_values, max_degree);
+  Example42Instance out{Instance::Make(query), std::move(level_values),
+                        std::move(level_degrees)};
+  int64_t b = 0;
+  for (size_t level = 0; level < out.level_values.size(); ++level) {
+    for (int64_t v = 0; v < out.level_values[level]; ++v, ++b) {
+      for (int64_t j = 0; j < out.level_degrees[level]; ++j) {
+        DPJOIN_CHECK(out.instance.AddTuple(0, {j, b}, 1).ok());
+        DPJOIN_CHECK(out.instance.AddTuple(1, {b, j}, 1).ok());
+      }
+    }
+  }
+  return out;
+}
+
+Result<Theorem16PathInstance> MakeTheorem16PathInstance(
+    const std::vector<int64_t>& single_table, int64_t rows, int64_t side) {
+  if (single_table.empty() || rows <= 0 || side <= 0) {
+    return Status::InvalidArgument(
+        "need a non-empty table, positive rows and side");
+  }
+  const int64_t d = static_cast<int64_t>(single_table.size());
+  for (int64_t count : single_table) {
+    if (count < 0 || count > rows) {
+      return Status::OutOfRange("table count outside [0, rows]");
+    }
+  }
+  const int64_t diag = d * rows;
+  auto query = JoinQuery::Create(
+      {{"X0", diag}, {"X1", diag}, {"X2", side}, {"X3", side}},
+      {{"X0", "X1"}, {"X1", "X2"}, {"X2", "X3"}});
+  DPJOIN_RETURN_NOT_OK(query.status());
+
+  Theorem16PathInstance out{Instance::Make(*query), d, rows, side};
+  // R1 diagonal encoding of T.
+  for (int64_t a = 0; a < d; ++a) {
+    for (int64_t b2 = 0; b2 < single_table[static_cast<size_t>(a)]; ++b2) {
+      const int64_t v = a * rows + b2;
+      DPJOIN_RETURN_NOT_OK(out.instance.AddTuple(0, {v, v}, 1));
+    }
+  }
+  // R2, R3 ≡ 1 — each amplifies by `side`, total Δ = side².
+  for (int64_t x1 = 0; x1 < diag; ++x1) {
+    for (int64_t x2 = 0; x2 < side; ++x2) {
+      DPJOIN_RETURN_NOT_OK(out.instance.AddTuple(1, {x1, x2}, 1));
+    }
+  }
+  for (int64_t x2 = 0; x2 < side; ++x2) {
+    for (int64_t x3 = 0; x3 < side; ++x3) {
+      DPJOIN_RETURN_NOT_OK(out.instance.AddTuple(2, {x2, x3}, 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace dpjoin

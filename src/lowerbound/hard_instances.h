@@ -1,0 +1,94 @@
+// Hard-instance constructions from the paper's lower-bound arguments and
+// worked examples (Figures 1–3, Example 4.2, Theorems 3.5 / 1.6).
+//
+// Domain-size note: the paper's constructions use domains polynomial in n;
+// we expose the construction parameters so benches can run them at
+// PMW-materializable scale (DESIGN.md "Substitutions") — the constructions
+// themselves are verbatim.
+
+#ifndef DPJOIN_LOWERBOUND_HARD_INSTANCES_H_
+#define DPJOIN_LOWERBOUND_HARD_INSTANCES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "query/dense_tensor.h"
+#include "query/query_family.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// Figure 1: the neighboring pair with join sizes n and 0.
+///   I:  R1 = {(a_i, b_0) : i ∈ [n]},  R2 = {(b_0, c_0)}
+///   I′: same but R2 empty (one tuple removed).
+/// dom(A) = dom(B) = dom(C) = max(n, domain) — the paper uses domain = n;
+/// Example 3.1's analysis wants the domain polynomially LARGER than n so
+/// that padding mass rarely hits the distinguishing region, hence the knob.
+struct Figure1Pair {
+  Instance instance;        ///< I  (count = n, Δ = n)
+  Instance neighbor;        ///< I′ (count = 0)
+};
+Figure1Pair MakeFigure1Pair(int64_t n, int64_t domain = 0);
+
+/// The Example 3.1 distinguishing region D′ for a Figure-1 pair: joint
+/// cells whose R1 tuple displays B = b_0 and whose R2 tuple is (b_0, c_0).
+/// Returns the synthetic-dataset mass inside D′.
+double Figure1RegionMass(const Instance& instance, const DenseTensor& synthetic);
+
+/// Theorem 3.5 / Figure 2: the two-table instance encoding a single table
+/// T : [d] → Z≥0 with amplification Δ.
+///   dom(A) = [d], dom(B) = [d]×[rows], dom(C) = [Δ];
+///   R1(a, (b1, b2)) = 1[a = b1 ∧ b2 < T(a)],  R2 ≡ 1.
+/// Join size = Δ·Σ_a T(a); local sensitivity = Δ.
+struct Theorem35Instance {
+  Instance instance;
+  int64_t d = 0;      ///< |D| of the single-table problem
+  int64_t rows = 0;   ///< per-value row capacity
+  int64_t delta = 0;  ///< amplification Δ
+};
+Result<Theorem35Instance> MakeTheorem35Instance(
+    const std::vector<int64_t>& single_table, int64_t rows, int64_t delta);
+
+/// Lifts single-table queries q : [d] → [-1,1] to the Theorem 3.5 two-table
+/// family: Q1 = {q ∘ π_A}, Q2 = {all-ones}. The reduction identity is
+/// q′(I) = Δ·q(T).
+Result<QueryFamily> LiftSingleTableQueries(
+    const Theorem35Instance& construction,
+    const std::vector<std::vector<double>>& single_table_queries);
+
+/// Single-table answer Σ_a q(a)·T(a).
+double SingleTableAnswer(const std::vector<int64_t>& single_table,
+                         const std::vector<double>& query);
+
+/// Figure 3: the non-uniform two-table instance — k join values, the i-th
+/// with degree i in both relations (i ∈ [k]). Input size k(k+1), join size
+/// Σ i², local sensitivity k. (k plays √n in the paper's description.)
+Instance MakeFigure3Instance(int64_t k);
+
+/// Example 4.2: degree staircase — for level i ∈ {0..⌊(2/3)log2 k⌋},
+/// ⌈k²/8^i⌉ join values of degree 2^i in both relations. Δ = 2^{i_max},
+/// count = Θ(k² log k).
+struct Example42Instance {
+  Instance instance;
+  std::vector<int64_t> level_values;   ///< join values per level
+  std::vector<int64_t> level_degrees;  ///< degree per level (2^i)
+};
+Example42Instance MakeExample42Instance(int64_t k);
+
+/// Theorem 1.6 instantiated on the 3-relation path query
+/// R1(X0,X1) ⋈ R2(X1,X2) ⋈ R3(X2,X3): R1 encodes T diagonally on
+/// dom = [d]×[rows]; R2, R3 are all-ones with side domains of size
+/// ⌈sqrt(Δ)⌉ (so the amplification is side²). Join size = side²·Σ T.
+struct Theorem16PathInstance {
+  Instance instance;
+  int64_t d = 0;
+  int64_t rows = 0;
+  int64_t side = 0;  ///< Δ = side²
+};
+Result<Theorem16PathInstance> MakeTheorem16PathInstance(
+    const std::vector<int64_t>& single_table, int64_t rows, int64_t side);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_LOWERBOUND_HARD_INSTANCES_H_

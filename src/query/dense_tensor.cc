@@ -1,0 +1,32 @@
+#include "query/dense_tensor.h"
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+double DenseTensor::TotalMass() const {
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total;
+}
+
+void DenseTensor::Fill(double v) {
+  for (double& cell : values_) cell = v;
+}
+
+void DenseTensor::Scale(double f) {
+  for (double& cell : values_) cell *= f;
+}
+
+void DenseTensor::NormalizeTo(double target) {
+  const double mass = TotalMass();
+  DPJOIN_CHECK_GT(mass, 0.0);
+  Scale(target / mass);
+}
+
+void DenseTensor::AddTensor(const DenseTensor& other) {
+  DPJOIN_CHECK_EQ(values_.size(), other.values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,71 @@
+// Dense non-negative tensor over a mixed-radix shape.
+//
+// Used for (a) the synthetic dataset F : ×_i D_i → R≥0 that the release
+// algorithms output (paper §1.1) and (b) the materialized join function
+// JoinI. Mode i of the tensor indexes tuple codes of relation i's domain.
+
+#ifndef DPJOIN_QUERY_DENSE_TENSOR_H_
+#define DPJOIN_QUERY_DENSE_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mixed_radix.h"
+
+namespace dpjoin {
+
+/// A flat row-major tensor of doubles with a MixedRadix shape.
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+
+  /// Zero tensor of the given shape.
+  explicit DenseTensor(MixedRadix shape)
+      : shape_(std::move(shape)),
+        values_(static_cast<size_t>(shape_.size()), 0.0) {}
+
+  const MixedRadix& shape() const { return shape_; }
+  int64_t size() const { return shape_.size(); }
+
+  double At(int64_t flat) const {
+    return values_[static_cast<size_t>(flat)];
+  }
+  void Set(int64_t flat, double v) {
+    values_[static_cast<size_t>(flat)] = v;
+  }
+  void Add(int64_t flat, double v) {
+    values_[static_cast<size_t>(flat)] += v;
+  }
+
+  double AtDigits(const std::vector<int64_t>& digits) const {
+    return At(shape_.Encode(digits));
+  }
+
+  /// Σ_x T(x).
+  double TotalMass() const;
+
+  /// Sets every cell to `v`.
+  void Fill(double v);
+
+  /// Multiplies every cell by `f`.
+  void Scale(double f);
+
+  /// Rescales so TotalMass() == target (no-op target on an all-zero tensor
+  /// is a programmer error).
+  void NormalizeTo(double target);
+
+  /// Element-wise sum with a same-shape tensor (dataset union — the ∪ of
+  /// Algorithm 4 over a shared domain is frequency addition).
+  void AddTensor(const DenseTensor& other);
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>* mutable_values() { return &values_; }
+
+ private:
+  MixedRadix shape_;
+  std::vector<double> values_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_QUERY_DENSE_TENSOR_H_

@@ -1,0 +1,215 @@
+#include "query/evaluation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "relational/join.h"
+
+namespace dpjoin {
+
+MixedRadix ReleaseShape(const JoinQuery& query, int64_t max_cells) {
+  std::vector<int64_t> radices;
+  radices.reserve(static_cast<size_t>(query.num_relations()));
+  double cells = 1.0;
+  for (int r = 0; r < query.num_relations(); ++r) {
+    radices.push_back(query.relation_domain_size(r));
+    cells *= static_cast<double>(query.relation_domain_size(r));
+  }
+  DPJOIN_CHECK(cells <= static_cast<double>(max_cells),
+               "release domain too large to materialize densely");
+  return MixedRadix(std::move(radices));
+}
+
+DenseTensor JoinTensor(const Instance& instance) {
+  DenseTensor tensor(ReleaseShape(instance.query()));
+  const MixedRadix& shape = tensor.shape();
+  EnumerateSubJoin(
+      instance, instance.query().all_relations(),
+      [&](const std::vector<int64_t>& rel_codes, const std::vector<int64_t>&,
+          int64_t weight) {
+        tensor.Add(shape.Encode(rel_codes), static_cast<double>(weight));
+      });
+  return tensor;
+}
+
+double EvaluateOnTensor(const QueryFamily& family,
+                        const std::vector<int64_t>& parts,
+                        const DenseTensor& tensor) {
+  const MixedRadix& shape = tensor.shape();
+  const size_t m = shape.num_digits();
+  DPJOIN_CHECK_EQ(parts.size(), m);
+  std::vector<const double*> qvals(m);
+  for (size_t i = 0; i < m; ++i) {
+    qvals[i] = family.table_queries(static_cast<int>(i))
+                   [static_cast<size_t>(parts[i])]
+                       .values.data();
+  }
+  // Odometer over digits; maintain prefix products so advancing the last
+  // digit costs O(1).
+  std::vector<int64_t> digits(m, 0);
+  std::vector<double> prefix(m + 1, 1.0);  // prefix[i] = Π_{<i} q(digit)
+  auto refresh_from = [&](size_t from) {
+    for (size_t i = from; i < m; ++i) {
+      prefix[i + 1] = prefix[i] * qvals[i][digits[i]];
+    }
+  };
+  refresh_from(0);
+  double total = 0.0;
+  const int64_t cells = shape.size();
+  for (int64_t flat = 0; flat < cells; ++flat) {
+    total += tensor.At(flat) * prefix[m];
+    // Advance odometer (row-major: last digit fastest).
+    size_t i = m;
+    while (i-- > 0) {
+      if (++digits[i] < shape.radix(i)) {
+        refresh_from(i);
+        break;
+      }
+      digits[i] = 0;
+      if (i == 0) break;  // wrapped fully; loop ends anyway
+    }
+  }
+  return total;
+}
+
+namespace {
+
+// Contracts mode `mode` of V (shape `shape`) with the c×d matrix M (flat
+// row-major): out[p, j, x] = Σ_d V[p, d, x]·M[j*d_dim + d].
+void ContractMode(const std::vector<double>& in,
+                  const std::vector<int64_t>& shape, size_t mode,
+                  const double* matrix, int64_t out_dim,
+                  std::vector<double>* out, std::vector<int64_t>* out_shape) {
+  int64_t prefix = 1, suffix = 1;
+  for (size_t i = 0; i < mode; ++i) prefix *= shape[i];
+  for (size_t i = mode + 1; i < shape.size(); ++i) suffix *= shape[i];
+  const int64_t dim = shape[mode];
+  out->assign(static_cast<size_t>(prefix * out_dim * suffix), 0.0);
+  for (int64_t p = 0; p < prefix; ++p) {
+    const double* in_base = in.data() + p * dim * suffix;
+    double* out_base = out->data() + p * out_dim * suffix;
+    for (int64_t j = 0; j < out_dim; ++j) {
+      double* out_row = out_base + j * suffix;
+      const double* mrow = matrix + j * dim;
+      for (int64_t d = 0; d < dim; ++d) {
+        const double coef = mrow[d];
+        if (coef == 0.0) continue;
+        const double* in_row = in_base + d * suffix;
+        for (int64_t x = 0; x < suffix; ++x) out_row[x] += coef * in_row[x];
+      }
+    }
+  }
+  *out_shape = shape;
+  (*out_shape)[mode] = out_dim;
+}
+
+// Flattens family queries for relation r into a row-major (c × |D_r|) matrix.
+std::vector<double> QueryMatrix(const QueryFamily& family, int rel) {
+  const auto& queries = family.table_queries(rel);
+  const size_t dom = queries[0].values.size();
+  std::vector<double> matrix(queries.size() * dom);
+  for (size_t j = 0; j < queries.size(); ++j) {
+    for (size_t d = 0; d < dom; ++d) {
+      matrix[j * dom + d] = queries[j].values[d];
+    }
+  }
+  return matrix;
+}
+
+}  // namespace
+
+std::vector<double> EvaluateAllOnTensor(const QueryFamily& family,
+                                        const DenseTensor& tensor) {
+  const size_t m = tensor.shape().num_digits();
+  DPJOIN_CHECK_EQ(static_cast<size_t>(family.num_relations()), m);
+  std::vector<double> values = tensor.values();
+  std::vector<int64_t> shape = tensor.shape().radices();
+  // Contract the last un-contracted mode first; earlier modes keep their
+  // data contiguous until their turn.
+  for (size_t mode = m; mode-- > 0;) {
+    const std::vector<double> matrix = QueryMatrix(family, static_cast<int>(mode));
+    const int64_t c = family.CountForTable(static_cast<int>(mode));
+    std::vector<double> next;
+    std::vector<int64_t> next_shape;
+    ContractMode(values, shape, mode, matrix.data(), c, &next, &next_shape);
+    values = std::move(next);
+    shape = std::move(next_shape);
+  }
+  DPJOIN_CHECK_EQ(static_cast<int64_t>(values.size()), family.TotalCount());
+  return values;
+}
+
+double EvaluateOnInstance(const QueryFamily& family,
+                          const std::vector<int64_t>& parts,
+                          const Instance& instance) {
+  const size_t m = static_cast<size_t>(instance.num_relations());
+  DPJOIN_CHECK_EQ(parts.size(), m);
+  std::vector<const double*> qvals(m);
+  for (size_t i = 0; i < m; ++i) {
+    qvals[i] = family.table_queries(static_cast<int>(i))
+                   [static_cast<size_t>(parts[i])]
+                       .values.data();
+  }
+  double total = 0.0;
+  EnumerateSubJoin(instance, instance.query().all_relations(),
+                   [&](const std::vector<int64_t>& rel_codes,
+                       const std::vector<int64_t>&, int64_t weight) {
+                     double value = static_cast<double>(weight);
+                     for (size_t i = 0; i < m; ++i) {
+                       value *= qvals[i][rel_codes[i]];
+                     }
+                     total += value;
+                   });
+  return total;
+}
+
+std::vector<double> EvaluateAllOnInstance(const QueryFamily& family,
+                                          const Instance& instance) {
+  const size_t m = static_cast<size_t>(instance.num_relations());
+  std::vector<double> answers(static_cast<size_t>(family.TotalCount()), 0.0);
+  // Per-combination accumulation: for each joining combination, add
+  // weight·Π_i q_{i,j_i}(t_i) into every flat query slot. The recursion
+  // prunes subtrees whose partial product is exactly zero.
+  std::vector<const TableQuery*> table_queries(m);
+  EnumerateSubJoin(
+      instance, instance.query().all_relations(),
+      [&](const std::vector<int64_t>& rel_codes, const std::vector<int64_t>&,
+          int64_t weight) {
+        // values_at[i][j] = q_{i,j}(t_i)
+        auto recurse = [&](auto&& self, size_t rel, int64_t flat_base,
+                           double partial) -> void {
+          if (partial == 0.0) return;
+          if (rel == m) {
+            answers[static_cast<size_t>(flat_base)] += partial;
+            return;
+          }
+          const auto& queries = family.table_queries(static_cast<int>(rel));
+          const int64_t stride = family.index().stride(rel);
+          const int64_t code = rel_codes[rel];
+          for (size_t j = 0; j < queries.size(); ++j) {
+            self(self, rel + 1, flat_base + static_cast<int64_t>(j) * stride,
+                 partial * queries[j].values[static_cast<size_t>(code)]);
+          }
+        };
+        recurse(recurse, 0, 0, static_cast<double>(weight));
+      });
+  return answers;
+}
+
+double MaxAbsDifference(const std::vector<double>& answers_a,
+                        const std::vector<double>& answers_b) {
+  DPJOIN_CHECK_EQ(answers_a.size(), answers_b.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < answers_a.size(); ++i) {
+    worst = std::max(worst, std::abs(answers_a[i] - answers_b[i]));
+  }
+  return worst;
+}
+
+double WorkloadError(const QueryFamily& family, const Instance& instance,
+                     const DenseTensor& synthetic) {
+  return MaxAbsDifference(EvaluateAllOnInstance(family, instance),
+                          EvaluateAllOnTensor(family, synthetic));
+}
+
+}  // namespace dpjoin

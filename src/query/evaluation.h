@@ -1,0 +1,60 @@
+// Exact evaluation of linear-query families against instances and against
+// synthetic datasets (dense tensors over ×_i D_i).
+//
+// All-query evaluation uses mode-by-mode tensor contraction, which makes
+// PMW's per-round exponential-mechanism scoring tractable: the cost is
+// O(Σ_i |D_{≤i}|·|Q_{>i}| ) instead of O(|Q|·|D|).
+
+#ifndef DPJOIN_QUERY_EVALUATION_H_
+#define DPJOIN_QUERY_EVALUATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/dense_tensor.h"
+#include "query/query_family.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// The release domain D = ×_i D_i of an instance as a tensor shape (mode i
+/// has radix |D_i|). CHECK-fails when |D| exceeds `max_cells`
+/// (default 2^26 ≈ 67M — the dense-PMW tractability envelope; see DESIGN.md
+/// "Substitutions").
+MixedRadix ReleaseShape(const JoinQuery& query,
+                        int64_t max_cells = int64_t{1} << 26);
+
+/// Materializes JoinI as a dense tensor over D: Join(t⃗) = ρ(t⃗)·Π R_i(t_i).
+DenseTensor JoinTensor(const Instance& instance);
+
+/// q(F) for one product query (per-table indices `parts`).
+double EvaluateOnTensor(const QueryFamily& family,
+                        const std::vector<int64_t>& parts,
+                        const DenseTensor& tensor);
+
+/// q(F) for ALL queries in the family; result is indexed by family.index().
+std::vector<double> EvaluateAllOnTensor(const QueryFamily& family,
+                                        const DenseTensor& tensor);
+
+/// q(I) for one product query, by sparse join enumeration (no |D|-sized
+/// materialization; usable on instances whose release domain is huge).
+double EvaluateOnInstance(const QueryFamily& family,
+                          const std::vector<int64_t>& parts,
+                          const Instance& instance);
+
+/// q(I) for ALL queries in the family, by sparse join enumeration.
+std::vector<double> EvaluateAllOnInstance(const QueryFamily& family,
+                                          const Instance& instance);
+
+/// ℓ∞ workload error  α = max_q |answers_a[q] − answers_b[q]|.
+double MaxAbsDifference(const std::vector<double>& answers_a,
+                        const std::vector<double>& answers_b);
+
+/// Convenience: ℓ∞ error of a synthetic dataset F against instance I over
+/// the family.
+double WorkloadError(const QueryFamily& family, const Instance& instance,
+                     const DenseTensor& synthetic);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_QUERY_EVALUATION_H_

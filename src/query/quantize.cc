@@ -1,0 +1,51 @@
+#include "query/quantize.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+DenseTensor QuantizeRandomized(const DenseTensor& tensor, Rng& rng) {
+  DenseTensor out(tensor.shape());
+  for (int64_t flat = 0; flat < tensor.size(); ++flat) {
+    const double v = tensor.At(flat);
+    DPJOIN_CHECK_GE(v, 0.0);
+    const double floor = std::floor(v);
+    const double frac = v - floor;
+    double value = floor;
+    if (frac > 0.0 && rng.UniformDouble() < frac) value += 1.0;
+    out.Set(flat, value);
+  }
+  return out;
+}
+
+DenseTensor QuantizeErrorDiffusion(const DenseTensor& tensor) {
+  DenseTensor out(tensor.shape());
+  double carry = 0.0;
+  for (int64_t flat = 0; flat < tensor.size(); ++flat) {
+    const double v = tensor.At(flat);
+    DPJOIN_CHECK_GE(v, 0.0);
+    const double target = v + carry;
+    const double rounded = std::max(0.0, std::round(target));
+    carry = target - rounded;
+    out.Set(flat, rounded);
+  }
+  return out;
+}
+
+std::vector<std::pair<int64_t, int64_t>> EnumerateRecords(
+    const DenseTensor& integer_tensor) {
+  std::vector<std::pair<int64_t, int64_t>> records;
+  for (int64_t flat = 0; flat < integer_tensor.size(); ++flat) {
+    const double v = integer_tensor.At(flat);
+    DPJOIN_CHECK(v >= 0.0 && v == std::floor(v),
+                 "EnumerateRecords needs an integer tensor");
+    if (v > 0.0) {
+      records.emplace_back(flat, static_cast<int64_t>(v));
+    }
+  }
+  return records;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,39 @@
+// Integer quantization of synthetic datasets.
+//
+// The paper's release target is F : ×_i D_i → N (natural numbers) — an
+// actual synthetic dataset whose records can be enumerated. PMW produces
+// real-valued masses; randomized rounding converts them to integers without
+// biasing any linear query: each cell rounds to ⌊v⌋ or ⌈v⌉ with probability
+// proportional to the fraction, so E[q(F_int)] = q(F) for every linear
+// query, and |q(F_int) − q(F)| concentrates as O(√|support|) by Hoeffding.
+// Quantization is post-processing of a DP output — it consumes no budget.
+
+#ifndef DPJOIN_QUERY_QUANTIZE_H_
+#define DPJOIN_QUERY_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/dense_tensor.h"
+
+namespace dpjoin {
+
+/// Randomized rounding: cell v → ⌊v⌋ + Bernoulli(v − ⌊v⌋), independently.
+/// Unbiased for every linear query.
+DenseTensor QuantizeRandomized(const DenseTensor& tensor, Rng& rng);
+
+/// Deterministic residual-carrying rounding (row-major error diffusion):
+/// preserves the total mass within ±1 and keeps every prefix sum within ±1
+/// of the real-valued prefix — tighter than randomized rounding for
+/// prefix/range workloads, but biased for general queries.
+DenseTensor QuantizeErrorDiffusion(const DenseTensor& tensor);
+
+/// Enumerates the quantized dataset as (flat cell index, multiplicity)
+/// records — the releasable synthetic table.
+std::vector<std::pair<int64_t, int64_t>> EnumerateRecords(
+    const DenseTensor& integer_tensor);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_QUERY_QUANTIZE_H_

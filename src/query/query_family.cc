@@ -1,0 +1,52 @@
+#include "query/query_family.h"
+
+namespace dpjoin {
+
+Result<QueryFamily> QueryFamily::Create(
+    const JoinQuery& query, std::vector<std::vector<TableQuery>> per_table) {
+  if (static_cast<int>(per_table.size()) != query.num_relations()) {
+    return Status::InvalidArgument(
+        "need exactly one query list per relation");
+  }
+  for (int r = 0; r < query.num_relations(); ++r) {
+    if (per_table[static_cast<size_t>(r)].empty()) {
+      return Status::InvalidArgument("empty query list for relation " +
+                                     std::to_string(r));
+    }
+    const int64_t dom = query.relation_domain_size(r);
+    for (const TableQuery& tq : per_table[static_cast<size_t>(r)]) {
+      if (static_cast<int64_t>(tq.values.size()) != dom) {
+        return Status::InvalidArgument(
+            "query '" + tq.label + "' has wrong arity for relation " +
+            std::to_string(r));
+      }
+      for (double v : tq.values) {
+        if (v < -1.0 || v > 1.0) {
+          return Status::InvalidArgument("query '" + tq.label +
+                                         "' has a value outside [-1, 1]");
+        }
+      }
+    }
+  }
+  QueryFamily family;
+  std::vector<int64_t> counts;
+  counts.reserve(per_table.size());
+  for (const auto& qs : per_table) {
+    counts.push_back(static_cast<int64_t>(qs.size()));
+  }
+  family.per_table_ = std::move(per_table);
+  family.index_ = MixedRadix(std::move(counts));
+  return family;
+}
+
+std::string QueryFamily::LabelOf(int64_t flat) const {
+  const std::vector<int64_t> parts = index_.Decode(flat);
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += " × ";
+    out += per_table_[i][static_cast<size_t>(parts[i])].label;
+  }
+  return out;
+}
+
+}  // namespace dpjoin

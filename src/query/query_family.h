@@ -1,0 +1,70 @@
+// Linear queries over multi-table instances (paper §1.1).
+//
+// A per-table linear query is a function q_i : D_i → [-1, +1], stored as a
+// dense vector over the relation's tuple codes. The query family is the
+// product Q = ×_i Q_i; a member q = (q_1, ..., q_m) has
+//   q(I) = Σ_{t⃗} ρ(t⃗) Π_i q_i(t_i)·R_i(t_i)      (answer on the instance)
+//   q(F) = Σ_{t⃗} F(t⃗) Π_i q_i(t_i)               (answer on synthetic data)
+
+#ifndef DPJOIN_QUERY_QUERY_FAMILY_H_
+#define DPJOIN_QUERY_QUERY_FAMILY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mixed_radix.h"
+#include "common/result.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+
+/// One per-table linear query: values[code] ∈ [-1, 1] for every tuple code
+/// of the table's domain.
+struct TableQuery {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Product family Q = ×_i Q_i over a join query.
+class QueryFamily {
+ public:
+  /// Validates shapes (one non-empty query list per relation, each query a
+  /// vector over the relation's full domain with entries in [-1, 1]).
+  static Result<QueryFamily> Create(const JoinQuery& query,
+                                    std::vector<std::vector<TableQuery>> per_table);
+
+  int num_relations() const { return static_cast<int>(per_table_.size()); }
+
+  /// |Q_i|.
+  int64_t CountForTable(int rel) const {
+    return static_cast<int64_t>(per_table_[rel].size());
+  }
+
+  /// |Q| = Π_i |Q_i|.
+  int64_t TotalCount() const { return index_.size(); }
+
+  const std::vector<TableQuery>& table_queries(int rel) const {
+    return per_table_[rel];
+  }
+
+  /// Coder from per-table query indices (j_1, ..., j_m) to flat indices in
+  /// [0, |Q|); all-query evaluation results use this layout.
+  const MixedRadix& index() const { return index_; }
+
+  /// Per-table indices of the flat query `flat`.
+  std::vector<int64_t> Decompose(int64_t flat) const {
+    return index_.Decode(flat);
+  }
+
+  /// Human-readable name of a flat query ("rnd3 × ones").
+  std::string LabelOf(int64_t flat) const;
+
+ private:
+  std::vector<std::vector<TableQuery>> per_table_;
+  MixedRadix index_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_QUERY_QUERY_FAMILY_H_

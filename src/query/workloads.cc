@@ -1,0 +1,157 @@
+#include "query/workloads.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+TableQuery MakeAllOnesQuery(const JoinQuery& query, int rel) {
+  TableQuery tq;
+  tq.label = "ones";
+  tq.values.assign(static_cast<size_t>(query.relation_domain_size(rel)), 1.0);
+  return tq;
+}
+
+std::vector<TableQuery> MakeRandomSignQueries(const JoinQuery& query, int rel,
+                                              int64_t count, Rng& rng) {
+  std::vector<TableQuery> out;
+  out.push_back(MakeAllOnesQuery(query, rel));
+  const size_t dom = static_cast<size_t>(query.relation_domain_size(rel));
+  for (int64_t j = 0; j < count; ++j) {
+    TableQuery tq;
+    tq.label = "sgn" + std::to_string(j);
+    tq.values.resize(dom);
+    for (size_t d = 0; d < dom; ++d) {
+      tq.values[d] = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    }
+    out.push_back(std::move(tq));
+  }
+  return out;
+}
+
+std::vector<TableQuery> MakeRandomUniformQueries(const JoinQuery& query,
+                                                 int rel, int64_t count,
+                                                 Rng& rng) {
+  std::vector<TableQuery> out;
+  out.push_back(MakeAllOnesQuery(query, rel));
+  const size_t dom = static_cast<size_t>(query.relation_domain_size(rel));
+  for (int64_t j = 0; j < count; ++j) {
+    TableQuery tq;
+    tq.label = "unif" + std::to_string(j);
+    tq.values.resize(dom);
+    for (size_t d = 0; d < dom; ++d) {
+      tq.values[d] = rng.UniformDouble(-1.0, 1.0);
+    }
+    out.push_back(std::move(tq));
+  }
+  return out;
+}
+
+std::vector<TableQuery> MakePrefixQueries(const JoinQuery& query, int rel,
+                                          int64_t count) {
+  DPJOIN_CHECK_GT(count, 0);
+  std::vector<TableQuery> out;
+  out.push_back(MakeAllOnesQuery(query, rel));
+  const int64_t dom = query.relation_domain_size(rel);
+  for (int64_t j = 0; j < count; ++j) {
+    TableQuery tq;
+    tq.label = "pfx" + std::to_string(j);
+    // Thresholds (j+1)/count of the way through the code order, ≥ 1.
+    const int64_t threshold =
+        std::max<int64_t>(1, (j + 1) * dom / count);
+    tq.values.assign(static_cast<size_t>(dom), 0.0);
+    for (int64_t d = 0; d < threshold && d < dom; ++d) {
+      tq.values[static_cast<size_t>(d)] = 1.0;
+    }
+    out.push_back(std::move(tq));
+  }
+  return out;
+}
+
+std::vector<TableQuery> MakePointQueries(const JoinQuery& query, int rel,
+                                         int64_t count, Rng& rng) {
+  std::vector<TableQuery> out;
+  out.push_back(MakeAllOnesQuery(query, rel));
+  const size_t dom = static_cast<size_t>(query.relation_domain_size(rel));
+  for (int64_t j = 0; j < count; ++j) {
+    TableQuery tq;
+    tq.label = "pt" + std::to_string(j);
+    tq.values.assign(dom, 0.0);
+    tq.values[rng.UniformIndex(dom)] = 1.0;
+    out.push_back(std::move(tq));
+  }
+  return out;
+}
+
+std::vector<TableQuery> MakeMarginalQueries(const JoinQuery& query, int rel,
+                                            int attr) {
+  DPJOIN_CHECK(query.attributes_of(rel).Contains(attr),
+               "attribute not in relation");
+  std::vector<TableQuery> out;
+  out.push_back(MakeAllOnesQuery(query, rel));
+  const MixedRadix& coder = query.tuple_space(rel);
+  // Digit position of `attr` within the relation's ascending order.
+  int digit = -1;
+  const auto& order = query.attribute_order_of(rel);
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == attr) digit = static_cast<int>(i);
+  }
+  DPJOIN_CHECK_GE(digit, 0);
+  for (int64_t v = 0; v < query.domain_size(attr); ++v) {
+    TableQuery tq;
+    tq.label = query.attribute_name(attr) + "=" + std::to_string(v);
+    tq.values.assign(static_cast<size_t>(coder.size()), 0.0);
+    for (int64_t code = 0; code < coder.size(); ++code) {
+      if (coder.Digit(code, static_cast<size_t>(digit)) == v) {
+        tq.values[static_cast<size_t>(code)] = 1.0;
+      }
+    }
+    out.push_back(std::move(tq));
+  }
+  return out;
+}
+
+QueryFamily MakeWorkload(const JoinQuery& query, WorkloadKind kind,
+                         int64_t per_table, Rng& rng) {
+  std::vector<std::vector<TableQuery>> per_table_queries;
+  per_table_queries.reserve(static_cast<size_t>(query.num_relations()));
+  for (int r = 0; r < query.num_relations(); ++r) {
+    switch (kind) {
+      case WorkloadKind::kRandomSign:
+        per_table_queries.push_back(
+            MakeRandomSignQueries(query, r, per_table, rng));
+        break;
+      case WorkloadKind::kRandomUniform:
+        per_table_queries.push_back(
+            MakeRandomUniformQueries(query, r, per_table, rng));
+        break;
+      case WorkloadKind::kPrefix:
+        per_table_queries.push_back(MakePrefixQueries(query, r, per_table));
+        break;
+      case WorkloadKind::kPoint:
+        per_table_queries.push_back(
+            MakePointQueries(query, r, per_table, rng));
+        break;
+      case WorkloadKind::kMarginal:
+        per_table_queries.push_back(MakeMarginalQueries(
+            query, r, query.attribute_order_of(r).front()));
+        break;
+    }
+  }
+  auto family = QueryFamily::Create(query, std::move(per_table_queries));
+  DPJOIN_CHECK(family.ok(), family.status().ToString());
+  return std::move(family).value();
+}
+
+QueryFamily MakeCountingFamily(const JoinQuery& query) {
+  std::vector<std::vector<TableQuery>> per_table;
+  for (int r = 0; r < query.num_relations(); ++r) {
+    per_table.push_back({MakeAllOnesQuery(query, r)});
+  }
+  auto family = QueryFamily::Create(query, std::move(per_table));
+  DPJOIN_CHECK(family.ok(), family.status().ToString());
+  return std::move(family).value();
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,73 @@
+// Workload generators: per-table linear query families.
+//
+// Each generator returns the Q_i list for one relation; MakeProductFamily
+// assembles the full Q = ×_i Q_i. Queries take values in [-1, 1] as required
+// by the paper's definition. The first query of every generated list is the
+// all-ones query q ≡ +1, so the counting join-size query count(I) is always
+// a member of the family (paper §1.2 treats count as the special all-ones
+// linear query).
+
+#ifndef DPJOIN_QUERY_WORKLOADS_H_
+#define DPJOIN_QUERY_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/query_family.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+
+/// The all-ones query over relation `rel` (q ≡ +1).
+TableQuery MakeAllOnesQuery(const JoinQuery& query, int rel);
+
+/// `count` random ±1 queries (plus the leading all-ones query).
+std::vector<TableQuery> MakeRandomSignQueries(const JoinQuery& query, int rel,
+                                              int64_t count, Rng& rng);
+
+/// `count` random queries with i.i.d. uniform [-1, 1] values (plus all-ones).
+std::vector<TableQuery> MakeRandomUniformQueries(const JoinQuery& query,
+                                                 int rel, int64_t count,
+                                                 Rng& rng);
+
+/// `count` prefix (threshold) indicators over the relation's tuple-code
+/// order: query j is 1 on codes < threshold_j, 0 elsewhere, with thresholds
+/// evenly spaced (plus all-ones). These are the geometric/range queries the
+/// paper's intro cites as motivating workloads.
+std::vector<TableQuery> MakePrefixQueries(const JoinQuery& query, int rel,
+                                          int64_t count);
+
+/// `count` random point indicators (1 on one random tuple, 0 elsewhere),
+/// plus all-ones.
+std::vector<TableQuery> MakePointQueries(const JoinQuery& query, int rel,
+                                         int64_t count, Rng& rng);
+
+/// One-attribute marginal indicators: for attribute `attr` of relation
+/// `rel`, a query per domain value v with values 1[π_attr t = v] (plus the
+/// leading all-ones query). Together the marginals partition the relation's
+/// mass, so Σ_v q_v = ones — a classic workload for synthetic-data quality.
+std::vector<TableQuery> MakeMarginalQueries(const JoinQuery& query, int rel,
+                                            int attr);
+
+/// Assembles a product family with the same generator applied to every
+/// relation.
+enum class WorkloadKind {
+  kRandomSign,
+  kRandomUniform,
+  kPrefix,
+  kPoint,
+  kMarginal,  ///< per-relation marginals over its lowest-index attribute
+};
+
+/// Builds Q = ×_i Q_i with `per_table` queries per relation (plus the
+/// leading all-ones query each, so |Q_i| = per_table + 1).
+QueryFamily MakeWorkload(const JoinQuery& query, WorkloadKind kind,
+                         int64_t per_table, Rng& rng);
+
+/// The singleton family {count}: one all-ones query per relation.
+QueryFamily MakeCountingFamily(const JoinQuery& query);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_QUERY_WORKLOADS_H_

@@ -1,0 +1,116 @@
+#include "relational/generators.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+std::vector<int64_t> ZipfCounts(int64_t support, int64_t total, double s) {
+  DPJOIN_CHECK_GT(support, 0);
+  DPJOIN_CHECK_GE(total, 0);
+  std::vector<double> weights(static_cast<size_t>(support));
+  double z = 0.0;
+  for (int64_t v = 0; v < support; ++v) {
+    weights[static_cast<size_t>(v)] =
+        1.0 / std::pow(static_cast<double>(v + 1), s);
+    z += weights[static_cast<size_t>(v)];
+  }
+  std::vector<int64_t> counts(static_cast<size_t>(support));
+  int64_t assigned = 0;
+  for (int64_t v = 0; v < support; ++v) {
+    counts[static_cast<size_t>(v)] = static_cast<int64_t>(
+        std::floor(static_cast<double>(total) * weights[static_cast<size_t>(v)] / z));
+    assigned += counts[static_cast<size_t>(v)];
+  }
+  // Distribute the rounding remainder to the head (largest weights first).
+  int64_t v = 0;
+  while (assigned < total) {
+    ++counts[static_cast<size_t>(v % support)];
+    ++assigned;
+    ++v;
+  }
+  return counts;
+}
+
+Instance MakeUniformInstance(const JoinQuery& query,
+                             int64_t tuples_per_relation, Rng& rng) {
+  Instance instance = Instance::Make(query);
+  for (int r = 0; r < query.num_relations(); ++r) {
+    Relation& rel = instance.mutable_relation(r);
+    for (int64_t t = 0; t < tuples_per_relation; ++t) {
+      const int64_t code = static_cast<int64_t>(
+          rng.UniformIndex(static_cast<size_t>(rel.tuple_space().size())));
+      rel.AddFrequencyByCode(code, 1);
+    }
+  }
+  return instance;
+}
+
+Instance MakeZipfTwoTableInstance(const JoinQuery& query,
+                                  int64_t tuples_per_relation, double zipf_s,
+                                  Rng& rng) {
+  DPJOIN_CHECK_EQ(query.num_relations(), 2);
+  Instance instance = Instance::Make(query);
+  const int attr_b = query.attributes_of(0).Intersect(query.attributes_of(1))
+                         .First();
+  const int64_t dom_b = query.domain_size(attr_b);
+  const std::vector<int64_t> degrees =
+      ZipfCounts(dom_b, tuples_per_relation, zipf_s);
+  for (int side = 0; side < 2; ++side) {
+    Relation& rel = instance.mutable_relation(side);
+    const int b_digit = rel.DigitOf(attr_b);
+    const int other_attr = rel.attributes().Minus(AttributeSet::Of(attr_b))
+                               .First();
+    const int other_digit = rel.DigitOf(other_attr);
+    const int64_t dom_other = query.domain_size(other_attr);
+    std::vector<int64_t> tuple(2);
+    for (int64_t b = 0; b < dom_b; ++b) {
+      for (int64_t d = 0; d < degrees[static_cast<size_t>(b)]; ++d) {
+        tuple[static_cast<size_t>(b_digit)] = b;
+        tuple[static_cast<size_t>(other_digit)] = rng.UniformInt(0, dom_other - 1);
+        DPJOIN_CHECK(rel.AddFrequency(tuple, 1).ok());
+      }
+    }
+  }
+  return instance;
+}
+
+Instance MakeAllOnesInstance(const JoinQuery& query) {
+  Instance instance = Instance::Make(query);
+  for (int r = 0; r < query.num_relations(); ++r) {
+    Relation& rel = instance.mutable_relation(r);
+    for (int64_t code = 0; code < rel.tuple_space().size(); ++code) {
+      rel.SetFrequencyByCode(code, 1);
+    }
+  }
+  return instance;
+}
+
+Instance MakeZipfPathInstance(const JoinQuery& query,
+                              int64_t tuples_per_relation, double zipf_s,
+                              Rng& rng) {
+  Instance instance = Instance::Make(query);
+  for (int r = 0; r < query.num_relations(); ++r) {
+    Relation& rel = instance.mutable_relation(r);
+    DPJOIN_CHECK_EQ(rel.attribute_order().size(), 2u);
+    const int left = rel.attribute_order()[0];
+    const int right = rel.attribute_order()[1];
+    const int64_t dom_left = query.domain_size(left);
+    const int64_t dom_right = query.domain_size(right);
+    // Zipf degrees on the left endpoint; right endpoints uniform.
+    const std::vector<int64_t> degrees =
+        ZipfCounts(dom_left, tuples_per_relation, zipf_s);
+    std::vector<int64_t> tuple(2);
+    for (int64_t v = 0; v < dom_left; ++v) {
+      for (int64_t d = 0; d < degrees[static_cast<size_t>(v)]; ++d) {
+        tuple[0] = v;
+        tuple[1] = rng.UniformInt(0, dom_right - 1);
+        DPJOIN_CHECK(rel.AddFrequency(tuple, 1).ok());
+      }
+    }
+  }
+  return instance;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,47 @@
+// Synthetic instance generators for tests, examples, and benches.
+//
+// Paper-specific hard-instance constructions (Figures 1–3, the Theorem 3.5 /
+// 1.6 reductions) live in src/lowerbound; these are the generic workload
+// families.
+
+#ifndef DPJOIN_RELATIONAL_GENERATORS_H_
+#define DPJOIN_RELATIONAL_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// Adds `num_tuples` units of frequency at uniformly random domain tuples of
+/// every relation (with replacement, so frequencies > 1 occur).
+Instance MakeUniformInstance(const JoinQuery& query, int64_t tuples_per_relation,
+                             Rng& rng);
+
+/// Two-table instance (query must be R1(A,B) ⋈ R2(B,C)) whose join-value
+/// degrees follow a Zipf(s) law: join value b has degree ∝ 1/(b+1)^s in both
+/// relations, scaled so each relation holds ~`tuples_per_relation` tuples.
+/// Neighbor tuples (A / C partners) are chosen uniformly at random.
+Instance MakeZipfTwoTableInstance(const JoinQuery& query,
+                                  int64_t tuples_per_relation, double zipf_s,
+                                  Rng& rng);
+
+/// Instance where every relation R_i is the all-ones function over its
+/// domain (used by worst-case bound experiments; Appendix B.3 case (1)).
+Instance MakeAllOnesInstance(const JoinQuery& query);
+
+/// Path-join instance (query from MakePathQuery) where each shared attribute
+/// value's degree is Zipf-distributed, producing skewed multi-table joins.
+Instance MakeZipfPathInstance(const JoinQuery& query,
+                              int64_t tuples_per_relation, double zipf_s,
+                              Rng& rng);
+
+/// Samples Zipf weights w_v ∝ 1/(v+1)^s over [0, support), normalized to sum
+/// ~total (each weight ≥ 0, rounded; at least 1 for v = 0 when total > 0).
+std::vector<int64_t> ZipfCounts(int64_t support, int64_t total, double s);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_RELATIONAL_GENERATORS_H_

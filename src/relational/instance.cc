@@ -1,0 +1,62 @@
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+Instance::Instance(std::shared_ptr<const JoinQuery> query)
+    : query_(std::move(query)) {
+  DPJOIN_CHECK(query_ != nullptr, "Instance needs a query");
+  relations_.reserve(static_cast<size_t>(query_->num_relations()));
+  for (int r = 0; r < query_->num_relations(); ++r) {
+    relations_.emplace_back(*query_, r);
+  }
+}
+
+int64_t Instance::InputSize() const {
+  int64_t n = 0;
+  for (const auto& rel : relations_) n += rel.TotalFrequency();
+  return n;
+}
+
+Status Instance::AddTuple(int rel, const std::vector<int64_t>& tuple,
+                          int64_t delta) {
+  if (rel < 0 || rel >= num_relations()) {
+    return Status::OutOfRange("relation index out of range");
+  }
+  return relations_[static_cast<size_t>(rel)].AddFrequency(tuple, delta);
+}
+
+Result<Instance> Instance::Neighbor(int rel, const std::vector<int64_t>& tuple,
+                                    int64_t delta) const {
+  if (delta != 1 && delta != -1) {
+    return Status::InvalidArgument("neighbors differ by exactly one tuple");
+  }
+  Instance copy = *this;
+  DPJOIN_RETURN_NOT_OK(copy.AddTuple(rel, tuple, delta));
+  return copy;
+}
+
+Instance Instance::RandomNeighbor(Rng& rng) const {
+  Instance copy = *this;
+  const int rel = static_cast<int>(rng.UniformIndex(
+      static_cast<size_t>(num_relations())));
+  Relation& r = copy.mutable_relation(rel);
+  const bool remove = !r.entries().empty() && rng.Bernoulli(0.5);
+  if (remove) {
+    // Remove one unit from a random existing tuple.
+    size_t target = rng.UniformIndex(r.entries().size());
+    for (const auto& [code, f] : r.entries()) {
+      (void)f;
+      if (target-- == 0) {
+        r.AddFrequencyByCode(code, -1);
+        break;
+      }
+    }
+  } else {
+    const int64_t code = static_cast<int64_t>(
+        rng.UniformIndex(static_cast<size_t>(r.tuple_space().size())));
+    r.AddFrequencyByCode(code, +1);
+  }
+  return copy;
+}
+
+}  // namespace dpjoin

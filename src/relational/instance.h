@@ -1,0 +1,60 @@
+// Instance I = (R_1, ..., R_m) over a join query (paper §1.1), plus the
+// neighboring-instance relation of Definition 1.1.
+
+#ifndef DPJOIN_RELATIONAL_INSTANCE_H_
+#define DPJOIN_RELATIONAL_INSTANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "relational/join_query.h"
+#include "relational/relation.h"
+
+namespace dpjoin {
+
+/// A database instance: one Relation per hyperedge of the query. The query
+/// is shared (immutable) so instances are cheap to copy for neighbor
+/// experiments.
+class Instance {
+ public:
+  explicit Instance(std::shared_ptr<const JoinQuery> query);
+
+  /// Convenience: copies the query into a shared holder.
+  static Instance Make(const JoinQuery& query) {
+    return Instance(std::make_shared<JoinQuery>(query));
+  }
+
+  const JoinQuery& query() const { return *query_; }
+  std::shared_ptr<const JoinQuery> query_ptr() const { return query_; }
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  const Relation& relation(int i) const { return relations_[i]; }
+  Relation& mutable_relation(int i) { return relations_[i]; }
+
+  /// Input size n = Σ_i Σ_t R_i(t).
+  int64_t InputSize() const;
+
+  /// Adds `delta` (±) to R_rel(tuple); Status on arity/domain errors.
+  Status AddTuple(int rel, const std::vector<int64_t>& tuple, int64_t delta);
+
+  /// Returns a copy of this instance with R_rel(tuple) changed by ±1 — a
+  /// neighboring instance per Definition 1.1.
+  Result<Instance> Neighbor(int rel, const std::vector<int64_t>& tuple,
+                            int64_t delta) const;
+
+  /// Returns a uniformly random neighbor: picks a relation, then either
+  /// removes one unit of frequency from a random existing tuple or adds one
+  /// unit to a random domain tuple.
+  Instance RandomNeighbor(Rng& rng) const;
+
+ private:
+  std::shared_ptr<const JoinQuery> query_;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_RELATIONAL_INSTANCE_H_

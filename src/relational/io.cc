@@ -1,0 +1,84 @@
+#include "relational/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dpjoin {
+
+namespace {
+constexpr char kMagic[] = "# dpjoin-instance v1";
+}  // namespace
+
+Status WriteInstanceCsv(const Instance& instance, std::ostream& os) {
+  os << kMagic << "\n";
+  for (int r = 0; r < instance.num_relations(); ++r) {
+    const Relation& rel = instance.relation(r);
+    const MixedRadix& coder = rel.tuple_space();
+    std::vector<int64_t> digits(coder.num_digits());
+    for (const auto& [code, freq] : rel.entries()) {
+      coder.DecodeInto(code, &digits);
+      os << r;
+      for (int64_t d : digits) os << "," << d;
+      os << "," << freq << "\n";
+    }
+  }
+  if (!os.good()) return Status::Internal("CSV stream write failed");
+  return Status::OK();
+}
+
+Result<Instance> ReadInstanceCsv(std::shared_ptr<const JoinQuery> query,
+                                 std::istream& is) {
+  if (query == nullptr) {
+    return Status::InvalidArgument("need a query to read an instance");
+  }
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    return Status::InvalidArgument(
+        "missing dpjoin-instance header; not an instance CSV");
+  }
+  Instance instance(query);
+  int64_t row_number = 1;
+  while (std::getline(is, line)) {
+    ++row_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string cell;
+    std::vector<int64_t> fields;
+    while (std::getline(row, cell, ',')) {
+      try {
+        size_t consumed = 0;
+        fields.push_back(std::stoll(cell, &consumed));
+        if (consumed != cell.size()) {
+          return Status::InvalidArgument(
+              "row " + std::to_string(row_number) + ": bad number '" + cell +
+              "'");
+        }
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("row " + std::to_string(row_number) +
+                                       ": bad number '" + cell + "'");
+      }
+    }
+    if (fields.size() < 3) {
+      return Status::InvalidArgument("row " + std::to_string(row_number) +
+                                     ": too few fields");
+    }
+    const int rel = static_cast<int>(fields.front());
+    if (rel < 0 || rel >= query->num_relations()) {
+      return Status::OutOfRange("row " + std::to_string(row_number) +
+                                ": relation index out of range");
+    }
+    const int64_t freq = fields.back();
+    const std::vector<int64_t> tuple(fields.begin() + 1, fields.end() - 1);
+    const Status added = instance.AddTuple(rel, tuple, freq);
+    if (!added.ok()) {
+      return Status(added.code(), "row " + std::to_string(row_number) + ": " +
+                                      added.message());
+    }
+  }
+  return instance;
+}
+
+}  // namespace dpjoin

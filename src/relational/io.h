@@ -1,0 +1,28 @@
+// CSV import/export for instances.
+//
+// Format: one file per instance; rows are `relation_index,v_1,...,v_k,freq`
+// where values follow the relation's ascending attribute order. A leading
+// header row `# dpjoin-instance v1` guards against loading foreign files.
+
+#ifndef DPJOIN_RELATIONAL_IO_H_
+#define DPJOIN_RELATIONAL_IO_H_
+
+#include <iosfwd>
+
+#include "common/result.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// Writes the instance's non-zero tuples as CSV rows.
+Status WriteInstanceCsv(const Instance& instance, std::ostream& os);
+
+/// Reads an instance for `query` from CSV produced by WriteInstanceCsv.
+/// Validates the magic header, per-row arity, domain ranges, and frequency
+/// non-negativity; duplicate rows accumulate.
+Result<Instance> ReadInstanceCsv(std::shared_ptr<const JoinQuery> query,
+                                 std::istream& is);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_RELATIONAL_IO_H_

@@ -1,0 +1,177 @@
+#include "relational/join.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/mixed_radix.h"
+
+namespace dpjoin {
+
+namespace {
+
+// Per-depth state for the backtracking join.
+struct LevelIndex {
+  const Relation* relation = nullptr;
+  AttributeSet bound;               // attrs of this relation already assigned
+  std::vector<int> new_attrs;       // attrs this level binds (ascending)
+  // projected-code on `bound` → tuples (code, freq) matching it.
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>> index;
+};
+
+// Encodes the current assignment restricted to `rel`'s attributes ∩ bound,
+// using the same digit order/radices as Relation::ProjectCode.
+int64_t KeyFromAssignment(const Relation& rel, AttributeSet bound,
+                          const std::vector<int64_t>& assignment) {
+  int64_t key = 0;
+  const auto& order = rel.attribute_order();
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (bound.Contains(order[i])) {
+      key = key * rel.tuple_space().radix(i) + assignment[order[i]];
+    }
+  }
+  return key;
+}
+
+void Recurse(const std::vector<LevelIndex>& levels, size_t depth,
+             std::vector<int64_t>& rel_codes, std::vector<int64_t>& assignment,
+             int64_t weight, const JoinVisitor& visit) {
+  if (depth == levels.size()) {
+    visit(rel_codes, assignment, weight);
+    return;
+  }
+  const LevelIndex& level = levels[depth];
+  const Relation& rel = *level.relation;
+  const int64_t key = KeyFromAssignment(rel, level.bound, assignment);
+  auto it = level.index.find(key);
+  if (it == level.index.end()) return;
+  for (const auto& [code, freq] : it->second) {
+    rel_codes[depth] = code;
+    for (int attr : level.new_attrs) {
+      const int digit = rel.DigitOf(attr);
+      assignment[attr] = rel.tuple_space().Digit(code, static_cast<size_t>(digit));
+    }
+    Recurse(levels, depth + 1, rel_codes, assignment, weight * freq, visit);
+    for (int attr : level.new_attrs) assignment[attr] = -1;
+  }
+}
+
+}  // namespace
+
+void EnumerateSubJoin(const Instance& instance, RelationSet rels,
+                      const JoinVisitor& visit) {
+  const JoinQuery& query = instance.query();
+  std::vector<int64_t> assignment(static_cast<size_t>(query.num_attributes()),
+                                  -1);
+  const std::vector<int> members = rels.Elements();
+  if (members.empty()) {
+    std::vector<int64_t> no_codes;
+    visit(no_codes, assignment, 1);
+    return;
+  }
+
+  // Order relations to maximize shared attributes with the prefix (greedy
+  // connectivity), which keeps intermediate branching small.
+  std::vector<int> order;
+  {
+    std::vector<int> remaining = members;
+    AttributeSet covered;
+    while (!remaining.empty()) {
+      size_t best = 0;
+      int best_overlap = -1;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        const int overlap =
+            query.attributes_of(remaining[i]).Intersect(covered).Count();
+        if (overlap > best_overlap) {
+          best_overlap = overlap;
+          best = i;
+        }
+      }
+      order.push_back(remaining[best]);
+      covered = covered.Union(query.attributes_of(remaining[best]));
+      remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
+    }
+  }
+
+  std::vector<LevelIndex> levels(order.size());
+  AttributeSet bound_so_far;
+  for (size_t d = 0; d < order.size(); ++d) {
+    const Relation& rel = instance.relation(order[d]);
+    LevelIndex& level = levels[d];
+    level.relation = &rel;
+    level.bound = rel.attributes().Intersect(bound_so_far);
+    for (int attr : rel.attributes().Minus(level.bound).Elements()) {
+      level.new_attrs.push_back(attr);
+    }
+    for (const auto& [code, freq] : rel.entries()) {
+      level.index[rel.ProjectCode(code, level.bound)].emplace_back(code, freq);
+    }
+    bound_so_far = bound_so_far.Union(rel.attributes());
+  }
+
+  // Visitor contract: rel_codes in ascending relation-index order, so remap
+  // from the greedy evaluation order.
+  std::vector<size_t> slot_of(order.size());
+  for (size_t d = 0; d < order.size(); ++d) {
+    const auto pos = std::find(members.begin(), members.end(), order[d]);
+    slot_of[d] = static_cast<size_t>(pos - members.begin());
+  }
+  std::vector<int64_t> codes_by_depth(order.size());
+  std::vector<int64_t> codes_by_member(order.size());
+  JoinVisitor remap = [&](const std::vector<int64_t>& by_depth,
+                          const std::vector<int64_t>& assign, int64_t weight) {
+    for (size_t d = 0; d < by_depth.size(); ++d) {
+      codes_by_member[slot_of[d]] = by_depth[d];
+    }
+    visit(codes_by_member, assign, weight);
+  };
+  Recurse(levels, 0, codes_by_depth, assignment, 1, remap);
+}
+
+double SubJoinCount(const Instance& instance, RelationSet rels) {
+  double total = 0.0;
+  EnumerateSubJoin(instance, rels,
+                   [&](const std::vector<int64_t>&, const std::vector<int64_t>&,
+                       int64_t weight) { total += static_cast<double>(weight); });
+  return total;
+}
+
+double JoinCount(const Instance& instance) {
+  return SubJoinCount(instance, instance.query().all_relations());
+}
+
+std::unordered_map<int64_t, double> GroupedJoinSizes(const Instance& instance,
+                                                     RelationSet rels,
+                                                     AttributeSet group_by) {
+  const JoinQuery& query = instance.query();
+  DPJOIN_CHECK(group_by.IsSubsetOf(query.UnionAttributes(rels)),
+               "group-by attributes outside the sub-join");
+  const std::vector<int> group_attrs = group_by.Elements();
+  std::unordered_map<int64_t, double> groups;
+  EnumerateSubJoin(
+      instance, rels,
+      [&](const std::vector<int64_t>&, const std::vector<int64_t>& assignment,
+          int64_t weight) {
+        int64_t key = 0;
+        for (int attr : group_attrs) {
+          key = key * query.domain_size(attr) + assignment[attr];
+        }
+        groups[key] += static_cast<double>(weight);
+      });
+  return groups;
+}
+
+double QAggregate(const Instance& instance, RelationSet rels, AttributeSet y) {
+  if (rels.Empty()) return 1.0;  // empty product over the empty tuple
+  double best = 0.0;
+  for (const auto& [key, size] : GroupedJoinSizes(instance, rels, y)) {
+    (void)key;
+    best = std::max(best, size);
+  }
+  return best;
+}
+
+double BoundaryQuery(const Instance& instance, RelationSet rels) {
+  return QAggregate(instance, rels, instance.query().Boundary(rels));
+}
+
+}  // namespace dpjoin

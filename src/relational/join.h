@@ -1,0 +1,65 @@
+// Multi-way natural join evaluation over annotated relations.
+//
+// Everything here is exact, exhaustive evaluation (the paper studies data
+// complexity with constant-size queries): a backtracking join with hash
+// indexes built per call. Provides
+//   * count(I)                       (paper §1.1),
+//   * enumeration of joining combinations with multiplicities,
+//   * grouped join sizes and the maximum boundary query T_E(I) (Eq. 1),
+//   * the generalized q-aggregate T_{E,y}(I) (Definition 4.6).
+
+#ifndef DPJOIN_RELATIONAL_JOIN_H_
+#define DPJOIN_RELATIONAL_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// Visitor for join enumeration. `rel_codes[j]` is the tuple code of the
+/// j-th relation of the enumerated set (in ascending relation-index order);
+/// `assignment[attr]` is the attribute value (-1 for attributes outside the
+/// enumerated relations); `weight` = Π_i R_i(t_i) > 0.
+using JoinVisitor = std::function<void(const std::vector<int64_t>& rel_codes,
+                                       const std::vector<int64_t>& assignment,
+                                       int64_t weight)>;
+
+/// Enumerates the natural join of the relations in `rels` (all relations
+/// when `rels` is the full set). Calls `visit` once per joining combination.
+/// For an empty `rels`, visits once with weight 1 (empty join).
+void EnumerateSubJoin(const Instance& instance, RelationSet rels,
+                      const JoinVisitor& visit);
+
+/// count(I) restricted to the relations in `rels`; count of the full join
+/// when `rels` is everything. Accumulated in double to avoid overflow on
+/// adversarial instances (exact for values below 2^53).
+double SubJoinCount(const Instance& instance, RelationSet rels);
+
+/// count(I) = Σ_{t⃗} JoinI(t⃗)   (paper §1.1).
+double JoinCount(const Instance& instance);
+
+/// Join sizes of ⋈_{i∈rels} R_i grouped by the attribute set `group_by`
+/// (which must be ⊆ ∪_{i∈rels} x_i). Keys are mixed-radix codes of the
+/// group-by values, in ascending-attribute order with the attributes'
+/// domain sizes as radices.
+std::unordered_map<int64_t, double> GroupedJoinSizes(const Instance& instance,
+                                                     RelationSet rels,
+                                                     AttributeSet group_by);
+
+/// T_{E,y}(I) = max_t Σ_{t' : π_y t' = t} Π_{i∈E} R_i(π_{x_i} t')
+/// (Definition 4.6; equals Eq. 1's T_E when y = ∂E). Returns 1 when E = ∅
+/// (empty product over the single empty tuple) and 0 when the sub-join is
+/// empty but E isn't.
+double QAggregate(const Instance& instance, RelationSet rels, AttributeSet y);
+
+/// Maximum boundary query T_E(I) (Eq. 1): QAggregate with y = ∂E.
+double BoundaryQuery(const Instance& instance, RelationSet rels);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_RELATIONAL_JOIN_H_

@@ -1,0 +1,333 @@
+#include "relational/join_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dpjoin {
+
+Result<JoinQuery> JoinQuery::Create(
+    std::vector<AttributeSpec> attributes,
+    std::vector<std::vector<std::string>> edges) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("join query needs at least one attribute");
+  }
+  if (edges.empty()) {
+    return Status::InvalidArgument("join query needs at least one relation");
+  }
+  if (attributes.size() > AttributeSet::kCapacity) {
+    return Status::InvalidArgument("too many attributes (max 64)");
+  }
+  if (edges.size() > RelationSet::kCapacity) {
+    return Status::InvalidArgument("too many relations (max 64)");
+  }
+
+  std::unordered_map<std::string, int> index_of;
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (attributes[i].domain_size <= 0) {
+      return Status::InvalidArgument("attribute '" + attributes[i].name +
+                                     "' needs a positive domain size");
+    }
+    if (!index_of.emplace(attributes[i].name, static_cast<int>(i)).second) {
+      return Status::InvalidArgument("duplicate attribute name '" +
+                                     attributes[i].name + "'");
+    }
+  }
+
+  JoinQuery q;
+  q.attributes_ = std::move(attributes);
+
+  std::unordered_set<uint64_t> seen_edges;
+  for (const auto& edge : edges) {
+    if (edge.empty()) {
+      return Status::InvalidArgument("relation with empty attribute list");
+    }
+    AttributeSet attrs;
+    for (const auto& name : edge) {
+      auto it = index_of.find(name);
+      if (it == index_of.end()) {
+        return Status::InvalidArgument("relation references unknown attribute '" +
+                                       name + "'");
+      }
+      if (attrs.Contains(it->second)) {
+        return Status::InvalidArgument("relation lists attribute '" + name +
+                                       "' twice");
+      }
+      attrs.Insert(it->second);
+    }
+    if (!seen_edges.insert(attrs.bits()).second) {
+      return Status::InvalidArgument(
+          "duplicate hyperedge " + attrs.ToString() +
+          " (identical relation schemas are not supported)");
+    }
+    q.edges_.push_back(attrs);
+  }
+
+  // Every attribute must appear in some relation.
+  AttributeSet used;
+  for (AttributeSet e : q.edges_) used = used.Union(e);
+  if (used != AttributeSet::FirstN(q.num_attributes())) {
+    return Status::InvalidArgument("some attribute is used by no relation");
+  }
+
+  for (AttributeSet e : q.edges_) {
+    std::vector<int> order = e.Elements();
+    std::vector<int64_t> radices;
+    radices.reserve(order.size());
+    for (int a : order) radices.push_back(q.attributes_[a].domain_size);
+    q.edge_orders_.push_back(std::move(order));
+    q.tuple_spaces_.emplace_back(std::move(radices));
+  }
+
+  q.atoms_.resize(q.attributes_.size());
+  for (int a = 0; a < q.num_attributes(); ++a) {
+    RelationSet atom;
+    for (int r = 0; r < q.num_relations(); ++r) {
+      if (q.edges_[r].Contains(a)) atom.Insert(r);
+    }
+    q.atoms_[a] = atom;
+  }
+  return q;
+}
+
+Result<int> JoinQuery::AttributeIndex(const std::string& name) const {
+  for (int a = 0; a < num_attributes(); ++a) {
+    if (attributes_[a].name == name) return a;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+double JoinQuery::ReleaseDomainSize() const {
+  double size = 1.0;
+  for (int r = 0; r < num_relations(); ++r) {
+    size *= static_cast<double>(relation_domain_size(r));
+  }
+  return size;
+}
+
+AttributeSet JoinQuery::UnionAttributes(RelationSet rels) const {
+  AttributeSet out;
+  for (int r : rels.Elements()) out = out.Union(edges_[r]);
+  return out;
+}
+
+AttributeSet JoinQuery::IntersectAttributes(RelationSet rels) const {
+  if (rels.Empty()) return all_attributes();
+  AttributeSet out = all_attributes();
+  for (int r : rels.Elements()) out = out.Intersect(edges_[r]);
+  return out;
+}
+
+AttributeSet JoinQuery::Boundary(RelationSet rels) const {
+  const AttributeSet inside = UnionAttributes(rels);
+  const AttributeSet outside = UnionAttributes(all_relations().Minus(rels));
+  return inside.Intersect(outside);
+}
+
+std::vector<RelationSet> JoinQuery::ConnectedComponents(
+    RelationSet rels, AttributeSet removed) const {
+  std::vector<int> members = rels.Elements();
+  std::vector<RelationSet> components;
+  RelationSet visited;
+  for (int seed : members) {
+    if (visited.Contains(seed)) continue;
+    // BFS from seed over the "shares a surviving attribute" adjacency.
+    RelationSet component = RelationSet::Of(seed);
+    std::vector<int> frontier = {seed};
+    visited.Insert(seed);
+    while (!frontier.empty()) {
+      const int cur = frontier.back();
+      frontier.pop_back();
+      const AttributeSet cur_attrs = edges_[cur].Minus(removed);
+      for (int other : members) {
+        if (visited.Contains(other)) continue;
+        if (cur_attrs.Intersects(edges_[other].Minus(removed))) {
+          visited.Insert(other);
+          component.Insert(other);
+          frontier.push_back(other);
+        }
+      }
+    }
+    components.push_back(component);
+  }
+  return components;
+}
+
+bool JoinQuery::IsConnected(RelationSet rels, AttributeSet removed) const {
+  if (rels.Count() <= 1) return true;
+  return ConnectedComponents(rels, removed).size() == 1;
+}
+
+bool JoinQuery::IsHierarchical() const {
+  for (int x = 0; x < num_attributes(); ++x) {
+    for (int y = x + 1; y < num_attributes(); ++y) {
+      const RelationSet ax = atoms_[x];
+      const RelationSet ay = atoms_[y];
+      if (ax.IsSubsetOf(ay) || ay.IsSubsetOf(ax) || !ax.Intersects(ay)) {
+        continue;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Solves the k×k system M·w = rhs by Gaussian elimination with partial
+// pivoting. Returns false when (numerically) singular.
+bool SolveLinearSystem(std::vector<std::vector<double>> m,
+                       std::vector<double> rhs, std::vector<double>* out) {
+  const size_t k = rhs.size();
+  for (size_t col = 0; col < k; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < k; ++row) {
+      if (std::abs(m[row][col]) > std::abs(m[pivot][col])) pivot = row;
+    }
+    if (std::abs(m[pivot][col]) < 1e-12) return false;
+    std::swap(m[col], m[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    for (size_t row = 0; row < k; ++row) {
+      if (row == col) continue;
+      const double f = m[row][col] / m[col][col];
+      if (f == 0.0) continue;
+      for (size_t c2 = col; c2 < k; ++c2) m[row][c2] -= f * m[col][c2];
+      rhs[row] -= f * rhs[col];
+    }
+  }
+  out->resize(k);
+  for (size_t i = 0; i < k; ++i) (*out)[i] = rhs[i] / m[i][i];
+  return true;
+}
+
+}  // namespace
+
+double JoinQuery::FractionalEdgeCoverNumber() const {
+  // LP: minimize Σ W_i  s.t.  Σ_{i : x ∈ x_i} W_i ≥ 1 ∀x,  0 ≤ W_i ≤ 1.
+  // The optimum is attained at a vertex of the feasible polytope; with m
+  // variables, a vertex is the solution of m linearly independent tight
+  // constraints drawn from {cover rows, W_i = 0, W_i = 1}. Queries are
+  // constant-size, so enumerating all m-subsets of constraints is cheap.
+  const int m = num_relations();
+  const int na = num_attributes();
+  // Constraint rows: [0, na) cover rows (≥ 1); [na, na+m) lower bounds
+  // (W_i ≥ 0); [na+m, na+2m) upper bounds (W_i ≤ 1, i.e. -W_i ≥ -1).
+  const int total = na + 2 * m;
+  auto row_of = [&](int c, std::vector<double>* row, double* rhs) {
+    row->assign(m, 0.0);
+    if (c < na) {
+      for (int r = 0; r < m; ++r) {
+        if (edges_[r].Contains(c)) (*row)[r] = 1.0;
+      }
+      *rhs = 1.0;
+    } else if (c < na + m) {
+      (*row)[c - na] = 1.0;
+      *rhs = 0.0;
+    } else {
+      (*row)[c - na - m] = 1.0;
+      *rhs = 1.0;
+    }
+  };
+  auto feasible = [&](const std::vector<double>& w) {
+    for (int r = 0; r < m; ++r) {
+      if (w[r] < -1e-9 || w[r] > 1.0 + 1e-9) return false;
+    }
+    for (int a = 0; a < na; ++a) {
+      double cover = 0.0;
+      for (int r = 0; r < m; ++r) {
+        if (edges_[r].Contains(a)) cover += w[r];
+      }
+      if (cover < 1.0 - 1e-9) return false;
+    }
+    return true;
+  };
+
+  double best = static_cast<double>(m);  // W ≡ 1 is always feasible.
+  std::vector<int> combo(m);
+  // Enumerate m-subsets of constraint indices via a simple odometer.
+  std::vector<int> idx(m);
+  for (int i = 0; i < m; ++i) idx[i] = i;
+  while (true) {
+    std::vector<std::vector<double>> mat(m);
+    std::vector<double> rhs(m);
+    for (int i = 0; i < m; ++i) {
+      double r = 0.0;
+      row_of(idx[i], &mat[i], &r);
+      rhs[i] = r;
+    }
+    std::vector<double> w;
+    if (SolveLinearSystem(mat, rhs, &w) && feasible(w)) {
+      double obj = 0.0;
+      for (double v : w) obj += v;
+      best = std::min(best, obj);
+    }
+    // Next combination.
+    int pos = m - 1;
+    while (pos >= 0 && idx[pos] == total - m + pos) --pos;
+    if (pos < 0) break;
+    ++idx[pos];
+    for (int i = pos + 1; i < m; ++i) idx[i] = idx[i - 1] + 1;
+  }
+  return best;
+}
+
+std::string JoinQuery::ToString() const {
+  std::ostringstream oss;
+  oss << "H(";
+  for (int r = 0; r < num_relations(); ++r) {
+    if (r > 0) oss << " ⋈ ";
+    oss << "R" << (r + 1) << "(";
+    const auto& order = edge_orders_[r];
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (i > 0) oss << ",";
+      oss << attributes_[order[i]].name;
+    }
+    oss << ")";
+  }
+  oss << ")";
+  return oss.str();
+}
+
+JoinQuery MakeTwoTableQuery(int64_t dom_a, int64_t dom_b, int64_t dom_c) {
+  auto q = JoinQuery::Create(
+      {{"A", dom_a}, {"B", dom_b}, {"C", dom_c}},
+      {{"A", "B"}, {"B", "C"}});
+  DPJOIN_CHECK(q.ok(), q.status().ToString());
+  return std::move(q).value();
+}
+
+JoinQuery MakePathQuery(int num_relations, int64_t domain_size) {
+  DPJOIN_CHECK_GE(num_relations, 1);
+  std::vector<AttributeSpec> attrs;
+  std::vector<std::vector<std::string>> edges;
+  for (int i = 0; i <= num_relations; ++i) {
+    attrs.push_back({"X" + std::to_string(i), domain_size});
+  }
+  for (int i = 0; i < num_relations; ++i) {
+    edges.push_back({"X" + std::to_string(i), "X" + std::to_string(i + 1)});
+  }
+  auto q = JoinQuery::Create(std::move(attrs), std::move(edges));
+  DPJOIN_CHECK(q.ok(), q.status().ToString());
+  return std::move(q).value();
+}
+
+JoinQuery MakeStarQuery(int num_relations, int64_t domain_size) {
+  DPJOIN_CHECK_GE(num_relations, 1);
+  std::vector<AttributeSpec> attrs = {{"H", domain_size}};
+  std::vector<std::vector<std::string>> edges;
+  for (int i = 0; i < num_relations; ++i) {
+    attrs.push_back({"S" + std::to_string(i), domain_size});
+    edges.push_back({"H", "S" + std::to_string(i)});
+  }
+  auto q = JoinQuery::Create(std::move(attrs), std::move(edges));
+  DPJOIN_CHECK(q.ok(), q.status().ToString());
+  return std::move(q).value();
+}
+
+}  // namespace dpjoin

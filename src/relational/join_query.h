@@ -1,0 +1,133 @@
+// Join query hypergraph H = (x, {x_1, ..., x_m})  (paper §1.1).
+//
+// Attributes are indexed 0..num_attributes-1 and carry a name and a finite
+// domain size |dom(x)|. Relations (hyperedges) are attribute sets. The class
+// provides the structural operations the paper's machinery needs:
+// boundaries ∂E (§3.3), residual-query connectivity (§4.2.1 footnote 5),
+// atom(x) (§4.2), and the hierarchical-query test.
+
+#ifndef DPJOIN_RELATIONAL_JOIN_QUERY_H_
+#define DPJOIN_RELATIONAL_JOIN_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/mixed_radix.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dpjoin {
+
+/// Declaration of one attribute: a name and its finite domain size.
+struct AttributeSpec {
+  std::string name;
+  int64_t domain_size = 0;
+};
+
+/// Immutable join-query hypergraph with per-attribute finite domains.
+class JoinQuery {
+ public:
+  /// Validates and builds a query. Requirements: non-empty attribute and
+  /// relation lists, unique attribute names, positive domain sizes, every
+  /// attribute used by some relation, no empty or duplicate hyperedges,
+  /// and at most 64 attributes / 64 relations.
+  static Result<JoinQuery> Create(std::vector<AttributeSpec> attributes,
+                                  std::vector<std::vector<std::string>> edges);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  int num_relations() const { return static_cast<int>(edges_.size()); }
+
+  const std::string& attribute_name(int attr) const {
+    return attributes_[attr].name;
+  }
+  int64_t domain_size(int attr) const { return attributes_[attr].domain_size; }
+
+  /// Index of the attribute with the given name, or NotFound.
+  Result<int> AttributeIndex(const std::string& name) const;
+
+  /// x_i, the attribute set of relation i.
+  AttributeSet attributes_of(int rel) const { return edges_[rel]; }
+
+  /// Attributes of relation i in ascending index order (tuple digit order).
+  const std::vector<int>& attribute_order_of(int rel) const {
+    return edge_orders_[rel];
+  }
+
+  /// Tuple coder for relation i's domain D_i = Π_{x ∈ x_i} dom(x).
+  const MixedRadix& tuple_space(int rel) const { return tuple_spaces_[rel]; }
+
+  /// |D_i| = Π_{x ∈ x_i} |dom(x)|.
+  int64_t relation_domain_size(int rel) const {
+    return tuple_spaces_[rel].size();
+  }
+
+  /// |D| = Π_i |D_i|, the size of the release domain (frequencies over the
+  /// product of per-relation tuple domains).
+  double ReleaseDomainSize() const;
+
+  AttributeSet all_attributes() const {
+    return AttributeSet::FirstN(num_attributes());
+  }
+  RelationSet all_relations() const {
+    return RelationSet::FirstN(num_relations());
+  }
+
+  /// atom(x): the set of relations whose hyperedge contains attribute x.
+  RelationSet Atom(int attr) const { return atoms_[attr]; }
+
+  /// ∪_{i∈E} x_i.
+  AttributeSet UnionAttributes(RelationSet rels) const;
+
+  /// ∩_{i∈E} x_i (all attributes when E is empty).
+  AttributeSet IntersectAttributes(RelationSet rels) const;
+
+  /// Boundary ∂E: attributes shared between a relation in E and one outside.
+  AttributeSet Boundary(RelationSet rels) const;
+
+  /// Connected components of the residual query H_{E,removed} =
+  /// (∪_E x_i − removed, {x_i − removed : i ∈ E}): two relations are
+  /// adjacent when they share a surviving attribute. Relations whose edge is
+  /// fully removed become singleton components.
+  std::vector<RelationSet> ConnectedComponents(RelationSet rels,
+                                               AttributeSet removed) const;
+
+  /// Whether H_{E,removed} is connected (true for |E| <= 1).
+  bool IsConnected(RelationSet rels, AttributeSet removed) const;
+
+  /// Whether the query is hierarchical: for every attribute pair (x, y),
+  /// atom(x) ⊆ atom(y), atom(y) ⊆ atom(x), or atom(x) ∩ atom(y) = ∅ (§4.2).
+  bool IsHierarchical() const;
+
+  /// Fractional edge covering number ρ(H) via brute-force LP on the vertex
+  /// set (used for the AGM worst-case bounds of Appendix B.3). Exact for the
+  /// small queries this library targets.
+  double FractionalEdgeCoverNumber() const;
+
+  std::string ToString() const;
+
+ private:
+  JoinQuery() = default;
+
+  std::vector<AttributeSpec> attributes_;
+  std::vector<AttributeSet> edges_;
+  std::vector<std::vector<int>> edge_orders_;
+  std::vector<MixedRadix> tuple_spaces_;
+  std::vector<RelationSet> atoms_;
+};
+
+/// Convenience: the two-table query R1(A,B) ⋈ R2(B,C) used throughout §3.1
+/// and §4.1, with the given per-attribute domain sizes.
+JoinQuery MakeTwoTableQuery(int64_t dom_a, int64_t dom_b, int64_t dom_c);
+
+/// Convenience: a path join R1(X0,X1) ⋈ R2(X1,X2) ⋈ ... ⋈ Rm(X_{m-1},X_m).
+JoinQuery MakePathQuery(int num_relations, int64_t domain_size);
+
+/// Convenience: a star join R1(H,S1) ⋈ R2(H,S2) ⋈ ... ⋈ Rm(H,Sm) — a
+/// hierarchical query whose attribute tree has the hub H as root.
+JoinQuery MakeStarQuery(int num_relations, int64_t domain_size);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_RELATIONAL_JOIN_QUERY_H_

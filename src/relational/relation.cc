@@ -1,0 +1,119 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+namespace dpjoin {
+
+Relation::Relation(const JoinQuery& query, int rel_index)
+    : rel_index_(rel_index),
+      attributes_(query.attributes_of(rel_index)),
+      attribute_order_(query.attribute_order_of(rel_index)),
+      coder_(query.tuple_space(rel_index)) {}
+
+Status Relation::SetFrequency(const std::vector<int64_t>& tuple,
+                              int64_t freq) {
+  if (freq < 0) {
+    return Status::InvalidArgument("frequency must be non-negative");
+  }
+  if (tuple.size() != attribute_order_.size()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i] < 0 || tuple[i] >= coder_.radix(i)) {
+      return Status::OutOfRange("tuple value outside attribute domain");
+    }
+  }
+  SetFrequencyByCode(coder_.Encode(tuple), freq);
+  return Status::OK();
+}
+
+Status Relation::AddFrequency(const std::vector<int64_t>& tuple,
+                              int64_t delta) {
+  if (tuple.size() != attribute_order_.size()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i] < 0 || tuple[i] >= coder_.radix(i)) {
+      return Status::OutOfRange("tuple value outside attribute domain");
+    }
+  }
+  const int64_t code = coder_.Encode(tuple);
+  const int64_t next = Frequency(code) + delta;
+  if (next < 0) {
+    return Status::InvalidArgument("frequency would become negative");
+  }
+  SetFrequencyByCode(code, next);
+  return Status::OK();
+}
+
+void Relation::SetFrequencyByCode(int64_t code, int64_t freq) {
+  DPJOIN_CHECK(code >= 0 && code < coder_.size(), "tuple code out of range");
+  DPJOIN_CHECK_GE(freq, 0);
+  auto it = freq_.find(code);
+  const int64_t old = (it == freq_.end()) ? 0 : it->second;
+  total_ += freq - old;
+  if (freq == 0) {
+    if (it != freq_.end()) freq_.erase(it);
+  } else if (it == freq_.end()) {
+    freq_.emplace(code, freq);
+  } else {
+    it->second = freq;
+  }
+}
+
+void Relation::AddFrequencyByCode(int64_t code, int64_t delta) {
+  SetFrequencyByCode(code, Frequency(code) + delta);
+}
+
+int Relation::DigitOf(int attr) const {
+  for (size_t i = 0; i < attribute_order_.size(); ++i) {
+    if (attribute_order_[i] == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+MixedRadix Relation::SubsetCoder(AttributeSet subset) const {
+  DPJOIN_CHECK(subset.IsSubsetOf(attributes_),
+               "subset not within relation attributes");
+  std::vector<int64_t> radices;
+  for (size_t i = 0; i < attribute_order_.size(); ++i) {
+    if (subset.Contains(attribute_order_[i])) {
+      radices.push_back(coder_.radix(i));
+    }
+  }
+  return MixedRadix(std::move(radices));
+}
+
+int64_t Relation::ProjectCode(int64_t code, AttributeSet subset) const {
+  DPJOIN_CHECK(subset.IsSubsetOf(attributes_),
+               "subset not within relation attributes");
+  // Both the relation order and the subset order are ascending by attribute
+  // index, so digits can be re-encoded in a single pass.
+  int64_t projected = 0;
+  for (size_t i = 0; i < attribute_order_.size(); ++i) {
+    if (subset.Contains(attribute_order_[i])) {
+      projected = projected * coder_.radix(i) + coder_.Digit(code, i);
+    }
+  }
+  return projected;
+}
+
+std::unordered_map<int64_t, int64_t> Relation::DegreeMap(
+    AttributeSet y) const {
+  std::unordered_map<int64_t, int64_t> degrees;
+  for (const auto& [code, f] : freq_) {
+    degrees[ProjectCode(code, y)] += f;
+  }
+  return degrees;
+}
+
+int64_t Relation::MaxDegree(AttributeSet y) const {
+  int64_t best = 0;
+  for (const auto& [key, deg] : DegreeMap(y)) {
+    (void)key;
+    best = std::max(best, deg);
+  }
+  return best;
+}
+
+}  // namespace dpjoin

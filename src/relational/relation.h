@@ -1,0 +1,97 @@
+// Annotated relation R_i : D_i → Z≥0  (paper §1.1).
+//
+// A relation maps each tuple of its domain to a non-negative frequency
+// (annotated-relation semantics; a multiset when frequencies are counts).
+// Tuples are stored sparsely, keyed by their mixed-radix code within the
+// relation's tuple space.
+
+#ifndef DPJOIN_RELATIONAL_RELATION_H_
+#define DPJOIN_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/mixed_radix.h"
+#include "common/status.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+
+/// One table of an instance. Owns its (sparse) frequency function and knows
+/// its position in the join query (attribute order + tuple coder).
+class Relation {
+ public:
+  /// Builds an empty relation for position `rel_index` of `query`.
+  Relation(const JoinQuery& query, int rel_index);
+
+  int rel_index() const { return rel_index_; }
+  AttributeSet attributes() const { return attributes_; }
+  const std::vector<int>& attribute_order() const { return attribute_order_; }
+  const MixedRadix& tuple_space() const { return coder_; }
+
+  /// Number of distinct tuples with non-zero frequency.
+  size_t NumDistinctTuples() const { return freq_.size(); }
+
+  /// Σ_t R(t), the relation's contribution to the input size n.
+  int64_t TotalFrequency() const { return total_; }
+
+  /// Frequency of the tuple with the given code (0 when absent).
+  int64_t Frequency(int64_t code) const {
+    auto it = freq_.find(code);
+    return it == freq_.end() ? 0 : it->second;
+  }
+
+  /// Frequency of a tuple given as digits in attribute order.
+  int64_t FrequencyOf(const std::vector<int64_t>& tuple) const {
+    return Frequency(coder_.Encode(tuple));
+  }
+
+  /// Sets R(t) = freq (freq ≥ 0; 0 removes the entry).
+  Status SetFrequency(const std::vector<int64_t>& tuple, int64_t freq);
+
+  /// Adds `delta` to R(t); the result must stay non-negative.
+  Status AddFrequency(const std::vector<int64_t>& tuple, int64_t delta);
+
+  /// Internal code-addressed mutators (range-checked by the coder; negative
+  /// results are programmer errors).
+  void SetFrequencyByCode(int64_t code, int64_t freq);
+  void AddFrequencyByCode(int64_t code, int64_t delta);
+
+  /// Sparse contents: tuple code → frequency (> 0).
+  const std::unordered_map<int64_t, int64_t>& entries() const { return freq_; }
+
+  /// Position (digit slot) of attribute `attr` within this relation's tuple
+  /// order, or -1 when the relation does not contain it.
+  int DigitOf(int attr) const;
+
+  /// Projects a tuple code onto the attribute subset `subset` (must be a
+  /// subset of this relation's attributes), producing a code within
+  /// `SubsetCoder(subset)`.
+  int64_t ProjectCode(int64_t code, AttributeSet subset) const;
+
+  /// Mixed-radix coder for a subset of this relation's attributes (ascending
+  /// attribute order).
+  MixedRadix SubsetCoder(AttributeSet subset) const;
+
+  /// Degree map over attribute subset y ⊆ x_i:
+  /// deg(t_y) = Σ_{t : π_y t = t_y} R(t)   (paper §3.1 / Def. 4.7 case |E|=1).
+  /// Keys are codes within SubsetCoder(y).
+  std::unordered_map<int64_t, int64_t> DegreeMap(AttributeSet y) const;
+
+  /// Maximum degree over y (0 for an empty relation).
+  int64_t MaxDegree(AttributeSet y) const;
+
+ private:
+  int rel_index_;
+  AttributeSet attributes_;
+  std::vector<int> attribute_order_;
+  MixedRadix coder_;
+  std::unordered_map<int64_t, int64_t> freq_;
+  int64_t total_ = 0;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_RELATIONAL_RELATION_H_

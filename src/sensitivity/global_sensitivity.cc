@@ -1,0 +1,25 @@
+#include "sensitivity/global_sensitivity.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+double GlobalSensitivityCountUpperBound(const JoinQuery& query, int64_t n) {
+  DPJOIN_CHECK_GE(n, 0);
+  return std::pow(static_cast<double>(n),
+                  static_cast<double>(query.num_relations() - 1));
+}
+
+double LocalSensitivityGlobalSensitivityTwoTable(const JoinQuery& query) {
+  DPJOIN_CHECK_EQ(query.num_relations(), 2);
+  return 1.0;
+}
+
+double LogResidualSensitivityGlobalSensitivity(double beta) {
+  DPJOIN_CHECK_GT(beta, 0.0);
+  return beta;
+}
+
+}  // namespace dpjoin

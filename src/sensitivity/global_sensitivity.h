@@ -1,0 +1,30 @@
+// Global-sensitivity facts used by the algorithms and benches.
+
+#ifndef DPJOIN_SENSITIVITY_GLOBAL_SENSITIVITY_H_
+#define DPJOIN_SENSITIVITY_GLOBAL_SENSITIVITY_H_
+
+#include <cstdint>
+
+#include "relational/join_query.h"
+
+namespace dpjoin {
+
+/// Worst-case GS_count over instances of input size ≤ n: one new tuple can
+/// complete up to n^{m−1} join combinations (Appendix B.3 case (2) shape).
+double GlobalSensitivityCountUpperBound(const JoinQuery& query, int64_t n);
+
+/// Global sensitivity of I ↦ LS_count(I). For two-table joins this is 1
+/// (Lemma 3.2's premise: LS = max degree, and one tuple moves any degree by
+/// at most 1); Algorithm 1 relies on it. For m ≥ 3 it is NOT O(1) (paper
+/// §3.3, first paragraph), which is exactly why Algorithm 3 switches to
+/// residual sensitivity; callers must not use this for m ≥ 3 and we
+/// CHECK-fail there.
+double LocalSensitivityGlobalSensitivityTwoTable(const JoinQuery& query);
+
+/// Global sensitivity of I ↦ ln(RS^β_count(I)): at most β (paper §3.3,
+/// proof of Lemma 3.7). Returned for self-documentation at call sites.
+double LogResidualSensitivityGlobalSensitivity(double beta);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_SENSITIVITY_GLOBAL_SENSITIVITY_H_

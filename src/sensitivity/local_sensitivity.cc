@@ -1,0 +1,35 @@
+#include "sensitivity/local_sensitivity.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "relational/join.h"
+
+namespace dpjoin {
+
+double LocalSensitivityForRelation(const Instance& instance, int rel) {
+  const RelationSet rest =
+      instance.query().all_relations().Minus(RelationSet::Of(rel));
+  return BoundaryQuery(instance, rest);
+}
+
+double LocalSensitivity(const Instance& instance) {
+  double worst = 0.0;
+  for (int r = 0; r < instance.num_relations(); ++r) {
+    worst = std::max(worst, LocalSensitivityForRelation(instance, r));
+  }
+  return worst;
+}
+
+double TwoTableDelta(const Instance& instance) {
+  const JoinQuery& query = instance.query();
+  DPJOIN_CHECK_EQ(query.num_relations(), 2);
+  const AttributeSet shared =
+      query.attributes_of(0).Intersect(query.attributes_of(1));
+  DPJOIN_CHECK(!shared.Empty(), "two-table query must share an attribute");
+  const int64_t d1 = instance.relation(0).MaxDegree(shared);
+  const int64_t d2 = instance.relation(1).MaxDegree(shared);
+  return static_cast<double>(std::max(d1, d2));
+}
+
+}  // namespace dpjoin

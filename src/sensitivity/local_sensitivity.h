@@ -1,0 +1,33 @@
+// Local sensitivity of the counting join-size query (paper §1.2).
+//
+//   LS_count(I) = max_{I' neighbor of I} |count(I) − count(I')|.
+//
+// For natural joins this equals max_i T_{[m]∖{i}}(I): the largest number of
+// join combinations a single new tuple of some relation can complete (Eq. 1
+// with E = [m]∖{i}; removal can never beat insertion of the same tuple).
+
+#ifndef DPJOIN_SENSITIVITY_LOCAL_SENSITIVITY_H_
+#define DPJOIN_SENSITIVITY_LOCAL_SENSITIVITY_H_
+
+#include <cstdint>
+
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// LS_count(I), exact.
+double LocalSensitivity(const Instance& instance);
+
+/// LS restricted to insertions/deletions in relation `rel`
+/// (= T_{[m]∖{rel}}(I)); LocalSensitivity is the max over relations.
+double LocalSensitivityForRelation(const Instance& instance, int rel);
+
+/// Two-table special case (paper §3.1): Δ = max_b max{deg_1(b), deg_2(b)}
+/// over the shared attribute. Equals LocalSensitivity on two-table queries;
+/// kept separate because Algorithm 1 and the §4.1 partition are defined in
+/// terms of these degrees.
+double TwoTableDelta(const Instance& instance);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_SENSITIVITY_LOCAL_SENSITIVITY_H_

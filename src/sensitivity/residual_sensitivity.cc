@@ -1,0 +1,189 @@
+#include "sensitivity/residual_sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "relational/join.h"
+
+namespace dpjoin {
+
+std::unordered_map<uint64_t, double> AllBoundaryQueries(
+    const Instance& instance) {
+  const JoinQuery& query = instance.query();
+  const int m = query.num_relations();
+  std::unordered_map<uint64_t, double> boundary;
+  for (uint64_t bits = 0; bits < (uint64_t{1} << m); ++bits) {
+    RelationSet set;
+    for (int r = 0; r < m; ++r) {
+      if ((bits >> r) & 1) set.Insert(r);
+    }
+    if (set.Empty()) {
+      boundary[bits] = 1.0;  // empty product over the empty tuple
+    } else {
+      boundary[bits] = BoundaryQuery(instance, set);
+    }
+  }
+  return boundary;
+}
+
+namespace {
+
+// Coefficients of the inner polynomial for a fixed removed relation i:
+// g_i(s) = Σ_{E ⊆ rest} T(rest∖E) · Π_{j∈E} s_j.
+struct InnerPolynomial {
+  std::vector<int> coords;            // rest = [m]∖{i}, ascending
+  std::vector<double> coefficients;   // indexed by subset-of-rest bitmask
+};
+
+InnerPolynomial BuildInnerPolynomial(
+    const JoinQuery& query, int removed,
+    const std::unordered_map<uint64_t, double>& boundary) {
+  InnerPolynomial poly;
+  for (int r = 0; r < query.num_relations(); ++r) {
+    if (r != removed) poly.coords.push_back(r);
+  }
+  const size_t p = poly.coords.size();
+  poly.coefficients.resize(size_t{1} << p);
+  uint64_t rest_bits = 0;
+  for (int r : poly.coords) rest_bits |= (uint64_t{1} << r);
+  for (uint64_t e = 0; e < (uint64_t{1} << p); ++e) {
+    // Map the local subset mask e (over `coords`) to global relation bits.
+    uint64_t e_bits = 0;
+    for (size_t j = 0; j < p; ++j) {
+      if ((e >> j) & 1) e_bits |= (uint64_t{1} << poly.coords[j]);
+    }
+    poly.coefficients[e] = boundary.at(rest_bits & ~e_bits);
+  }
+  return poly;
+}
+
+// Maximizes g(s) over non-negative integer s with Σ s_j = k, by exhaustive
+// composition enumeration with incremental subset products. Queries are
+// constant-size (p = m−1 ≤ 5 in practice), and the k range is bounded by
+// the smoothness cutoff, so this is affordable; see header notes.
+double MaximizeOverCompositions(const InnerPolynomial& poly, int64_t k) {
+  const size_t p = poly.coords.size();
+  if (p == 0) return poly.coefficients[0];
+  double best = 0.0;
+  // products[e] = Π_{j∈e, j already assigned} s_j for subsets e of the
+  // assigned prefix; maintained functionally through the recursion.
+  std::vector<int64_t> s(p, 0);
+  auto recurse = [&](auto&& self, size_t coord, int64_t remaining) -> void {
+    if (coord + 1 == p) {
+      s[coord] = remaining;
+      double total = 0.0;
+      for (uint64_t e = 0; e < (uint64_t{1} << p); ++e) {
+        double term = poly.coefficients[e];
+        if (term == 0.0) continue;
+        for (size_t j = 0; j < p && term != 0.0; ++j) {
+          if ((e >> j) & 1) term *= static_cast<double>(s[j]);
+        }
+        total += term;
+      }
+      best = std::max(best, total);
+      return;
+    }
+    for (int64_t v = 0; v <= remaining; ++v) {
+      s[coord] = v;
+      self(self, coord + 1, remaining - v);
+    }
+  };
+  recurse(recurse, 0, k);
+  return best;
+}
+
+}  // namespace
+
+double LsHatK(const JoinQuery& query,
+              const std::unordered_map<uint64_t, double>& boundary,
+              int64_t k) {
+  DPJOIN_CHECK_GE(k, 0);
+  double best = 0.0;
+  for (int i = 0; i < query.num_relations(); ++i) {
+    const InnerPolynomial poly = BuildInnerPolynomial(query, i, boundary);
+    best = std::max(best, MaximizeOverCompositions(poly, k));
+  }
+  return best;
+}
+
+ResidualSensitivityResult ResidualSensitivity(const Instance& instance,
+                                              double beta) {
+  return ResidualSensitivityFromBoundaries(instance.query(),
+                                           AllBoundaryQueries(instance), beta);
+}
+
+ResidualSensitivityResult ResidualSensitivityFromBoundaries(
+    const JoinQuery& query,
+    const std::unordered_map<uint64_t, double>& boundary, double beta) {
+  DPJOIN_CHECK_GT(beta, 0.0);
+  const int m = query.num_relations();
+
+  // RS^β = max_k e^{−βk}·LŜ^k = max over ALL s ∈ Z^m≥0 of
+  //   e^{−β·Σ_j s_j} · max_i Σ_{E⊆[m]∖{i}} T_{[m]∖{i}∖E}·Π_{j∈E} s_j
+  // (k is determined by s, so the per-k maximization fuses into one search).
+  // Along any single coordinate the objective is (A + B·s_j)·e^{−β·s_j}
+  // with A, B ≥ 0, which peaks at s_j ≤ 1/β — so the exact integer
+  // maximizer lies in the box [0, ⌈1/β⌉]^{m−1} and the search is
+  // O((1/β)^{m−1}·2^m) rather than a per-k composition enumeration.
+  const int64_t box = static_cast<int64_t>(std::ceil(1.0 / beta)) + 1;
+
+  ResidualSensitivityResult result;
+  result.ls_hat_0 = LsHatK(query, boundary, 0);
+  for (int i = 0; i < m; ++i) {
+    const InnerPolynomial poly = BuildInnerPolynomial(query, i, boundary);
+    const size_t p = poly.coords.size();
+    std::vector<int64_t> s(p, 0);
+    auto recurse = [&](auto&& self, size_t coord) -> void {
+      if (coord == p) {
+        double g = 0.0;
+        int64_t k = 0;
+        for (size_t j = 0; j < p; ++j) k += s[j];
+        for (uint64_t e = 0; e < (uint64_t{1} << p); ++e) {
+          double term = poly.coefficients[e];
+          if (term == 0.0) continue;
+          for (size_t j = 0; j < p && term != 0.0; ++j) {
+            if ((e >> j) & 1) term *= static_cast<double>(s[j]);
+          }
+          g += term;
+        }
+        const double value = std::exp(-beta * static_cast<double>(k)) * g;
+        if (value > result.value) {
+          result.value = value;
+          result.argmax_k = k;
+        }
+        ++result.k_searched;
+        return;
+      }
+      for (int64_t v = 0; v <= box; ++v) {
+        s[coord] = v;
+        self(self, coord + 1);
+      }
+    };
+    recurse(recurse, 0);
+  }
+  return result;
+}
+
+double ResidualSensitivityValue(const Instance& instance, double beta) {
+  return ResidualSensitivity(instance, beta).value;
+}
+
+double TwoTableResidualSensitivityClosedForm(double delta, double beta) {
+  DPJOIN_CHECK_GT(beta, 0.0);
+  DPJOIN_CHECK_GE(delta, 0.0);
+  // Maximize e^{−βk}(Δ + k) over integers k ≥ 0; the continuous maximizer
+  // is k* = 1/β − Δ.
+  const double k_star = 1.0 / beta - delta;
+  double best = 0.0;
+  for (int64_t k :
+       {int64_t{0}, static_cast<int64_t>(std::floor(k_star)),
+        static_cast<int64_t>(std::ceil(k_star))}) {
+    if (k < 0) continue;
+    best = std::max(best, std::exp(-beta * static_cast<double>(k)) *
+                              (delta + static_cast<double>(k)));
+  }
+  return best;
+}
+
+}  // namespace dpjoin

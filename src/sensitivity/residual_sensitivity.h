@@ -1,0 +1,68 @@
+// Residual sensitivity RS^β_count (Definition 3.6; Dong & Yi, SIGMOD'21).
+//
+//   RS^β_count(I) = max_{k≥0} e^{−βk} · LŜ^k_count(I),
+//   LŜ^k_count(I) = max_{s∈S_k} max_i Σ_{E ⊆ [m]∖{i}}
+//                       T_{[m]∖{i}∖E}(I) · Π_{j∈E} s_j,
+//
+// where S_k are the non-negative integer vectors summing to k and T_F is the
+// maximum boundary query (Eq. 1). RS is a β-smooth upper bound on LS_count,
+// computable in polynomial time, and is what Algorithm 3 perturbs
+// (multiplicatively, since ln RS^β has global sensitivity ≤ β).
+
+#ifndef DPJOIN_SENSITIVITY_RESIDUAL_SENSITIVITY_H_
+#define DPJOIN_SENSITIVITY_RESIDUAL_SENSITIVITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// All maximum boundary queries of an instance: T_F(I) for every F ⊊ [m]
+/// (and F = [m] included for completeness), keyed by the relation-set bits.
+/// T_∅ = 1 by convention (empty product over the empty tuple).
+std::unordered_map<uint64_t, double> AllBoundaryQueries(
+    const Instance& instance);
+
+/// Result of a residual-sensitivity computation, with the diagnostics the
+/// benches report.
+struct ResidualSensitivityResult {
+  double value = 0.0;     // RS^β_count(I)
+  int64_t argmax_k = 0;   // the k = Σ_j s_j attaining the max
+  int64_t k_searched = 0; // lattice points examined by the exact search
+  double ls_hat_0 = 0.0;  // LŜ^0 = LS_count(I)
+};
+
+/// LŜ^k_count(I) given precomputed boundary queries.
+double LsHatK(const JoinQuery& query,
+              const std::unordered_map<uint64_t, double>& boundary, int64_t k);
+
+/// RS^β_count(I), exact. Fuses the max over k with the max over s ∈ S_k:
+/// along each coordinate the objective (A + B·s_j)e^{−β·s_j} peaks at
+/// s_j ≤ 1/β, so the exact integer maximizer lies in the box
+/// [0, ⌈1/β⌉]^{m−1} and the search costs O((1/β)^{m−1}·2^m) per removed
+/// relation — polynomial, as Dong–Yi promise for residual sensitivity.
+ResidualSensitivityResult ResidualSensitivity(const Instance& instance,
+                                              double beta);
+
+/// Same computation from a precomputed (or upper-bounded) boundary map
+/// T_F for every F ⊆ [m]. Feeding UPPER bounds on each T_F yields an upper
+/// bound on RS^β — this is how the §4.2 degree-configuration sensitivities
+/// RS^σ are evaluated (boundary values replaced by Π λ·2^{σ(·)} products).
+ResidualSensitivityResult ResidualSensitivityFromBoundaries(
+    const JoinQuery& query, const std::unordered_map<uint64_t, double>& boundary,
+    double beta);
+
+/// Convenience returning just the value.
+double ResidualSensitivityValue(const Instance& instance, double beta);
+
+/// Closed form for two-table joins: RS^β = max_k e^{−βk}(Δ + k) with
+/// Δ = LS_count(I). Used as a test oracle against the general computation.
+double TwoTableResidualSensitivityClosedForm(double delta, double beta);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_SENSITIVITY_RESIDUAL_SENSITIVITY_H_

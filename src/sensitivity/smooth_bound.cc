@@ -1,0 +1,111 @@
+#include "sensitivity/smooth_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "sensitivity/local_sensitivity.h"
+
+namespace dpjoin {
+
+SmoothnessAuditResult AuditSmoothUpperBound(
+    const Instance& start, const SensitivityFn& bound,
+    const SensitivityFn& local_sensitivity, double beta, int num_chains,
+    int chain_length, Rng& rng) {
+  SmoothnessAuditResult result;
+  const double budget = std::exp(beta) * (1.0 + 1e-9);  // numeric slack
+  for (int c = 0; c < num_chains; ++c) {
+    Instance current = start;
+    double current_bound = bound(current);
+    for (int step = 0; step < chain_length; ++step) {
+      if (current_bound + 1e-9 < local_sensitivity(current)) {
+        result.upper_bound_held = false;
+        if (result.failure.empty()) {
+          std::ostringstream oss;
+          oss << "bound " << current_bound << " < LS "
+              << local_sensitivity(current) << " at chain " << c << " step "
+              << step;
+          result.failure = oss.str();
+        }
+      }
+      Instance next = current.RandomNeighbor(rng);
+      const double next_bound = bound(next);
+      ++result.pairs_checked;
+      if (current_bound > 0.0 && next_bound > 0.0) {
+        const double ratio =
+            std::max(next_bound / current_bound, current_bound / next_bound);
+        result.worst_ratio = std::max(result.worst_ratio, ratio);
+        if (ratio > budget) {
+          result.smoothness_held = false;
+          if (result.failure.empty()) {
+            std::ostringstream oss;
+            oss << "smoothness ratio " << ratio << " > e^beta " << budget
+                << " at chain " << c << " step " << step;
+            result.failure = oss.str();
+          }
+        }
+      }
+      current = std::move(next);
+      current_bound = next_bound;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::string InstanceKey(const Instance& instance) {
+  std::vector<std::tuple<int, int64_t, int64_t>> entries;
+  for (int r = 0; r < instance.num_relations(); ++r) {
+    for (const auto& [code, f] : instance.relation(r).entries()) {
+      entries.emplace_back(r, code, f);
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  std::ostringstream oss;
+  for (const auto& [r, code, f] : entries) {
+    oss << r << ":" << code << "=" << f << ";";
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+double BruteForceSmoothSensitivity(const Instance& instance, double beta,
+                                   int max_depth) {
+  DPJOIN_CHECK_GE(max_depth, 0);
+  // BFS over the neighbor graph, layer by layer.
+  std::vector<Instance> frontier = {instance};
+  std::unordered_set<std::string> visited = {InstanceKey(instance)};
+  double best = LocalSensitivity(instance);  // k = 0 term
+  for (int depth = 1; depth <= max_depth; ++depth) {
+    std::vector<Instance> next_frontier;
+    double layer_max_ls = 0.0;
+    for (const Instance& cur : frontier) {
+      for (int r = 0; r < cur.num_relations(); ++r) {
+        const int64_t dom = cur.relation(r).tuple_space().size();
+        for (int64_t code = 0; code < dom; ++code) {
+          for (int64_t delta : {int64_t{1}, int64_t{-1}}) {
+            if (delta < 0 && cur.relation(r).Frequency(code) == 0) continue;
+            Instance neighbor = cur;
+            neighbor.mutable_relation(r).AddFrequencyByCode(code, delta);
+            std::string key = InstanceKey(neighbor);
+            if (!visited.insert(std::move(key)).second) continue;
+            layer_max_ls = std::max(layer_max_ls, LocalSensitivity(neighbor));
+            next_frontier.push_back(std::move(neighbor));
+          }
+        }
+      }
+    }
+    best = std::max(best,
+                    std::exp(-beta * static_cast<double>(depth)) * layer_max_ls);
+    frontier = std::move(next_frontier);
+    if (frontier.empty()) break;
+  }
+  return best;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,52 @@
+// β-smooth upper bounds on local sensitivity (Nissim–Raskhodnikova–Smith).
+//
+// S^β is a β-smooth upper bound on LS_count when
+//   (1) S^β(I) ≥ LS_count(I) for every I, and
+//   (2) S^β(I') ≤ e^β · S^β(I) for every pair of neighbors (I, I').
+// Residual sensitivity satisfies both (paper §3.3). This header provides the
+// interface plus verification utilities used by property tests and the
+// sensitivity-explorer example.
+
+#ifndef DPJOIN_SENSITIVITY_SMOOTH_BOUND_H_
+#define DPJOIN_SENSITIVITY_SMOOTH_BOUND_H_
+
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// A sensitivity functional I ↦ value.
+using SensitivityFn = std::function<double(const Instance&)>;
+
+/// Outcome of a randomized smoothness audit.
+struct SmoothnessAuditResult {
+  bool upper_bound_held = true;   // condition (1) on every sampled instance
+  bool smoothness_held = true;    // condition (2) on every sampled neighbor
+  double worst_ratio = 0.0;       // max over pairs of S(I')/S(I)
+  int64_t pairs_checked = 0;
+  std::string failure;            // description of first violation, if any
+};
+
+/// Samples `num_chains` random neighbor chains of length `chain_length`
+/// starting from `start`, and checks conditions (1) and (2) of a β-smooth
+/// upper bound for `bound` against `local_sensitivity` on every step.
+SmoothnessAuditResult AuditSmoothUpperBound(const Instance& start,
+                                            const SensitivityFn& bound,
+                                            const SensitivityFn& local_sensitivity,
+                                            double beta, int num_chains,
+                                            int chain_length, Rng& rng);
+
+/// Brute-force smooth sensitivity on tiny instances:
+///   SS^β_K(I) = max_{0≤k≤K} e^{−βk} · max_{I': d(I,I')≤k} LS_count(I'),
+/// exploring the neighbor graph breadth-first to depth K. Exponential in K —
+/// a test oracle only (the paper notes exact smooth sensitivity takes
+/// n^{O(log n)} time, which is why the algorithms use RS instead).
+double BruteForceSmoothSensitivity(const Instance& instance, double beta,
+                                   int max_depth);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_SENSITIVITY_SMOOTH_BOUND_H_

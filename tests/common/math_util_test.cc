@@ -1,0 +1,59 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dpjoin {
+namespace {
+
+TEST(MathUtilTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1.0), 0);
+  EXPECT_EQ(Log2Ceil(2.0), 1);
+  EXPECT_EQ(Log2Ceil(3.0), 2);
+  EXPECT_EQ(Log2Ceil(1024.0), 10);
+  EXPECT_EQ(Log2Ceil(0.5), -1);
+}
+
+TEST(MathUtilTest, IPow) {
+  EXPECT_EQ(IPow(2, 10), 1024);
+  EXPECT_EQ(IPow(7, 0), 1);
+  EXPECT_EQ(IPow(0, 5), 0);
+  EXPECT_EQ(IPow(1, 62), 1);
+}
+
+TEST(MathUtilTest, LogSumExpMatchesDirectComputation) {
+  const std::vector<double> xs = {0.1, -2.0, 3.5};
+  double direct = 0.0;
+  for (double x : xs) direct += std::exp(x);
+  EXPECT_NEAR(LogSumExp(xs), std::log(direct), 1e-12);
+}
+
+TEST(MathUtilTest, LogSumExpStableForLargeInputs) {
+  const std::vector<double> xs = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(xs), 1000.0 + std::log(2.0), 1e-9);
+  const std::vector<double> lows = {-1000.0, -1000.0};
+  EXPECT_NEAR(LogSumExp(lows), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtilTest, NearlyEqual) {
+  EXPECT_TRUE(NearlyEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(NearlyEqual(1.0, 1.001));
+  EXPECT_TRUE(NearlyEqual(1e9, 1e9 * (1 + 1e-10)));
+  EXPECT_TRUE(NearlyEqual(0.0, 0.0));
+}
+
+TEST(MathUtilDeathTest, InvalidInputs) {
+  EXPECT_DEATH((void)Log2Ceil(0.0), "");
+  EXPECT_DEATH((void)IPow(-1, 2), "");
+  EXPECT_DEATH((void)Clamp(0.0, 2.0, 1.0), "");
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,69 @@
+#include "common/mixed_radix.h"
+
+#include <gtest/gtest.h>
+
+namespace dpjoin {
+namespace {
+
+TEST(MixedRadixTest, SizeIsProductOfRadices) {
+  MixedRadix coder({3, 4, 5});
+  EXPECT_EQ(coder.size(), 60);
+  EXPECT_EQ(coder.num_digits(), 3u);
+}
+
+TEST(MixedRadixTest, EmptyShapeHasOneTuple) {
+  MixedRadix coder{std::vector<int64_t>{}};
+  EXPECT_EQ(coder.size(), 1);
+  EXPECT_EQ(coder.Encode({}), 0);
+  EXPECT_TRUE(coder.Decode(0).empty());
+}
+
+TEST(MixedRadixTest, RowMajorLayout) {
+  MixedRadix coder({2, 3});
+  // Last digit fastest: (0,0)=0, (0,1)=1, (0,2)=2, (1,0)=3 ...
+  EXPECT_EQ(coder.Encode({0, 0}), 0);
+  EXPECT_EQ(coder.Encode({0, 2}), 2);
+  EXPECT_EQ(coder.Encode({1, 0}), 3);
+  EXPECT_EQ(coder.Encode({1, 2}), 5);
+}
+
+TEST(MixedRadixTest, EncodeDecodeRoundTrip) {
+  MixedRadix coder({4, 2, 7, 3});
+  for (int64_t flat = 0; flat < coder.size(); ++flat) {
+    EXPECT_EQ(coder.Encode(coder.Decode(flat)), flat);
+  }
+}
+
+TEST(MixedRadixTest, DigitExtraction) {
+  MixedRadix coder({4, 2, 7});
+  const std::vector<int64_t> digits = {3, 1, 6};
+  const int64_t flat = coder.Encode(digits);
+  for (size_t i = 0; i < digits.size(); ++i) {
+    EXPECT_EQ(coder.Digit(flat, i), digits[i]);
+  }
+}
+
+TEST(MixedRadixTest, DecodeIntoReusesBuffer) {
+  MixedRadix coder({5, 5});
+  std::vector<int64_t> buffer(2);
+  coder.DecodeInto(13, &buffer);
+  EXPECT_EQ(buffer, (std::vector<int64_t>{2, 3}));
+}
+
+TEST(MixedRadixTest, StridesMatchLayout) {
+  MixedRadix coder({3, 4, 5});
+  EXPECT_EQ(coder.stride(2), 1);
+  EXPECT_EQ(coder.stride(1), 5);
+  EXPECT_EQ(coder.stride(0), 20);
+}
+
+TEST(MixedRadixDeathTest, RejectsBadInput) {
+  MixedRadix coder({3, 4});
+  EXPECT_DEATH(coder.Encode({3, 0}), "digit out of range");
+  EXPECT_DEATH(coder.Encode({0}), "");
+  EXPECT_DEATH(coder.Decode(12), "index out of range");
+  EXPECT_DEATH(MixedRadix({0}), "");
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,112 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.UniformDouble(), b.UniformDouble());
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int agreements = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.UniformInt(0, 1 << 30) == b.UniformInt(0, 1 << 30)) ++agreements;
+  }
+  EXPECT_LT(agreements, 2);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    const double y = rng.UniformDouble(-2.0, 5.0);
+    EXPECT_GE(y, -2.0);
+    EXPECT_LT(y, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.UniformInt(9, 9), 9);  // degenerate range
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[rng.UniformIndex(4)];
+  for (int c : counts) EXPECT_GT(c, 800);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(6);
+  SampleStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Gaussian());
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.StdDev(), 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(8);
+  SampleStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Exponential());
+  EXPECT_NEAR(stats.Mean(), 1.0, 0.03);
+  EXPECT_GE(stats.Min(), 0.0);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentButReproducible) {
+  Rng parent1(9), parent2(9);
+  Rng child1 = parent1.Fork();
+  Rng child2 = parent2.Fork();
+  // Same parent seed → same child stream.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(child1.UniformDouble(), child2.UniformDouble());
+  }
+  // Child stream differs from the parent's continuation.
+  Rng parent3(9);
+  Rng child3 = parent3.Fork();
+  int agreements = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child3.UniformInt(0, 1 << 30) == parent3.UniformInt(0, 1 << 30)) {
+      ++agreements;
+    }
+  }
+  EXPECT_LT(agreements, 2);
+}
+
+TEST(RngDeathTest, RejectsEmptyRanges) {
+  Rng rng(10);
+  EXPECT_DEATH((void)rng.UniformInt(5, 4), "");
+  EXPECT_DEATH((void)rng.UniformIndex(0), "");
+  EXPECT_DEATH((void)rng.UniformDouble(1.0, 1.0), "");
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,57 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dpjoin {
+namespace {
+
+TEST(SampleStatsTest, MeanAndExtremes) {
+  SampleStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 4.0);
+}
+
+TEST(SampleStatsTest, StdDevMatchesHandComputation) {
+  SampleStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  // Known dataset: sample variance = 32/7.
+  EXPECT_NEAR(stats.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(stats.StdError(), stats.StdDev() / std::sqrt(8.0), 1e-12);
+}
+
+TEST(SampleStatsTest, SingleSampleHasZeroSpread) {
+  SampleStats stats;
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.StdError(), 0.0);
+}
+
+TEST(SampleStatsTest, QuantilesNearestRank) {
+  SampleStats stats;
+  for (int i = 1; i <= 10; ++i) stats.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Median(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.9), 9.0);
+}
+
+TEST(SampleStatsTest, QuantileAfterMoreSamplesRecomputes) {
+  SampleStats stats;
+  stats.Add(1.0);
+  EXPECT_DOUBLE_EQ(stats.Median(), 1.0);
+  stats.Add(100.0);
+  stats.Add(50.0);
+  EXPECT_DOUBLE_EQ(stats.Median(), 50.0);
+}
+
+TEST(SampleStatsDeathTest, EmptyStatsAbort) {
+  SampleStats stats;
+  EXPECT_DEATH((void)stats.Mean(), "no samples");
+  EXPECT_DEATH((void)stats.Quantile(0.5), "no samples");
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,70 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dpjoin {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::NotFound("missing");
+  Status t = s;
+  EXPECT_TRUE(t.IsNotFound());
+  EXPECT_EQ(t.message(), "missing");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    DPJOIN_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsInternal());
+
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper_ok = [&]() -> Status {
+    DPJOIN_RETURN_NOT_OK(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(wrapper_ok().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusTest, StreamOperatorPrintsToString) {
+  std::ostringstream oss;
+  oss << Status::OutOfRange("idx");
+  EXPECT_EQ(oss.str(), "OutOfRange: idx");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace dpjoin

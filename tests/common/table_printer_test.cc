@@ -1,0 +1,43 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dpjoin {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "23"});
+  std::ostringstream oss;
+  table.Print(oss);
+  const std::string expected =
+      "| name   | value |\n"
+      "|--------|-------|\n"
+      "| x      | 1     |\n"
+      "| longer | 23    |\n";
+  EXPECT_EQ(oss.str(), expected);
+}
+
+TEST(TablePrinterTest, NumFormatsCompactly) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 3), "3.14");
+  EXPECT_EQ(TablePrinter::Num(12345678.0, 3), "1.23e+07");
+  EXPECT_EQ(TablePrinter::Num(2.0), "2");
+}
+
+TEST(TablePrinterTest, HeaderOnlyTable) {
+  TablePrinter table({"a"});
+  std::ostringstream oss;
+  table.Print(oss);
+  EXPECT_EQ(oss.str(), "| a |\n|---|\n");
+}
+
+TEST(TablePrinterDeathTest, RowArityMustMatch) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+}  // namespace
+}  // namespace dpjoin

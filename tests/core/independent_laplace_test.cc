@@ -1,0 +1,143 @@
+#include "core/independent_laplace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "relational/join_query.h"
+#include "sensitivity/residual_sensitivity.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+const PrivacyParams kParams(1.0, 1e-4);
+
+TEST(IndependentLaplaceTest, AnswersAreCenteredOnTruth) {
+  Rng rng(1);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 15, rng);
+  const QueryFamily family = MakeCountingFamily(query);
+  const double exact = EvaluateAllOnInstance(family, instance)[0];
+  SampleStats answers;
+  for (int rep = 0; rep < 300; ++rep) {
+    Rng run_rng(100 + static_cast<uint64_t>(rep));
+    auto result = AnswerIndependently(instance, family, kParams,
+                                      CompositionRule::kBasic, run_rng);
+    ASSERT_TRUE(result.ok());
+    answers.Add(result->answers[0]);
+  }
+  // Laplace is symmetric: the median estimate should be near the truth
+  // relative to the noise scale (Δ̃/ε_q).
+  EXPECT_NEAR(answers.Median(), exact, 0.5 * answers.StdDev() + 50.0);
+}
+
+TEST(IndependentLaplaceTest, BudgetSplitsAcrossQueries) {
+  Rng rng(2);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 10, rng);
+  const QueryFamily small = MakeCountingFamily(query);
+  const QueryFamily big =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 7, rng);
+  auto small_result = AnswerIndependently(instance, small, kParams,
+                                          CompositionRule::kBasic, rng);
+  auto big_result = AnswerIndependently(instance, big, kParams,
+                                        CompositionRule::kBasic, rng);
+  ASSERT_TRUE(small_result.ok());
+  ASSERT_TRUE(big_result.ok());
+  // ε_q = (ε/2)/|Q|.
+  EXPECT_DOUBLE_EQ(small_result->per_query_epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(big_result->per_query_epsilon, 0.5 / 64.0);
+}
+
+TEST(IndependentLaplaceTest, AdvancedBeatsBasicPerQueryBudget) {
+  Rng rng(3);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 10, rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 7, rng);  // |Q| = 64
+  auto basic = AnswerIndependently(instance, family, kParams,
+                                   CompositionRule::kBasic, rng);
+  auto advanced = AnswerIndependently(instance, family, kParams,
+                                      CompositionRule::kAdvanced, rng);
+  ASSERT_TRUE(basic.ok());
+  ASSERT_TRUE(advanced.ok());
+  EXPECT_GT(advanced->per_query_epsilon, basic->per_query_epsilon);
+  // And the advanced per-round ε actually composes within ε/2.
+  const PrivacyParams composed = AdvancedComposition(
+      advanced->per_query_epsilon, 0.0, family.TotalCount(),
+      kParams.delta / 2);
+  EXPECT_LE(composed.epsilon, kParams.epsilon / 2 + 1e-9);
+}
+
+TEST(IndependentLaplaceTest, SensitivityBoundDominatesResidual) {
+  Rng rng(4);
+  const JoinQuery query = MakePathQuery(3, 3);
+  const Instance instance = testing::RandomInstance(query, 8, rng);
+  const QueryFamily family = MakeCountingFamily(query);
+  auto result = AnswerIndependently(instance, family, kParams,
+                                    CompositionRule::kBasic, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->delta_tilde,
+            ResidualSensitivityValue(instance, 1.0 / kParams.Lambda()) -
+                1e-9);
+}
+
+TEST(IndependentLaplaceTest, LedgerTotalsToParams) {
+  Rng rng(5);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 10, rng);
+  const QueryFamily family = MakeCountingFamily(query);
+  auto result = AnswerIndependently(instance, family, kParams,
+                                    CompositionRule::kBasic, rng);
+  ASSERT_TRUE(result.ok());
+  const PrivacyParams total = result->accountant.Total();
+  EXPECT_NEAR(total.epsilon, kParams.epsilon, 1e-12);
+  EXPECT_NEAR(total.delta, kParams.delta, 1e-15);
+}
+
+TEST(IndependentLaplaceTest, RejectsZeroDelta) {
+  Rng rng(6);
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  const Instance instance = Instance::Make(query);
+  const QueryFamily family = MakeCountingFamily(query);
+  PrivacyParams params(1.0, 1e-5);
+  params.delta = 0.0;
+  EXPECT_FALSE(AnswerIndependently(instance, family, params,
+                                   CompositionRule::kBasic, rng)
+                   .ok());
+}
+
+TEST(IndependentLaplaceTest, ErrorGrowsWithFamilySize) {
+  // The paper's motivating claim, in miniature.
+  Rng rng(7);
+  const JoinQuery query = MakeTwoTableQuery(4, 4, 4);
+  const Instance instance = testing::RandomInstance(query, 20, rng);
+  SampleStats err_small, err_big;
+  for (int rep = 0; rep < 10; ++rep) {
+    Rng wl_rng(50 + static_cast<uint64_t>(rep));
+    const QueryFamily small =
+        MakeWorkload(query, WorkloadKind::kRandomSign, 1, wl_rng);
+    const QueryFamily big =
+        MakeWorkload(query, WorkloadKind::kRandomSign, 7, wl_rng);
+    Rng r1(500 + static_cast<uint64_t>(rep));
+    Rng r2(600 + static_cast<uint64_t>(rep));
+    auto s = AnswerIndependently(instance, small, kParams,
+                                 CompositionRule::kBasic, r1);
+    auto b = AnswerIndependently(instance, big, kParams,
+                                 CompositionRule::kBasic, r2);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(b.ok());
+    err_small.Add(MaxAbsDifference(EvaluateAllOnInstance(small, instance),
+                                   s->answers));
+    err_big.Add(MaxAbsDifference(EvaluateAllOnInstance(big, instance),
+                                 b->answers));
+  }
+  // |Q| grows 4 → 64; the per-query budget shrinks 16×, and the max of 64
+  // Laplace draws adds another log factor.
+  EXPECT_GT(err_big.Median(), 4.0 * err_small.Median());
+}
+
+}  // namespace
+}  // namespace dpjoin

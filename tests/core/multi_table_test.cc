@@ -1,0 +1,125 @@
+#include "core/multi_table.h"
+
+#include <gtest/gtest.h>
+
+#include "core/theory_bounds.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "relational/generators.h"
+#include "relational/join.h"
+#include "relational/join_query.h"
+#include "sensitivity/residual_sensitivity.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+const PrivacyParams kParams(1.0, 1e-4);
+
+TEST(MultiTableTest, DeltaTildeUpperBoundsResidualSensitivity) {
+  Rng rng(1);
+  const JoinQuery query = MakePathQuery(3, 3);
+  for (int rep = 0; rep < 4; ++rep) {
+    const Instance instance = testing::RandomInstance(query, 10, rng);
+    const QueryFamily family = MakeCountingFamily(query);
+    auto result = MultiTable(instance, family, kParams, {}, rng);
+    ASSERT_TRUE(result.ok());
+    const double beta = 1.0 / kParams.Lambda();
+    // e^{TLap} ≥ 1, so Δ̃ ≥ RS^β(I).
+    EXPECT_GE(result->delta_tilde,
+              ResidualSensitivityValue(instance, beta) - 1e-9);
+  }
+}
+
+TEST(MultiTableTest, DeltaTildeIsConstantApproximationOfRs) {
+  // TLap ≤ 2τ(ε/2, δ/2, β) and β = 1/λ makes e^{TLap} = O(1) (paper §3.3
+  // error analysis): check the multiplicative blowup is bounded.
+  Rng rng(2);
+  const JoinQuery query = MakePathQuery(3, 3);
+  const Instance instance = testing::RandomInstance(query, 10, rng);
+  const QueryFamily family = MakeCountingFamily(query);
+  const double beta = 1.0 / kParams.Lambda();
+  const double rs = ResidualSensitivityValue(instance, beta);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto result = MultiTable(instance, family, kParams, {}, rng);
+    ASSERT_TRUE(result.ok());
+    const double blowup = result->delta_tilde / rs;
+    EXPECT_GE(blowup, 1.0 - 1e-9);
+    // 2τ(ε/2,δ/2,β) with β = 1/λ gives exp(2τ) ≤ exp(O(1)); generous cap.
+    EXPECT_LE(blowup, 150.0);
+  }
+}
+
+TEST(MultiTableTest, WorksOnTwoTableQueriesToo) {
+  Rng rng(3);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 12, rng);
+  const QueryFamily family = MakeCountingFamily(query);
+  auto result = MultiTable(instance, family, kParams, {}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->delta_tilde, 0.0);
+}
+
+TEST(MultiTableTest, BudgetLedgerTotalsToParams) {
+  Rng rng(4);
+  const JoinQuery query = MakePathQuery(3, 3);
+  const Instance instance = testing::RandomInstance(query, 8, rng);
+  const QueryFamily family = MakeCountingFamily(query);
+  auto result = MultiTable(instance, family, kParams, {}, rng);
+  ASSERT_TRUE(result.ok());
+  const PrivacyParams total = result->accountant.Total();
+  EXPECT_NEAR(total.epsilon, kParams.epsilon, 1e-12);
+  EXPECT_NEAR(total.delta, kParams.delta, 1e-15);
+}
+
+TEST(MultiTableTest, RejectsZeroDelta) {
+  Rng rng(5);
+  const JoinQuery query = MakePathQuery(3, 2);
+  const Instance instance = Instance::Make(query);
+  const QueryFamily family = MakeCountingFamily(query);
+  PrivacyParams params(1.0, 1e-5);
+  params.delta = 0.0;
+  EXPECT_TRUE(MultiTable(instance, family, params, {}, rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MultiTableTest, ErrorWithinTheorem15BoundAcrossSeeds) {
+  const JoinQuery query = MakePathQuery(3, 3);
+  int within = 0;
+  const int seeds = 4;
+  for (int seed = 0; seed < seeds; ++seed) {
+    Rng rng(700 + static_cast<uint64_t>(seed));
+    const Instance instance = testing::RandomInstance(query, 12, rng);
+    const QueryFamily family =
+        MakeWorkload(query, WorkloadKind::kRandomSign, 2, rng);
+    ReleaseOptions options;
+    options.pmw_max_rounds = 24;
+    auto result = MultiTable(instance, family, kParams, options, rng);
+    ASSERT_TRUE(result.ok());
+    const double error = WorkloadError(family, instance, result->synthetic);
+    // Theorem A.1's bound with the Δ̃ the algorithm actually used (the
+    // Theorem 1.5 statement folds e^{2τ} = O(1) into its constant).
+    const double bound = MultiTableUpperBound(
+        JoinCount(instance), result->delta_tilde,
+        query.ReleaseDomainSize(),
+        static_cast<double>(family.TotalCount()), kParams);
+    if (error <= 3.0 * bound) ++within;
+  }
+  EXPECT_GE(within, seeds - 1);
+}
+
+TEST(MultiTableTest, HandlesEmptyInstance) {
+  Rng rng(6);
+  const JoinQuery query = MakePathQuery(3, 3);
+  const Instance instance = Instance::Make(query);
+  const QueryFamily family = MakeCountingFamily(query);
+  auto result = MultiTable(instance, family, kParams, {}, rng);
+  ASSERT_TRUE(result.ok());
+  // RS > 0 even on empty data, so the release succeeds with bounded mass.
+  EXPECT_GT(result->delta_tilde, 0.0);
+  EXPECT_GE(result->synthetic.TotalMass(), 0.0);
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,162 @@
+#include "core/partition_two_table.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lowerbound/hard_instances.h"
+#include "relational/generators.h"
+#include "relational/join.h"
+#include "relational/join_query.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+const PrivacyParams kParams(1.0, 1e-4);
+
+int64_t TotalInputSize(const TwoTablePartition& partition) {
+  int64_t total = 0;
+  for (const auto& bucket : partition.buckets) {
+    total += bucket.sub_instance.InputSize();
+  }
+  return total;
+}
+
+TEST(PartitionTwoTableTest, RejectsNonTwoTable) {
+  Rng rng(1);
+  const Instance instance = Instance::Make(MakePathQuery(3, 2));
+  EXPECT_TRUE(PartitionTwoTable(instance, kParams, 0.0, rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PartitionTwoTableTest, TuplesArePartitionedExactly) {
+  Rng rng(2);
+  const JoinQuery query = MakeTwoTableQuery(6, 6, 6);
+  const Instance instance = MakeZipfTwoTableInstance(query, 80, 1.2, rng);
+  auto partition = PartitionTwoTable(instance, kParams, 0.0, rng);
+  ASSERT_TRUE(partition.ok());
+  // Every tuple appears in exactly one bucket (tuple-disjointness is what
+  // gives parallel composition in Lemma 4.1).
+  EXPECT_EQ(TotalInputSize(*partition), instance.InputSize());
+  for (int rel = 0; rel < 2; ++rel) {
+    for (const auto& [code, freq] : instance.relation(rel).entries()) {
+      int owners = 0;
+      for (const auto& bucket : partition->buckets) {
+        const int64_t f = bucket.sub_instance.relation(rel).Frequency(code);
+        if (f > 0) {
+          ++owners;
+          EXPECT_EQ(f, freq);
+        }
+      }
+      EXPECT_EQ(owners, 1);
+    }
+  }
+}
+
+TEST(PartitionTwoTableTest, JoinSizesSumToTotal) {
+  Rng rng(3);
+  const JoinQuery query = MakeTwoTableQuery(6, 6, 6);
+  const Instance instance = MakeZipfTwoTableInstance(query, 60, 1.0, rng);
+  auto partition = PartitionTwoTable(instance, kParams, 0.0, rng);
+  ASSERT_TRUE(partition.ok());
+  double total = 0.0;
+  for (const auto& bucket : partition->buckets) {
+    total += JoinCount(bucket.sub_instance);
+  }
+  // Join values are split whole, so per-bucket joins partition the join.
+  EXPECT_DOUBLE_EQ(total, JoinCount(instance));
+}
+
+TEST(PartitionTwoTableTest, BucketsSeparateJoinValuesNotTuples) {
+  Rng rng(4);
+  const JoinQuery query = MakeTwoTableQuery(6, 6, 6);
+  const Instance instance = MakeZipfTwoTableInstance(query, 60, 1.0, rng);
+  auto partition = PartitionTwoTable(instance, kParams, 0.0, rng);
+  ASSERT_TRUE(partition.ok());
+  // A join value's tuples (on both sides) land in the same bucket: for each
+  // join value b, at most one bucket has tuples with that b.
+  const int b_attr = query.AttributeIndex("B").value();
+  for (int64_t b = 0; b < query.domain_size(b_attr); ++b) {
+    int owners = 0;
+    for (const auto& bucket : partition->buckets) {
+      bool has = false;
+      for (int rel = 0; rel < 2; ++rel) {
+        const auto degrees = bucket.sub_instance.relation(rel).DegreeMap(
+            AttributeSet::Of(b_attr));
+        if (degrees.count(b) > 0) has = true;
+      }
+      if (has) ++owners;
+    }
+    EXPECT_LE(owners, 1) << "join value " << b;
+  }
+}
+
+TEST(PartitionTwoTableTest, UniformPartitionBucketsByTrueDegree) {
+  // Figure 3 instance: degrees 1..k; with λ = 1, value with degree d goes to
+  // bucket ⌈log2 d⌉ (≥ 1).
+  const Instance instance = MakeFigure3Instance(8);
+  auto partition = UniformPartitionTwoTable(instance, 1.0);
+  ASSERT_TRUE(partition.ok());
+  for (const auto& bucket : partition->buckets) {
+    const AttributeSet b_set = AttributeSet::Of(1);
+    for (int rel = 0; rel < 2; ++rel) {
+      for (const auto& [value, deg] :
+           bucket.sub_instance.relation(rel).DegreeMap(b_set)) {
+        (void)value;
+        const int expected =
+            std::max(1, static_cast<int>(std::ceil(std::log2(
+                         static_cast<double>(deg)))));
+        EXPECT_EQ(bucket.bucket_index, expected) << "degree " << deg;
+      }
+    }
+  }
+}
+
+TEST(PartitionTwoTableTest, NoisyBucketsNearTrueBuckets) {
+  // Theorem 4.4's proof: noisy-degree buckets differ from true buckets by at
+  // most one level (B^i_1 ⊆ B^i_2 ∪ B^{i+1}_2).
+  Rng rng(5);
+  const Instance instance = MakeFigure3Instance(12);
+  const double lambda = 2.0;
+  auto noisy = PartitionTwoTable(instance, kParams, lambda, rng);
+  auto uniform = UniformPartitionTwoTable(instance, lambda);
+  ASSERT_TRUE(noisy.ok());
+  ASSERT_TRUE(uniform.ok());
+  // Map join value → bucket for both partitions.
+  auto bucket_map = [](const TwoTablePartition& partition) {
+    std::unordered_map<int64_t, int> map;
+    for (const auto& bucket : partition.buckets) {
+      for (int rel = 0; rel < 2; ++rel) {
+        for (const auto& [value, deg] :
+             bucket.sub_instance.relation(rel).DegreeMap(AttributeSet::Of(1))) {
+          (void)deg;
+          map[value] = bucket.bucket_index;
+        }
+      }
+    }
+    return map;
+  };
+  const auto noisy_map = bucket_map(*noisy);
+  const auto uniform_map = bucket_map(*uniform);
+  for (const auto& [value, true_bucket] : uniform_map) {
+    const auto it = noisy_map.find(value);
+    ASSERT_NE(it, noisy_map.end());
+    // τ(ε, δ, 1) noise can push a degree up by ≤ 2τ ~ O(λ·ln(1/δ)); with
+    // geometric buckets that is at most a couple of levels here.
+    EXPECT_LE(std::abs(it->second - true_bucket), 3) << "value " << value;
+    EXPECT_GE(it->second, true_bucket);  // noise is non-negative
+  }
+}
+
+TEST(PartitionTwoTableTest, EmptyInstanceYieldsNoBuckets) {
+  Rng rng(6);
+  const Instance instance = Instance::Make(MakeTwoTableQuery(4, 4, 4));
+  auto partition = PartitionTwoTable(instance, kParams, 0.0, rng);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_TRUE(partition->buckets.empty());
+}
+
+}  // namespace
+}  // namespace dpjoin

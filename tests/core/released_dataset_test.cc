@@ -1,0 +1,95 @@
+#include "core/released_dataset.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/two_table.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "relational/join.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+ReleasedDataset MakeSmallRelease() {
+  auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(2, 2, 2));
+  DenseTensor tensor(MixedRadix({4, 4}));
+  tensor.Set(tensor.shape().Encode({0, 0}), 2.0);
+  tensor.Set(tensor.shape().Encode({3, 2}), 1.5);
+  return ReleasedDataset(query, std::move(tensor));
+}
+
+TEST(ReleasedDatasetTest, AnswersMatchDirectEvaluation) {
+  Rng rng(1);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 12, rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 3, rng);
+  auto result =
+      TwoTable(instance, family, PrivacyParams(1.0, 1e-5), {}, rng);
+  ASSERT_TRUE(result.ok());
+  const ReleasedDataset dataset(instance.query_ptr(),
+                                std::move(result->synthetic));
+  const auto all = dataset.AnswerAll(family);
+  for (int64_t q = 0; q < family.TotalCount(); ++q) {
+    // Contraction and odometer evaluation differ only in FP summation order.
+    EXPECT_NEAR(all[static_cast<size_t>(q)],
+                dataset.Answer(family, family.Decompose(q)), 1e-8);
+  }
+  EXPECT_NEAR(dataset.TotalMass(), result->noisy_total, 1e-6);
+}
+
+TEST(ReleasedDatasetTest, QuantizedIsIntegerAndMassPreservingInExpectation) {
+  const ReleasedDataset dataset = MakeSmallRelease();
+  Rng rng(2);
+  double total = 0.0;
+  const int reps = 2000;
+  for (int rep = 0; rep < reps; ++rep) {
+    const ReleasedDataset q = dataset.Quantized(rng);
+    for (double v : q.tensor().values()) {
+      EXPECT_EQ(v, std::floor(v));
+    }
+    total += q.TotalMass();
+  }
+  EXPECT_NEAR(total / reps, dataset.TotalMass(), 0.05);
+}
+
+TEST(ReleasedDatasetTest, CsvHeaderNamesRelationAttributes) {
+  const ReleasedDataset dataset = MakeSmallRelease();
+  EXPECT_EQ(dataset.CsvHeader(), "R1.A,R1.B,R2.B,R2.C,mass");
+}
+
+TEST(ReleasedDatasetTest, CsvRowsListPositiveCells) {
+  const ReleasedDataset dataset = MakeSmallRelease();
+  std::ostringstream oss;
+  ASSERT_TRUE(dataset.WriteCsv(oss).ok());
+  const std::string csv = oss.str();
+  // Header + 2 positive cells.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  // Cell (R1=(0,0), R2=(0,0)) mass 2.
+  EXPECT_NE(csv.find("0,0,0,0,2\n"), std::string::npos);
+  // Cell (R1 code 3 = (1,1), R2 code 2 = (1,0)) mass 1.5.
+  EXPECT_NE(csv.find("1,1,1,0,1.5\n"), std::string::npos);
+}
+
+TEST(ReleasedDatasetTest, QuantizedCsvRoundTripAnswersStayClose) {
+  Rng rng(3);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 30, rng);
+  const QueryFamily family = MakeCountingFamily(query);
+  auto result =
+      TwoTable(instance, family, PrivacyParams(1.0, 1e-5), {}, rng);
+  ASSERT_TRUE(result.ok());
+  ReleasedDataset dataset(instance.query_ptr(), std::move(result->synthetic));
+  const double before = dataset.Answer(family, {0, 0});
+  const ReleasedDataset quantized = dataset.Quantized(rng);
+  const double after = quantized.Answer(family, {0, 0});
+  // Hoeffding: deviation O(sqrt(#cells)) — generous envelope.
+  EXPECT_LE(std::abs(after - before),
+            3.0 * std::sqrt(static_cast<double>(dataset.tensor().size())));
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,106 @@
+#include "core/theory_bounds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "relational/join_query.h"
+
+namespace dpjoin {
+namespace {
+
+const PrivacyParams kParams(1.0, 1e-5);
+
+TEST(TheoryBoundsTest, SingleTableScalesAsSqrtN) {
+  const double b1 = SingleTableUpperBound(100.0, 4096.0, 64.0, kParams);
+  const double b2 = SingleTableUpperBound(400.0, 4096.0, 64.0, kParams);
+  EXPECT_NEAR(b2 / b1, 2.0, 1e-9);
+}
+
+TEST(TheoryBoundsTest, SingleTableLowerBoundMinimum) {
+  // For tiny n the n term dominates; for large n the √n·f term is smaller
+  // than n.
+  const double small = SingleTableLowerBound(2.0, 1e6, kParams);
+  EXPECT_LE(small, 2.0 + 1e-9);
+  const double large = SingleTableLowerBound(1e6, 1e6, kParams);
+  EXPECT_LT(large, 1e6);
+  EXPECT_NEAR(large, std::sqrt(1e6) * FLower(1e6, 1.0), 1e-6);
+}
+
+TEST(TheoryBoundsTest, TwoTableBoundIsPmwWithDeltaPlusLambda) {
+  const double count = 1000.0, delta = 8.0;
+  const double lambda = kParams.Lambda();
+  EXPECT_NEAR(TwoTableUpperBound(count, delta, 4096.0, 64.0, kParams),
+              PmwUpperBound(count, delta + lambda, 4096.0, 64.0, kParams),
+              1e-9);
+}
+
+TEST(TheoryBoundsTest, JoinLowerBoundShape) {
+  // √(OUT·Δ)·f_lower when that is below OUT.
+  const double out = 1e6, delta = 4.0;
+  EXPECT_NEAR(JoinLowerBound(out, delta, 4096.0, kParams),
+              std::sqrt(out * delta) * FLower(4096.0, 1.0), 1e-6);
+  // min kicks in for small OUT.
+  EXPECT_DOUBLE_EQ(JoinLowerBound(1.0, 100.0, 4096.0, kParams), 1.0);
+}
+
+TEST(TheoryBoundsTest, UpperAndLowerBoundsBracketTheSqrtOutDeltaShape) {
+  // Up to log factors, upper/lower differ by f_upper/f_lower and the Δ vs
+  // Δ+λ gap; the ratio must be bounded by polylog terms.
+  const double out = 1e5, delta = 16.0;
+  const double up = TwoTableUpperBound(out, delta, 4096.0, 64.0, kParams);
+  const double lo = JoinLowerBound(out, delta, 4096.0, kParams);
+  EXPECT_GT(up, lo);       // upper bound above lower bound
+  EXPECT_LT(up / lo, 60.0);  // but only by polylog factors
+}
+
+TEST(TheoryBoundsTest, UniformizedBoundBeatsFlatBoundOnSkewedProfiles) {
+  // Example 4.2 shape: mass spread over buckets with geometric degrees is
+  // cheaper than paying max-degree for the full count.
+  const double lambda = kParams.Lambda();
+  std::vector<double> buckets;  // bucket i has count k²·2^{-i}·(λ·2^i)...
+  double total = 0.0;
+  const double k2 = 1e8;
+  for (int i = 0; i < 8; ++i) {
+    const double count_i = k2 / std::pow(2.0, i);
+    buckets.push_back(count_i);
+    total += count_i;
+  }
+  const double delta = lambda * std::pow(2.0, 8.0);
+  const double uniformized = UniformizedTwoTableUpperBound(
+      buckets, delta, 4096.0, 64.0, kParams);
+  const double flat = TwoTableUpperBound(total, delta, 4096.0, 64.0, kParams);
+  EXPECT_LT(uniformized, flat);
+}
+
+TEST(TheoryBoundsTest, UniformizedLowerBoundTakesBestBucket) {
+  const std::vector<double> buckets = {100.0, 10000.0, 25.0};
+  const double bound =
+      UniformizedTwoTableLowerBound(buckets, 4096.0, kParams);
+  // Must be at least the bucket-2 term.
+  const double lambda = kParams.Lambda();
+  const double bucket2 = std::min(
+      10000.0, std::sqrt(10000.0 * 4.0 * lambda) * FLower(4096.0, 1.0));
+  EXPECT_GE(bound, bucket2 - 1e-9);
+}
+
+TEST(TheoryBoundsTest, WorstCase01Exponents) {
+  // Two-table: ρ(H) = 2, worst residual: E={R1}, ∂E={B} leaves edge {A}
+  // with ρ = 1 ⇒ exponent (2+1)/2 = 1.5.
+  EXPECT_NEAR(WorstCaseErrorExponent01(MakeTwoTableQuery(2, 2, 2)), 1.5,
+              1e-6);
+  // 3-path: ρ = 2; residual worst case: E = {R1,R3}, ∂E = {X1, X2}? edges
+  // {X0},{X3} ⇒ ρ_res = 2 ⇒ exponent 2. (At minimum it's ≥ 1.5.)
+  const double path_exp = WorstCaseErrorExponent01(MakePathQuery(3, 2));
+  EXPECT_GE(path_exp, 1.5);
+  EXPECT_LE(path_exp, 2.5);
+}
+
+TEST(TheoryBoundsTest, WorstCaseWeightedExponent) {
+  EXPECT_DOUBLE_EQ(
+      WorstCaseErrorExponentWeighted(MakeTwoTableQuery(2, 2, 2)), 1.5);
+  EXPECT_DOUBLE_EQ(WorstCaseErrorExponentWeighted(MakePathQuery(3, 2)), 2.5);
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,119 @@
+#include "core/two_table.h"
+
+#include <gtest/gtest.h>
+
+#include "core/theory_bounds.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "relational/generators.h"
+#include "relational/join.h"
+#include "relational/join_query.h"
+#include "sensitivity/local_sensitivity.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+const PrivacyParams kParams(1.0, 1e-5);
+
+TEST(TwoTableTest, RejectsNonTwoTableQueries) {
+  Rng rng(1);
+  const JoinQuery query = MakePathQuery(3, 2);
+  const Instance instance = Instance::Make(query);
+  const QueryFamily family = MakeCountingFamily(query);
+  EXPECT_TRUE(TwoTable(instance, family, kParams, {}, rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TwoTableTest, DeltaTildeUpperBoundsTrueDelta) {
+  Rng rng(2);
+  const JoinQuery query = MakeTwoTableQuery(4, 4, 4);
+  for (int rep = 0; rep < 5; ++rep) {
+    const Instance instance = testing::RandomInstance(query, 20, rng);
+    const QueryFamily family = MakeCountingFamily(query);
+    auto result = TwoTable(instance, family, kParams, {}, rng);
+    ASSERT_TRUE(result.ok());
+    // TLap noise is non-negative: Δ̃ ≥ Δ always (this is what makes the
+    // PMW sensitivity bound sound).
+    EXPECT_GE(result->delta_tilde, TwoTableDelta(instance) - 1e-9);
+  }
+}
+
+TEST(TwoTableTest, BudgetLedgerTotalsToParams) {
+  Rng rng(3);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 10, rng);
+  const QueryFamily family = MakeCountingFamily(query);
+  auto result = TwoTable(instance, family, kParams, {}, rng);
+  ASSERT_TRUE(result.ok());
+  // (ε/2, δ/2) for Δ̃ + (ε/2, δ/2) for PMW = (ε, δ) — Lemma 3.2.
+  const PrivacyParams total = result->accountant.Total();
+  EXPECT_NEAR(total.epsilon, kParams.epsilon, 1e-12);
+  EXPECT_NEAR(total.delta, kParams.delta, 1e-15);
+}
+
+TEST(TwoTableTest, MassIsMaskedCountPlusNonNegativeNoise) {
+  Rng rng(4);
+  const JoinQuery query = MakeTwoTableQuery(4, 4, 4);
+  const Instance instance = testing::RandomInstance(query, 15, rng);
+  const QueryFamily family = MakeCountingFamily(query);
+  auto result = TwoTable(instance, family, kParams, {}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->noisy_total, JoinCount(instance) - 1e-9);
+  EXPECT_NEAR(result->synthetic.TotalMass(), result->noisy_total, 1e-6);
+}
+
+TEST(TwoTableTest, ErrorWithinTheorem33BoundAcrossSeeds) {
+  const JoinQuery query = MakeTwoTableQuery(4, 4, 4);
+  int within = 0;
+  const int seeds = 5;
+  for (int seed = 0; seed < seeds; ++seed) {
+    Rng rng(500 + static_cast<uint64_t>(seed));
+    const Instance instance = testing::RandomInstance(query, 30, rng);
+    const QueryFamily family =
+        MakeWorkload(query, WorkloadKind::kRandomSign, 3, rng);
+    ReleaseOptions options;
+    options.pmw_max_rounds = 32;
+    auto result = TwoTable(instance, family, kParams, options, rng);
+    ASSERT_TRUE(result.ok());
+    const double error = WorkloadError(family, instance, result->synthetic);
+    const double bound = TwoTableUpperBound(
+        JoinCount(instance), TwoTableDelta(instance),
+        query.ReleaseDomainSize(),
+        static_cast<double>(family.TotalCount()), kParams);
+    if (error <= 3.0 * bound) ++within;
+  }
+  EXPECT_GE(within, seeds - 1);  // allow one unlucky seed
+}
+
+TEST(TwoTableTest, CountQueryAnsweredWellOnConcentratedInstance) {
+  Rng rng(6);
+  const JoinQuery query = MakeTwoTableQuery(4, 4, 4);
+  Instance instance = Instance::Make(query);
+  // 4 join values with degree 64 per side: count = 4·64² = 16384, large
+  // enough to dominate the Δ̃·λ masking noise (~4–8k at these params).
+  for (int64_t b = 0; b < 4; ++b) {
+    for (int64_t x = 0; x < 4; ++x) {
+      ASSERT_TRUE(instance.AddTuple(0, {x, b}, 16).ok());
+      ASSERT_TRUE(instance.AddTuple(1, {b, x}, 16).ok());
+    }
+  }
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kPrefix, 3, rng);
+  ReleaseOptions options;
+  options.pmw_max_rounds = 32;
+  auto result = TwoTable(instance, family, kParams, options, rng);
+  ASSERT_TRUE(result.ok());
+  // Query 0 is count: the synthetic dataset's count error must be well below
+  // the trivial error count(I).
+  const auto answers_instance = EvaluateAllOnInstance(family, instance);
+  const auto answers_synth =
+      EvaluateAllOnTensor(family, result->synthetic);
+  const double count = answers_instance[0];
+  EXPECT_GT(count, 0.0);
+  EXPECT_LT(std::abs(answers_synth[0] - count), count);
+}
+
+}  // namespace
+}  // namespace dpjoin

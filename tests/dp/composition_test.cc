@@ -1,0 +1,84 @@
+#include "dp/composition.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dpjoin {
+namespace {
+
+TEST(CompositionTest, AdvancedCompositionFormula) {
+  const double eps0 = 0.01, delta0 = 1e-8, slack = 1e-6;
+  const int64_t k = 100;
+  const PrivacyParams total = AdvancedComposition(eps0, delta0, k, slack);
+  const double expected_eps =
+      eps0 * std::sqrt(2.0 * k * std::log(1.0 / slack)) +
+      k * eps0 * (std::exp(eps0) - 1.0);
+  EXPECT_NEAR(total.epsilon, expected_eps, 1e-12);
+  EXPECT_NEAR(total.delta, k * delta0 + slack, 1e-15);
+}
+
+TEST(CompositionTest, AdvancedBeatsBasicForManyRounds) {
+  const double eps0 = 0.01;
+  const int64_t k = 10000;
+  const PrivacyParams adv = AdvancedComposition(eps0, 0.0, k, 1e-6);
+  EXPECT_LT(adv.epsilon, eps0 * static_cast<double>(k));
+}
+
+TEST(CompositionTest, PmwPerRoundEpsilonMatchesAlgorithm2Line3) {
+  // ε′ = ε / (16·sqrt(k·log(1/δ))).
+  const double eps = 1.0, delta = 1e-5;
+  const int64_t k = 25;
+  EXPECT_NEAR(PmwPerRoundEpsilon(eps, delta, k),
+              eps / (16.0 * std::sqrt(25.0 * std::log(1e5))), 1e-12);
+}
+
+TEST(CompositionTest, PmwRoundsComposeWithinBudget) {
+  // 2k adaptive ε′-DP steps (EM + Laplace per round) must compose to ≤ ε
+  // under advanced composition with slack δ — the Theorem A.1 bookkeeping.
+  const double eps = 1.0, delta = 1e-6;
+  for (int64_t k : {1, 4, 16, 64, 256}) {
+    const double eps_prime = PmwPerRoundEpsilon(eps, delta, k);
+    const PrivacyParams total =
+        AdvancedComposition(2.0 * eps_prime, 0.0, k, delta);
+    EXPECT_LE(total.epsilon, eps) << "k=" << k;
+  }
+}
+
+TEST(CompositionTest, AccountantBasicCompositionSums) {
+  PrivacyAccountant acc;
+  acc.SpendSequential("a", PrivacyParams(0.25, 1e-6));
+  acc.SpendSequential("b", PrivacyParams(0.5, 2e-6));
+  const PrivacyParams total = acc.Total();
+  EXPECT_DOUBLE_EQ(total.epsilon, 0.75);
+  EXPECT_DOUBLE_EQ(total.delta, 3e-6);
+  EXPECT_EQ(acc.entries().size(), 2u);
+}
+
+TEST(CompositionTest, AccountantParallelTakesMax) {
+  PrivacyAccountant acc;
+  acc.SpendParallel("buckets", {PrivacyParams(0.5, 1e-6),
+                                PrivacyParams(0.25, 5e-6),
+                                PrivacyParams(0.4, 2e-6)});
+  const PrivacyParams total = acc.Total();
+  EXPECT_DOUBLE_EQ(total.epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(total.delta, 5e-6);
+}
+
+TEST(CompositionTest, AccountantLedgerRendering) {
+  PrivacyAccountant acc;
+  acc.SpendSequential("step", PrivacyParams(1.0, 0.001));
+  const std::string ledger = acc.ToString();
+  EXPECT_NE(ledger.find("step"), std::string::npos);
+  EXPECT_NE(ledger.find("total"), std::string::npos);
+}
+
+TEST(CompositionDeathTest, RejectsBadInput) {
+  EXPECT_DEATH((void)AdvancedComposition(0.0, 0.0, 1, 1e-6), "");
+  EXPECT_DEATH((void)PmwPerRoundEpsilon(1.0, 1e-6, 0), "");
+  PrivacyAccountant acc;
+  EXPECT_DEATH(acc.SpendParallel("x", {}), "no branches");
+}
+
+}  // namespace
+}  // namespace dpjoin

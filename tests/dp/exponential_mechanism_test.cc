@@ -1,0 +1,82 @@
+#include "dp/exponential_mechanism.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpjoin {
+namespace {
+
+TEST(ExponentialMechanismTest, ProbabilitiesAreSoftmaxOfHalfEpsilonScores) {
+  const std::vector<double> scores = {0.0, 1.0, 2.0};
+  const double eps = 2.0;
+  const auto probs = ExponentialMechanismProbabilities(scores, eps);
+  ASSERT_EQ(probs.size(), 3u);
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // p_i ∝ exp(0.5·ε·s_i) = exp(s_i) here.
+  EXPECT_NEAR(probs[1] / probs[0], std::exp(1.0), 1e-9);
+  EXPECT_NEAR(probs[2] / probs[0], std::exp(2.0), 1e-9);
+}
+
+TEST(ExponentialMechanismTest, StableForHugeScores) {
+  const std::vector<double> scores = {1000.0, 1001.0};
+  const auto probs = ExponentialMechanismProbabilities(scores, 2.0);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-12);
+  EXPECT_NEAR(probs[1] / probs[0], std::exp(1.0), 1e-6);
+}
+
+TEST(ExponentialMechanismTest, SamplerMatchesExactProbabilities) {
+  const std::vector<double> scores = {0.0, 0.5, 1.5, 3.0};
+  const double eps = 1.0;
+  const auto probs = ExponentialMechanismProbabilities(scores, eps);
+  Rng rng(2024);
+  std::vector<int64_t> counts(scores.size(), 0);
+  const int64_t trials = 200000;
+  for (int64_t t = 0; t < trials; ++t) {
+    ++counts[ExponentialMechanism(scores, eps, rng)];
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double freq = static_cast<double>(counts[i]) /
+                        static_cast<double>(trials);
+    EXPECT_NEAR(freq, probs[i], 0.01) << "candidate " << i;
+  }
+}
+
+TEST(ExponentialMechanismTest, HighEpsilonConcentratesOnArgmax) {
+  const std::vector<double> scores = {1.0, 10.0, 2.0};
+  Rng rng(5);
+  int64_t hits = 0;
+  for (int t = 0; t < 1000; ++t) {
+    if (ExponentialMechanism(scores, 50.0, rng) == 1) ++hits;
+  }
+  EXPECT_GT(hits, 990);
+}
+
+TEST(ExponentialMechanismTest, SingleCandidateAlwaysChosen) {
+  Rng rng(1);
+  EXPECT_EQ(ExponentialMechanism({0.7}, 1.0, rng), 0u);
+}
+
+TEST(ExponentialMechanismTest, UniformScoresNearUniformSelection) {
+  const std::vector<double> scores(8, 3.0);
+  Rng rng(77);
+  std::vector<int64_t> counts(scores.size(), 0);
+  for (int t = 0; t < 80000; ++t) {
+    ++counts[ExponentialMechanism(scores, 1.0, rng)];
+  }
+  for (int64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 80000.0, 1.0 / 8.0, 0.01);
+  }
+}
+
+TEST(ExponentialMechanismDeathTest, RejectsBadInput) {
+  Rng rng(1);
+  EXPECT_DEATH((void)ExponentialMechanism({}, 1.0, rng), "empty");
+  EXPECT_DEATH((void)ExponentialMechanism({1.0}, 0.0, rng), "");
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,79 @@
+#include "dp/laplace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(LaplaceTest, PdfIntegratesToOneOnGrid) {
+  Laplace lap(1.5);
+  double integral = 0.0;
+  const double step = 0.01;
+  for (double x = -30.0; x < 30.0; x += step) {
+    integral += lap.Pdf(x) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(LaplaceTest, CdfMatchesClosedForm) {
+  Laplace lap(2.0);
+  EXPECT_DOUBLE_EQ(lap.Cdf(0.0), 0.5);
+  EXPECT_NEAR(lap.Cdf(2.0), 1.0 - 0.5 * std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(lap.Cdf(-2.0), 0.5 * std::exp(-1.0), 1e-12);
+}
+
+TEST(LaplaceTest, TailProbability) {
+  Laplace lap(1.0);
+  EXPECT_NEAR(lap.TailProbability(3.0), std::exp(-3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(lap.TailProbability(0.0), 1.0);
+}
+
+TEST(LaplaceTest, SampleMomentsMatchDistribution) {
+  // Mean 0, variance 2b².
+  const double scale = 3.0;
+  Laplace lap(scale);
+  Rng rng(12345);
+  SampleStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(lap.Sample(rng));
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.1);
+  EXPECT_NEAR(stats.StdDev(), scale * std::sqrt(2.0), 0.15);
+}
+
+TEST(LaplaceTest, SampleMedianNearZero) {
+  Laplace lap(1.0);
+  Rng rng(7);
+  SampleStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(lap.Sample(rng));
+  EXPECT_NEAR(stats.Median(), 0.0, 0.05);
+}
+
+TEST(LaplaceTest, AddLaplaceNoiseScalesWithSensitivityOverEpsilon) {
+  Rng rng(99);
+  SampleStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(AddLaplaceNoise(10.0, 2.0, 0.5, rng));
+  }
+  EXPECT_NEAR(stats.Mean(), 10.0, 0.25);
+  // b = Δ/ε = 4 ⇒ stddev = 4√2 ≈ 5.66.
+  EXPECT_NEAR(stats.StdDev(), 4.0 * std::sqrt(2.0), 0.3);
+}
+
+TEST(LaplaceTest, DeterministicUnderSameSeed) {
+  Laplace lap(1.0);
+  Rng rng1(42), rng2(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(lap.Sample(rng1), lap.Sample(rng2));
+  }
+}
+
+TEST(LaplaceDeathTest, RejectsNonPositiveScale) {
+  EXPECT_DEATH(Laplace(0.0), "");
+  EXPECT_DEATH(Laplace(-1.0), "");
+}
+
+}  // namespace
+}  // namespace dpjoin

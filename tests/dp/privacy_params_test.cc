@@ -1,0 +1,55 @@
+#include "dp/privacy_params.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dpjoin {
+namespace {
+
+TEST(PrivacyParamsTest, LambdaMatchesDefinition) {
+  // λ = (1/ε)·ln(1/δ).
+  PrivacyParams p(2.0, 1e-6);
+  EXPECT_NEAR(p.Lambda(), std::log(1e6) / 2.0, 1e-12);
+  PrivacyParams q(1.0, 0.01);
+  EXPECT_NEAR(q.Lambda(), std::log(100.0), 1e-12);
+}
+
+TEST(PrivacyParamsTest, HalfSplitsBoth) {
+  PrivacyParams p(1.0, 1e-4);
+  PrivacyParams h = p.Half();
+  EXPECT_DOUBLE_EQ(h.epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(h.delta, 5e-5);
+}
+
+TEST(PrivacyParamsTest, ScaledScalesBoth) {
+  PrivacyParams p(1.0, 0.2);
+  PrivacyParams s = p.Scaled(0.25);
+  EXPECT_DOUBLE_EQ(s.epsilon, 0.25);
+  EXPECT_DOUBLE_EQ(s.delta, 0.05);
+}
+
+TEST(PrivacyParamsTest, FLowerMatchesDefinition) {
+  // f_lower = sqrt(log|D| / ε).
+  EXPECT_NEAR(FLower(1024.0, 1.0), std::sqrt(std::log(1024.0)), 1e-12);
+  EXPECT_NEAR(FLower(1024.0, 4.0), std::sqrt(std::log(1024.0) / 4.0), 1e-12);
+}
+
+TEST(PrivacyParamsTest, FUpperAddsQueryAndDeltaFactors) {
+  const double domain = 4096.0, queries = 64.0, eps = 1.0, delta = 1e-5;
+  EXPECT_NEAR(FUpper(domain, queries, eps, delta),
+              FLower(domain, eps) *
+                  std::sqrt(std::log(queries) * std::log(1.0 / delta)),
+              1e-12);
+}
+
+TEST(PrivacyParamsDeathTest, RejectsInvalidParameters) {
+  EXPECT_DEATH(PrivacyParams(0.0, 0.1), "");
+  EXPECT_DEATH(PrivacyParams(-1.0, 0.1), "");
+  EXPECT_DEATH(PrivacyParams(1.0, 0.6), "");
+  PrivacyParams zero_delta(1.0, 0.0);
+  EXPECT_DEATH((void)zero_delta.Lambda(), "");
+}
+
+}  // namespace
+}  // namespace dpjoin

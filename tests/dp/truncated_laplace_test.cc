@@ -1,0 +1,112 @@
+#include "dp/truncated_laplace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(TruncatedLaplaceTest, TauMatchesPaperFormula) {
+  // τ(ε, δ, Δ) = (Δ/ε)·ln(1 + (e^ε − 1)/δ).
+  const double eps = 1.0, delta = 1e-4, sens = 2.0;
+  EXPECT_NEAR(TruncatedLaplaceTau(eps, delta, sens),
+              (sens / eps) * std::log(1.0 + (std::exp(eps) - 1.0) / delta),
+              1e-12);
+}
+
+TEST(TruncatedLaplaceTest, TauIsOrderSensitivityTimesLambda) {
+  // τ ≤ O(Δ·λ) for constant ε (paper §2): check a grid.
+  for (double delta : {1e-3, 1e-6, 1e-9}) {
+    const double lambda = std::log(1.0 / delta);
+    const double tau = TruncatedLaplaceTau(1.0, delta, 1.0);
+    EXPECT_LE(tau, 3.0 * lambda);
+    EXPECT_GE(tau, 0.5 * lambda);
+  }
+}
+
+TEST(TruncatedLaplaceTest, SupportIsZeroToTwoTau) {
+  TruncatedLaplace tlap = TruncatedLaplace::ForSensitivity(1.0, 1e-5, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = tlap.Sample(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 2.0 * tlap.tau());
+  }
+}
+
+TEST(TruncatedLaplaceTest, MeanIsTau) {
+  TruncatedLaplace tlap(2.0, 10.0);
+  EXPECT_DOUBLE_EQ(tlap.Mean(), 10.0);
+  Rng rng(11);
+  SampleStats stats;
+  for (int i = 0; i < 40000; ++i) stats.Add(tlap.Sample(rng));
+  EXPECT_NEAR(stats.Mean(), 10.0, 0.1);
+}
+
+TEST(TruncatedLaplaceTest, PdfIntegratesToOne) {
+  TruncatedLaplace tlap(1.5, 6.0);
+  double integral = 0.0;
+  const double step = 0.001;
+  for (double x = 0.0; x < 12.0; x += step) integral += tlap.Pdf(x) * step;
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+  EXPECT_DOUBLE_EQ(tlap.Pdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(tlap.Pdf(12.1), 0.0);
+}
+
+TEST(TruncatedLaplaceTest, CdfMonotoneAndBoundary) {
+  TruncatedLaplace tlap(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(tlap.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tlap.Cdf(10.0), 1.0);
+  EXPECT_NEAR(tlap.Cdf(5.0), 0.5, 1e-12);  // symmetric about τ
+  double prev = 0.0;
+  for (double x = 0.0; x <= 10.0; x += 0.25) {
+    const double c = tlap.Cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(TruncatedLaplaceTest, SampleMatchesCdfAtQuartiles) {
+  TruncatedLaplace tlap(2.0, 8.0);
+  Rng rng(21);
+  SampleStats stats;
+  for (int i = 0; i < 40000; ++i) stats.Add(tlap.Sample(rng));
+  // Empirical quartiles should invert the CDF.
+  for (double q : {0.25, 0.5, 0.75}) {
+    const double x = stats.Quantile(q);
+    EXPECT_NEAR(tlap.Cdf(x), q, 0.02);
+  }
+}
+
+TEST(TruncatedLaplaceTest, ForSensitivityUsesShareScale) {
+  // Scale must be Δ/ε for the share passed (the paper's 2Δ/ε with ε/2).
+  TruncatedLaplace tlap = TruncatedLaplace::ForSensitivity(0.5, 1e-5, 3.0);
+  EXPECT_DOUBLE_EQ(tlap.scale(), 6.0);
+  EXPECT_DOUBLE_EQ(tlap.tau(), TruncatedLaplaceTau(0.5, 1e-5, 3.0));
+}
+
+TEST(TruncatedLaplaceTest, PrivacyLikelihoodRatioBounded) {
+  // Core DP property: for |u − v| ≤ Δ, densities of u + TLap and v + TLap
+  // at any point in the overlap differ by ≤ e^ε (outside: δ mass).
+  const double eps = 0.7, delta = 1e-4, sens = 1.0;
+  TruncatedLaplace tlap = TruncatedLaplace::ForSensitivity(eps, delta, sens);
+  for (double x = 0.1; x < 2.0 * tlap.tau() - sens; x += 0.37) {
+    const double ratio = tlap.Pdf(x) / tlap.Pdf(x + sens);
+    EXPECT_LE(ratio, std::exp(eps) * (1.0 + 1e-9));
+    EXPECT_GE(ratio, std::exp(-eps) * (1.0 - 1e-9));
+  }
+  // Total mass outside the overlap window is ≤ δ on each side.
+  EXPECT_LE(tlap.Cdf(sens), delta * (1.0 + 1e-6));
+}
+
+TEST(TruncatedLaplaceDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(TruncatedLaplace(0.0, 1.0), "");
+  EXPECT_DEATH(TruncatedLaplace(1.0, 0.0), "");
+  EXPECT_DEATH((void)TruncatedLaplaceTau(1.0, 0.0, 1.0), "");
+}
+
+}  // namespace
+}  // namespace dpjoin

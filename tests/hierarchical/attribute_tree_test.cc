@@ -1,0 +1,114 @@
+#include "hierarchical/attribute_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/queries.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(AttributeTreeTest, RejectsNonHierarchicalQueries) {
+  EXPECT_TRUE(AttributeTree::Build(MakePathQuery(3, 2))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AttributeTreeTest, Figure4Shape) {
+  const JoinQuery query = testing::MakeFigure4Query();
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const int a = query.AttributeIndex("A").value();
+  const int b = query.AttributeIndex("B").value();
+  const int c = query.AttributeIndex("C").value();
+  const int d = query.AttributeIndex("D").value();
+  const int f = query.AttributeIndex("F").value();
+  const int g = query.AttributeIndex("G").value();
+  const int k = query.AttributeIndex("K").value();
+  const int l = query.AttributeIndex("L").value();
+
+  // Figure 4 (left): A at the root; children B and C; B's children D, F, G;
+  // G's children K, L.
+  EXPECT_EQ(tree->Parent(a), -1);
+  EXPECT_EQ(tree->Roots(), (std::vector<int>{a}));
+  EXPECT_EQ(tree->Parent(b), a);
+  EXPECT_EQ(tree->Parent(c), a);
+  EXPECT_EQ(tree->Parent(d), b);
+  EXPECT_EQ(tree->Parent(f), b);
+  EXPECT_EQ(tree->Parent(g), b);
+  EXPECT_EQ(tree->Parent(k), g);
+  EXPECT_EQ(tree->Parent(l), g);
+}
+
+TEST(AttributeTreeTest, Figure4AncestorsAndPostOrder) {
+  const JoinQuery query = testing::MakeFigure4Query();
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const int a = query.AttributeIndex("A").value();
+  const int b = query.AttributeIndex("B").value();
+  const int g = query.AttributeIndex("G").value();
+  const int k = query.AttributeIndex("K").value();
+
+  EXPECT_EQ(tree->TreeAncestors(k), AttributeSet::FromElements({a, b, g}));
+  EXPECT_EQ(tree->ProperAncestors(k), AttributeSet::FromElements({a, b, g}));
+  EXPECT_TRUE(tree->TreeAncestors(a).Empty());
+
+  // Post-order: every node after all its descendants.
+  const auto& order = tree->PostOrder();
+  ASSERT_EQ(order.size(), 8u);
+  std::vector<int> position(8);
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (int attr = 0; attr < 8; ++attr) {
+    const int parent = tree->Parent(attr);
+    if (parent >= 0) {
+      EXPECT_LT(position[attr], position[parent]);
+    }
+  }
+  EXPECT_EQ(order.back(), a);  // root last
+}
+
+TEST(AttributeTreeTest, TwoTableTreeIsBOverAAndC) {
+  // Two-table R1(A,B), R2(B,C): atom(B) = {1,2} ⊋ atom(A), atom(C); so B is
+  // the root with A and C as children.
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const int a = 0, b = 1, c = 2;
+  EXPECT_EQ(tree->Parent(b), -1);
+  EXPECT_EQ(tree->Parent(a), b);
+  EXPECT_EQ(tree->Parent(c), b);
+  EXPECT_EQ(tree->Children(b), (std::vector<int>{a, c}));
+}
+
+TEST(AttributeTreeTest, EqualAtomsChainByIndex) {
+  // R1(A,B): atom(A) = atom(B) = {1} — equal atoms chain A → B.
+  auto query = JoinQuery::Create({{"A", 2}, {"B", 2}}, {{"A", "B"}});
+  ASSERT_TRUE(query.ok());
+  auto tree = AttributeTree::Build(*query);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Parent(0), -1);
+  EXPECT_EQ(tree->Parent(1), 0);
+  // Proper ancestors use STRICT atom inclusion, so B has none.
+  EXPECT_TRUE(tree->ProperAncestors(1).Empty());
+  EXPECT_EQ(tree->TreeAncestors(1), AttributeSet::Of(0));
+}
+
+TEST(AttributeTreeTest, ForestWhenRelationsDisjoint) {
+  auto query = JoinQuery::Create({{"A", 2}, {"B", 2}}, {{"A"}, {"B"}});
+  ASSERT_TRUE(query.ok());
+  auto tree = AttributeTree::Build(*query);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Roots().size(), 2u);
+}
+
+TEST(AttributeTreeTest, ToStringRendersEveryAttribute) {
+  const JoinQuery query = testing::MakeFigure4Query();
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const std::string rendered = tree->ToString(query);
+  for (const char* name : {"A", "B", "C", "D", "F", "G", "K", "L"}) {
+    EXPECT_NE(rendered.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dpjoin

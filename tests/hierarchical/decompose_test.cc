@@ -1,0 +1,133 @@
+#include "hierarchical/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "hierarchical/max_degree.h"
+#include "relational/join.h"
+#include "testing/brute_force.h"
+#include "testing/queries.h"
+
+namespace dpjoin {
+namespace {
+
+const PrivacyParams kParams(1.0, 1e-4);
+
+TEST(DecomposeTest, JoinResultsPartitioned) {
+  // Lemma 4.10 property 1: per-bucket join functions are disjoint and sum to
+  // the original (relations of E split; others shared).
+  Rng rng(1);
+  const JoinQuery query = testing::MakeSmallStarQuery(4, 4, 4);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance = testing::RandomInstance(query, 20, rng);
+  const int b = query.AttributeIndex("B").value();
+  auto buckets = Decompose(instance, *tree, b, kParams, 2.0, rng);
+  ASSERT_TRUE(buckets.ok());
+  double total = 0.0;
+  for (const auto& bucket : *buckets) {
+    total += JoinCount(bucket.sub_instance);
+  }
+  EXPECT_DOUBLE_EQ(total, JoinCount(instance));
+}
+
+TEST(DecomposeTest, OnlyAtomRelationsAreSplit) {
+  Rng rng(2);
+  const JoinQuery query = testing::MakeSmallStarQuery(4, 4, 4);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance = testing::RandomInstance(query, 15, rng);
+  const int b = query.AttributeIndex("B").value();  // atom(B) = {R1}
+  auto buckets = Decompose(instance, *tree, b, kParams, 2.0, rng);
+  ASSERT_TRUE(buckets.ok());
+  for (const auto& bucket : *buckets) {
+    // R2 (outside atom(B)) is shared verbatim.
+    EXPECT_EQ(bucket.sub_instance.relation(1).TotalFrequency(),
+              instance.relation(1).TotalFrequency());
+  }
+  // R1's tuples are split without loss.
+  int64_t r1_total = 0;
+  for (const auto& bucket : *buckets) {
+    r1_total += bucket.sub_instance.relation(0).TotalFrequency();
+  }
+  EXPECT_EQ(r1_total, instance.relation(0).TotalFrequency());
+}
+
+TEST(DecomposeTest, RootAttributeGivesSingleBucket) {
+  // x = A (root): y = ∅, a single degree value ⇒ one bucket holding all.
+  Rng rng(3);
+  const JoinQuery query = testing::MakeSmallStarQuery(4, 4, 4);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance = testing::RandomInstance(query, 10, rng);
+  const int a = query.AttributeIndex("A").value();
+  auto buckets = Decompose(instance, *tree, a, kParams, 2.0, rng);
+  ASSERT_TRUE(buckets.ok());
+  EXPECT_EQ(buckets->size(), 1u);
+  EXPECT_EQ((*buckets)[0].sub_instance.InputSize(), instance.InputSize());
+}
+
+TEST(DecomposeTest, BucketsGroupSimilarDegrees) {
+  // Lemma 4.10 property 3 (within noise): in each bucket, true degrees are
+  // within a factor ~2 of the bucket ceiling, modulo the +2τ noise shift.
+  const JoinQuery query = testing::MakeSmallStarQuery(12, 32, 4);
+  Instance instance = Instance::Make(query);
+  // A-values with R1-degrees 1, 1, 2, 16, 16, 17 (B-partners distinct).
+  const std::vector<int64_t> degrees = {1, 1, 2, 16, 16, 17};
+  for (size_t a = 0; a < degrees.size(); ++a) {
+    for (int64_t j = 0; j < degrees[a]; ++j) {
+      ASSERT_TRUE(
+          instance.AddTuple(0, {static_cast<int64_t>(a), j}, 1).ok());
+    }
+    ASSERT_TRUE(instance.AddTuple(1, {static_cast<int64_t>(a), 0}, 1).ok());
+  }
+  Rng rng(4);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const int b = query.AttributeIndex("B").value();
+  const double lambda = 1.0;
+  auto buckets = Decompose(instance, *tree, b, kParams, lambda, rng);
+  ASSERT_TRUE(buckets.ok());
+  ASSERT_GE(buckets->size(), 2u);
+  const int a_attr = query.AttributeIndex("A").value();
+  for (const auto& bucket : *buckets) {
+    const auto bucket_degrees = HierDegreeMap(
+        bucket.sub_instance, RelationSet::Of(0), AttributeSet::Of(a_attr));
+    const double ceiling =
+        lambda * std::pow(2.0, static_cast<double>(bucket.bucket_index));
+    for (const auto& [value, deg] : bucket_degrees) {
+      (void)value;
+      // True degree ≤ noisy degree ≤ ceiling.
+      EXPECT_LE(static_cast<double>(deg), ceiling + 1e-9);
+    }
+  }
+  // Degree-16 and degree-1 values must land in different buckets (the noise
+  // 2τ(1, 1e-4, 1) ≈ 2·9.2 can shift a level, but 1 vs 16 splits anyway
+  // given the ≥ 8× gap... verify at least two distinct bucket indices).
+  EXPECT_NE(buckets->front().bucket_index, buckets->back().bucket_index);
+}
+
+TEST(DecomposeTest, RejectsBadAttribute) {
+  Rng rng(5);
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance = Instance::Make(query);
+  EXPECT_TRUE(Decompose(instance, *tree, 99, kParams, 1.0, rng)
+                  .status()
+                  .IsOutOfRange());
+}
+
+TEST(DecomposeTest, EmptyInstanceNoBuckets) {
+  Rng rng(6);
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance = Instance::Make(query);
+  const int b = query.AttributeIndex("B").value();
+  auto buckets = Decompose(instance, *tree, b, kParams, 1.0, rng);
+  ASSERT_TRUE(buckets.ok());
+  EXPECT_TRUE(buckets->empty());
+}
+
+}  // namespace
+}  // namespace dpjoin

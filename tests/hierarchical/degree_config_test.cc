@@ -1,0 +1,92 @@
+#include "hierarchical/degree_config.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sensitivity/residual_sensitivity.h"
+#include "testing/queries.h"
+
+namespace dpjoin {
+namespace {
+
+DegreeConfiguration MakeConfig(const JoinQuery& query,
+                               std::vector<int> buckets) {
+  DegreeConfiguration config;
+  config.buckets = std::move(buckets);
+  EXPECT_EQ(static_cast<int>(config.buckets.size()), query.num_attributes());
+  return config;
+}
+
+TEST(DegreeConfigTest, ToStringListsAssignedAttributes) {
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  const DegreeConfiguration config = MakeConfig(query, {2, 1, 0});
+  const std::string s = config.ToString(query);
+  EXPECT_NE(s.find("A→2"), std::string::npos);
+  EXPECT_NE(s.find("B→1"), std::string::npos);
+  EXPECT_EQ(s.find("C"), std::string::npos);  // unassigned omitted
+}
+
+TEST(DegreeConfigTest, BoundaryBoundsAreBucketCeilingProducts) {
+  // Star R1(A,B), R2(A,C); tree A → {B, C}. Factors: T_{R1} ↔ attribute B
+  // (atom {R1}, ancestors {A}); T_{R2} ↔ C.
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const double lambda = 2.0;
+  const DegreeConfiguration config = MakeConfig(query, {1, 2, 3});
+  auto bounds = ConfigBoundaryBounds(query, *tree, config, lambda);
+  ASSERT_TRUE(bounds.ok());
+  // T_∅ = 1.
+  EXPECT_DOUBLE_EQ(bounds->at(0), 1.0);
+  // T_{R1} bound = λ·2^{σ(B)} = 2·4 = 8 (bit 0 = relation 0).
+  EXPECT_DOUBLE_EQ(bounds->at(1), 8.0);
+  // T_{R2} bound = λ·2^{σ(C)} = 2·8 = 16.
+  EXPECT_DOUBLE_EQ(bounds->at(2), 16.0);
+}
+
+TEST(DegreeConfigTest, UncoveredAttributeFails) {
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  // B unassigned (0 = ⊥) but needed as a factor of T_{R1}.
+  const DegreeConfiguration config = MakeConfig(query, {1, 0, 1});
+  auto bounds = ConfigBoundaryBounds(query, *tree, config, 2.0);
+  EXPECT_TRUE(bounds.status().IsFailedPrecondition());
+}
+
+TEST(DegreeConfigTest, ConfigRsMatchesManualResidualComputation) {
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const double lambda = 2.0, beta = 0.5;
+  const DegreeConfiguration config = MakeConfig(query, {1, 2, 2});
+  auto bounds = ConfigBoundaryBounds(query, *tree, config, lambda);
+  ASSERT_TRUE(bounds.ok());
+  auto rs = ConfigResidualSensitivity(query, *tree, config, lambda, beta);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(
+      *rs, ResidualSensitivityFromBoundaries(query, *bounds, beta).value);
+  // Monotone: raising a bucket can only raise RS^σ.
+  const DegreeConfiguration higher = MakeConfig(query, {1, 3, 2});
+  auto rs_higher =
+      ConfigResidualSensitivity(query, *tree, higher, lambda, beta);
+  ASSERT_TRUE(rs_higher.ok());
+  EXPECT_GE(*rs_higher, *rs - 1e-9);
+}
+
+TEST(DegreeConfigTest, ConfigRsAtLeastBucketCeiling) {
+  // RS^σ ≥ LŜ^0 under σ = max_i T^σ_{[m]∖{i}} — for the star that is the
+  // larger of the two bucket ceilings.
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const double lambda = 2.0, beta = 0.5;
+  const DegreeConfiguration config = MakeConfig(query, {1, 2, 4});
+  auto rs = ConfigResidualSensitivity(query, *tree, config, lambda, beta);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GE(*rs, lambda * std::pow(2.0, 4) - 1e-9);  // C's ceiling: 2·16
+}
+
+}  // namespace
+}  // namespace dpjoin

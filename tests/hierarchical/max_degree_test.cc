@@ -1,0 +1,111 @@
+#include "hierarchical/max_degree.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/brute_force.h"
+#include "testing/queries.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(MaxDegreeTest, SingleRelationDegreeIsWeightedCount) {
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  Instance instance = Instance::Make(query);
+  ASSERT_TRUE(instance.AddTuple(0, {0, 0}, 2).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {0, 1}, 3).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {1, 2}, 1).ok());
+  const int a = query.AttributeIndex("A").value();
+  const auto degrees =
+      HierDegreeMap(instance, RelationSet::Of(0), AttributeSet::Of(a));
+  EXPECT_EQ(degrees.at(0), 5);  // frequencies add up (Def 4.7 case |E|=1)
+  EXPECT_EQ(degrees.at(1), 1);
+  EXPECT_EQ(MaxHierDegree(instance, RelationSet::Of(0), AttributeSet::Of(a)),
+            5);
+}
+
+TEST(MaxDegreeTest, MultiRelationDegreeCountsDistinctProjections) {
+  // E = {R1, R2} over star R1(A,B), R2(A,C): ∧E = {A}; Ψ_E = A-values with
+  // a joining pair; deg over y = ∅ counts |Ψ_E|.
+  const JoinQuery query = testing::MakeSmallStarQuery(4, 3, 3);
+  Instance instance = Instance::Make(query);
+  // A=0 joins (2 B-partners × 1 C-partner), A=1 joins, A=2 has R1 only.
+  ASSERT_TRUE(instance.AddTuple(0, {0, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {0, 1}, 5).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {0, 2}, 7).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {1, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {1, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {2, 0}, 1).ok());
+  const RelationSet both = RelationSet::FromElements({0, 1});
+  const auto degrees = HierDegreeMap(instance, both, AttributeSet());
+  ASSERT_EQ(degrees.size(), 1u);
+  // Distinct joining A-values: {0, 1} — multiplicities do NOT count.
+  EXPECT_EQ(degrees.at(0), 2);
+}
+
+TEST(MaxDegreeTest, DegreePerAncestorValue) {
+  const JoinQuery query = testing::MakeSmallStarQuery(4, 3, 3);
+  Instance instance = Instance::Make(query);
+  ASSERT_TRUE(instance.AddTuple(0, {0, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {0, 1}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {1, 2}, 9).ok());
+  const int a = query.AttributeIndex("A").value();
+  // deg_{R1, {A}}: per A-value weighted counts: A=0 → 2, A=1 → 9.
+  const auto degrees =
+      HierDegreeMap(instance, RelationSet::Of(0), AttributeSet::Of(a));
+  EXPECT_EQ(degrees.at(0), 2);
+  EXPECT_EQ(degrees.at(1), 9);
+}
+
+TEST(MaxDegreeTest, Figure4UpperBoundChainDegrees) {
+  // The Figure 4 caption: T_{345} ≤ mdeg_5(A)·mdeg_{34}(AB)·mdeg_3(ABG)·
+  // mdeg_4(ABG). Exercise each mdeg on a concrete instance.
+  const JoinQuery query = testing::MakeFigure4Query(3);
+  Instance instance = Instance::Make(query);
+  const int a = query.AttributeIndex("A").value();
+  const int b = query.AttributeIndex("B").value();
+  const int g = query.AttributeIndex("G").value();
+  // R3(A,B,G,K), R4(A,B,G,L), R5(A,C) — 0-based relations 2, 3, 4.
+  ASSERT_TRUE(instance.AddTuple(2, {0, 0, 0, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(2, {0, 0, 0, 1}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(2, {0, 0, 1, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(3, {0, 0, 0, 2}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(3, {0, 0, 1, 1}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(4, {0, 1}, 4).ok());
+  ASSERT_TRUE(instance.AddTuple(4, {1, 2}, 1).ok());
+
+  // mdeg_5(A): weighted degree of R5 over A = max(4, 1).
+  EXPECT_EQ(MaxHierDegree(instance, RelationSet::Of(4), AttributeSet::Of(a)),
+            4);
+  // mdeg_{34}({A,B}): distinct ∧{3,4}-projections ({A,B,G}-values) joining
+  // R3 ⋈ R4 per (A,B): G ∈ {0,1} join on both → 2.
+  EXPECT_EQ(MaxHierDegree(instance, RelationSet::FromElements({2, 3}),
+                          AttributeSet::FromElements({a, b})),
+            2);
+  // mdeg_3({A,B,G}): weighted degree of R3 per (A,B,G): (0,0,0) has 2.
+  EXPECT_EQ(MaxHierDegree(instance, RelationSet::Of(2),
+                          AttributeSet::FromElements({a, b, g})),
+            2);
+}
+
+TEST(MaxDegreeTest, EmptyDataGivesZero) {
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  const Instance instance = Instance::Make(query);
+  EXPECT_EQ(MaxHierDegree(instance, RelationSet::FromElements({0, 1}),
+                          AttributeSet()),
+            0);
+}
+
+TEST(MaxDegreeDeathTest, RequiresValidYSets) {
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  const Instance instance = Instance::Make(query);
+  const int b = query.AttributeIndex("B").value();
+  // y = {B} is not ⊆ ∧{R1,R2} = {A}.
+  EXPECT_DEATH((void)HierDegreeMap(instance, RelationSet::FromElements({0, 1}),
+                                   AttributeSet::Of(b)),
+               "");
+  EXPECT_DEATH((void)HierDegreeMap(instance, RelationSet(), AttributeSet()),
+               "empty");
+}
+
+}  // namespace
+}  // namespace dpjoin

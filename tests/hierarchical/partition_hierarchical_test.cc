@@ -1,0 +1,118 @@
+#include "hierarchical/partition_hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/join.h"
+#include "testing/brute_force.h"
+#include "testing/queries.h"
+
+namespace dpjoin {
+namespace {
+
+const PrivacyParams kParams(1.0, 1e-4);
+
+TEST(PartitionHierarchicalTest, JoinPartitionedAcrossSubInstances) {
+  // Lemma 4.10 property 1 at the full-partition level.
+  Rng rng(1);
+  const JoinQuery query = testing::MakeSmallStarQuery(4, 4, 4);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance = testing::RandomInstance(query, 20, rng);
+  auto partition =
+      PartitionHierarchical(instance, *tree, kParams, 2.0, rng);
+  ASSERT_TRUE(partition.ok());
+  double total = 0.0;
+  for (const auto& entry : partition->sub_instances) {
+    total += JoinCount(entry.sub_instance);
+  }
+  EXPECT_DOUBLE_EQ(total, JoinCount(instance));
+}
+
+TEST(PartitionHierarchicalTest, ConfigsAreDistinctAndComplete) {
+  Rng rng(2);
+  const JoinQuery query = testing::MakeSmallStarQuery(6, 8, 4);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance = testing::RandomInstance(query, 30, rng);
+  auto partition =
+      PartitionHierarchical(instance, *tree, kParams, 1.0, rng);
+  ASSERT_TRUE(partition.ok());
+  std::set<std::vector<int>> seen;
+  for (const auto& entry : partition->sub_instances) {
+    // Every attribute is assigned a bucket (σ covers all pairs).
+    for (int bucket : entry.config.buckets) EXPECT_GE(bucket, 1);
+    EXPECT_TRUE(seen.insert(entry.config.buckets).second)
+        << "duplicate degree configuration";
+  }
+}
+
+TEST(PartitionHierarchicalTest, ParticipationBoundedByLogPower) {
+  // Lemma 4.10 property 2: measured participation ≤ ℓ^{|x|}-ish; here we
+  // check it is small and at least 1.
+  Rng rng(3);
+  const JoinQuery query = testing::MakeSmallStarQuery(5, 6, 6);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance = testing::RandomInstance(query, 25, rng);
+  auto partition =
+      PartitionHierarchical(instance, *tree, kParams, 1.0, rng);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_GE(partition->max_participation, 1);
+  // 3 attributes, ℓ ≤ log2(25) + slack: generous cap.
+  EXPECT_LE(partition->max_participation, 64);
+}
+
+TEST(PartitionHierarchicalTest, TupleDisjointWithinDecomposedRelation) {
+  // For the small star, R1 is decomposed by both A and B, R2 by A and C —
+  // after the full pass each ORIGINAL tuple of R1 appears in exactly the
+  // sub-instances whose configs match its degree buckets; total frequency
+  // across sub-instances is a multiple of its own (shared relations repeat).
+  Rng rng(4);
+  const JoinQuery query = testing::MakeSmallStarQuery(4, 4, 4);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance = testing::RandomInstance(query, 12, rng);
+  auto partition =
+      PartitionHierarchical(instance, *tree, kParams, 2.0, rng);
+  ASSERT_TRUE(partition.ok());
+  for (int rel = 0; rel < 2; ++rel) {
+    for (const auto& [code, freq] : instance.relation(rel).entries()) {
+      for (const auto& entry : partition->sub_instances) {
+        const int64_t f = entry.sub_instance.relation(rel).Frequency(code);
+        EXPECT_TRUE(f == 0 || f == freq)
+            << "sub-instance must keep full frequency or none";
+      }
+    }
+  }
+}
+
+TEST(PartitionHierarchicalTest, CapEnforced) {
+  Rng rng(5);
+  const JoinQuery query = testing::MakeSmallStarQuery(8, 8, 8);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance = testing::RandomInstance(query, 64, rng);
+  auto partition = PartitionHierarchical(instance, *tree, kParams, 0.5, rng,
+                                         /*max_sub_instances=*/1);
+  EXPECT_TRUE(partition.status().IsFailedPrecondition());
+}
+
+TEST(PartitionHierarchicalTest, Figure4QueryPartitions) {
+  Rng rng(6);
+  const JoinQuery query = testing::MakeFigure4Query(2);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance = testing::RandomInstance(query, 6, rng);
+  auto partition =
+      PartitionHierarchical(instance, *tree, kParams, 2.0, rng);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_GE(partition->sub_instances.size(), 1u);
+  double total = 0.0;
+  for (const auto& entry : partition->sub_instances) {
+    total += JoinCount(entry.sub_instance);
+  }
+  EXPECT_DOUBLE_EQ(total, JoinCount(instance));
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,134 @@
+#include "hierarchical/q_aggregate_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/generators.h"
+#include "relational/join.h"
+#include "testing/brute_force.h"
+#include "testing/queries.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(QAggregateBoundTest, NonHierarchicalRejected) {
+  const JoinQuery query = MakePathQuery(3, 2);
+  // Build fails already at the tree stage.
+  EXPECT_FALSE(AttributeTree::Build(query).ok());
+}
+
+TEST(QAggregateBoundTest, SingleRelationFactorIsItself) {
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  auto structure = BoundaryBoundFactors(query, *tree, RelationSet::Of(0));
+  ASSERT_TRUE(structure.ok());
+  // T_{R1} with ∂ = {A}: single mdeg factor E={R1}, matched to attribute B
+  // (atom(B) = {R1}, ancestors(B) = {A}).
+  ASSERT_EQ(structure->factors.size(), 1u);
+  EXPECT_EQ(structure->factors[0].rels, RelationSet::Of(0));
+  EXPECT_EQ(structure->factors[0].attribute,
+            query.AttributeIndex("B").value());
+}
+
+TEST(QAggregateBoundTest, Figure4CaptionFactorization) {
+  // Figure 4 caption: T_{345} ≤ mdeg_5(A)·mdeg_{34}(AB)·mdeg_3(ABG)·
+  // mdeg_4(ABG) — i.e. factors correspond to attributes C, G, K, L.
+  const JoinQuery query = testing::MakeFigure4Query();
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const RelationSet e345 = RelationSet::FromElements({2, 3, 4});
+  auto structure = BoundaryBoundFactors(query, *tree, e345);
+  ASSERT_TRUE(structure.ok());
+  std::vector<int> factor_attrs;
+  for (const auto& factor : structure->factors) {
+    factor_attrs.push_back(factor.attribute);
+  }
+  std::sort(factor_attrs.begin(), factor_attrs.end());
+  const std::vector<int> expected = {
+      query.AttributeIndex("C").value(), query.AttributeIndex("G").value(),
+      query.AttributeIndex("K").value(), query.AttributeIndex("L").value()};
+  EXPECT_EQ(factor_attrs, expected);
+}
+
+TEST(QAggregateBoundTest, EveryFactorMatchesLemma48Structure) {
+  // Lemma 4.8: each factor has E' = atom(x) and y' = ancestors of x.
+  const JoinQuery query = testing::MakeFigure4Query();
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const int m = query.num_relations();
+  for (uint64_t bits = 1; bits + 1 < (uint64_t{1} << m); ++bits) {
+    RelationSet set;
+    for (int r = 0; r < m; ++r) {
+      if ((bits >> r) & 1) set.Insert(r);
+    }
+    auto structure = BoundaryBoundFactors(query, *tree, set);
+    ASSERT_TRUE(structure.ok()) << set.ToString();
+    for (const auto& factor : structure->factors) {
+      ASSERT_GE(factor.attribute, 0) << "unmatched factor for E = "
+                                     << set.ToString();
+      EXPECT_EQ(query.Atom(factor.attribute), factor.rels);
+      EXPECT_EQ(tree->ProperAncestors(factor.attribute), factor.y);
+    }
+  }
+}
+
+struct BoundParam {
+  const char* name;
+  int64_t tuples;
+  uint64_t seed;
+};
+
+class QAggregateBoundOracleTest
+    : public ::testing::TestWithParam<BoundParam> {};
+
+TEST_P(QAggregateBoundOracleTest, BoundDominatesExactTE) {
+  // §4.2.1's whole point: the mdeg product upper bounds T_E, for every
+  // E ⊊ [m], on random data.
+  const BoundParam& param = GetParam();
+  Rng rng(param.seed);
+  const JoinQuery query = testing::MakeFigure4Query(2);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  const Instance instance =
+      testing::RandomInstance(query, param.tuples, rng);
+  const int m = query.num_relations();
+  for (uint64_t bits = 1; bits + 1 < (uint64_t{1} << m); ++bits) {
+    RelationSet set;
+    for (int r = 0; r < m; ++r) {
+      if ((bits >> r) & 1) set.Insert(r);
+    }
+    auto structure = BoundaryBoundFactors(query, *tree, set);
+    ASSERT_TRUE(structure.ok());
+    const double bound = EvaluateQAggregateBound(instance, *structure);
+    const double exact = BoundaryQuery(instance, set);
+    EXPECT_GE(bound, exact - 1e-9)
+        << "E = " << set.ToString() << " bound " << bound << " exact "
+        << exact;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, QAggregateBoundOracleTest,
+    ::testing::Values(BoundParam{"sparse", 3, 601},
+                      BoundParam{"medium", 8, 602},
+                      BoundParam{"dense", 16, 603}),
+    [](const ::testing::TestParamInfo<BoundParam>& info) {
+      return info.param.name;
+    });
+
+TEST(QAggregateBoundTest, StarQueryBoundExactOnUniformData) {
+  // For the small star with single-attribute overlap, T_{R1} = mdeg_B
+  // exactly (case 1), so the bound is tight.
+  const JoinQuery query = testing::MakeSmallStarQuery(3, 3, 3);
+  auto tree = AttributeTree::Build(query);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(604);
+  const Instance instance = testing::RandomInstance(query, 9, rng);
+  auto structure = BoundaryBoundFactors(query, *tree, RelationSet::Of(0));
+  ASSERT_TRUE(structure.ok());
+  EXPECT_DOUBLE_EQ(EvaluateQAggregateBound(instance, *structure),
+                   BoundaryQuery(instance, RelationSet::Of(0)));
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,74 @@
+#include "lowerbound/distinguisher.h"
+
+#include <gtest/gtest.h>
+
+#include "dp/laplace.h"
+#include "lowerbound/hard_instances.h"
+#include "relational/join.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(DistinguisherTest, EpsilonBoundZeroWhenIndistinguishable) {
+  EXPECT_DOUBLE_EQ(EmpiricalEpsilonLowerBound(0.5, 0.5, 1e-5, 100), 0.0);
+  EXPECT_DOUBLE_EQ(EmpiricalEpsilonLowerBound(0.0, 0.0, 1e-5, 100), 0.0);
+}
+
+TEST(DistinguisherTest, EpsilonBoundLargeWhenSeparated) {
+  const double eps = EmpiricalEpsilonLowerBound(1.0, 0.0, 1e-5, 100);
+  // p′ floored at 1/101 ⇒ ε ≈ ln(101) ≈ 4.6.
+  EXPECT_NEAR(eps, std::log(101.0 * (1.0 - 1e-5)), 0.01);
+}
+
+TEST(DistinguisherTest, EpsilonBoundSymmetric) {
+  EXPECT_DOUBLE_EQ(EmpiricalEpsilonLowerBound(0.1, 0.9, 1e-6, 1000),
+                   EmpiricalEpsilonLowerBound(0.9, 0.1, 1e-6, 1000));
+}
+
+TEST(DistinguisherTest, EpsilonBoundCapped) {
+  EXPECT_LE(EmpiricalEpsilonLowerBound(1.0, 0.0, 0.0, 1000000000), 20.0);
+  // Floored p′ = 1/11 gives ln(11) ≈ 2.4 (no cap hit)...
+  EXPECT_NEAR(EmpiricalEpsilonLowerBound(1.0, 0.0, 0.0, 10, 5.0),
+              std::log(11.0), 1e-9);
+  // ... and a tiny cap clips it.
+  EXPECT_DOUBLE_EQ(EmpiricalEpsilonLowerBound(1.0, 0.0, 0.0, 10, 1.0), 1.0);
+}
+
+TEST(DistinguisherTest, DeltaSubtractedFromNumerator) {
+  // With δ ≥ p the bound collapses to 0.
+  EXPECT_DOUBLE_EQ(EmpiricalEpsilonLowerBound(0.01, 0.0, 0.02, 100), 0.0);
+}
+
+TEST(DistinguisherTest, LaplaceCountMechanismLooksPrivate) {
+  // A genuinely DP statistic — count + Lap(Δ/ε) — must NOT register a large
+  // empirical ε on the Figure-1 pair.
+  const Figure1Pair pair = MakeFigure1Pair(8);
+  const double eps = 1.0;
+  const MechanismStatistic statistic = [&](const Instance& instance,
+                                           Rng& rng) {
+    // Sensitivity of count on this pair's neighborhood is Δ = 8.
+    return AddLaplaceNoise(JoinCount(instance), 8.0, eps, rng);
+  };
+  Rng rng(9);
+  const DistinguisherResult verdict = DistinguishByThreshold(
+      statistic, pair.instance, pair.neighbor, /*threshold=*/4.0,
+      /*trials=*/400, 1e-5, rng);
+  // Noise scale 8 vs gap 8: distributions overlap heavily.
+  EXPECT_LT(verdict.empirical_epsilon, 1.6);
+}
+
+TEST(DistinguisherTest, UnmaskedCountIsFlagged) {
+  const Figure1Pair pair = MakeFigure1Pair(8);
+  const MechanismStatistic statistic = [](const Instance& instance, Rng&) {
+    return JoinCount(instance);  // no noise at all
+  };
+  Rng rng(10);
+  const DistinguisherResult verdict = DistinguishByThreshold(
+      statistic, pair.instance, pair.neighbor, 4.0, 50, 1e-5, rng);
+  EXPECT_DOUBLE_EQ(verdict.p_event, 1.0);
+  EXPECT_DOUBLE_EQ(verdict.p_event_prime, 0.0);
+  EXPECT_GT(verdict.empirical_epsilon, 3.0);
+}
+
+}  // namespace
+}  // namespace dpjoin

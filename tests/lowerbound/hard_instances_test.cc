@@ -1,0 +1,135 @@
+#include "lowerbound/hard_instances.h"
+
+#include <gtest/gtest.h>
+
+#include "query/evaluation.h"
+#include "relational/join.h"
+#include "sensitivity/local_sensitivity.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(Figure1Test, JoinSizesAreNAndZero) {
+  const Figure1Pair pair = MakeFigure1Pair(16);
+  EXPECT_DOUBLE_EQ(JoinCount(pair.instance), 16.0);
+  EXPECT_DOUBLE_EQ(JoinCount(pair.neighbor), 0.0);
+  EXPECT_EQ(pair.instance.InputSize(), 17);
+  EXPECT_EQ(pair.neighbor.InputSize(), 16);
+  EXPECT_DOUBLE_EQ(LocalSensitivity(pair.instance), 16.0);
+}
+
+TEST(Figure1Test, RegionMassCapturesJoinCells) {
+  const Figure1Pair pair = MakeFigure1Pair(8);
+  const DenseTensor join = JoinTensor(pair.instance);
+  // All of I's join mass lies in D′.
+  EXPECT_DOUBLE_EQ(Figure1RegionMass(pair.instance, join), 8.0);
+  const DenseTensor join_prime = JoinTensor(pair.neighbor);
+  EXPECT_DOUBLE_EQ(Figure1RegionMass(pair.neighbor, join_prime), 0.0);
+}
+
+TEST(Theorem35Test, ConstructionInvariants) {
+  // T = [3, 1, 2] over d = 3, rows = 4, Δ = 5.
+  const std::vector<int64_t> table = {3, 1, 2};
+  auto built = MakeTheorem35Instance(table, 4, 5);
+  ASSERT_TRUE(built.ok());
+  // Join size = Δ·ΣT = 5·6 = 30.
+  EXPECT_DOUBLE_EQ(JoinCount(built->instance), 30.0);
+  // Local sensitivity = Δ (every B-value has deg_2 = Δ).
+  EXPECT_DOUBLE_EQ(LocalSensitivity(built->instance), 5.0);
+}
+
+TEST(Theorem35Test, NeighborsMapToNeighbors) {
+  // Changing T by one row changes the construction by one R1 tuple.
+  auto a = MakeTheorem35Instance({2, 1}, 3, 2);
+  auto b = MakeTheorem35Instance({3, 1}, 3, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  int64_t distance = 0;
+  for (int rel = 0; rel < 2; ++rel) {
+    const Relation& ra = a->instance.relation(rel);
+    const Relation& rb = b->instance.relation(rel);
+    for (int64_t code = 0; code < ra.tuple_space().size(); ++code) {
+      distance += std::abs(ra.Frequency(code) - rb.Frequency(code));
+    }
+  }
+  EXPECT_EQ(distance, 1);
+}
+
+TEST(Theorem35Test, ReductionIdentityQPrimeEqualsDeltaTimesQ) {
+  // The proof's key identity: q′(I) = Δ·q(T) for q′ = (q∘π_A, all-ones).
+  const std::vector<int64_t> table = {3, 0, 2, 1};
+  auto built = MakeTheorem35Instance(table, 4, 3);
+  ASSERT_TRUE(built.ok());
+  const std::vector<std::vector<double>> queries = {
+      {1.0, 1.0, 1.0, 1.0},
+      {0.5, -0.5, 1.0, 0.0},
+      {-1.0, 1.0, -1.0, 1.0},
+  };
+  auto family = LiftSingleTableQueries(*built, queries);
+  ASSERT_TRUE(family.ok());
+  for (size_t j = 0; j < queries.size(); ++j) {
+    const double lifted = EvaluateOnInstance(
+        *family, {static_cast<int64_t>(j), 0}, built->instance);
+    const double direct = SingleTableAnswer(table, queries[j]);
+    EXPECT_NEAR(lifted, 3.0 * direct, 1e-9) << "query " << j;
+  }
+}
+
+TEST(Theorem35Test, ValidationErrors) {
+  EXPECT_FALSE(MakeTheorem35Instance({}, 2, 2).ok());
+  EXPECT_FALSE(MakeTheorem35Instance({1}, 0, 2).ok());
+  EXPECT_FALSE(MakeTheorem35Instance({5}, 2, 2).ok());  // count > rows
+  auto built = MakeTheorem35Instance({1, 1}, 2, 2);
+  ASSERT_TRUE(built.ok());
+  EXPECT_FALSE(LiftSingleTableQueries(*built, {}).ok());
+  EXPECT_FALSE(LiftSingleTableQueries(*built, {{1.0}}).ok());  // arity
+}
+
+TEST(Figure3Test, DegreeStaircase) {
+  const Instance instance = MakeFigure3Instance(6);
+  // Input size = 2·Σi = 2·21 = 42; join size = Σi² = 91; Δ = 6.
+  EXPECT_EQ(instance.InputSize(), 42);
+  EXPECT_DOUBLE_EQ(JoinCount(instance), 91.0);
+  EXPECT_DOUBLE_EQ(LocalSensitivity(instance), 6.0);
+  // Degrees over B are exactly 1..k on both sides.
+  for (int side = 0; side < 2; ++side) {
+    const auto degrees =
+        instance.relation(side).DegreeMap(AttributeSet::Of(1));
+    for (int64_t b = 0; b < 6; ++b) {
+      EXPECT_EQ(degrees.at(b), b + 1);
+    }
+  }
+}
+
+TEST(Example42Test, LevelStructure) {
+  const Example42Instance example = MakeExample42Instance(8);
+  // k = 8: levels i = 0, 1, 2 with ⌈64/8^i⌉ = 64, 8, 1 values, degrees
+  // 1, 2, 4.
+  ASSERT_EQ(example.level_values.size(), 3u);
+  EXPECT_EQ(example.level_values[0], 64);
+  EXPECT_EQ(example.level_values[1], 8);
+  EXPECT_EQ(example.level_values[2], 1);
+  EXPECT_EQ(example.level_degrees[2], 4);
+  // Δ = max degree = 4; count = Σ values·deg² = 64 + 32 + 16 = 112.
+  EXPECT_DOUBLE_EQ(LocalSensitivity(example.instance), 4.0);
+  EXPECT_DOUBLE_EQ(JoinCount(example.instance), 112.0);
+}
+
+TEST(Theorem16PathTest, ConstructionInvariants) {
+  const std::vector<int64_t> table = {2, 1};
+  auto built = MakeTheorem16PathInstance(table, 2, 3);
+  ASSERT_TRUE(built.ok());
+  // Join size = side²·ΣT = 9·3 = 27.
+  EXPECT_DOUBLE_EQ(JoinCount(built->instance), 27.0);
+  // LS = side² = 9 (adding an R1 diagonal tuple completes side² rows).
+  EXPECT_DOUBLE_EQ(LocalSensitivity(built->instance), 9.0);
+  EXPECT_EQ(built->instance.query().num_relations(), 3);
+}
+
+TEST(Theorem16PathTest, RejectsBadInput) {
+  EXPECT_FALSE(MakeTheorem16PathInstance({}, 2, 2).ok());
+  EXPECT_FALSE(MakeTheorem16PathInstance({3}, 2, 2).ok());
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,62 @@
+#include "query/dense_tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace dpjoin {
+namespace {
+
+TEST(DenseTensorTest, ZeroInitialized) {
+  DenseTensor t(MixedRadix({2, 3}));
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_DOUBLE_EQ(t.TotalMass(), 0.0);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(t.At(i), 0.0);
+}
+
+TEST(DenseTensorTest, SetAddAt) {
+  DenseTensor t(MixedRadix({2, 2}));
+  t.Set(1, 3.0);
+  t.Add(1, 2.0);
+  EXPECT_DOUBLE_EQ(t.At(1), 5.0);
+  EXPECT_DOUBLE_EQ(t.AtDigits({0, 1}), 5.0);
+  EXPECT_DOUBLE_EQ(t.TotalMass(), 5.0);
+}
+
+TEST(DenseTensorTest, FillAndScale) {
+  DenseTensor t(MixedRadix({4}));
+  t.Fill(2.0);
+  EXPECT_DOUBLE_EQ(t.TotalMass(), 8.0);
+  t.Scale(0.5);
+  EXPECT_DOUBLE_EQ(t.TotalMass(), 4.0);
+}
+
+TEST(DenseTensorTest, NormalizeToTarget) {
+  DenseTensor t(MixedRadix({3}));
+  t.Set(0, 1.0);
+  t.Set(1, 3.0);
+  t.NormalizeTo(10.0);
+  EXPECT_NEAR(t.TotalMass(), 10.0, 1e-12);
+  EXPECT_NEAR(t.At(1) / t.At(0), 3.0, 1e-12);  // ratios preserved
+}
+
+TEST(DenseTensorTest, AddTensorIsElementwiseUnion) {
+  DenseTensor a(MixedRadix({2, 2}));
+  DenseTensor b(MixedRadix({2, 2}));
+  a.Set(0, 1.0);
+  b.Set(0, 2.0);
+  b.Set(3, 4.0);
+  a.AddTensor(b);
+  EXPECT_DOUBLE_EQ(a.At(0), 3.0);
+  EXPECT_DOUBLE_EQ(a.At(3), 4.0);
+  EXPECT_DOUBLE_EQ(a.TotalMass(), 7.0);
+}
+
+TEST(DenseTensorDeathTest, MismatchedShapesAbort) {
+  DenseTensor a(MixedRadix({2, 2}));
+  DenseTensor b(MixedRadix({2, 3}));
+  EXPECT_DEATH(a.AddTensor(b), "");
+  DenseTensor zero(MixedRadix({2}));
+  EXPECT_DEATH(zero.NormalizeTo(1.0), "");
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,148 @@
+#include "query/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "query/workloads.h"
+#include "relational/join.h"
+#include "relational/join_query.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(EvaluationTest, ReleaseShapeMatchesRelationDomains) {
+  const JoinQuery query = MakeTwoTableQuery(2, 3, 4);
+  const MixedRadix shape = ReleaseShape(query);
+  ASSERT_EQ(shape.num_digits(), 2u);
+  EXPECT_EQ(shape.radix(0), 6);
+  EXPECT_EQ(shape.radix(1), 12);
+  EXPECT_EQ(shape.size(), 72);
+}
+
+TEST(EvaluationDeathTest, ReleaseShapeRejectsHugeDomains) {
+  const JoinQuery query = MakeTwoTableQuery(1000, 1000, 1000);
+  EXPECT_DEATH((void)ReleaseShape(query, 1 << 20), "too large");
+}
+
+TEST(EvaluationTest, JoinTensorMatchesJoinFunction) {
+  Rng rng(31);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 10, rng);
+  const DenseTensor tensor = JoinTensor(instance);
+  EXPECT_DOUBLE_EQ(tensor.TotalMass(), JoinCount(instance));
+  // Spot-check cells: Join(t1, t2) = ρ·R1(t1)·R2(t2).
+  const Relation& r1 = instance.relation(0);
+  const Relation& r2 = instance.relation(1);
+  for (int64_t c1 = 0; c1 < r1.tuple_space().size(); ++c1) {
+    for (int64_t c2 = 0; c2 < r2.tuple_space().size(); ++c2) {
+      const int64_t b1 = r1.ProjectCode(c1, AttributeSet::Of(1));
+      const int64_t b2 = r2.ProjectCode(c2, AttributeSet::Of(1));
+      const double expected =
+          (b1 == b2) ? static_cast<double>(r1.Frequency(c1) * r2.Frequency(c2))
+                     : 0.0;
+      EXPECT_DOUBLE_EQ(tensor.AtDigits({c1, c2}), expected);
+    }
+  }
+}
+
+TEST(EvaluationTest, CountingQueryOnTensorIsTotalMass) {
+  Rng rng(32);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 12, rng);
+  const QueryFamily family = MakeCountingFamily(query);
+  const DenseTensor tensor = JoinTensor(instance);
+  EXPECT_DOUBLE_EQ(EvaluateOnTensor(family, {0, 0}, tensor),
+                   tensor.TotalMass());
+  EXPECT_DOUBLE_EQ(EvaluateOnInstance(family, {0, 0}, instance),
+                   JoinCount(instance));
+}
+
+struct EvalParam {
+  const char* name;
+  WorkloadKind kind;
+  int64_t per_table;
+  int64_t tuples;
+  uint64_t seed;
+};
+
+class EvaluationOracleTest : public ::testing::TestWithParam<EvalParam> {};
+
+TEST_P(EvaluationOracleTest, AllEvaluationPathsAgree) {
+  const EvalParam& param = GetParam();
+  Rng rng(param.seed);
+  const JoinQuery query = MakeTwoTableQuery(3, 4, 3);
+  const Instance instance =
+      testing::RandomInstance(query, param.tuples, rng);
+  const QueryFamily family =
+      MakeWorkload(query, param.kind, param.per_table, rng);
+  const DenseTensor tensor = JoinTensor(instance);
+
+  // Path 1: contraction on the dense join tensor.
+  const std::vector<double> on_tensor = EvaluateAllOnTensor(family, tensor);
+  // Path 2: sparse join enumeration.
+  const std::vector<double> on_instance =
+      EvaluateAllOnInstance(family, instance);
+  // Path 3 (oracle): brute force per query; also single-query entry points.
+  ASSERT_EQ(on_tensor.size(), static_cast<size_t>(family.TotalCount()));
+  ASSERT_EQ(on_instance.size(), on_tensor.size());
+  for (int64_t flat = 0; flat < family.TotalCount(); ++flat) {
+    const auto parts = family.Decompose(flat);
+    const double oracle =
+        testing::BruteForceQueryAnswer(family, parts, instance);
+    EXPECT_NEAR(on_tensor[static_cast<size_t>(flat)], oracle, 1e-9)
+        << family.LabelOf(flat);
+    EXPECT_NEAR(on_instance[static_cast<size_t>(flat)], oracle, 1e-9);
+    EXPECT_NEAR(EvaluateOnTensor(family, parts, tensor), oracle, 1e-9);
+    EXPECT_NEAR(EvaluateOnInstance(family, parts, instance), oracle, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, EvaluationOracleTest,
+    ::testing::Values(EvalParam{"random_sign", WorkloadKind::kRandomSign, 3,
+                                12, 201},
+                      EvalParam{"random_uniform", WorkloadKind::kRandomUniform,
+                                3, 12, 202},
+                      EvalParam{"prefix", WorkloadKind::kPrefix, 4, 15, 203},
+                      EvalParam{"point", WorkloadKind::kPoint, 4, 15, 204},
+                      EvalParam{"empty_instance", WorkloadKind::kRandomSign, 3,
+                                0, 205}),
+    [](const ::testing::TestParamInfo<EvalParam>& info) {
+      return info.param.name;
+    });
+
+TEST(EvaluationTest, ThreeTableAllPathsAgree) {
+  Rng rng(41);
+  const JoinQuery query = MakePathQuery(3, 3);
+  const Instance instance = testing::RandomInstance(query, 8, rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomUniform, 2, rng);
+  const DenseTensor tensor = JoinTensor(instance);
+  const auto on_tensor = EvaluateAllOnTensor(family, tensor);
+  const auto on_instance = EvaluateAllOnInstance(family, instance);
+  for (int64_t flat = 0; flat < family.TotalCount(); ++flat) {
+    const double oracle = testing::BruteForceQueryAnswer(
+        family, family.Decompose(flat), instance);
+    EXPECT_NEAR(on_tensor[static_cast<size_t>(flat)], oracle, 1e-9);
+    EXPECT_NEAR(on_instance[static_cast<size_t>(flat)], oracle, 1e-9);
+  }
+}
+
+TEST(EvaluationTest, MaxAbsDifference) {
+  EXPECT_DOUBLE_EQ(MaxAbsDifference({1.0, 2.0}, {1.5, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(MaxAbsDifference({}, {}), 0.0);
+}
+
+TEST(EvaluationTest, WorkloadErrorZeroForExactTensor) {
+  Rng rng(55);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 10, rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 3, rng);
+  // The exact join tensor answers every linear query exactly.
+  EXPECT_NEAR(WorkloadError(family, instance, JoinTensor(instance)), 0.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace dpjoin

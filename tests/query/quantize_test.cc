@@ -1,0 +1,113 @@
+#include "query/quantize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+namespace {
+
+DenseTensor MakeFractionalTensor() {
+  DenseTensor t(MixedRadix({4, 4}));
+  Rng rng(5);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.Set(i, rng.UniformDouble(0.0, 3.0));
+  }
+  return t;
+}
+
+TEST(QuantizeTest, RandomizedRoundingProducesIntegers) {
+  const DenseTensor t = MakeFractionalTensor();
+  Rng rng(1);
+  const DenseTensor q = QuantizeRandomized(t, rng);
+  for (int64_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(q.At(i), std::floor(q.At(i)));
+    EXPECT_GE(q.At(i), std::floor(t.At(i)));
+    EXPECT_LE(q.At(i), std::ceil(t.At(i)));
+  }
+}
+
+TEST(QuantizeTest, RandomizedRoundingIsUnbiasedPerCell) {
+  DenseTensor t(MixedRadix({1}));
+  t.Set(0, 2.3);
+  Rng rng(2);
+  SampleStats stats;
+  for (int rep = 0; rep < 20000; ++rep) {
+    stats.Add(QuantizeRandomized(t, rng).At(0));
+  }
+  EXPECT_NEAR(stats.Mean(), 2.3, 0.02);
+}
+
+TEST(QuantizeTest, RandomizedRoundingUnbiasedForLinearQueries) {
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  Rng wl_rng(3);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 2, wl_rng);
+  DenseTensor t(MixedRadix({4, 4}));
+  Rng fill_rng(4);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.Set(i, fill_rng.UniformDouble(0.0, 2.0));
+  }
+  const double truth = EvaluateOnTensor(family, {1, 1}, t);
+  Rng rng(5);
+  SampleStats stats;
+  for (int rep = 0; rep < 5000; ++rep) {
+    stats.Add(EvaluateOnTensor(family, {1, 1}, QuantizeRandomized(t, rng)));
+  }
+  EXPECT_NEAR(stats.Mean(), truth, 0.15);
+}
+
+TEST(QuantizeTest, IntegerTensorIsFixedPoint) {
+  DenseTensor t(MixedRadix({3}));
+  t.Set(0, 2.0);
+  t.Set(2, 5.0);
+  Rng rng(6);
+  const DenseTensor q = QuantizeRandomized(t, rng);
+  EXPECT_EQ(q.values(), t.values());
+  EXPECT_EQ(QuantizeErrorDiffusion(t).values(), t.values());
+}
+
+TEST(QuantizeTest, ErrorDiffusionPreservesTotalWithinOne) {
+  const DenseTensor t = MakeFractionalTensor();
+  const DenseTensor q = QuantizeErrorDiffusion(t);
+  EXPECT_LE(std::abs(q.TotalMass() - t.TotalMass()), 1.0);
+  for (int64_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(q.At(i), std::floor(q.At(i)));
+    EXPECT_GE(q.At(i), 0.0);
+  }
+}
+
+TEST(QuantizeTest, ErrorDiffusionPrefixSumsStayClose) {
+  const DenseTensor t = MakeFractionalTensor();
+  const DenseTensor q = QuantizeErrorDiffusion(t);
+  double real_prefix = 0.0, int_prefix = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    real_prefix += t.At(i);
+    int_prefix += q.At(i);
+    EXPECT_LE(std::abs(real_prefix - int_prefix), 1.0) << "prefix " << i;
+  }
+}
+
+TEST(QuantizeTest, EnumerateRecordsListsPositiveCells) {
+  DenseTensor t(MixedRadix({4}));
+  t.Set(1, 2.0);
+  t.Set(3, 1.0);
+  const auto records = EnumerateRecords(t);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], std::make_pair(int64_t{1}, int64_t{2}));
+  EXPECT_EQ(records[1], std::make_pair(int64_t{3}, int64_t{1}));
+}
+
+TEST(QuantizeDeathTest, EnumerateRejectsFractionalTensor) {
+  DenseTensor t(MixedRadix({2}));
+  t.Set(0, 1.5);
+  EXPECT_DEATH((void)EnumerateRecords(t), "integer tensor");
+}
+
+}  // namespace
+}  // namespace dpjoin

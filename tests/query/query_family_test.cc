@@ -1,0 +1,80 @@
+#include "query/query_family.h"
+
+#include <gtest/gtest.h>
+
+#include "query/workloads.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+namespace {
+
+std::vector<TableQuery> TwoQueries(int64_t dom) {
+  TableQuery ones{"ones", std::vector<double>(static_cast<size_t>(dom), 1.0)};
+  TableQuery half{"half", std::vector<double>(static_cast<size_t>(dom), 0.5)};
+  return {ones, half};
+}
+
+TEST(QueryFamilyTest, ProductStructure) {
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  auto family = QueryFamily::Create(
+      query, {TwoQueries(query.relation_domain_size(0)),
+              TwoQueries(query.relation_domain_size(1))});
+  ASSERT_TRUE(family.ok());
+  EXPECT_EQ(family->num_relations(), 2);
+  EXPECT_EQ(family->CountForTable(0), 2);
+  EXPECT_EQ(family->TotalCount(), 4);
+}
+
+TEST(QueryFamilyTest, DecomposeRoundTrips) {
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  auto family = QueryFamily::Create(
+      query, {TwoQueries(4), TwoQueries(4)});
+  ASSERT_TRUE(family.ok());
+  for (int64_t flat = 0; flat < family->TotalCount(); ++flat) {
+    const auto parts = family->Decompose(flat);
+    EXPECT_EQ(family->index().Encode(parts), flat);
+  }
+}
+
+TEST(QueryFamilyTest, LabelsJoinPartLabels) {
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  auto family = QueryFamily::Create(query, {TwoQueries(4), TwoQueries(4)});
+  ASSERT_TRUE(family.ok());
+  EXPECT_EQ(family->LabelOf(0), "ones × ones");
+  EXPECT_EQ(family->LabelOf(3), "half × half");
+}
+
+TEST(QueryFamilyTest, ValidatesShape) {
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  // Wrong number of lists.
+  EXPECT_TRUE(QueryFamily::Create(query, {TwoQueries(4)})
+                  .status()
+                  .IsInvalidArgument());
+  // Empty list for one relation.
+  EXPECT_TRUE(QueryFamily::Create(query, {TwoQueries(4), {}})
+                  .status()
+                  .IsInvalidArgument());
+  // Wrong arity.
+  EXPECT_TRUE(QueryFamily::Create(query, {TwoQueries(4), TwoQueries(3)})
+                  .status()
+                  .IsInvalidArgument());
+  // Out-of-range value.
+  TableQuery bad{"bad", std::vector<double>(4, 2.0)};
+  EXPECT_TRUE(QueryFamily::Create(query, {TwoQueries(4), {bad}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(QueryFamilyTest, CountingFamilyIsSingleton) {
+  const JoinQuery query = MakePathQuery(3, 2);
+  const QueryFamily family = MakeCountingFamily(query);
+  EXPECT_EQ(family.TotalCount(), 1);
+  for (int r = 0; r < 3; ++r) {
+    for (double v : family.table_queries(r)[0].values) {
+      EXPECT_DOUBLE_EQ(v, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpjoin

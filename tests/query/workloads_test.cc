@@ -1,0 +1,147 @@
+#include "query/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/join_query.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(WorkloadsTest, AllOnesQueryIsAllOnes) {
+  const JoinQuery query = MakeTwoTableQuery(2, 3, 2);
+  const TableQuery ones = MakeAllOnesQuery(query, 0);
+  EXPECT_EQ(ones.values.size(), 6u);
+  for (double v : ones.values) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(WorkloadsTest, RandomSignValuesAreSigns) {
+  Rng rng(1);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const auto queries = MakeRandomSignQueries(query, 0, 5, rng);
+  ASSERT_EQ(queries.size(), 6u);  // all-ones + 5
+  for (size_t j = 1; j < queries.size(); ++j) {
+    for (double v : queries[j].values) {
+      EXPECT_TRUE(v == 1.0 || v == -1.0);
+    }
+  }
+}
+
+TEST(WorkloadsTest, RandomUniformValuesInRange) {
+  Rng rng(2);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const auto queries = MakeRandomUniformQueries(query, 1, 4, rng);
+  for (const auto& q : queries) {
+    for (double v : q.values) {
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(WorkloadsTest, PrefixQueriesAreNestedIndicators) {
+  const JoinQuery query = MakeTwoTableQuery(2, 4, 2);
+  const auto queries = MakePrefixQueries(query, 0, 4);
+  ASSERT_EQ(queries.size(), 5u);
+  // Each prefix is 0/1 valued, and later prefixes dominate earlier ones.
+  for (size_t j = 1; j < queries.size(); ++j) {
+    int64_t ones = 0;
+    for (double v : queries[j].values) {
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+      ones += v == 1.0;
+    }
+    EXPECT_GT(ones, 0);
+    if (j > 1) {
+      for (size_t d = 0; d < queries[j].values.size(); ++d) {
+        EXPECT_GE(queries[j].values[d], queries[j - 1].values[d]);
+      }
+    }
+  }
+  // Last prefix covers everything.
+  for (double v : queries.back().values) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(WorkloadsTest, PointQueriesHaveSingleOne) {
+  Rng rng(3);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const auto queries = MakePointQueries(query, 0, 6, rng);
+  for (size_t j = 1; j < queries.size(); ++j) {
+    double total = 0.0;
+    for (double v : queries[j].values) total += v;
+    EXPECT_DOUBLE_EQ(total, 1.0);
+  }
+}
+
+TEST(WorkloadsTest, MarginalQueriesPartitionTheMass) {
+  const JoinQuery query = MakeTwoTableQuery(3, 4, 2);
+  const auto queries = MakeMarginalQueries(query, 0, /*attr=*/0);  // A
+  ASSERT_EQ(queries.size(), 4u);  // ones + 3 marginals
+  // Σ_v marginal_v = ones, cell-wise.
+  for (size_t d = 0; d < queries[0].values.size(); ++d) {
+    double total = 0.0;
+    for (size_t j = 1; j < queries.size(); ++j) total += queries[j].values[d];
+    EXPECT_DOUBLE_EQ(total, 1.0) << "cell " << d;
+  }
+  EXPECT_EQ(queries[1].label, "A=0");
+}
+
+TEST(WorkloadsTest, MarginalOverJoinAttribute) {
+  const JoinQuery query = MakeTwoTableQuery(3, 4, 2);
+  const int b = query.AttributeIndex("B").value();
+  const auto queries = MakeMarginalQueries(query, 1, b);
+  ASSERT_EQ(queries.size(), 5u);  // ones + |dom(B)| = 4
+  // Marginal B=2 selects exactly the R2 tuples with B digit 2.
+  const MixedRadix& coder = query.tuple_space(1);
+  for (int64_t code = 0; code < coder.size(); ++code) {
+    const double expected = coder.Digit(code, 0) == 2 ? 1.0 : 0.0;
+    EXPECT_DOUBLE_EQ(queries[3].values[static_cast<size_t>(code)], expected);
+  }
+}
+
+TEST(WorkloadsTest, MarginalWorkloadKind) {
+  Rng rng(5);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kMarginal, 0, rng);
+  // Per relation: ones + |dom(first attr)| = 4 queries.
+  EXPECT_EQ(family.CountForTable(0), 4);
+  EXPECT_EQ(family.TotalCount(), 16);
+}
+
+TEST(WorkloadsDeathTest, MarginalRejectsForeignAttribute) {
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const int c = query.AttributeIndex("C").value();
+  EXPECT_DEATH((void)MakeMarginalQueries(query, 0, c), "not in relation");
+}
+
+TEST(WorkloadsTest, MakeWorkloadBuildsProductFamily) {
+  Rng rng(4);
+  const JoinQuery query = MakePathQuery(3, 2);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 3, rng);
+  EXPECT_EQ(family.num_relations(), 3);
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(family.CountForTable(r), 4);
+  EXPECT_EQ(family.TotalCount(), 64);
+  // Query 0 is count (all all-ones).
+  for (int r = 0; r < 3; ++r) {
+    for (double v : family.table_queries(r)[0].values) {
+      EXPECT_DOUBLE_EQ(v, 1.0);
+    }
+  }
+}
+
+TEST(WorkloadsTest, WorkloadsAreSeedDeterministic) {
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  Rng rng1(9), rng2(9);
+  const QueryFamily a = MakeWorkload(query, WorkloadKind::kRandomUniform, 2,
+                                     rng1);
+  const QueryFamily b = MakeWorkload(query, WorkloadKind::kRandomUniform, 2,
+                                     rng2);
+  for (int r = 0; r < 2; ++r) {
+    for (size_t j = 0; j < a.table_queries(r).size(); ++j) {
+      EXPECT_EQ(a.table_queries(r)[j].values, b.table_queries(r)[j].values);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpjoin

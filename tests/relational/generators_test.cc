@@ -1,0 +1,87 @@
+#include "relational/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/join.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(GeneratorsTest, ZipfCountsSumAndMonotone) {
+  const auto counts = ZipfCounts(10, 1000, 1.2);
+  int64_t total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (i > 0) {
+      EXPECT_LE(counts[i], counts[i - 1] + 1);  // ~monotone
+    }
+  }
+  EXPECT_EQ(total, 1000);
+  EXPECT_GT(counts[0], counts[9]);
+}
+
+TEST(GeneratorsTest, ZipfZeroSkewNearUniform) {
+  const auto counts = ZipfCounts(4, 400, 0.0);
+  for (int64_t c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(GeneratorsTest, UniformInstanceHasRequestedSize) {
+  Rng rng(3);
+  const JoinQuery query = MakeTwoTableQuery(4, 4, 4);
+  const Instance instance = MakeUniformInstance(query, 50, rng);
+  EXPECT_EQ(instance.relation(0).TotalFrequency(), 50);
+  EXPECT_EQ(instance.relation(1).TotalFrequency(), 50);
+  EXPECT_EQ(instance.InputSize(), 100);
+}
+
+TEST(GeneratorsTest, ZipfTwoTableDegreesFollowCounts) {
+  Rng rng(5);
+  const JoinQuery query = MakeTwoTableQuery(8, 6, 8);
+  const Instance instance = MakeZipfTwoTableInstance(query, 120, 1.0, rng);
+  EXPECT_EQ(instance.InputSize(), 240);
+  // Degrees over B must equal the Zipf counts in both relations.
+  const auto expected = ZipfCounts(6, 120, 1.0);
+  const int b = query.AttributeIndex("B").value();
+  for (int side = 0; side < 2; ++side) {
+    const auto degrees = instance.relation(side).DegreeMap(AttributeSet::Of(b));
+    for (int64_t v = 0; v < 6; ++v) {
+      const auto it = degrees.find(v);
+      const int64_t got = it == degrees.end() ? 0 : it->second;
+      EXPECT_EQ(got, expected[static_cast<size_t>(v)]) << "b=" << v;
+    }
+  }
+}
+
+TEST(GeneratorsTest, AllOnesInstanceJoinSizeIsProductFormula) {
+  const JoinQuery query = MakeTwoTableQuery(3, 2, 4);
+  const Instance instance = MakeAllOnesInstance(query);
+  // Every (a,b) joins every (b,c): 3·2·4 = 24.
+  EXPECT_DOUBLE_EQ(JoinCount(instance), 24.0);
+  EXPECT_EQ(instance.InputSize(), 3 * 2 + 2 * 4);
+}
+
+TEST(GeneratorsTest, ZipfPathInstanceBuildsAllRelations) {
+  Rng rng(7);
+  const JoinQuery query = MakePathQuery(3, 5);
+  const Instance instance = MakeZipfPathInstance(query, 40, 1.0, rng);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(instance.relation(r).TotalFrequency(), 40);
+  }
+}
+
+TEST(GeneratorsTest, DeterministicUnderSeed) {
+  const JoinQuery query = MakeTwoTableQuery(4, 4, 4);
+  Rng rng1(11), rng2(11);
+  const Instance a = MakeUniformInstance(query, 30, rng1);
+  const Instance b = MakeUniformInstance(query, 30, rng2);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(a.relation(r).entries().size(), b.relation(r).entries().size());
+    for (const auto& [code, freq] : a.relation(r).entries()) {
+      EXPECT_EQ(b.relation(r).Frequency(code), freq);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,71 @@
+#include "relational/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/join_query.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(InstanceTest, InputSizeSumsRelations) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(2, 2, 2));
+  ASSERT_TRUE(instance.AddTuple(0, {0, 0}, 3).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {1, 1}, 2).ok());
+  EXPECT_EQ(instance.InputSize(), 5);
+}
+
+TEST(InstanceTest, AddTupleValidates) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(2, 2, 2));
+  EXPECT_TRUE(instance.AddTuple(5, {0, 0}, 1).IsOutOfRange());
+  EXPECT_TRUE(instance.AddTuple(0, {2, 0}, 1).IsOutOfRange());
+  EXPECT_TRUE(instance.AddTuple(0, {0}, 1).IsInvalidArgument());
+  EXPECT_TRUE(instance.AddTuple(0, {0, 0}, -1).IsInvalidArgument());
+}
+
+TEST(InstanceTest, NeighborDiffersByOneTuple) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(2, 2, 2));
+  ASSERT_TRUE(instance.AddTuple(0, {0, 0}, 1).ok());
+  auto up = instance.Neighbor(0, {1, 1}, +1);
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->InputSize(), 2);
+  EXPECT_EQ(instance.InputSize(), 1);  // original untouched
+
+  auto down = instance.Neighbor(0, {0, 0}, -1);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->InputSize(), 0);
+
+  EXPECT_TRUE(instance.Neighbor(0, {0, 0}, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(instance.Neighbor(0, {1, 1}, -1).status().IsInvalidArgument());
+}
+
+TEST(InstanceTest, RandomNeighborIsWithinDistanceOne) {
+  Rng rng(17);
+  Instance instance = Instance::Make(MakeTwoTableQuery(3, 3, 3));
+  ASSERT_TRUE(instance.AddTuple(0, {0, 0}, 2).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {1, 2}, 1).ok());
+  for (int trial = 0; trial < 200; ++trial) {
+    const Instance neighbor = instance.RandomNeighbor(rng);
+    // Total L1 distance across relations must be exactly 1.
+    int64_t distance = 0;
+    for (int r = 0; r < instance.num_relations(); ++r) {
+      const auto& a = instance.relation(r);
+      const auto& b = neighbor.relation(r);
+      for (int64_t code = 0; code < a.tuple_space().size(); ++code) {
+        distance += std::abs(a.Frequency(code) - b.Frequency(code));
+      }
+    }
+    EXPECT_EQ(distance, 1);
+  }
+}
+
+TEST(InstanceTest, CopySharesQueryButNotData) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(2, 2, 2));
+  Instance copy = instance;
+  ASSERT_TRUE(copy.AddTuple(0, {0, 0}, 1).ok());
+  EXPECT_EQ(instance.InputSize(), 0);
+  EXPECT_EQ(copy.InputSize(), 1);
+  EXPECT_EQ(instance.query_ptr().get(), copy.query_ptr().get());
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,95 @@
+#include "relational/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "relational/join_query.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(InstanceIoTest, RoundTripPreservesEveryTuple) {
+  Rng rng(1);
+  const auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(4, 5, 6));
+  const Instance original =
+      testing::RandomInstance(*query, 25, rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteInstanceCsv(original, buffer).ok());
+  auto loaded = ReadInstanceCsv(query, buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (int r = 0; r < original.num_relations(); ++r) {
+    EXPECT_EQ(loaded->relation(r).TotalFrequency(),
+              original.relation(r).TotalFrequency());
+    for (const auto& [code, freq] : original.relation(r).entries()) {
+      EXPECT_EQ(loaded->relation(r).Frequency(code), freq);
+    }
+  }
+}
+
+TEST(InstanceIoTest, EmptyInstanceRoundTrips) {
+  const auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(2, 2, 2));
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteInstanceCsv(Instance(query), buffer).ok());
+  auto loaded = ReadInstanceCsv(query, buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->InputSize(), 0);
+}
+
+TEST(InstanceIoTest, RejectsMissingHeader) {
+  const auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(2, 2, 2));
+  std::stringstream buffer("0,0,0,1\n");
+  EXPECT_TRUE(ReadInstanceCsv(query, buffer).status().IsInvalidArgument());
+}
+
+TEST(InstanceIoTest, RejectsMalformedRows) {
+  const auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(2, 2, 2));
+  const std::string header = "# dpjoin-instance v1\n";
+  {
+    std::stringstream buffer(header + "0,x,0,1\n");
+    EXPECT_TRUE(ReadInstanceCsv(query, buffer).status().IsInvalidArgument());
+  }
+  {
+    std::stringstream buffer(header + "0,1\n");  // too few fields
+    EXPECT_TRUE(ReadInstanceCsv(query, buffer).status().IsInvalidArgument());
+  }
+  {
+    std::stringstream buffer(header + "7,0,0,1\n");  // bad relation
+    EXPECT_TRUE(ReadInstanceCsv(query, buffer).status().IsOutOfRange());
+  }
+  {
+    std::stringstream buffer(header + "0,5,0,1\n");  // value out of domain
+    EXPECT_FALSE(ReadInstanceCsv(query, buffer).ok());
+  }
+  {
+    std::stringstream buffer(header + "0,0,0,-2\n");  // negative frequency
+    EXPECT_FALSE(ReadInstanceCsv(query, buffer).ok());
+  }
+}
+
+TEST(InstanceIoTest, CommentsAndBlankLinesIgnored) {
+  const auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(2, 2, 2));
+  std::stringstream buffer(
+      "# dpjoin-instance v1\n"
+      "# a comment\n"
+      "\n"
+      "0,1,1,3\n");
+  auto loaded = ReadInstanceCsv(query, buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->relation(0).FrequencyOf({1, 1}), 3);
+}
+
+TEST(InstanceIoTest, DuplicateRowsAccumulate) {
+  const auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(2, 2, 2));
+  std::stringstream buffer(
+      "# dpjoin-instance v1\n"
+      "0,0,0,2\n"
+      "0,0,0,3\n");
+  auto loaded = ReadInstanceCsv(query, buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->relation(0).FrequencyOf({0, 0}), 5);
+}
+
+}  // namespace
+}  // namespace dpjoin

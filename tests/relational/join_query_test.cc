@@ -1,0 +1,156 @@
+#include "relational/join_query.h"
+
+#include <gtest/gtest.h>
+
+namespace dpjoin {
+namespace {
+
+// The Figure 4 hierarchical query: x = {A,B,C,D,F,G,K,L},
+// x1={A,B,D}, x2={A,B,F}, x3={A,B,G,K}, x4={A,B,G,L}, x5={A,C}.
+JoinQuery MakeFigure4Query(int64_t dom = 2) {
+  auto q = JoinQuery::Create({{"A", dom},
+                              {"B", dom},
+                              {"C", dom},
+                              {"D", dom},
+                              {"F", dom},
+                              {"G", dom},
+                              {"K", dom},
+                              {"L", dom}},
+                             {{"A", "B", "D"},
+                              {"A", "B", "F"},
+                              {"A", "B", "G", "K"},
+                              {"A", "B", "G", "L"},
+                              {"A", "C"}});
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).value();
+}
+
+TEST(JoinQueryTest, CreateValidatesInputs) {
+  EXPECT_TRUE(JoinQuery::Create({{"A", 2}}, {{"A"}}).ok());
+  // No attributes.
+  EXPECT_TRUE(JoinQuery::Create({}, {{"A"}}).status().IsInvalidArgument());
+  // No relations.
+  EXPECT_TRUE(JoinQuery::Create({{"A", 2}}, {}).status().IsInvalidArgument());
+  // Unknown attribute in an edge.
+  EXPECT_TRUE(
+      JoinQuery::Create({{"A", 2}}, {{"B"}}).status().IsInvalidArgument());
+  // Duplicate attribute names.
+  EXPECT_TRUE(JoinQuery::Create({{"A", 2}, {"A", 3}}, {{"A"}})
+                  .status()
+                  .IsInvalidArgument());
+  // Non-positive domain.
+  EXPECT_TRUE(
+      JoinQuery::Create({{"A", 0}}, {{"A"}}).status().IsInvalidArgument());
+  // Attribute listed twice in one edge.
+  EXPECT_TRUE(JoinQuery::Create({{"A", 2}}, {{"A", "A"}})
+                  .status()
+                  .IsInvalidArgument());
+  // Unused attribute.
+  EXPECT_TRUE(JoinQuery::Create({{"A", 2}, {"B", 2}}, {{"A"}})
+                  .status()
+                  .IsInvalidArgument());
+  // Duplicate hyperedge.
+  EXPECT_TRUE(JoinQuery::Create({{"A", 2}, {"B", 2}}, {{"A", "B"}, {"B", "A"}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(JoinQueryTest, TwoTableShape) {
+  const JoinQuery q = MakeTwoTableQuery(3, 4, 5);
+  EXPECT_EQ(q.num_attributes(), 3);
+  EXPECT_EQ(q.num_relations(), 2);
+  EXPECT_EQ(q.relation_domain_size(0), 12);  // |A|·|B|
+  EXPECT_EQ(q.relation_domain_size(1), 20);  // |B|·|C|
+  EXPECT_DOUBLE_EQ(q.ReleaseDomainSize(), 240.0);
+  EXPECT_EQ(q.AttributeIndex("B").value(), 1);
+  EXPECT_TRUE(q.AttributeIndex("Z").status().IsNotFound());
+}
+
+TEST(JoinQueryTest, AtomsAndBoundaries) {
+  const JoinQuery q = MakeTwoTableQuery(2, 2, 2);
+  EXPECT_EQ(q.Atom(0), RelationSet::Of(0));                     // A
+  EXPECT_EQ(q.Atom(1), RelationSet::FromElements({0, 1}));      // B
+  EXPECT_EQ(q.Atom(2), RelationSet::Of(1));                     // C
+  // ∂{R1} = {B}; ∂{R2} = {B}; ∂{R1,R2} = ∅.
+  EXPECT_EQ(q.Boundary(RelationSet::Of(0)), AttributeSet::Of(1));
+  EXPECT_EQ(q.Boundary(RelationSet::Of(1)), AttributeSet::Of(1));
+  EXPECT_TRUE(q.Boundary(q.all_relations()).Empty());
+}
+
+TEST(JoinQueryTest, PathQueryBoundaries) {
+  const JoinQuery q = MakePathQuery(3, 2);  // R1(X0,X1) R2(X1,X2) R3(X2,X3)
+  // ∂{R2} = {X1, X2}.
+  EXPECT_EQ(q.Boundary(RelationSet::Of(1)),
+            AttributeSet::FromElements({1, 2}));
+  // ∂{R1,R2} = {X2}.
+  EXPECT_EQ(q.Boundary(RelationSet::FromElements({0, 1})),
+            AttributeSet::Of(2));
+}
+
+TEST(JoinQueryTest, UnionAndIntersectAttributes) {
+  const JoinQuery q = MakeFigure4Query();
+  const int a = q.AttributeIndex("A").value();
+  const int b = q.AttributeIndex("B").value();
+  const int g = q.AttributeIndex("G").value();
+  // ∧{x3,x4} = {A,B,G}; paper's Figure 4 example with E = {3,4,5} (0-based
+  // {2,3,4}): ∧ = {A}, ∨ = {A,B,C,G,K,L}.
+  EXPECT_EQ(q.IntersectAttributes(RelationSet::FromElements({2, 3})),
+            AttributeSet::FromElements({a, b, g}));
+  const RelationSet e345 = RelationSet::FromElements({2, 3, 4});
+  EXPECT_EQ(q.IntersectAttributes(e345), AttributeSet::Of(a));
+  AttributeSet expected_union;
+  for (const char* name : {"A", "B", "C", "G", "K", "L"}) {
+    expected_union.Insert(q.AttributeIndex(name).value());
+  }
+  EXPECT_EQ(q.UnionAttributes(e345), expected_union);
+}
+
+TEST(JoinQueryTest, ConnectivityOfResiduals) {
+  const JoinQuery q = MakeFigure4Query();
+  const int a = q.AttributeIndex("A").value();
+  const int b = q.AttributeIndex("B").value();
+  // Figure 4: H_{E,∂E} with E = {3,4,5} (0-based {2,3,4}) and ∂E = {A,B} is
+  // disconnected with components {{3,4},{5}} (0-based {{2,3},{4}}).
+  const RelationSet e345 = RelationSet::FromElements({2, 3, 4});
+  const AttributeSet ab = AttributeSet::FromElements({a, b});
+  EXPECT_EQ(q.Boundary(e345), ab);
+  const auto components = q.ConnectedComponents(e345, ab);
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_FALSE(q.IsConnected(e345, ab));
+  // Without removal, the same set is connected.
+  EXPECT_TRUE(q.IsConnected(e345, AttributeSet()));
+}
+
+TEST(JoinQueryTest, HierarchicalDetection) {
+  EXPECT_TRUE(MakeFigure4Query().IsHierarchical());
+  EXPECT_TRUE(MakeTwoTableQuery(2, 2, 2).IsHierarchical());
+  EXPECT_TRUE(MakeStarQuery(3, 2).IsHierarchical());
+  // A 3-path is NOT hierarchical: atom(X1) = {R1,R2} and atom(X2) = {R2,R3}
+  // overlap without nesting.
+  EXPECT_FALSE(MakePathQuery(3, 2).IsHierarchical());
+}
+
+TEST(JoinQueryTest, FractionalEdgeCoverNumbers) {
+  // Two-table join: cover {A,B} and {B,C} needs both edges ⇒ ρ = 2.
+  EXPECT_NEAR(MakeTwoTableQuery(2, 2, 2).FractionalEdgeCoverNumber(), 2.0,
+              1e-6);
+  // 3-path: edges {X0X1},{X1X2},{X2X3}; X0 and X3 force edges 1 and 3 ⇒ 2.
+  EXPECT_NEAR(MakePathQuery(3, 2).FractionalEdgeCoverNumber(), 2.0, 1e-6);
+  // Star with 3 rays: each leaf forces its edge ⇒ 3.
+  EXPECT_NEAR(MakeStarQuery(3, 2).FractionalEdgeCoverNumber(), 3.0, 1e-6);
+  // Triangle R(A,B), S(B,C), T(A,C): optimum is 3/2 (each edge 1/2).
+  auto triangle = JoinQuery::Create(
+      {{"A", 2}, {"B", 2}, {"C", 2}},
+      {{"A", "B"}, {"B", "C"}, {"A", "C"}});
+  ASSERT_TRUE(triangle.ok());
+  EXPECT_NEAR(triangle->FractionalEdgeCoverNumber(), 1.5, 1e-6);
+}
+
+TEST(JoinQueryTest, ToStringMentionsRelations) {
+  const std::string s = MakeTwoTableQuery(2, 2, 2).ToString();
+  EXPECT_NE(s.find("R1"), std::string::npos);
+  EXPECT_NE(s.find("R2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpjoin

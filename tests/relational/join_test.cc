@@ -1,0 +1,183 @@
+#include "relational/join.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/generators.h"
+#include "relational/join_query.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(JoinTest, TwoTableCountSimple) {
+  // R1 = {(a0,b0), (a1,b0)}, R2 = {(b0,c0)} ⇒ count = 2.
+  Instance instance = Instance::Make(MakeTwoTableQuery(2, 2, 2));
+  ASSERT_TRUE(instance.AddTuple(0, {0, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {1, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {0, 0}, 1).ok());
+  EXPECT_DOUBLE_EQ(JoinCount(instance), 2.0);
+}
+
+TEST(JoinTest, FrequenciesMultiply) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(2, 2, 2));
+  ASSERT_TRUE(instance.AddTuple(0, {0, 0}, 3).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {0, 0}, 4).ok());
+  EXPECT_DOUBLE_EQ(JoinCount(instance), 12.0);
+}
+
+TEST(JoinTest, DisjointJoinValuesGiveZero) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(2, 2, 2));
+  ASSERT_TRUE(instance.AddTuple(0, {0, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {1, 0}, 1).ok());
+  EXPECT_DOUBLE_EQ(JoinCount(instance), 0.0);
+}
+
+TEST(JoinTest, EmptySubJoinVisitsOnce) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(2, 2, 2));
+  int visits = 0;
+  EnumerateSubJoin(instance, RelationSet(),
+                   [&](const std::vector<int64_t>& codes,
+                       const std::vector<int64_t>&, int64_t weight) {
+                     ++visits;
+                     EXPECT_TRUE(codes.empty());
+                     EXPECT_EQ(weight, 1);
+                   });
+  EXPECT_EQ(visits, 1);
+  EXPECT_DOUBLE_EQ(SubJoinCount(instance, RelationSet()), 1.0);
+}
+
+TEST(JoinTest, EnumerationReportsAssignments) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(3, 3, 3));
+  ASSERT_TRUE(instance.AddTuple(0, {2, 1}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {1, 2}, 5).ok());
+  int visits = 0;
+  EnumerateSubJoin(instance, instance.query().all_relations(),
+                   [&](const std::vector<int64_t>& codes,
+                       const std::vector<int64_t>& assignment, int64_t weight) {
+                     ++visits;
+                     EXPECT_EQ(weight, 5);
+                     EXPECT_EQ(assignment[0], 2);  // A
+                     EXPECT_EQ(assignment[1], 1);  // B
+                     EXPECT_EQ(assignment[2], 2);  // C
+                     ASSERT_EQ(codes.size(), 2u);
+                     EXPECT_EQ(codes[0],
+                               instance.relation(0).tuple_space().Encode({2, 1}));
+                     EXPECT_EQ(codes[1],
+                               instance.relation(1).tuple_space().Encode({1, 2}));
+                   });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(JoinTest, BoundaryQueryTwoTableIsMaxDegree) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(4, 4, 4));
+  // deg_1(b=0) = 3, deg_1(b=1) = 1.
+  ASSERT_TRUE(instance.AddTuple(0, {0, 0}, 2).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {1, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {2, 1}, 1).ok());
+  // T_{R1} = max over B of deg_1 (boundary of {R1} is {B}).
+  EXPECT_DOUBLE_EQ(BoundaryQuery(instance, RelationSet::Of(0)), 3.0);
+}
+
+TEST(JoinTest, GroupedJoinSizesMatchPerGroupCounts) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(3, 3, 3));
+  ASSERT_TRUE(instance.AddTuple(0, {0, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {1, 0}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {1, 1}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {0, 2}, 2).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {1, 1}, 1).ok());
+  // Group full join by B: b=0 contributes 2·2=4, b=1 contributes 1·1=1.
+  const auto groups = GroupedJoinSizes(
+      instance, instance.query().all_relations(), AttributeSet::Of(1));
+  EXPECT_DOUBLE_EQ(groups.at(0), 4.0);
+  EXPECT_DOUBLE_EQ(groups.at(1), 1.0);
+}
+
+TEST(JoinTest, QAggregateEmptySetIsOne) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(2, 2, 2));
+  EXPECT_DOUBLE_EQ(QAggregate(instance, RelationSet(), AttributeSet()), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized oracle comparisons (property tests).
+
+struct JoinOracleParam {
+  const char* name;
+  int query_kind;  // 0 = two-table, 1 = path3, 2 = star3, 3 = triangle
+  int64_t tuples;
+  uint64_t seed;
+};
+
+JoinQuery MakeQueryByKind(int kind) {
+  switch (kind) {
+    case 0:
+      return MakeTwoTableQuery(3, 3, 3);
+    case 1:
+      return MakePathQuery(3, 3);
+    case 2:
+      return MakeStarQuery(3, 3);
+    case 4:
+      return MakePathQuery(4, 2);
+    case 5: {
+      // Mixed arity: R1(A,B,C) ⋈ R2(C,D).
+      auto q = JoinQuery::Create(
+          {{"A", 2}, {"B", 2}, {"C", 3}, {"D", 3}},
+          {{"A", "B", "C"}, {"C", "D"}});
+      return std::move(q).value();
+    }
+    default: {
+      auto triangle = JoinQuery::Create(
+          {{"A", 3}, {"B", 3}, {"C", 3}},
+          {{"A", "B"}, {"B", "C"}, {"A", "C"}});
+      return std::move(triangle).value();
+    }
+  }
+}
+
+class JoinOracleTest : public ::testing::TestWithParam<JoinOracleParam> {};
+
+TEST_P(JoinOracleTest, CountMatchesBruteForce) {
+  const JoinOracleParam& param = GetParam();
+  Rng rng(param.seed);
+  const JoinQuery query = MakeQueryByKind(param.query_kind);
+  for (int rep = 0; rep < 5; ++rep) {
+    const Instance instance =
+        testing::RandomInstance(query, param.tuples, rng);
+    EXPECT_DOUBLE_EQ(JoinCount(instance),
+                     testing::BruteForceJoinCount(instance));
+  }
+}
+
+TEST_P(JoinOracleTest, BoundaryQueriesMatchBruteForce) {
+  const JoinOracleParam& param = GetParam();
+  Rng rng(param.seed + 1);
+  const JoinQuery query = MakeQueryByKind(param.query_kind);
+  const Instance instance = testing::RandomInstance(query, param.tuples, rng);
+  const int m = query.num_relations();
+  for (uint64_t bits = 1; bits < (uint64_t{1} << m); ++bits) {
+    RelationSet set;
+    for (int r = 0; r < m; ++r) {
+      if ((bits >> r) & 1) set.Insert(r);
+    }
+    EXPECT_DOUBLE_EQ(
+        BoundaryQuery(instance, set),
+        testing::BruteForceQAggregate(instance, set, query.Boundary(set)))
+        << "E = " << set.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JoinOracleTest,
+    ::testing::Values(JoinOracleParam{"two_table_sparse", 0, 4, 101},
+                      JoinOracleParam{"two_table_dense", 0, 20, 102},
+                      JoinOracleParam{"path3_sparse", 1, 4, 103},
+                      JoinOracleParam{"path3_dense", 1, 15, 104},
+                      JoinOracleParam{"star3", 2, 8, 105},
+                      JoinOracleParam{"triangle", 3, 8, 106},
+                      JoinOracleParam{"path4", 4, 5, 107},
+                      JoinOracleParam{"mixed_arity", 5, 6, 108}),
+    [](const ::testing::TestParamInfo<JoinOracleParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dpjoin

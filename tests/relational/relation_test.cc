@@ -1,0 +1,96 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/join_query.h"
+
+namespace dpjoin {
+namespace {
+
+class RelationTest : public ::testing::Test {
+ protected:
+  RelationTest() : query_(MakeTwoTableQuery(3, 4, 5)), rel_(query_, 0) {}
+  JoinQuery query_;
+  Relation rel_;  // R1(A, B): |D| = 12
+};
+
+TEST_F(RelationTest, StartsEmpty) {
+  EXPECT_EQ(rel_.TotalFrequency(), 0);
+  EXPECT_EQ(rel_.NumDistinctTuples(), 0u);
+  EXPECT_EQ(rel_.Frequency(0), 0);
+}
+
+TEST_F(RelationTest, SetAndGetByTuple) {
+  ASSERT_TRUE(rel_.SetFrequency({1, 2}, 5).ok());
+  EXPECT_EQ(rel_.FrequencyOf({1, 2}), 5);
+  EXPECT_EQ(rel_.TotalFrequency(), 5);
+  ASSERT_TRUE(rel_.SetFrequency({1, 2}, 2).ok());
+  EXPECT_EQ(rel_.TotalFrequency(), 2);
+  ASSERT_TRUE(rel_.SetFrequency({1, 2}, 0).ok());
+  EXPECT_EQ(rel_.NumDistinctTuples(), 0u);
+}
+
+TEST_F(RelationTest, AddFrequencyAccumulates) {
+  ASSERT_TRUE(rel_.AddFrequency({0, 0}, 2).ok());
+  ASSERT_TRUE(rel_.AddFrequency({0, 0}, 3).ok());
+  EXPECT_EQ(rel_.FrequencyOf({0, 0}), 5);
+  ASSERT_TRUE(rel_.AddFrequency({0, 0}, -5).ok());
+  EXPECT_EQ(rel_.FrequencyOf({0, 0}), 0);
+  EXPECT_EQ(rel_.NumDistinctTuples(), 0u);
+}
+
+TEST_F(RelationTest, ValidationErrors) {
+  EXPECT_TRUE(rel_.SetFrequency({1, 2}, -1).IsInvalidArgument());
+  EXPECT_TRUE(rel_.SetFrequency({1}, 1).IsInvalidArgument());
+  EXPECT_TRUE(rel_.SetFrequency({3, 0}, 1).IsOutOfRange());  // A has dom 3
+  EXPECT_TRUE(rel_.SetFrequency({0, 4}, 1).IsOutOfRange());  // B has dom 4
+  EXPECT_TRUE(rel_.AddFrequency({0, 0}, -1).IsInvalidArgument());
+}
+
+TEST_F(RelationTest, AttributeOrderAscending) {
+  // R1 has attributes {A=0, B=1} in ascending index order.
+  EXPECT_EQ(rel_.attribute_order(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(rel_.DigitOf(0), 0);
+  EXPECT_EQ(rel_.DigitOf(1), 1);
+  EXPECT_EQ(rel_.DigitOf(2), -1);  // C not in R1
+}
+
+TEST_F(RelationTest, ProjectCodeOntoSubset) {
+  const int64_t code = rel_.tuple_space().Encode({2, 3});
+  EXPECT_EQ(rel_.ProjectCode(code, AttributeSet::Of(0)), 2);  // A value
+  EXPECT_EQ(rel_.ProjectCode(code, AttributeSet::Of(1)), 3);  // B value
+  EXPECT_EQ(rel_.ProjectCode(code, AttributeSet::FromElements({0, 1})), code);
+  EXPECT_EQ(rel_.ProjectCode(code, AttributeSet()), 0);
+}
+
+TEST_F(RelationTest, SubsetCoderRadices) {
+  const MixedRadix b_coder = rel_.SubsetCoder(AttributeSet::Of(1));
+  EXPECT_EQ(b_coder.size(), 4);  // |dom(B)|
+}
+
+TEST_F(RelationTest, DegreeMapOverJoinAttribute) {
+  // Two tuples with B=1, one with B=3, frequencies 2+1 and 4.
+  ASSERT_TRUE(rel_.SetFrequency({0, 1}, 2).ok());
+  ASSERT_TRUE(rel_.SetFrequency({2, 1}, 1).ok());
+  ASSERT_TRUE(rel_.SetFrequency({1, 3}, 4).ok());
+  const auto degrees = rel_.DegreeMap(AttributeSet::Of(1));
+  EXPECT_EQ(degrees.at(1), 3);
+  EXPECT_EQ(degrees.at(3), 4);
+  EXPECT_EQ(degrees.size(), 2u);
+  EXPECT_EQ(rel_.MaxDegree(AttributeSet::Of(1)), 4);
+}
+
+TEST_F(RelationTest, MaxDegreeOfEmptyRelationIsZero) {
+  EXPECT_EQ(rel_.MaxDegree(AttributeSet::Of(1)), 0);
+}
+
+TEST_F(RelationTest, DegreeMapOverEmptySetIsTotal) {
+  ASSERT_TRUE(rel_.SetFrequency({0, 1}, 2).ok());
+  ASSERT_TRUE(rel_.SetFrequency({1, 1}, 3).ok());
+  const auto degrees = rel_.DegreeMap(AttributeSet());
+  ASSERT_EQ(degrees.size(), 1u);
+  EXPECT_EQ(degrees.at(0), 5);
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,117 @@
+#include "sensitivity/local_sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "lowerbound/hard_instances.h"
+#include "relational/generators.h"
+#include "relational/join_query.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(LocalSensitivityTest, EmptyInstanceHasZeroLs) {
+  const Instance instance = Instance::Make(MakeTwoTableQuery(2, 2, 2));
+  EXPECT_DOUBLE_EQ(LocalSensitivity(instance), 0.0);
+}
+
+TEST(LocalSensitivityTest, TwoTableEqualsMaxDegree) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(4, 4, 4));
+  ASSERT_TRUE(instance.AddTuple(0, {0, 1}, 3).ok());
+  ASSERT_TRUE(instance.AddTuple(0, {1, 1}, 2).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {2, 0}, 4).ok());
+  // deg_1(B=1) = 5, deg_2(B=2) = 4 ⇒ Δ = 5.
+  EXPECT_DOUBLE_EQ(TwoTableDelta(instance), 5.0);
+  EXPECT_DOUBLE_EQ(LocalSensitivity(instance), 5.0);
+}
+
+TEST(LocalSensitivityTest, Figure1PairSensitivities) {
+  const Figure1Pair pair = MakeFigure1Pair(8);
+  // I: deg_1(b0) = 8 ⇒ Δ = 8; I′ loses the single R2 tuple but keeps R1,
+  // so its Δ is still 8 (adding back (b0,c0) recreates 8 join rows).
+  EXPECT_DOUBLE_EQ(LocalSensitivity(pair.instance), 8.0);
+  EXPECT_DOUBLE_EQ(LocalSensitivity(pair.neighbor), 8.0);
+}
+
+struct LsParam {
+  const char* name;
+  int query_kind;  // 0 two-table, 1 path3, 2 star3
+  int64_t tuples;
+  uint64_t seed;
+};
+
+JoinQuery LsQuery(int kind) {
+  switch (kind) {
+    case 0:
+      return MakeTwoTableQuery(3, 3, 3);
+    case 1:
+      return MakePathQuery(3, 3);
+    default:
+      return MakeStarQuery(3, 3);
+  }
+}
+
+class LocalSensitivityOracleTest : public ::testing::TestWithParam<LsParam> {};
+
+TEST_P(LocalSensitivityOracleTest, MatchesNeighborEnumeration) {
+  const LsParam& param = GetParam();
+  Rng rng(param.seed);
+  const JoinQuery query = LsQuery(param.query_kind);
+  for (int rep = 0; rep < 3; ++rep) {
+    const Instance instance =
+        testing::RandomInstance(query, param.tuples, rng);
+    EXPECT_DOUBLE_EQ(LocalSensitivity(instance),
+                     testing::BruteForceLocalSensitivity(instance));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LocalSensitivityOracleTest,
+    ::testing::Values(LsParam{"two_table", 0, 8, 301},
+                      LsParam{"two_table_dense", 0, 20, 302},
+                      LsParam{"path3", 1, 6, 303},
+                      LsParam{"star3", 2, 6, 304}),
+    [](const ::testing::TestParamInfo<LsParam>& info) {
+      return info.param.name;
+    });
+
+TEST(LocalSensitivityTest, PerRelationDecomposition) {
+  Rng rng(77);
+  const JoinQuery query = MakePathQuery(3, 3);
+  const Instance instance = testing::RandomInstance(query, 8, rng);
+  double max_per_rel = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    max_per_rel = std::max(max_per_rel,
+                           LocalSensitivityForRelation(instance, r));
+  }
+  EXPECT_DOUBLE_EQ(LocalSensitivity(instance), max_per_rel);
+}
+
+TEST(LocalSensitivityTest, SingleRelationQueryHasLsOne) {
+  auto query = JoinQuery::Create({{"A", 4}}, {{"A"}});
+  ASSERT_TRUE(query.ok());
+  Instance instance = Instance::Make(*query);
+  ASSERT_TRUE(instance.AddTuple(0, {1}, 7).ok());
+  // For m = 1 the boundary query over the empty set is 1: adding/removing
+  // one tuple changes count by exactly 1.
+  EXPECT_DOUBLE_EQ(LocalSensitivity(instance), 1.0);
+}
+
+TEST(LocalSensitivityTest, GlobalSensitivityOfLsIsOneOnChains) {
+  // For two-table joins, |LS(I) − LS(I′)| ≤ 1 on neighbors (basis of
+  // Algorithm 1, Lemma 3.2).
+  Rng rng(55);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  Instance current = testing::RandomInstance(query, 10, rng);
+  double ls = LocalSensitivity(current);
+  for (int step = 0; step < 40; ++step) {
+    Instance next = current.RandomNeighbor(rng);
+    const double next_ls = LocalSensitivity(next);
+    EXPECT_LE(std::abs(next_ls - ls), 1.0 + 1e-9);
+    current = std::move(next);
+    ls = next_ls;
+  }
+}
+
+}  // namespace
+}  // namespace dpjoin

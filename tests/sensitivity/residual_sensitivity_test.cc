@@ -1,0 +1,179 @@
+#include "sensitivity/residual_sensitivity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "relational/generators.h"
+#include "relational/join_query.h"
+#include "sensitivity/local_sensitivity.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(ResidualSensitivityTest, BoundaryQueryTableHasAllSubsets) {
+  Rng rng(1);
+  const JoinQuery query = MakePathQuery(3, 3);
+  const Instance instance = testing::RandomInstance(query, 6, rng);
+  const auto boundary = AllBoundaryQueries(instance);
+  EXPECT_EQ(boundary.size(), 8u);  // 2^3 subsets
+  EXPECT_DOUBLE_EQ(boundary.at(0), 1.0);  // T_∅ = 1
+}
+
+TEST(ResidualSensitivityTest, LsHatZeroIsLocalSensitivity) {
+  Rng rng(2);
+  for (int rep = 0; rep < 3; ++rep) {
+    const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+    const Instance instance = testing::RandomInstance(query, 12, rng);
+    const auto boundary = AllBoundaryQueries(instance);
+    EXPECT_DOUBLE_EQ(LsHatK(query, boundary, 0), LocalSensitivity(instance));
+  }
+}
+
+TEST(ResidualSensitivityTest, LsHatMonotoneInK) {
+  Rng rng(3);
+  const JoinQuery query = MakePathQuery(3, 3);
+  const Instance instance = testing::RandomInstance(query, 8, rng);
+  const auto boundary = AllBoundaryQueries(instance);
+  double prev = LsHatK(query, boundary, 0);
+  for (int64_t k = 1; k <= 10; ++k) {
+    const double cur = LsHatK(query, boundary, k);
+    EXPECT_GE(cur, prev - 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(ResidualSensitivityTest, TwoTableMatchesClosedForm) {
+  // For two-table joins LŜ^k = Δ + k, so RS^β = max_k e^{−βk}(Δ + k).
+  Rng rng(4);
+  const JoinQuery query = MakeTwoTableQuery(4, 4, 4);
+  for (double beta : {0.05, 0.2, 1.0}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      const Instance instance = testing::RandomInstance(query, 15, rng);
+      const double delta = LocalSensitivity(instance);
+      const double expected =
+          TwoTableResidualSensitivityClosedForm(delta, beta);
+      EXPECT_NEAR(ResidualSensitivityValue(instance, beta), expected,
+                  1e-9 * std::max(1.0, expected))
+          << "beta=" << beta << " delta=" << delta;
+    }
+  }
+}
+
+TEST(ResidualSensitivityTest, ClosedFormKnownValues) {
+  // β = 1, Δ = 5: k* = 1 − 5 < 0 ⇒ k = 0 ⇒ RS = 5.
+  EXPECT_DOUBLE_EQ(TwoTableResidualSensitivityClosedForm(5.0, 1.0), 5.0);
+  // β = 0.1, Δ = 0: k* = 10 ⇒ RS = e^{−1}·10.
+  EXPECT_NEAR(TwoTableResidualSensitivityClosedForm(0.0, 0.1),
+              std::exp(-1.0) * 10.0, 1e-12);
+}
+
+TEST(ResidualSensitivityTest, AlwaysUpperBoundsLocalSensitivity) {
+  Rng rng(5);
+  for (int kind = 0; kind < 2; ++kind) {
+    const JoinQuery query =
+        (kind == 0) ? MakePathQuery(3, 3) : MakeStarQuery(3, 3);
+    for (double beta : {0.1, 0.5}) {
+      const Instance instance = testing::RandomInstance(query, 8, rng);
+      EXPECT_GE(ResidualSensitivityValue(instance, beta),
+                LocalSensitivity(instance) - 1e-9);
+    }
+  }
+}
+
+TEST(ResidualSensitivityTest, DecreasingInBeta) {
+  Rng rng(6);
+  const JoinQuery query = MakePathQuery(3, 3);
+  const Instance instance = testing::RandomInstance(query, 10, rng);
+  double prev = ResidualSensitivityValue(instance, 0.05);
+  for (double beta : {0.1, 0.2, 0.5, 1.0}) {
+    const double cur = ResidualSensitivityValue(instance, beta);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+// Smoothness is THE property RS exists for: RS(I′) ≤ e^β·RS(I) on neighbors.
+struct SmoothParam {
+  const char* name;
+  int query_kind;  // 0 two-table, 1 path3, 2 star3
+  double beta;
+  uint64_t seed;
+};
+
+class ResidualSmoothnessTest : public ::testing::TestWithParam<SmoothParam> {};
+
+TEST_P(ResidualSmoothnessTest, SmoothAcrossNeighborChains) {
+  const SmoothParam& param = GetParam();
+  Rng rng(param.seed);
+  const JoinQuery query = param.query_kind == 0   ? MakeTwoTableQuery(3, 3, 3)
+                          : param.query_kind == 1 ? MakePathQuery(3, 3)
+                                                  : MakeStarQuery(3, 3);
+  Instance current = testing::RandomInstance(query, 8, rng);
+  double rs = ResidualSensitivityValue(current, param.beta);
+  for (int step = 0; step < 25; ++step) {
+    Instance next = current.RandomNeighbor(rng);
+    const double next_rs = ResidualSensitivityValue(next, param.beta);
+    if (rs > 0.0 && next_rs > 0.0) {
+      const double ratio = std::max(next_rs / rs, rs / next_rs);
+      EXPECT_LE(ratio, std::exp(param.beta) * (1.0 + 1e-9))
+          << "step " << step;
+    }
+    current = std::move(next);
+    rs = next_rs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chains, ResidualSmoothnessTest,
+    ::testing::Values(SmoothParam{"two_table_beta_small", 0, 0.1, 401},
+                      SmoothParam{"two_table_beta_large", 0, 1.0, 402},
+                      SmoothParam{"path3", 1, 0.25, 403},
+                      SmoothParam{"star3", 2, 0.25, 404}),
+    [](const ::testing::TestParamInfo<SmoothParam>& info) {
+      return info.param.name;
+    });
+
+TEST(ResidualSensitivityTest, DiagnosticsAreConsistent) {
+  Rng rng(7);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = testing::RandomInstance(query, 10, rng);
+  const ResidualSensitivityResult result =
+      ResidualSensitivity(instance, 0.2);
+  EXPECT_DOUBLE_EQ(result.ls_hat_0, LocalSensitivity(instance));
+  EXPECT_GE(result.value, result.ls_hat_0 - 1e-9);
+  EXPECT_GE(result.k_searched, result.argmax_k + 1);
+  // The reported argmax must reproduce the value.
+  const auto boundary = AllBoundaryQueries(instance);
+  EXPECT_NEAR(result.value,
+              std::exp(-0.2 * static_cast<double>(result.argmax_k)) *
+                  LsHatK(query, boundary, result.argmax_k),
+              1e-9);
+}
+
+TEST(ResidualSensitivityTest, EmptyMultiTableInstanceStillPositive) {
+  // Even on an empty instance RS > 0 (future insertions create sensitivity;
+  // the k ≥ 1 terms of LŜ are positive).
+  const Instance instance = Instance::Make(MakePathQuery(3, 3));
+  EXPECT_GT(ResidualSensitivityValue(instance, 0.2), 0.0);
+}
+
+TEST(ResidualSensitivityTest, FromBoundariesAllowsUpperBoundSubstitution) {
+  Rng rng(8);
+  const JoinQuery query = MakePathQuery(3, 3);
+  const Instance instance = testing::RandomInstance(query, 8, rng);
+  auto boundary = AllBoundaryQueries(instance);
+  const double exact =
+      ResidualSensitivityFromBoundaries(query, boundary, 0.2).value;
+  // Inflating boundary values can only increase the result.
+  for (auto& [bits, value] : boundary) {
+    if (bits != 0) value *= 2.0;
+  }
+  const double inflated =
+      ResidualSensitivityFromBoundaries(query, boundary, 0.2).value;
+  EXPECT_GE(inflated, exact - 1e-9);
+}
+
+}  // namespace
+}  // namespace dpjoin

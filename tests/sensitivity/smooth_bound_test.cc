@@ -1,0 +1,100 @@
+#include "sensitivity/smooth_bound.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "relational/join_query.h"
+#include "sensitivity/local_sensitivity.h"
+#include "sensitivity/residual_sensitivity.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+TEST(SmoothBoundTest, AuditPassesForResidualSensitivity) {
+  Rng rng(11);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance start = testing::RandomInstance(query, 8, rng);
+  const double beta = 0.3;
+  const SmoothnessAuditResult audit = AuditSmoothUpperBound(
+      start,
+      [&](const Instance& instance) {
+        return ResidualSensitivityValue(instance, beta);
+      },
+      [](const Instance& instance) { return LocalSensitivity(instance); },
+      beta, /*num_chains=*/4, /*chain_length=*/12, rng);
+  EXPECT_TRUE(audit.upper_bound_held) << audit.failure;
+  EXPECT_TRUE(audit.smoothness_held) << audit.failure;
+  EXPECT_GT(audit.pairs_checked, 0);
+  EXPECT_LE(audit.worst_ratio, std::exp(beta) * (1 + 1e-9));
+}
+
+TEST(SmoothBoundTest, AuditCatchesNonSmoothBound) {
+  Rng rng(12);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance start = testing::RandomInstance(query, 8, rng);
+  // LS itself is NOT β-smooth for small β on such chains — the audit should
+  // flag it (LS can double via one tuple when degrees are small).
+  const SmoothnessAuditResult audit = AuditSmoothUpperBound(
+      start,
+      [](const Instance& instance) {
+        return std::max(LocalSensitivity(instance), 1e-9);
+      },
+      [](const Instance& instance) { return LocalSensitivity(instance); },
+      /*beta=*/0.05, /*num_chains=*/6, /*chain_length=*/20, rng);
+  EXPECT_FALSE(audit.smoothness_held);
+  EXPECT_FALSE(audit.failure.empty());
+}
+
+TEST(SmoothBoundTest, AuditCatchesNonUpperBound) {
+  Rng rng(13);
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  Instance start = Instance::Make(query);
+  ASSERT_TRUE(start.AddTuple(0, {0, 0}, 3).ok());
+  ASSERT_TRUE(start.AddTuple(1, {0, 0}, 1).ok());
+  const SmoothnessAuditResult audit = AuditSmoothUpperBound(
+      start, [](const Instance&) { return 0.5; },  // constant, below LS
+      [](const Instance& instance) { return LocalSensitivity(instance); },
+      0.3, 2, 5, rng);
+  EXPECT_FALSE(audit.upper_bound_held);
+}
+
+TEST(SmoothBoundTest, BruteForceSmoothSensitivityDepthZeroIsLs) {
+  Rng rng(14);
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  const Instance instance = testing::RandomInstance(query, 3, rng);
+  EXPECT_DOUBLE_EQ(BruteForceSmoothSensitivity(instance, 0.5, 0),
+                   LocalSensitivity(instance));
+}
+
+TEST(SmoothBoundTest, BruteForceSmoothSensitivityGrowsWithDepth) {
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  const Instance empty = Instance::Make(query);
+  const double beta = 0.4;
+  const double d0 = BruteForceSmoothSensitivity(empty, beta, 0);
+  const double d2 = BruteForceSmoothSensitivity(empty, beta, 2);
+  EXPECT_DOUBLE_EQ(d0, 0.0);  // empty instance: LS = 0
+  // Two insertions can create LS 1 at distance 1 (e^{-β}·1) or 2 at distance
+  // 2; either way positive.
+  EXPECT_GT(d2, 0.0);
+}
+
+TEST(SmoothBoundTest, ResidualDominatesTruncatedSmoothSensitivity) {
+  // RS ≥ SS ≥ SS_truncated — the sandwich the paper relies on (§3.3).
+  Rng rng(15);
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  for (int rep = 0; rep < 4; ++rep) {
+    const Instance instance = testing::RandomInstance(query, 2, rng);
+    for (double beta : {0.3, 0.8}) {
+      const double rs = ResidualSensitivityValue(instance, beta);
+      const double ss_truncated =
+          BruteForceSmoothSensitivity(instance, beta, 2);
+      EXPECT_GE(rs, ss_truncated - 1e-9)
+          << "rep=" << rep << " beta=" << beta;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpjoin

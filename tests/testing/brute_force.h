@@ -1,0 +1,165 @@
+// Brute-force oracles for tests: exhaustive enumeration over the full
+// product of relation domains. Exponential — use only on tiny instances.
+
+#ifndef DPJOIN_TESTS_TESTING_BRUTE_FORCE_H_
+#define DPJOIN_TESTS_TESTING_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "query/query_family.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+namespace testing {
+
+// Visits every combination (t_1, ..., t_k) of domain tuples of the relations
+// in `rels` that satisfies ρ (all shared attributes agree), with
+// weight Π R_i(t_i) (including weight-0 combos filtered out).
+inline void BruteForceEnumerate(
+    const Instance& instance, RelationSet rels,
+    const std::function<void(const std::vector<int64_t>& codes,
+                             const std::vector<int64_t>& assignment,
+                             int64_t weight)>& visit) {
+  const JoinQuery& query = instance.query();
+  const std::vector<int> members = rels.Elements();
+  std::vector<int64_t> codes(members.size(), 0);
+  std::vector<int64_t> assignment(
+      static_cast<size_t>(query.num_attributes()), -1);
+
+  std::function<void(size_t, int64_t)> recurse = [&](size_t depth,
+                                                     int64_t weight) {
+    if (depth == members.size()) {
+      visit(codes, assignment, weight);
+      return;
+    }
+    const Relation& rel = instance.relation(members[depth]);
+    for (int64_t code = 0; code < rel.tuple_space().size(); ++code) {
+      const int64_t freq = rel.Frequency(code);
+      if (freq == 0) continue;
+      // Check consistency with the current assignment; collect new binds.
+      bool consistent = true;
+      std::vector<std::pair<int, int64_t>> binds;
+      const auto& order = rel.attribute_order();
+      for (size_t d = 0; d < order.size(); ++d) {
+        const int64_t value = rel.tuple_space().Digit(code, d);
+        if (assignment[order[d]] == -1) {
+          binds.emplace_back(order[d], value);
+        } else if (assignment[order[d]] != value) {
+          consistent = false;
+          break;
+        }
+      }
+      if (!consistent) continue;
+      for (const auto& [attr, value] : binds) assignment[attr] = value;
+      codes[depth] = code;
+      recurse(depth + 1, weight * freq);
+      for (const auto& [attr, value] : binds) {
+        (void)value;
+        assignment[attr] = -1;
+      }
+    }
+  };
+  recurse(0, 1);
+}
+
+inline double BruteForceJoinCount(const Instance& instance) {
+  double total = 0.0;
+  BruteForceEnumerate(instance, instance.query().all_relations(),
+                      [&](const std::vector<int64_t>&,
+                          const std::vector<int64_t>&, int64_t weight) {
+                        total += static_cast<double>(weight);
+                      });
+  return total;
+}
+
+// T_{E,y} by brute force.
+inline double BruteForceQAggregate(const Instance& instance, RelationSet rels,
+                                   AttributeSet y) {
+  if (rels.Empty()) return 1.0;
+  const JoinQuery& query = instance.query();
+  std::unordered_map<int64_t, double> groups;
+  const std::vector<int> y_attrs = y.Elements();
+  BruteForceEnumerate(
+      instance, rels,
+      [&](const std::vector<int64_t>&, const std::vector<int64_t>& assignment,
+          int64_t weight) {
+        int64_t key = 0;
+        for (int attr : y_attrs) {
+          key = key * query.domain_size(attr) + assignment[attr];
+        }
+        groups[key] += static_cast<double>(weight);
+      });
+  double best = 0.0;
+  for (const auto& [key, value] : groups) {
+    (void)key;
+    best = std::max(best, value);
+  }
+  return best;
+}
+
+// q(I) for one product query by brute force.
+inline double BruteForceQueryAnswer(const QueryFamily& family,
+                                    const std::vector<int64_t>& parts,
+                                    const Instance& instance) {
+  double total = 0.0;
+  BruteForceEnumerate(
+      instance, instance.query().all_relations(),
+      [&](const std::vector<int64_t>& codes, const std::vector<int64_t>&,
+          int64_t weight) {
+        double value = static_cast<double>(weight);
+        for (size_t i = 0; i < codes.size(); ++i) {
+          value *= family.table_queries(static_cast<int>(i))
+                       [static_cast<size_t>(parts[i])]
+                           .values[static_cast<size_t>(codes[i])];
+        }
+        total += value;
+      });
+  return total;
+}
+
+// LS_count by direct neighbor enumeration: the best insertion or deletion of
+// one tuple anywhere.
+inline double BruteForceLocalSensitivity(const Instance& instance) {
+  const double base = BruteForceJoinCount(instance);
+  double worst = 0.0;
+  for (int r = 0; r < instance.num_relations(); ++r) {
+    const int64_t dom = instance.relation(r).tuple_space().size();
+    for (int64_t code = 0; code < dom; ++code) {
+      Instance plus = instance;
+      plus.mutable_relation(r).AddFrequencyByCode(code, +1);
+      worst = std::max(worst, std::abs(BruteForceJoinCount(plus) - base));
+      if (instance.relation(r).Frequency(code) > 0) {
+        Instance minus = instance;
+        minus.mutable_relation(r).AddFrequencyByCode(code, -1);
+        worst = std::max(worst, std::abs(BruteForceJoinCount(minus) - base));
+      }
+    }
+  }
+  return worst;
+}
+
+// Random small instance over `query` with `tuples` frequency units placed
+// uniformly (possibly stacking).
+inline Instance RandomInstance(const JoinQuery& query, int64_t tuples,
+                               Rng& rng) {
+  Instance instance = Instance::Make(query);
+  for (int r = 0; r < query.num_relations(); ++r) {
+    Relation& rel = instance.mutable_relation(r);
+    for (int64_t t = 0; t < tuples; ++t) {
+      rel.AddFrequencyByCode(
+          static_cast<int64_t>(
+              rng.UniformIndex(static_cast<size_t>(rel.tuple_space().size()))),
+          1);
+    }
+  }
+  return instance;
+}
+
+}  // namespace testing
+}  // namespace dpjoin
+
+#endif  // DPJOIN_TESTS_TESTING_BRUTE_FORCE_H_

@@ -1,0 +1,44 @@
+// Shared query fixtures for tests.
+
+#ifndef DPJOIN_TESTS_TESTING_QUERIES_H_
+#define DPJOIN_TESTS_TESTING_QUERIES_H_
+
+#include "relational/join_query.h"
+
+namespace dpjoin {
+namespace testing {
+
+// The paper's Figure 4 hierarchical query: x = {A,B,C,D,F,G,K,L},
+// x1 = {A,B,D}, x2 = {A,B,F}, x3 = {A,B,G,K}, x4 = {A,B,G,L}, x5 = {A,C}.
+inline JoinQuery MakeFigure4Query(int64_t dom = 2) {
+  auto q = JoinQuery::Create({{"A", dom},
+                              {"B", dom},
+                              {"C", dom},
+                              {"D", dom},
+                              {"F", dom},
+                              {"G", dom},
+                              {"K", dom},
+                              {"L", dom}},
+                             {{"A", "B", "D"},
+                              {"A", "B", "F"},
+                              {"A", "B", "G", "K"},
+                              {"A", "B", "G", "L"},
+                              {"A", "C"}});
+  DPJOIN_CHECK(q.ok(), q.status().ToString());
+  return std::move(q).value();
+}
+
+// A compact hierarchical query for release-level tests: R1(A,B), R2(A,C) —
+// star with hub A (attribute tree: A → {B, C}).
+inline JoinQuery MakeSmallStarQuery(int64_t dom_a, int64_t dom_b,
+                                    int64_t dom_c) {
+  auto q = JoinQuery::Create({{"A", dom_a}, {"B", dom_b}, {"C", dom_c}},
+                             {{"A", "B"}, {"A", "C"}});
+  DPJOIN_CHECK(q.ok(), q.status().ToString());
+  return std::move(q).value();
+}
+
+}  // namespace testing
+}  // namespace dpjoin
+
+#endif  // DPJOIN_TESTS_TESTING_QUERIES_H_
