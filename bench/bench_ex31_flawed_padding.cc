@@ -89,7 +89,7 @@ int Run() {
                 TablePrinter::Num(fixed_verdict.p_event_prime),
                 TablePrinter::Num(fixed_verdict.empirical_epsilon),
                 TablePrinter::Num(params.epsilon)});
-  table.Print();
+  bench::Emit(table);
 
   bench::Verdict(
       flawed_verdict.p_event > 0.8 && flawed_verdict.p_event_prime < 0.4,

@@ -75,7 +75,7 @@ int Run() {
     fixed_all_private &=
         fixed_verdict.empirical_epsilon <= 2.0 * params.epsilon;
   }
-  table.Print();
+  bench::Emit(table);
 
   bench::Verdict(naive_all_violate,
                  "naive join-as-one empirically violates its claimed eps by "

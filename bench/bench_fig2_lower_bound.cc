@@ -100,11 +100,13 @@ int Run() {
     deltas.push_back(static_cast<double>(delta));
     alphas.push_back(alpha_prime.Median());
   }
-  table.Print();
+  bench::Emit(table);
 
   bench::Verdict(identity_exact,
                  "reduction identity q'(I) = Delta*q(T) holds exactly");
   const double slope = bench::LogLogSlope(deltas, alphas);
+  // Derived scalar no table column holds — record it directly.
+  bench::RecordSeries("loglog slope alpha' vs Delta", {slope});
   bench::Verdict(slope > 0.35,
                  "two-table error grows with the amplification Delta (slope " +
                      TablePrinter::Num(slope) +

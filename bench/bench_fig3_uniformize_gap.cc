@@ -81,7 +81,7 @@ int Run() {
     ks.push_back(static_cast<double>(k));
     ratios.push_back(ratio);
   }
-  table_a.Print();
+  bench::Emit(table_a);
 
   const double gap_slope = bench::LogLogSlope(ks, ratios);
   bench::Verdict(ratios.back() > ratios.front(),
@@ -121,7 +121,7 @@ int Run() {
   table_b.AddRow({"Uniformize (Alg 4)", TablePrinter::Num(unif_errs.Median()),
                   TablePrinter::Num(unif_errs.Min()),
                   TablePrinter::Num(unif_errs.Max())});
-  table_b.Print();
+  bench::Emit(table_b, "err");
   bench::Verdict(unif_errs.Median() < 10.0 * plain_errs.Median(),
                  "end-to-end uniformize overhead bounded at small scale "
                  "(asymptotic win shown in Part A)");

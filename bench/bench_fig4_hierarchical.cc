@@ -107,7 +107,7 @@ int Run() {
       ++rows;
     }
   }
-  table_b.Print();
+  bench::Emit(table_b, "boundary");
   bench::Verdict(bound_dominates,
                  "mdeg product dominates T_E for every E (cases 1/2.1/2.2)");
 
@@ -130,10 +130,13 @@ int Run() {
                     std::to_string(entry.sub_instance.InputSize()),
                     TablePrinter::Num(JoinCount(entry.sub_instance)),
                     TablePrinter::Num(rs_exact),
-                    TablePrinter::Num(rs_sigma.ok() ? *rs_sigma : -1.0)});
+                    // "nan" serializes as JSON null for just this entry; a
+                    // -1 sentinel would be recorded as a real measurement.
+                    rs_sigma.ok() ? TablePrinter::Num(*rs_sigma)
+                                  : std::string("nan")});
     ++shown;
   }
-  table_c.Print();
+  bench::Emit(table_c, "subinstance");
   std::cout << "sub-instances: " << partition->sub_instances.size()
             << ", max tuple participation: " << partition->max_participation
             << " (Lemma 4.10's O(log^c n))\n";
@@ -187,7 +190,7 @@ int Run() {
                   TablePrinter::Num(unif_errs.Median()),
                   TablePrinter::Num(unif_errs.Min()),
                   TablePrinter::Num(unif_errs.Max())});
-  table_d.Print();
+  bench::Emit(table_d, "err");
   bench::Verdict(unif_errs.Median() < 6.0 * plain_errs.Median(),
                  "hierarchical uniformize runs end-to-end with bounded "
                  "overhead at laptop scale (star query)");

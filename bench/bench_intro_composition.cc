@@ -77,7 +77,7 @@ int Run() {
     adv_errs.push_back(advanced.Median());
     synth_errs.push_back(synthetic.Median());
   }
-  table.Print();
+  bench::Emit(table);
 
   const double basic_slope = bench::LogLogSlope(sizes, basic_errs);
   const double adv_slope = bench::LogLogSlope(sizes, adv_errs);

@@ -76,7 +76,7 @@ int Run() {
     errs_by_n.push_back(errs.Median());
     uniform_by_n.push_back(uniform_errs.Median());
   }
-  table.Print();
+  bench::Emit(table);
 
   bench::Verdict(within_bound,
                  "measured error <= 3x the Theorem 1.3 bound for every n");

@@ -1,0 +1,177 @@
+#include "bench_report.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace dpjoin {
+namespace bench {
+namespace {
+
+/// Parses `cell` as a double iff the whole trimmed cell is one number.
+bool ParseCell(const std::string& cell, double* out) {
+  const char* begin = cell.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return false;
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+    ++end;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // %.17g may emit plain ("16"), decimal ("0.25"), or exponent ("1e+17")
+  // forms — all are valid JSON numbers, so no fix-up is needed.
+  return std::string(buf);
+}
+
+void BenchReport::SetExperiment(const std::string& id,
+                                const std::string& artifact,
+                                const std::string& claim) {
+  experiment_id_ = id;
+  artifact_ = artifact;
+  claim_ = claim;
+}
+
+void BenchReport::AddSeries(const std::string& name,
+                            std::vector<double> values) {
+  series_.push_back(ReportSeries{name, std::move(values)});
+}
+
+void BenchReport::AddTable(const TablePrinter& table,
+                           const std::string& label) {
+  const auto& header = table.header();
+  const auto& rows = table.rows();
+  for (size_t c = 0; c < header.size(); ++c) {
+    std::vector<double> values;
+    values.reserve(rows.size());
+    bool numeric = !rows.empty();
+    for (const auto& row : rows) {
+      double v = 0.0;
+      if (c >= row.size() || !ParseCell(row[c], &v)) {
+        numeric = false;
+        break;
+      }
+      values.push_back(v);
+    }
+    if (!numeric) continue;
+    const std::string name =
+        label.empty() ? header[c] : label + "." + header[c];
+    AddSeries(name, std::move(values));
+  }
+}
+
+void BenchReport::AddVerdict(bool pass, const std::string& message) {
+  verdicts_.push_back(ReportVerdict{pass, message});
+  if (!pass) ++failures_;
+}
+
+std::string BenchReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"experiment\": \"" << JsonEscape(experiment_id_) << "\",\n";
+  os << "  \"artifact\": \"" << JsonEscape(artifact_) << "\",\n";
+  os << "  \"claim\": \"" << JsonEscape(claim_) << "\",\n";
+  os << "  \"quick_mode\": " << (quick_mode_ ? "true" : "false") << ",\n";
+  os << "  \"series\": [";
+  for (size_t i = 0; i < series_.size(); ++i) {
+    const ReportSeries& s = series_[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": \"" << JsonEscape(s.name) << "\", \"values\": [";
+    SampleStats stats;
+    for (size_t j = 0; j < s.values.size(); ++j) {
+      if (j > 0) os << ", ";
+      os << JsonNumber(s.values[j]);
+      if (std::isfinite(s.values[j])) stats.Add(s.values[j]);
+    }
+    os << "], \"median\": "
+       << (stats.empty() ? "null" : JsonNumber(stats.Median())) << "}";
+  }
+  os << (series_.empty() ? "]" : "\n  ]") << ",\n";
+  os << "  \"verdicts\": [";
+  for (size_t i = 0; i < verdicts_.size(); ++i) {
+    const ReportVerdict& v = verdicts_[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"pass\": " << (v.pass ? "true" : "false")
+       << ", \"message\": \"" << JsonEscape(v.message) << "\"}";
+  }
+  os << (verdicts_.empty() ? "]" : "\n  ]") << ",\n";
+  os << "  \"failures\": " << failures_ << ",\n";
+  os << "  \"all_passed\": " << (failures_ == 0 ? "true" : "false") << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string BenchReport::FileName() const {
+  std::string id = experiment_id_.empty() ? "unnamed" : experiment_id_;
+  for (char& c : id) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return "BENCH_" + id + ".json";
+}
+
+std::string BenchReport::WriteJsonFile(const std::string& dir) const {
+  const std::string path =
+      (dir.empty() ? std::string(".") : dir) + "/" + FileName();
+  std::ofstream out(path);
+  if (!out) return "";
+  out << ToJson();
+  out.flush();
+  return out ? path : "";
+}
+
+BenchReport& GlobalReport() {
+  static BenchReport* report = new BenchReport();
+  return *report;
+}
+
+}  // namespace bench
+}  // namespace dpjoin

@@ -1,0 +1,103 @@
+// Structured bench reporting: alongside the human-readable tables every
+// experiment binary prints, a BenchReport accumulates the same data in
+// machine-readable form and serializes it as BENCH_<experiment>.json so the
+// repo's perf trajectory can be tracked across commits.
+//
+// JSON schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "experiment": "E1",
+//     "artifact": "Figure 1 / §3.1 flawed join-as-one",
+//     "claim": "...",
+//     "quick_mode": false,
+//     "series": [ {"name": "n", "values": [8,16,32], "median": 16} ],
+//     "verdicts": [ {"pass": true, "message": "..."} ],
+//     "failures": 0,
+//     "all_passed": true
+//   }
+//
+// Non-finite doubles serialize as null (JSON has no NaN/Inf).
+
+#ifndef DPJOIN_BENCH_BENCH_REPORT_H_
+#define DPJOIN_BENCH_BENCH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+
+namespace dpjoin {
+namespace bench {
+
+struct ReportSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+struct ReportVerdict {
+  bool pass = false;
+  std::string message;
+};
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters; non-ASCII bytes pass through verbatim,
+/// which is valid JSON as long as the input is UTF-8).
+std::string JsonEscape(const std::string& s);
+
+/// Formats a double as a JSON value: round-trip-precise %.17g for finite
+/// values (not shortest form — 0.1 prints as 0.10000000000000001), "null"
+/// for NaN/Inf.
+std::string JsonNumber(double v);
+
+/// Accumulates one experiment's metadata, numeric series, and PASS/FAIL
+/// verdicts, and serializes them as JSON.
+class BenchReport {
+ public:
+  void SetExperiment(const std::string& id, const std::string& artifact,
+                     const std::string& claim);
+  void SetQuickMode(bool quick) { quick_mode_ = quick; }
+
+  /// Records a named numeric series.
+  void AddSeries(const std::string& name, std::vector<double> values);
+
+  /// Records every fully-numeric column of `table` as a series named after
+  /// its header (prefixed "<label>." when `label` is non-empty). Columns with
+  /// any non-numeric cell (e.g. algorithm names) are skipped.
+  void AddTable(const TablePrinter& table, const std::string& label = "");
+
+  void AddVerdict(bool pass, const std::string& message);
+
+  const std::string& experiment_id() const { return experiment_id_; }
+  bool quick_mode() const { return quick_mode_; }
+  const std::vector<ReportSeries>& series() const { return series_; }
+  const std::vector<ReportVerdict>& verdicts() const { return verdicts_; }
+  int failures() const { return failures_; }
+
+  std::string ToJson() const;
+
+  /// File name this report serializes to: "BENCH_<id>.json" with every
+  /// non-alphanumeric id character replaced by '_'; "BENCH_unnamed.json"
+  /// when no experiment id was set.
+  std::string FileName() const;
+
+  /// Writes ToJson() to `<dir>/FileName()`. Returns the path written, or an
+  /// empty string on I/O failure.
+  std::string WriteJsonFile(const std::string& dir) const;
+
+ private:
+  std::string experiment_id_;
+  std::string artifact_;
+  std::string claim_;
+  bool quick_mode_ = false;
+  std::vector<ReportSeries> series_;
+  std::vector<ReportVerdict> verdicts_;
+  int failures_ = 0;
+};
+
+/// The process-wide report the bench_util.h helpers feed.
+BenchReport& GlobalReport();
+
+}  // namespace bench
+}  // namespace dpjoin
+
+#endif  // DPJOIN_BENCH_BENCH_REPORT_H_

@@ -155,7 +155,7 @@ int Run() {
     participations.push_back(static_cast<double>(participation));
     spreads.push_back(spread);
   }
-  table.Print();
+  bench::Emit(table);
 
   bench::Verdict(
       bench::LogLogSlope(ks, participations) > 1.5,

@@ -69,7 +69,7 @@ int Run() {
     skews.push_back(s);
     rs_over_ls.push_back(rs / std::max(ls, 1.0));
   }
-  table.Print();
+  bench::Emit(table);
 
   bench::Verdict(rs_dominates, "RS^beta >= LS on every instance (Def 3.6)");
   bench::Verdict(within_bound,

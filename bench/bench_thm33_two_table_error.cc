@@ -91,7 +91,7 @@ int Run() {
     outs.push_back(count);
     errors.push_back(errs.Median());
   }
-  table.Print();
+  bench::Emit(table);
 
   bench::Verdict(within_upper,
                  "measured error <= 3x Theorem 3.3 bound at every grid point");

@@ -60,7 +60,7 @@ int Run() {
     deltas.push_back(static_cast<double>(delta));
     errs.push_back(count_errs.Median());
   }
-  table.Print();
+  bench::Emit(table, "err");
 
   bench::Verdict(respects_floor,
                  "Algorithm 1's count error sits above the Δ/2 floor on "
@@ -90,7 +90,7 @@ int Run() {
                  TablePrinter::Num(verdict.p_event_prime),
                  TablePrinter::Num(verdict.empirical_epsilon),
                  TablePrinter::Num(params.epsilon)});
-  table2.Print();
+  bench::Emit(table2, "dp");
   bench::Verdict(verdict.empirical_epsilon > 3.0 * params.epsilon,
                  "sub-floor accuracy forces a DP violation (B.1 argument)");
   return bench::Finish();

@@ -104,7 +104,7 @@ int Run() {
                   TablePrinter::Num(100.0 * static_cast<double>(beyond) / total, 3),
                   counts_match ? "exact" : "MISMATCH"});
   }
-  table.Print();
+  bench::Emit(table);
 
   bench::Verdict(counts_match,
                  "both partitions' per-bucket join sizes sum to count(I)");

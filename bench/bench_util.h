@@ -4,15 +4,22 @@
 // table of measured-vs-predicted series, and PASS/FAIL shape verdicts that
 // EXPERIMENTS.md records. Benches honor DPJOIN_BENCH_QUICK=1 (fewer seeds /
 // smaller grids) for smoke runs.
+//
+// Alongside the human-readable output, the same data flows into the global
+// BenchReport (bench_report.h), and Finish() serializes it as
+// BENCH_<experiment>.json — into $DPJOIN_BENCH_JSON_DIR, or the working
+// directory when unset — so perf series accumulate machine-readably.
 
 #ifndef DPJOIN_BENCH_BENCH_UTIL_H_
 #define DPJOIN_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/stats.h"
 #include "common/table_printer.h"
 
@@ -33,20 +40,42 @@ inline void PrintHeader(const std::string& experiment_id,
   std::cout << "Paper claim: " << claim << "\n";
   std::cout << "==============================================================="
                "=\n";
+  GlobalReport().SetExperiment(experiment_id, artifact, claim);
+  GlobalReport().SetQuickMode(QuickMode());
 }
 
-inline int g_failures = 0;
+/// Prints `table` and records its numeric columns as report series
+/// (optionally prefixed "<label>.").
+inline void Emit(const TablePrinter& table, const std::string& label = "") {
+  table.Print();
+  GlobalReport().AddTable(table, label);
+}
+
+/// Records a named numeric series without printing anything.
+inline void RecordSeries(const std::string& name, std::vector<double> values) {
+  GlobalReport().AddSeries(name, std::move(values));
+}
 
 inline void Verdict(bool ok, const std::string& message) {
   std::cout << (ok ? "[SHAPE PASS] " : "[SHAPE FAIL] ") << message << "\n";
-  if (!ok) ++g_failures;
+  GlobalReport().AddVerdict(ok, message);
 }
 
 inline int Finish() {
-  if (g_failures > 0) {
-    std::cout << g_failures << " shape check(s) failed\n";
+  const int failures = GlobalReport().failures();
+  if (failures > 0) {
+    std::cout << failures << " shape check(s) failed\n";
   } else {
     std::cout << "all shape checks passed\n";
+  }
+  const char* dir_env = std::getenv("DPJOIN_BENCH_JSON_DIR");
+  const std::string path =
+      GlobalReport().WriteJsonFile(dir_env != nullptr ? dir_env : ".");
+  if (path.empty()) {
+    std::cout << "warning: could not write " << GlobalReport().FileName()
+              << "\n";
+  } else {
+    std::cout << "wrote " << path << "\n";
   }
   std::cout.flush();
   // Benches report shape failures in text but exit 0: a reproduction on a

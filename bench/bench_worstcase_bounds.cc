@@ -50,7 +50,7 @@ int Run() {
                      TablePrinter::Num(
                          WorstCaseErrorExponentWeighted(shape.query))});
   }
-  table_lp.Print();
+  bench::Emit(table_lp, "lp");
 
   // ---- AGM upper bound count(I) <= n^rho on 0/1 instances ------------------
   // (All-ones instances are not AGM-extremal — the bound is what must hold
@@ -92,7 +92,7 @@ int Run() {
                         rs <= agm ? "yes" : "NO"});
     }
   }
-  table_agm.Print();
+  bench::Emit(table_agm, "agm");
   bench::Verdict(agm_holds,
                  "AGM bound count <= n^rho holds on every 0/1 instance");
 
@@ -113,7 +113,7 @@ int Run() {
       table_tight.AddRow({TablePrinter::Num(ns.back()),
                           TablePrinter::Num(counts.back()), ""});
     }
-    table_tight.Print();
+    bench::Emit(table_tight, "tight");
     const double slope = bench::LogLogSlope(ns, counts);
     bench::Verdict(std::abs(slope - 2.0) < 0.1,
                    "extremal 0/1 two-table family realizes count = "
@@ -137,7 +137,7 @@ int Run() {
                     TablePrinter::Num(pred),
                     TablePrinter::Num(count / pred)});
   }
-  table_w.Print();
+  bench::Emit(table_w, "worstcase");
   bench::Verdict(weighted_ok,
                  "annotated (Z>=0) relations realize count = n^m, beating "
                  "the AGM bound of the 0/1 case (Appendix B.3 case 2)");

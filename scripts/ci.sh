@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Tier-1 verify + bench smoke, as CI runs it:
+#   1. configure + build with -Wall -Wextra -Werror (the tree is
+#      warning-clean — keep it that way),
+#   2. ctest over every discovered test,
+#   3. a DPJOIN_BENCH_QUICK=1 smoke run of one bench binary, validating the
+#      BENCH_*.json it writes.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "==> configure (${BUILD_DIR}, warnings-as-errors)"
+cmake -B "${BUILD_DIR}" -S . -DDPJOIN_WERROR=ON
+
+echo "==> build (-j ${JOBS})"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "==> ctest"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "==> bench smoke (DPJOIN_BENCH_QUICK=1)"
+SMOKE_DIR="${BUILD_DIR}/bench-smoke"
+mkdir -p "${SMOKE_DIR}"
+DPJOIN_BENCH_QUICK=1 DPJOIN_BENCH_JSON_DIR="${SMOKE_DIR}" \
+  "${BUILD_DIR}/bench/bench_thm34_delta_floor"
+
+json="$(ls "${SMOKE_DIR}"/BENCH_*.json)"
+echo "==> validating ${json}"
+python3 - "${json}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["schema_version"] == 1, report
+assert report["quick_mode"] is True, "quick mode not recorded"
+assert report["series"], "no series recorded"
+for s in report["series"]:
+    assert s["values"], f"empty series {s['name']}"
+print(f"ok: {sys.argv[1]} — {len(report['series'])} series, "
+      f"{len(report['verdicts'])} verdicts, all_passed={report['all_passed']}")
+EOF
+
+echo "==> ci.sh: all green"

@@ -26,6 +26,9 @@ class TablePrinter {
   /// Prints header + separator + rows to `os`.
   void Print(std::ostream& os = std::cout) const;
 
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,373 @@
+// Round-trips a BenchReport through the JSON emitter: a minimal
+// recursive-descent JSON parser validates well-formedness, then the tests
+// assert the decoded structure (series lengths, medians, verdicts, quick
+// flag) matches what was recorded.
+
+#include "bench_util.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_report.h"
+#include "common/table_printer.h"
+
+namespace dpjoin {
+namespace {
+
+// --- Minimal strict JSON parser (objects, arrays, strings, numbers, bools,
+// --- null). Throws std::runtime_error on malformed input.
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  const JsonValue& At(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool Literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) == 0) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    JsonValue v;
+    const char c = Peek();
+    if (c == '{') {
+      v.kind = JsonValue::kObject;
+      Expect('{');
+      SkipWs();
+      if (Peek() == '}') {
+        Expect('}');
+        return v;
+      }
+      while (true) {
+        SkipWs();
+        const std::string key = ParseString();
+        SkipWs();
+        Expect(':');
+        v.obj[key] = ParseValue();
+        SkipWs();
+        if (Peek() == ',') {
+          Expect(',');
+          continue;
+        }
+        Expect('}');
+        break;
+      }
+    } else if (c == '[') {
+      v.kind = JsonValue::kArray;
+      Expect('[');
+      SkipWs();
+      if (Peek() == ']') {
+        Expect(']');
+        return v;
+      }
+      while (true) {
+        v.arr.push_back(ParseValue());
+        SkipWs();
+        if (Peek() == ',') {
+          Expect(',');
+          continue;
+        }
+        Expect(']');
+        break;
+      }
+    } else if (c == '"') {
+      v.kind = JsonValue::kString;
+      v.str = ParseString();
+    } else if (Literal("true")) {
+      v.kind = JsonValue::kBool;
+      v.b = true;
+    } else if (Literal("false")) {
+      v.kind = JsonValue::kBool;
+      v.b = false;
+    } else if (Literal("null")) {
+      v.kind = JsonValue::kNull;
+    } else {
+      v.kind = JsonValue::kNumber;
+      v.num = ParseNumber();
+    }
+    return v;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        throw std::runtime_error("raw control char in string");
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            const unsigned code =
+                static_cast<unsigned>(std::strtoul(hex.c_str(), nullptr, 16));
+            // Test inputs only use \u escapes for control chars (< 0x80).
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            throw std::runtime_error("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  double ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) throw std::runtime_error("bad number");
+    const std::string slice = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size()) {
+      throw std::runtime_error("malformed number: " + slice);
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+JsonValue ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+bench::BenchReport MakeSampleReport() {
+  bench::BenchReport report;
+  report.SetExperiment("E99", "sample artifact", "a \"quoted\"\nclaim");
+  report.AddSeries("n", {8, 16, 32});
+  report.AddSeries("err", {0.5, 0.25, 0.125});
+  report.AddVerdict(true, "shape holds");
+  report.AddVerdict(false, "shape broken");
+  return report;
+}
+
+TEST(BenchReportTest, EmitsWellFormedJson) {
+  const bench::BenchReport report = MakeSampleReport();
+  const JsonValue root = ParseJson(report.ToJson());
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  EXPECT_EQ(root.At("schema_version").num, 1.0);
+  EXPECT_EQ(root.At("experiment").str, "E99");
+  EXPECT_EQ(root.At("artifact").str, "sample artifact");
+  EXPECT_EQ(root.At("claim").str, "a \"quoted\"\nclaim");
+  EXPECT_EQ(root.At("quick_mode").b, false);
+  EXPECT_EQ(root.At("failures").num, 1.0);
+  EXPECT_EQ(root.At("all_passed").b, false);
+}
+
+TEST(BenchReportTest, SeriesRoundTripWithMedians) {
+  const bench::BenchReport report = MakeSampleReport();
+  const JsonValue root = ParseJson(report.ToJson());
+  const JsonValue& series = root.At("series");
+  ASSERT_EQ(series.kind, JsonValue::kArray);
+  ASSERT_EQ(series.arr.size(), 2u);
+
+  const JsonValue& n = series.arr[0];
+  EXPECT_EQ(n.At("name").str, "n");
+  ASSERT_EQ(n.At("values").arr.size(), 3u);
+  EXPECT_EQ(n.At("values").arr[0].num, 8.0);
+  EXPECT_EQ(n.At("values").arr[2].num, 32.0);
+  EXPECT_EQ(n.At("median").num, 16.0);
+
+  const JsonValue& err = series.arr[1];
+  EXPECT_EQ(err.At("name").str, "err");
+  ASSERT_EQ(err.At("values").arr.size(), 3u);
+  EXPECT_EQ(err.At("median").num, 0.25);
+}
+
+TEST(BenchReportTest, VerdictsRoundTrip) {
+  const bench::BenchReport report = MakeSampleReport();
+  const JsonValue root = ParseJson(report.ToJson());
+  const JsonValue& verdicts = root.At("verdicts");
+  ASSERT_EQ(verdicts.arr.size(), 2u);
+  EXPECT_TRUE(verdicts.arr[0].At("pass").b);
+  EXPECT_EQ(verdicts.arr[0].At("message").str, "shape holds");
+  EXPECT_FALSE(verdicts.arr[1].At("pass").b);
+  EXPECT_EQ(verdicts.arr[1].At("message").str, "shape broken");
+}
+
+TEST(BenchReportTest, NonFiniteValuesSerializeAsNull) {
+  bench::BenchReport report;
+  report.SetExperiment("E1", "a", "c");
+  report.AddSeries("mixed",
+                   {1.0, std::numeric_limits<double>::quiet_NaN(),
+                    std::numeric_limits<double>::infinity(), 3.0});
+  const JsonValue root = ParseJson(report.ToJson());
+  const JsonValue& s = root.At("series").arr[0];
+  ASSERT_EQ(s.At("values").arr.size(), 4u);
+  EXPECT_EQ(s.At("values").arr[1].kind, JsonValue::kNull);
+  EXPECT_EQ(s.At("values").arr[2].kind, JsonValue::kNull);
+  // Median ignores the non-finite samples: median of {1, 3} = 1 (lower
+  // nearest-rank).
+  EXPECT_EQ(s.At("median").kind, JsonValue::kNumber);
+}
+
+TEST(BenchReportTest, EmptyReportIsStillValidJson) {
+  bench::BenchReport report;
+  const JsonValue root = ParseJson(report.ToJson());
+  EXPECT_EQ(root.At("series").arr.size(), 0u);
+  EXPECT_EQ(root.At("verdicts").arr.size(), 0u);
+  EXPECT_TRUE(root.At("all_passed").b);
+}
+
+TEST(BenchReportTest, TableNumericColumnsBecomeSeries) {
+  TablePrinter table({"n", "algorithm", "median err"});
+  table.AddRow({"8", "naive", "0.5"});
+  table.AddRow({"16", "naive", "0.25"});
+  table.AddRow({"32", "naive", "0.125"});
+
+  bench::BenchReport report;
+  report.AddTable(table);
+  ASSERT_EQ(report.series().size(), 2u);
+  EXPECT_EQ(report.series()[0].name, "n");
+  EXPECT_EQ(report.series()[0].values.size(), 3u);
+  EXPECT_EQ(report.series()[1].name, "median err");
+  EXPECT_EQ(report.series()[1].values[2], 0.125);
+
+  bench::BenchReport labeled;
+  labeled.AddTable(table, "sweep");
+  ASSERT_EQ(labeled.series().size(), 2u);
+  EXPECT_EQ(labeled.series()[0].name, "sweep.n");
+}
+
+TEST(BenchReportTest, EmptyTableProducesNoSeries) {
+  TablePrinter table({"a", "b"});
+  bench::BenchReport report;
+  report.AddTable(table);
+  EXPECT_TRUE(report.series().empty());
+}
+
+TEST(BenchReportTest, FileNameSanitizesExperimentId) {
+  bench::BenchReport report;
+  report.SetExperiment("E3 / fig.2", "a", "c");
+  EXPECT_EQ(report.FileName(), "BENCH_E3___fig_2.json");
+  bench::BenchReport unnamed;
+  EXPECT_EQ(unnamed.FileName(), "BENCH_unnamed.json");
+}
+
+TEST(BenchReportTest, WriteJsonFileRoundTrips) {
+  const bench::BenchReport report = MakeSampleReport();
+  const char* tmpdir = std::getenv("TEST_TMPDIR");
+  const std::string dir = tmpdir != nullptr ? tmpdir : ::testing::TempDir();
+  const std::string path = report.WriteJsonFile(dir);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path, dir + "/BENCH_E99.json");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue root = ParseJson(buffer.str());
+  EXPECT_EQ(root.At("experiment").str, "E99");
+  std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, QuickModeEnvIsRecorded) {
+  ASSERT_EQ(setenv("DPJOIN_BENCH_QUICK", "1", /*overwrite=*/1), 0);
+  EXPECT_TRUE(bench::QuickMode());
+
+  bench::BenchReport report;
+  report.SetQuickMode(bench::QuickMode());
+  const JsonValue root = ParseJson(report.ToJson());
+  EXPECT_TRUE(root.At("quick_mode").b);
+
+  ASSERT_EQ(setenv("DPJOIN_BENCH_QUICK", "0", /*overwrite=*/1), 0);
+  EXPECT_FALSE(bench::QuickMode());
+  ASSERT_EQ(unsetenv("DPJOIN_BENCH_QUICK"), 0);
+}
+
+TEST(BenchUtilTest, LogLogSlopeRecoversExponent) {
+  const std::vector<double> xs = {10, 100, 1000};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x * x);
+  EXPECT_NEAR(bench::LogLogSlope(xs, ys), 2.0, 1e-9);
+}
+
+TEST(BenchUtilTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(bench::JsonEscape("plain"), "plain");
+  EXPECT_EQ(bench::JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(bench::JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(bench::JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace dpjoin
