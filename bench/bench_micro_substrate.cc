@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+
+#include "common/thread_pool.h"
 #include "core/partition_two_table.h"
 #include "query/evaluation.h"
 #include "query/workloads.h"
@@ -106,6 +110,55 @@ void BM_PmwRelease(benchmark::State& state) {
 }
 BENCHMARK(BM_PmwRelease)->Arg(4)->Arg(16);
 
+// --- Serial-vs-parallel series over the substrate hot paths. The argument
+// is the thread count; Arg(1) is the serial baseline. ---
+
+void BM_EvaluateAllOnTensorThreads(benchmark::State& state) {
+  const JoinQuery query = MakeTwoTableQuery(128, 4, 128);
+  Rng rng(21);
+  const Instance instance = MakeZipfTwoTableInstance(query, 400, 1.0, rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 15, rng);
+  const DenseTensor tensor = JoinTensor(instance);
+  const ScopedThreads scoped(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateAllOnTensor(family, tensor));
+  }
+  state.SetItemsProcessed(state.iterations() * family.TotalCount());
+}
+BENCHMARK(BM_EvaluateAllOnTensorThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PmwReleaseThreads(benchmark::State& state) {
+  const JoinQuery query = MakeTwoTableQuery(64, 4, 64);
+  Rng data_rng(23);
+  const Instance instance = MakeZipfTwoTableInstance(query, 400, 1.0, data_rng);
+  Rng wl_rng(24);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 8, wl_rng);
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 8.0;
+  options.num_rounds = 8;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(25);
+    benchmark::DoNotOptimize(
+        PrivateMultiplicativeWeights(instance, family, options, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_rounds);
+}
+BENCHMARK(BM_PmwReleaseThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ParallelJoinCountThreads(benchmark::State& state) {
+  const Instance instance = ZipfInstance(50000);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParallelJoinCount(instance, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * instance.InputSize());
+}
+BENCHMARK(BM_ParallelJoinCountThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_PartitionTwoTable(benchmark::State& state) {
   const Instance instance = ZipfInstance(state.range(0));
   const PrivacyParams params(1.0, 1e-4);
@@ -120,4 +173,25 @@ BENCHMARK(BM_PartitionTwoTable)->Arg(10000)->Arg(50000);
 }  // namespace
 }  // namespace dpjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Accept the harness-wide --threads=N flag (sets the ExecutionContext
+  // default used by the non-Arg-parameterized benchmarks) and hide it from
+  // google-benchmark's strict flag parser, which rejects unknown flags.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--threads=";
+    if (arg.rfind(prefix, 0) == 0) {
+      dpjoin::ExecutionContext::SetThreads(
+          std::atoi(arg.c_str() + prefix.size()));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,17 +5,102 @@
 // scaling exponent; theory predicts 1/2 once n clears the additive
 // Δ̃·√λ·f_upper noise floor.
 
+#include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/theory_bounds.h"
 #include "query/evaluation.h"
 #include "query/workloads.h"
 #include "release/pmw.h"
+#include "relational/generators.h"
 #include "relational/join.h"
 
 namespace dpjoin {
 namespace {
+
+// Serial-vs-parallel series over the PMW round loop (EvaluateAllOnTensor +
+// MultiplicativeUpdate dominate) on a release domain large enough for the
+// thread pool to matter. The outputs must be bit-identical for every thread
+// count — determinism is the substrate's hard contract — and the recorded
+// speedup series accumulates the perf trajectory in BENCH_E9.json.
+void ThreadingSweep() {
+  const int64_t side = bench::QuickMode() ? 128 : 512;
+  const int64_t rounds = bench::QuickMode() ? 8 : 24;
+  const JoinQuery query = MakeTwoTableQuery(side, 4, side);
+  Rng data_rng(71);
+  // Few tuples: the round-loop cost being measured (contraction + per-cell
+  // update) scales with |D|, not with the instance, and the sparse
+  // EvaluateAllOnInstance precompute must not dominate the timing.
+  const Instance instance =
+      MakeZipfTwoTableInstance(query, 400, 1.0, data_rng);
+  Rng wl_rng(72);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 16, wl_rng);
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 8.0;
+  options.num_rounds = rounds;
+  options.per_round_epsilon_override = 0.25;
+
+  auto run_once = [&](int threads) {
+    options.num_threads = threads;
+    Rng rng(73);  // identical noise stream for every thread count
+    auto result = PrivateMultiplicativeWeights(instance, family, options, rng);
+    DPJOIN_CHECK(result.ok(), result.status().ToString());
+    return std::move(result).value();
+  };
+
+  TablePrinter table({"threads", "seconds", "speedup vs serial"});
+  std::vector<double> speedup_series;
+  std::vector<double> serial_values;
+  bool bit_identical = true;
+  double serial_seconds = 0.0;
+  for (int threads : {1, 2, 8}) {
+    // Best of 3: wall-clock medians are noisy at this scale.
+    double best = 1e100;
+    PmwResult result;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      result = run_once(threads);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      best = std::min(best, elapsed.count());
+    }
+    if (threads == 1) {
+      serial_seconds = best;
+      serial_values = result.synthetic.values();
+    } else {
+      const auto& values = result.synthetic.values();
+      bit_identical &= values.size() == serial_values.size();
+      for (size_t i = 0; bit_identical && i < values.size(); ++i) {
+        bit_identical &= values[i] == serial_values[i];
+      }
+    }
+    const double speedup = serial_seconds / best;
+    table.AddRow({std::to_string(threads), TablePrinter::Num(best),
+                  TablePrinter::Num(speedup)});
+    speedup_series.push_back(speedup);
+  }
+  bench::Emit(table, "threading");  // records threading.{threads,seconds,...}
+
+  bench::Verdict(bit_identical,
+                 "PMW output bit-identical for threads in {1, 2, 8} "
+                 "(determinism contract of the parallel substrate)");
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  if (cores >= 4) {
+    bench::Verdict(speedup_series.back() >= 2.0,
+                   "parallel PMW round loop >= 2x serial at 8 threads on " +
+                       std::to_string(cores) + " available cores (measured " +
+                       TablePrinter::Num(speedup_series.back()) + "x)");
+  } else {
+    bench::Verdict(true,
+                   "speedup not asserted: only " + std::to_string(cores) +
+                       " core(s) available (measured " +
+                       TablePrinter::Num(speedup_series.back()) + "x)");
+  }
+}
 
 int Run() {
   bench::PrintHeader(
@@ -88,10 +173,15 @@ int Run() {
           TablePrinter::Num(pmw_slope) + ", theory 0.5) vs the uniform "
           "prior's ~linear growth (exponent " +
           TablePrinter::Num(uniform_slope) + ")");
+
+  ThreadingSweep();
   return bench::Finish();
 }
 
 }  // namespace
 }  // namespace dpjoin
 
-int main() { return dpjoin::Run(); }
+int main(int argc, char** argv) {
+  dpjoin::bench::Init(argc, argv);
+  return dpjoin::Run();
+}

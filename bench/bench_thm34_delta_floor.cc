@@ -99,4 +99,7 @@ int Run() {
 }  // namespace
 }  // namespace dpjoin
 
-int main() { return dpjoin::Run(); }
+int main(int argc, char** argv) {
+  dpjoin::bench::Init(argc, argv);
+  return dpjoin::Run();
+}

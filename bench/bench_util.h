@@ -22,6 +22,7 @@
 #include "bench_report.h"
 #include "common/stats.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 
 namespace dpjoin {
 namespace bench {
@@ -29,6 +30,20 @@ namespace bench {
 inline bool QuickMode() {
   const char* env = std::getenv("DPJOIN_BENCH_QUICK");
   return env != nullptr && std::string(env) == "1";
+}
+
+/// Parses harness-wide flags and applies them. Currently:
+///   --threads=N   worker threads for the parallelized hot paths
+///                 (overrides DPJOIN_THREADS; N <= 0 resets to the default).
+/// Unknown arguments are ignored so individual benches can add their own.
+inline void Init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--threads=";
+    if (arg.rfind(prefix, 0) == 0) {
+      ExecutionContext::SetThreads(std::atoi(arg.c_str() + prefix.size()));
+    }
+  }
 }
 
 inline void PrintHeader(const std::string& experiment_id,

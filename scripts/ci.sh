@@ -23,15 +23,19 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 echo "==> ctest"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "==> bench smoke (DPJOIN_BENCH_QUICK=1)"
+echo "==> bench smoke (DPJOIN_BENCH_QUICK=1, DPJOIN_THREADS=2)"
+# DPJOIN_THREADS=2 exercises the parallel substrate on every CI run; the
+# determinism contract makes the outputs identical to a serial run.
 SMOKE_DIR="${BUILD_DIR}/bench-smoke"
 mkdir -p "${SMOKE_DIR}"
-DPJOIN_BENCH_QUICK=1 DPJOIN_BENCH_JSON_DIR="${SMOKE_DIR}" \
-  "${BUILD_DIR}/bench/bench_thm34_delta_floor"
+for bench in bench_thm34_delta_floor bench_pmw_single_table; do
+  DPJOIN_BENCH_QUICK=1 DPJOIN_THREADS=2 DPJOIN_BENCH_JSON_DIR="${SMOKE_DIR}" \
+    "${BUILD_DIR}/bench/${bench}"
+done
 
-json="$(ls "${SMOKE_DIR}"/BENCH_*.json)"
-echo "==> validating ${json}"
-python3 - "${json}" <<'EOF'
+for json in "${SMOKE_DIR}"/BENCH_*.json; do
+  echo "==> validating ${json}"
+  python3 - "${json}" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
@@ -43,5 +47,6 @@ for s in report["series"]:
 print(f"ok: {sys.argv[1]} — {len(report['series'])} series, "
       f"{len(report['verdicts'])} verdicts, all_passed={report['all_passed']}")
 EOF
+done
 
 echo "==> ci.sh: all green"

@@ -84,6 +84,48 @@ class MixedRadix {
   int64_t size_ = 1;
 };
 
+/// Row-major digit odometer over a MixedRadix shape, seekable to any flat
+/// index. Walking flat indices with Advance() enumerates tuples
+/// lexicographically (last digit fastest); SeekTo lets a parallel worker
+/// start its block [lo, hi) mid-sequence without replaying [0, lo).
+///
+/// Advance() reports the most-significant digit position that changed, so
+/// callers maintaining prefix products over the digits (PMW's multiplicative
+/// update, all-query tensor evaluation) can refresh only the suffix.
+class Odometer {
+ public:
+  explicit Odometer(const MixedRadix& shape)
+      : shape_(&shape), digits_(shape.num_digits(), 0) {}
+
+  Odometer(const MixedRadix& shape, int64_t start) : Odometer(shape) {
+    SeekTo(start);
+  }
+
+  /// Positions the odometer at `flat` (must be in [0, shape.size())).
+  void SeekTo(int64_t flat) { shape_->DecodeInto(flat, &digits_); }
+
+  const std::vector<int64_t>& digits() const { return digits_; }
+  int64_t digit(size_t i) const { return digits_[i]; }
+
+  /// Advances to the next tuple. Returns the most-significant digit position
+  /// that changed — digits [pos, num_digits) are new, digits below pos are
+  /// unchanged. Advancing past the last tuple wraps to all-zeros and
+  /// returns 0.
+  size_t Advance() {
+    size_t i = digits_.size();
+    while (i-- > 0) {
+      if (++digits_[i] < shape_->radix(i)) return i;
+      digits_[i] = 0;
+      if (i == 0) break;
+    }
+    return 0;
+  }
+
+ private:
+  const MixedRadix* shape_;
+  std::vector<int64_t> digits_;
+};
+
 }  // namespace dpjoin
 
 #endif  // DPJOIN_COMMON_MIXED_RADIX_H_

@@ -61,12 +61,42 @@ class Rng {
 
   /// Spawns an independent child generator; used to give each repetition of
   /// an experiment its own stream without coupling to the parent's state.
-  Rng Fork() { return Rng(engine_()); }
+  ///
+  /// The single parent draw is expanded through a SplitMix64 stream into a
+  /// full std::seed_seq before seeding the child. Seeding mt19937_64
+  /// directly from one 64-bit value leaves the remaining 19968 bits of
+  /// state derived by a weak linear recurrence, which produces measurably
+  /// correlated parent/child streams; the SplitMix64 + seed_seq expansion
+  /// decorrelates them while keeping forks fully deterministic.
+  Rng Fork() {
+    uint64_t state = engine_();
+    const uint64_t a = SplitMix64Next(state);
+    const uint64_t b = SplitMix64Next(state);
+    const uint64_t c = SplitMix64Next(state);
+    const uint64_t d = SplitMix64Next(state);
+    std::seed_seq seq{
+        static_cast<uint32_t>(a), static_cast<uint32_t>(a >> 32),
+        static_cast<uint32_t>(b), static_cast<uint32_t>(b >> 32),
+        static_cast<uint32_t>(c), static_cast<uint32_t>(c >> 32),
+        static_cast<uint32_t>(d), static_cast<uint32_t>(d >> 32)};
+    Rng child;
+    child.engine_.seed(seq);
+    return child;
+  }
 
   /// Underlying engine, for std distributions not wrapped above.
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  /// One step of the SplitMix64 sequence (Steele, Lea & Flood 2014).
+  static uint64_t SplitMix64Next(uint64_t& state) {
+    state += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
   std::mt19937_64 engine_;
 };
 

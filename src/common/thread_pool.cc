@@ -1,0 +1,232 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+namespace {
+
+// Set while the current thread executes blocks of an active parallel region;
+// nested regions run inline (a worker waiting for the pool would deadlock).
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex region_mu;  // serializes parallel regions
+
+  std::mutex mu;  // guards everything below
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+  bool shutdown = false;
+
+  // Active job, published under `mu` with a fresh generation number.
+  uint64_t gen = 0;
+  const std::function<void(int64_t)>* job = nullptr;
+  int64_t num_blocks = 0;
+  int max_participants = 0;
+  std::atomic<int64_t> next_block{0};
+  int64_t blocks_done = 0;  // under mu
+  int participants = 0;     // workers currently inside the claim loop
+
+  void WorkerLoop() {
+    uint64_t seen_gen = 0;
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      work_cv.wait(
+          lock, [&] { return shutdown || (job != nullptr && gen != seen_gen); });
+      if (shutdown) return;
+      seen_gen = gen;
+      if (participants >= max_participants) continue;  // job fully staffed
+      ++participants;
+      const std::function<void(int64_t)>* my_job = job;
+      const int64_t my_blocks = num_blocks;
+      lock.unlock();
+      t_in_parallel_region = true;
+      int64_t done = 0;
+      for (;;) {
+        const int64_t block = next_block.fetch_add(1);
+        if (block >= my_blocks) break;
+        (*my_job)(block);
+        ++done;
+      }
+      t_in_parallel_region = false;
+      lock.lock();
+      --participants;
+      blocks_done += done;
+      done_cv.notify_all();
+    }
+  }
+
+  void EnsureWorkers(size_t n) {
+    // Caller holds `mu`; safe because workers only read shared state under
+    // `mu` or via the atomic block counter.
+    while (workers.size() < n) {
+      workers.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+};
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() : impl_(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::Run(int64_t num_blocks, int max_threads,
+                     const std::function<void(int64_t)>& job) {
+  if (num_blocks <= 0) return;
+  max_threads = std::clamp(max_threads, 1, kMaxThreads);
+  if (max_threads == 1 || num_blocks == 1 || t_in_parallel_region) {
+    const bool was_nested = t_in_parallel_region;
+    t_in_parallel_region = true;
+    for (int64_t block = 0; block < num_blocks; ++block) job(block);
+    t_in_parallel_region = was_nested;
+    return;
+  }
+
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> region(impl.region_mu);
+  {
+    std::lock_guard<std::mutex> lock(impl.mu);
+    impl.EnsureWorkers(static_cast<size_t>(max_threads - 1));
+    impl.job = &job;
+    impl.num_blocks = num_blocks;
+    impl.max_participants = max_threads - 1;
+    impl.next_block.store(0);
+    impl.blocks_done = 0;
+    ++impl.gen;
+  }
+  impl.work_cv.notify_all();
+
+  // The calling thread is a participant too.
+  t_in_parallel_region = true;
+  int64_t done = 0;
+  for (;;) {
+    const int64_t block = impl.next_block.fetch_add(1);
+    if (block >= num_blocks) break;
+    job(block);
+    ++done;
+  }
+  t_in_parallel_region = false;
+
+  // Wait until every block finished AND no worker is still inside the claim
+  // loop — a late worker must not survive into the next region, where the
+  // reset block counter would hand it stale work.
+  std::unique_lock<std::mutex> lock(impl.mu);
+  impl.blocks_done += done;
+  impl.done_cv.wait(lock, [&] {
+    return impl.blocks_done == num_blocks && impl.participants == 0;
+  });
+  impl.job = nullptr;
+}
+
+namespace {
+
+std::atomic<int> g_thread_override{0};  // 0 = unset, use DefaultThreads()
+
+}  // namespace
+
+int ExecutionContext::DefaultThreads() {
+  static const int threads = [] {
+    if (const char* env = std::getenv("DPJOIN_THREADS")) {
+      const int n = std::atoi(env);
+      if (n > 0) return std::min(n, ThreadPool::kMaxThreads);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) return 1;
+    return std::min(static_cast<int>(hw), ThreadPool::kMaxThreads);
+  }();
+  return threads;
+}
+
+int ExecutionContext::threads() {
+  const int n = g_thread_override.load(std::memory_order_relaxed);
+  return n > 0 ? n : DefaultThreads();
+}
+
+void ExecutionContext::SetThreads(int n) {
+  g_thread_override.store(n > 0 ? std::min(n, ThreadPool::kMaxThreads) : 0,
+                          std::memory_order_relaxed);
+}
+
+ScopedThreads::ScopedThreads(int n) : saved_(0) {
+  if (n > 0) {
+    saved_ = ExecutionContext::threads();
+    ExecutionContext::SetThreads(n);
+  }
+}
+
+ScopedThreads::~ScopedThreads() {
+  if (saved_ > 0) ExecutionContext::SetThreads(saved_);
+}
+
+int64_t NumBlocks(int64_t begin, int64_t end, int64_t grain) {
+  if (end <= begin) return 0;
+  grain = std::max<int64_t>(grain, 1);
+  return (end - begin + grain - 1) / grain;
+}
+
+void ParallelForBlocks(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& body,
+    int num_threads) {
+  const int64_t blocks = NumBlocks(begin, end, grain);
+  if (blocks == 0) return;
+  grain = std::max<int64_t>(grain, 1);
+  const int threads =
+      num_threads > 0 ? num_threads : ExecutionContext::threads();
+  ThreadPool::Global().Run(blocks, threads, [&](int64_t block) {
+    const int64_t lo = begin + block * grain;
+    const int64_t hi = std::min(end, lo + grain);
+    body(block, lo, hi);
+  });
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body,
+                 int num_threads) {
+  ParallelForBlocks(
+      begin, end, grain,
+      [&](int64_t, int64_t lo, int64_t hi) { body(lo, hi); }, num_threads);
+}
+
+double ParallelSum(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<double(int64_t, int64_t)>& block_sum,
+                   int num_threads) {
+  const int64_t blocks = NumBlocks(begin, end, grain);
+  if (blocks == 0) return 0.0;
+  std::vector<double> partial(static_cast<size_t>(blocks), 0.0);
+  ParallelForBlocks(
+      begin, end, grain,
+      [&](int64_t block, int64_t lo, int64_t hi) {
+        partial[static_cast<size_t>(block)] = block_sum(lo, hi);
+      },
+      num_threads);
+  double total = 0.0;
+  for (double p : partial) total += p;  // block order: deterministic grouping
+  return total;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,114 @@
+// Parallel execution substrate: a fixed worker pool with deterministic
+// ordered block decomposition.
+//
+// Determinism contract: the block decomposition of a ParallelFor/ParallelSum
+// call depends only on (begin, end, grain) — never on the thread count — and
+// reductions merge per-block results in block order. A caller whose blocks
+// touch disjoint state therefore produces bit-identical output for ANY
+// thread count, including the serial fallback. This is what lets the release
+// algorithms parallelize their hot loops while keeping DP noise draws on the
+// caller's single Rng.
+//
+// Thread count resolution (first match wins):
+//   1. an explicit `num_threads > 0` argument,
+//   2. the current ExecutionContext setting (ScopedThreads / SetThreads),
+//   3. the DPJOIN_THREADS environment variable,
+//   4. std::thread::hardware_concurrency().
+
+#ifndef DPJOIN_COMMON_THREAD_POOL_H_
+#define DPJOIN_COMMON_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace dpjoin {
+
+/// Process-wide pool of persistent worker threads. Workers are spawned
+/// lazily (up to the largest concurrency ever requested, bounded by
+/// kMaxThreads) and parked on a condition variable between parallel
+/// regions; regions are serialized, and a region entered from inside a
+/// worker runs inline to avoid deadlock.
+class ThreadPool {
+ public:
+  static constexpr int kMaxThreads = 64;
+
+  /// The process-wide pool.
+  static ThreadPool& Global();
+
+  /// Runs job(block) for every block in [0, num_blocks), using up to
+  /// max_threads - 1 workers plus the calling thread. Blocks until every
+  /// block has finished. Blocks are claimed dynamically, so `job` must not
+  /// depend on which thread runs a block.
+  void Run(int64_t num_blocks, int max_threads,
+           const std::function<void(int64_t)>& job);
+
+  ~ThreadPool();
+
+ private:
+  ThreadPool();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Global thread-count setting consulted by the Parallel* helpers.
+class ExecutionContext {
+ public:
+  /// DPJOIN_THREADS when set to a positive integer, else hardware
+  /// concurrency; always >= 1. Read once per process.
+  static int DefaultThreads();
+
+  /// The currently effective thread count.
+  static int threads();
+
+  /// Overrides the thread count (clamped to [1, kMaxThreads]); n <= 0
+  /// resets to DefaultThreads().
+  static void SetThreads(int n);
+};
+
+/// RAII thread-count override; n <= 0 leaves the setting untouched.
+/// The override is PROCESS-WIDE (it writes the ExecutionContext setting),
+/// not thread-local: overlapping ScopedThreads from different user threads
+/// race on the value and can restore it out of order. Use it from one
+/// controlling thread; concurrent callers should configure the count once
+/// via SetThreads / DPJOIN_THREADS, or pass an explicit num_threads to the
+/// Parallel* helpers.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n);
+  ~ScopedThreads();
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Number of grain-sized blocks covering [begin, end); 0 for an empty range.
+int64_t NumBlocks(int64_t begin, int64_t end, int64_t grain);
+
+/// Runs body(block, lo, hi) for every grain-sized block [lo, hi) of
+/// [begin, end). Block boundaries depend only on (begin, end, grain);
+/// num_threads == 0 uses ExecutionContext::threads(). With one effective
+/// thread the blocks run inline in ascending order.
+void ParallelForBlocks(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t block, int64_t lo, int64_t hi)>& body,
+    int num_threads = 0);
+
+/// Runs body(lo, hi) over grain-sized blocks of [begin, end). The body must
+/// only write state disjoint across blocks (e.g. the [lo, hi) slice of an
+/// output array); results are then identical for any thread count.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t lo, int64_t hi)>& body,
+                 int num_threads = 0);
+
+/// Σ over blocks of block_sum(lo, hi), merged in block order — the
+/// floating-point grouping is fixed by `grain` alone, so the sum is
+/// identical for any thread count.
+double ParallelSum(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<double(int64_t lo, int64_t hi)>& block_sum,
+                   int num_threads = 0);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_COMMON_THREAD_POOL_H_

@@ -1,13 +1,20 @@
 #include "query/dense_tensor.h"
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace dpjoin {
 
 double DenseTensor::TotalMass() const {
-  double total = 0.0;
-  for (double v : values_) total += v;
-  return total;
+  // Fixed-grain blocked reduction: deterministic for any thread count.
+  return ParallelSum(0, static_cast<int64_t>(values_.size()), kTensorBlockGrain,
+                     [&](int64_t lo, int64_t hi) {
+                       double sum = 0.0;
+                       for (int64_t i = lo; i < hi; ++i) {
+                         sum += values_[static_cast<size_t>(i)];
+                       }
+                       return sum;
+                     });
 }
 
 void DenseTensor::Fill(double v) {
@@ -15,7 +22,12 @@ void DenseTensor::Fill(double v) {
 }
 
 void DenseTensor::Scale(double f) {
-  for (double& cell : values_) cell *= f;
+  ParallelFor(0, static_cast<int64_t>(values_.size()), kTensorBlockGrain,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  values_[static_cast<size_t>(i)] *= f;
+                }
+              });
 }
 
 void DenseTensor::NormalizeTo(double target) {
@@ -26,7 +38,13 @@ void DenseTensor::NormalizeTo(double target) {
 
 void DenseTensor::AddTensor(const DenseTensor& other) {
   DPJOIN_CHECK_EQ(values_.size(), other.values_.size());
-  for (size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+  ParallelFor(0, static_cast<int64_t>(values_.size()), kTensorBlockGrain,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  values_[static_cast<size_t>(i)] +=
+                      other.values_[static_cast<size_t>(i)];
+                }
+              });
 }
 
 }  // namespace dpjoin

@@ -14,6 +14,11 @@
 
 namespace dpjoin {
 
+/// Block size (in cells) for parallel loops over tensor cells. Fixed — never
+/// derived from the thread count — so blocked floating-point reductions
+/// group identically for any thread count.
+inline constexpr int64_t kTensorBlockGrain = 4096;
+
 /// A flat row-major tensor of doubles with a MixedRadix shape.
 class DenseTensor {
  public:

@@ -1,8 +1,11 @@
 #include "query/evaluation.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "relational/join.h"
 
 namespace dpjoin {
@@ -44,32 +47,17 @@ double EvaluateOnTensor(const QueryFamily& family,
                    [static_cast<size_t>(parts[i])]
                        .values.data();
   }
-  // Odometer over digits; maintain prefix products so advancing the last
-  // digit costs O(1).
-  std::vector<int64_t> digits(m, 0);
-  std::vector<double> prefix(m + 1, 1.0);  // prefix[i] = Π_{<i} q(digit)
-  auto refresh_from = [&](size_t from) {
-    for (size_t i = from; i < m; ++i) {
-      prefix[i + 1] = prefix[i] * qvals[i][digits[i]];
-    }
-  };
-  refresh_from(0);
-  double total = 0.0;
-  const int64_t cells = shape.size();
-  for (int64_t flat = 0; flat < cells; ++flat) {
-    total += tensor.At(flat) * prefix[m];
-    // Advance odometer (row-major: last digit fastest).
-    size_t i = m;
-    while (i-- > 0) {
-      if (++digits[i] < shape.radix(i)) {
-        refresh_from(i);
-        break;
-      }
-      digits[i] = 0;
-      if (i == 0) break;  // wrapped fully; loop ends anyway
-    }
-  }
-  return total;
+  // Each block walks its own odometer seeded at `lo`; the fixed grain keeps
+  // the summation grouping identical for any thread count.
+  return ParallelSum(0, shape.size(), kTensorBlockGrain,
+                     [&](int64_t lo, int64_t hi) {
+                       double sum = 0.0;
+                       internal::ForEachProductCell(
+                           shape, qvals, lo, hi, [&](int64_t flat, double q) {
+                             sum += tensor.At(flat) * q;
+                           });
+                       return sum;
+                     });
 }
 
 namespace {
@@ -85,11 +73,19 @@ void ContractMode(const std::vector<double>& in,
   for (size_t i = mode + 1; i < shape.size(); ++i) suffix *= shape[i];
   const int64_t dim = shape[mode];
   out->assign(static_cast<size_t>(prefix * out_dim * suffix), 0.0);
-  for (int64_t p = 0; p < prefix; ++p) {
-    const double* in_base = in.data() + p * dim * suffix;
-    double* out_base = out->data() + p * out_dim * suffix;
-    for (int64_t j = 0; j < out_dim; ++j) {
-      double* out_row = out_base + j * suffix;
+  // Each output row (p, j) is written by exactly one block, so the result
+  // is bit-identical for any thread count. The grain targets roughly
+  // kContractGrainFlops multiply-adds per block.
+  constexpr int64_t kContractGrainFlops = int64_t{1} << 15;
+  const int64_t row_flops = std::max<int64_t>(dim * suffix, 1);
+  const int64_t grain =
+      std::max<int64_t>(1, kContractGrainFlops / row_flops);
+  ParallelFor(0, prefix * out_dim, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t pj = lo; pj < hi; ++pj) {
+      const int64_t p = pj / out_dim;
+      const int64_t j = pj % out_dim;
+      const double* in_base = in.data() + p * dim * suffix;
+      double* out_row = out->data() + p * out_dim * suffix + j * suffix;
       const double* mrow = matrix + j * dim;
       for (int64_t d = 0; d < dim; ++d) {
         const double coef = mrow[d];
@@ -98,7 +94,7 @@ void ContractMode(const std::vector<double>& in,
         for (int64_t x = 0; x < suffix; ++x) out_row[x] += coef * in_row[x];
       }
     }
-  }
+  });
   *out_shape = shape;
   (*out_shape)[mode] = out_dim;
 }
@@ -106,6 +102,9 @@ void ContractMode(const std::vector<double>& in,
 // Flattens family queries for relation r into a row-major (c × |D_r|) matrix.
 std::vector<double> QueryMatrix(const QueryFamily& family, int rel) {
   const auto& queries = family.table_queries(rel);
+  DPJOIN_CHECK(!queries.empty(),
+               "query family has no queries for relation " +
+                   std::to_string(rel));
   const size_t dom = queries[0].values.size();
   std::vector<double> matrix(queries.size() * dom);
   for (size_t j = 0; j < queries.size(); ++j) {

@@ -11,11 +11,41 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/mixed_radix.h"
 #include "query/dense_tensor.h"
 #include "query/query_family.h"
 #include "relational/instance.h"
 
 namespace dpjoin {
+
+namespace internal {
+
+/// Calls fn(flat, Π_i qvals[i][digit_i(flat)]) for every flat index in
+/// [lo, hi) of `shape`, maintaining the product incrementally with a
+/// seekable digit odometer. This is the shared inner loop of PMW's
+/// multiplicative update and single-query tensor evaluation; parallel
+/// callers hand each worker its own [lo, hi) block.
+template <typename Fn>
+void ForEachProductCell(const MixedRadix& shape,
+                        const std::vector<const double*>& qvals, int64_t lo,
+                        int64_t hi, Fn&& fn) {
+  if (lo >= hi) return;
+  const size_t m = shape.num_digits();
+  Odometer odo(shape, lo);
+  // prefix[i] = Π_{<i} qvals[digit]; refreshed from the lowest changed digit.
+  std::vector<double> prefix(m + 1, 1.0);
+  for (size_t i = 0; i < m; ++i) prefix[i + 1] = prefix[i] * qvals[i][odo.digit(i)];
+  for (int64_t flat = lo; flat < hi; ++flat) {
+    fn(flat, prefix[m]);
+    if (flat + 1 < hi) {
+      for (size_t i = odo.Advance(); i < m; ++i) {
+        prefix[i + 1] = prefix[i] * qvals[i][odo.digit(i)];
+      }
+    }
+  }
+}
+
+}  // namespace internal
 
 /// The release domain D = ×_i D_i of an instance as a tensor shape (mode i
 /// has radix |D_i|). CHECK-fails when |D| exceeds `max_cells`

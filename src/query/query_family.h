@@ -45,7 +45,9 @@ class QueryFamily {
   int64_t TotalCount() const { return index_.size(); }
 
   const std::vector<TableQuery>& table_queries(int rel) const {
-    return per_table_[rel];
+    DPJOIN_CHECK(rel >= 0 && rel < num_relations(),
+                 "relation index out of range");
+    return per_table_[static_cast<size_t>(rel)];
   }
 
   /// Coder from per-table query indices (j_1, ..., j_m) to flat indices in

@@ -1,9 +1,11 @@
 #include "relational/join.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/check.h"
 #include "common/mixed_radix.h"
+#include "common/thread_pool.h"
 
 namespace dpjoin {
 
@@ -55,25 +57,27 @@ void Recurse(const std::vector<LevelIndex>& levels, size_t depth,
   }
 }
 
-}  // namespace
+// Evaluation plan shared by the serial and parallel entry points: the greedy
+// relation order, per-depth hash indexes, and the depth→visitor-slot remap.
+struct JoinPlan {
+  std::vector<int> members;        // enumerated relations, ascending
+  std::vector<int> order;          // evaluation order (greedy connectivity)
+  std::vector<LevelIndex> levels;  // one per evaluation depth
+  std::vector<size_t> slot_of;     // depth → position within `members`
+  size_t num_attributes = 0;
+};
 
-void EnumerateSubJoin(const Instance& instance, RelationSet rels,
-                      const JoinVisitor& visit) {
+JoinPlan BuildJoinPlan(const Instance& instance, RelationSet rels) {
   const JoinQuery& query = instance.query();
-  std::vector<int64_t> assignment(static_cast<size_t>(query.num_attributes()),
-                                  -1);
-  const std::vector<int> members = rels.Elements();
-  if (members.empty()) {
-    std::vector<int64_t> no_codes;
-    visit(no_codes, assignment, 1);
-    return;
-  }
+  JoinPlan plan;
+  plan.num_attributes = static_cast<size_t>(query.num_attributes());
+  plan.members = rels.Elements();
+  if (plan.members.empty()) return plan;
 
   // Order relations to maximize shared attributes with the prefix (greedy
   // connectivity), which keeps intermediate branching small.
-  std::vector<int> order;
   {
-    std::vector<int> remaining = members;
+    std::vector<int> remaining = plan.members;
     AttributeSet covered;
     while (!remaining.empty()) {
       size_t best = 0;
@@ -86,17 +90,17 @@ void EnumerateSubJoin(const Instance& instance, RelationSet rels,
           best = i;
         }
       }
-      order.push_back(remaining[best]);
+      plan.order.push_back(remaining[best]);
       covered = covered.Union(query.attributes_of(remaining[best]));
       remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
     }
   }
 
-  std::vector<LevelIndex> levels(order.size());
+  plan.levels.resize(plan.order.size());
   AttributeSet bound_so_far;
-  for (size_t d = 0; d < order.size(); ++d) {
-    const Relation& rel = instance.relation(order[d]);
-    LevelIndex& level = levels[d];
+  for (size_t d = 0; d < plan.order.size(); ++d) {
+    const Relation& rel = instance.relation(plan.order[d]);
+    LevelIndex& level = plan.levels[d];
     level.relation = &rel;
     level.bound = rel.attributes().Intersect(bound_so_far);
     for (int attr : rel.attributes().Minus(level.bound).Elements()) {
@@ -110,21 +114,97 @@ void EnumerateSubJoin(const Instance& instance, RelationSet rels,
 
   // Visitor contract: rel_codes in ascending relation-index order, so remap
   // from the greedy evaluation order.
-  std::vector<size_t> slot_of(order.size());
-  for (size_t d = 0; d < order.size(); ++d) {
-    const auto pos = std::find(members.begin(), members.end(), order[d]);
-    slot_of[d] = static_cast<size_t>(pos - members.begin());
+  plan.slot_of.resize(plan.order.size());
+  for (size_t d = 0; d < plan.order.size(); ++d) {
+    const auto pos =
+        std::find(plan.members.begin(), plan.members.end(), plan.order[d]);
+    plan.slot_of[d] = static_cast<size_t>(pos - plan.members.begin());
   }
-  std::vector<int64_t> codes_by_depth(order.size());
-  std::vector<int64_t> codes_by_member(order.size());
-  JoinVisitor remap = [&](const std::vector<int64_t>& by_depth,
-                          const std::vector<int64_t>& assign, int64_t weight) {
+  return plan;
+}
+
+// The depth-0 level is unconstrained (its `bound` is empty), so its index
+// has a single bucket holding every tuple of the first relation. Returns
+// those tuples sorted by code — a deterministic shard order for the
+// parallel entry points, independent of hash-map iteration order.
+std::vector<std::pair<int64_t, int64_t>> SortedRootEntries(
+    const JoinPlan& plan) {
+  std::vector<std::pair<int64_t, int64_t>> entries;
+  for (const auto& [key, bucket] : plan.levels[0].index) {
+    DPJOIN_CHECK_EQ(key, 0);  // bound is empty at depth 0
+    entries.insert(entries.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+// Enumerates the sub-joins rooted at root entries [lo, hi) (indices into
+// `roots`), with this block's own scratch state.
+void EnumerateFromRoots(const JoinPlan& plan,
+                        const std::vector<std::pair<int64_t, int64_t>>& roots,
+                        int64_t lo, int64_t hi, const JoinVisitor& visit) {
+  const Relation& root_rel = *plan.levels[0].relation;
+  std::vector<int64_t> assignment(plan.num_attributes, -1);
+  std::vector<int64_t> codes_by_depth(plan.order.size());
+  std::vector<int64_t> codes_by_member(plan.order.size());
+  const JoinVisitor remap = [&](const std::vector<int64_t>& by_depth,
+                                const std::vector<int64_t>& assign,
+                                int64_t weight) {
     for (size_t d = 0; d < by_depth.size(); ++d) {
-      codes_by_member[slot_of[d]] = by_depth[d];
+      codes_by_member[plan.slot_of[d]] = by_depth[d];
     }
     visit(codes_by_member, assign, weight);
   };
-  Recurse(levels, 0, codes_by_depth, assignment, 1, remap);
+  for (int64_t r = lo; r < hi; ++r) {
+    const auto& [code, freq] = roots[static_cast<size_t>(r)];
+    codes_by_depth[0] = code;
+    for (int attr : plan.levels[0].new_attrs) {
+      const int digit = root_rel.DigitOf(attr);
+      assignment[attr] =
+          root_rel.tuple_space().Digit(code, static_cast<size_t>(digit));
+    }
+    Recurse(plan.levels, 1, codes_by_depth, assignment, freq, remap);
+    for (int attr : plan.levels[0].new_attrs) assignment[attr] = -1;
+  }
+}
+
+// Root entries per parallel block. Each root can expand into a large
+// sub-tree, so blocks are small; determinism never depends on the grain
+// (join weights are integers, summed exactly in double).
+constexpr int64_t kRootGrain = 8;
+
+// Appends `value` as the next mixed-radix digit of a group key. CHECKs
+// against int64 wraparound, which would silently alias distinct groups on
+// wide group-by sets.
+int64_t AppendGroupDigit(int64_t key, int64_t domain_size, int64_t value) {
+  DPJOIN_CHECK(key <= (INT64_MAX - value) / domain_size,
+               "group-by key space overflows int64; use fewer or narrower "
+               "group-by attributes");
+  return key * domain_size + value;
+}
+
+}  // namespace
+
+void EnumerateSubJoin(const Instance& instance, RelationSet rels,
+                      const JoinVisitor& visit) {
+  const JoinPlan plan = BuildJoinPlan(instance, rels);
+  if (plan.members.empty()) {
+    std::vector<int64_t> no_codes;
+    std::vector<int64_t> assignment(plan.num_attributes, -1);
+    visit(no_codes, assignment, 1);
+    return;
+  }
+  std::vector<int64_t> assignment(plan.num_attributes, -1);
+  std::vector<int64_t> codes_by_depth(plan.order.size());
+  std::vector<int64_t> codes_by_member(plan.order.size());
+  JoinVisitor remap = [&](const std::vector<int64_t>& by_depth,
+                          const std::vector<int64_t>& assign, int64_t weight) {
+    for (size_t d = 0; d < by_depth.size(); ++d) {
+      codes_by_member[plan.slot_of[d]] = by_depth[d];
+    }
+    visit(codes_by_member, assign, weight);
+  };
+  Recurse(plan.levels, 0, codes_by_depth, assignment, 1, remap);
 }
 
 double SubJoinCount(const Instance& instance, RelationSet rels) {
@@ -137,6 +217,38 @@ double SubJoinCount(const Instance& instance, RelationSet rels) {
 
 double JoinCount(const Instance& instance) {
   return SubJoinCount(instance, instance.query().all_relations());
+}
+
+double ParallelSubJoinCount(const Instance& instance, RelationSet rels,
+                            int num_threads) {
+  if (num_threads <= 0) num_threads = ExecutionContext::threads();
+  // One thread: skip the root sort and per-block accumulators entirely —
+  // the serial path produces the identical (exact integer) sum.
+  if (num_threads == 1) return SubJoinCount(instance, rels);
+  const JoinPlan plan = BuildJoinPlan(instance, rels);
+  if (plan.members.empty()) return 1.0;  // empty join: one empty combination
+  const std::vector<std::pair<int64_t, int64_t>> roots =
+      SortedRootEntries(plan);
+  // Join weights are products/sums of int64 frequencies accumulated in
+  // double (exact below 2^53), so any block merge order is bit-identical to
+  // the serial sum.
+  return ParallelSum(
+      0, static_cast<int64_t>(roots.size()), kRootGrain,
+      [&](int64_t lo, int64_t hi) {
+        double block_total = 0.0;
+        EnumerateFromRoots(plan, roots, lo, hi,
+                           [&](const std::vector<int64_t>&,
+                               const std::vector<int64_t>&, int64_t weight) {
+                             block_total += static_cast<double>(weight);
+                           });
+        return block_total;
+      },
+      num_threads);
+}
+
+double ParallelJoinCount(const Instance& instance, int num_threads) {
+  return ParallelSubJoinCount(instance, instance.query().all_relations(),
+                              num_threads);
 }
 
 std::unordered_map<int64_t, double> GroupedJoinSizes(const Instance& instance,
@@ -153,17 +265,64 @@ std::unordered_map<int64_t, double> GroupedJoinSizes(const Instance& instance,
           int64_t weight) {
         int64_t key = 0;
         for (int attr : group_attrs) {
-          key = key * query.domain_size(attr) + assignment[attr];
+          key = AppendGroupDigit(key, query.domain_size(attr),
+                                 assignment[attr]);
         }
         groups[key] += static_cast<double>(weight);
       });
   return groups;
 }
 
+std::unordered_map<int64_t, double> ParallelGroupedJoinSizes(
+    const Instance& instance, RelationSet rels, AttributeSet group_by,
+    int num_threads) {
+  if (num_threads <= 0) num_threads = ExecutionContext::threads();
+  // One thread: the serial path builds the same groups (exact integer
+  // masses) without the root sort, per-block maps, or merge pass.
+  if (num_threads == 1) return GroupedJoinSizes(instance, rels, group_by);
+  const JoinQuery& query = instance.query();
+  DPJOIN_CHECK(group_by.IsSubsetOf(query.UnionAttributes(rels)),
+               "group-by attributes outside the sub-join");
+  const JoinPlan plan = BuildJoinPlan(instance, rels);
+  if (plan.members.empty()) return {{0, 1.0}};  // the single empty combination
+  const std::vector<int> group_attrs = group_by.Elements();
+  const std::vector<std::pair<int64_t, int64_t>> roots =
+      SortedRootEntries(plan);
+  const int64_t blocks =
+      NumBlocks(0, static_cast<int64_t>(roots.size()), kRootGrain);
+  std::vector<std::unordered_map<int64_t, double>> per_block(
+      static_cast<size_t>(blocks));
+  ParallelForBlocks(
+      0, static_cast<int64_t>(roots.size()), kRootGrain,
+      [&](int64_t block, int64_t lo, int64_t hi) {
+        std::unordered_map<int64_t, double>& groups =
+            per_block[static_cast<size_t>(block)];
+        EnumerateFromRoots(
+            plan, roots, lo, hi,
+            [&](const std::vector<int64_t>&,
+                const std::vector<int64_t>& assignment, int64_t weight) {
+              int64_t key = 0;
+              for (int attr : group_attrs) {
+                key = AppendGroupDigit(key, query.domain_size(attr),
+                                       assignment[attr]);
+              }
+              groups[key] += static_cast<double>(weight);
+            });
+      },
+      num_threads);
+  // Merge in block order. Group masses are integer-valued sums, exact in
+  // double, so the merged map matches the serial result bit-for-bit.
+  std::unordered_map<int64_t, double> groups;
+  for (const auto& block_groups : per_block) {
+    for (const auto& [key, mass] : block_groups) groups[key] += mass;
+  }
+  return groups;
+}
+
 double QAggregate(const Instance& instance, RelationSet rels, AttributeSet y) {
   if (rels.Empty()) return 1.0;  // empty product over the empty tuple
   double best = 0.0;
-  for (const auto& [key, size] : GroupedJoinSizes(instance, rels, y)) {
+  for (const auto& [key, size] : ParallelGroupedJoinSizes(instance, rels, y)) {
     (void)key;
     best = std::max(best, size);
   }

@@ -43,6 +43,18 @@ double SubJoinCount(const Instance& instance, RelationSet rels);
 /// count(I) = Σ_{t⃗} JoinI(t⃗)   (paper §1.1).
 double JoinCount(const Instance& instance);
 
+/// SubJoinCount with the depth-0 index buckets sharded across the thread
+/// pool (num_threads == 0 uses the ExecutionContext default). Per-worker
+/// accumulators are merged in bucket order; weights are integer-valued, so
+/// the result is bit-identical to the serial SubJoinCount for any thread
+/// count.
+double ParallelSubJoinCount(const Instance& instance, RelationSet rels,
+                            int num_threads = 0);
+
+/// JoinCount over the full relation set, parallelized like
+/// ParallelSubJoinCount.
+double ParallelJoinCount(const Instance& instance, int num_threads = 0);
+
 /// Join sizes of ⋈_{i∈rels} R_i grouped by the attribute set `group_by`
 /// (which must be ⊆ ∪_{i∈rels} x_i). Keys are mixed-radix codes of the
 /// group-by values, in ascending-attribute order with the attributes'
@@ -50,6 +62,14 @@ double JoinCount(const Instance& instance);
 std::unordered_map<int64_t, double> GroupedJoinSizes(const Instance& instance,
                                                      RelationSet rels,
                                                      AttributeSet group_by);
+
+/// GroupedJoinSizes with the depth-0 index buckets sharded across the
+/// thread pool; per-worker group maps are merged in bucket order, so the
+/// result equals the serial GroupedJoinSizes bit-for-bit for any thread
+/// count. Backs QAggregate/BoundaryQuery.
+std::unordered_map<int64_t, double> ParallelGroupedJoinSizes(
+    const Instance& instance, RelationSet rels, AttributeSet group_by,
+    int num_threads = 0);
 
 /// T_{E,y}(I) = max_t Σ_{t' : π_y t' = t} Π_{i∈E} R_i(π_{x_i} t')
 /// (Definition 4.6; equals Eq. 1's T_E when y = ∂E). Returns 1 when E = ∅

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "dp/exponential_mechanism.h"
 #include "dp/laplace.h"
 #include "dp/truncated_laplace.h"
@@ -30,29 +31,17 @@ void MultiplicativeUpdate(DenseTensor* tensor,
                           const std::vector<const double*>& qvals, double eta,
                           double mass) {
   const MixedRadix& shape = tensor->shape();
-  const size_t m = shape.num_digits();
-  std::vector<int64_t> digits(m, 0);
-  std::vector<double> prefix(m + 1, 1.0);
-  auto refresh_from = [&](size_t from) {
-    for (size_t i = from; i < m; ++i) {
-      prefix[i + 1] = prefix[i] * qvals[i][digits[i]];
-    }
-  };
-  refresh_from(0);
-  const int64_t cells = shape.size();
   std::vector<double>& values = *tensor->mutable_values();
-  for (int64_t flat = 0; flat < cells; ++flat) {
-    values[static_cast<size_t>(flat)] *= std::exp(prefix[m] * eta);
-    size_t i = m;
-    while (i-- > 0) {
-      if (++digits[i] < shape.radix(i)) {
-        refresh_from(i);
-        break;
-      }
-      digits[i] = 0;
-      if (i == 0) break;
-    }
-  }
+  // Per-cell updates are independent; each block seeds its own odometer at
+  // `lo` and writes only its [lo, hi) slice, so the result is bit-identical
+  // for any thread count.
+  ParallelFor(0, shape.size(), kTensorBlockGrain, [&](int64_t lo, int64_t hi) {
+    internal::ForEachProductCell(shape, qvals, lo, hi,
+                                 [&](int64_t flat, double q) {
+                                   values[static_cast<size_t>(flat)] *=
+                                       std::exp(q * eta);
+                                 });
+  });
   tensor->NormalizeTo(mass);
 }
 
@@ -70,6 +59,11 @@ Result<PmwResult> PrivateMultiplicativeWeights(const Instance& instance,
   if (delta <= 0.0) {
     return Status::InvalidArgument("PMW needs delta > 0");
   }
+
+  // Parallelism only touches data-independent loops (cell updates, tensor
+  // contractions); every DP noise draw stays on the caller's single `rng`,
+  // so the output is identical for any thread count.
+  const ScopedThreads scoped_threads(options.num_threads);
 
   PmwResult result;
   result.exact_count = JoinCount(instance);
@@ -93,6 +87,13 @@ Result<PmwResult> PrivateMultiplicativeWeights(const Instance& instance,
   DenseTensor average(shape);
   if (result.noisy_total <= 0.0) {
     // count = 0 and the (measure-zero) zero noise draw: nothing to release.
+    // The mechanism was still charged the full (ε, δ) — record the unused
+    // rounds share so callers summing the ledger see what was spent, and
+    // leave rounds/ε′ at their explicit "no rounds ran" values.
+    result.rounds = 0;
+    result.per_round_epsilon = 0.0;
+    result.accountant.SpendSequential("pmw/rounds(degenerate)",
+                                      PrivacyParams(epsilon / 2, delta / 2));
     result.synthetic = std::move(current);
     return result;
   }

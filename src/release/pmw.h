@@ -63,6 +63,18 @@ struct PmwOptions {
 
   /// Record per-round diagnostics into PmwResult::trace.
   bool record_trace = false;
+
+  /// Worker threads for the per-cell update and contraction loops; 0 uses
+  /// the ExecutionContext default (DPJOIN_THREADS / hardware concurrency).
+  /// The released output is identical for every setting: noise draws stay
+  /// on the caller's single Rng and all parallel reductions use a fixed,
+  /// thread-count-independent block decomposition.
+  ///
+  /// A non-zero value is applied as a process-wide ExecutionContext
+  /// override for the duration of the call; when invoking PMW from several
+  /// user threads concurrently, leave this 0 and configure the count once
+  /// via ExecutionContext::SetThreads / DPJOIN_THREADS instead.
+  int num_threads = 0;
 };
 
 /// Output of a PMW run.

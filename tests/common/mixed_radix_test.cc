@@ -57,6 +57,53 @@ TEST(MixedRadixTest, StridesMatchLayout) {
   EXPECT_EQ(coder.stride(0), 20);
 }
 
+TEST(OdometerTest, WalksLexicographically) {
+  MixedRadix coder({2, 3});
+  Odometer odo(coder);
+  for (int64_t flat = 0; flat < coder.size(); ++flat) {
+    EXPECT_EQ(odo.digits(), coder.Decode(flat)) << "flat = " << flat;
+    odo.Advance();
+  }
+  // Wrapped back to all zeros.
+  EXPECT_EQ(odo.digits(), (std::vector<int64_t>{0, 0}));
+}
+
+TEST(OdometerTest, SeekMatchesDecode) {
+  MixedRadix coder({4, 2, 7, 3});
+  Odometer odo(coder);
+  for (int64_t flat : {0L, 1L, 41L, 83L, 167L}) {
+    odo.SeekTo(flat);
+    EXPECT_EQ(odo.digits(), coder.Decode(flat));
+  }
+  // Seek-then-advance agrees with a walk from the start.
+  Odometer seeded(coder, 100);
+  for (int64_t flat = 100; flat < coder.size(); ++flat) {
+    EXPECT_EQ(seeded.digits(), coder.Decode(flat));
+    seeded.Advance();
+  }
+}
+
+TEST(OdometerTest, AdvanceReportsLowestChangedDigit) {
+  MixedRadix coder({2, 2, 3});
+  Odometer odo(coder);
+  // (0,0,0)→(0,0,1): digit 2 changed. (0,0,2)→(0,1,0): digit 1.
+  EXPECT_EQ(odo.Advance(), 2u);
+  EXPECT_EQ(odo.Advance(), 2u);
+  EXPECT_EQ(odo.Advance(), 1u);
+  // (0,1,0)→(0,1,1)→(0,1,2)→(1,0,0): digit 0.
+  odo.Advance();
+  odo.Advance();
+  EXPECT_EQ(odo.Advance(), 0u);
+  EXPECT_EQ(odo.digits(), (std::vector<int64_t>{1, 0, 0}));
+}
+
+TEST(OdometerTest, EmptyShape) {
+  MixedRadix coder{std::vector<int64_t>{}};
+  Odometer odo(coder, 0);
+  EXPECT_TRUE(odo.digits().empty());
+  EXPECT_EQ(odo.Advance(), 0u);  // no digits to advance
+}
+
 TEST(MixedRadixDeathTest, RejectsBadInput) {
   MixedRadix coder({3, 4});
   EXPECT_DEATH(coder.Encode({3, 0}), "digit out of range");

@@ -1,0 +1,167 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace dpjoin {
+namespace {
+
+TEST(NumBlocksTest, CoversRangeExactly) {
+  EXPECT_EQ(NumBlocks(0, 0, 4), 0);
+  EXPECT_EQ(NumBlocks(5, 3, 4), 0);
+  EXPECT_EQ(NumBlocks(0, 1, 4), 1);
+  EXPECT_EQ(NumBlocks(0, 4, 4), 1);
+  EXPECT_EQ(NumBlocks(0, 5, 4), 2);
+  EXPECT_EQ(NumBlocks(3, 11, 4), 2);
+  EXPECT_EQ(NumBlocks(0, 10, 0), 10);  // grain clamps to 1
+}
+
+TEST(ParallelForTest, EveryIndexVisitedExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    const int64_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(
+        0, n, 7,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)]++;
+        },
+        threads);
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, BlockBoundariesIndependentOfThreadCount) {
+  auto boundaries = [](int threads) {
+    std::mutex mu;
+    std::set<std::pair<int64_t, int64_t>> blocks;
+    ParallelFor(
+        3, 100, 13,
+        [&](int64_t lo, int64_t hi) {
+          std::lock_guard<std::mutex> lock(mu);
+          blocks.insert({lo, hi});
+        },
+        threads);
+    return blocks;
+  };
+  const auto serial = boundaries(1);
+  EXPECT_EQ(serial, boundaries(2));
+  EXPECT_EQ(serial, boundaries(8));
+  // Blocks tile [3, 100) in grain-13 steps.
+  EXPECT_EQ(serial.size(), 8u);
+  EXPECT_EQ(serial.begin()->first, 3);
+  EXPECT_EQ(serial.rbegin()->second, 100);
+}
+
+TEST(ParallelSumTest, MatchesSerialSumBitForBit) {
+  const int64_t n = 100000;
+  auto block_sum = [](int64_t lo, int64_t hi) {
+    double s = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      s += 1.0 / static_cast<double>(i + 1);
+    }
+    return s;
+  };
+  const double serial = ParallelSum(0, n, 4096, block_sum, 1);
+  for (int threads : {2, 3, 8}) {
+    const double parallel = ParallelSum(0, n, 4096, block_sum, threads);
+    EXPECT_EQ(serial, parallel) << "threads = " << threads;
+  }
+}
+
+TEST(ParallelForTest, UsesMultipleThreadsWhenRequested) {
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  std::atomic<int64_t> slow{0};
+  ParallelFor(
+      0, 64, 1,
+      [&](int64_t, int64_t) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          seen.insert(std::this_thread::get_id());
+        }
+        // Busy-wait a little so workers have time to wake and claim blocks.
+        for (int i = 0; i < 100000; ++i) slow.fetch_add(1);
+      },
+      4);
+  // At least the calling thread ran; with workers available more ids appear.
+  // (On a single-core machine the OS may still schedule everything on the
+  // caller before workers wake, so only assert the lower bound.)
+  EXPECT_GE(seen.size(), 1u);
+}
+
+TEST(ParallelForTest, NestedRegionsRunInline) {
+  std::atomic<int64_t> total{0};
+  ParallelFor(
+      0, 16, 1,
+      [&](int64_t lo, int64_t hi) {
+        // A nested region must not deadlock on the shared pool.
+        ParallelFor(
+            0, 8, 1,
+            [&](int64_t nlo, int64_t nhi) { total.fetch_add(nhi - nlo); }, 4);
+        total.fetch_add(hi - lo);
+      },
+      4);
+  EXPECT_EQ(total.load(), 16 * 8 + 16);
+}
+
+TEST(ParallelForTest, EmptyRangeDoesNothing) {
+  bool called = false;
+  ParallelFor(5, 5, 4, [&](int64_t, int64_t) { called = true; }, 8);
+  ParallelFor(9, 2, 4, [&](int64_t, int64_t) { called = true; }, 8);
+  EXPECT_FALSE(called);
+  EXPECT_EQ(ParallelSum(5, 5, 4, [](int64_t, int64_t) { return 1.0; }, 8),
+            0.0);
+}
+
+TEST(ExecutionContextTest, SetAndResetThreads) {
+  const int base = ExecutionContext::threads();
+  EXPECT_GE(base, 1);
+  ExecutionContext::SetThreads(3);
+  EXPECT_EQ(ExecutionContext::threads(), 3);
+  ExecutionContext::SetThreads(0);  // reset to default
+  EXPECT_EQ(ExecutionContext::threads(), ExecutionContext::DefaultThreads());
+}
+
+TEST(ExecutionContextTest, ScopedThreadsRestores) {
+  ExecutionContext::SetThreads(2);
+  {
+    ScopedThreads scoped(5);
+    EXPECT_EQ(ExecutionContext::threads(), 5);
+    {
+      ScopedThreads inner(0);  // 0 = leave untouched
+      EXPECT_EQ(ExecutionContext::threads(), 5);
+    }
+    EXPECT_EQ(ExecutionContext::threads(), 5);
+  }
+  EXPECT_EQ(ExecutionContext::threads(), 2);
+  ExecutionContext::SetThreads(0);
+}
+
+TEST(ExecutionContextTest, ClampsToMaxThreads) {
+  ExecutionContext::SetThreads(100000);
+  EXPECT_EQ(ExecutionContext::threads(), ThreadPool::kMaxThreads);
+  ExecutionContext::SetThreads(0);
+}
+
+TEST(ParallelForTest, ManySmallRegionsStress) {
+  // Exercises region turnover (job publication, completion wait, worker
+  // re-parking) looking for lost-wakeup or stale-worker races.
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> count{0};
+    ParallelFor(
+        0, 32, 1, [&](int64_t lo, int64_t hi) { count.fetch_add(hi - lo); },
+        4);
+    ASSERT_EQ(count.load(), 32) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,167 @@
+// Determinism across thread counts — the hard requirement of the parallel
+// execution substrate: every parallelized path must produce bit-identical
+// results for threads ∈ {1, 2, 8}, because block decompositions are fixed
+// by grain (never by thread count) and DP noise draws stay on the caller's
+// single Rng.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "release/pmw.h"
+#include "relational/generators.h"
+#include "relational/join.h"
+#include "testing/brute_force.h"
+#include "testing/queries.h"
+
+namespace dpjoin {
+namespace {
+
+struct ShapeParam {
+  const char* name;
+  int kind;  // 0 = two-table, 1 = path3, 2 = star(A→B,C), 3 = fig4
+  int64_t tuples;
+  uint64_t seed;
+};
+
+JoinQuery MakeQueryByKind(int kind) {
+  switch (kind) {
+    case 0:
+      return MakeTwoTableQuery(6, 8, 6);
+    case 1:
+      return MakePathQuery(3, 5);
+    case 2:
+      return testing::MakeSmallStarQuery(4, 5, 6);
+    default:
+      return testing::MakeFigure4Query(2);
+  }
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(ParallelDeterminismTest, EvaluateAllOnTensorBitIdentical) {
+  const ShapeParam& param = GetParam();
+  Rng rng(param.seed);
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const Instance instance = testing::RandomInstance(query, param.tuples, rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 3, rng);
+  const DenseTensor tensor = JoinTensor(instance);
+
+  std::vector<double> baseline;
+  {
+    ScopedThreads scoped(1);
+    baseline = EvaluateAllOnTensor(family, tensor);
+  }
+  for (int threads : {2, 8}) {
+    ScopedThreads scoped(threads);
+    const std::vector<double> answers = EvaluateAllOnTensor(family, tensor);
+    ASSERT_EQ(answers.size(), baseline.size());
+    for (size_t i = 0; i < answers.size(); ++i) {
+      EXPECT_EQ(answers[i], baseline[i])
+          << "query " << i << ", threads = " << threads;
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, EvaluateOnTensorBitIdentical) {
+  const ShapeParam& param = GetParam();
+  Rng rng(param.seed + 10);
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const Instance instance = testing::RandomInstance(query, param.tuples, rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 2, rng);
+  const DenseTensor tensor = JoinTensor(instance);
+  const std::vector<int64_t> parts(
+      static_cast<size_t>(query.num_relations()), 1);
+
+  double baseline;
+  {
+    ScopedThreads scoped(1);
+    baseline = EvaluateOnTensor(family, parts, tensor);
+  }
+  for (int threads : {2, 8}) {
+    ScopedThreads scoped(threads);
+    EXPECT_EQ(EvaluateOnTensor(family, parts, tensor), baseline)
+        << "threads = " << threads;
+  }
+}
+
+TEST_P(ParallelDeterminismTest, PmwBitIdentical) {
+  const ShapeParam& param = GetParam();
+  Rng setup_rng(param.seed + 20);
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const Instance instance =
+      testing::RandomInstance(query, param.tuples, setup_rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 2, setup_rng);
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 4.0;
+  options.num_rounds = 6;
+
+  auto run = [&](int threads) {
+    options.num_threads = threads;
+    Rng rng(param.seed + 21);  // fresh identical noise stream per run
+    auto result = PrivateMultiplicativeWeights(instance, family, options, rng);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  };
+
+  const PmwResult baseline = run(1);
+  for (int threads : {2, 8}) {
+    const PmwResult result = run(threads);
+    EXPECT_EQ(result.noisy_total, baseline.noisy_total);
+    EXPECT_EQ(result.rounds, baseline.rounds);
+    EXPECT_EQ(result.per_round_epsilon, baseline.per_round_epsilon);
+    const auto& values = result.synthetic.values();
+    const auto& expected = baseline.synthetic.values();
+    ASSERT_EQ(values.size(), expected.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(values[i], expected[i])
+          << "cell " << i << ", threads = " << threads;
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, ParallelJoinsBitIdenticalToSerial) {
+  const ShapeParam& param = GetParam();
+  Rng rng(param.seed + 30);
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const Instance instance = testing::RandomInstance(query, param.tuples, rng);
+  const RelationSet all = query.all_relations();
+  const double serial_count = SubJoinCount(instance, all);
+  const AttributeSet group_by = query.Boundary(RelationSet::Of(0));
+  const auto serial_groups =
+      GroupedJoinSizes(instance, RelationSet::Of(0), group_by);
+  for (int threads : {1, 2, 8}) {
+    EXPECT_EQ(ParallelSubJoinCount(instance, all, threads), serial_count)
+        << "threads = " << threads;
+    const auto groups =
+        ParallelGroupedJoinSizes(instance, RelationSet::Of(0), group_by,
+                                 threads);
+    ASSERT_EQ(groups.size(), serial_groups.size()) << "threads = " << threads;
+    for (const auto& [key, mass] : serial_groups) {
+      const auto it = groups.find(key);
+      ASSERT_NE(it, groups.end()) << "missing group " << key;
+      EXPECT_EQ(it->second, mass) << "threads = " << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    JoinShapes, ParallelDeterminismTest,
+    ::testing::Values(ShapeParam{"two_table", 0, 25, 501},
+                      ShapeParam{"path3", 1, 15, 502},
+                      ShapeParam{"star", 2, 20, 503},
+                      ShapeParam{"figure4", 3, 10, 504}),
+    [](const ::testing::TestParamInfo<ShapeParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dpjoin

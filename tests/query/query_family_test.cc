@@ -65,6 +65,19 @@ TEST(QueryFamilyTest, ValidatesShape) {
                   .IsInvalidArgument());
 }
 
+TEST(QueryFamilyDeathTest, TableQueriesBoundsChecked) {
+  // Regression: all-query evaluation used to read queries[0] for a relation
+  // without checking the family actually had queries there — UB on a
+  // default-constructed (never-validated) family. The accessor now CHECKs.
+  QueryFamily family;
+  EXPECT_DEATH((void)family.table_queries(0), "relation index out of range");
+  const JoinQuery query = MakeTwoTableQuery(2, 2, 2);
+  auto valid = QueryFamily::Create(query, {TwoQueries(4), TwoQueries(4)});
+  ASSERT_TRUE(valid.ok());
+  EXPECT_DEATH((void)valid->table_queries(2), "relation index out of range");
+  EXPECT_DEATH((void)valid->table_queries(-1), "relation index out of range");
+}
+
 TEST(QueryFamilyTest, CountingFamilyIsSingleton) {
   const JoinQuery query = MakePathQuery(3, 2);
   const QueryFamily family = MakeCountingFamily(query);

@@ -135,6 +135,93 @@ JoinQuery MakeQueryByKind(int kind) {
 
 class JoinOracleTest : public ::testing::TestWithParam<JoinOracleParam> {};
 
+TEST_P(JoinOracleTest, ParallelCountMatchesSerial) {
+  const JoinOracleParam& param = GetParam();
+  Rng rng(param.seed + 2);
+  const JoinQuery query = MakeQueryByKind(param.query_kind);
+  const Instance instance = testing::RandomInstance(query, param.tuples, rng);
+  const double serial = JoinCount(instance);
+  for (int threads : {1, 2, 8}) {
+    EXPECT_EQ(ParallelJoinCount(instance, threads), serial)
+        << "threads = " << threads;
+  }
+}
+
+TEST_P(JoinOracleTest, ParallelGroupedJoinSizesMatchSerial) {
+  const JoinOracleParam& param = GetParam();
+  Rng rng(param.seed + 3);
+  const JoinQuery query = MakeQueryByKind(param.query_kind);
+  const Instance instance = testing::RandomInstance(query, param.tuples, rng);
+  const int m = query.num_relations();
+  for (uint64_t bits = 1; bits < (uint64_t{1} << m); ++bits) {
+    RelationSet set;
+    for (int r = 0; r < m; ++r) {
+      if ((bits >> r) & 1) set.Insert(r);
+    }
+    const AttributeSet group_by = query.Boundary(set);
+    const auto serial = GroupedJoinSizes(instance, set, group_by);
+    for (int threads : {1, 2, 8}) {
+      const auto parallel =
+          ParallelGroupedJoinSizes(instance, set, group_by, threads);
+      ASSERT_EQ(parallel.size(), serial.size())
+          << "E = " << set.ToString() << ", threads = " << threads;
+      for (const auto& [key, mass] : serial) {
+        const auto it = parallel.find(key);
+        ASSERT_NE(it, parallel.end()) << "missing group " << key;
+        EXPECT_EQ(it->second, mass)  // integer-valued: must be bit-identical
+            << "E = " << set.ToString() << ", threads = " << threads;
+      }
+    }
+  }
+}
+
+TEST(JoinTest, ParallelEmptyRelationSetMatchesSerial) {
+  Instance instance = Instance::Make(MakeTwoTableQuery(2, 2, 2));
+  EXPECT_DOUBLE_EQ(ParallelSubJoinCount(instance, RelationSet(), 4), 1.0);
+  const auto groups =
+      ParallelGroupedJoinSizes(instance, RelationSet(), AttributeSet(), 4);
+  EXPECT_EQ(groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(groups.at(0), 1.0);
+}
+
+TEST(JoinTest, GroupedJoinSizesWideKeysBelowOverflowBoundary) {
+  // 3 attributes of domain 2^16 → key space 2^48: wide but representable.
+  auto q = JoinQuery::Create(
+      {{"A", int64_t{1} << 16}, {"B", int64_t{1} << 16}, {"C", int64_t{1} << 16}},
+      {{"A", "B"}, {"B", "C"}});
+  ASSERT_TRUE(q.ok());
+  Instance instance = Instance::Make(*q);
+  const int64_t top = (int64_t{1} << 16) - 1;
+  ASSERT_TRUE(instance.AddTuple(0, {top, top}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {top, top}, 1).ok());
+  const auto groups =
+      GroupedJoinSizes(instance, instance.query().all_relations(),
+                       AttributeSet::Of(0).Union(AttributeSet::Of(1)).Union(
+                           AttributeSet::Of(2)));
+  ASSERT_EQ(groups.size(), 1u);
+  // Key = ((top·2^16) + top)·2^16 + top = 2^48 − 1, the boundary value.
+  EXPECT_DOUBLE_EQ(groups.at((int64_t{1} << 48) - 1), 1.0);
+}
+
+TEST(JoinDeathTest, GroupedJoinSizesChecksKeyOverflow) {
+  // 5 attributes of domain 2^16 → key space 2^80: must CHECK, not wrap.
+  auto q = JoinQuery::Create({{"A", int64_t{1} << 16},
+                              {"B", int64_t{1} << 16},
+                              {"C", int64_t{1} << 16},
+                              {"D", int64_t{1} << 16},
+                              {"E", int64_t{1} << 16}},
+                             {{"A", "B", "C"}, {"C", "D", "E"}});
+  ASSERT_TRUE(q.ok());
+  Instance instance = Instance::Make(*q);
+  ASSERT_TRUE(instance.AddTuple(0, {1, 1, 1}, 1).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {1, 1, 1}, 1).ok());
+  AttributeSet all;
+  for (int attr = 0; attr < 5; ++attr) all.Insert(attr);
+  EXPECT_DEATH(
+      GroupedJoinSizes(instance, instance.query().all_relations(), all),
+      "overflows int64");
+}
+
 TEST_P(JoinOracleTest, CountMatchesBruteForce) {
   const JoinOracleParam& param = GetParam();
   Rng rng(param.seed);

@@ -122,6 +122,32 @@ TEST(PmwTest, AccountsItsBudgetInTwoHalves) {
   EXPECT_NEAR(total.delta, 1e-5, 1e-15);
 }
 
+TEST(PmwTest, DegenerateEmptyJoinStillAccountsFullBudget) {
+  // Regression: the noisy_total <= 0 early return used to record only the
+  // (ε/2, δ/2) noisy-total spend, so callers summing the ledger saw half
+  // the budget the mechanism was actually charged.
+  Rng rng(61);
+  const JoinQuery query = MakeTwoTableQuery(3, 3, 3);
+  const Instance instance = Instance::Make(query);  // empty: count(I) = 0
+  const QueryFamily family = MakeCountingFamily(query);
+  PmwOptions options = DefaultOptions(2.0);
+  options.leak_exact_total = true;  // noisy_total = exact_count = 0 exactly
+  auto result = PrivateMultiplicativeWeights(instance, family, options, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->exact_count, 0.0);
+  EXPECT_DOUBLE_EQ(result->noisy_total, 0.0);
+  // No rounds ran, and the result fields say so explicitly.
+  EXPECT_EQ(result->rounds, 0);
+  EXPECT_DOUBLE_EQ(result->per_round_epsilon, 0.0);
+  EXPECT_TRUE(result->trace.empty());
+  // The ledger still shows the full (ε, δ) the mechanism was charged.
+  const PrivacyParams total = result->accountant.Total();
+  EXPECT_NEAR(total.epsilon, options.params.epsilon, 1e-12);
+  EXPECT_NEAR(total.delta, options.params.delta, 1e-15);
+  // The released synthetic dataset is the all-zero tensor.
+  for (double v : result->synthetic.values()) EXPECT_EQ(v, 0.0);
+}
+
 TEST(PmwTest, ImprovesOverUniformPriorOnSkewedData) {
   // PMW should answer queries much better than the uniform initialization
   // F_0 when the join is concentrated. The paper's ε′ constant (16·√(k·ln
