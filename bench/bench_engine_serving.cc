@@ -1,0 +1,149 @@
+// Experiment ENGINE — release-engine serving throughput.
+//
+// One ReleaseSpec is released once through the engine (privacy paid up
+// front), then the immutable ServingHandle answers large query batches as
+// pure post-processing. We sweep the serving thread count and record
+// queries/sec; the determinism contract requires the batch answers to be
+// bit-identical at every thread count. Also smoke-checks the two serving
+// guarantees the engine adds on top of the mechanisms: a repeated spec is a
+// cache hit that spends no budget, and the ledger's committed total equals
+// the mechanism accountant's total.
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "relational/generators.h"
+
+namespace dpjoin {
+namespace {
+
+ReleaseSpec MakeServingSpec(int64_t side) {
+  ReleaseSpec spec;
+  spec.name = "serving_bench";
+  spec.attributes = {{"A", side}, {"B", 4}, {"C", side}};
+  spec.relation_names = {"R1", "R2"};
+  spec.relation_attrs = {{"A", "B"}, {"B", "C"}};
+  spec.epsilon = 1.0;
+  spec.delta = 1e-5;
+  spec.mechanism = MechanismKind::kPmw;
+  spec.workload = WorkloadFamilyKind::kRandomSign;
+  spec.workload_per_table = 15;
+  spec.workload_seed = 91;
+  spec.pmw_rounds = 4;  // release cost is not what this bench measures
+  spec.pmw_max_rounds = 4;
+  spec.pmw_epsilon_prime = 0.25;
+  return spec;
+}
+
+int Run() {
+  bench::PrintHeader(
+      "ENGINE", "Release engine + serving layer",
+      "privacy is paid once at release; the serving handle then answers "
+      "arbitrary query batches as post-processing, scaling with threads and "
+      "bit-identical at every thread count");
+
+  const int64_t side = bench::QuickMode() ? 48 : 128;
+  const int64_t batch_size = bench::QuickMode() ? 512 : 4096;
+  const ReleaseSpec spec = MakeServingSpec(side);
+
+  ReleaseEngine engine(PrivacyParams(4.0, 1e-3));
+  const JoinQuery query = *spec.BuildQuery();
+  Rng data_rng(90);
+  const Instance instance =
+      MakeZipfTwoTableInstance(query, 400, 1.0, data_rng);
+  Rng release_rng(92);
+  auto released = engine.Run(spec, instance, release_rng);
+  DPJOIN_CHECK(released.ok(), released.status().ToString());
+  const ServingHandle& handle = *released->handle;
+  std::cout << "released via " << MechanismName(released->plan.mechanism)
+            << "; |Q| = " << handle.NumQueries() << ", release domain = "
+            << handle.dataset()->tensor().size() << " cells\n";
+
+  // Ledger truthfulness: committed total == the mechanism's own accounting.
+  const PrivacyParams ledger_total = engine.ledger().Total();
+  const PrivacyParams mech_total = released->accountant.Total();
+  bench::Verdict(ledger_total.epsilon == mech_total.epsilon &&
+                     ledger_total.delta == mech_total.delta,
+                 "BudgetLedger total equals the mechanism accountant total");
+
+  // Cache: the identical spec re-runs free.
+  {
+    Rng rerun_rng(93);
+    auto again = engine.Run(spec, instance, rerun_rng);
+    DPJOIN_CHECK(again.ok(), again.status().ToString());
+    bench::Verdict(again->from_cache &&
+                       engine.ledger().SpentEpsilon() == ledger_total.epsilon,
+                   "repeated spec served from cache without re-spending "
+                   "budget");
+  }
+
+  // Serving throughput sweep: the same batch at 1/2/4/8 threads.
+  Rng batch_rng(94);
+  std::vector<int64_t> batch(static_cast<size_t>(batch_size));
+  for (int64_t& q : batch) {
+    q = batch_rng.UniformInt(0, handle.NumQueries() - 1);
+  }
+
+  TablePrinter table({"threads", "seconds", "queries/sec", "speedup"});
+  std::vector<double> qps_series, speedup_series;
+  std::vector<double> serial_answers;
+  bool bit_identical = true;
+  double serial_seconds = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    double best = 1e100;
+    std::vector<double> answers;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      auto result = handle.AnswerBatch(batch, threads);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      DPJOIN_CHECK(result.ok(), result.status().ToString());
+      answers = std::move(result).value();
+      best = std::min(best, elapsed.count());
+    }
+    if (threads == 1) {
+      serial_seconds = best;
+      serial_answers = answers;
+    } else {
+      bit_identical &= answers.size() == serial_answers.size();
+      for (size_t i = 0; bit_identical && i < answers.size(); ++i) {
+        bit_identical &= answers[i] == serial_answers[i];
+      }
+    }
+    const double qps = static_cast<double>(batch_size) / best;
+    const double speedup = serial_seconds / best;
+    table.AddRow({std::to_string(threads), TablePrinter::Num(best),
+                  TablePrinter::Num(qps), TablePrinter::Num(speedup)});
+    qps_series.push_back(qps);
+    speedup_series.push_back(speedup);
+  }
+  bench::Emit(table, "serving");
+  bench::RecordSeries("serving.batch_size",
+                      {static_cast<double>(batch_size)});
+
+  bench::Verdict(bit_identical,
+                 "batch answers bit-identical for threads in {1, 2, 4, 8}");
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  if (cores >= 4) {
+    bench::Verdict(speedup_series.back() >= 2.0,
+                   "serving >= 2x serial at 8 threads on " +
+                       std::to_string(cores) + " cores (measured " +
+                       TablePrinter::Num(speedup_series.back()) + "x)");
+  } else {
+    bench::Verdict(true, "speedup not asserted: only " +
+                             std::to_string(cores) + " core(s) (measured " +
+                             TablePrinter::Num(speedup_series.back()) + "x)");
+  }
+  return bench::Finish();
+}
+
+}  // namespace
+}  // namespace dpjoin
+
+int main(int argc, char** argv) {
+  dpjoin::bench::Init(argc, argv);
+  return dpjoin::Run();
+}

@@ -1,12 +1,19 @@
-// Experiment E5 — Theorem 1.5 (Algorithm 3): multi-table release on the
+// Experiment THM15 — Theorem 1.5 (Algorithm 3): multi-table release on the
 // 3-relation path join, across a degree-skew sweep.
 //
 // Reported per skew level: count(I), LS, RS^β, the privatized Δ̃, the
 // measured ℓ∞ error, and the Theorem 1.5 bound. Checks: RS ≥ LS always;
 // the measured error stays within a constant multiple of the bound; the
 // RS/LS gap (the price of smoothness) grows with skew.
+//
+// A serial-vs-parallel `threading.*` series (mirroring E9's sweep for
+// single-table PMW) records MultiTable's speedup and asserts the release is
+// bit-identical for threads in {1, 2, 8}; all of it lands in
+// BENCH_THM15.json.
 
+#include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/multi_table.h"
@@ -21,9 +28,86 @@
 namespace dpjoin {
 namespace {
 
+// MultiTable at threads {1, 2, 8} on a path join whose release domain is
+// large enough for the parallel substrate to matter. The RS sweep, the Δ̃
+// draw, and the PMW round loop all run under the thread-local override; the
+// released tensor must be bit-identical at every count (noise draws stay on
+// the single Rng, block decompositions are grain-fixed).
+void ThreadingSweep() {
+  const int64_t dom = bench::QuickMode() ? 5 : 8;
+  const int64_t rounds = bench::QuickMode() ? 4 : 12;
+  const JoinQuery query = MakePathQuery(3, dom);
+  Rng data_rng(81);
+  const Instance instance = MakeZipfPathInstance(query, 300, 1.0, data_rng);
+  Rng wl_rng(82);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 3, wl_rng);
+  const PrivacyParams params(1.0, 1e-5);
+  ReleaseOptions options;
+  options.pmw_rounds = rounds;
+  options.pmw_max_rounds = rounds;
+  options.pmw_epsilon_prime_override = 0.25;
+
+  auto run_once = [&](int threads) {
+    const ScopedThreads scoped(threads);
+    Rng rng(83);  // identical noise stream for every thread count
+    auto result = MultiTable(instance, family, params, options, rng);
+    DPJOIN_CHECK(result.ok(), result.status().ToString());
+    return std::move(result).value();
+  };
+
+  TablePrinter table({"threads", "seconds", "speedup vs serial"});
+  std::vector<double> speedup_series;
+  std::vector<double> serial_values;
+  bool bit_identical = true;
+  double serial_seconds = 0.0;
+  for (int threads : {1, 2, 8}) {
+    double best = 1e100;
+    ReleaseResult result;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      result = run_once(threads);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      best = std::min(best, elapsed.count());
+    }
+    if (threads == 1) {
+      serial_seconds = best;
+      serial_values = result.synthetic.values();
+    } else {
+      const auto& values = result.synthetic.values();
+      bit_identical &= values.size() == serial_values.size();
+      for (size_t i = 0; bit_identical && i < values.size(); ++i) {
+        bit_identical &= values[i] == serial_values[i];
+      }
+    }
+    const double speedup = serial_seconds / best;
+    table.AddRow({std::to_string(threads), TablePrinter::Num(best),
+                  TablePrinter::Num(speedup)});
+    speedup_series.push_back(speedup);
+  }
+  bench::Emit(table, "threading");  // records threading.{threads,seconds,...}
+
+  bench::Verdict(bit_identical,
+                 "MultiTable release bit-identical for threads in {1, 2, 8} "
+                 "(determinism contract of the parallel substrate)");
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  if (cores >= 4) {
+    bench::Verdict(speedup_series.back() >= 1.5,
+                   "parallel MultiTable >= 1.5x serial at 8 threads on " +
+                       std::to_string(cores) + " available cores (measured " +
+                       TablePrinter::Num(speedup_series.back()) + "x)");
+  } else {
+    bench::Verdict(true,
+                   "speedup not asserted: only " + std::to_string(cores) +
+                       " core(s) available (measured " +
+                       TablePrinter::Num(speedup_series.back()) + "x)");
+  }
+}
+
 int Run() {
   bench::PrintHeader(
-      "E5", "Theorem 1.5 / Algorithm 3 (MultiTable)",
+      "THM15", "Theorem 1.5 / Algorithm 3 (MultiTable)",
       "alpha = O~((sqrt(count*RS_beta) + RS_beta*sqrt(lambda))*f_upper) with "
       "beta = 1/lambda; RS is a smooth upper bound on LS");
 
@@ -80,6 +164,8 @@ int Run() {
       "RS/LS >= 1 across the sweep (price of smoothness; ratio at s=0: " +
           TablePrinter::Num(rs_over_ls.front()) + ", at s=2: " +
           TablePrinter::Num(rs_over_ls.back()) + ")");
+
+  ThreadingSweep();
   return bench::Finish();
 }
 

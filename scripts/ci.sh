@@ -23,12 +23,21 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 echo "==> ctest"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+echo "==> engine quickstart (checked-in sample configs)"
+# Drives every release mechanism through the engine from the declarative
+# configs in examples/configs/, including the cache-hit and budget-refusal
+# demos — a full end-to-end smoke of the release + serving layer.
+"${BUILD_DIR}/examples/example_engine_quickstart" examples/configs/*.spec
+
 echo "==> bench smoke (DPJOIN_BENCH_QUICK=1, DPJOIN_THREADS=2)"
 # DPJOIN_THREADS=2 exercises the parallel substrate on every CI run; the
 # determinism contract makes the outputs identical to a serial run.
+# bench_engine_serving validates BENCH_ENGINE.json (serving throughput +
+# ledger/cache verdicts) alongside the existing smoke benches.
 SMOKE_DIR="${BUILD_DIR}/bench-smoke"
 mkdir -p "${SMOKE_DIR}"
-for bench in bench_thm34_delta_floor bench_pmw_single_table; do
+for bench in bench_thm34_delta_floor bench_pmw_single_table \
+             bench_engine_serving; do
   DPJOIN_BENCH_QUICK=1 DPJOIN_THREADS=2 DPJOIN_BENCH_JSON_DIR="${SMOKE_DIR}" \
     "${BUILD_DIR}/bench/${bench}"
 done

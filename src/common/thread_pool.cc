@@ -146,6 +146,11 @@ namespace {
 
 std::atomic<int> g_thread_override{0};  // 0 = unset, use DefaultThreads()
 
+// Per-thread override installed by ScopedThreads; 0 = defer to the
+// process-wide setting. Wins over g_thread_override so concurrent user
+// threads can hold different counts without racing on the global.
+thread_local int t_thread_override = 0;
+
 }  // namespace
 
 int ExecutionContext::DefaultThreads() {
@@ -162,6 +167,7 @@ int ExecutionContext::DefaultThreads() {
 }
 
 int ExecutionContext::threads() {
+  if (t_thread_override > 0) return t_thread_override;
   const int n = g_thread_override.load(std::memory_order_relaxed);
   return n > 0 ? n : DefaultThreads();
 }
@@ -171,15 +177,15 @@ void ExecutionContext::SetThreads(int n) {
                           std::memory_order_relaxed);
 }
 
-ScopedThreads::ScopedThreads(int n) : saved_(0) {
-  if (n > 0) {
-    saved_ = ExecutionContext::threads();
-    ExecutionContext::SetThreads(n);
+ScopedThreads::ScopedThreads(int n) : engaged_(n > 0), saved_(0) {
+  if (engaged_) {
+    saved_ = t_thread_override;
+    t_thread_override = std::min(n, ThreadPool::kMaxThreads);
   }
 }
 
 ScopedThreads::~ScopedThreads() {
-  if (saved_ > 0) ExecutionContext::SetThreads(saved_);
+  if (engaged_) t_thread_override = saved_;
 }
 
 int64_t NumBlocks(int64_t begin, int64_t end, int64_t grain) {

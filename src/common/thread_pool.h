@@ -50,28 +50,33 @@ class ThreadPool {
   Impl* impl_;
 };
 
-/// Global thread-count setting consulted by the Parallel* helpers.
+/// Thread-count settings consulted by the Parallel* helpers. Two layers:
+/// a PROCESS-WIDE default (SetThreads / DPJOIN_THREADS) and a THREAD-LOCAL
+/// override (ScopedThreads), so concurrent user threads — e.g. several
+/// ServingHandle callers or mechanism invocations — can each carry their own
+/// count without racing on a global.
 class ExecutionContext {
  public:
   /// DPJOIN_THREADS when set to a positive integer, else hardware
   /// concurrency; always >= 1. Read once per process.
   static int DefaultThreads();
 
-  /// The currently effective thread count.
+  /// The count effective on the CALLING thread: its thread-local override
+  /// when set, else the process-wide setting, else DefaultThreads().
   static int threads();
 
-  /// Overrides the thread count (clamped to [1, kMaxThreads]); n <= 0
-  /// resets to DefaultThreads().
+  /// Sets the process-wide default (clamped to [1, kMaxThreads]); n <= 0
+  /// resets to DefaultThreads(). Does not touch thread-local overrides.
   static void SetThreads(int n);
 };
 
-/// RAII thread-count override; n <= 0 leaves the setting untouched.
-/// The override is PROCESS-WIDE (it writes the ExecutionContext setting),
-/// not thread-local: overlapping ScopedThreads from different user threads
-/// race on the value and can restore it out of order. Use it from one
-/// controlling thread; concurrent callers should configure the count once
-/// via SetThreads / DPJOIN_THREADS, or pass an explicit num_threads to the
-/// Parallel* helpers.
+/// RAII THREAD-LOCAL thread-count override; n <= 0 leaves the setting
+/// untouched. The override only affects parallel regions entered from the
+/// constructing thread (worker threads resolve counts before a region
+/// starts, so nothing leaks into the pool), and nests: destruction restores
+/// the previous thread-local value. Distinct user threads can hold distinct
+/// ScopedThreads concurrently; the process-wide default (SetThreads /
+/// DPJOIN_THREADS) is untouched.
 class ScopedThreads {
  public:
   explicit ScopedThreads(int n);
@@ -80,6 +85,7 @@ class ScopedThreads {
   ScopedThreads& operator=(const ScopedThreads&) = delete;
 
  private:
+  bool engaged_;
   int saved_;
 };
 

@@ -1,0 +1,178 @@
+#include "engine/budget_ledger.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+namespace {
+
+void AppendParamsJson(std::ostringstream& oss, double epsilon, double delta) {
+  oss << "{\"epsilon\": " << epsilon << ", \"delta\": " << delta << "}";
+}
+
+// Ledger labels are engine-supplied spec names / mechanism labels; escape
+// the JSON-breaking characters anyway so a hostile name cannot corrupt the
+// audit record.
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<int64_t> BudgetLedger::Reserve(const std::string& label,
+                                      const PrivacyParams& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double remaining_eps = RemainingEpsilonLocked();
+  const double remaining_del = RemainingDeltaLocked();
+  if (request.epsilon > remaining_eps + 1e-12 ||
+      request.delta > remaining_del + 1e-15) {
+    std::ostringstream oss;
+    oss << "release '" << label << "' requests (" << request.epsilon << ", "
+        << request.delta << ") but only (" << remaining_eps << ", "
+        << remaining_del << ") of the global cap (" << cap_.epsilon << ", "
+        << cap_.delta << ") remains";
+    return Status::FailedPrecondition(oss.str());
+  }
+  const int64_t ticket = next_ticket_++;
+  outstanding_.emplace(ticket, Reservation{label, request});
+  reserved_epsilon_ += request.epsilon;
+  reserved_delta_ += request.delta;
+  return ticket;
+}
+
+void BudgetLedger::Commit(int64_t ticket, const PrivacyAccountant& accountant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = outstanding_.find(ticket);
+  DPJOIN_CHECK(it != outstanding_.end(), "unknown or settled ledger ticket");
+  const std::string label = it->second.label;
+  reserved_epsilon_ -= it->second.request.epsilon;
+  reserved_delta_ -= it->second.request.delta;
+  outstanding_.erase(it);
+
+  const PrivacyParams total = accountant.Total();
+  committed_.push_back(Entry{label, total, accountant.entries()});
+  committed_epsilon_ += total.epsilon;
+  committed_delta_ += total.delta;
+}
+
+void BudgetLedger::Abandon(int64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = outstanding_.find(ticket);
+  DPJOIN_CHECK(it != outstanding_.end(), "unknown or settled ledger ticket");
+  reserved_epsilon_ -= it->second.request.epsilon;
+  reserved_delta_ -= it->second.request.delta;
+  outstanding_.erase(it);
+}
+
+PrivacyParams BudgetLedger::Total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DPJOIN_CHECK(!committed_.empty(), "BudgetLedger::Total() with no releases");
+  return PrivacyParams(committed_epsilon_, std::min(committed_delta_, 0.5));
+}
+
+double BudgetLedger::SpentEpsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_epsilon_;
+}
+
+double BudgetLedger::SpentDelta() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_delta_;
+}
+
+double BudgetLedger::RemainingEpsilonLocked() const {
+  return std::max(0.0, cap_.epsilon - committed_epsilon_ - reserved_epsilon_);
+}
+
+double BudgetLedger::RemainingDeltaLocked() const {
+  return std::max(0.0, cap_.delta - committed_delta_ - reserved_delta_);
+}
+
+double BudgetLedger::RemainingEpsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RemainingEpsilonLocked();
+}
+
+double BudgetLedger::RemainingDelta() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RemainingDeltaLocked();
+}
+
+int64_t BudgetLedger::num_committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(committed_.size());
+}
+
+int64_t BudgetLedger::num_outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(outstanding_.size());
+}
+
+std::vector<BudgetLedger::Entry> BudgetLedger::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_;
+}
+
+std::string BudgetLedger::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream oss;
+  oss << "budget cap (" << cap_.epsilon << ", " << cap_.delta << ")\n";
+  for (const Entry& entry : committed_) {
+    oss << "  " << entry.label << ": (" << entry.total.epsilon << ", "
+        << entry.total.delta << ")\n";
+  }
+  oss << "spent (" << committed_epsilon_ << ", " << committed_delta_
+      << "), remaining (" << RemainingEpsilonLocked() << ", "
+      << RemainingDeltaLocked() << ")";
+  if (!outstanding_.empty()) {
+    oss << ", " << outstanding_.size() << " reservation(s) outstanding";
+  }
+  return oss.str();
+}
+
+std::string BudgetLedger::SerializeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream oss;
+  oss << "{\"cap\": ";
+  AppendParamsJson(oss, cap_.epsilon, cap_.delta);
+  oss << ", \"entries\": [";
+  for (size_t i = 0; i < committed_.size(); ++i) {
+    const Entry& entry = committed_[i];
+    if (i > 0) oss << ", ";
+    oss << "{\"label\": \"" << EscapeLabel(entry.label) << "\", \"total\": ";
+    AppendParamsJson(oss, entry.total.epsilon, entry.total.delta);
+    oss << ", \"breakdown\": [";
+    for (size_t j = 0; j < entry.breakdown.size(); ++j) {
+      if (j > 0) oss << ", ";
+      oss << "{\"label\": \"" << EscapeLabel(entry.breakdown[j].label)
+          << "\", \"params\": ";
+      AppendParamsJson(oss, entry.breakdown[j].params.epsilon,
+                       entry.breakdown[j].params.delta);
+      oss << "}";
+    }
+    oss << "]}";
+  }
+  oss << "], \"total\": ";
+  AppendParamsJson(oss, committed_epsilon_, committed_delta_);
+  oss << ", \"remaining\": ";
+  AppendParamsJson(oss, RemainingEpsilonLocked(), RemainingDeltaLocked());
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,117 @@
+// BudgetLedger: thread-safe multi-release privacy accounting with a hard
+// global (ε, δ) cap.
+//
+// PrivacyAccountant (dp/composition.h) records what ONE mechanism invocation
+// spent; the ledger sits above it and answers the multi-release question —
+// "may this next release run at all?" — under basic composition across
+// releases. The protocol is reserve → run → commit:
+//
+//   1. Reserve(label, request) atomically checks the request against the
+//      remaining budget (cap − committed − outstanding reservations) and
+//      fails with FailedPrecondition when it would overshoot. Nothing runs
+//      without a reservation.
+//   2. The mechanism runs and fills its own PrivacyAccountant.
+//   3. Commit(ticket, accountant) replaces the reservation with the
+//      accountant's entries, so Total() is exactly the basic composition of
+//      what the mechanisms REPORTED spending — never the nominal request.
+//      (Hierarchical uniformize can report more than its nominal budget by
+//      the measured group-privacy factor of Lemma 4.11; the ledger records
+//      the measured truth.) Abandon(ticket) returns a failed run's budget.
+//
+// Entries serialize to JSON for audit.
+
+#ifndef DPJOIN_ENGINE_BUDGET_LEDGER_H_
+#define DPJOIN_ENGINE_BUDGET_LEDGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "dp/composition.h"
+#include "dp/privacy_params.h"
+
+namespace dpjoin {
+
+class BudgetLedger {
+ public:
+  explicit BudgetLedger(PrivacyParams cap) : cap_(cap) {}
+
+  BudgetLedger(const BudgetLedger&) = delete;
+  BudgetLedger& operator=(const BudgetLedger&) = delete;
+
+  PrivacyParams cap() const { return cap_; }
+
+  /// Atomically reserves `request` against the remaining budget. Fails with
+  /// FailedPrecondition (naming the overshoot) when committed + reserved +
+  /// request would exceed the cap in ε or δ. Returns a ticket for
+  /// Commit/Abandon.
+  Result<int64_t> Reserve(const std::string& label,
+                          const PrivacyParams& request);
+
+  /// Converts the reservation into a committed entry recording the
+  /// mechanism's own accountant: the entry total is accountant.Total() and
+  /// the per-spend breakdown is kept for audit. CHECK-fails on an unknown
+  /// or already-settled ticket.
+  void Commit(int64_t ticket, const PrivacyAccountant& accountant);
+
+  /// Drops the reservation (mechanism failed); its budget becomes available
+  /// again. CHECK-fails on an unknown or already-settled ticket.
+  void Abandon(int64_t ticket);
+
+  /// Basic composition of every committed entry. CHECK-fails when nothing
+  /// has been committed (mirrors PrivacyAccountant::Total); use
+  /// SpentEpsilon() for the always-defined raw value.
+  PrivacyParams Total() const;
+
+  /// Committed spend as raw doubles (0 when nothing is committed).
+  double SpentEpsilon() const;
+  double SpentDelta() const;
+
+  /// cap − committed − outstanding reservations, floored at 0.
+  double RemainingEpsilon() const;
+  double RemainingDelta() const;
+
+  int64_t num_committed() const;
+  int64_t num_outstanding() const;
+
+  struct Entry {
+    std::string label;
+    PrivacyParams total;  ///< the mechanism accountant's Total()
+    std::vector<PrivacyAccountant::Entry> breakdown;
+  };
+  /// Snapshot of the committed entries, in commit order.
+  std::vector<Entry> Entries() const;
+
+  /// Human-readable ledger (cap, per-release totals, remaining).
+  std::string ToString() const;
+
+  /// Audit serialization: {"cap": {...}, "entries": [...], "total": {...},
+  /// "remaining": {...}} with the per-mechanism spend breakdown inlined.
+  std::string SerializeJson() const;
+
+ private:
+  double RemainingEpsilonLocked() const;
+  double RemainingDeltaLocked() const;
+
+  struct Reservation {
+    std::string label;
+    PrivacyParams request;
+  };
+
+  mutable std::mutex mu_;
+  const PrivacyParams cap_;
+  std::vector<Entry> committed_;
+  std::unordered_map<int64_t, Reservation> outstanding_;
+  double committed_epsilon_ = 0.0;
+  double committed_delta_ = 0.0;
+  double reserved_epsilon_ = 0.0;
+  double reserved_delta_ = 0.0;
+  int64_t next_ticket_ = 1;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_ENGINE_BUDGET_LEDGER_H_

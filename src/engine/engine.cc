@@ -1,0 +1,228 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/independent_laplace.h"
+#include "core/multi_table.h"
+#include "core/uniformize.h"
+#include "hierarchical/uniformize_hierarchical.h"
+#include "release/pmw.h"
+#include "relational/io.h"
+
+namespace dpjoin {
+
+namespace {
+
+// FNV-1a over the instance's sorted (relation, code, frequency) triples:
+// part of the cache key, so an identical spec over DIFFERENT data is a
+// different release rather than a stale cache hit.
+uint64_t InstanceFingerprint(const Instance& instance) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (v >> (8 * b)) & 0xff;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  for (int r = 0; r < instance.num_relations(); ++r) {
+    std::vector<std::pair<int64_t, int64_t>> entries(
+        instance.relation(r).entries().begin(),
+        instance.relation(r).entries().end());
+    std::sort(entries.begin(), entries.end());
+    mix(static_cast<uint64_t>(r));
+    for (const auto& [code, freq] : entries) {
+      mix(static_cast<uint64_t>(code));
+      mix(static_cast<uint64_t>(freq));
+    }
+  }
+  return hash;
+}
+
+}  // namespace
+
+// RAII in-flight marker: the constructor blocks while another Run holds the
+// same key, the destructor releases it and wakes waiters.
+class ReleaseEngine::InFlightGuard {
+ public:
+  InFlightGuard(ReleaseEngine& engine, uint64_t key)
+      : engine_(engine), key_(key) {
+    std::unique_lock<std::mutex> lock(engine_.in_flight_mu_);
+    engine_.in_flight_cv_.wait(
+        lock, [&] { return engine_.in_flight_.count(key_) == 0; });
+    engine_.in_flight_.insert(key_);
+  }
+  ~InFlightGuard() {
+    {
+      std::lock_guard<std::mutex> lock(engine_.in_flight_mu_);
+      engine_.in_flight_.erase(key_);
+    }
+    engine_.in_flight_cv_.notify_all();
+  }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  ReleaseEngine& engine_;
+  uint64_t key_;
+};
+
+ReleaseEngine::ReleaseEngine(PrivacyParams global_budget,
+                             size_t cache_capacity)
+    : ledger_(global_budget), cache_(cache_capacity) {}
+
+Result<EngineRelease> ReleaseEngine::Run(const ReleaseSpec& spec,
+                                         const Instance& instance, Rng& rng) {
+  DPJOIN_RETURN_NOT_OK(spec.Validate());
+  const Result<JoinQuery> spec_query = spec.BuildQuery();
+  if (!spec_query.ok()) return spec_query.status();
+  if (spec_query->ToString() != instance.query().ToString()) {
+    return Status::InvalidArgument(
+        "instance query does not match the spec's schema: spec declares " +
+        spec_query->ToString() + " but the instance is over " +
+        instance.query().ToString());
+  }
+  Result<QueryFamily> family_or = spec.BuildWorkload(instance.query());
+  if (!family_or.ok()) return family_or.status();
+  const QueryFamily& family = *family_or;
+
+  const uint64_t key = spec.Hash() ^ InstanceFingerprint(instance);
+  // Serialize concurrent Runs of the same release: whoever enters first
+  // runs the mechanism, later callers block here and then hit the cache.
+  const InFlightGuard in_flight(*this, key);
+  if (std::shared_ptr<const ServingHandle> cached = cache_.Get(key)) {
+    EngineRelease release;
+    release.handle = cached;
+    release.plan = cached->plan();
+    release.from_cache = true;  // pure post-processing; nothing spent
+    return release;
+  }
+
+  // Reserve before planning: an over-budget spec is refused before any
+  // instance statistic is measured.
+  int64_t ticket = 0;
+  DPJOIN_ASSIGN_OR_RETURN(ticket, ledger_.Reserve(spec.name, spec.Budget()));
+
+  Result<Plan> plan_or = PlanRelease(spec, instance, family);
+  if (!plan_or.ok()) {
+    ledger_.Abandon(ticket);
+    return plan_or.status();
+  }
+  Plan plan = std::move(plan_or).value();
+
+  // Thread-local override: concurrent Run calls each carry their own count.
+  const ScopedThreads scoped(spec.num_threads);
+  const PrivacyParams budget = spec.Budget();
+  const ReleaseOptions options = spec.BuildReleaseOptions();
+
+  PrivacyAccountant accountant;
+  std::shared_ptr<const ServingHandle> handle;
+  auto fail = [&](const Status& status) -> Status {
+    ledger_.Abandon(ticket);
+    return status;
+  };
+
+  switch (plan.mechanism) {
+    case MechanismKind::kLaplace: {
+      auto result =
+          AnswerIndependently(instance, family, budget, spec.laplace_rule, rng);
+      if (!result.ok()) return fail(result.status());
+      accountant = result->accountant;
+      handle = std::make_shared<ServingHandle>(std::move(result->answers),
+                                               family, plan);
+      break;
+    }
+    case MechanismKind::kTwoTable: {
+      auto result = UniformizeTwoTable(instance, family, budget, options, rng);
+      if (!result.ok()) return fail(result.status());
+      accountant = result->release.accountant;
+      auto dataset = std::make_shared<const ReleasedDataset>(
+          instance.query_ptr(), std::move(result->release.synthetic));
+      handle = std::make_shared<ServingHandle>(std::move(dataset), family,
+                                               plan);
+      break;
+    }
+    case MechanismKind::kHierarchical: {
+      auto result =
+          UniformizeHierarchical(instance, family, budget, options, rng);
+      if (!result.ok()) return fail(result.status());
+      accountant = result->release.accountant;
+      auto dataset = std::make_shared<const ReleasedDataset>(
+          instance.query_ptr(), std::move(result->release.synthetic));
+      handle = std::make_shared<ServingHandle>(std::move(dataset), family,
+                                               plan);
+      break;
+    }
+    case MechanismKind::kPmw: {
+      DenseTensor synthetic;
+      if (instance.num_relations() == 1) {
+        // Degenerate join: a single relation's count moves by 1 between
+        // neighbors, so PMW runs directly with Δ̃ = 1 (Theorem 1.3).
+        PmwOptions pmw;
+        pmw.params = budget;
+        pmw.delta_tilde = 1.0;
+        pmw.num_rounds = options.pmw_rounds;
+        pmw.max_rounds = options.pmw_max_rounds;
+        pmw.per_round_epsilon_override = options.pmw_epsilon_prime_override;
+        auto result = PrivateMultiplicativeWeights(instance, family, pmw, rng);
+        if (!result.ok()) return fail(result.status());
+        accountant = result->accountant;
+        synthetic = std::move(result->synthetic);
+      } else {
+        auto result = MultiTable(instance, family, budget, options, rng);
+        if (!result.ok()) return fail(result.status());
+        accountant = result->accountant;
+        synthetic = std::move(result->synthetic);
+      }
+      auto dataset = std::make_shared<const ReleasedDataset>(
+          instance.query_ptr(), std::move(synthetic));
+      handle = std::make_shared<ServingHandle>(std::move(dataset), family,
+                                               plan);
+      break;
+    }
+    case MechanismKind::kAuto:
+      return fail(Status::Internal("planner returned an unresolved plan"));
+  }
+
+  ledger_.Commit(ticket, accountant);
+  cache_.Put(key, handle);
+
+  EngineRelease release;
+  release.handle = std::move(handle);
+  release.plan = std::move(plan);
+  release.from_cache = false;
+  release.accountant = std::move(accountant);
+  return release;
+}
+
+Result<EngineRelease> ReleaseEngine::RunFromFile(const ReleaseSpec& spec,
+                                                 const std::string& base_dir,
+                                                 Rng& rng) {
+  if (spec.instance_path.empty()) {
+    return Status::InvalidArgument("spec '" + spec.name +
+                                   "' declares no instance file");
+  }
+  std::string path = spec.instance_path;
+  if (path.front() != '/' && !base_dir.empty()) {
+    path = base_dir + "/" + path;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open instance file '" + path + "'");
+  }
+  Result<JoinQuery> query = spec.BuildQuery();
+  if (!query.ok()) return query.status();
+  auto loaded = ReadInstanceCsv(
+      std::make_shared<JoinQuery>(std::move(query).value()), file);
+  if (!loaded.ok()) {
+    return Status(loaded.status().code(), "instance file '" + path + "': " +
+                                              loaded.status().message());
+  }
+  return Run(spec, *loaded, rng);
+}
+
+}  // namespace dpjoin

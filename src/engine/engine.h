@@ -1,0 +1,92 @@
+// ReleaseEngine: the end-to-end "pay privacy once, serve forever" driver.
+//
+// Given a declarative ReleaseSpec and an instance, the engine
+//   1. builds the workload family (deterministically from the spec),
+//   2. consults the ReleaseCache — an identical spec is served from its
+//      existing handle without touching the budget,
+//   3. plans the mechanism (resolving `auto` with a rationale),
+//   4. reserves the spec's nominal (ε, δ) against the global BudgetLedger —
+//      refusing specs that would exceed the remaining cap,
+//   5. runs the chosen mechanism under the spec's thread-count override,
+//   6. commits the mechanism's OWN accountant totals to the ledger, and
+//   7. wraps the release in an immutable ServingHandle and caches it.
+//
+// The engine object is safe to share across threads: the ledger and cache
+// synchronize internally, handles are immutable, and concurrent Run calls
+// for the SAME spec+instance are serialized so exactly one runs the
+// mechanism — the rest are cache hits, never a duplicate budget spend.
+// Each Run needs its own Rng (two concurrent calls must not share one).
+//
+// Cache identity is the spec hash combined with a fingerprint of the
+// instance's actual tuples, so an identical spec over different data is a
+// different release (never a stale cache hit), while re-submitting the same
+// spec+data — even with a different thread count — re-runs free.
+
+#ifndef DPJOIN_ENGINE_ENGINE_H_
+#define DPJOIN_ENGINE_ENGINE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "engine/budget_ledger.h"
+#include "engine/planner.h"
+#include "engine/release_spec.h"
+#include "engine/serving.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// Outcome of one engine run.
+struct EngineRelease {
+  std::shared_ptr<const ServingHandle> handle;
+  Plan plan;                     ///< the serving handle's plan (echoed)
+  bool from_cache = false;       ///< true: no mechanism ran, no budget spent
+  PrivacyAccountant accountant;  ///< the mechanism's ledger (empty on cache
+                                 ///< hits — nothing was spent)
+};
+
+class ReleaseEngine {
+ public:
+  /// `global_budget` caps the basic composition of every release this
+  /// engine ever commits; `cache_capacity` bounds the LRU serving cache.
+  explicit ReleaseEngine(PrivacyParams global_budget,
+                         size_t cache_capacity = 8);
+
+  ReleaseEngine(const ReleaseEngine&) = delete;
+  ReleaseEngine& operator=(const ReleaseEngine&) = delete;
+
+  /// Runs the spec against `instance` (whose query must structurally match
+  /// the spec's schema). `rng` drives every noise draw, so a fixed seed
+  /// reproduces the release bit-for-bit at any thread count.
+  Result<EngineRelease> Run(const ReleaseSpec& spec, const Instance& instance,
+                            Rng& rng);
+
+  /// Convenience: loads the instance from `spec.instance_path` (resolved
+  /// against `base_dir` when relative) via ReadInstanceCsv, then runs.
+  Result<EngineRelease> RunFromFile(const ReleaseSpec& spec,
+                                    const std::string& base_dir, Rng& rng);
+
+  const BudgetLedger& ledger() const { return ledger_; }
+  const ReleaseCache& cache() const { return cache_; }
+
+ private:
+  // Marks `key` in flight for the duration of a mechanism run; a second Run
+  // of the same key blocks until the first settles, then (on success) hits
+  // the cache instead of double-spending the budget.
+  class InFlightGuard;
+
+  BudgetLedger ledger_;
+  ReleaseCache cache_;
+  std::mutex in_flight_mu_;
+  std::condition_variable in_flight_cv_;
+  std::unordered_set<uint64_t> in_flight_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_ENGINE_ENGINE_H_

@@ -1,0 +1,198 @@
+#include "engine/planner.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/theory_bounds.h"
+#include "dp/composition.h"
+#include "relational/join.h"
+#include "sensitivity/local_sensitivity.h"
+#include "sensitivity/residual_sensitivity.h"
+
+namespace dpjoin {
+
+namespace {
+
+// Matches the default dense-materialization envelope of ReleaseShape()
+// (query/evaluation.h): the largest release domain PMW will materialize.
+constexpr double kDenseCellCap = static_cast<double>(int64_t{1} << 26);
+
+// The theory-bound helpers CHECK |Q| > 1 (log|Q| appears in f_upper); the
+// counting-only family clamps to e so log|Q| -> 1 and predictions stay
+// finite.
+double PredictSyntheticError(MechanismKind mechanism,
+                             const InstanceStats& stats,
+                             const PrivacyParams& params) {
+  const double query_count =
+      std::max(static_cast<double>(stats.query_count), std::exp(1.0));
+  switch (mechanism) {
+    case MechanismKind::kPmw:
+      if (stats.num_relations == 1) {
+        return SingleTableUpperBound(static_cast<double>(stats.input_size),
+                                     stats.release_domain_cells, query_count,
+                                     params);
+      }
+      return MultiTableUpperBound(stats.join_count,
+                                  std::max(stats.residual_sensitivity, 1.0),
+                                  stats.release_domain_cells, query_count,
+                                  params);
+    case MechanismKind::kTwoTable:
+      return TwoTableUpperBound(stats.join_count,
+                                std::max(stats.local_sensitivity, 1.0),
+                                stats.release_domain_cells, query_count,
+                                params);
+    case MechanismKind::kHierarchical:
+      // No per-bucket closed form without running the partition; the
+      // Algorithm 3 bound with RS^β is the planner's proxy (Theorem C.2
+      // replaces RS by the per-configuration bound, which RS dominates).
+      return MultiTableUpperBound(stats.join_count,
+                                  std::max(stats.residual_sensitivity, 1.0),
+                                  stats.release_domain_cells, query_count,
+                                  params);
+    case MechanismKind::kLaplace:
+    case MechanismKind::kAuto:
+      break;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+InstanceStats ComputeInstanceStats(const Instance& instance,
+                                   const QueryFamily& family,
+                                   const PrivacyParams& params) {
+  const JoinQuery& query = instance.query();
+  InstanceStats stats;
+  stats.num_relations = query.num_relations();
+  stats.input_size = instance.InputSize();
+  stats.join_count = ParallelJoinCount(instance);
+  stats.hierarchical = query.IsHierarchical();
+  stats.release_domain_cells = query.ReleaseDomainSize();
+  stats.query_count = family.TotalCount();
+  if (stats.num_relations == 1) {
+    // A single relation's count changes by exactly 1 between neighbors.
+    stats.local_sensitivity = 1.0;
+    stats.residual_sensitivity = 1.0;
+  } else {
+    stats.local_sensitivity = LocalSensitivity(instance);
+    stats.residual_sensitivity =
+        ResidualSensitivityValue(instance, 1.0 / params.Lambda());
+  }
+  return stats;
+}
+
+double PredictedLaplaceError(double delta_tilde, int64_t query_count,
+                             const PrivacyParams& params,
+                             CompositionRule rule) {
+  // Mirrors core/independent_laplace: (ε/2, δ/2) buys Δ̃, the other half is
+  // shared across |Q| answers; each answer's noise has scale Δ̃/ε_q. The
+  // advanced-composition share scales as ε/(2·sqrt(8|Q|·ln(2/δ))) (Theorem
+  // 3.20 of Dwork–Roth, the same form AdvancedComposition inverts).
+  const double k = static_cast<double>(query_count);
+  double per_query = 0.0;
+  switch (rule) {
+    case CompositionRule::kBasic:
+      per_query = (params.epsilon / 2.0) / k;
+      break;
+    case CompositionRule::kAdvanced:
+      per_query = (params.epsilon / 2.0) /
+                  std::sqrt(8.0 * k * std::log(2.0 / params.delta));
+      break;
+  }
+  return delta_tilde / per_query;
+}
+
+Result<Plan> PlanRelease(const ReleaseSpec& spec, const Instance& instance,
+                         const QueryFamily& family) {
+  const JoinQuery& query = instance.query();
+  const PrivacyParams budget = spec.Budget();
+  Plan plan;
+  plan.stats = ComputeInstanceStats(instance, family, budget);
+  const InstanceStats& stats = plan.stats;
+  const bool dense_ok = stats.release_domain_cells <= kDenseCellCap;
+  const int m = stats.num_relations;
+
+  std::ostringstream why;
+  if (spec.mechanism != MechanismKind::kAuto) {
+    // Explicit request: validate structural feasibility only.
+    plan.mechanism = spec.mechanism;
+    why << "explicitly requested " << MechanismName(spec.mechanism);
+    switch (spec.mechanism) {
+      case MechanismKind::kLaplace:
+        break;
+      case MechanismKind::kTwoTable:
+        if (m != 2) {
+          return Status::InvalidArgument(
+              "mechanism two_table needs exactly two relations, query has " +
+              std::to_string(m) + " (use pmw/hierarchical)");
+        }
+        break;
+      case MechanismKind::kHierarchical:
+        if (!stats.hierarchical) {
+          return Status::InvalidArgument(
+              "mechanism hierarchical needs a hierarchical join query "
+              "(atom(x)/atom(y) nested or disjoint for every attribute "
+              "pair); " +
+              query.ToString() + " is not (use pmw)");
+        }
+        break;
+      case MechanismKind::kPmw:
+        break;
+      case MechanismKind::kAuto:
+        break;  // unreachable
+    }
+    if (spec.mechanism != MechanismKind::kLaplace && !dense_ok) {
+      return Status::InvalidArgument(
+          "mechanism " + std::string(MechanismName(spec.mechanism)) +
+          " materializes the release domain densely, but |D| = " +
+          std::to_string(stats.release_domain_cells) + " cells exceeds the " +
+          std::to_string(kDenseCellCap) +
+          "-cell envelope (use laplace, or shrink attribute domains)");
+    }
+  } else if (!dense_ok) {
+    plan.mechanism = MechanismKind::kLaplace;
+    why << "auto: release domain |D| = " << stats.release_domain_cells
+        << " cells exceeds the dense-materialization envelope ("
+        << kDenseCellCap
+        << "); independent Laplace is the only mechanism that never "
+           "materializes x_i D_i";
+  } else if (stats.query_count == 1) {
+    plan.mechanism = MechanismKind::kLaplace;
+    why << "auto: |Q| = 1 (counting only) — a single calibrated Laplace "
+           "answer beats paying PMW's f_upper factors for one query";
+  } else if (m == 1) {
+    plan.mechanism = MechanismKind::kPmw;
+    why << "auto: single relation — single-table PMW meets the Theorem 1.3 "
+           "bound O(sqrt(n)*f_upper)";
+  } else if (m == 2) {
+    plan.mechanism = MechanismKind::kTwoTable;
+    why << "auto: two relations — uniformized release (Partition-TwoTable + "
+           "TwoTable per bucket, Section 4.1) is robust to join-degree skew "
+           "that plain Algorithm 1 pays for linearly";
+  } else if (stats.hierarchical) {
+    plan.mechanism = MechanismKind::kHierarchical;
+    why << "auto: " << m
+        << " relations and the query is hierarchical — hierarchical "
+           "uniformize (Section 4.2) decomposes by attribute-tree degree";
+  } else {
+    plan.mechanism = MechanismKind::kPmw;
+    why << "auto: " << m
+        << " relations, non-hierarchical — MultiTable (Algorithm 3) with "
+           "residual-sensitivity-calibrated PMW is the general mechanism";
+  }
+
+  if (plan.mechanism == MechanismKind::kLaplace) {
+    const double delta_tilde_proxy =
+        std::max(stats.local_sensitivity, 1.0) + budget.Lambda();
+    plan.predicted_error = PredictedLaplaceError(
+        delta_tilde_proxy, stats.query_count, budget, spec.laplace_rule);
+  } else {
+    plan.predicted_error = PredictSyntheticError(plan.mechanism, stats, budget);
+  }
+  why << " | budget (" << budget.epsilon << ", " << budget.delta << "), |Q| = "
+      << stats.query_count << ", predicted error ~" << plan.predicted_error;
+  plan.rationale = why.str();
+  return plan;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,83 @@
+// Mechanism planner: resolves a ReleaseSpec's `auto` mechanism into a
+// concrete algorithm and explains the choice.
+//
+// The DECISION inputs are deliberately data-independent — number of
+// relations, hierarchical-decomposability of the query, domain sizes,
+// budget, and workload size — so the planner's choice never leaks the
+// instance (choosing a mechanism from raw data values would itself be a
+// non-private channel). The Plan's predicted error, by contrast, is a
+// DIAGNOSTIC: it plugs measured instance statistics (count, LS, RS) into
+// the paper's closed-form bounds (core/theory_bounds) and is never
+// released, exactly like the diagnostics fields of ReleaseResult.
+//
+// Selection table under `auto` (dense envelope = release domain |D| fits the
+// PMW materialization cap):
+//   |D| too large                 -> laplace      (only mechanism that never
+//                                                  materializes ×_i D_i)
+//   |Q| == 1                      -> laplace      (one counting query: a
+//                                                  single calibrated answer
+//                                                  beats synthetic data)
+//   m == 1                        -> pmw          (Theorem 1.3 single table)
+//   m == 2                        -> two_table    (§4.1 partition + PMW,
+//                                                  robust to degree skew)
+//   m >= 3, hierarchical query    -> hierarchical (§4.2 uniformize)
+//   m >= 3, otherwise             -> pmw          (Algorithm 3 MultiTable)
+
+#ifndef DPJOIN_ENGINE_PLANNER_H_
+#define DPJOIN_ENGINE_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "engine/release_spec.h"
+#include "query/query_family.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// Instance statistics backing the Plan's predicted error. All fields are
+/// measured, non-privatized values — diagnostics, never released.
+struct InstanceStats {
+  int num_relations = 0;
+  int64_t input_size = 0;          ///< n
+  double join_count = 0.0;         ///< count(I)
+  double local_sensitivity = 0.0;  ///< LS_count(I)
+  double residual_sensitivity = 0.0;  ///< RS^β_count(I), β = 1/λ
+  bool hierarchical = false;
+  double release_domain_cells = 0.0;  ///< Π_i |D_i|
+  int64_t query_count = 0;            ///< |Q|
+};
+
+/// Measures the planner statistics for an instance/workload pair.
+InstanceStats ComputeInstanceStats(const Instance& instance,
+                                   const QueryFamily& family,
+                                   const PrivacyParams& params);
+
+/// An explainable mechanism choice.
+struct Plan {
+  MechanismKind mechanism = MechanismKind::kPmw;  ///< resolved; never kAuto
+  std::string rationale;       ///< why this mechanism, human-readable
+  double predicted_error = 0.0;  ///< closed-form bound (diagnostic)
+  InstanceStats stats;
+};
+
+/// Closed-form error prediction for answering |Q| queries independently
+/// with Δ̃-calibrated Laplace noise under the given composition rule
+/// (the core/independent_laplace budget split: (ε/2, δ/2) for Δ̃, the rest
+/// shared across queries).
+double PredictedLaplaceError(double delta_tilde, int64_t query_count,
+                             const PrivacyParams& params, CompositionRule rule);
+
+/// Resolves spec.mechanism (running the selection table when it is kAuto)
+/// and predicts the chosen mechanism's error from the paper's bounds.
+/// Explicit mechanism requests are validated against the query structure:
+/// two_table needs exactly two relations, hierarchical needs a hierarchical
+/// query, and every synthetic-data mechanism needs the release domain to
+/// fit the dense envelope.
+Result<Plan> PlanRelease(const ReleaseSpec& spec, const Instance& instance,
+                         const QueryFamily& family);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_ENGINE_PLANNER_H_

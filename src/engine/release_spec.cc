@@ -1,0 +1,395 @@
+#include "engine/release_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+
+namespace dpjoin {
+
+namespace {
+
+constexpr char kMagic[] = "# dpjoin-release-spec v1";
+
+std::string Trim(const std::string& s) {
+  size_t lo = 0, hi = s.size();
+  while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo]))) ++lo;
+  while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1]))) --hi;
+  return s.substr(lo, hi - lo);
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, sep)) parts.push_back(Trim(part));
+  return parts;
+}
+
+Status LineError(int64_t line, const std::string& message) {
+  return Status::InvalidArgument("spec line " + std::to_string(line) + ": " +
+                                 message);
+}
+
+Result<double> ParseDouble(const std::string& token) {
+  try {
+    size_t consumed = 0;
+    const double v = std::stod(token, &consumed);
+    if (consumed != token.size()) {
+      return Status::InvalidArgument("bad number '" + token + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad number '" + token + "'");
+  }
+}
+
+Result<int64_t> ParseInt(const std::string& token) {
+  try {
+    size_t consumed = 0;
+    const int64_t v = std::stoll(token, &consumed);
+    if (consumed != token.size()) {
+      return Status::InvalidArgument("bad integer '" + token + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad integer '" + token + "'");
+  }
+}
+
+}  // namespace
+
+const char* MechanismName(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kAuto:
+      return "auto";
+    case MechanismKind::kLaplace:
+      return "laplace";
+    case MechanismKind::kTwoTable:
+      return "two_table";
+    case MechanismKind::kHierarchical:
+      return "hierarchical";
+    case MechanismKind::kPmw:
+      return "pmw";
+  }
+  return "unknown";
+}
+
+Result<MechanismKind> ParseMechanism(const std::string& token) {
+  if (token == "auto") return MechanismKind::kAuto;
+  if (token == "laplace") return MechanismKind::kLaplace;
+  if (token == "two_table") return MechanismKind::kTwoTable;
+  if (token == "hierarchical") return MechanismKind::kHierarchical;
+  if (token == "pmw") return MechanismKind::kPmw;
+  return Status::InvalidArgument(
+      "unknown mechanism '" + token +
+      "' (expected auto|laplace|two_table|hierarchical|pmw)");
+}
+
+const char* WorkloadFamilyName(WorkloadFamilyKind kind) {
+  switch (kind) {
+    case WorkloadFamilyKind::kCounting:
+      return "counting";
+    case WorkloadFamilyKind::kRandomSign:
+      return "random_sign";
+    case WorkloadFamilyKind::kRandomUniform:
+      return "random_uniform";
+    case WorkloadFamilyKind::kPrefix:
+      return "prefix";
+    case WorkloadFamilyKind::kPoint:
+      return "point";
+    case WorkloadFamilyKind::kMarginal:
+      return "marginal";
+  }
+  return "unknown";
+}
+
+Result<WorkloadFamilyKind> ParseWorkloadFamily(const std::string& token) {
+  if (token == "counting") return WorkloadFamilyKind::kCounting;
+  if (token == "random_sign") return WorkloadFamilyKind::kRandomSign;
+  if (token == "random_uniform") return WorkloadFamilyKind::kRandomUniform;
+  if (token == "prefix") return WorkloadFamilyKind::kPrefix;
+  if (token == "point") return WorkloadFamilyKind::kPoint;
+  if (token == "marginal") return WorkloadFamilyKind::kMarginal;
+  return Status::InvalidArgument(
+      "unknown workload '" + token +
+      "' (expected counting|random_sign|random_uniform|prefix|point|"
+      "marginal)");
+}
+
+Status ReleaseSpec::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("spec needs a name");
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  if (!(delta > 0.0) || delta > 0.5) {
+    return Status::InvalidArgument(
+        "delta must lie in (0, 1/2] (lambda = ln(1/delta)/epsilon needs "
+        "delta > 0)");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("spec declares no attributes");
+  }
+  if (relation_attrs.empty()) {
+    return Status::InvalidArgument("spec declares no relations");
+  }
+  if (relation_names.size() != relation_attrs.size()) {
+    return Status::InvalidArgument(
+        "spec has " + std::to_string(relation_names.size()) +
+        " relation names for " + std::to_string(relation_attrs.size()) +
+        " relation attribute lists (hand-built specs must fill both)");
+  }
+  std::unordered_set<std::string> rel_names;
+  for (const std::string& rel : relation_names) {
+    if (!rel_names.insert(rel).second) {
+      return Status::InvalidArgument("duplicate relation name '" + rel + "'");
+    }
+  }
+  if (workload != WorkloadFamilyKind::kCounting &&
+      workload != WorkloadFamilyKind::kMarginal && workload_per_table < 1) {
+    return Status::InvalidArgument("workload per-table count must be >= 1");
+  }
+  if (pmw_rounds < 0) {
+    return Status::InvalidArgument("pmw_rounds must be >= 0 (0 = theory k)");
+  }
+  if (pmw_max_rounds < 1) {
+    return Status::InvalidArgument("pmw_max_rounds must be >= 1");
+  }
+  if (pmw_epsilon_prime < 0.0 || !std::isfinite(pmw_epsilon_prime)) {
+    return Status::InvalidArgument("pmw_epsilon_prime must be >= 0 and finite");
+  }
+  if (num_threads < 0 || num_threads > ThreadPool::kMaxThreads) {
+    return Status::InvalidArgument(
+        "threads must lie in [0, " +
+        std::to_string(ThreadPool::kMaxThreads) + "] (0 = default)");
+  }
+  // Deep schema validation (attribute uniqueness, positive domains, edge
+  // well-formedness) is JoinQuery::Create's job.
+  return BuildQuery().status();
+}
+
+Result<JoinQuery> ReleaseSpec::BuildQuery() const {
+  return JoinQuery::Create(attributes, relation_attrs);
+}
+
+Result<QueryFamily> ReleaseSpec::BuildWorkload(const JoinQuery& query) const {
+  if (workload == WorkloadFamilyKind::kCounting) {
+    return MakeCountingFamily(query);
+  }
+  WorkloadKind kind = WorkloadKind::kRandomSign;
+  switch (workload) {
+    case WorkloadFamilyKind::kRandomSign:
+      kind = WorkloadKind::kRandomSign;
+      break;
+    case WorkloadFamilyKind::kRandomUniform:
+      kind = WorkloadKind::kRandomUniform;
+      break;
+    case WorkloadFamilyKind::kPrefix:
+      kind = WorkloadKind::kPrefix;
+      break;
+    case WorkloadFamilyKind::kPoint:
+      kind = WorkloadKind::kPoint;
+      break;
+    case WorkloadFamilyKind::kMarginal:
+      kind = WorkloadKind::kMarginal;
+      break;
+    case WorkloadFamilyKind::kCounting:
+      break;  // handled above
+  }
+  Rng rng(workload_seed);
+  return MakeWorkload(query, kind, workload_per_table, rng);
+}
+
+ReleaseOptions ReleaseSpec::BuildReleaseOptions() const {
+  ReleaseOptions options;
+  options.pmw_rounds = pmw_rounds;
+  options.pmw_max_rounds = pmw_max_rounds;
+  options.pmw_epsilon_prime_override = pmw_epsilon_prime;
+  return options;
+}
+
+std::string ReleaseSpec::CanonicalString() const {
+  // Every semantic field in a fixed order with %.17g numbers, so two specs
+  // hash equal iff the engine would treat them identically. instance_path
+  // is semantic (the same schema over different data files is a different
+  // release); num_threads is NOT — the substrate's determinism contract
+  // makes the released output bit-identical at every thread count, so a
+  // re-submission differing only in threads must hit the serving cache
+  // instead of re-spending budget.
+  std::ostringstream oss;
+  oss << kMagic << "\n";
+  oss << "name=" << name << "\n";
+  for (const AttributeSpec& attr : attributes) {
+    oss << "attribute=" << attr.name << ":" << attr.domain_size << "\n";
+  }
+  for (size_t r = 0; r < relation_attrs.size(); ++r) {
+    oss << "relation=" << relation_names[r] << ":";
+    for (size_t a = 0; a < relation_attrs[r].size(); ++a) {
+      if (a > 0) oss << ",";
+      oss << relation_attrs[r][a];
+    }
+    oss << "\n";
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", epsilon);
+  oss << "epsilon=" << buffer << "\n";
+  std::snprintf(buffer, sizeof(buffer), "%.17g", delta);
+  oss << "delta=" << buffer << "\n";
+  oss << "mechanism=" << MechanismName(mechanism) << "\n";
+  oss << "workload=" << WorkloadFamilyName(workload) << ":"
+      << workload_per_table << "\n";
+  oss << "workload_seed=" << workload_seed << "\n";
+  oss << "pmw_rounds=" << pmw_rounds << "\n";
+  oss << "pmw_max_rounds=" << pmw_max_rounds << "\n";
+  std::snprintf(buffer, sizeof(buffer), "%.17g", pmw_epsilon_prime);
+  oss << "pmw_epsilon_prime=" << buffer << "\n";
+  oss << "laplace_rule="
+      << (laplace_rule == CompositionRule::kBasic ? "basic" : "advanced")
+      << "\n";
+  oss << "instance=" << instance_path << "\n";
+  return oss.str();
+}
+
+uint64_t ReleaseSpec::Hash() const {
+  // FNV-1a, 64-bit.
+  const std::string canonical = CanonicalString();
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : canonical) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Result<ReleaseSpec> ParseReleaseSpec(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || Trim(line) != kMagic) {
+    return Status::InvalidArgument(
+        "missing dpjoin-release-spec header; not a release-spec config");
+  }
+  ReleaseSpec spec;
+  std::unordered_set<std::string> seen_scalars;
+  int64_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const size_t comment = line.find('#');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return LineError(line_number, "expected 'key = value', got '" + line +
+                                        "'");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return LineError(line_number, "empty key or value");
+    }
+    // Repeatable keys.
+    if (key == "attribute") {
+      const std::vector<std::string> parts = SplitOn(value, ':');
+      if (parts.size() != 2 || parts[0].empty()) {
+        return LineError(line_number,
+                         "attribute wants NAME:DOMAIN_SIZE, got '" + value +
+                             "'");
+      }
+      auto size = ParseInt(parts[1]);
+      if (!size.ok()) return LineError(line_number, size.status().message());
+      spec.attributes.push_back({parts[0], *size});
+      continue;
+    }
+    if (key == "relation") {
+      const size_t colon = value.find(':');
+      if (colon == std::string::npos || colon == 0) {
+        return LineError(line_number,
+                         "relation wants NAME:ATTR[,ATTR...], got '" + value +
+                             "'");
+      }
+      const std::vector<std::string> attrs =
+          SplitOn(value.substr(colon + 1), ',');
+      for (const std::string& attr : attrs) {
+        if (attr.empty()) {
+          return LineError(line_number, "empty attribute in relation '" +
+                                            value + "'");
+        }
+      }
+      spec.relation_names.push_back(Trim(value.substr(0, colon)));
+      spec.relation_attrs.push_back(attrs);
+      continue;
+    }
+    // Scalar keys, each allowed once.
+    if (!seen_scalars.insert(key).second) {
+      return LineError(line_number, "duplicate key '" + key + "'");
+    }
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "epsilon") {
+      DPJOIN_ASSIGN_OR_RETURN(spec.epsilon, ParseDouble(value));
+    } else if (key == "delta") {
+      DPJOIN_ASSIGN_OR_RETURN(spec.delta, ParseDouble(value));
+    } else if (key == "mechanism") {
+      DPJOIN_ASSIGN_OR_RETURN(spec.mechanism, ParseMechanism(value));
+    } else if (key == "workload") {
+      const std::vector<std::string> parts = SplitOn(value, ':');
+      if (parts.empty() || parts.size() > 2) {
+        return LineError(line_number,
+                         "workload wants KIND[:PER_TABLE], got '" + value +
+                             "'");
+      }
+      auto kind = ParseWorkloadFamily(parts[0]);
+      if (!kind.ok()) return LineError(line_number, kind.status().message());
+      spec.workload = *kind;
+      if (parts.size() == 2) {
+        auto per_table = ParseInt(parts[1]);
+        if (!per_table.ok()) {
+          return LineError(line_number, per_table.status().message());
+        }
+        spec.workload_per_table = *per_table;
+      }
+    } else if (key == "workload_seed") {
+      int64_t seed = 0;
+      DPJOIN_ASSIGN_OR_RETURN(seed, ParseInt(value));
+      spec.workload_seed = static_cast<uint64_t>(seed);
+    } else if (key == "pmw_rounds") {
+      DPJOIN_ASSIGN_OR_RETURN(spec.pmw_rounds, ParseInt(value));
+    } else if (key == "pmw_max_rounds") {
+      DPJOIN_ASSIGN_OR_RETURN(spec.pmw_max_rounds, ParseInt(value));
+    } else if (key == "pmw_epsilon_prime") {
+      DPJOIN_ASSIGN_OR_RETURN(spec.pmw_epsilon_prime, ParseDouble(value));
+    } else if (key == "laplace_rule") {
+      if (value == "basic") {
+        spec.laplace_rule = CompositionRule::kBasic;
+      } else if (value == "advanced") {
+        spec.laplace_rule = CompositionRule::kAdvanced;
+      } else {
+        return LineError(line_number, "laplace_rule wants basic|advanced");
+      }
+    } else if (key == "threads") {
+      int64_t threads = 0;
+      DPJOIN_ASSIGN_OR_RETURN(threads, ParseInt(value));
+      spec.num_threads = static_cast<int>(threads);
+    } else if (key == "instance") {
+      spec.instance_path = value;
+    } else {
+      return LineError(line_number, "unknown key '" + key + "'");
+    }
+  }
+  const Status valid = spec.Validate();
+  if (!valid.ok()) {
+    return Status(valid.code(), "invalid release spec: " + valid.message());
+  }
+  return spec;
+}
+
+Result<ReleaseSpec> ParseReleaseSpec(const std::string& text) {
+  std::istringstream is(text);
+  return ParseReleaseSpec(is);
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,152 @@
+// ReleaseSpec: a declarative description of one DP release — join schema,
+// privacy budget, mechanism choice, workload family, and tuning knobs — with
+// a parser from a simple `key = value` config format.
+//
+// A spec is everything the release engine needs to run a mechanism once and
+// then serve queries forever as post-processing; its canonical string (and
+// hash) identify a release for the serving cache, so re-submitting an
+// identical spec is answered without re-spending budget.
+//
+// Config format (`# dpjoin-release-spec v1` magic, then one `key = value`
+// per line, `#` comments, repeated `attribute`/`relation` lines accumulate):
+//
+//   # dpjoin-release-spec v1
+//   name      = movie_demo
+//   attribute = A:8            # NAME:DOMAIN_SIZE
+//   attribute = B:6
+//   attribute = C:8
+//   relation  = R1:A,B         # NAME:ATTR[,ATTR...]
+//   relation  = R2:B,C
+//   epsilon   = 1.0
+//   delta     = 1e-5
+//   mechanism = auto           # auto|laplace|two_table|hierarchical|pmw
+//   workload  = prefix:4       # KIND[:PER_TABLE], KIND in counting|
+//                              #   random_sign|random_uniform|prefix|point|
+//                              #   marginal
+//   workload_seed = 13
+//   threads   = 2              # 0 = ExecutionContext default
+//   pmw_rounds = 0             # 0 = theory-driven k
+//   pmw_max_rounds = 24
+//   pmw_epsilon_prime = 0.25   # EXPERIMENTAL override, 0 = paper formula
+//   laplace_rule = advanced    # basic|advanced (mechanism = laplace only)
+//   instance  = data/two_table.csv
+
+#ifndef DPJOIN_ENGINE_RELEASE_SPEC_H_
+#define DPJOIN_ENGINE_RELEASE_SPEC_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/independent_laplace.h"
+#include "core/release_result.h"
+#include "query/query_family.h"
+#include "query/workloads.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+
+/// Which release algorithm the engine runs. kAuto defers to the planner.
+enum class MechanismKind {
+  kAuto,          ///< planner decides from schema + budget + workload
+  kLaplace,       ///< per-query independent Laplace (baseline; no synthetic)
+  kTwoTable,      ///< Uniformize: Partition-TwoTable + TwoTable (§4.1)
+  kHierarchical,  ///< hierarchical Uniformize (§4.2)
+  kPmw,           ///< PMW-backed synthetic data: Algorithm 2 (one relation)
+                  ///< or MultiTable / Algorithm 3 (several)
+};
+
+/// "auto", "laplace", "two_table", "hierarchical", "pmw".
+const char* MechanismName(MechanismKind kind);
+Result<MechanismKind> ParseMechanism(const std::string& token);
+
+/// Workload family of a spec: the counting singleton or one of the
+/// query/workloads.h generators.
+enum class WorkloadFamilyKind {
+  kCounting,
+  kRandomSign,
+  kRandomUniform,
+  kPrefix,
+  kPoint,
+  kMarginal,
+};
+
+const char* WorkloadFamilyName(WorkloadFamilyKind kind);
+Result<WorkloadFamilyKind> ParseWorkloadFamily(const std::string& token);
+
+/// Declarative description of one release. Fields mirror the config keys;
+/// `Validate()` / the parser enforce every invariant, so downstream engine
+/// stages can trust a spec they are handed.
+struct ReleaseSpec {
+  std::string name = "release";
+
+  // Schema: attribute declarations plus named hyperedges over them.
+  std::vector<AttributeSpec> attributes;
+  std::vector<std::string> relation_names;
+  std::vector<std::vector<std::string>> relation_attrs;
+
+  // Privacy budget this release may spend (nominal; the hierarchical
+  // mechanism's measured group-privacy factor can exceed it — the ledger
+  // records the measured spend).
+  double epsilon = 1.0;
+  double delta = 1e-6;
+
+  MechanismKind mechanism = MechanismKind::kAuto;
+
+  // Workload family Q the release is evaluated/served against.
+  WorkloadFamilyKind workload = WorkloadFamilyKind::kRandomSign;
+  int64_t workload_per_table = 3;  ///< ignored for kCounting / kMarginal
+  uint64_t workload_seed = 1;      ///< seed for the randomized generators
+
+  // Mechanism knobs (forwarded to ReleaseOptions / PmwOptions).
+  int64_t pmw_rounds = 0;
+  int64_t pmw_max_rounds = 64;
+  double pmw_epsilon_prime = 0.0;
+  CompositionRule laplace_rule = CompositionRule::kAdvanced;
+
+  /// Worker threads for the mechanism's parallel hot paths; 0 = the
+  /// ExecutionContext default. Applied as a thread-local ScopedThreads
+  /// override, so concurrent engine calls don't race.
+  int num_threads = 0;
+
+  /// Path to the instance CSV (ReadInstanceCsv format). May be empty when
+  /// the caller passes an Instance directly.
+  std::string instance_path;
+
+  PrivacyParams Budget() const { return PrivacyParams(epsilon, delta); }
+
+  /// Checks every invariant the parser enforces (field ranges plus schema
+  /// well-formedness via JoinQuery::Create).
+  Status Validate() const;
+
+  /// The join-query hypergraph declared by the schema fields.
+  Result<JoinQuery> BuildQuery() const;
+
+  /// The workload family Q = ×_i Q_i. Deterministic: randomized generators
+  /// draw from Rng(workload_seed), so equal specs build equal workloads —
+  /// the property the serving cache relies on.
+  Result<QueryFamily> BuildWorkload(const JoinQuery& query) const;
+
+  /// ReleaseOptions carrying the spec's PMW knobs.
+  ReleaseOptions BuildReleaseOptions() const;
+
+  /// Stable canonical rendering of every semantic field (used for hashing
+  /// and audit logs; comments/ordering/whitespace of the source config do
+  /// not affect it).
+  std::string CanonicalString() const;
+
+  /// FNV-1a hash of CanonicalString() — the serving-cache key.
+  uint64_t Hash() const;
+};
+
+/// Parses and validates a spec from config text (see the header comment for
+/// the format). Unknown keys, repeated scalar keys, and malformed values are
+/// InvalidArgument with the offending line number.
+Result<ReleaseSpec> ParseReleaseSpec(std::istream& is);
+Result<ReleaseSpec> ParseReleaseSpec(const std::string& text);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_ENGINE_RELEASE_SPEC_H_

@@ -1,0 +1,132 @@
+#include "engine/serving.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "query/evaluation.h"
+
+namespace dpjoin {
+
+ServingHandle::ServingHandle(std::shared_ptr<const ReleasedDataset> dataset,
+                             QueryFamily family, Plan plan)
+    : dataset_(std::move(dataset)),
+      family_(std::move(family)),
+      plan_(std::move(plan)) {
+  DPJOIN_CHECK(dataset_ != nullptr, "serving handle needs a dataset");
+}
+
+ServingHandle::ServingHandle(std::vector<double> answers, QueryFamily family,
+                             Plan plan)
+    : answers_(std::move(answers)),
+      family_(std::move(family)),
+      plan_(std::move(plan)) {
+  DPJOIN_CHECK_EQ(static_cast<int64_t>(answers_.size()),
+                  family_.TotalCount());
+}
+
+Result<std::vector<double>> ServingHandle::AnswerBatch(
+    const std::vector<int64_t>& batch, int num_threads) const {
+  const int64_t num_queries = NumQueries();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i] < 0 || batch[i] >= num_queries) {
+      return Status::OutOfRange("batch[" + std::to_string(i) + "] = " +
+                                std::to_string(batch[i]) +
+                                " outside the workload's [0, " +
+                                std::to_string(num_queries) + ")");
+    }
+  }
+  std::vector<double> answers(batch.size(), 0.0);
+  if (dataset_ == nullptr) {
+    // Direct answers: a lookup per request.
+    ParallelFor(
+        0, static_cast<int64_t>(batch.size()), /*grain=*/4096,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            answers[static_cast<size_t>(i)] =
+                answers_[static_cast<size_t>(batch[static_cast<size_t>(i)])];
+          }
+        },
+        num_threads);
+    return answers;
+  }
+  // Synthetic data: each request scans the tensor once. One request per
+  // block; each block writes only its own slot, and the per-request tensor
+  // reduction runs inline with its own fixed-grain grouping, so the batch
+  // result is bit-identical for every thread count.
+  ParallelFor(
+      0, static_cast<int64_t>(batch.size()), /*grain=*/1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const std::vector<int64_t> parts =
+              family_.Decompose(batch[static_cast<size_t>(i)]);
+          answers[static_cast<size_t>(i)] =
+              dataset_->Answer(family_, parts);
+        }
+      },
+      num_threads);
+  return answers;
+}
+
+std::vector<double> ServingHandle::AnswerAll(int num_threads) const {
+  const ScopedThreads scoped(num_threads);
+  if (dataset_ == nullptr) return answers_;
+  return dataset_->AnswerAll(family_);
+}
+
+ReleaseCache::ReleaseCache(size_t capacity) : capacity_(capacity) {
+  DPJOIN_CHECK(capacity > 0, "release cache needs capacity >= 1");
+}
+
+std::shared_ptr<const ServingHandle> ReleaseCache::Get(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.handle;
+}
+
+void ReleaseCache::Put(uint64_t key,
+                       std::shared_ptr<const ServingHandle> handle) {
+  DPJOIN_CHECK(handle != nullptr, "cannot cache a null handle");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    it->second.handle = std::move(handle);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  lru_.push_front(key);
+  slots_.emplace(key, Slot{std::move(handle), lru_.begin()});
+  if (slots_.size() > capacity_) {
+    slots_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+size_t ReleaseCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+int64_t ReleaseCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t ReleaseCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void ReleaseCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  lru_.clear();
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,107 @@
+// Serving layer: concurrent query answering over a finished release.
+//
+// ServingHandle is an immutable, shareable view of one release — a
+// ReleasedDataset (synthetic-data mechanisms) or a precomputed answer
+// vector (independent Laplace) — plus the workload family and the Plan that
+// produced it. Every method is post-processing: no privacy budget is ever
+// consumed after construction, so handles may be shared across any number
+// of threads and queried forever.
+//
+// Batches are answered on the thread pool with one answer slot per request
+// and the substrate's fixed block decomposition, so results are
+// bit-identical for every thread count and every caller interleaving.
+//
+// ReleaseCache is a thread-safe LRU over key → handle (the engine keys it
+// by spec hash ⊕ instance fingerprint): re-submitting an identical release
+// is served from cache without re-running the mechanism (and therefore
+// without re-spending budget), while the same spec over different data is
+// a distinct key.
+
+#ifndef DPJOIN_ENGINE_SERVING_H_
+#define DPJOIN_ENGINE_SERVING_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/released_dataset.h"
+#include "engine/planner.h"
+#include "query/query_family.h"
+
+namespace dpjoin {
+
+/// Immutable handle answering workload queries from a finished release.
+class ServingHandle {
+ public:
+  /// Synthetic-data release: queries are evaluated on the released tensor.
+  ServingHandle(std::shared_ptr<const ReleasedDataset> dataset,
+                QueryFamily family, Plan plan);
+
+  /// Direct-answer release (independent Laplace): query q's answer is the
+  /// q-th precomputed noisy value.
+  ServingHandle(std::vector<double> answers, QueryFamily family, Plan plan);
+
+  const Plan& plan() const { return plan_; }
+  const QueryFamily& family() const { return family_; }
+  int64_t NumQueries() const { return family_.TotalCount(); }
+
+  /// Non-null for synthetic-data releases.
+  const ReleasedDataset* dataset() const { return dataset_.get(); }
+
+  /// Answers the flat query ids in `batch` (duplicates allowed), one slot
+  /// per request, sharded over the thread pool. OutOfRange on any id
+  /// outside [0, NumQueries()). Results are bit-identical for every
+  /// `num_threads` (0 = the caller's ExecutionContext default).
+  Result<std::vector<double>> AnswerBatch(const std::vector<int64_t>& batch,
+                                          int num_threads = 0) const;
+
+  /// Every query's answer, indexed by family.index(). Synthetic releases
+  /// use the mode-contraction path (cheaper than |Q| tensor scans).
+  std::vector<double> AnswerAll(int num_threads = 0) const;
+
+ private:
+  std::shared_ptr<const ReleasedDataset> dataset_;  // null for direct answers
+  std::vector<double> answers_;                     // direct answers only
+  QueryFamily family_;
+  Plan plan_;
+};
+
+/// Thread-safe LRU cache of finished releases keyed by ReleaseSpec::Hash().
+class ReleaseCache {
+ public:
+  explicit ReleaseCache(size_t capacity);
+
+  /// The cached handle (bumped to most-recently-used), or null on miss.
+  std::shared_ptr<const ServingHandle> Get(uint64_t key);
+
+  /// Inserts (or refreshes) a handle, evicting the least-recently-used
+  /// entry when past capacity.
+  void Put(uint64_t key, std::shared_ptr<const ServingHandle> handle);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  int64_t hits() const;
+  int64_t misses() const;
+  void Clear();
+
+ private:
+  struct Slot {
+    std::shared_ptr<const ServingHandle> handle;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, Slot> slots_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_ENGINE_SERVING_H_

@@ -165,15 +165,25 @@ double EvaluateOnInstance(const QueryFamily& family,
 std::vector<double> EvaluateAllOnInstance(const QueryFamily& family,
                                           const Instance& instance) {
   const size_t m = static_cast<size_t>(instance.num_relations());
-  std::vector<double> answers(static_cast<size_t>(family.TotalCount()), 0.0);
+  const size_t total = static_cast<size_t>(family.TotalCount());
   // Per-combination accumulation: for each joining combination, add
   // weight·Π_i q_{i,j_i}(t_i) into every flat query slot. The recursion
-  // prunes subtrees whose partial product is exactly zero.
-  std::vector<const TableQuery*> table_queries(m);
-  EnumerateSubJoin(
+  // prunes subtrees whose partial product is exactly zero. Combinations are
+  // sharded over the thread pool by depth-0 root block; each block owns an
+  // answer vector (allocated on first visit so empty blocks cost nothing),
+  // and the block vectors merge in block order — the floating-point grouping
+  // is fixed by the instance alone, so the result is bit-identical for
+  // every thread count (the single-thread run uses the same blocked path).
+  std::vector<std::vector<double>> per_block;
+  EnumerateSubJoinSharded(
       instance, instance.query().all_relations(),
-      [&](const std::vector<int64_t>& rel_codes, const std::vector<int64_t>&,
-          int64_t weight) {
+      [&](int64_t num_blocks) {
+        per_block.assign(static_cast<size_t>(num_blocks), {});
+      },
+      [&](int64_t block, const std::vector<int64_t>& rel_codes,
+          const std::vector<int64_t>&, int64_t weight) {
+        std::vector<double>& answers = per_block[static_cast<size_t>(block)];
+        if (answers.empty()) answers.assign(total, 0.0);
         // values_at[i][j] = q_{i,j}(t_i)
         auto recurse = [&](auto&& self, size_t rel, int64_t flat_base,
                            double partial) -> void {
@@ -192,6 +202,11 @@ std::vector<double> EvaluateAllOnInstance(const QueryFamily& family,
         };
         recurse(recurse, 0, 0, static_cast<double>(weight));
       });
+  std::vector<double> answers(total, 0.0);
+  for (const std::vector<double>& block : per_block) {
+    if (block.empty()) continue;
+    for (size_t q = 0; q < total; ++q) answers[q] += block[q];
+  }
   return answers;
 }
 

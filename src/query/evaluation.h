@@ -72,7 +72,9 @@ double EvaluateOnInstance(const QueryFamily& family,
                           const std::vector<int64_t>& parts,
                           const Instance& instance);
 
-/// q(I) for ALL queries in the family, by sparse join enumeration.
+/// q(I) for ALL queries in the family, by sparse join enumeration sharded
+/// over the thread pool (per-block answer vectors merged in block order, so
+/// the result is bit-identical for any thread count).
 std::vector<double> EvaluateAllOnInstance(const QueryFamily& family,
                                           const Instance& instance);
 

@@ -35,7 +35,17 @@ Result<Instance> ReadInstanceCsv(std::shared_ptr<const JoinQuery> query,
     return Status::InvalidArgument("need a query to read an instance");
   }
   std::string line;
-  if (!std::getline(is, line) || line != kMagic) {
+  // Tolerate CRLF files: strip one trailing '\r' per line (here and below)
+  // so a Windows-written CSV loads instead of failing on "bad number".
+  const auto chomp = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument(
+        "missing dpjoin-instance header; not an instance CSV");
+  }
+  chomp(line);
+  if (line != kMagic) {
     return Status::InvalidArgument(
         "missing dpjoin-instance header; not an instance CSV");
   }
@@ -43,6 +53,7 @@ Result<Instance> ReadInstanceCsv(std::shared_ptr<const JoinQuery> query,
   int64_t row_number = 1;
   while (std::getline(is, line)) {
     ++row_number;
+    chomp(line);
     if (line.empty() || line[0] == '#') continue;
     std::istringstream row(line);
     std::string cell;

@@ -207,6 +207,42 @@ void EnumerateSubJoin(const Instance& instance, RelationSet rels,
   Recurse(plan.levels, 0, codes_by_depth, assignment, 1, remap);
 }
 
+void EnumerateSubJoinSharded(const Instance& instance, RelationSet rels,
+                             const std::function<void(int64_t)>& prepare,
+                             const ShardedJoinVisitor& visit,
+                             int num_threads) {
+  const JoinPlan plan = BuildJoinPlan(instance, rels);
+  if (plan.members.empty()) {
+    prepare(1);
+    std::vector<int64_t> no_codes;
+    std::vector<int64_t> assignment(plan.num_attributes, -1);
+    visit(0, no_codes, assignment, 1);
+    return;
+  }
+  const std::vector<std::pair<int64_t, int64_t>> roots =
+      SortedRootEntries(plan);
+  // Callers keep O(num_blocks) state (e.g. a per-block answer vector), so
+  // the block count is capped: the grain grows on instances with many root
+  // tuples. Still a function of the instance alone — never the thread
+  // count — so the determinism contract holds.
+  constexpr int64_t kMaxShardBlocks = 4096;
+  const int64_t num_roots = static_cast<int64_t>(roots.size());
+  const int64_t grain =
+      std::max(kRootGrain, (num_roots + kMaxShardBlocks - 1) / kMaxShardBlocks);
+  prepare(NumBlocks(0, num_roots, grain));
+  ParallelForBlocks(
+      0, num_roots, grain,
+      [&](int64_t block, int64_t lo, int64_t hi) {
+        EnumerateFromRoots(plan, roots, lo, hi,
+                           [&](const std::vector<int64_t>& rel_codes,
+                               const std::vector<int64_t>& assignment,
+                               int64_t weight) {
+                             visit(block, rel_codes, assignment, weight);
+                           });
+      },
+      num_threads);
+}
+
 double SubJoinCount(const Instance& instance, RelationSet rels) {
   double total = 0.0;
   EnumerateSubJoin(instance, rels,

@@ -35,6 +35,27 @@ using JoinVisitor = std::function<void(const std::vector<int64_t>& rel_codes,
 void EnumerateSubJoin(const Instance& instance, RelationSet rels,
                       const JoinVisitor& visit);
 
+/// Visitor for sharded join enumeration: a JoinVisitor tagged with the
+/// parallel block the combination belongs to.
+using ShardedJoinVisitor = std::function<void(
+    int64_t block, const std::vector<int64_t>& rel_codes,
+    const std::vector<int64_t>& assignment, int64_t weight)>;
+
+/// EnumerateSubJoin with the depth-0 root tuples (in sorted-code order)
+/// split into fixed-grain blocks that run on the thread pool. Calls
+/// prepare(num_blocks) once, then visits every joining combination tagged
+/// with its block index; combinations of different blocks may be visited
+/// concurrently (the visitor must only touch per-block state), while within
+/// a block visits are sequential in root order. The decomposition depends
+/// only on the instance — never the thread count — so per-block accumulators
+/// merged in block order are bit-identical for any `num_threads`
+/// (0 = ExecutionContext default). An empty `rels` yields prepare(1) and a
+/// single block-0 visit with weight 1.
+void EnumerateSubJoinSharded(const Instance& instance, RelationSet rels,
+                             const std::function<void(int64_t)>& prepare,
+                             const ShardedJoinVisitor& visit,
+                             int num_threads = 0);
+
 /// count(I) restricted to the relations in `rels`; count of the full join
 /// when `rels` is everything. Accumulated in double to avoid overflow on
 /// adversarial instances (exact for values below 2^53).

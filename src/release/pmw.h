@@ -70,10 +70,10 @@ struct PmwOptions {
   /// on the caller's single Rng and all parallel reductions use a fixed,
   /// thread-count-independent block decomposition.
   ///
-  /// A non-zero value is applied as a process-wide ExecutionContext
-  /// override for the duration of the call; when invoking PMW from several
-  /// user threads concurrently, leave this 0 and configure the count once
-  /// via ExecutionContext::SetThreads / DPJOIN_THREADS instead.
+  /// A non-zero value is applied as a THREAD-LOCAL ScopedThreads override
+  /// for the duration of the call, so concurrent PMW invocations from
+  /// different user threads can each carry their own count without racing
+  /// on the process-wide setting.
   int num_threads = 0;
 };
 

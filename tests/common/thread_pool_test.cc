@@ -151,6 +151,47 @@ TEST(ExecutionContextTest, ClampsToMaxThreads) {
   ExecutionContext::SetThreads(0);
 }
 
+TEST(ExecutionContextTest, ScopedThreadsIsThreadLocal) {
+  // Two user threads hold DIFFERENT ScopedThreads overrides concurrently;
+  // each must observe its own count for the whole overlap, and neither may
+  // disturb the process-wide setting.
+  ExecutionContext::SetThreads(2);
+  std::atomic<int> ready{0};
+  std::atomic<bool> release{false};
+  std::atomic<bool> ok_a{true}, ok_b{true};
+  auto runner = [&](int count, std::atomic<bool>* ok) {
+    ScopedThreads scoped(count);
+    ready.fetch_add(1);
+    while (!release.load()) std::this_thread::yield();
+    for (int i = 0; i < 1000; ++i) {
+      if (ExecutionContext::threads() != count) {
+        ok->store(false);
+        break;
+      }
+    }
+  };
+  std::thread a(runner, 5, &ok_a);
+  std::thread b(runner, 7, &ok_b);
+  while (ready.load() != 2) std::this_thread::yield();
+  // Both overrides are live right now; this thread holds none and must see
+  // the process-wide setting.
+  EXPECT_EQ(ExecutionContext::threads(), 2);
+  release.store(true);
+  a.join();
+  b.join();
+  EXPECT_TRUE(ok_a.load());
+  EXPECT_TRUE(ok_b.load());
+  EXPECT_EQ(ExecutionContext::threads(), 2);  // overrides died with threads
+  ExecutionContext::SetThreads(0);
+}
+
+TEST(ExecutionContextTest, SetThreadsDoesNotOverrideScoped) {
+  ScopedThreads scoped(5);
+  ExecutionContext::SetThreads(3);  // process default changes underneath...
+  EXPECT_EQ(ExecutionContext::threads(), 5);  // ...but the local wins
+  ExecutionContext::SetThreads(0);
+}
+
 TEST(ParallelForTest, ManySmallRegionsStress) {
   // Exercises region turnover (job publication, completion wait, worker
   // re-parking) looking for lost-wakeup or stale-worker races.

@@ -1,0 +1,130 @@
+#include "engine/budget_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dpjoin {
+namespace {
+
+PrivacyAccountant AccountantSpending(double epsilon, double delta) {
+  PrivacyAccountant accountant;
+  accountant.SpendSequential("half-a", PrivacyParams(epsilon / 2, delta / 2));
+  accountant.SpendSequential("half-b", PrivacyParams(epsilon / 2, delta / 2));
+  return accountant;
+}
+
+TEST(BudgetLedgerTest, CommitRecordsTheAccountantTotals) {
+  BudgetLedger ledger(PrivacyParams(4.0, 1e-3));
+  auto ticket = ledger.Reserve("r1", PrivacyParams(1.0, 1e-5));
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  const PrivacyAccountant accountant = AccountantSpending(1.0, 1e-5);
+  ledger.Commit(*ticket, accountant);
+
+  EXPECT_EQ(ledger.num_committed(), 1);
+  EXPECT_EQ(ledger.num_outstanding(), 0);
+  const PrivacyParams total = ledger.Total();
+  const PrivacyParams expected = accountant.Total();
+  EXPECT_DOUBLE_EQ(total.epsilon, expected.epsilon);
+  EXPECT_DOUBLE_EQ(total.delta, expected.delta);
+
+  const auto entries = ledger.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].label, "r1");
+  ASSERT_EQ(entries[0].breakdown.size(), 2u);
+  EXPECT_EQ(entries[0].breakdown[0].label, "half-a");
+}
+
+TEST(BudgetLedgerTest, CommittedSpendMayExceedTheReservation) {
+  // Hierarchical uniformize reports its measured group-privacy factor; the
+  // ledger records the truth even when it overshoots the nominal request.
+  BudgetLedger ledger(PrivacyParams(10.0, 1e-2));
+  auto ticket = ledger.Reserve("hier", PrivacyParams(1.0, 1e-5));
+  ASSERT_TRUE(ticket.ok());
+  ledger.Commit(*ticket, AccountantSpending(3.0, 3e-5));
+  EXPECT_DOUBLE_EQ(ledger.SpentEpsilon(), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.RemainingEpsilon(), 7.0);
+}
+
+TEST(BudgetLedgerTest, RefusesOverBudgetReservations) {
+  BudgetLedger ledger(PrivacyParams(1.0, 1e-4));
+  auto first = ledger.Reserve("fits", PrivacyParams(0.8, 1e-5));
+  ASSERT_TRUE(first.ok());
+  // Remaining ε is 0.2; a 0.5 request must be refused with a descriptive
+  // message even before the first release commits.
+  auto refused = ledger.Reserve("greedy", PrivacyParams(0.5, 1e-5));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsFailedPrecondition());
+  EXPECT_NE(refused.status().message().find("greedy"), std::string::npos);
+  EXPECT_NE(refused.status().message().find("remains"), std::string::npos);
+
+  // δ overshoot is refused independently of ε.
+  auto delta_refused = ledger.Reserve("delta", PrivacyParams(0.1, 1e-3));
+  EXPECT_TRUE(delta_refused.status().IsFailedPrecondition());
+
+  ledger.Commit(*first, AccountantSpending(0.8, 1e-5));
+  auto still_refused = ledger.Reserve("greedy2", PrivacyParams(0.5, 1e-5));
+  EXPECT_TRUE(still_refused.status().IsFailedPrecondition());
+  auto fits2 = ledger.Reserve("fits2", PrivacyParams(0.2, 1e-5));
+  EXPECT_TRUE(fits2.ok());
+}
+
+TEST(BudgetLedgerTest, AbandonReturnsTheBudget) {
+  BudgetLedger ledger(PrivacyParams(1.0, 1e-4));
+  auto ticket = ledger.Reserve("failing", PrivacyParams(0.9, 1e-5));
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_DOUBLE_EQ(ledger.RemainingEpsilon(), 1.0 - 0.9);
+  ledger.Abandon(*ticket);
+  EXPECT_DOUBLE_EQ(ledger.RemainingEpsilon(), 1.0);
+  EXPECT_EQ(ledger.num_committed(), 0);
+  EXPECT_DOUBLE_EQ(ledger.SpentEpsilon(), 0.0);
+}
+
+TEST(BudgetLedgerTest, ConcurrentReservesNeverOversubscribe) {
+  // 8 threads race to reserve (0.1, 1e-6) slices of a (1.0, 1e-4) cap; at
+  // most 10 can ever succeed, regardless of interleaving.
+  BudgetLedger ledger(PrivacyParams(1.0, 1e-4));
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&ledger, &successes, t] {
+      for (int i = 0; i < 4; ++i) {
+        auto ticket = ledger.Reserve("t" + std::to_string(t),
+                                     PrivacyParams(0.1, 1e-6));
+        if (ticket.ok()) {
+          PrivacyAccountant accountant;
+          accountant.SpendSequential("spend", PrivacyParams(0.1, 1e-6));
+          ledger.Commit(*ticket, accountant);
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(successes.load(), 10);
+  EXPECT_GE(successes.load(), 1);
+  EXPECT_LE(ledger.SpentEpsilon(), 1.0 + 1e-9);
+  EXPECT_EQ(ledger.num_outstanding(), 0);
+}
+
+TEST(BudgetLedgerTest, SerializesEntriesAsJson) {
+  BudgetLedger ledger(PrivacyParams(2.0, 1e-4));
+  auto ticket = ledger.Reserve("release \"one\"", PrivacyParams(1.0, 1e-5));
+  ASSERT_TRUE(ticket.ok());
+  ledger.Commit(*ticket, AccountantSpending(1.0, 1e-5));
+  const std::string json = ledger.SerializeJson();
+  EXPECT_NE(json.find("\"cap\""), std::string::npos);
+  EXPECT_NE(json.find("\"entries\""), std::string::npos);
+  EXPECT_NE(json.find("release \\\"one\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"breakdown\""), std::string::npos);
+  EXPECT_NE(json.find("\"remaining\""), std::string::npos);
+  // The human-readable form carries the same facts.
+  const std::string text = ledger.ToString();
+  EXPECT_NE(text.find("budget cap"), std::string::npos);
+  EXPECT_NE(text.find("remaining"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,356 @@
+// End-to-end engine acceptance: one spec per mechanism (plus `auto`), each
+// driven through ReleaseEngine with
+//   * ledger totals exactly matching the mechanism's own accountant,
+//   * refusal of specs exceeding the remaining global budget,
+//   * cache hits serving repeated specs without re-spending,
+//   * bit-identical releases and served answers for threads in {1, 2, 8}.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "query/evaluation.h"
+#include "relational/generators.h"
+#include "relational/io.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+// Small schemas so every mechanism (PMW rounds included) runs in
+// milliseconds.
+ReleaseSpec TwoTableSpec(MechanismKind mechanism) {
+  ReleaseSpec spec;
+  spec.name = std::string("two_table_") + MechanismName(mechanism);
+  spec.attributes = {{"A", 4}, {"B", 5}, {"C", 4}};
+  spec.relation_names = {"R1", "R2"};
+  spec.relation_attrs = {{"A", "B"}, {"B", "C"}};
+  spec.epsilon = 1.0;
+  spec.delta = 1e-5;
+  spec.mechanism = mechanism;
+  spec.workload = WorkloadFamilyKind::kRandomSign;
+  spec.workload_per_table = 2;
+  spec.workload_seed = 21;
+  spec.pmw_max_rounds = 4;
+  return spec;
+}
+
+ReleaseSpec StarSpec(MechanismKind mechanism) {
+  ReleaseSpec spec;
+  spec.name = std::string("star_") + MechanismName(mechanism);
+  spec.attributes = {{"H", 4}, {"S1", 3}, {"S2", 3}, {"S3", 3}};
+  spec.relation_names = {"R1", "R2", "R3"};
+  spec.relation_attrs = {{"H", "S1"}, {"H", "S2"}, {"H", "S3"}};
+  spec.epsilon = 1.0;
+  spec.delta = 1e-5;
+  spec.mechanism = mechanism;
+  spec.workload = WorkloadFamilyKind::kRandomSign;
+  spec.workload_per_table = 2;
+  spec.workload_seed = 23;
+  spec.pmw_max_rounds = 4;
+  return spec;
+}
+
+ReleaseSpec PathSpec(MechanismKind mechanism) {
+  ReleaseSpec spec;
+  spec.name = std::string("path_") + MechanismName(mechanism);
+  spec.attributes = {{"X0", 3}, {"X1", 3}, {"X2", 3}, {"X3", 3}};
+  spec.relation_names = {"R1", "R2", "R3"};
+  spec.relation_attrs = {{"X0", "X1"}, {"X1", "X2"}, {"X2", "X3"}};
+  spec.epsilon = 1.0;
+  spec.delta = 1e-5;
+  spec.mechanism = mechanism;
+  spec.workload = WorkloadFamilyKind::kRandomSign;
+  spec.workload_per_table = 2;
+  spec.workload_seed = 25;
+  spec.pmw_max_rounds = 4;
+  return spec;
+}
+
+Instance InstanceFor(const ReleaseSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  return testing::RandomInstance(*spec.BuildQuery(), 15, rng);
+}
+
+// Served answers of a fresh engine run of `spec` at `threads`.
+std::vector<double> ReleaseAndServe(const ReleaseSpec& base, int threads,
+                                    uint64_t rng_seed) {
+  ReleaseSpec spec = base;
+  spec.num_threads = threads;
+  ReleaseEngine engine(PrivacyParams(8.0, 1e-2));
+  const Instance instance = InstanceFor(base, 101);
+  Rng rng(rng_seed);
+  auto release = engine.Run(spec, instance, rng);
+  DPJOIN_CHECK(release.ok(), release.status().ToString());
+  // Serve with the same thread count the release ran at.
+  std::vector<int64_t> batch;
+  for (int64_t q = 0; q < release->handle->NumQueries(); ++q) {
+    batch.push_back(q);
+  }
+  auto answers = release->handle->AnswerBatch(batch, threads);
+  DPJOIN_CHECK(answers.ok(), answers.status().ToString());
+  return std::move(answers).value();
+}
+
+class EngineMechanismTest
+    : public ::testing::TestWithParam<MechanismKind> {};
+
+TEST_P(EngineMechanismTest, LedgerMatchesMechanismAccountant) {
+  const MechanismKind mechanism = GetParam();
+  ReleaseSpec spec = mechanism == MechanismKind::kHierarchical
+                         ? StarSpec(mechanism)
+                         : TwoTableSpec(mechanism);
+  ReleaseEngine engine(PrivacyParams(8.0, 1e-2));
+  const Instance instance = InstanceFor(spec, 11);
+  Rng rng(31);
+  auto release = engine.Run(spec, instance, rng);
+  ASSERT_TRUE(release.ok()) << release.status();
+  EXPECT_EQ(release->plan.mechanism, mechanism);
+  EXPECT_FALSE(release->from_cache);
+
+  // The ledger's committed total is EXACTLY the mechanism's own accounting.
+  const PrivacyParams mech_total = release->accountant.Total();
+  const PrivacyParams ledger_total = engine.ledger().Total();
+  EXPECT_EQ(ledger_total.epsilon, mech_total.epsilon);
+  EXPECT_EQ(ledger_total.delta, mech_total.delta);
+  const auto entries = engine.ledger().Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].label, spec.name);
+  ASSERT_EQ(entries[0].breakdown.size(),
+            release->accountant.entries().size());
+  for (size_t i = 0; i < entries[0].breakdown.size(); ++i) {
+    EXPECT_EQ(entries[0].breakdown[i].label,
+              release->accountant.entries()[i].label);
+    EXPECT_EQ(entries[0].breakdown[i].params.epsilon,
+              release->accountant.entries()[i].params.epsilon);
+  }
+}
+
+TEST_P(EngineMechanismTest, BitIdenticalAcrossThreadCounts) {
+  const MechanismKind mechanism = GetParam();
+  const ReleaseSpec spec = mechanism == MechanismKind::kHierarchical
+                               ? StarSpec(mechanism)
+                               : TwoTableSpec(mechanism);
+  const std::vector<double> baseline = ReleaseAndServe(spec, 1, 77);
+  for (int threads : {2, 8}) {
+    const std::vector<double> answers = ReleaseAndServe(spec, threads, 77);
+    ASSERT_EQ(answers.size(), baseline.size());
+    for (size_t q = 0; q < baseline.size(); ++q) {
+      EXPECT_EQ(answers[q], baseline[q])
+          << "query " << q << ", threads = " << threads << ", mechanism = "
+          << MechanismName(mechanism);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, EngineMechanismTest,
+    ::testing::Values(MechanismKind::kLaplace, MechanismKind::kTwoTable,
+                      MechanismKind::kHierarchical, MechanismKind::kPmw),
+    [](const ::testing::TestParamInfo<MechanismKind>& info) {
+      return std::string(MechanismName(info.param));
+    });
+
+TEST(EngineIntegrationTest, PmwSpecOnPathUsesMultiTable) {
+  // The pmw mechanism on a 3-relation non-hierarchical join routes through
+  // MultiTable; the accountant shows the RS-bound spend.
+  const ReleaseSpec spec = PathSpec(MechanismKind::kPmw);
+  ReleaseEngine engine(PrivacyParams(8.0, 1e-2));
+  const Instance instance = InstanceFor(spec, 13);
+  Rng rng(37);
+  auto release = engine.Run(spec, instance, rng);
+  ASSERT_TRUE(release.ok()) << release.status();
+  ASSERT_FALSE(release->accountant.entries().empty());
+  EXPECT_EQ(release->accountant.entries()[0].label, "multi-table/rs-bound");
+}
+
+TEST(EngineIntegrationTest, AutoResolvesWithRationale) {
+  ReleaseEngine engine(PrivacyParams(8.0, 1e-2));
+  // auto on a star → hierarchical, with a non-empty explanation.
+  {
+    const ReleaseSpec spec = StarSpec(MechanismKind::kAuto);
+    const Instance instance = InstanceFor(spec, 17);
+    Rng rng(41);
+    auto release = engine.Run(spec, instance, rng);
+    ASSERT_TRUE(release.ok()) << release.status();
+    EXPECT_EQ(release->plan.mechanism, MechanismKind::kHierarchical);
+    EXPECT_NE(release->plan.rationale.find("auto"), std::string::npos);
+    EXPECT_GT(release->plan.predicted_error, 0.0);
+  }
+  // auto on a two-table join → two_table.
+  {
+    const ReleaseSpec spec = TwoTableSpec(MechanismKind::kAuto);
+    const Instance instance = InstanceFor(spec, 19);
+    Rng rng(43);
+    auto release = engine.Run(spec, instance, rng);
+    ASSERT_TRUE(release.ok()) << release.status();
+    EXPECT_EQ(release->plan.mechanism, MechanismKind::kTwoTable);
+  }
+}
+
+TEST(EngineIntegrationTest, RefusesSpecsExceedingTheGlobalBudget) {
+  ReleaseEngine engine(PrivacyParams(1.5, 1e-3));
+  const ReleaseSpec first = TwoTableSpec(MechanismKind::kPmw);  // ε = 1.0
+  const Instance instance = InstanceFor(first, 23);
+  Rng rng(47);
+  ASSERT_TRUE(engine.Run(first, instance, rng).ok());
+
+  // Remaining ε = 0.5 < 1.0: a second distinct spec is refused with a
+  // descriptive error, and nothing is committed for it.
+  ReleaseSpec second = TwoTableSpec(MechanismKind::kPmw);
+  second.name = "second";
+  second.workload_seed = 99;  // distinct spec → cache cannot serve it
+  auto refused = engine.Run(second, instance, rng);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsFailedPrecondition());
+  EXPECT_NE(refused.status().message().find("second"), std::string::npos);
+  EXPECT_NE(refused.status().message().find("remains"), std::string::npos);
+  EXPECT_EQ(engine.ledger().num_committed(), 1);
+  EXPECT_EQ(engine.ledger().num_outstanding(), 0);
+
+  // A spec that fits the remainder still runs.
+  ReleaseSpec third = TwoTableSpec(MechanismKind::kLaplace);
+  third.name = "third";
+  third.epsilon = 0.5;
+  EXPECT_TRUE(engine.Run(third, instance, rng).ok());
+}
+
+TEST(EngineIntegrationTest, CacheServesRepeatedSpecsWithoutSpending) {
+  ReleaseEngine engine(PrivacyParams(1.5, 1e-3));
+  const ReleaseSpec spec = TwoTableSpec(MechanismKind::kPmw);  // ε = 1.0
+  const Instance instance = InstanceFor(spec, 29);
+  Rng rng(53);
+  auto first = engine.Run(spec, instance, rng);
+  ASSERT_TRUE(first.ok()) << first.status();
+  const double spent = engine.ledger().SpentEpsilon();
+
+  // Identical spec: cache hit, same handle, no new spend — even though a
+  // fresh release would NOT fit the remaining budget.
+  Rng rng2(54);
+  auto second = engine.Run(spec, instance, rng2);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(second->handle.get(), first->handle.get());
+  EXPECT_EQ(engine.ledger().SpentEpsilon(), spent);
+  EXPECT_EQ(engine.ledger().num_committed(), 1);
+  EXPECT_TRUE(second->accountant.entries().empty());
+}
+
+TEST(EngineIntegrationTest, SameSpecDifferentDataIsNotAStaleCacheHit) {
+  ReleaseEngine engine(PrivacyParams(4.0, 1e-3));
+  const ReleaseSpec spec = TwoTableSpec(MechanismKind::kLaplace);
+  const Instance first_data = InstanceFor(spec, 63);
+  const Instance second_data = InstanceFor(spec, 64);  // different tuples
+  Rng rng(67);
+  auto first = engine.Run(spec, first_data, rng);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = engine.Run(spec, second_data, rng);
+  ASSERT_TRUE(second.ok()) << second.status();
+  // The instance fingerprint is part of the cache key: new data means a new
+  // release (and a new spend), never the previous data's answers.
+  EXPECT_FALSE(second->from_cache);
+  EXPECT_EQ(engine.ledger().num_committed(), 2);
+  // Same data again → genuine hit.
+  auto third = engine.Run(spec, first_data, rng);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->from_cache);
+  EXPECT_EQ(third->handle.get(), first->handle.get());
+}
+
+TEST(EngineIntegrationTest, ConcurrentIdenticalSpecsSpendOnce) {
+  // 4 threads race the same spec+instance; in-flight serialization must let
+  // exactly one run the mechanism and hand everyone else the cached handle.
+  ReleaseEngine engine(PrivacyParams(1.5, 1e-3));  // room for ONE ε=1 release
+  const ReleaseSpec spec = TwoTableSpec(MechanismKind::kLaplace);
+  const Instance instance = InstanceFor(spec, 71);
+  std::atomic<int> fresh{0}, cached{0}, failed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(200 + static_cast<uint64_t>(t));
+      auto release = engine.Run(spec, instance, rng);
+      if (!release.ok()) {
+        failed.fetch_add(1);
+      } else if (release->from_cache) {
+        cached.fetch_add(1);
+      } else {
+        fresh.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_EQ(fresh.load(), 1);
+  EXPECT_EQ(cached.load(), 3);
+  EXPECT_EQ(engine.ledger().num_committed(), 1);
+  EXPECT_DOUBLE_EQ(engine.ledger().SpentEpsilon(), 1.0);
+}
+
+TEST(EngineIntegrationTest, ThreadCountOnlyRespecIsACacheHit) {
+  ReleaseEngine engine(PrivacyParams(1.5, 1e-3));
+  ReleaseSpec spec = TwoTableSpec(MechanismKind::kPmw);
+  spec.num_threads = 1;
+  const Instance instance = InstanceFor(spec, 73);
+  Rng rng(79);
+  ASSERT_TRUE(engine.Run(spec, instance, rng).ok());
+  spec.num_threads = 8;  // same release, different parallelism
+  auto again = engine.Run(spec, instance, rng);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE(again->from_cache);
+  EXPECT_EQ(engine.ledger().num_committed(), 1);
+}
+
+TEST(EngineIntegrationTest, RejectsMismatchedInstanceSchema) {
+  ReleaseEngine engine(PrivacyParams(4.0, 1e-3));
+  const ReleaseSpec spec = TwoTableSpec(MechanismKind::kPmw);
+  const ReleaseSpec other = StarSpec(MechanismKind::kPmw);
+  const Instance star_instance = InstanceFor(other, 31);
+  Rng rng(59);
+  auto release = engine.Run(spec, star_instance, rng);
+  EXPECT_TRUE(release.status().IsInvalidArgument());
+}
+
+TEST(EngineIntegrationTest, RunFromFileLoadsTheInstanceCsv) {
+  // Round-trip: write an instance CSV, point the spec at it, run.
+  const ReleaseSpec base = TwoTableSpec(MechanismKind::kLaplace);
+  const Instance instance = InstanceFor(base, 37);
+  std::stringstream csv;
+  ASSERT_TRUE(WriteInstanceCsv(instance, csv).ok());
+  const std::string path = ::testing::TempDir() + "/engine_instance.csv";
+  {
+    std::ofstream file(path);
+    file << csv.str();
+  }
+  ReleaseSpec spec = base;
+  spec.instance_path = path;  // absolute → base_dir ignored
+  ReleaseEngine engine(PrivacyParams(4.0, 1e-3));
+  Rng rng(61);
+  auto release = engine.RunFromFile(spec, "/nonexistent", rng);
+  ASSERT_TRUE(release.ok()) << release.status();
+  EXPECT_EQ(release->handle->NumQueries(), 9);
+
+  // A corrupt file surfaces a clean Status naming the path.
+  {
+    std::ofstream file(path);
+    file << "not an instance\n";
+  }
+  ReleaseEngine engine2(PrivacyParams(4.0, 1e-3));
+  auto bad = engine2.RunFromFile(spec, "", rng);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find(path), std::string::npos);
+
+  auto missing_path = spec;
+  missing_path.instance_path = "";
+  EXPECT_TRUE(
+      engine2.RunFromFile(missing_path, "", rng).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dpjoin

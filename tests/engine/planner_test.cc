@@ -1,0 +1,198 @@
+#include "engine/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "query/workloads.h"
+#include "relational/join_query.h"
+#include "testing/brute_force.h"
+#include "testing/queries.h"
+
+namespace dpjoin {
+namespace {
+
+ReleaseSpec SpecFor(const JoinQuery& query,
+                    MechanismKind mechanism = MechanismKind::kAuto) {
+  ReleaseSpec spec;
+  spec.name = "planner_test";
+  for (int a = 0; a < query.num_attributes(); ++a) {
+    spec.attributes.push_back(
+        {query.attribute_name(a), query.domain_size(a)});
+  }
+  for (int r = 0; r < query.num_relations(); ++r) {
+    spec.relation_names.push_back("R" + std::to_string(r + 1));
+    std::vector<std::string> attrs;
+    for (int a : query.attributes_of(r).Elements()) {
+      attrs.push_back(query.attribute_name(a));
+    }
+    spec.relation_attrs.push_back(std::move(attrs));
+  }
+  spec.epsilon = 1.0;
+  spec.delta = 1e-5;
+  spec.mechanism = mechanism;
+  spec.workload = WorkloadFamilyKind::kRandomSign;
+  spec.workload_per_table = 2;
+  return spec;
+}
+
+struct Fixture {
+  Instance instance;
+  QueryFamily family;
+};
+
+Fixture MakeFixture(const JoinQuery& query, const ReleaseSpec& spec,
+                    uint64_t seed = 1) {
+  Rng rng(seed);
+  Instance instance = testing::RandomInstance(query, 15, rng);
+  QueryFamily family = *spec.BuildWorkload(query);
+  return Fixture{std::move(instance), std::move(family)};
+}
+
+TEST(PlannerTest, AutoPicksPmwForSingleRelation) {
+  const JoinQuery query = *JoinQuery::Create({{"A", 16}}, {{"A"}});
+  const ReleaseSpec spec = SpecFor(query);
+  Fixture fx = MakeFixture(query, spec);
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->mechanism, MechanismKind::kPmw);
+  EXPECT_NE(plan->rationale.find("single relation"), std::string::npos);
+  EXPECT_TRUE(std::isfinite(plan->predicted_error));
+  EXPECT_GT(plan->predicted_error, 0.0);
+}
+
+TEST(PlannerTest, AutoPicksTwoTableForTwoRelations) {
+  const JoinQuery query = MakeTwoTableQuery(4, 5, 4);
+  const ReleaseSpec spec = SpecFor(query);
+  Fixture fx = MakeFixture(query, spec);
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->mechanism, MechanismKind::kTwoTable);
+  EXPECT_NE(plan->rationale.find("two relations"), std::string::npos);
+}
+
+TEST(PlannerTest, AutoPicksHierarchicalForStar) {
+  const JoinQuery query = MakeStarQuery(3, 4);
+  const ReleaseSpec spec = SpecFor(query);
+  Fixture fx = MakeFixture(query, spec);
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_TRUE(fx.instance.query().IsHierarchical());
+  EXPECT_EQ(plan->mechanism, MechanismKind::kHierarchical);
+  EXPECT_NE(plan->rationale.find("hierarchical"), std::string::npos);
+}
+
+TEST(PlannerTest, AutoPicksPmwForNonHierarchicalPath) {
+  const JoinQuery query = MakePathQuery(3, 4);
+  const ReleaseSpec spec = SpecFor(query);
+  Fixture fx = MakeFixture(query, spec);
+  ASSERT_FALSE(fx.instance.query().IsHierarchical());
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->mechanism, MechanismKind::kPmw);
+  EXPECT_NE(plan->rationale.find("non-hierarchical"), std::string::npos);
+}
+
+TEST(PlannerTest, AutoPicksLaplaceForCountingWorkload) {
+  const JoinQuery query = MakeTwoTableQuery(4, 5, 4);
+  ReleaseSpec spec = SpecFor(query);
+  spec.workload = WorkloadFamilyKind::kCounting;
+  Fixture fx = MakeFixture(query, spec);
+  ASSERT_EQ(fx.family.TotalCount(), 1);
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->mechanism, MechanismKind::kLaplace);
+  EXPECT_NE(plan->rationale.find("|Q| = 1"), std::string::npos);
+  EXPECT_TRUE(std::isfinite(plan->predicted_error));
+}
+
+TEST(PlannerTest, AutoPicksLaplaceBeyondDenseEnvelope) {
+  // |D| = (2^20)^2 = 2^40 cells >> the 2^26 dense envelope.
+  const JoinQuery query =
+      *JoinQuery::Create({{"A", int64_t{1} << 20}, {"B", int64_t{1} << 20}},
+                         {{"A"}, {"B"}});
+  const ReleaseSpec spec = SpecFor(query);
+  Rng rng(2);
+  Instance instance = Instance::Make(query);
+  ASSERT_TRUE(instance.AddTuple(0, {5}, 3).ok());
+  ASSERT_TRUE(instance.AddTuple(1, {9}, 2).ok());
+  const QueryFamily family = MakeCountingFamily(query);
+  ReleaseSpec counting = spec;
+  counting.workload = WorkloadFamilyKind::kCounting;
+  auto plan = PlanRelease(counting, instance, family);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->mechanism, MechanismKind::kLaplace);
+  EXPECT_NE(plan->rationale.find("envelope"), std::string::npos);
+}
+
+TEST(PlannerTest, ExplicitMechanismIsValidatedStructurally) {
+  // two_table on a 3-relation path: refused.
+  {
+    const JoinQuery query = MakePathQuery(3, 4);
+    const ReleaseSpec spec = SpecFor(query, MechanismKind::kTwoTable);
+    Fixture fx = MakeFixture(query, spec);
+    auto plan = PlanRelease(spec, fx.instance, fx.family);
+    EXPECT_TRUE(plan.status().IsInvalidArgument());
+  }
+  // hierarchical on a non-hierarchical path: refused.
+  {
+    const JoinQuery query = MakePathQuery(3, 4);
+    const ReleaseSpec spec = SpecFor(query, MechanismKind::kHierarchical);
+    Fixture fx = MakeFixture(query, spec);
+    auto plan = PlanRelease(spec, fx.instance, fx.family);
+    EXPECT_TRUE(plan.status().IsInvalidArgument());
+  }
+  // pmw beyond the dense envelope: refused.
+  {
+    const JoinQuery query =
+        *JoinQuery::Create({{"A", int64_t{1} << 20}, {"B", int64_t{1} << 20}},
+                           {{"A"}, {"B"}});
+    const ReleaseSpec spec = SpecFor(query, MechanismKind::kPmw);
+    Instance instance = Instance::Make(query);
+    const QueryFamily family = MakeCountingFamily(query);
+    auto plan = PlanRelease(spec, instance, family);
+    EXPECT_TRUE(plan.status().IsInvalidArgument());
+    EXPECT_NE(plan.status().message().find("envelope"), std::string::npos);
+  }
+  // explicit laplace is always structurally fine.
+  {
+    const JoinQuery query = MakePathQuery(3, 4);
+    const ReleaseSpec spec = SpecFor(query, MechanismKind::kLaplace);
+    Fixture fx = MakeFixture(query, spec);
+    auto plan = PlanRelease(spec, fx.instance, fx.family);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_EQ(plan->mechanism, MechanismKind::kLaplace);
+    EXPECT_NE(plan->rationale.find("explicitly requested"),
+              std::string::npos);
+  }
+}
+
+TEST(PlannerTest, StatsMeasureTheInstance) {
+  const JoinQuery query = MakeTwoTableQuery(4, 5, 4);
+  const ReleaseSpec spec = SpecFor(query);
+  Fixture fx = MakeFixture(query, spec, 7);
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  ASSERT_TRUE(plan.ok());
+  const InstanceStats& stats = plan->stats;
+  EXPECT_EQ(stats.num_relations, 2);
+  EXPECT_EQ(stats.input_size, fx.instance.InputSize());
+  EXPECT_GE(stats.residual_sensitivity, stats.local_sensitivity - 1e-9);
+  EXPECT_EQ(stats.query_count, fx.family.TotalCount());
+  EXPECT_DOUBLE_EQ(stats.release_domain_cells,
+                   query.ReleaseDomainSize());
+}
+
+TEST(PlannerTest, PredictedLaplaceErrorGrowsWithQueries) {
+  const PrivacyParams params(1.0, 1e-5);
+  const double few = PredictedLaplaceError(2.0, 4, params,
+                                           CompositionRule::kAdvanced);
+  const double many = PredictedLaplaceError(2.0, 4096, params,
+                                            CompositionRule::kAdvanced);
+  EXPECT_GT(many, few);
+  // Basic composition is worse than advanced for large |Q|.
+  EXPECT_GT(PredictedLaplaceError(2.0, 4096, params, CompositionRule::kBasic),
+            many);
+}
+
+}  // namespace
+}  // namespace dpjoin

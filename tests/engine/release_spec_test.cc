@@ -1,0 +1,204 @@
+#include "engine/release_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dpjoin {
+namespace {
+
+constexpr char kFullConfig[] = R"(# dpjoin-release-spec v1
+# comments and blank lines are ignored
+
+name      = demo
+attribute = A:8
+attribute = B:6
+attribute = C:8   # inline comment
+relation  = R1:A,B
+relation  = R2:B,C
+epsilon   = 1.5
+delta     = 1e-5
+mechanism = two_table
+workload  = prefix:4
+workload_seed = 13
+threads   = 2
+pmw_rounds = 3
+pmw_max_rounds = 24
+pmw_epsilon_prime = 0.25
+laplace_rule = basic
+instance  = data/two_table.csv
+)";
+
+TEST(ReleaseSpecTest, ParsesEveryField) {
+  auto spec = ParseReleaseSpec(std::string(kFullConfig));
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->name, "demo");
+  ASSERT_EQ(spec->attributes.size(), 3u);
+  EXPECT_EQ(spec->attributes[1].name, "B");
+  EXPECT_EQ(spec->attributes[1].domain_size, 6);
+  ASSERT_EQ(spec->relation_names.size(), 2u);
+  EXPECT_EQ(spec->relation_names[0], "R1");
+  EXPECT_EQ(spec->relation_attrs[1], (std::vector<std::string>{"B", "C"}));
+  EXPECT_DOUBLE_EQ(spec->epsilon, 1.5);
+  EXPECT_DOUBLE_EQ(spec->delta, 1e-5);
+  EXPECT_EQ(spec->mechanism, MechanismKind::kTwoTable);
+  EXPECT_EQ(spec->workload, WorkloadFamilyKind::kPrefix);
+  EXPECT_EQ(spec->workload_per_table, 4);
+  EXPECT_EQ(spec->workload_seed, 13u);
+  EXPECT_EQ(spec->num_threads, 2);
+  EXPECT_EQ(spec->pmw_rounds, 3);
+  EXPECT_EQ(spec->pmw_max_rounds, 24);
+  EXPECT_DOUBLE_EQ(spec->pmw_epsilon_prime, 0.25);
+  EXPECT_EQ(spec->laplace_rule, CompositionRule::kBasic);
+  EXPECT_EQ(spec->instance_path, "data/two_table.csv");
+}
+
+TEST(ReleaseSpecTest, BuildsQueryAndWorkload) {
+  auto spec = ParseReleaseSpec(std::string(kFullConfig));
+  ASSERT_TRUE(spec.ok());
+  auto query = spec->BuildQuery();
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->num_relations(), 2);
+  EXPECT_EQ(query->num_attributes(), 3);
+  EXPECT_EQ(query->domain_size(1), 6);
+  auto family = spec->BuildWorkload(*query);
+  ASSERT_TRUE(family.ok()) << family.status();
+  // prefix:4 → 4 + leading all-ones per relation.
+  EXPECT_EQ(family->TotalCount(), 25);
+}
+
+TEST(ReleaseSpecTest, WorkloadBuildIsDeterministic) {
+  auto spec = ParseReleaseSpec(std::string(kFullConfig));
+  ASSERT_TRUE(spec.ok());
+  spec->workload = WorkloadFamilyKind::kRandomUniform;
+  const JoinQuery query = *spec->BuildQuery();
+  const QueryFamily a = *spec->BuildWorkload(query);
+  const QueryFamily b = *spec->BuildWorkload(query);
+  ASSERT_EQ(a.TotalCount(), b.TotalCount());
+  for (int rel = 0; rel < a.num_relations(); ++rel) {
+    for (size_t j = 0; j < a.table_queries(rel).size(); ++j) {
+      EXPECT_EQ(a.table_queries(rel)[j].values,
+                b.table_queries(rel)[j].values);
+    }
+  }
+}
+
+TEST(ReleaseSpecTest, RejectsMissingMagic) {
+  auto spec = ParseReleaseSpec(std::string("name = x\n"));
+  EXPECT_TRUE(spec.status().IsInvalidArgument());
+}
+
+TEST(ReleaseSpecTest, RejectsMalformedConfigs) {
+  const std::string magic = "# dpjoin-release-spec v1\n";
+  const std::string schema =
+      "attribute = A:4\nrelation = R1:A\n";
+  struct Case {
+    const char* label;
+    std::string body;
+  };
+  const Case cases[] = {
+      {"unknown key", schema + "frobnicate = 1\n"},
+      {"duplicate scalar key", schema + "epsilon = 1\nepsilon = 2\n"},
+      {"missing equals", schema + "epsilon 1\n"},
+      {"bad number", schema + "epsilon = banana\n"},
+      {"trailing junk number", schema + "epsilon = 1.0x\n"},
+      {"bad mechanism", schema + "mechanism = quantum\n"},
+      {"bad workload kind", schema + "workload = sparkle:3\n"},
+      {"bad laplace rule", schema + "laplace_rule = sideways\n"},
+      {"attribute missing size", "attribute = A\nrelation = R1:A\n"},
+      {"relation missing attrs", "attribute = A:4\nrelation = R1\n"},
+      {"no attributes", "relation = R1:A\n"},
+      {"no relations", "attribute = A:4\n"},
+      {"zero epsilon", schema + "epsilon = 0\n"},
+      {"zero delta", schema + "delta = 0\n"},
+      {"delta above half", schema + "delta = 0.7\n"},
+      {"negative pmw rounds", schema + "pmw_rounds = -1\n"},
+      {"zero pmw max rounds", schema + "pmw_max_rounds = 0\n"},
+      {"negative threads", schema + "threads = -2\n"},
+      {"huge threads", schema + "threads = 1000\n"},
+      {"unknown relation attribute", "attribute = A:4\nrelation = R1:A,Z\n"},
+      {"duplicate attribute", "attribute = A:4\nattribute = A:4\n"
+                              "relation = R1:A\n"},
+      {"duplicate relation name",
+       "attribute = A:4\nattribute = B:4\nrelation = R1:A\nrelation = R1:B\n"},
+  };
+  for (const Case& c : cases) {
+    auto spec = ParseReleaseSpec(magic + c.body);
+    EXPECT_FALSE(spec.ok()) << c.label;
+  }
+}
+
+TEST(ReleaseSpecTest, HashIgnoresFormattingButNotSemantics) {
+  auto a = ParseReleaseSpec(std::string(kFullConfig));
+  ASSERT_TRUE(a.ok());
+  // Same semantics, different comments/spacing.
+  auto b = ParseReleaseSpec(std::string(
+      "# dpjoin-release-spec v1\n"
+      "name=demo\nattribute=A:8\nattribute=B:6\nattribute=C:8\n"
+      "relation=R1:A,B\nrelation=R2:B,C\n"
+      "epsilon=1.5\ndelta=1e-5\nmechanism=two_table\nworkload=prefix:4\n"
+      "workload_seed=13\nthreads=2\npmw_rounds=3\npmw_max_rounds=24\n"
+      "pmw_epsilon_prime=0.25\nlaplace_rule=basic\n"
+      "instance=data/two_table.csv\n"));
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(a->CanonicalString(), b->CanonicalString());
+  EXPECT_EQ(a->Hash(), b->Hash());
+
+  ReleaseSpec changed = *a;
+  changed.epsilon = 2.0;
+  EXPECT_NE(changed.Hash(), a->Hash());
+  changed = *a;
+  changed.workload_seed = 14;
+  EXPECT_NE(changed.Hash(), a->Hash());
+  changed = *a;
+  changed.instance_path = "data/other.csv";
+  EXPECT_NE(changed.Hash(), a->Hash());
+  // num_threads is NOT semantic: releases are bit-identical at every thread
+  // count, so a thread-count-only change must still hit the serving cache.
+  changed = *a;
+  changed.num_threads = 8;
+  EXPECT_EQ(changed.Hash(), a->Hash());
+}
+
+TEST(ReleaseSpecTest, ValidateRejectsNameAttrListMismatch) {
+  ReleaseSpec spec;
+  spec.attributes = {{"A", 4}, {"B", 4}};
+  spec.relation_attrs = {{"A"}, {"B"}};
+  spec.relation_names = {"R1"};  // one name for two attribute lists
+  const Status status = spec.Validate();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status;
+  spec.relation_names.push_back("R2");
+  EXPECT_TRUE(spec.Validate().ok()) << spec.Validate();
+}
+
+TEST(ReleaseSpecTest, MechanismAndWorkloadNamesRoundTrip) {
+  for (MechanismKind kind :
+       {MechanismKind::kAuto, MechanismKind::kLaplace, MechanismKind::kTwoTable,
+        MechanismKind::kHierarchical, MechanismKind::kPmw}) {
+    auto parsed = ParseMechanism(MechanismName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  for (WorkloadFamilyKind kind :
+       {WorkloadFamilyKind::kCounting, WorkloadFamilyKind::kRandomSign,
+        WorkloadFamilyKind::kRandomUniform, WorkloadFamilyKind::kPrefix,
+        WorkloadFamilyKind::kPoint, WorkloadFamilyKind::kMarginal}) {
+    auto parsed = ParseWorkloadFamily(WorkloadFamilyName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(ReleaseSpecTest, CountingWorkloadIsSingleton) {
+  auto spec = ParseReleaseSpec(std::string(
+      "# dpjoin-release-spec v1\n"
+      "attribute = A:4\nrelation = R1:A\nworkload = counting\n"));
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  const JoinQuery query = *spec->BuildQuery();
+  auto family = spec->BuildWorkload(query);
+  ASSERT_TRUE(family.ok());
+  EXPECT_EQ(family->TotalCount(), 1);
+}
+
+}  // namespace
+}  // namespace dpjoin

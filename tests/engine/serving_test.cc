@@ -1,0 +1,152 @@
+#include "engine/serving.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "testing/brute_force.h"
+
+namespace dpjoin {
+namespace {
+
+struct SyntheticFixture {
+  std::shared_ptr<const ReleasedDataset> dataset;
+  QueryFamily family;
+  Plan plan;
+};
+
+SyntheticFixture MakeSyntheticFixture(uint64_t seed = 5) {
+  Rng rng(seed);
+  const auto query =
+      std::make_shared<JoinQuery>(MakeTwoTableQuery(4, 5, 4));
+  const Instance instance = testing::RandomInstance(*query, 20, rng);
+  QueryFamily family = MakeWorkload(*query, WorkloadKind::kRandomSign, 3, rng);
+  Plan plan;
+  plan.mechanism = MechanismKind::kPmw;
+  plan.rationale = "test fixture";
+  // Any tensor is a valid "release" for serving-layer purposes.
+  auto dataset =
+      std::make_shared<const ReleasedDataset>(query, JoinTensor(instance));
+  return SyntheticFixture{std::move(dataset), std::move(family),
+                          std::move(plan)};
+}
+
+TEST(ServingHandleTest, BatchAnswersMatchDirectEvaluation) {
+  SyntheticFixture fx = MakeSyntheticFixture();
+  const ServingHandle handle(fx.dataset, fx.family, fx.plan);
+  const std::vector<double> all = EvaluateAllOnTensor(fx.family,
+                                                      fx.dataset->tensor());
+  std::vector<int64_t> batch;
+  for (int64_t q = 0; q < handle.NumQueries(); ++q) batch.push_back(q);
+  batch.push_back(0);  // duplicates allowed
+  auto answers = handle.AnswerBatch(batch);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  ASSERT_EQ(answers->size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR((*answers)[i], all[static_cast<size_t>(batch[i])], 1e-9)
+        << "batch slot " << i;
+  }
+  // AnswerAll (contraction path) agrees too.
+  const std::vector<double> served_all = handle.AnswerAll();
+  ASSERT_EQ(served_all.size(), all.size());
+  for (size_t q = 0; q < all.size(); ++q) {
+    EXPECT_EQ(served_all[q], all[q]);
+  }
+}
+
+TEST(ServingHandleTest, BatchBitIdenticalAcrossThreadCounts) {
+  SyntheticFixture fx = MakeSyntheticFixture(6);
+  const ServingHandle handle(fx.dataset, fx.family, fx.plan);
+  Rng rng(7);
+  std::vector<int64_t> batch;
+  for (int i = 0; i < 200; ++i) {
+    batch.push_back(rng.UniformInt(0, handle.NumQueries() - 1));
+  }
+  const std::vector<double> baseline = *handle.AnswerBatch(batch, 1);
+  for (int threads : {2, 8}) {
+    const auto answers = handle.AnswerBatch(batch, threads);
+    ASSERT_TRUE(answers.ok());
+    ASSERT_EQ(answers->size(), baseline.size());
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ((*answers)[i], baseline[i])
+          << "slot " << i << ", threads = " << threads;
+    }
+  }
+}
+
+TEST(ServingHandleTest, RejectsOutOfRangeQueryIds) {
+  SyntheticFixture fx = MakeSyntheticFixture();
+  const ServingHandle handle(fx.dataset, fx.family, fx.plan);
+  EXPECT_TRUE(
+      handle.AnswerBatch({handle.NumQueries()}).status().IsOutOfRange());
+  EXPECT_TRUE(handle.AnswerBatch({-1}).status().IsOutOfRange());
+  auto empty = handle.AnswerBatch({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(ServingHandleTest, DirectAnswerHandleServesLookups) {
+  SyntheticFixture fx = MakeSyntheticFixture(8);
+  std::vector<double> answers(
+      static_cast<size_t>(fx.family.TotalCount()));
+  for (size_t q = 0; q < answers.size(); ++q) {
+    answers[q] = static_cast<double>(q) * 1.5;
+  }
+  Plan plan;
+  plan.mechanism = MechanismKind::kLaplace;
+  const ServingHandle handle(answers, fx.family, plan);
+  EXPECT_EQ(handle.dataset(), nullptr);
+  auto batch = handle.AnswerBatch({3, 0, 3});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*batch, (std::vector<double>{4.5, 0.0, 4.5}));
+  EXPECT_EQ(handle.AnswerAll(), answers);
+}
+
+std::shared_ptr<const ServingHandle> MakeDummyHandle(double tag) {
+  SyntheticFixture fx = MakeSyntheticFixture(9);
+  std::vector<double> answers(static_cast<size_t>(fx.family.TotalCount()),
+                              tag);
+  Plan plan;
+  plan.mechanism = MechanismKind::kLaplace;
+  return std::make_shared<const ServingHandle>(std::move(answers), fx.family,
+                                               plan);
+}
+
+TEST(ReleaseCacheTest, LruEvictionAndRecency) {
+  ReleaseCache cache(2);
+  cache.Put(1, MakeDummyHandle(1.0));
+  cache.Put(2, MakeDummyHandle(2.0));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch 1 so 2 becomes least-recently-used, then insert 3: 2 is evicted.
+  ASSERT_NE(cache.Get(1), nullptr);
+  cache.Put(3, MakeDummyHandle(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+
+  EXPECT_EQ(cache.hits(), 3);
+  EXPECT_EQ(cache.misses(), 1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(ReleaseCacheTest, PutRefreshesExistingKey) {
+  ReleaseCache cache(2);
+  auto first = MakeDummyHandle(1.0);
+  auto second = MakeDummyHandle(2.0);
+  cache.Put(1, first);
+  cache.Put(2, MakeDummyHandle(9.0));
+  cache.Put(1, second);  // refresh key 1 → most recent
+  cache.Put(3, MakeDummyHandle(3.0));  // evicts key 2
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_EQ(cache.Get(1), second);
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -68,6 +68,32 @@ TEST_P(ParallelDeterminismTest, EvaluateAllOnTensorBitIdentical) {
   }
 }
 
+TEST_P(ParallelDeterminismTest, EvaluateAllOnInstanceBitIdentical) {
+  const ShapeParam& param = GetParam();
+  Rng rng(param.seed + 40);
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const Instance instance = testing::RandomInstance(query, param.tuples, rng);
+  // Uniform values make the per-query sums genuinely floating-point (not
+  // integer-exact), so this exercises the block-order merge contract.
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomUniform, 3, rng);
+
+  std::vector<double> baseline;
+  {
+    ScopedThreads scoped(1);
+    baseline = EvaluateAllOnInstance(family, instance);
+  }
+  for (int threads : {2, 8}) {
+    ScopedThreads scoped(threads);
+    const std::vector<double> answers = EvaluateAllOnInstance(family, instance);
+    ASSERT_EQ(answers.size(), baseline.size());
+    for (size_t i = 0; i < answers.size(); ++i) {
+      EXPECT_EQ(answers[i], baseline[i])
+          << "query " << i << ", threads = " << threads;
+    }
+  }
+}
+
 TEST_P(ParallelDeterminismTest, EvaluateOnTensorBitIdentical) {
   const ShapeParam& param = GetParam();
   Rng rng(param.seed + 10);

@@ -68,6 +68,100 @@ TEST(InstanceIoTest, RejectsMalformedRows) {
   }
 }
 
+// The release engine loads instances through this path, so every failure
+// must surface as a clean Status naming the offending row — never a CHECK.
+TEST(InstanceIoTest, ErrorsCarryCodeAndRowNumber) {
+  const auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(2, 2, 2));
+  const std::string header = "# dpjoin-instance v1\n";
+  {
+    // Arity mismatch: too MANY values for a 2-attribute relation.
+    std::stringstream buffer(header + "0,0,0,1,1\n");
+    const Status status = ReadInstanceCsv(query, buffer).status();
+    EXPECT_TRUE(status.IsInvalidArgument()) << status;
+    EXPECT_NE(status.message().find("row 2"), std::string::npos) << status;
+    EXPECT_NE(status.message().find("arity"), std::string::npos) << status;
+  }
+  {
+    // Out-of-domain value reports OutOfRange, with the row prefix.
+    std::stringstream buffer(header + "0,0,0,1\n1,0,9,1\n");
+    const Status status = ReadInstanceCsv(query, buffer).status();
+    EXPECT_TRUE(status.IsOutOfRange()) << status;
+    EXPECT_NE(status.message().find("row 3"), std::string::npos) << status;
+  }
+  {
+    // Negative domain value is out of range too.
+    std::stringstream buffer(header + "0,-1,0,1\n");
+    EXPECT_TRUE(ReadInstanceCsv(query, buffer).status().IsOutOfRange());
+  }
+  {
+    // Numeric field that overflows int64 is a bad number, not a crash.
+    std::stringstream buffer(header + "0,0,0,99999999999999999999\n");
+    const Status status = ReadInstanceCsv(query, buffer).status();
+    EXPECT_TRUE(status.IsInvalidArgument()) << status;
+    EXPECT_NE(status.message().find("bad number"), std::string::npos);
+  }
+  {
+    // Empty cell within a row ("0,,0,1") is a bad number.
+    std::stringstream buffer(header + "0,,0,1\n");
+    EXPECT_TRUE(ReadInstanceCsv(query, buffer).status().IsInvalidArgument());
+  }
+  {
+    // Wrong magic VERSION is rejected, not silently accepted.
+    std::stringstream buffer("# dpjoin-instance v2\n0,0,0,1\n");
+    EXPECT_TRUE(ReadInstanceCsv(query, buffer).status().IsInvalidArgument());
+  }
+  {
+    // Null query is a clean error.
+    std::stringstream buffer(header + "0,0,0,1\n");
+    EXPECT_TRUE(
+        ReadInstanceCsv(nullptr, buffer).status().IsInvalidArgument());
+  }
+}
+
+TEST(InstanceIoTest, HeaderOnlyFileIsAnEmptyInstance) {
+  const auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(2, 2, 2));
+  std::stringstream buffer("# dpjoin-instance v1\n");
+  auto loaded = ReadInstanceCsv(query, buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->InputSize(), 0);
+  // A completely empty stream, however, has no header at all.
+  std::stringstream empty("");
+  EXPECT_TRUE(ReadInstanceCsv(query, empty).status().IsInvalidArgument());
+}
+
+TEST(InstanceIoTest, ToleratesCrlfLineEndings) {
+  const auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(2, 2, 2));
+  std::stringstream buffer(
+      "# dpjoin-instance v1\r\n"
+      "0,1,1,3\r\n"
+      "1,0,1,2\r\n");
+  auto loaded = ReadInstanceCsv(query, buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->relation(0).FrequencyOf({1, 1}), 3);
+  EXPECT_EQ(loaded->relation(1).FrequencyOf({0, 1}), 2);
+}
+
+TEST(InstanceIoTest, DuplicateRowAccumulationMatchesSingleRow) {
+  const auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(2, 2, 2));
+  std::stringstream split(
+      "# dpjoin-instance v1\n0,0,0,2\n0,0,0,3\n1,1,0,1\n0,0,0,0\n");
+  std::stringstream merged("# dpjoin-instance v1\n0,0,0,5\n1,1,0,1\n");
+  auto a = ReadInstanceCsv(query, split);
+  auto b = ReadInstanceCsv(query, merged);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->InputSize(), b->InputSize());
+  for (int r = 0; r < a->num_relations(); ++r) {
+    for (const auto& [code, freq] : b->relation(r).entries()) {
+      EXPECT_EQ(a->relation(r).Frequency(code), freq);
+    }
+  }
+  // ...but accumulation may never take a frequency below zero mid-file.
+  std::stringstream negative(
+      "# dpjoin-instance v1\n0,0,0,2\n0,0,0,-3\n");
+  EXPECT_FALSE(ReadInstanceCsv(query, negative).ok());
+}
+
 TEST(InstanceIoTest, CommentsAndBlankLinesIgnored) {
   const auto query = std::make_shared<JoinQuery>(MakeTwoTableQuery(2, 2, 2));
   std::stringstream buffer(
