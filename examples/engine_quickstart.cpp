@@ -1,14 +1,18 @@
-// Engine quickstart: drive every release mechanism from declarative config
-// files through the ReleaseEngine — plan, budget-check, release once, then
-// serve queries as free post-processing — under one global privacy cap.
+// Engine quickstart: drive every release mechanism through the catalog +
+// request/response API — register data once, submit declarative specs, pay
+// privacy once, then serve queries as free post-processing — under one
+// global privacy cap.
 //
 //   cmake -B build && cmake --build build -j
 //   ./build/examples/example_engine_quickstart examples/configs/*.spec
 //
-// For each config the program prints the planner's choice and rationale,
-// the predicted error, the measured workload error of the served answers,
-// and the budget-ledger state; afterwards it demonstrates the serving
-// cache (an identical spec re-runs free) and budget refusal (a spec
+// For each config the program resolves the spec's `dataset` source through
+// the engine's DataCatalog (csv: files and generated: sources register
+// once; the fingerprint is computed at registration, never per
+// submission), prints the planner's choice and rationale, the measured
+// workload error of the served answers, and the ledger snapshot from the
+// response; afterwards it demonstrates the serving cache (re-submitting an
+// identical request is a free cache hit) and budget refusal (a spec
 // exceeding the remaining global cap is rejected).
 
 #include <fstream>
@@ -19,7 +23,6 @@
 
 #include "engine/engine.h"
 #include "query/evaluation.h"
-#include "relational/io.h"
 
 using namespace dpjoin;  // examples only; library code never does this
 
@@ -28,20 +31,6 @@ namespace {
 std::string DirName(const std::string& path) {
   const size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
-}
-
-// Loads the spec's instance the same way the engine does, so the example
-// can compare served answers against ground truth.
-Result<Instance> LoadInstance(const ReleaseSpec& spec,
-                              const std::string& base_dir) {
-  std::string path = spec.instance_path;
-  if (!path.empty() && path.front() != '/') path = base_dir + "/" + path;
-  std::ifstream file(path);
-  if (!file) return Status::NotFound("cannot open '" + path + "'");
-  Result<JoinQuery> query = spec.BuildQuery();
-  if (!query.ok()) return query.status();
-  return ReadInstanceCsv(std::make_shared<JoinQuery>(std::move(query).value()),
-                         file);
 }
 
 }  // namespace
@@ -58,8 +47,7 @@ int main(int argc, char** argv) {
   // its nominal budget; the cap leaves headroom and the ledger records the
   // measured truth.)
   ReleaseEngine engine(PrivacyParams(/*eps=*/20.0, /*delta=*/0.05));
-  ReleaseSpec first_spec;
-  std::string first_dir;
+  ReleaseRequest first_request;
 
   for (int i = 1; i < argc; ++i) {
     const std::string config_path = argv[i];
@@ -73,81 +61,80 @@ int main(int argc, char** argv) {
       std::cerr << config_path << ": " << spec.status() << "\n";
       return 1;
     }
-    const std::string base_dir = DirName(config_path);
-    if (i == 1) {
-      first_spec = *spec;
-      first_dir = base_dir;
-    }
+    ReleaseRequest request;
+    request.spec = *spec;
+    request.seed = 42 + static_cast<uint64_t>(i);
+    request.base_dir = DirName(config_path);
+    if (i == 1) first_request = request;
 
     std::cout << "=== " << spec->name << " (" << config_path << ") ===\n";
-    auto instance = LoadInstance(*spec, base_dir);
-    if (!instance.ok()) {
-      std::cerr << "  instance load failed: " << instance.status() << "\n";
+    for (const std::string& note : spec->parse_notes) {
+      std::cout << "  (deprecation) " << note << "\n";
+    }
+    auto response = engine.Submit(request);
+    if (!response.ok()) {
+      std::cerr << "  release failed: " << response.status() << "\n";
       return 1;
     }
+    const ServingHandle& handle = *response->handle;
+    std::cout << "  dataset:   " << response->dataset_name << "\n"
+              << "  mechanism: " << MechanismName(response->plan.mechanism)
+              << "\n  rationale: " << response->plan.rationale << "\n";
 
-    Rng rng(42 + static_cast<uint64_t>(i));
-    auto release = engine.Run(*spec, *instance, rng);
-    if (!release.ok()) {
-      std::cerr << "  release failed: " << release.status() << "\n";
+    // Serving is pure post-processing: compare against ground truth, which
+    // the catalog still holds (research reproduction — a production server
+    // would never re-touch raw data after release).
+    auto dataset = engine.catalog().Get(response->dataset_name);
+    if (!dataset.ok()) {
+      std::cerr << "  catalog lookup failed: " << dataset.status() << "\n";
       return 1;
     }
-    const ServingHandle& handle = *release->handle;
-    std::cout << "  mechanism: " << MechanismName(release->plan.mechanism)
-              << "\n  rationale: " << release->plan.rationale << "\n";
-
-    // Serving is pure post-processing: compare against ground truth.
-    const auto truth = EvaluateAllOnInstance(handle.family(), *instance);
+    const auto truth =
+        EvaluateAllOnInstance(handle.family(), (*dataset)->instance());
     const auto served = handle.AnswerAll();
     std::cout << "  |Q| = " << handle.NumQueries()
               << ", measured workload error = "
               << MaxAbsDifference(truth, served)
-              << " (predicted ~" << release->plan.predicted_error << ")\n";
-    std::cout << "  budget spent so far: (" << engine.ledger().SpentEpsilon()
-              << ", " << engine.ledger().SpentDelta() << ") of ("
+              << " (predicted ~" << response->plan.predicted_error << ")\n";
+    std::cout << "  budget spent so far: (" << response->ledger.spent_epsilon
+              << ", " << response->ledger.spent_delta << ") of ("
               << engine.ledger().cap().epsilon << ", "
               << engine.ledger().cap().delta << ")\n";
   }
 
-  // Serving cache: an identical spec is a free post-processing hit.
+  // Serving cache: an identical request is a free post-processing hit —
+  // same release id, no new spend, and (because the dataset is already
+  // registered) no re-load and no re-fingerprint.
   {
-    std::cout << "=== cache demo: re-submitting " << first_spec.name
+    std::cout << "=== cache demo: re-submitting " << first_request.spec.name
               << " ===\n";
-    auto instance = LoadInstance(first_spec, first_dir);
-    if (!instance.ok()) {
-      std::cerr << "  instance load failed: " << instance.status() << "\n";
-      return 1;
-    }
     const double spent_before = engine.ledger().SpentEpsilon();
-    Rng rng(999);
-    auto again = engine.Run(first_spec, *instance, rng);
+    const int64_t fingerprints_before = InstanceFingerprintCount();
+    first_request.seed = 999;  // the seed does not matter on a cache hit
+    auto again = engine.Submit(first_request);
     if (!again.ok()) {
       std::cerr << "  cached re-run failed: " << again.status() << "\n";
       return 1;
     }
     std::cout << "  from_cache = " << (again->from_cache ? "true" : "false")
               << ", budget spent by the re-run = "
-              << engine.ledger().SpentEpsilon() - spent_before << "\n";
+              << engine.ledger().SpentEpsilon() - spent_before
+              << ", fingerprints recomputed = "
+              << InstanceFingerprintCount() - fingerprints_before << "\n";
     if (!again->from_cache) {
       std::cerr << "  expected a cache hit\n";
       return 1;
     }
   }
 
-  // Budget refusal: a spec that overshoots the remaining cap is rejected
-  // BEFORE any mechanism runs.
+  // Budget refusal: a request that overshoots the remaining cap is
+  // rejected BEFORE any mechanism runs.
   {
     std::cout << "=== refusal demo: overshooting the remaining budget ===\n";
-    ReleaseSpec greedy = first_spec;
-    greedy.name = "greedy";
-    greedy.epsilon = engine.ledger().RemainingEpsilon() + 1.0;
-    auto instance = LoadInstance(greedy, first_dir);
-    if (!instance.ok()) {
-      std::cerr << "  instance load failed: " << instance.status() << "\n";
-      return 1;
-    }
-    Rng rng(1000);
-    auto refused = engine.Run(greedy, *instance, rng);
+    ReleaseRequest greedy = first_request;
+    greedy.spec.name = "greedy";
+    greedy.spec.epsilon = engine.ledger().RemainingEpsilon() + 1.0;
+    auto refused = engine.Submit(greedy);
     if (refused.ok()) {
       std::cerr << "  expected a refusal\n";
       return 1;

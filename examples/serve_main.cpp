@@ -1,0 +1,95 @@
+// dpjoin_serve: the long-lived serving process. Reads JSON-lines commands
+// from stdin, answers on stdout (protocol reference: src/engine/server.h
+// and README "Engine & serving").
+//
+//   ./build/examples/dpjoin_serve --epsilon=4.0 --delta=0.01 --cache=64
+//       [--base-dir=examples/configs] [--ledger=/tmp/ledger.json]
+//
+// Flags:
+//   --epsilon=E   global privacy cap ε (default 4.0)
+//   --delta=D     global privacy cap δ (default 0.01)
+//   --cache=N     serving-cache capacity in releases (default 64)
+//   --base-dir=P  base directory for relative csv: dataset paths
+//   --ledger=P    persist the budget ledger to P: loaded at startup if the
+//                 file exists (refusing files whose spend exceeds the cap),
+//                 saved after every budget-spending release — a restarted
+//                 server resumes with its spent budget intact
+//
+// Try it interactively:
+//   {"cmd": "register", "name": "demo", "source": "generated:zipf(tuples=200,s=1.0,seed=7)", "attributes": ["A:6", "B:4", "C:6"], "relations": ["R1:A,B", "R2:B,C"]}
+//   {"cmd": "release", "dataset": "demo", "seed": 3, "spec": "# dpjoin-release-spec v1\nname = demo_release\nattribute = A:6\nattribute = B:4\nattribute = C:6\nrelation = R1:A,B\nrelation = R2:B,C\nepsilon = 1.0\ndelta = 1e-5\nmechanism = auto\nworkload = prefix:3"}
+//   {"cmd": "query", "release": "<the id from the release response>", "queries": [0, 1, 2]}
+//   {"cmd": "ledger"}
+//   {"cmd": "stats"}
+//   {"cmd": "shutdown"}
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "engine/server.h"
+
+using namespace dpjoin;  // examples only; library code never does this
+
+namespace {
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.compare(0, prefix.size(), prefix) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double epsilon = 4.0;
+  double delta = 0.01;
+  size_t cache_capacity = 64;
+  ServerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    try {
+      if (ParseFlag(arg, "epsilon", &value)) {
+        epsilon = std::stod(value);
+      } else if (ParseFlag(arg, "delta", &value)) {
+        delta = std::stod(value);
+      } else if (ParseFlag(arg, "cache", &value)) {
+        cache_capacity = static_cast<size_t>(std::stoull(value));
+      } else if (ParseFlag(arg, "base-dir", &value)) {
+        options.base_dir = value;
+      } else if (ParseFlag(arg, "ledger", &value)) {
+        options.ledger_path = value;
+      } else {
+        std::cerr << "unknown flag " << arg << "\n"
+                  << "usage: " << argv[0]
+                  << " [--epsilon=E] [--delta=D] [--cache=N]"
+                     " [--base-dir=P] [--ledger=P]\n";
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value in " << arg << "\n";
+      return 2;
+    }
+  }
+  if (!(epsilon > 0.0) || delta < 0.0 || delta > 0.5 || cache_capacity == 0) {
+    std::cerr << "need epsilon > 0, delta in [0, 0.5], cache >= 1\n";
+    return 2;
+  }
+
+  ReleaseEngine engine(PrivacyParams(epsilon, delta), cache_capacity);
+  ReleaseServer server(engine, options);
+  if (!server.startup_status().ok()) {
+    // An unloadable ledger is fatal: serving without the recorded spend
+    // would silently exceed the privacy guarantee.
+    std::cerr << "ledger restore failed: " << server.startup_status() << "\n";
+    return 1;
+  }
+
+  const int64_t handled = server.Serve(std::cin, std::cout);
+  std::cerr << "dpjoin_serve: handled " << handled << " request(s)\n";
+  return 0;
+}

@@ -24,10 +24,68 @@ echo "==> ctest"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 echo "==> engine quickstart (checked-in sample configs)"
-# Drives every release mechanism through the engine from the declarative
-# configs in examples/configs/, including the cache-hit and budget-refusal
-# demos — a full end-to-end smoke of the release + serving layer.
+# Drives every release mechanism through the catalog + Submit API from the
+# declarative configs in examples/configs/ (csv: and generated: dataset
+# sources), including the cache-hit and budget-refusal demos — a full
+# end-to-end smoke of the release + serving layer.
 "${BUILD_DIR}/examples/example_engine_quickstart" examples/configs/*.spec
+
+echo "==> dpjoin_serve scripted session (register -> release -> query -> ledger)"
+# A full protocol round-trip through the long-lived server: register a
+# generated dataset, pay for one release, re-release it as a cache hit,
+# query the handle, audit the ledger, shut down. Every response line must
+# be valid JSON with the expected semantics (validated below).
+SERVE_OUT="$(mktemp)"
+"${BUILD_DIR}/examples/dpjoin_serve" --epsilon=4 --delta=0.01 > "${SERVE_OUT}" <<'EOF'
+{"cmd": "register", "name": "ci_demo", "source": "generated:zipf(tuples=200,s=1.0,seed=7)", "attributes": ["A:6", "B:4", "C:6"], "relations": ["R1:A,B", "R2:B,C"]}
+{"cmd": "release", "dataset": "ci_demo", "seed": 3, "spec": "# dpjoin-release-spec v1\nname = ci_release\nattribute = A:6\nattribute = B:4\nattribute = C:6\nrelation = R1:A,B\nrelation = R2:B,C\nepsilon = 1.0\ndelta = 1e-5\nmechanism = auto\nworkload = prefix:3"}
+{"cmd": "release", "dataset": "ci_demo", "seed": 99, "spec": "# dpjoin-release-spec v1\nname = ci_release\nattribute = A:6\nattribute = B:4\nattribute = C:6\nrelation = R1:A,B\nrelation = R2:B,C\nepsilon = 1.0\ndelta = 1e-5\nmechanism = auto\nworkload = prefix:3"}
+{"cmd": "ledger"}
+{"cmd": "stats"}
+{"cmd": "shutdown"}
+EOF
+python3 - "${SERVE_OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    responses = [json.loads(line) for line in f if line.strip()]
+assert len(responses) == 6, f"expected 6 responses, got {len(responses)}"
+assert all(r["ok"] for r in responses), responses
+register, first, second, ledger, stats, shutdown = responses
+assert register["cmd"] == "register" and register["input_size"] == 400
+assert first["cmd"] == "release" and not first["from_cache"]
+assert second["from_cache"], "repeated release must be a cache hit"
+assert second["release"] == first["release"], "same release id"
+assert second["spent"] == first["spent"], "cache hit must not spend budget"
+assert ledger["ledger"]["total"]["epsilon"] == first["spent"]["epsilon"]
+assert stats["fingerprints_computed"] == 1, "one dataset, one fingerprint"
+assert stats["cache"]["hits"] >= 1 and stats["datasets"] == 1
+assert shutdown["cmd"] == "shutdown"
+print(f"ok: dpjoin_serve session — release {first['release']} via "
+      f"{first['mechanism']}, cache hit with zero extra spend, "
+      f"{stats['fingerprints_computed']} fingerprint computation")
+EOF
+rm -f "${SERVE_OUT}"
+
+echo "==> dpjoin_serve ledger persistence across restart"
+# The server saves its budget ledger after each paid release; a restarted
+# server must refuse to re-spend what the file records.
+LEDGER_FILE="$(mktemp -u).ledger.json"
+printf '%s\n' \
+  '{"cmd": "register", "name": "d", "source": "generated:uniform(tuples=100,seed=2)", "attributes": ["A:6", "B:4", "C:6"], "relations": ["R1:A,B", "R2:B,C"]}' \
+  '{"cmd": "release", "dataset": "d", "seed": 1, "spec": "# dpjoin-release-spec v1\nname = persisted\nattribute = A:6\nattribute = B:4\nattribute = C:6\nrelation = R1:A,B\nrelation = R2:B,C\nepsilon = 2.0\ndelta = 1e-5\nmechanism = laplace\nworkload = prefix:2"}' \
+  | "${BUILD_DIR}/examples/dpjoin_serve" --epsilon=2.5 --delta=0.01 --ledger="${LEDGER_FILE}" > /dev/null
+RESTART_OUT="$(printf '%s\n' \
+  '{"cmd": "register", "name": "d", "source": "generated:uniform(tuples=100,seed=2)", "attributes": ["A:6", "B:4", "C:6"], "relations": ["R1:A,B", "R2:B,C"]}' \
+  '{"cmd": "release", "dataset": "d", "seed": 2, "spec": "# dpjoin-release-spec v1\nname = greedy\nattribute = A:6\nattribute = B:4\nattribute = C:6\nrelation = R1:A,B\nrelation = R2:B,C\nepsilon = 2.0\ndelta = 1e-5\nmechanism = laplace\nworkload = prefix:2"}' \
+  | "${BUILD_DIR}/examples/dpjoin_serve" --epsilon=2.5 --delta=0.01 --ledger="${LEDGER_FILE}")"
+echo "${RESTART_OUT}" | python3 -c '
+import json, sys
+lines = [json.loads(l) for l in sys.stdin if l.strip()]
+refused = lines[1]
+assert not refused["ok"] and "FailedPrecondition" in refused["error"], refused
+print("ok: restarted server refused to overspend the persisted ledger")
+'
+rm -f "${LEDGER_FILE}"
 
 echo "==> bench smoke (DPJOIN_BENCH_QUICK=1, DPJOIN_THREADS=2)"
 # DPJOIN_THREADS=2 exercises the parallel substrate on every CI run; the

@@ -1,0 +1,470 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  DPJOIN_CHECK(is_bool(), "JsonValue::AsBool on a non-bool");
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  DPJOIN_CHECK(is_number(), "JsonValue::AsDouble on a non-number");
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  DPJOIN_CHECK(is_string(), "JsonValue::AsString on a non-string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  DPJOIN_CHECK(is_array(), "JsonValue::items on a non-array");
+  return items_;
+}
+
+void JsonValue::Append(JsonValue v) {
+  DPJOIN_CHECK(is_array(), "JsonValue::Append on a non-array");
+  items_.push_back(std::move(v));
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  DPJOIN_CHECK(is_object(), "JsonValue::members on a non-object");
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  DPJOIN_CHECK(is_object(), "JsonValue::Find on a non-object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
+  DPJOIN_CHECK(is_object(), "JsonValue::Set on a non-object");
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return members_.back().second;
+}
+
+namespace {
+
+void SerializeString(const std::string& s, std::ostringstream& oss) {
+  oss << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        oss << "\\\"";
+        break;
+      case '\\':
+        oss << "\\\\";
+        break;
+      case '\n':
+        oss << "\\n";
+        break;
+      case '\r':
+        oss << "\\r";
+        break;
+      case '\t':
+        oss << "\\t";
+        break;
+      case '\b':
+        oss << "\\b";
+        break;
+      case '\f':
+        oss << "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          oss << buf;
+        } else {
+          oss << c;
+        }
+    }
+  }
+  oss << '"';
+}
+
+void SerializeValue(const JsonValue& v, std::ostringstream& oss) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      oss << "null";
+      return;
+    case JsonValue::Kind::kBool:
+      oss << (v.AsBool() ? "true" : "false");
+      return;
+    case JsonValue::Kind::kNumber: {
+      const double d = v.AsDouble();
+      // JSON has no NaN/Inf literals; encode as null (never produced by the
+      // library's own writers, but keeps Serialize total).
+      if (!std::isfinite(d)) {
+        oss << "null";
+        return;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      oss << buf;
+      return;
+    }
+    case JsonValue::Kind::kString:
+      SerializeString(v.AsString(), oss);
+      return;
+    case JsonValue::Kind::kArray: {
+      oss << '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) oss << ", ";
+        first = false;
+        SerializeValue(item, oss);
+      }
+      oss << ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      oss << '{';
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) oss << ", ";
+        first = false;
+        SerializeString(key, oss);
+        oss << ": ";
+        SerializeValue(value, oss);
+      }
+      oss << '}';
+      return;
+    }
+  }
+}
+
+// Recursive-descent parser over [pos, text.size()).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    DPJOIN_ASSIGN_OR_RETURN(root, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > 64) return Error("nesting deeper than 64 levels");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      std::string s;
+      DPJOIN_ASSIGN_OR_RETURN(s, ParseString());
+      return JsonValue::String(std::move(s));
+    }
+    if (c == 't' || c == 'f') return ParseKeyword();
+    if (c == 'n') return ParseKeyword();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseKeyword() {
+    static constexpr struct {
+      const char* token;
+      size_t len;
+    } kKeywords[] = {{"true", 4}, {"false", 5}, {"null", 4}};
+    for (const auto& kw : kKeywords) {
+      if (text_.compare(pos_, kw.len, kw.token) == 0) {
+        pos_ += kw.len;
+        if (kw.token[0] == 't') return JsonValue::Bool(true);
+        if (kw.token[0] == 'f') return JsonValue::Bool(false);
+        return JsonValue::Null();
+      }
+    }
+    return Error("unrecognized token");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    // JSON numbers start with '-' or a digit (no '+', no leading '.').
+    if (text_[pos_] != '-' &&
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Error("expected a value");
+    }
+    Consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      size_t consumed = 0;
+      const double v = std::stod(token, &consumed);
+      if (consumed != token.size()) return Error("bad number '" + token + "'");
+      return JsonValue::Number(v);
+    } catch (const std::exception&) {
+      return Error("bad number '" + token + "'");
+    }
+  }
+
+  // Appends the UTF-8 encoding of `cp` to `out`.
+  static void AppendCodePoint(uint32_t cp, std::string& out) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          DPJOIN_ASSIGN_OR_RETURN(cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (!(Consume('\\') && Consume('u'))) {
+              return Error("high surrogate without a low surrogate");
+            }
+            uint32_t low = 0;
+            DPJOIN_ASSIGN_OR_RETURN(low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendCodePoint(cp, out);
+          break;
+        }
+        default:
+          return Error(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    DPJOIN_CHECK(Consume('['), "ParseArray without '['");
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    while (true) {
+      JsonValue item;
+      DPJOIN_ASSIGN_OR_RETURN(item, ParseValue(depth + 1));
+      array.Append(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return array;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    DPJOIN_CHECK(Consume('{'), "ParseObject without '{'");
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      DPJOIN_ASSIGN_OR_RETURN(key, ParseString());
+      if (object.Find(key) != nullptr) {
+        return Error("duplicate object key '" + key + "'");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      DPJOIN_ASSIGN_OR_RETURN(value, ParseValue(depth + 1));
+      object.Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return object;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Serialize() const {
+  std::ostringstream oss;
+  SerializeValue(*this, oss);
+  return oss.str();
+}
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonHexId(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+Result<uint64_t> ParseJsonHexId(const std::string& text) {
+  if (text.size() < 3 || text.compare(0, 2, "0x") != 0 || text.size() > 18) {
+    return Status::InvalidArgument("bad hex id '" + text +
+                                   "' (want 0x<up to 16 hex digits>)");
+  }
+  uint64_t value = 0;
+  for (size_t i = 2; i < text.size(); ++i) {
+    const char c = text[i];
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return Status::InvalidArgument("bad hex id '" + text + "'");
+    }
+  }
+  return value;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,87 @@
+// Minimal JSON document model: parse, build, serialize.
+//
+// The serving protocol (engine/server.h) speaks JSON-lines and the budget
+// ledger persists itself as JSON; this is the small dependency-free value
+// type backing both. It is NOT a general-purpose JSON library: numbers are
+// doubles (64-bit ids travel as hex strings in the protocol for exactly
+// this reason), object keys keep insertion order (so serialized output is
+// deterministic and golden-testable), and duplicate keys are rejected at
+// parse time.
+
+#ifndef DPJOIN_COMMON_JSON_H_
+#define DPJOIN_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpjoin {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Default-constructs null.
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; DPJOIN_CHECK on kind mismatch (programmer error).
+  bool AsBool() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Array elements (CHECK: array).
+  const std::vector<JsonValue>& items() const;
+  void Append(JsonValue v);
+
+  /// Object members in insertion order (CHECK: object).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  /// Pointer to the member's value, or nullptr when absent (CHECK: object).
+  const JsonValue* Find(const std::string& key) const;
+  /// Appends the member, or replaces an existing one in place.
+  JsonValue& Set(const std::string& key, JsonValue v);
+
+  /// Compact single-line serialization (object keys in insertion order,
+  /// numbers via %.17g so round-trips are value-exact).
+  std::string Serialize() const;
+
+  /// Parses one JSON document; trailing non-whitespace, duplicate object
+  /// keys, and nesting deeper than 64 levels are InvalidArgument.
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Formats `v` as a lowercase 0x-prefixed hex literal — the protocol's
+/// encoding for 64-bit ids (JSON numbers are doubles and lose bits ≥ 2^53).
+std::string JsonHexId(uint64_t v);
+
+/// Parses a JsonHexId string back to the id.
+Result<uint64_t> ParseJsonHexId(const std::string& text);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_COMMON_JSON_H_

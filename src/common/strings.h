@@ -1,0 +1,46 @@
+// Small shared string helpers (header-only).
+
+#ifndef DPJOIN_COMMON_STRINGS_H_
+#define DPJOIN_COMMON_STRINGS_H_
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dpjoin {
+
+/// `s` without leading/trailing whitespace.
+inline std::string TrimWhitespace(const std::string& s) {
+  size_t lo = 0, hi = s.size();
+  while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo]))) ++lo;
+  while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1]))) --hi;
+  return s.substr(lo, hi - lo);
+}
+
+/// Splits on `sep` and trims each part — the tokenization both schema
+/// front doors (spec-file parser and server protocol) share, so
+/// "R1:A, B" means the same thing everywhere.
+inline std::vector<std::string> SplitAndTrim(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::stringstream ss(s);
+  while (std::getline(ss, part, sep)) parts.push_back(TrimWhitespace(part));
+  return parts;
+}
+
+/// 64-bit FNV-1a over the bytes of `s` — the library's string-hash
+/// convention (spec hashes, catalog schema keys).
+inline uint64_t Fnv1aHash(const std::string& s) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_COMMON_STRINGS_H_

@@ -1,16 +1,33 @@
 #include "engine/budget_ledger.h"
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/json.h"
 
 namespace dpjoin {
 
 namespace {
 
 void AppendParamsJson(std::ostringstream& oss, double epsilon, double delta) {
-  oss << "{\"epsilon\": " << epsilon << ", \"delta\": " << delta << "}";
+  // %.17g: the serialization doubles as restart persistence (SaveJson /
+  // LoadJson), and recorded privacy spend must round-trip value-exact —
+  // truncating digits here would silently shrink the spend a restarted
+  // server enforces.
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", epsilon);
+  oss << "{\"epsilon\": " << buffer;
+  std::snprintf(buffer, sizeof(buffer), "%.17g", delta);
+  oss << ", \"delta\": " << buffer << "}";
 }
 
 // Ledger labels are engine-supplied spec names / mechanism labels; escape
@@ -173,6 +190,185 @@ std::string BudgetLedger::SerializeJson() const {
   AppendParamsJson(oss, RemainingEpsilonLocked(), RemainingDeltaLocked());
   oss << "}";
   return oss.str();
+}
+
+void BudgetLedger::Snapshot(double* spent_epsilon, double* spent_delta,
+                            double* remaining_epsilon,
+                            double* remaining_delta,
+                            int64_t* num_committed) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *spent_epsilon = committed_epsilon_;
+  *spent_delta = committed_delta_;
+  *remaining_epsilon = RemainingEpsilonLocked();
+  *remaining_delta = RemainingDeltaLocked();
+  *num_committed = static_cast<int64_t>(committed_.size());
+}
+
+Status BudgetLedger::SaveJson(const std::string& path) const {
+  const std::string json = SerializeJson();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) {
+      return Status::NotFound("cannot write ledger file '" + tmp + "'");
+    }
+    file << json << "\n";
+    // Flush and re-check BEFORE the rename: a buffered write that fails at
+    // close (ENOSPC, say) must not replace a previously good ledger with a
+    // truncated one.
+    file.flush();
+    if (!file.good()) {
+      return Status::Internal("short write to ledger file '" + tmp + "'");
+    }
+  }
+#ifndef _WIN32
+  // fsync the temp file before publishing it: rename() is metadata-atomic,
+  // but without a data sync a crash can leave the NEW name pointing at
+  // not-yet-written blocks — destroying the only copy of the spend record.
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      return Status::Internal("cannot fsync ledger file '" + tmp + "'");
+    }
+    ::close(fd);
+  }
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+#ifndef _WIN32
+  // Best-effort directory sync so the rename itself is durable.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+#endif
+  return Status::OK();
+}
+
+namespace {
+
+// Reads {"epsilon": e, "delta": d} with finite non-negative values.
+Result<PrivacyParams> ParseParamsJson(const JsonValue& v,
+                                      const std::string& what) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("ledger file: " + what +
+                                   " is not an object");
+  }
+  const JsonValue* eps = v.Find("epsilon");
+  const JsonValue* del = v.Find("delta");
+  if (eps == nullptr || del == nullptr || !eps->is_number() ||
+      !del->is_number()) {
+    return Status::InvalidArgument("ledger file: " + what +
+                                   " needs numeric epsilon and delta");
+  }
+  const double e = eps->AsDouble(), d = del->AsDouble();
+  if (!std::isfinite(e) || e < 0.0 || !std::isfinite(d) || d < 0.0) {
+    return Status::InvalidArgument("ledger file: " + what +
+                                   " has negative or non-finite budget");
+  }
+  // Field assignment, not the checking constructor: recorded spends may
+  // legitimately carry ε = 0 components (e.g. PMW's degenerate rounds=0
+  // entry), which PrivacyParams(e, d) would abort on.
+  PrivacyParams params;
+  params.epsilon = e;
+  params.delta = d;
+  return params;
+}
+
+}  // namespace
+
+Status BudgetLedger::LoadJson(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open ledger file '" + path + "'");
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  JsonValue root;
+  {
+    auto parsed = JsonValue::Parse(text.str());
+    if (!parsed.ok()) {
+      return Status(parsed.status().code(), "ledger file '" + path +
+                                                "': " +
+                                                parsed.status().message());
+    }
+    root = std::move(parsed).value();
+  }
+  if (!root.is_object() || root.Find("entries") == nullptr ||
+      !root.Find("entries")->is_array()) {
+    return Status::InvalidArgument("ledger file '" + path +
+                                   "' has no entries array");
+  }
+
+  // Parse everything before mutating any state.
+  std::vector<Entry> entries;
+  double total_epsilon = 0.0, total_delta = 0.0;
+  for (const JsonValue& item : root.Find("entries")->items()) {
+    if (!item.is_object() || item.Find("label") == nullptr ||
+        !item.Find("label")->is_string() || item.Find("total") == nullptr) {
+      return Status::InvalidArgument(
+          "ledger file '" + path +
+          "': every entry needs a string label and a total");
+    }
+    Entry entry;
+    entry.label = item.Find("label")->AsString();
+    DPJOIN_ASSIGN_OR_RETURN(
+        entry.total, ParseParamsJson(*item.Find("total"),
+                                     "entry '" + entry.label + "' total"));
+    if (const JsonValue* breakdown = item.Find("breakdown")) {
+      if (!breakdown->is_array()) {
+        return Status::InvalidArgument("ledger file '" + path +
+                                       "': breakdown is not an array");
+      }
+      for (const JsonValue& spend : breakdown->items()) {
+        if (!spend.is_object() || spend.Find("label") == nullptr ||
+            !spend.Find("label")->is_string() ||
+            spend.Find("params") == nullptr) {
+          return Status::InvalidArgument(
+              "ledger file '" + path +
+              "': every breakdown spend needs a label and params");
+        }
+        PrivacyAccountant::Entry be;
+        be.label = spend.Find("label")->AsString();
+        DPJOIN_ASSIGN_OR_RETURN(
+            be.params, ParseParamsJson(*spend.Find("params"),
+                                       "spend '" + be.label + "'"));
+        entry.breakdown.push_back(std::move(be));
+      }
+    }
+    total_epsilon += entry.total.epsilon;
+    total_delta += entry.total.delta;
+    entries.push_back(std::move(entry));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!committed_.empty() || !outstanding_.empty()) {
+    return Status::FailedPrecondition(
+        "LoadJson needs an empty ledger: this one has " +
+        std::to_string(committed_.size()) + " commit(s) and " +
+        std::to_string(outstanding_.size()) + " reservation(s)");
+  }
+  // Refuse a file that resurrects more spend than this process's cap: the
+  // restarted server must keep honoring the guarantee it is configured for.
+  if (total_epsilon > cap_.epsilon + 1e-12 ||
+      total_delta > cap_.delta + 1e-15) {
+    std::ostringstream oss;
+    oss << "ledger file '" << path << "' records spend (" << total_epsilon
+        << ", " << total_delta << ") exceeding the configured cap ("
+        << cap_.epsilon << ", " << cap_.delta << ") — refusing to load";
+    return Status::FailedPrecondition(oss.str());
+  }
+  committed_ = std::move(entries);
+  committed_epsilon_ = total_epsilon;
+  committed_delta_ = total_delta;
+  return Status::OK();
 }
 
 }  // namespace dpjoin

@@ -92,6 +92,25 @@ class BudgetLedger {
   /// "remaining": {...}} with the per-mechanism spend breakdown inlined.
   std::string SerializeJson() const;
 
+  /// One-lock consistent snapshot of (spent ε, spent δ, remaining ε,
+  /// remaining δ, committed count) — the values a serving response echoes.
+  void Snapshot(double* spent_epsilon, double* spent_delta,
+                double* remaining_epsilon, double* remaining_delta,
+                int64_t* num_committed) const;
+
+  /// Persists the committed entries (SerializeJson) to `path`, atomically
+  /// enough for a single writer (write temp, rename). A restarted process
+  /// LoadJson()s the file so its spent budget survives the restart.
+  Status SaveJson(const std::string& path) const;
+
+  /// Restores committed entries from a SaveJson file into THIS ledger,
+  /// which must be empty (no commits, no outstanding reservations).
+  /// Refuses (FailedPrecondition) files whose total spend exceeds the
+  /// configured cap — a restart must never resurrect more budget than the
+  /// process is configured to allow. The file's own "cap" record is
+  /// informational only.
+  Status LoadJson(const std::string& path);
+
  private:
   double RemainingEpsilonLocked() const;
   double RemainingDeltaLocked() const;

@@ -1,0 +1,371 @@
+#include "engine/catalog.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "relational/generators.h"
+#include "relational/io.h"
+
+namespace dpjoin {
+
+namespace {
+
+std::atomic<int64_t> g_fingerprint_count{0};
+
+Status SourceError(const std::string& text, const std::string& message) {
+  return Status::InvalidArgument("bad data source '" + text + "': " + message);
+}
+
+}  // namespace
+
+uint64_t InstanceFingerprint(const Instance& instance) {
+  g_fingerprint_count.fetch_add(1, std::memory_order_relaxed);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (v >> (8 * b)) & 0xff;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  for (int r = 0; r < instance.num_relations(); ++r) {
+    std::vector<std::pair<int64_t, int64_t>> entries(
+        instance.relation(r).entries().begin(),
+        instance.relation(r).entries().end());
+    std::sort(entries.begin(), entries.end());
+    mix(static_cast<uint64_t>(r));
+    for (const auto& [code, freq] : entries) {
+      mix(static_cast<uint64_t>(code));
+      mix(static_cast<uint64_t>(freq));
+    }
+  }
+  return hash;
+}
+
+int64_t InstanceFingerprintCount() {
+  return g_fingerprint_count.load(std::memory_order_relaxed);
+}
+
+std::string SchemaString(const JoinQuery& query) {
+  std::ostringstream oss;
+  for (int a = 0; a < query.num_attributes(); ++a) {
+    if (a > 0) oss << ",";
+    oss << query.attribute_name(a) << ":" << query.domain_size(a);
+  }
+  oss << "|" << query.ToString();
+  return oss.str();
+}
+
+Result<DataSource> DataSource::Parse(const std::string& text) {
+  const std::string trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) return SourceError(text, "empty source");
+
+  if (trimmed.compare(0, 4, "csv:") == 0) {
+    DataSource source;
+    source.kind = Kind::kCsv;
+    source.csv_path = TrimWhitespace(trimmed.substr(4));
+    if (source.csv_path.empty()) return SourceError(text, "empty csv path");
+    return source;
+  }
+
+  if (trimmed.compare(0, 10, "generated:") == 0) {
+    const std::string body = TrimWhitespace(trimmed.substr(10));
+    const size_t open = body.find('(');
+    if (open == std::string::npos || body.empty() || body.back() != ')') {
+      return SourceError(text,
+                         "generated wants GENERATOR(key=value,...) with "
+                         "generator zipf|uniform");
+    }
+    const std::string generator = TrimWhitespace(body.substr(0, open));
+    DataSource source;
+    source.kind = Kind::kGenerated;
+    if (generator == "zipf") {
+      source.generator = Generator::kZipf;
+    } else if (generator == "uniform") {
+      source.generator = Generator::kUniform;
+    } else {
+      return SourceError(text, "unknown generator '" + generator +
+                                   "' (expected zipf|uniform)");
+    }
+    bool saw_tuples = false;
+    const std::string args = body.substr(open + 1, body.size() - open - 2);
+    std::stringstream ss(args);
+    std::string arg;
+    while (std::getline(ss, arg, ',')) {
+      arg = TrimWhitespace(arg);
+      if (arg.empty()) return SourceError(text, "empty generator argument");
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        return SourceError(text, "generator argument '" + arg +
+                                     "' wants key=value");
+      }
+      const std::string key = TrimWhitespace(arg.substr(0, eq));
+      const std::string value = TrimWhitespace(arg.substr(eq + 1));
+      try {
+        size_t consumed = 0;
+        if (key == "tuples") {
+          source.tuples = std::stoll(value, &consumed);
+          saw_tuples = true;
+        } else if (key == "seed") {
+          // stoull (not stoll): seeds are the full uint64 range, and a
+          // negative seed must be an error, not a silent wraparound that
+          // CanonicalString() could no longer parse back.
+          if (!value.empty() && value[0] == '-') {
+            return SourceError(text, "seed must be >= 0");
+          }
+          source.seed = std::stoull(value, &consumed);
+        } else if (key == "s" && source.generator == Generator::kZipf) {
+          source.zipf_s = std::stod(value, &consumed);
+        } else {
+          return SourceError(text, "unknown generator argument '" + key + "'");
+        }
+        if (consumed != value.size()) {
+          return SourceError(text, "bad number '" + value + "'");
+        }
+      } catch (const std::exception&) {
+        return SourceError(text, "bad number '" + value + "'");
+      }
+    }
+    if (!saw_tuples || source.tuples < 0) {
+      return SourceError(text, "generated sources need tuples=N with N >= 0");
+    }
+    if (source.generator == Generator::kZipf &&
+        (!std::isfinite(source.zipf_s) || source.zipf_s < 0.0)) {
+      return SourceError(text, "zipf skew s must be finite and >= 0");
+    }
+    return source;
+  }
+
+  // Bare catalog name. Reject names that LOOK like a source scheme typo.
+  if (trimmed.find(':') != std::string::npos) {
+    return SourceError(text,
+                       "unknown scheme (expected csv:<path>, "
+                       "generated:zipf(...), generated:uniform(...), or a "
+                       "bare dataset name without ':')");
+  }
+  DataSource source;
+  source.kind = Kind::kCatalogName;
+  source.name = trimmed;
+  return source;
+}
+
+std::string DataSource::CanonicalString() const {
+  switch (kind) {
+    case Kind::kCatalogName:
+      return name;
+    case Kind::kCsv:
+      return "csv:" + csv_path;
+    case Kind::kGenerated: {
+      std::ostringstream oss;
+      if (generator == Generator::kZipf) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", zipf_s);
+        oss << "generated:zipf(tuples=" << tuples << ",s=" << buf
+            << ",seed=" << seed << ")";
+      } else {
+        oss << "generated:uniform(tuples=" << tuples << ",seed=" << seed
+            << ")";
+      }
+      return oss.str();
+    }
+  }
+  return "";
+}
+
+std::string DataSource::ResolvedCanonicalString(
+    const std::string& base_dir) const {
+  if (kind == Kind::kCsv && csv_path.front() != '/' && !base_dir.empty()) {
+    return "csv:" + base_dir + "/" + csv_path;
+  }
+  return CanonicalString();
+}
+
+Result<Instance> DataSource::Materialize(
+    std::shared_ptr<const JoinQuery> query,
+    const std::string& base_dir) const {
+  DPJOIN_CHECK(query != nullptr, "Materialize needs a query");
+  switch (kind) {
+    case Kind::kCatalogName:
+      return Status::InvalidArgument(
+          "dataset name '" + name +
+          "' is a catalog reference, not a loadable source");
+    case Kind::kCsv: {
+      std::string path = csv_path;
+      if (path.front() != '/' && !base_dir.empty()) {
+        path = base_dir + "/" + path;
+      }
+      std::ifstream file(path);
+      if (!file) {
+        return Status::NotFound("cannot open instance file '" + path + "'");
+      }
+      auto loaded = ReadInstanceCsv(query, file);
+      if (!loaded.ok()) {
+        return Status(loaded.status().code(),
+                      "instance file '" + path +
+                          "': " + loaded.status().message());
+      }
+      return loaded;
+    }
+    case Kind::kGenerated: {
+      Rng rng(seed);
+      if (generator == Generator::kZipf) {
+        return MakeZipfInstance(*query, tuples, zipf_s, rng);
+      }
+      return MakeUniformInstance(*query, tuples, rng);
+    }
+  }
+  return Status::Internal("unreachable data-source kind");
+}
+
+DatasetHandle::DatasetHandle(std::string name, std::string source,
+                             Instance instance)
+    : name_(std::move(name)),
+      source_(std::move(source)),
+      instance_(std::make_shared<const Instance>(std::move(instance))),
+      fingerprint_(InstanceFingerprint(*instance_)),
+      input_size_(instance_->InputSize()) {}
+
+Result<std::shared_ptr<const DatasetHandle>> DataCatalog::Insert(
+    const std::string& name, Instance instance,
+    const std::string& source_desc) {
+  // Fingerprint outside the lock: registration is the one place the
+  // O(n log n) cost is paid, and it must not serialize concurrent lookups.
+  auto handle = std::make_shared<const DatasetHandle>(name, source_desc,
+                                                      std::move(instance));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = datasets_.emplace(name, handle);
+  if (!inserted) {
+    return Status::AlreadyExists(
+        "dataset '" + name +
+        "' is already registered (datasets are immutable; Unregister first "
+        "to replace it)");
+  }
+  return it->second;
+}
+
+namespace {
+
+Status ValidateDatasetName(const std::string& name) {
+  if (TrimWhitespace(name).empty() || TrimWhitespace(name) != name) {
+    return Status::InvalidArgument(
+        "dataset names must be non-empty without leading/trailing "
+        "whitespace, got '" + name + "'");
+  }
+  // ':' is reserved for source schemes: DataSource::Parse could never
+  // resolve such a name back to the registry, and it could collide with
+  // Resolve's auto-registration keys ("csv:...@<hash>").
+  if (name.find(':') != std::string::npos) {
+    return Status::InvalidArgument(
+        "dataset name '" + name +
+        "' contains ':', which is reserved for source schemes "
+        "(csv:, generated:)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const DatasetHandle>> DataCatalog::Register(
+    const std::string& name, Instance instance,
+    const std::string& source_desc) {
+  DPJOIN_RETURN_NOT_OK(ValidateDatasetName(name));
+  return Insert(name, std::move(instance), source_desc);
+}
+
+Result<std::shared_ptr<const DatasetHandle>> DataCatalog::RegisterSource(
+    const std::string& name, const std::string& source,
+    std::shared_ptr<const JoinQuery> query, const std::string& base_dir) {
+  DPJOIN_RETURN_NOT_OK(ValidateDatasetName(name));
+  DataSource parsed;
+  DPJOIN_ASSIGN_OR_RETURN(parsed, DataSource::Parse(source));
+  if (parsed.kind == DataSource::Kind::kCatalogName) {
+    return Status::InvalidArgument(
+        "cannot register dataset '" + name + "' from '" + source +
+        "': a bare name refers to an existing dataset (use csv:<path> or "
+        "generated:...)");
+  }
+  auto materialized = parsed.Materialize(query, base_dir);
+  if (!materialized.ok()) return materialized.status();
+  return Insert(name, std::move(materialized).value(),
+                parsed.CanonicalString());
+}
+
+Result<std::shared_ptr<const DatasetHandle>> DataCatalog::Resolve(
+    const std::string& source, std::shared_ptr<const JoinQuery> query,
+    const std::string& base_dir) {
+  DataSource parsed;
+  DPJOIN_ASSIGN_OR_RETURN(parsed, DataSource::Parse(source));
+  if (parsed.kind == DataSource::Kind::kCatalogName) {
+    return Get(parsed.name);
+  }
+  // Auto-registration name: base_dir-resolved canonical source + schema
+  // hash, so neither the same source string under two different schemas (a
+  // CSV read with different domains, say) nor the same relative path under
+  // two different base dirs ever collides.
+  DPJOIN_CHECK(query != nullptr, "Resolve needs a query for loadable sources");
+  const std::string auto_name =
+      parsed.ResolvedCanonicalString(base_dir) + "@" +
+      std::to_string(Fnv1aHash(SchemaString(*query)));
+  if (auto existing = Find(auto_name)) return existing;
+  // Insert, not RegisterSource: auto-names deliberately carry the ':' that
+  // user-facing registration rejects.
+  auto materialized = parsed.Materialize(query, base_dir);
+  if (!materialized.ok()) return materialized.status();
+  auto registered = Insert(auto_name, std::move(materialized).value(),
+                           parsed.CanonicalString());
+  if (registered.ok()) return registered;
+  // Lost a race: another thread registered the same source first — its
+  // handle is identical (sources materialize deterministically), use it.
+  if (registered.status().code() == StatusCode::kAlreadyExists) {
+    if (auto existing = Find(auto_name)) return existing;
+  }
+  return registered;
+}
+
+Result<std::shared_ptr<const DatasetHandle>> DataCatalog::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = datasets_.find(name);
+  if (it != datasets_.end()) return it->second;
+  // Deliberately does NOT enumerate the registered names: the message
+  // travels verbatim to protocol clients, and the catalog's contents
+  // (other tenants' names, auto-names embedding filesystem paths) are not
+  // theirs to see.
+  return Status::NotFound("unknown dataset '" + name + "' (" +
+                          std::to_string(datasets_.size()) +
+                          " dataset(s) registered)");
+}
+
+std::shared_ptr<const DatasetHandle> DataCatalog::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second;
+}
+
+bool DataCatalog::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return datasets_.erase(name) > 0;
+}
+
+std::vector<std::string> DataCatalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, handle] : datasets_) names.push_back(name);
+  return names;
+}
+
+size_t DataCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return datasets_.size();
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,183 @@
+// Dataset registration: pay the data-loading costs once, submit forever.
+//
+// PR 3's engine re-fingerprinted the instance (an O(n log n) sort over every
+// tuple) on EVERY submission — fine for research scripts, wrong for a
+// long-lived server. The catalog splits data registration from release
+// submission:
+//
+//   * DataSource      — where data comes from, as a parseable string:
+//                       `csv:<path>`, `generated:zipf(tuples=N,s=S,seed=K)`,
+//                       `generated:uniform(tuples=N,seed=K)`, or a bare
+//                       catalog dataset name.
+//   * DatasetHandle   — an immutable registered dataset: the loaded
+//                       Instance plus its fingerprint, computed exactly once
+//                       at registration. Shareable across threads.
+//   * DataCatalog     — a thread-safe name → DatasetHandle registry.
+//
+// The fingerprint (FNV-1a over the instance's sorted tuples) is half of the
+// engine's release identity (spec hash ⊕ fingerprint), so an identical spec
+// over different data is a different release while re-submitting the same
+// spec + dataset is a free cache hit. InstanceFingerprintCount() exposes a
+// process-wide computation counter so tests can assert the hot path never
+// re-fingerprints.
+//
+// Sources resolved through DataCatalog::Resolve are auto-registered under a
+// canonical name derived from the source and schema: resolving the same
+// `csv:`/`generated:` source again reuses the first materialization (no
+// re-read, no re-fingerprint). A CSV edited on disk is deliberately NOT
+// picked up — re-register under a new name (or Unregister first) to load
+// new data; a serving system must never silently swap the data under
+// releases it already paid for.
+
+#ifndef DPJOIN_ENGINE_CATALOG_H_
+#define DPJOIN_ENGINE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/instance.h"
+
+namespace dpjoin {
+
+/// FNV-1a over the instance's sorted (relation, code, frequency) triples.
+/// O(n log n); call once per dataset, never per submission. Every call bumps
+/// the process-wide InstanceFingerprintCount().
+uint64_t InstanceFingerprint(const Instance& instance);
+
+/// How many times InstanceFingerprint ran in this process (monotone;
+/// tests/stats use deltas to prove the submission hot path is
+/// fingerprint-free).
+int64_t InstanceFingerprintCount();
+
+/// Domain-inclusive schema rendering ("A:8,B:6|R(A,B),R(B,C)"-style).
+/// Unlike JoinQuery::ToString(), two queries agree here iff they have the
+/// same attributes WITH the same domain sizes and the same hyperedges —
+/// the identity the catalog and the engine's schema check key on.
+std::string SchemaString(const JoinQuery& query);
+
+/// A parsed dataset source description.
+struct DataSource {
+  enum class Kind {
+    kCatalogName,  ///< bare name of an already-registered dataset
+    kCsv,          ///< `csv:<path>` — ReadInstanceCsv file
+    kGenerated,    ///< `generated:zipf(...)` / `generated:uniform(...)`
+  };
+  enum class Generator { kZipf, kUniform };
+
+  Kind kind = Kind::kCatalogName;
+  std::string name;      ///< kCatalogName: the dataset name
+  std::string csv_path;  ///< kCsv: path, possibly relative to a base dir
+  Generator generator = Generator::kUniform;  ///< kGenerated
+  int64_t tuples = 0;    ///< kGenerated: ~tuples per relation
+  double zipf_s = 1.0;   ///< kGenerated zipf: skew exponent
+  uint64_t seed = 1;     ///< kGenerated: generation seed
+
+  /// Parses `name`, `csv:<path>`, or
+  /// `generated:{zipf|uniform}(key=value,...)` with keys tuples (required,
+  /// >= 0), seed, and (zipf only) s.
+  static Result<DataSource> Parse(const std::string& text);
+
+  /// Stable rendering that parses back to an equal source; the catalog's
+  /// auto-registration name is derived from it.
+  std::string CanonicalString() const;
+
+  /// CanonicalString with relative csv: paths resolved against `base_dir` —
+  /// the identity Resolve keys on, so the same relative path under two
+  /// different base dirs is two different datasets, never an alias.
+  std::string ResolvedCanonicalString(const std::string& base_dir) const;
+
+  /// Loads (kCsv, resolving relative paths against `base_dir`) or
+  /// deterministically generates (kGenerated) the instance for `query`.
+  /// kCatalogName sources cannot materialize — look them up instead.
+  Result<Instance> Materialize(std::shared_ptr<const JoinQuery> query,
+                               const std::string& base_dir) const;
+};
+
+/// An immutable registered dataset: instance + fingerprint, computed once.
+class DatasetHandle {
+ public:
+  /// Takes ownership of `instance` and fingerprints it (the only
+  /// InstanceFingerprint call this dataset will ever cause).
+  DatasetHandle(std::string name, std::string source, Instance instance);
+
+  const std::string& name() const { return name_; }
+  /// Canonical source description ("in-memory" for direct registrations).
+  const std::string& source() const { return source_; }
+  const Instance& instance() const { return *instance_; }
+  std::shared_ptr<const Instance> instance_ptr() const { return instance_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+  int64_t input_size() const { return input_size_; }
+
+ private:
+  std::string name_;
+  std::string source_;
+  std::shared_ptr<const Instance> instance_;
+  uint64_t fingerprint_;
+  int64_t input_size_;
+};
+
+/// Thread-safe name → DatasetHandle registry.
+class DataCatalog {
+ public:
+  DataCatalog() = default;
+  DataCatalog(const DataCatalog&) = delete;
+  DataCatalog& operator=(const DataCatalog&) = delete;
+
+  /// Registers an in-memory instance under `name`. AlreadyExists when the
+  /// name is taken (datasets are immutable; Unregister first to replace).
+  /// Names may not contain ':' — it is reserved for source schemes, so
+  /// every registered name stays addressable through DataSource syntax and
+  /// can never collide with Resolve's auto-registration keys.
+  Result<std::shared_ptr<const DatasetHandle>> Register(
+      const std::string& name, Instance instance,
+      const std::string& source_desc = "in-memory");
+
+  /// Parses + materializes `source` for `query`, then registers it under
+  /// `name`. kCatalogName sources are rejected (nothing to load).
+  Result<std::shared_ptr<const DatasetHandle>> RegisterSource(
+      const std::string& name, const std::string& source,
+      std::shared_ptr<const JoinQuery> query, const std::string& base_dir = "");
+
+  /// Resolves a source string for the engine: a bare name looks up the
+  /// registry (NotFound when absent); `csv:`/`generated:` sources are
+  /// materialized and auto-registered under a canonical source+schema name,
+  /// so resolving the same source again reuses the existing handle —
+  /// including its fingerprint.
+  Result<std::shared_ptr<const DatasetHandle>> Resolve(
+      const std::string& source, std::shared_ptr<const JoinQuery> query,
+      const std::string& base_dir = "");
+
+  /// The handle, or NotFound naming the known datasets.
+  Result<std::shared_ptr<const DatasetHandle>> Get(
+      const std::string& name) const;
+
+  /// The handle, or nullptr when absent.
+  std::shared_ptr<const DatasetHandle> Find(const std::string& name) const;
+
+  /// Removes `name`; false when absent. Outstanding handles stay valid
+  /// (shared ownership) — only the name is freed.
+  bool Unregister(const std::string& name);
+
+  /// Registered names in sorted order.
+  std::vector<std::string> Names() const;
+  size_t size() const;
+
+ private:
+  // Registration body without the reserved-name check (Resolve's
+  // auto-names legitimately contain ':').
+  Result<std::shared_ptr<const DatasetHandle>> Insert(
+      const std::string& name, Instance instance,
+      const std::string& source_desc);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const DatasetHandle>> datasets_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_ENGINE_CATALOG_H_

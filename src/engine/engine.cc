@@ -1,52 +1,21 @@
 #include "engine/engine.h"
 
-#include <algorithm>
-#include <fstream>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "common/thread_pool.h"
 #include "core/independent_laplace.h"
 #include "core/multi_table.h"
 #include "core/uniformize.h"
 #include "hierarchical/uniformize_hierarchical.h"
 #include "release/pmw.h"
-#include "relational/io.h"
 
 namespace dpjoin {
 
-namespace {
-
-// FNV-1a over the instance's sorted (relation, code, frequency) triples:
-// part of the cache key, so an identical spec over DIFFERENT data is a
-// different release rather than a stale cache hit.
-uint64_t InstanceFingerprint(const Instance& instance) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
-  const auto mix = [&hash](uint64_t v) {
-    for (int b = 0; b < 8; ++b) {
-      hash ^= (v >> (8 * b)) & 0xff;
-      hash *= 0x100000001b3ULL;
-    }
-  };
-  for (int r = 0; r < instance.num_relations(); ++r) {
-    std::vector<std::pair<int64_t, int64_t>> entries(
-        instance.relation(r).entries().begin(),
-        instance.relation(r).entries().end());
-    std::sort(entries.begin(), entries.end());
-    mix(static_cast<uint64_t>(r));
-    for (const auto& [code, freq] : entries) {
-      mix(static_cast<uint64_t>(code));
-      mix(static_cast<uint64_t>(freq));
-    }
-  }
-  return hash;
-}
-
-}  // namespace
-
-// RAII in-flight marker: the constructor blocks while another Run holds the
-// same key, the destructor releases it and wakes waiters.
+// RAII in-flight marker: the constructor blocks while another submission
+// holds the same key, the destructor releases it and wakes waiters.
 class ReleaseEngine::InFlightGuard {
  public:
   InFlightGuard(ReleaseEngine& engine, uint64_t key)
@@ -75,32 +44,137 @@ ReleaseEngine::ReleaseEngine(PrivacyParams global_budget,
                              size_t cache_capacity)
     : ledger_(global_budget), cache_(cache_capacity) {}
 
+LedgerSnapshot ReleaseEngine::SnapshotLedger() const {
+  // One-lock read: spent/remaining from separate getters could tear under
+  // a concurrent Commit (spent + remaining != cap).
+  LedgerSnapshot snapshot;
+  ledger_.Snapshot(&snapshot.spent_epsilon, &snapshot.spent_delta,
+                   &snapshot.remaining_epsilon, &snapshot.remaining_delta,
+                   &snapshot.num_committed);
+  return snapshot;
+}
+
+Result<ReleaseResponse> ReleaseEngine::Submit(const ReleaseRequest& request) {
+  const std::string& source =
+      request.dataset.empty() ? request.spec.dataset : request.dataset;
+  if (source.empty()) {
+    return Status::InvalidArgument(
+        "request names no dataset (set ReleaseRequest::dataset or the "
+        "spec's `dataset` key)");
+  }
+  DPJOIN_RETURN_NOT_OK(request.spec.ValidateFields());
+  // Built once and passed down (Resolve + schema check share it).
+  Result<JoinQuery> query = request.spec.BuildQuery();
+  if (!query.ok()) return query.status();
+  auto spec_query = std::make_shared<JoinQuery>(std::move(query).value());
+  std::shared_ptr<const DatasetHandle> data;
+  DPJOIN_ASSIGN_OR_RETURN(
+      data, catalog_.Resolve(source, spec_query, request.base_dir));
+  Rng rng(request.seed);
+  return SubmitResolved(request.spec, *spec_query, data->name(),
+                        data->fingerprint(), data->instance(), rng);
+}
+
+Result<std::shared_ptr<const ServingHandle>> ReleaseEngine::FindRelease(
+    uint64_t release_id) {
+  // Touch, not Get: query traffic must not skew the hit/miss counters,
+  // which report submission-dedup effectiveness.
+  if (std::shared_ptr<const ServingHandle> handle =
+          cache_.Touch(release_id)) {
+    return handle;
+  }
+  return Status::NotFound("no live release " + JsonHexId(release_id) +
+                          " (never submitted here, or evicted from the "
+                          "serving cache — re-submit its spec to rebuild)");
+}
+
+namespace {
+
+EngineRelease ToEngineRelease(ReleaseResponse&& response) {
+  EngineRelease release;
+  release.handle = std::move(response.handle);
+  release.plan = std::move(response.plan);
+  release.from_cache = response.from_cache;
+  release.accountant = std::move(response.accountant);
+  return release;
+}
+
+}  // namespace
+
 Result<EngineRelease> ReleaseEngine::Run(const ReleaseSpec& spec,
                                          const Instance& instance, Rng& rng) {
-  DPJOIN_RETURN_NOT_OK(spec.Validate());
-  const Result<JoinQuery> spec_query = spec.BuildQuery();
-  if (!spec_query.ok()) return spec_query.status();
-  if (spec_query->ToString() != instance.query().ToString()) {
-    return Status::InvalidArgument(
-        "instance query does not match the spec's schema: spec declares " +
-        spec_query->ToString() + " but the instance is over " +
-        instance.query().ToString());
+  DPJOIN_RETURN_NOT_OK(spec.ValidateFields());
+  Result<JoinQuery> query = spec.BuildQuery();
+  if (!query.ok()) return query.status();
+  // Ad-hoc instance: fingerprinted on EVERY call — the legacy cost the
+  // catalog path amortizes away.
+  const uint64_t fingerprint = InstanceFingerprint(instance);
+  Result<ReleaseResponse> response =
+      SubmitResolved(spec, *query, "<ad-hoc>", fingerprint, instance, rng);
+  if (!response.ok()) return response.status();
+  return ToEngineRelease(std::move(response).value());
+}
+
+Result<EngineRelease> ReleaseEngine::RunFromFile(const ReleaseSpec& spec,
+                                                 const std::string& base_dir,
+                                                 Rng& rng) {
+  if (spec.dataset.empty()) {
+    return Status::InvalidArgument("spec '" + spec.name +
+                                   "' declares no dataset");
   }
+  // Not a Submit() call: the legacy contract is that the CALLER's rng
+  // drives every noise draw, while Submit seeds its own from the request.
+  DPJOIN_RETURN_NOT_OK(spec.ValidateFields());
+  Result<JoinQuery> query = spec.BuildQuery();
+  if (!query.ok()) return query.status();
+  auto spec_query = std::make_shared<JoinQuery>(std::move(query).value());
+  std::shared_ptr<const DatasetHandle> data;
+  DPJOIN_ASSIGN_OR_RETURN(data,
+                          catalog_.Resolve(spec.dataset, spec_query, base_dir));
+  Result<ReleaseResponse> response =
+      SubmitResolved(spec, *spec_query, data->name(), data->fingerprint(),
+                     data->instance(), rng);
+  if (!response.ok()) return response.status();
+  return ToEngineRelease(std::move(response).value());
+}
+
+Result<ReleaseResponse> ReleaseEngine::SubmitResolved(
+    const ReleaseSpec& spec, const JoinQuery& spec_query,
+    const std::string& dataset_name, uint64_t dataset_fingerprint,
+    const Instance& instance, Rng& rng) {
+  // Domain-inclusive comparison: the same hypergraph over different domain
+  // sizes is a DIFFERENT release domain, and serving it as declared would
+  // silently change the released object.
+  if (SchemaString(spec_query) != SchemaString(instance.query())) {
+    return Status::InvalidArgument(
+        "dataset '" + dataset_name +
+        "' does not match the spec's schema: spec declares " +
+        SchemaString(spec_query) + " but the dataset is over " +
+        SchemaString(instance.query()));
+  }
+  ReleaseResponse response;
+  response.dataset_name = dataset_name;
+  response.dataset_fingerprint = dataset_fingerprint;
+  response.release_id = spec.Hash() ^ dataset_fingerprint;
+
+  // Serialize concurrent submissions of the same release: whoever enters
+  // first runs the mechanism, later callers block here, then hit the cache.
+  // The cache is consulted BEFORE the workload family is built — a hit's
+  // cost is one spec hash and one lock, independent of workload size (the
+  // handle already carries the family).
+  const InFlightGuard in_flight(*this, response.release_id);
+  if (std::shared_ptr<const ServingHandle> cached =
+          cache_.Get(response.release_id)) {
+    response.handle = std::move(cached);
+    response.plan = response.handle->plan();
+    response.from_cache = true;  // pure post-processing; nothing spent
+    response.ledger = SnapshotLedger();
+    return response;
+  }
+
   Result<QueryFamily> family_or = spec.BuildWorkload(instance.query());
   if (!family_or.ok()) return family_or.status();
   const QueryFamily& family = *family_or;
-
-  const uint64_t key = spec.Hash() ^ InstanceFingerprint(instance);
-  // Serialize concurrent Runs of the same release: whoever enters first
-  // runs the mechanism, later callers block here and then hit the cache.
-  const InFlightGuard in_flight(*this, key);
-  if (std::shared_ptr<const ServingHandle> cached = cache_.Get(key)) {
-    EngineRelease release;
-    release.handle = cached;
-    release.plan = cached->plan();
-    release.from_cache = true;  // pure post-processing; nothing spent
-    return release;
-  }
 
   // Reserve before planning: an over-budget spec is refused before any
   // instance statistic is measured.
@@ -114,7 +188,7 @@ Result<EngineRelease> ReleaseEngine::Run(const ReleaseSpec& spec,
   }
   Plan plan = std::move(plan_or).value();
 
-  // Thread-local override: concurrent Run calls each carry their own count.
+  // Thread-local override: concurrent submissions each carry their own.
   const ScopedThreads scoped(spec.num_threads);
   const PrivacyParams budget = spec.Budget();
   const ReleaseOptions options = spec.BuildReleaseOptions();
@@ -189,40 +263,14 @@ Result<EngineRelease> ReleaseEngine::Run(const ReleaseSpec& spec,
   }
 
   ledger_.Commit(ticket, accountant);
-  cache_.Put(key, handle);
+  cache_.Put(response.release_id, handle);
 
-  EngineRelease release;
-  release.handle = std::move(handle);
-  release.plan = std::move(plan);
-  release.from_cache = false;
-  release.accountant = std::move(accountant);
-  return release;
-}
-
-Result<EngineRelease> ReleaseEngine::RunFromFile(const ReleaseSpec& spec,
-                                                 const std::string& base_dir,
-                                                 Rng& rng) {
-  if (spec.instance_path.empty()) {
-    return Status::InvalidArgument("spec '" + spec.name +
-                                   "' declares no instance file");
-  }
-  std::string path = spec.instance_path;
-  if (path.front() != '/' && !base_dir.empty()) {
-    path = base_dir + "/" + path;
-  }
-  std::ifstream file(path);
-  if (!file) {
-    return Status::NotFound("cannot open instance file '" + path + "'");
-  }
-  Result<JoinQuery> query = spec.BuildQuery();
-  if (!query.ok()) return query.status();
-  auto loaded = ReadInstanceCsv(
-      std::make_shared<JoinQuery>(std::move(query).value()), file);
-  if (!loaded.ok()) {
-    return Status(loaded.status().code(), "instance file '" + path + "': " +
-                                              loaded.status().message());
-  }
-  return Run(spec, *loaded, rng);
+  response.handle = std::move(handle);
+  response.plan = std::move(plan);
+  response.from_cache = false;
+  response.accountant = std::move(accountant);
+  response.ledger = SnapshotLedger();
+  return response;
 }
 
 }  // namespace dpjoin

@@ -1,31 +1,48 @@
-// ReleaseEngine: the end-to-end "pay privacy once, serve forever" driver.
+// ReleaseEngine: the end-to-end "pay privacy once, serve forever" front
+// door, structured as a request/response API over a dataset catalog.
 //
-// Given a declarative ReleaseSpec and an instance, the engine
-//   1. builds the workload family (deterministically from the spec),
-//   2. consults the ReleaseCache — an identical spec is served from its
-//      existing handle without touching the budget,
-//   3. plans the mechanism (resolving `auto` with a rationale),
-//   4. reserves the spec's nominal (ε, δ) against the global BudgetLedger —
+// Data registration and release submission are separate steps so a
+// long-lived process amortizes the per-dataset costs (one load, one
+// O(n log n) fingerprint) across millions of submissions:
+//
+//   engine.catalog().Register("traffic", std::move(instance));
+//   ReleaseRequest request;
+//   request.spec = spec;            // schema, budget, mechanism, workload
+//   request.dataset = "traffic";    // or csv:<path> / generated:zipf(...)
+//   request.seed = 7;               // drives every noise draw
+//   Result<ReleaseResponse> response = engine.Submit(request);
+//
+// Submit
+//   1. validates the spec and resolves the dataset through the catalog
+//      (csv:/generated: sources auto-register once; the fingerprint is
+//      REUSED, never recomputed per submission),
+//   2. builds the workload family (deterministically from the spec),
+//   3. consults the ReleaseCache — the release id is spec hash ⊕ dataset
+//      fingerprint, so an identical spec over the same data is served from
+//      its existing handle without touching the budget, while the same spec
+//      over different data is a different release (never a stale hit),
+//   4. plans the mechanism (resolving `auto` with a rationale),
+//   5. reserves the spec's nominal (ε, δ) against the global BudgetLedger —
 //      refusing specs that would exceed the remaining cap,
-//   5. runs the chosen mechanism under the spec's thread-count override,
-//   6. commits the mechanism's OWN accountant totals to the ledger, and
-//   7. wraps the release in an immutable ServingHandle and caches it.
+//   6. runs the chosen mechanism under the spec's thread-count override,
+//   7. commits the mechanism's OWN accountant totals to the ledger, and
+//   8. wraps the release in an immutable ServingHandle, caches it, and
+//      returns the handle + release id + plan rationale + ledger snapshot.
 //
-// The engine object is safe to share across threads: the ledger and cache
-// synchronize internally, handles are immutable, and concurrent Run calls
-// for the SAME spec+instance are serialized so exactly one runs the
+// The engine object is safe to share across threads: catalog, ledger, and
+// cache synchronize internally, handles are immutable, and concurrent
+// Submits of the SAME release are serialized so exactly one runs the
 // mechanism — the rest are cache hits, never a duplicate budget spend.
-// Each Run needs its own Rng (two concurrent calls must not share one).
 //
-// Cache identity is the spec hash combined with a fingerprint of the
-// instance's actual tuples, so an identical spec over different data is a
-// different release (never a stale cache hit), while re-submitting the same
-// spec+data — even with a different thread count — re-runs free.
+// Run/RunFromFile are the pre-catalog API, kept as thin shims over Submit's
+// internals; Run fingerprints the ad-hoc instance on every call, which is
+// exactly the hot-path cost the catalog exists to avoid.
 
 #ifndef DPJOIN_ENGINE_ENGINE_H_
 #define DPJOIN_ENGINE_ENGINE_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +51,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "engine/budget_ledger.h"
+#include "engine/catalog.h"
 #include "engine/planner.h"
 #include "engine/release_spec.h"
 #include "engine/serving.h"
@@ -41,13 +59,56 @@
 
 namespace dpjoin {
 
-/// Outcome of one engine run.
+/// One release submission: which spec, over which data, under which seed.
+struct ReleaseRequest {
+  ReleaseSpec spec;
+
+  /// Dataset to release over, in DataSource syntax: a registered catalog
+  /// name, `csv:<path>`, or `generated:...`. Empty falls back to
+  /// `spec.dataset`; both empty is an error.
+  std::string dataset;
+
+  /// Seeds the release's Rng; a fixed seed reproduces the release
+  /// bit-for-bit at any thread count.
+  uint64_t seed = 1;
+
+  /// Base directory for resolving relative `csv:` paths.
+  std::string base_dir;
+};
+
+/// Ledger state echoed on every response (consistent snapshot).
+struct LedgerSnapshot {
+  double spent_epsilon = 0.0;
+  double spent_delta = 0.0;
+  double remaining_epsilon = 0.0;
+  double remaining_delta = 0.0;
+  int64_t num_committed = 0;
+};
+
+/// Outcome of one submission.
+struct ReleaseResponse {
+  std::shared_ptr<const ServingHandle> handle;
+
+  /// Stable release identity: spec hash ⊕ dataset fingerprint. The serving
+  /// cache key, and the id `query` protocol commands address handles by.
+  uint64_t release_id = 0;
+
+  std::string dataset_name;     ///< resolved catalog name
+  uint64_t dataset_fingerprint = 0;
+
+  Plan plan;                    ///< the serving handle's plan (echoed)
+  bool from_cache = false;      ///< true: no mechanism ran, no budget spent
+  PrivacyAccountant accountant; ///< the mechanism's ledger (empty on cache
+                                ///< hits — nothing was spent)
+  LedgerSnapshot ledger;        ///< global budget state after this request
+};
+
+/// Legacy outcome of Run/RunFromFile (pre-catalog API).
 struct EngineRelease {
   std::shared_ptr<const ServingHandle> handle;
-  Plan plan;                     ///< the serving handle's plan (echoed)
-  bool from_cache = false;       ///< true: no mechanism ran, no budget spent
-  PrivacyAccountant accountant;  ///< the mechanism's ledger (empty on cache
-                                 ///< hits — nothing was spent)
+  Plan plan;
+  bool from_cache = false;
+  PrivacyAccountant accountant;
 };
 
 class ReleaseEngine {
@@ -60,26 +121,55 @@ class ReleaseEngine {
   ReleaseEngine(const ReleaseEngine&) = delete;
   ReleaseEngine& operator=(const ReleaseEngine&) = delete;
 
-  /// Runs the spec against `instance` (whose query must structurally match
-  /// the spec's schema). `rng` drives every noise draw, so a fixed seed
-  /// reproduces the release bit-for-bit at any thread count.
+  /// Submits one release request (see the file comment for the pipeline).
+  Result<ReleaseResponse> Submit(const ReleaseRequest& request);
+
+  /// The serving handle for a previously returned release id, or NotFound
+  /// when it was never released here or has been evicted from the LRU cache.
+  /// Eviction drops the synthetic data, not the spent budget — size the
+  /// cache for the live working set, and re-Submit to rebuild (which
+  /// re-runs the mechanism and re-spends).
+  Result<std::shared_ptr<const ServingHandle>> FindRelease(
+      uint64_t release_id);
+
+  /// Dataset registry: register here once, then Submit by name forever.
+  DataCatalog& catalog() { return catalog_; }
+  const DataCatalog& catalog() const { return catalog_; }
+
+  /// Pre-catalog API: runs the spec against an ad-hoc `instance` (whose
+  /// query must structurally match the spec's schema), fingerprinting it on
+  /// every call. `rng` drives every noise draw.
   Result<EngineRelease> Run(const ReleaseSpec& spec, const Instance& instance,
                             Rng& rng);
 
-  /// Convenience: loads the instance from `spec.instance_path` (resolved
-  /// against `base_dir` when relative) via ReadInstanceCsv, then runs.
+  /// Pre-catalog API: resolves `spec.dataset` (any DataSource form,
+  /// relative csv: paths against `base_dir`) through the catalog, then
+  /// submits.
   Result<EngineRelease> RunFromFile(const ReleaseSpec& spec,
                                     const std::string& base_dir, Rng& rng);
 
   const BudgetLedger& ledger() const { return ledger_; }
+  BudgetLedger& mutable_ledger() { return ledger_; }
   const ReleaseCache& cache() const { return cache_; }
 
  private:
-  // Marks `key` in flight for the duration of a mechanism run; a second Run
-  // of the same key blocks until the first settles, then (on success) hits
-  // the cache instead of double-spending the budget.
+  // Marks `key` in flight for the duration of a mechanism run; a second
+  // submission of the same key blocks until the first settles, then (on
+  // success) hits the cache instead of double-spending the budget.
   class InFlightGuard;
 
+  // The shared submission pipeline: cache → reserve → plan → run → commit.
+  // `spec_query` is spec.BuildQuery(), built once by the caller so the
+  // per-submission cost stays flat.
+  Result<ReleaseResponse> SubmitResolved(const ReleaseSpec& spec,
+                                         const JoinQuery& spec_query,
+                                         const std::string& dataset_name,
+                                         uint64_t dataset_fingerprint,
+                                         const Instance& instance, Rng& rng);
+
+  LedgerSnapshot SnapshotLedger() const;
+
+  DataCatalog catalog_;
   BudgetLedger ledger_;
   ReleaseCache cache_;
   std::mutex in_flight_mu_;

@@ -8,28 +8,15 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "common/strings.h"
 #include "common/thread_pool.h"
+#include "engine/catalog.h"
 
 namespace dpjoin {
 
 namespace {
 
 constexpr char kMagic[] = "# dpjoin-release-spec v1";
-
-std::string Trim(const std::string& s) {
-  size_t lo = 0, hi = s.size();
-  while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo]))) ++lo;
-  while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1]))) --hi;
-  return s.substr(lo, hi - lo);
-}
-
-std::vector<std::string> SplitOn(const std::string& s, char sep) {
-  std::vector<std::string> parts;
-  std::stringstream ss(s);
-  std::string part;
-  while (std::getline(ss, part, sep)) parts.push_back(Trim(part));
-  return parts;
-}
 
 Status LineError(int64_t line, const std::string& message) {
   return Status::InvalidArgument("spec line " + std::to_string(line) + ": " +
@@ -123,6 +110,13 @@ Result<WorkloadFamilyKind> ParseWorkloadFamily(const std::string& token) {
 }
 
 Status ReleaseSpec::Validate() const {
+  DPJOIN_RETURN_NOT_OK(ValidateFields());
+  // Deep schema validation (attribute uniqueness, positive domains, edge
+  // well-formedness) is JoinQuery::Create's job.
+  return BuildQuery().status();
+}
+
+Status ReleaseSpec::ValidateFields() const {
   if (name.empty()) return Status::InvalidArgument("spec needs a name");
   if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
     return Status::InvalidArgument("epsilon must be positive and finite");
@@ -168,9 +162,11 @@ Status ReleaseSpec::Validate() const {
         "threads must lie in [0, " +
         std::to_string(ThreadPool::kMaxThreads) + "] (0 = default)");
   }
-  // Deep schema validation (attribute uniqueness, positive domains, edge
-  // well-formedness) is JoinQuery::Create's job.
-  return BuildQuery().status();
+  if (!dataset.empty()) {
+    // Any catalog name is legal here; csv:/generated: sources must parse.
+    DPJOIN_RETURN_NOT_OK(DataSource::Parse(dataset).status());
+  }
+  return Status::OK();
 }
 
 Result<JoinQuery> ReleaseSpec::BuildQuery() const {
@@ -215,12 +211,12 @@ ReleaseOptions ReleaseSpec::BuildReleaseOptions() const {
 
 std::string ReleaseSpec::CanonicalString() const {
   // Every semantic field in a fixed order with %.17g numbers, so two specs
-  // hash equal iff the engine would treat them identically. instance_path
-  // is semantic (the same schema over different data files is a different
-  // release); num_threads is NOT — the substrate's determinism contract
-  // makes the released output bit-identical at every thread count, so a
-  // re-submission differing only in threads must hit the serving cache
-  // instead of re-spending budget.
+  // hash equal iff the engine would treat them identically. Two fields are
+  // deliberately NOT semantic: num_threads (the substrate's determinism
+  // contract makes the released output bit-identical at every thread count,
+  // so a thread-count-only re-submission must hit the serving cache) and
+  // dataset (the engine keys releases by spec hash ⊕ catalog fingerprint —
+  // the DATA is identity, not the string naming where it came from).
   std::ostringstream oss;
   oss << kMagic << "\n";
   oss << "name=" << name << "\n";
@@ -251,24 +247,16 @@ std::string ReleaseSpec::CanonicalString() const {
   oss << "laplace_rule="
       << (laplace_rule == CompositionRule::kBasic ? "basic" : "advanced")
       << "\n";
-  oss << "instance=" << instance_path << "\n";
   return oss.str();
 }
 
 uint64_t ReleaseSpec::Hash() const {
-  // FNV-1a, 64-bit.
-  const std::string canonical = CanonicalString();
-  uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const char c : canonical) {
-    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
+  return Fnv1aHash(CanonicalString());
 }
 
 Result<ReleaseSpec> ParseReleaseSpec(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || Trim(line) != kMagic) {
+  if (!std::getline(is, line) || TrimWhitespace(line) != kMagic) {
     return Status::InvalidArgument(
         "missing dpjoin-release-spec header; not a release-spec config");
   }
@@ -279,21 +267,21 @@ Result<ReleaseSpec> ParseReleaseSpec(std::istream& is) {
     ++line_number;
     const size_t comment = line.find('#');
     if (comment != std::string::npos) line = line.substr(0, comment);
-    line = Trim(line);
+    line = TrimWhitespace(line);
     if (line.empty()) continue;
     const size_t eq = line.find('=');
     if (eq == std::string::npos) {
       return LineError(line_number, "expected 'key = value', got '" + line +
                                         "'");
     }
-    const std::string key = Trim(line.substr(0, eq));
-    const std::string value = Trim(line.substr(eq + 1));
+    const std::string key = TrimWhitespace(line.substr(0, eq));
+    const std::string value = TrimWhitespace(line.substr(eq + 1));
     if (key.empty() || value.empty()) {
       return LineError(line_number, "empty key or value");
     }
     // Repeatable keys.
     if (key == "attribute") {
-      const std::vector<std::string> parts = SplitOn(value, ':');
+      const std::vector<std::string> parts = SplitAndTrim(value, ':');
       if (parts.size() != 2 || parts[0].empty()) {
         return LineError(line_number,
                          "attribute wants NAME:DOMAIN_SIZE, got '" + value +
@@ -312,20 +300,27 @@ Result<ReleaseSpec> ParseReleaseSpec(std::istream& is) {
                              "'");
       }
       const std::vector<std::string> attrs =
-          SplitOn(value.substr(colon + 1), ',');
+          SplitAndTrim(value.substr(colon + 1), ',');
       for (const std::string& attr : attrs) {
         if (attr.empty()) {
           return LineError(line_number, "empty attribute in relation '" +
                                             value + "'");
         }
       }
-      spec.relation_names.push_back(Trim(value.substr(0, colon)));
+      spec.relation_names.push_back(TrimWhitespace(value.substr(0, colon)));
       spec.relation_attrs.push_back(attrs);
       continue;
     }
-    // Scalar keys, each allowed once.
+    // Scalar keys, each allowed once. `instance` is a deprecated alias of
+    // `dataset`: both write the same field, so both count as one key.
     if (!seen_scalars.insert(key).second) {
       return LineError(line_number, "duplicate key '" + key + "'");
+    }
+    if ((key == "dataset" && seen_scalars.count("instance")) ||
+        (key == "instance" && seen_scalars.count("dataset"))) {
+      return LineError(line_number,
+                       "'instance' is a deprecated alias of 'dataset'; give "
+                       "only one of them");
     }
     if (key == "name") {
       spec.name = value;
@@ -336,7 +331,7 @@ Result<ReleaseSpec> ParseReleaseSpec(std::istream& is) {
     } else if (key == "mechanism") {
       DPJOIN_ASSIGN_OR_RETURN(spec.mechanism, ParseMechanism(value));
     } else if (key == "workload") {
-      const std::vector<std::string> parts = SplitOn(value, ':');
+      const std::vector<std::string> parts = SplitAndTrim(value, ':');
       if (parts.empty() || parts.size() > 2) {
         return LineError(line_number,
                          "workload wants KIND[:PER_TABLE], got '" + value +
@@ -374,8 +369,14 @@ Result<ReleaseSpec> ParseReleaseSpec(std::istream& is) {
       int64_t threads = 0;
       DPJOIN_ASSIGN_OR_RETURN(threads, ParseInt(value));
       spec.num_threads = static_cast<int>(threads);
+    } else if (key == "dataset") {
+      spec.dataset = value;
     } else if (key == "instance") {
-      spec.instance_path = value;
+      // Pre-catalog alias for `dataset = csv:<path>`.
+      spec.dataset = "csv:" + value;
+      spec.parse_notes.push_back(
+          "line " + std::to_string(line_number) +
+          ": 'instance' is deprecated; use 'dataset = csv:" + value + "'");
     } else {
       return LineError(line_number, "unknown key '" + key + "'");
     }

@@ -29,7 +29,14 @@
 //   pmw_max_rounds = 24
 //   pmw_epsilon_prime = 0.25   # EXPERIMENTAL override, 0 = paper formula
 //   laplace_rule = advanced    # basic|advanced (mechanism = laplace only)
-//   instance  = data/two_table.csv
+//   dataset   = csv:data/two_table.csv
+//
+// `dataset` names the data the release runs over, in engine/catalog.h
+// DataSource syntax: a registered catalog name, `csv:<path>`, or
+// `generated:zipf(tuples=N,s=S,seed=K)` / `generated:uniform(tuples=N,
+// seed=K)` — so specs and benches need no checked-in CSVs. The pre-catalog
+// key `instance = <path>` still parses as `dataset = csv:<path>` and
+// records a deprecation note in ReleaseSpec::parse_notes.
 
 #ifndef DPJOIN_ENGINE_RELEASE_SPEC_H_
 #define DPJOIN_ENGINE_RELEASE_SPEC_H_
@@ -111,15 +118,28 @@ struct ReleaseSpec {
   /// override, so concurrent engine calls don't race.
   int num_threads = 0;
 
-  /// Path to the instance CSV (ReadInstanceCsv format). May be empty when
-  /// the caller passes an Instance directly.
-  std::string instance_path;
+  /// Data source in engine/catalog.h DataSource syntax (catalog name,
+  /// `csv:<path>`, or `generated:...`). May be empty when the caller passes
+  /// a dataset/Instance directly. NOT part of CanonicalString()/Hash():
+  /// data identity lives in the catalog fingerprint, which the engine folds
+  /// into the release id — re-pointing an identical spec at identical data
+  /// under a different name must be a cache hit, not a second budget spend.
+  std::string dataset;
+
+  /// Non-semantic parser diagnostics (currently: deprecation notes for the
+  /// pre-catalog `instance =` key). Never part of the canonical string.
+  std::vector<std::string> parse_notes;
 
   PrivacyParams Budget() const { return PrivacyParams(epsilon, delta); }
 
   /// Checks every invariant the parser enforces (field ranges plus schema
   /// well-formedness via JoinQuery::Create).
   Status Validate() const;
+
+  /// Validate() minus the JoinQuery::Create construction — for callers
+  /// (the engine's submission path) that build the query themselves right
+  /// after and must not pay for it twice.
+  Status ValidateFields() const;
 
   /// The join-query hypergraph declared by the schema fields.
   Result<JoinQuery> BuildQuery() const;

@@ -1,0 +1,412 @@
+#include "engine/server.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+#include "engine/catalog.h"
+#include "engine/release_spec.h"
+
+namespace dpjoin {
+
+namespace {
+
+JsonValue ErrorResponse(const std::string& cmd, const Status& status) {
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(false));
+  if (!cmd.empty()) response.Set("cmd", JsonValue::String(cmd));
+  response.Set("error", JsonValue::String(status.ToString()));
+  return response;
+}
+
+JsonValue OkResponse(const std::string& cmd) {
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(true));
+  response.Set("cmd", JsonValue::String(cmd));
+  return response;
+}
+
+JsonValue ParamsJson(double epsilon, double delta) {
+  JsonValue v = JsonValue::Object();
+  v.Set("epsilon", JsonValue::Number(epsilon));
+  v.Set("delta", JsonValue::Number(delta));
+  return v;
+}
+
+/// The request's `key` as an exact integer in [min, max] ⊆ [-2^53, 2^53]
+/// (the doubles JSON can carry exactly). Rejects NaN, fractions, and
+/// out-of-range values BEFORE any cast — casting an unrepresentable
+/// double is undefined behavior, and the loop must survive any input.
+Result<int64_t> GetExactInt(const JsonValue& v, const std::string& what,
+                            double min, double max) {
+  const double d = v.is_number() ? v.AsDouble() : std::nan("");
+  if (!(d >= min) || !(d <= max) || std::floor(d) != d) {
+    char bounds[80];
+    std::snprintf(bounds, sizeof(bounds), "%.17g, %.17g", min, max);
+    return Status::InvalidArgument(what + " must be an integer in [" +
+                                   bounds + "]");
+  }
+  return static_cast<int64_t>(d);
+}
+
+/// The request's `key` as a string; `required` distinguishes "absent"
+/// (error only when required) from "present but not a string" (always an
+/// error).
+Result<std::string> GetString(const JsonValue& request, const std::string& key,
+                              bool required) {
+  const JsonValue* v = request.Find(key);
+  if (v == nullptr) {
+    if (!required) return std::string();
+    return Status::InvalidArgument("request needs a string '" + key + "'");
+  }
+  if (!v->is_string()) {
+    return Status::InvalidArgument("request member '" + key +
+                                   "' must be a string");
+  }
+  return v->AsString();
+}
+
+/// "NAME:SIZE" attribute strings + "NAME:A,B" relation strings → JoinQuery.
+Result<JoinQuery> BuildQueryFromJson(const JsonValue& request) {
+  const JsonValue* attributes = request.Find("attributes");
+  const JsonValue* relations = request.Find("relations");
+  if (attributes == nullptr || !attributes->is_array() ||
+      relations == nullptr || !relations->is_array()) {
+    return Status::InvalidArgument(
+        "register needs 'attributes' (e.g. [\"A:8\"]) and 'relations' "
+        "(e.g. [\"R1:A,B\"]) arrays");
+  }
+  // SplitAndTrim everywhere, so "R1:A, B" means the same thing here as in
+  // a .spec file's `relation =` line.
+  std::vector<AttributeSpec> attrs;
+  for (const JsonValue& item : attributes->items()) {
+    if (!item.is_string()) {
+      return Status::InvalidArgument("attributes entries must be strings");
+    }
+    const std::string& text = item.AsString();
+    const std::vector<std::string> parts = SplitAndTrim(text, ':');
+    if (parts.size() != 2 || parts[0].empty()) {
+      return Status::InvalidArgument("attribute '" + text +
+                                     "' wants NAME:DOMAIN_SIZE");
+    }
+    try {
+      size_t consumed = 0;
+      const int64_t size = std::stoll(parts[1], &consumed);
+      if (consumed != parts[1].size()) throw std::exception();
+      attrs.push_back({parts[0], size});
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("attribute '" + text +
+                                     "' has a bad domain size");
+    }
+  }
+  std::vector<std::vector<std::string>> edges;
+  for (const JsonValue& item : relations->items()) {
+    if (!item.is_string()) {
+      return Status::InvalidArgument("relations entries must be strings");
+    }
+    const std::string& text = item.AsString();
+    const size_t colon = text.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= text.size()) {
+      return Status::InvalidArgument("relation '" + text +
+                                     "' wants NAME:ATTR[,ATTR...]");
+    }
+    edges.push_back(SplitAndTrim(text.substr(colon + 1), ','));
+  }
+  return JoinQuery::Create(std::move(attrs), std::move(edges));
+}
+
+}  // namespace
+
+ReleaseServer::ReleaseServer(ReleaseEngine& engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  if (!options_.ledger_path.empty()) {
+    // Only a genuinely ABSENT file is a fresh start. An existing but
+    // unreadable file must be a startup error: silently serving with an
+    // empty ledger would let the server re-spend budget the file proves
+    // was already consumed.
+    struct stat st;
+    if (::stat(options_.ledger_path.c_str(), &st) == 0) {
+      startup_status_ = engine_.mutable_ledger().LoadJson(options_.ledger_path);
+    } else if (errno != ENOENT) {
+      startup_status_ = Status::Internal(
+          "cannot stat ledger file '" + options_.ledger_path +
+          "': " + std::strerror(errno));
+    }
+  }
+}
+
+std::string ReleaseServer::HandleLine(const std::string& line) {
+  return HandleLineImpl(line, /*shutdown=*/nullptr);
+}
+
+std::string ReleaseServer::HandleLineImpl(const std::string& line,
+                                          bool* shutdown) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  auto request = JsonValue::Parse(line);
+  if (!request.ok()) {
+    return ErrorResponse("", request.status()).Serialize();
+  }
+  if (!request->is_object()) {
+    return ErrorResponse("", Status::InvalidArgument(
+                                 "request must be a JSON object"))
+        .Serialize();
+  }
+  return Dispatch(*request, shutdown).Serialize();
+}
+
+int64_t ReleaseServer::Serve(std::istream& in, std::ostream& out) {
+  int64_t handled = 0;
+  std::string line;
+  bool shutdown = false;
+  while (!shutdown && std::getline(in, line)) {
+    if (line.empty()) continue;
+    // A shutdown command is honored AFTER answering, so the peer sees the
+    // ack.
+    const std::string response = HandleLineImpl(line, &shutdown);
+    out << response << "\n" << std::flush;
+    ++handled;
+  }
+  return handled;
+}
+
+JsonValue ReleaseServer::Dispatch(const JsonValue& request, bool* shutdown) {
+  std::string cmd;
+  {
+    auto cmd_or = GetString(request, "cmd", /*required=*/true);
+    if (!cmd_or.ok()) return ErrorResponse("", cmd_or.status());
+    cmd = *cmd_or;
+  }
+  if (cmd == "register") return HandleRegister(request);
+  if (cmd == "unregister") return HandleUnregister(request);
+  if (cmd == "release") return HandleRelease(request);
+  if (cmd == "query") return HandleQuery(request);
+  if (cmd == "ledger") return HandleLedger();
+  if (cmd == "stats") return HandleStats();
+  if (cmd == "shutdown") {
+    if (shutdown != nullptr) *shutdown = true;
+    return OkResponse("shutdown");
+  }
+  return ErrorResponse(
+      cmd,
+      Status::InvalidArgument(
+          "unknown command '" + cmd +
+          "' (expected register|unregister|release|query|ledger|stats|"
+          "shutdown)"));
+}
+
+JsonValue ReleaseServer::HandleRegister(const JsonValue& request) {
+  std::string name, source;
+  {
+    auto name_or = GetString(request, "name", /*required=*/true);
+    if (!name_or.ok()) return ErrorResponse("register", name_or.status());
+    name = *name_or;
+    auto source_or = GetString(request, "source", /*required=*/true);
+    if (!source_or.ok()) return ErrorResponse("register", source_or.status());
+    source = *source_or;
+  }
+  auto query = BuildQueryFromJson(request);
+  if (!query.ok()) return ErrorResponse("register", query.status());
+  auto handle = engine_.catalog().RegisterSource(
+      name, source, std::make_shared<JoinQuery>(std::move(query).value()),
+      options_.base_dir);
+  if (!handle.ok()) return ErrorResponse("register", handle.status());
+
+  JsonValue response = OkResponse("register");
+  response.Set("name", JsonValue::String((*handle)->name()));
+  response.Set("source", JsonValue::String((*handle)->source()));
+  response.Set("fingerprint",
+               JsonValue::String(JsonHexId((*handle)->fingerprint())));
+  response.Set("input_size",
+               JsonValue::Number(static_cast<double>((*handle)->input_size())));
+  response.Set("num_relations",
+               JsonValue::Number((*handle)->instance().num_relations()));
+  return response;
+}
+
+JsonValue ReleaseServer::HandleUnregister(const JsonValue& request) {
+  // Frees the NAME (and the catalog's reference — memory returns once no
+  // live release still shares the instance). Already-paid releases keep
+  // serving; this does not refund any budget.
+  auto name_or = GetString(request, "name", /*required=*/true);
+  if (!name_or.ok()) return ErrorResponse("unregister", name_or.status());
+  if (!engine_.catalog().Unregister(*name_or)) {
+    return ErrorResponse("unregister",
+                         Status::NotFound("unknown dataset '" + *name_or +
+                                          "'"));
+  }
+  JsonValue response = OkResponse("unregister");
+  response.Set("name", JsonValue::String(*name_or));
+  return response;
+}
+
+JsonValue ReleaseServer::HandleRelease(const JsonValue& request) {
+  std::string spec_text;
+  {
+    auto spec_or = GetString(request, "spec", /*required=*/true);
+    if (!spec_or.ok()) return ErrorResponse("release", spec_or.status());
+    spec_text = *spec_or;
+  }
+  auto spec = ParseReleaseSpec(spec_text);
+  if (!spec.ok()) return ErrorResponse("release", spec.status());
+
+  ReleaseRequest release_request;
+  release_request.spec = std::move(spec).value();
+  release_request.base_dir = options_.base_dir;
+  {
+    auto dataset_or = GetString(request, "dataset", /*required=*/false);
+    if (!dataset_or.ok()) return ErrorResponse("release", dataset_or.status());
+    release_request.dataset = *dataset_or;
+  }
+  if (const JsonValue* seed = request.Find("seed")) {
+    auto value = GetExactInt(*seed, "seed", 0, 9007199254740992.0 /*2^53*/);
+    if (!value.ok()) return ErrorResponse("release", value.status());
+    release_request.seed = static_cast<uint64_t>(*value);
+  }
+
+  auto response_or = engine_.Submit(release_request);
+  if (!response_or.ok()) return ErrorResponse("release", response_or.status());
+  const ReleaseResponse& submitted = *response_or;
+  if (!submitted.from_cache) MaybeSaveLedger();
+
+  JsonValue response = OkResponse("release");
+  response.Set("release", JsonValue::String(JsonHexId(submitted.release_id)));
+  response.Set("name", JsonValue::String(release_request.spec.name));
+  response.Set("dataset", JsonValue::String(submitted.dataset_name));
+  response.Set("mechanism",
+               JsonValue::String(MechanismName(submitted.plan.mechanism)));
+  response.Set("from_cache", JsonValue::Bool(submitted.from_cache));
+  response.Set("rationale", JsonValue::String(submitted.plan.rationale));
+  response.Set("num_queries",
+               JsonValue::Number(
+                   static_cast<double>(submitted.handle->NumQueries())));
+  response.Set("spent", ParamsJson(submitted.ledger.spent_epsilon,
+                                   submitted.ledger.spent_delta));
+  response.Set("remaining", ParamsJson(submitted.ledger.remaining_epsilon,
+                                       submitted.ledger.remaining_delta));
+  if (!release_request.spec.parse_notes.empty()) {
+    JsonValue notes = JsonValue::Array();
+    for (const std::string& note : release_request.spec.parse_notes) {
+      notes.Append(JsonValue::String(note));
+    }
+    response.Set("notes", std::move(notes));
+  }
+  return response;
+}
+
+JsonValue ReleaseServer::HandleQuery(const JsonValue& request) {
+  std::string release_hex;
+  {
+    auto release_or = GetString(request, "release", /*required=*/true);
+    if (!release_or.ok()) return ErrorResponse("query", release_or.status());
+    release_hex = *release_or;
+  }
+  uint64_t release_id = 0;
+  {
+    auto id = ParseJsonHexId(release_hex);
+    if (!id.ok()) return ErrorResponse("query", id.status());
+    release_id = *id;
+  }
+  auto handle = engine_.FindRelease(release_id);
+  if (!handle.ok()) return ErrorResponse("query", handle.status());
+
+  const JsonValue* all = request.Find("all");
+  const JsonValue* queries = request.Find("queries");
+  std::vector<double> answers;
+  if (all != nullptr && all->is_bool() && all->AsBool()) {
+    answers = (*handle)->AnswerAll();
+  } else if (queries != nullptr && queries->is_array()) {
+    std::vector<int64_t> batch;
+    batch.reserve(queries->items().size());
+    for (const JsonValue& q : queries->items()) {
+      auto id = GetExactInt(q, "queries entries", -9007199254740992.0,
+                            9007199254740992.0);
+      if (!id.ok()) return ErrorResponse("query", id.status());
+      batch.push_back(*id);
+    }
+    auto batch_answers = (*handle)->AnswerBatch(batch);
+    if (!batch_answers.ok()) {
+      return ErrorResponse("query", batch_answers.status());
+    }
+    answers = std::move(batch_answers).value();
+  } else {
+    return ErrorResponse("query",
+                         Status::InvalidArgument(
+                             "query wants 'queries': [ids...] or "
+                             "'all': true"));
+  }
+
+  JsonValue response = OkResponse("query");
+  JsonValue array = JsonValue::Array();
+  for (const double a : answers) array.Append(JsonValue::Number(a));
+  response.Set("answers", std::move(array));
+  return response;
+}
+
+JsonValue ReleaseServer::HandleLedger() {
+  // SerializeJson is the audit format; parse it back so the response embeds
+  // a structured object rather than a double-encoded string.
+  auto ledger = JsonValue::Parse(engine_.ledger().SerializeJson());
+  if (!ledger.ok()) return ErrorResponse("ledger", ledger.status());
+  JsonValue response = OkResponse("ledger");
+  response.Set("ledger", std::move(ledger).value());
+  return response;
+}
+
+JsonValue ReleaseServer::HandleStats() {
+  const ReleaseCache& cache = engine_.cache();
+  const int64_t hits = cache.hits();
+  const int64_t misses = cache.misses();
+  JsonValue response = OkResponse("stats");
+  response.Set("requests",
+               JsonValue::Number(static_cast<double>(num_requests())));
+  response.Set("datasets",
+               JsonValue::Number(static_cast<double>(engine_.catalog().size())));
+  JsonValue cache_stats = JsonValue::Object();
+  cache_stats.Set("size",
+                  JsonValue::Number(static_cast<double>(cache.size())));
+  cache_stats.Set("capacity",
+                  JsonValue::Number(static_cast<double>(cache.capacity())));
+  cache_stats.Set("hits", JsonValue::Number(static_cast<double>(hits)));
+  cache_stats.Set("misses", JsonValue::Number(static_cast<double>(misses)));
+  cache_stats.Set(
+      "hit_rate",
+      JsonValue::Number(hits + misses == 0
+                            ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(hits + misses)));
+  response.Set("cache", std::move(cache_stats));
+  response.Set("fingerprints_computed",
+               JsonValue::Number(
+                   static_cast<double>(InstanceFingerprintCount())));
+  response.Set("ledger_save_failures",
+               JsonValue::Number(static_cast<double>(
+                   ledger_save_failures_.load(std::memory_order_relaxed))));
+  return response;
+}
+
+void ReleaseServer::MaybeSaveLedger() {
+  if (options_.ledger_path.empty()) return;
+  std::lock_guard<std::mutex> lock(save_mu_);
+  // Best-effort: a failed save must not fail the release that triggered it
+  // (the budget was already spent); the next save retries. But never
+  // silent — the operator needs to know the on-disk record is stale.
+  const Status saved = engine_.ledger().SaveJson(options_.ledger_path);
+  if (!saved.ok()) {
+    ledger_save_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::cerr << "dpjoin_serve: ledger save failed: " << saved << "\n";
+  }
+}
+
+}  // namespace dpjoin

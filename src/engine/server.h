@@ -1,0 +1,126 @@
+// dpjoin_serve: a long-lived JSON-lines request loop over a ReleaseEngine.
+//
+// One request per input line, one response per output line — the classic
+// stdin/stdout protocol that composes with pipes, tests, and benches, and
+// upgrades trivially to a socket. Every command is a JSON object with a
+// "cmd" member:
+//
+//   {"cmd": "register", "name": "demo",
+//    "source": "generated:zipf(tuples=400,s=1.0,seed=7)",
+//    "attributes": ["A:8", "B:4", "C:8"],
+//    "relations": ["R1:A,B", "R2:B,C"]}
+//     -> {"ok": true, "cmd": "register", "name": "demo",
+//         "source": "<canonical>", "fingerprint": "0x...",
+//         "input_size": N, "num_relations": m}
+//
+//   {"cmd": "release", "dataset": "demo", "seed": 7,
+//    "spec": "# dpjoin-release-spec v1\nname = r1\n..."}
+//     -> {"ok": true, "cmd": "release", "release": "0x...", "name": "r1",
+//         "dataset": "demo", "mechanism": "...", "from_cache": false,
+//         "rationale": "...", "num_queries": N,
+//         "spent": {"epsilon": e, "delta": d}, "remaining": {...}}
+//        (re-releasing an identical spec+dataset: from_cache = true and
+//         spent unchanged — privacy is paid once)
+//
+//   {"cmd": "query", "release": "0x...", "queries": [0, 3, 7]}   or
+//   {"cmd": "query", "release": "0x...", "all": true}
+//     -> {"ok": true, "cmd": "query", "answers": [...]}
+//
+//   {"cmd": "unregister", "name": "demo"}
+//     -> frees the catalog name (releases already paid keep serving; no
+//        budget is refunded). Auto-registered csv:/generated: datasets can
+//        be dropped this way too (their auto-name is source@schema-hash) —
+//        until an eviction policy exists, long-running servers releasing
+//        over many DISTINCT sources should unregister retired ones.
+//
+//   {"cmd": "ledger"}   -> {"ok": true, "cmd": "ledger", "ledger": {...}}
+//   {"cmd": "stats"}    -> cache/catalog/fingerprint/save-failure counters
+//   {"cmd": "shutdown"} -> {"ok": true, ...}; Serve() returns
+//
+// Errors never kill the loop: a malformed line or failed command answers
+// {"ok": false, "cmd": ..., "error": "<Code>: <message>"} and the server
+// keeps serving. 64-bit ids (release ids, fingerprints) travel as 0x-hex
+// strings because JSON numbers are doubles.
+//
+// HandleLine is safe to call from any number of threads (the engine's
+// catalog/ledger/cache synchronize internally); Serve() is the
+// single-threaded convenience loop over a stream pair. When
+// ServerOptions::ledger_path is set, the ledger is loaded at construction
+// (if the file exists) and saved after every fresh release, so a restarted
+// server resumes with its spent budget intact.
+
+#ifndef DPJOIN_ENGINE_SERVER_H_
+#define DPJOIN_ENGINE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "engine/engine.h"
+
+namespace dpjoin {
+
+struct ServerOptions {
+  /// Base directory for relative `csv:` dataset paths.
+  std::string base_dir;
+
+  /// When non-empty: LoadJson at startup (missing file = fresh start),
+  /// SaveJson after every budget-spending release.
+  std::string ledger_path;
+};
+
+class ReleaseServer {
+ public:
+  /// The engine must outlive the server. Ledger restore errors from
+  /// `options.ledger_path` are deferred to startup_status() so callers can
+  /// decide whether a corrupt/over-cap file is fatal.
+  ReleaseServer(ReleaseEngine& engine, ServerOptions options = {});
+
+  ReleaseServer(const ReleaseServer&) = delete;
+  ReleaseServer& operator=(const ReleaseServer&) = delete;
+
+  /// OK, or why the ledger restore was refused (over-cap, corrupt file).
+  const Status& startup_status() const { return startup_status_; }
+
+  /// Handles one request line, returns one response line (no trailing
+  /// newline). Never fails — protocol errors become ok:false responses.
+  std::string HandleLine(const std::string& line);
+
+  /// Reads JSON-lines from `in` until EOF or a shutdown command, writing
+  /// one response line each (flushed — the peer may be a pipe waiting on
+  /// the answer). Returns the number of requests handled.
+  int64_t Serve(std::istream& in, std::ostream& out);
+
+  int64_t num_requests() const { return requests_.load(); }
+
+ private:
+  // `shutdown` (optional) is set when the request was a shutdown command,
+  // so Serve() needs no second parse of the line.
+  std::string HandleLineImpl(const std::string& line, bool* shutdown);
+  JsonValue Dispatch(const JsonValue& request, bool* shutdown);
+  JsonValue HandleRegister(const JsonValue& request);
+  JsonValue HandleUnregister(const JsonValue& request);
+  JsonValue HandleRelease(const JsonValue& request);
+  JsonValue HandleQuery(const JsonValue& request);
+  JsonValue HandleLedger();
+  JsonValue HandleStats();
+
+  void MaybeSaveLedger();
+
+  ReleaseEngine& engine_;
+  const ServerOptions options_;
+  Status startup_status_;
+  std::atomic<int64_t> requests_{0};
+  // Failed ledger saves: logged to stderr and surfaced in `stats` so an
+  // operator can see the on-disk record drifting from real spend.
+  std::atomic<int64_t> ledger_save_failures_{0};
+  std::mutex save_mu_;  // serializes ledger-file writes
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_ENGINE_SERVER_H_

@@ -90,6 +90,14 @@ std::shared_ptr<const ServingHandle> ReleaseCache::Get(uint64_t key) {
   return it->second.handle;
 }
 
+std::shared_ptr<const ServingHandle> ReleaseCache::Touch(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.handle;
+}
+
 void ReleaseCache::Put(uint64_t key,
                        std::shared_ptr<const ServingHandle> handle) {
   DPJOIN_CHECK(handle != nullptr, "cannot cache a null handle");

@@ -76,7 +76,15 @@ class ReleaseCache {
   explicit ReleaseCache(size_t capacity);
 
   /// The cached handle (bumped to most-recently-used), or null on miss.
+  /// Counts toward hits()/misses() — call this from the SUBMISSION path,
+  /// where the ratio measures how often repeated releases dedup.
   std::shared_ptr<const ServingHandle> Get(uint64_t key);
+
+  /// Like Get (recency bump included: actively queried releases should
+  /// stay cached) but does NOT touch the hit/miss counters — for
+  /// query-path lookups, which would otherwise drown the submission-dedup
+  /// ratio that stats and BENCH_ENGINE.json report.
+  std::shared_ptr<const ServingHandle> Touch(uint64_t key);
 
   /// Inserts (or refreshes) a handle, evicting the least-recently-used
   /// entry when past capacity.

@@ -113,4 +113,28 @@ Instance MakeZipfPathInstance(const JoinQuery& query,
   return instance;
 }
 
+Instance MakeZipfInstance(const JoinQuery& query, int64_t tuples_per_relation,
+                          double zipf_s, Rng& rng) {
+  Instance instance = Instance::Make(query);
+  for (int r = 0; r < query.num_relations(); ++r) {
+    Relation& rel = instance.mutable_relation(r);
+    const std::vector<int>& order = rel.attribute_order();
+    DPJOIN_CHECK(!order.empty(), "relation with no attributes");
+    const int head = order[0];
+    const std::vector<int64_t> degrees =
+        ZipfCounts(query.domain_size(head), tuples_per_relation, zipf_s);
+    std::vector<int64_t> tuple(order.size());
+    for (int64_t v = 0; v < query.domain_size(head); ++v) {
+      for (int64_t d = 0; d < degrees[static_cast<size_t>(v)]; ++d) {
+        tuple[0] = v;
+        for (size_t a = 1; a < order.size(); ++a) {
+          tuple[a] = rng.UniformInt(0, query.domain_size(order[a]) - 1);
+        }
+        DPJOIN_CHECK(rel.AddFrequency(tuple, 1).ok());
+      }
+    }
+  }
+  return instance;
+}
+
 }  // namespace dpjoin

@@ -38,6 +38,16 @@ Instance MakeZipfPathInstance(const JoinQuery& query,
                               int64_t tuples_per_relation, double zipf_s,
                               Rng& rng);
 
+/// Zipf(s)-skewed instance over ANY join query: in each relation, the value
+/// of its first attribute (ascending attribute order) gets degree ∝
+/// 1/(v+1)^s via ZipfCounts (totaling ~tuples_per_relation), and every
+/// remaining coordinate is drawn uniformly. Generation is strictly serial
+/// and consumes `rng` in a fixed order, so a fixed seed reproduces the
+/// instance bit-for-bit regardless of thread count — the property the
+/// engine's `generated:zipf(...)` data sources rely on.
+Instance MakeZipfInstance(const JoinQuery& query, int64_t tuples_per_relation,
+                          double zipf_s, Rng& rng);
+
 /// Samples Zipf weights w_v ∝ 1/(v+1)^s over [0, support), normalized to sum
 /// ~total (each weight ≥ 0, rounded; at least 1 for v = 0 when total > 0).
 std::vector<int64_t> ZipfCounts(int64_t support, int64_t total, double s);

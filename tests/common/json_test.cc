@@ -1,0 +1,108 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace dpjoin {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("42")->AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-1.5e3")->AsDouble(), -1500.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+  EXPECT_EQ(JsonValue::Parse("  \"pad\"  ")->AsString(), "pad");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  auto v = JsonValue::Parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(v.ok()) << v.status();
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[1].AsDouble(), 2.0);
+  EXPECT_TRUE(a->items()[2].Find("b")->AsBool());
+  EXPECT_TRUE(v->Find("c")->Find("d")->is_null());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  const std::string raw = "line1\nline2\t\"quoted\"\\slash\x01";
+  JsonValue v = JsonValue::String(raw);
+  auto back = JsonValue::Parse(v.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->AsString(), raw);
+
+  // \u escapes, including a surrogate pair (U+1F600).
+  auto unicode = JsonValue::Parse(R"("caf\u00e9 \ud83d\ude00")");
+  ASSERT_TRUE(unicode.ok()) << unicode.status();
+  EXPECT_EQ(unicode->AsString(), "caf\xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, NumbersRoundTripValueExact) {
+  for (const double d : {0.0, 1.0, -2.5, 1e-5, 0.1, 1.0 / 3.0, 1e300}) {
+    const std::string text = JsonValue::Number(d).Serialize();
+    EXPECT_EQ(JsonValue::Parse(text)->AsDouble(), d) << text;
+  }
+  // Non-finite serializes as null (JSON has no literal for it).
+  EXPECT_EQ(JsonValue::Number(std::nan("")).Serialize(), "null");
+}
+
+TEST(JsonTest, ObjectKeepsInsertionOrderAndSetReplaces) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("z", JsonValue::Number(1));
+  obj.Set("a", JsonValue::Number(2));
+  obj.Set("z", JsonValue::Number(3));  // replace in place, order kept
+  EXPECT_EQ(obj.Serialize(), "{\"z\": 3, \"a\": 2}");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  const char* cases[] = {
+      "",
+      "{",
+      "[1, 2",
+      "{\"a\": }",
+      "{\"a\": 1,}x",
+      "\"unterminated",
+      "{\"a\": 1} trailing",
+      "{'single': 1}",
+      "{\"dup\": 1, \"dup\": 2}",
+      "nulll",
+      "+1",
+      "0x10",
+      "\"bad \\q escape\"",
+      "\"\\ud800 lonely high\"",
+      "[1, , 2]",
+  };
+  for (const char* text : cases) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << text;
+  }
+  // Depth bomb: 100 nested arrays exceed the 64-level cap.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, HexIdsRoundTripFullRange) {
+  for (const uint64_t id :
+       {uint64_t{0}, uint64_t{1}, uint64_t{0xdeadbeef},
+        uint64_t{0xffffffffffffffff}, uint64_t{1} << 53}) {
+    const std::string text = JsonHexId(id);
+    auto back = ParseJsonHexId(text);
+    ASSERT_TRUE(back.ok()) << text;
+    EXPECT_EQ(*back, id);
+  }
+  EXPECT_FALSE(ParseJsonHexId("123").ok());
+  EXPECT_FALSE(ParseJsonHexId("0x").ok());
+  EXPECT_FALSE(ParseJsonHexId("0xg").ok());
+  EXPECT_FALSE(ParseJsonHexId("0x11112222333344445").ok());  // 17 digits
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -124,6 +127,130 @@ TEST(BudgetLedgerTest, SerializesEntriesAsJson) {
   const std::string text = ledger.ToString();
   EXPECT_NE(text.find("budget cap"), std::string::npos);
   EXPECT_NE(text.find("remaining"), std::string::npos);
+}
+
+TEST(BudgetLedgerTest, SaveLoadRoundTripsAcrossARestart) {
+  const std::string path = ::testing::TempDir() + "/ledger_roundtrip.json";
+  {
+    BudgetLedger ledger(PrivacyParams(4.0, 1e-3));
+    auto t1 = ledger.Reserve("release_one", PrivacyParams(1.0, 1e-5));
+    ASSERT_TRUE(t1.ok());
+    ledger.Commit(*t1, AccountantSpending(1.0, 1e-5));
+    auto t2 = ledger.Reserve("release \"two\"", PrivacyParams(0.5, 1e-6));
+    ASSERT_TRUE(t2.ok());
+    ledger.Commit(*t2, AccountantSpending(0.5, 1e-6));
+    ASSERT_TRUE(ledger.SaveJson(path).ok());
+  }
+
+  // The "restarted process": a fresh ledger with the same cap resumes with
+  // the full recorded spend, entry labels, and breakdowns.
+  BudgetLedger restarted(PrivacyParams(4.0, 1e-3));
+  ASSERT_TRUE(restarted.LoadJson(path).ok());
+  EXPECT_EQ(restarted.num_committed(), 2);
+  EXPECT_DOUBLE_EQ(restarted.SpentEpsilon(), 1.5);
+  EXPECT_DOUBLE_EQ(restarted.RemainingEpsilon(), 2.5);
+  const auto entries = restarted.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].label, "release_one");
+  EXPECT_EQ(entries[1].label, "release \"two\"");
+  ASSERT_EQ(entries[0].breakdown.size(), 2u);
+  EXPECT_EQ(entries[0].breakdown[0].label, "half-a");
+  EXPECT_DOUBLE_EQ(entries[0].breakdown[0].params.epsilon, 0.5);
+
+  // The restored spend keeps gating new reservations.
+  EXPECT_TRUE(restarted.Reserve("big", PrivacyParams(3.0, 1e-5))
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(restarted.Reserve("fits", PrivacyParams(2.0, 1e-5)).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BudgetLedgerTest, SaveLoadIsValueExactForNonRepresentableSpends) {
+  // Budget spends are rarely clean decimals (advanced composition yields
+  // values like ε/3); persistence must round-trip them bit-exact or a
+  // restarted server would enforce a subtly different cap.
+  const std::string path = ::testing::TempDir() + "/ledger_exact.json";
+  const double eps = 1.0 / 3.0;
+  const double del = 1e-5 / 3.0;
+  {
+    BudgetLedger ledger(PrivacyParams(4.0, 1e-3));
+    auto ticket = ledger.Reserve("third", PrivacyParams(eps, del));
+    ASSERT_TRUE(ticket.ok());
+    PrivacyAccountant accountant;
+    accountant.SpendSequential("spend", PrivacyParams(eps, del));
+    ledger.Commit(*ticket, accountant);
+    ASSERT_TRUE(ledger.SaveJson(path).ok());
+  }
+  BudgetLedger restarted(PrivacyParams(4.0, 1e-3));
+  ASSERT_TRUE(restarted.LoadJson(path).ok());
+  EXPECT_EQ(restarted.SpentEpsilon(), eps) << "bit-exact, not approximate";
+  EXPECT_EQ(restarted.SpentDelta(), del);
+  const auto entries = restarted.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].breakdown[0].params.epsilon, eps);
+  std::remove(path.c_str());
+}
+
+TEST(BudgetLedgerTest, LoadRefusesSpendExceedingTheConfiguredCap) {
+  const std::string path = ::testing::TempDir() + "/ledger_overcap.json";
+  {
+    BudgetLedger ledger(PrivacyParams(4.0, 1e-3));
+    auto ticket = ledger.Reserve("big", PrivacyParams(3.0, 1e-5));
+    ASSERT_TRUE(ticket.ok());
+    ledger.Commit(*ticket, AccountantSpending(3.0, 1e-5));
+    ASSERT_TRUE(ledger.SaveJson(path).ok());
+  }
+  // A restart with a SMALLER cap must refuse the file: resurrecting more
+  // spend than the process is configured for would break the guarantee.
+  BudgetLedger small(PrivacyParams(2.0, 1e-3));
+  const Status refused = small.LoadJson(path);
+  EXPECT_TRUE(refused.IsFailedPrecondition()) << refused;
+  EXPECT_NE(refused.message().find("exceeding the configured cap"),
+            std::string::npos);
+  EXPECT_EQ(small.num_committed(), 0);
+  EXPECT_DOUBLE_EQ(small.SpentEpsilon(), 0.0);
+
+  // An equal-or-larger cap loads the same file fine.
+  BudgetLedger big(PrivacyParams(8.0, 1e-3));
+  EXPECT_TRUE(big.LoadJson(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BudgetLedgerTest, LoadRejectsNonEmptyLedgersAndCorruptFiles) {
+  const std::string path = ::testing::TempDir() + "/ledger_corrupt.json";
+  {
+    BudgetLedger ledger(PrivacyParams(4.0, 1e-3));
+    auto ticket = ledger.Reserve("one", PrivacyParams(1.0, 1e-5));
+    ASSERT_TRUE(ticket.ok());
+    ledger.Commit(*ticket, AccountantSpending(1.0, 1e-5));
+    ASSERT_TRUE(ledger.SaveJson(path).ok());
+
+    // A ledger that already has state refuses to load over it.
+    EXPECT_TRUE(ledger.LoadJson(path).IsFailedPrecondition());
+  }
+  {
+    BudgetLedger ledger(PrivacyParams(4.0, 1e-3));
+    auto outstanding = ledger.Reserve("pending", PrivacyParams(0.1, 1e-6));
+    ASSERT_TRUE(outstanding.ok());
+    EXPECT_TRUE(ledger.LoadJson(path).IsFailedPrecondition());
+    ledger.Abandon(*outstanding);
+  }
+
+  BudgetLedger fresh(PrivacyParams(4.0, 1e-3));
+  EXPECT_TRUE(fresh.LoadJson(path + ".missing").IsNotFound());
+  for (const char* body :
+       {"not json at all", "[1, 2, 3]", "{\"entries\": 7}",
+        "{\"entries\": [{\"label\": 1}]}",
+        "{\"entries\": [{\"label\": \"x\", \"total\": {\"epsilon\": -1, "
+        "\"delta\": 0}}]}",
+        "{\"entries\": [{\"label\": \"x\", \"total\": {\"epsilon\": 1}}]}"}) {
+    std::ofstream file(path);
+    file << body;
+    file.close();
+    EXPECT_FALSE(fresh.LoadJson(path).ok()) << body;
+    EXPECT_EQ(fresh.num_committed(), 0) << "failed load must not mutate";
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

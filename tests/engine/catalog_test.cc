@@ -1,0 +1,285 @@
+#include "engine/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cerrno>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "relational/generators.h"
+#include "relational/io.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+namespace {
+
+std::shared_ptr<const JoinQuery> TwoTableQuery() {
+  return std::make_shared<JoinQuery>(MakeTwoTableQuery(4, 5, 4));
+}
+
+std::string DumpCsv(const Instance& instance) {
+  std::stringstream out;
+  DPJOIN_CHECK(WriteInstanceCsv(instance, out).ok());
+  return out.str();
+}
+
+TEST(DataSourceTest, ParsesEveryForm) {
+  auto name = DataSource::Parse("  traffic_2026  ");
+  ASSERT_TRUE(name.ok()) << name.status();
+  EXPECT_EQ(name->kind, DataSource::Kind::kCatalogName);
+  EXPECT_EQ(name->name, "traffic_2026");
+  EXPECT_EQ(name->CanonicalString(), "traffic_2026");
+
+  auto csv = DataSource::Parse("csv:data/two_table.csv");
+  ASSERT_TRUE(csv.ok()) << csv.status();
+  EXPECT_EQ(csv->kind, DataSource::Kind::kCsv);
+  EXPECT_EQ(csv->csv_path, "data/two_table.csv");
+  EXPECT_EQ(csv->CanonicalString(), "csv:data/two_table.csv");
+
+  auto zipf = DataSource::Parse("generated:zipf(tuples=400, s=1.25, seed=9)");
+  ASSERT_TRUE(zipf.ok()) << zipf.status();
+  EXPECT_EQ(zipf->kind, DataSource::Kind::kGenerated);
+  EXPECT_EQ(zipf->generator, DataSource::Generator::kZipf);
+  EXPECT_EQ(zipf->tuples, 400);
+  EXPECT_DOUBLE_EQ(zipf->zipf_s, 1.25);
+  EXPECT_EQ(zipf->seed, 9u);
+
+  auto uniform = DataSource::Parse("generated:uniform(tuples=10)");
+  ASSERT_TRUE(uniform.ok()) << uniform.status();
+  EXPECT_EQ(uniform->generator, DataSource::Generator::kUniform);
+  EXPECT_EQ(uniform->seed, 1u);  // default
+
+  // Canonical strings parse back to an equal source.
+  auto reparsed = DataSource::Parse(zipf->CanonicalString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->CanonicalString(), zipf->CanonicalString());
+}
+
+TEST(DataSourceTest, RejectsMalformedSources) {
+  const char* cases[] = {
+      "",
+      "   ",
+      "csv:",
+      "tarball:foo.tgz",          // unknown scheme
+      "generated:zipf",           // no argument list
+      "generated:zipf()",         // missing tuples
+      "generated:zipf(s=1)",      // missing tuples
+      "generated:zipf(tuples=-1)",
+      "generated:zipf(tuples=4,bogus=1)",
+      "generated:zipf(tuples=4,s=nan)",
+      "generated:uniform(tuples=4,s=1)",  // s is zipf-only
+      "generated:pareto(tuples=4)",
+      "generated:zipf(tuples=four)",
+      "generated:zipf(tuples=4,seed=-1)",  // negative seed: error, not wrap
+  };
+  for (const char* text : cases) {
+    EXPECT_FALSE(DataSource::Parse(text).ok()) << text;
+  }
+  // Seeds span the full uint64 range, and canonical strings parse back.
+  auto huge = DataSource::Parse("generated:zipf(tuples=4,seed=18446744073709551615)");
+  ASSERT_TRUE(huge.ok()) << huge.status();
+  EXPECT_EQ(huge->seed, 18446744073709551615ULL);
+  EXPECT_TRUE(DataSource::Parse(huge->CanonicalString()).ok());
+}
+
+TEST(DataSourceTest, GeneratedSourcesAreDeterministic) {
+  auto source = DataSource::Parse("generated:zipf(tuples=200,s=1.0,seed=7)");
+  ASSERT_TRUE(source.ok());
+  const auto query = TwoTableQuery();
+
+  // Bit-identical across repeated runs AND across ambient thread counts:
+  // generation is strictly serial from the seed.
+  std::string baseline;
+  {
+    ScopedThreads scoped(1);
+    auto instance = source->Materialize(query, "");
+    ASSERT_TRUE(instance.ok()) << instance.status();
+    baseline = DumpCsv(*instance);
+  }
+  for (int threads : {2, 8}) {
+    ScopedThreads scoped(threads);
+    auto instance = source->Materialize(query, "");
+    ASSERT_TRUE(instance.ok()) << instance.status();
+    EXPECT_EQ(DumpCsv(*instance), baseline) << "threads = " << threads;
+  }
+  // A different seed is different data.
+  auto other = DataSource::Parse("generated:zipf(tuples=200,s=1.0,seed=8)");
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(DumpCsv(*other->Materialize(query, "")), baseline);
+}
+
+TEST(CatalogTest, RegisterComputesTheFingerprintExactlyOnce) {
+  DataCatalog catalog;
+  Rng rng(3);
+  Instance instance = MakeUniformInstance(*TwoTableQuery(), 30, rng);
+  const uint64_t expected_fingerprint = InstanceFingerprint(instance);
+
+  const int64_t before = InstanceFingerprintCount();
+  auto handle = catalog.Register("demo", std::move(instance));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  EXPECT_EQ(InstanceFingerprintCount() - before, 1);
+  EXPECT_EQ((*handle)->fingerprint(), expected_fingerprint);
+  EXPECT_EQ((*handle)->name(), "demo");
+  EXPECT_EQ((*handle)->source(), "in-memory");
+  EXPECT_EQ((*handle)->input_size(), 60);
+
+  // Lookups never re-fingerprint.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(catalog.Get("demo").ok());
+  }
+  EXPECT_EQ(InstanceFingerprintCount() - before, 1);
+}
+
+TEST(CatalogTest, DuplicateNamesAndUnknownLookupsFail) {
+  DataCatalog catalog;
+  Rng rng(4);
+  ASSERT_TRUE(
+      catalog.Register("a", MakeUniformInstance(*TwoTableQuery(), 5, rng))
+          .ok());
+  auto duplicate =
+      catalog.Register("a", MakeUniformInstance(*TwoTableQuery(), 5, rng));
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kAlreadyExists);
+
+  auto missing = catalog.Get("b");
+  EXPECT_TRUE(missing.status().IsNotFound());
+  EXPECT_NE(missing.status().message().find("'b'"), std::string::npos);
+  // The error must NOT leak the registered names (it reaches protocol
+  // clients verbatim) — only a count.
+  EXPECT_EQ(missing.status().message().find("'a'"), std::string::npos);
+  EXPECT_NE(missing.status().message().find("1 dataset(s)"),
+            std::string::npos);
+
+  EXPECT_FALSE(catalog.Register(" padded ",
+                                MakeUniformInstance(*TwoTableQuery(), 5, rng))
+                   .ok());
+  EXPECT_FALSE(
+      catalog.Register("", MakeUniformInstance(*TwoTableQuery(), 5, rng))
+          .ok());
+  // ':' is reserved for source schemes: such a name could never be
+  // resolved back, and could collide with auto-registration keys.
+  EXPECT_FALSE(catalog.Register("prod:traffic",
+                                MakeUniformInstance(*TwoTableQuery(), 5, rng))
+                   .ok());
+  EXPECT_FALSE(catalog
+                   .RegisterSource("prod:traffic",
+                                   "generated:uniform(tuples=5,seed=1)",
+                                   TwoTableQuery())
+                   .ok());
+
+  EXPECT_TRUE(catalog.Unregister("a"));
+  EXPECT_FALSE(catalog.Unregister("a"));
+  EXPECT_EQ(catalog.size(), 0u);
+}
+
+TEST(CatalogTest, ResolveAutoRegistersLoadableSourcesOnce) {
+  DataCatalog catalog;
+  const auto query = TwoTableQuery();
+  const std::string source = "generated:uniform(tuples=25,seed=3)";
+
+  const int64_t before = InstanceFingerprintCount();
+  auto first = catalog.Resolve(source, query);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = catalog.Resolve(source, query);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->get(), second->get()) << "same handle object reused";
+  EXPECT_EQ(InstanceFingerprintCount() - before, 1);
+  EXPECT_EQ(catalog.size(), 1u);
+
+  // A bare name resolves through the registry (and fails when absent).
+  EXPECT_TRUE(catalog.Resolve("nope", query).status().IsNotFound());
+  Rng rng(5);
+  ASSERT_TRUE(
+      catalog.Register("named", MakeUniformInstance(*query, 5, rng)).ok());
+  auto named = catalog.Resolve("named", query);
+  ASSERT_TRUE(named.ok()) << named.status();
+  EXPECT_EQ((*named)->name(), "named");
+}
+
+TEST(CatalogTest, ResolveDistinguishesSchemasForTheSameSource) {
+  // The same CSV read under two different schemas must not collide.
+  DataCatalog catalog;
+  const auto query_a = TwoTableQuery();
+  const auto query_b =
+      std::make_shared<JoinQuery>(MakeTwoTableQuery(4, 5, 6));
+  Rng rng(6);
+  const Instance instance = MakeUniformInstance(*query_a, 12, rng);
+  const std::string path = ::testing::TempDir() + "/catalog_shared.csv";
+  {
+    std::ofstream file(path);
+    file << DumpCsv(instance);
+  }
+  auto a = catalog.Resolve("csv:" + path, query_a);
+  ASSERT_TRUE(a.ok()) << a.status();
+  auto b = catalog.Resolve("csv:" + path, query_b);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_NE((*a)->name(), (*b)->name());
+  // Same tuples, but over different domains — the instances are distinct
+  // objects with independently computed fingerprints.
+  EXPECT_EQ((*a)->instance().query().ToString(), query_a->ToString());
+  EXPECT_EQ((*b)->instance().query().ToString(), query_b->ToString());
+}
+
+TEST(CatalogTest, ResolveDistinguishesBaseDirsForRelativeCsvPaths) {
+  // The same relative csv: path under two base dirs is two different
+  // files; serving the first directory's data for the second would be a
+  // silent wrong-dataset release.
+  DataCatalog catalog;
+  const auto query = TwoTableQuery();
+  const std::string dir_a = ::testing::TempDir() + "/base_a";
+  const std::string dir_b = ::testing::TempDir() + "/base_b";
+  ASSERT_EQ(::mkdir(dir_a.c_str(), 0755) == 0 || errno == EEXIST, true);
+  ASSERT_EQ(::mkdir(dir_b.c_str(), 0755) == 0 || errno == EEXIST, true);
+  Rng rng_a(7), rng_b(8);
+  {
+    std::ofstream file(dir_a + "/data.csv");
+    file << DumpCsv(MakeUniformInstance(*query, 10, rng_a));
+  }
+  {
+    std::ofstream file(dir_b + "/data.csv");
+    file << DumpCsv(MakeUniformInstance(*query, 10, rng_b));
+  }
+  auto a = catalog.Resolve("csv:data.csv", query, dir_a);
+  ASSERT_TRUE(a.ok()) << a.status();
+  auto b = catalog.Resolve("csv:data.csv", query, dir_b);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_NE((*a)->fingerprint(), (*b)->fingerprint());
+  // Absolute paths ignore base_dir and share one registration.
+  auto abs1 = catalog.Resolve("csv:" + dir_a + "/data.csv", query, dir_b);
+  ASSERT_TRUE(abs1.ok()) << abs1.status();
+  auto abs2 = catalog.Resolve("csv:" + dir_a + "/data.csv", query, "");
+  ASSERT_TRUE(abs2.ok()) << abs2.status();
+  EXPECT_EQ(abs1->get(), abs2->get());
+}
+
+TEST(CatalogTest, ConcurrentResolveOfTheSameSourceRegistersOnce) {
+  DataCatalog catalog;
+  const auto query = TwoTableQuery();
+  const std::string source = "generated:zipf(tuples=100,s=1.0,seed=2)";
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        auto handle = catalog.Resolve(source, query);
+        if (!handle.ok() || *handle == nullptr) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(catalog.size(), 1u)
+      << "racing resolvers must converge on one registration";
+}
+
+}  // namespace
+}  // namespace dpjoin

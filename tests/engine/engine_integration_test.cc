@@ -315,6 +315,20 @@ TEST(EngineIntegrationTest, RejectsMismatchedInstanceSchema) {
   Rng rng(59);
   auto release = engine.Run(spec, star_instance, rng);
   EXPECT_TRUE(release.status().IsInvalidArgument());
+
+  // Same hypergraph, different DOMAIN SIZES: also a mismatch — releasing
+  // over a different domain than declared would change the released object.
+  ReleaseSpec widened = spec;
+  widened.attributes[2].domain_size = 9;
+  ASSERT_TRUE(
+      engine.catalog().Register("narrow", InstanceFor(spec, 33)).ok());
+  ReleaseRequest request;
+  request.spec = widened;
+  request.dataset = "narrow";
+  auto mismatch = engine.Submit(request);
+  EXPECT_TRUE(mismatch.status().IsInvalidArgument()) << mismatch.status();
+  EXPECT_NE(mismatch.status().message().find("does not match"),
+            std::string::npos);
 }
 
 TEST(EngineIntegrationTest, RunFromFileLoadsTheInstanceCsv) {
@@ -329,14 +343,16 @@ TEST(EngineIntegrationTest, RunFromFileLoadsTheInstanceCsv) {
     file << csv.str();
   }
   ReleaseSpec spec = base;
-  spec.instance_path = path;  // absolute → base_dir ignored
+  spec.dataset = "csv:" + path;  // absolute → base_dir ignored
   ReleaseEngine engine(PrivacyParams(4.0, 1e-3));
   Rng rng(61);
   auto release = engine.RunFromFile(spec, "/nonexistent", rng);
   ASSERT_TRUE(release.ok()) << release.status();
   EXPECT_EQ(release->handle->NumQueries(), 9);
 
-  // A corrupt file surfaces a clean Status naming the path.
+  // A corrupt file surfaces a clean Status naming the path (a FRESH engine:
+  // the first one's catalog intentionally keeps serving the data it already
+  // registered).
   {
     std::ofstream file(path);
     file << "not an instance\n";
@@ -347,9 +363,124 @@ TEST(EngineIntegrationTest, RunFromFileLoadsTheInstanceCsv) {
   EXPECT_NE(bad.status().message().find(path), std::string::npos);
 
   auto missing_path = spec;
-  missing_path.instance_path = "";
+  missing_path.dataset = "";
   EXPECT_TRUE(
       engine2.RunFromFile(missing_path, "", rng).status().IsInvalidArgument());
+}
+
+// The tentpole guarantee of the catalog API: a repeated release of the same
+// spec + dataset is a cache hit with ZERO additional ledger spend and ZERO
+// re-fingerprinting.
+TEST(EngineIntegrationTest, SubmitByNameNeverRefingerprints) {
+  ReleaseEngine engine(PrivacyParams(1.5, 1e-3));
+  const ReleaseSpec spec = TwoTableSpec(MechanismKind::kPmw);  // ε = 1.0
+  Instance instance = InstanceFor(spec, 83);
+
+  const int64_t before_register = InstanceFingerprintCount();
+  auto dataset = engine.catalog().Register("traffic", std::move(instance));
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(InstanceFingerprintCount() - before_register, 1)
+      << "registration pays the fingerprint exactly once";
+
+  ReleaseRequest request;
+  request.spec = spec;
+  request.dataset = "traffic";
+  request.seed = 5;
+  auto first = engine.Submit(request);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->from_cache);
+  EXPECT_EQ(first->dataset_name, "traffic");
+  EXPECT_EQ(first->dataset_fingerprint, (*dataset)->fingerprint());
+  EXPECT_EQ(first->ledger.num_committed, 1);
+  const double spent = first->ledger.spent_epsilon;
+  EXPECT_DOUBLE_EQ(spent, 1.0);
+
+  // 100 re-submissions: all cache hits, no spend, no fingerprinting — the
+  // submission hot path is O(spec hash), not O(n log n).
+  const int64_t before_submissions = InstanceFingerprintCount();
+  for (int i = 0; i < 100; ++i) {
+    request.seed = static_cast<uint64_t>(1000 + i);  // seed is irrelevant
+    auto again = engine.Submit(request);
+    ASSERT_TRUE(again.ok()) << again.status();
+    EXPECT_TRUE(again->from_cache);
+    EXPECT_EQ(again->release_id, first->release_id);
+    EXPECT_EQ(again->handle.get(), first->handle.get());
+    EXPECT_DOUBLE_EQ(again->ledger.spent_epsilon, spent);
+    EXPECT_TRUE(again->accountant.entries().empty());
+  }
+  EXPECT_EQ(InstanceFingerprintCount(), before_submissions);
+  EXPECT_EQ(engine.ledger().num_committed(), 1);
+
+  // The release id addresses the live handle.
+  auto found = engine.FindRelease(first->release_id);
+  ASSERT_TRUE(found.ok()) << found.status();
+  EXPECT_EQ(found->get(), first->handle.get());
+  EXPECT_TRUE(engine.FindRelease(first->release_id ^ 1).status().IsNotFound());
+}
+
+TEST(EngineIntegrationTest, SubmitResolvesGeneratedSourcesOnce) {
+  ReleaseEngine engine(PrivacyParams(8.0, 1e-2));
+  ReleaseSpec spec = TwoTableSpec(MechanismKind::kLaplace);
+  spec.dataset = "generated:zipf(tuples=60,s=1.0,seed=9)";
+
+  ReleaseRequest request;
+  request.spec = spec;  // dataset comes from the spec
+  request.seed = 2;
+  const int64_t before = InstanceFingerprintCount();
+  auto first = engine.Submit(request);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(InstanceFingerprintCount() - before, 1);
+  EXPECT_EQ(engine.catalog().size(), 1u);
+
+  // Same source string → the auto-registered dataset is reused: no second
+  // materialization, no second fingerprint, and the release is a cache hit.
+  auto again = engine.Submit(request);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE(again->from_cache);
+  EXPECT_EQ(InstanceFingerprintCount() - before, 1);
+  EXPECT_EQ(engine.catalog().size(), 1u);
+
+  // A different generation seed is DIFFERENT data: new dataset, new spend.
+  ReleaseRequest other = request;
+  other.spec.dataset = "generated:zipf(tuples=60,s=1.0,seed=10)";
+  auto third = engine.Submit(other);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_FALSE(third->from_cache);
+  EXPECT_NE(third->release_id, first->release_id);
+  EXPECT_EQ(engine.catalog().size(), 2u);
+}
+
+TEST(EngineIntegrationTest, SubmitWithoutADatasetIsRejected) {
+  ReleaseEngine engine(PrivacyParams(8.0, 1e-2));
+  ReleaseRequest request;
+  request.spec = TwoTableSpec(MechanismKind::kLaplace);  // spec.dataset empty
+  auto response = engine.Submit(request);
+  EXPECT_TRUE(response.status().IsInvalidArgument()) << response.status();
+
+  request.dataset = "never_registered";
+  EXPECT_TRUE(engine.Submit(request).status().IsNotFound());
+}
+
+TEST(EngineIntegrationTest, RunAndSubmitShareTheCacheForIdenticalData) {
+  // The legacy shim and the catalog path agree on release identity: the
+  // same spec over byte-identical data is ONE release however submitted.
+  ReleaseEngine engine(PrivacyParams(1.5, 1e-3));
+  const ReleaseSpec spec = TwoTableSpec(MechanismKind::kLaplace);
+  const Instance instance = InstanceFor(spec, 89);
+  Rng rng(97);
+  auto legacy = engine.Run(spec, instance, rng);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+
+  ASSERT_TRUE(
+      engine.catalog().Register("same_data", InstanceFor(spec, 89)).ok());
+  ReleaseRequest request;
+  request.spec = spec;
+  request.dataset = "same_data";
+  auto response = engine.Submit(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->from_cache);
+  EXPECT_EQ(response->handle.get(), legacy->handle.get());
+  EXPECT_EQ(engine.ledger().num_committed(), 1);
 }
 
 }  // namespace

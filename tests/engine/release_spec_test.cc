@@ -26,7 +26,7 @@ pmw_rounds = 3
 pmw_max_rounds = 24
 pmw_epsilon_prime = 0.25
 laplace_rule = basic
-instance  = data/two_table.csv
+dataset   = csv:data/two_table.csv
 )";
 
 TEST(ReleaseSpecTest, ParsesEveryField) {
@@ -50,7 +50,32 @@ TEST(ReleaseSpecTest, ParsesEveryField) {
   EXPECT_EQ(spec->pmw_max_rounds, 24);
   EXPECT_DOUBLE_EQ(spec->pmw_epsilon_prime, 0.25);
   EXPECT_EQ(spec->laplace_rule, CompositionRule::kBasic);
-  EXPECT_EQ(spec->instance_path, "data/two_table.csv");
+  EXPECT_EQ(spec->dataset, "csv:data/two_table.csv");
+  EXPECT_TRUE(spec->parse_notes.empty());
+}
+
+TEST(ReleaseSpecTest, DeprecatedInstanceKeyAliasesDataset) {
+  auto spec = ParseReleaseSpec(std::string(
+      "# dpjoin-release-spec v1\n"
+      "attribute = A:4\nrelation = R1:A\n"
+      "instance = data/foo.csv\n"));
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->dataset, "csv:data/foo.csv");
+  ASSERT_EQ(spec->parse_notes.size(), 1u);
+  EXPECT_NE(spec->parse_notes[0].find("deprecated"), std::string::npos);
+  EXPECT_NE(spec->parse_notes[0].find("csv:data/foo.csv"), std::string::npos);
+
+  // Both keys at once is an error, in either order.
+  EXPECT_FALSE(ParseReleaseSpec(std::string(
+                   "# dpjoin-release-spec v1\n"
+                   "attribute = A:4\nrelation = R1:A\n"
+                   "instance = a.csv\ndataset = csv:b.csv\n"))
+                   .ok());
+  EXPECT_FALSE(ParseReleaseSpec(std::string(
+                   "# dpjoin-release-spec v1\n"
+                   "attribute = A:4\nrelation = R1:A\n"
+                   "dataset = csv:b.csv\ninstance = a.csv\n"))
+                   .ok());
 }
 
 TEST(ReleaseSpecTest, BuildsQueryAndWorkload) {
@@ -117,6 +142,9 @@ TEST(ReleaseSpecTest, RejectsMalformedConfigs) {
       {"negative threads", schema + "threads = -2\n"},
       {"huge threads", schema + "threads = 1000\n"},
       {"unknown relation attribute", "attribute = A:4\nrelation = R1:A,Z\n"},
+      {"bad dataset scheme", schema + "dataset = tarball:foo.tgz\n"},
+      {"generated without tuples", schema + "dataset = generated:zipf(s=1)\n"},
+      {"unknown generator", schema + "dataset = generated:pareto(tuples=5)\n"},
       {"duplicate attribute", "attribute = A:4\nattribute = A:4\n"
                               "relation = R1:A\n"},
       {"duplicate relation name",
@@ -139,7 +167,7 @@ TEST(ReleaseSpecTest, HashIgnoresFormattingButNotSemantics) {
       "epsilon=1.5\ndelta=1e-5\nmechanism=two_table\nworkload=prefix:4\n"
       "workload_seed=13\nthreads=2\npmw_rounds=3\npmw_max_rounds=24\n"
       "pmw_epsilon_prime=0.25\nlaplace_rule=basic\n"
-      "instance=data/two_table.csv\n"));
+      "dataset=csv:data/two_table.csv\n"));
   ASSERT_TRUE(b.ok()) << b.status();
   EXPECT_EQ(a->CanonicalString(), b->CanonicalString());
   EXPECT_EQ(a->Hash(), b->Hash());
@@ -150,13 +178,16 @@ TEST(ReleaseSpecTest, HashIgnoresFormattingButNotSemantics) {
   changed = *a;
   changed.workload_seed = 14;
   EXPECT_NE(changed.Hash(), a->Hash());
-  changed = *a;
-  changed.instance_path = "data/other.csv";
-  EXPECT_NE(changed.Hash(), a->Hash());
   // num_threads is NOT semantic: releases are bit-identical at every thread
   // count, so a thread-count-only change must still hit the serving cache.
   changed = *a;
   changed.num_threads = 8;
+  EXPECT_EQ(changed.Hash(), a->Hash());
+  // The dataset source is NOT semantic either: the engine keys releases by
+  // spec hash ⊕ catalog fingerprint, so the DATA decides identity, never
+  // the string naming where it came from.
+  changed = *a;
+  changed.dataset = "some_registered_name";
   EXPECT_EQ(changed.Hash(), a->Hash());
 }
 

@@ -1,0 +1,464 @@
+// Protocol tests for dpjoin_serve's request/response loop.
+//
+// The golden-session test replays tests/engine/golden/serve_session.txt —
+// alternating `> request` / `< expected-response` lines — against a fresh
+// server and compares byte-for-byte. Everything the protocol emits is
+// deterministic (seeded noise, canonical JSON key order, %.17g numbers),
+// so the goldens pin the whole wire format: command responses,
+// malformed-input errors, and the over-budget refusal. After an
+// intentional protocol change, regenerate with
+//   DPJOIN_REGEN_GOLDEN=1 ./build/tests/server_test
+// and review the diff like any other code change.
+
+#include "engine/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+#ifndef DPJOIN_TEST_SRCDIR
+#error "build must define DPJOIN_TEST_SRCDIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace dpjoin {
+namespace {
+
+constexpr char kGoldenPath[] =
+    DPJOIN_TEST_SRCDIR "/engine/golden/serve_session.txt";
+
+// Structural comparison with a relative tolerance on numbers: the golden
+// bytes pin the protocol shape exactly, but noise values pass through
+// libm (std::log/std::exp), whose last-ulp results differ across
+// platforms — a one-ulp drift must not fail the protocol test.
+bool JsonApproxEqual(const JsonValue& a, const JsonValue& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case JsonValue::Kind::kNull:
+      return true;
+    case JsonValue::Kind::kBool:
+      return a.AsBool() == b.AsBool();
+    case JsonValue::Kind::kNumber: {
+      const double x = a.AsDouble(), y = b.AsDouble();
+      if (x == y) return true;
+      const double scale = std::max(std::abs(x), std::abs(y));
+      return std::abs(x - y) <= 1e-9 * std::max(scale, 1.0);
+    }
+    case JsonValue::Kind::kString:
+      return a.AsString() == b.AsString();
+    case JsonValue::Kind::kArray: {
+      if (a.items().size() != b.items().size()) return false;
+      for (size_t i = 0; i < a.items().size(); ++i) {
+        if (!JsonApproxEqual(a.items()[i], b.items()[i])) return false;
+      }
+      return true;
+    }
+    case JsonValue::Kind::kObject: {
+      if (a.members().size() != b.members().size()) return false;
+      for (size_t i = 0; i < a.members().size(); ++i) {
+        if (a.members()[i].first != b.members()[i].first) return false;
+        if (!JsonApproxEqual(a.members()[i].second, b.members()[i].second)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// The spec text used throughout (embedded \n, as it travels on the wire).
+std::string DemoSpec(const std::string& name, const std::string& epsilon,
+                     const std::string& mechanism) {
+  return "# dpjoin-release-spec v1\\nname = " + name +
+         "\\nattribute = A:6\\nattribute = B:4\\nattribute = C:6\\n"
+         "relation = R1:A,B\\nrelation = R2:B,C\\nepsilon = " + epsilon +
+         "\\ndelta = 1e-5\\nmechanism = " + mechanism +
+         "\\nworkload = prefix:3";
+}
+
+std::unique_ptr<ReleaseEngine> MakeEngine() {
+  return std::make_unique<ReleaseEngine>(PrivacyParams(2.5, 1e-2),
+                                         /*cache_capacity=*/8);
+}
+
+TEST(ServerGoldenTest, SessionMatchesGoldenFile) {
+  auto engine = MakeEngine();
+  ReleaseServer server(*engine);
+
+  std::ifstream golden(kGoldenPath);
+  ASSERT_TRUE(golden) << "missing golden file " << kGoldenPath;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(golden, line)) lines.push_back(line);
+
+  const bool regen = std::getenv("DPJOIN_REGEN_GOLDEN") != nullptr;
+  std::ostringstream regenerated;
+  size_t i = 0;
+  int exchanges = 0;
+  while (i < lines.size()) {
+    const std::string& current = lines[i];
+    if (current.empty() || current[0] == '#') {
+      regenerated << current << "\n";
+      ++i;
+      continue;
+    }
+    ASSERT_EQ(current.compare(0, 2, "> "), 0)
+        << "golden line " << i + 1 << " must be '> request': " << current;
+    const std::string request = current.substr(2);
+    const std::string response = server.HandleLine(request);
+    regenerated << "> " << request << "\n< " << response << "\n";
+    ++i;
+    if (regen) {
+      // Seeding/regenerating: a response line may not exist yet.
+      if (i < lines.size() && lines[i].compare(0, 2, "< ") == 0) ++i;
+    } else {
+      ASSERT_LT(i, lines.size()) << "golden ends mid-exchange";
+      ASSERT_EQ(lines[i].compare(0, 2, "< "), 0)
+          << "golden line " << i + 1 << " must be '< response'";
+      const std::string expected = lines[i].substr(2);
+      if (response != expected) {
+        // Bytes differ: accept a structurally identical response whose
+        // numbers agree to 1e-9 relative (libm last-ulp portability);
+        // anything else is a genuine protocol change.
+        auto got = JsonValue::Parse(response);
+        auto want = JsonValue::Parse(expected);
+        ASSERT_TRUE(got.ok() && want.ok()) << "request: " << request;
+        EXPECT_TRUE(JsonApproxEqual(*got, *want))
+            << "request: " << request << "\n  got: " << response
+            << "\n want: " << expected;
+      }
+      ++i;
+    }
+    ++exchanges;
+  }
+  EXPECT_GE(exchanges, 10) << "golden session lost its coverage";
+
+  if (regen) {
+    std::ofstream out(kGoldenPath, std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot regenerate " << kGoldenPath;
+    out << regenerated.str();
+    GTEST_SKIP() << "regenerated " << kGoldenPath;
+  }
+}
+
+TEST(ServerTest, RepeatedReleaseIsACacheHitWithZeroSpend) {
+  auto engine = MakeEngine();
+  ReleaseServer server(*engine);
+  ASSERT_TRUE(
+      JsonValue::Parse(server.HandleLine(
+                           R"json({"cmd": "register", "name": "d", "source": )json"
+                           R"json("generated:zipf(tuples=120,s=1.0,seed=4)",)json"
+                           R"json( "attributes": ["A:6", "B:4", "C:6"], )json"
+                           R"json("relations": ["R1:A,B", "R2:B,C"]})json"))
+          ->Find("ok")
+          ->AsBool());
+  const std::string release_line =
+      R"json({"cmd": "release", "dataset": "d", "seed": 9, "spec": ")json" +
+      DemoSpec("r", "1.0", "laplace") + R"json("})json";
+
+  auto first = JsonValue::Parse(server.HandleLine(release_line));
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(first->Find("ok")->AsBool()) << first->Serialize();
+  EXPECT_FALSE(first->Find("from_cache")->AsBool());
+  const double spent = first->Find("spent")->Find("epsilon")->AsDouble();
+  EXPECT_DOUBLE_EQ(spent, 1.0);
+
+  const int64_t fingerprints_before = InstanceFingerprintCount();
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    auto again = JsonValue::Parse(server.HandleLine(release_line));
+    ASSERT_TRUE(again.ok() && again->Find("ok")->AsBool());
+    EXPECT_TRUE(again->Find("from_cache")->AsBool());
+    EXPECT_EQ(again->Find("release")->AsString(),
+              first->Find("release")->AsString());
+    EXPECT_DOUBLE_EQ(again->Find("spent")->Find("epsilon")->AsDouble(),
+                     spent)
+        << "cache hits must not spend";
+  }
+  EXPECT_EQ(InstanceFingerprintCount(), fingerprints_before)
+      << "cache hits must not re-fingerprint";
+  EXPECT_EQ(engine->ledger().num_committed(), 1);
+
+  // The released handle answers queries by id.
+  auto answers = JsonValue::Parse(server.HandleLine(
+      R"json({"cmd": "query", "release": ")json" + first->Find("release")->AsString() +
+      R"json(", "queries": [0, 1, 0]})json"));
+  ASSERT_TRUE(answers.ok() && answers->Find("ok")->AsBool())
+      << answers->Serialize();
+  ASSERT_EQ(answers->Find("answers")->items().size(), 3u);
+  EXPECT_EQ(answers->Find("answers")->items()[0].AsDouble(),
+            answers->Find("answers")->items()[2].AsDouble());
+}
+
+TEST(ServerTest, MalformedInputNeverKillsTheLoop) {
+  auto engine = MakeEngine();
+  ReleaseServer server(*engine);
+  const char* bad_lines[] = {
+      "not json",
+      "[1, 2]",
+      R"json({"no_cmd": 1})json",
+      R"json({"cmd": 42})json",
+      R"json({"cmd": "frobnicate"})json",
+      R"json({"cmd": "register", "name": "x"})json",
+      R"json({"cmd": "register", "name": "x", "source": "generated:zipf(tuples=1)",)json"
+      R"json( "attributes": "A:4", "relations": []})json",
+      R"json({"cmd": "release"})json",
+      R"json({"cmd": "release", "spec": "not a spec"})json",
+      R"json({"cmd": "query", "release": "12"})json",
+      R"json({"cmd": "query", "release": "0x12"})json",
+  };
+  for (const char* line : bad_lines) {
+    auto response = JsonValue::Parse(server.HandleLine(line));
+    ASSERT_TRUE(response.ok()) << "response must stay valid JSON for "
+                               << line;
+    EXPECT_FALSE(response->Find("ok")->AsBool()) << line;
+    EXPECT_NE(response->Find("error"), nullptr) << line;
+  }
+  // And the server still works afterwards.
+  auto stats = JsonValue::Parse(server.HandleLine(R"json({"cmd": "stats"})json"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->Find("ok")->AsBool());
+  EXPECT_DOUBLE_EQ(stats->Find("requests")->AsDouble(),
+                   static_cast<double>(std::size(bad_lines)) + 1);
+}
+
+TEST(ServerTest, RejectsOutOfRangeNumericInputsCleanly) {
+  // Casting an unrepresentable double to an integer is UB; these must be
+  // clean protocol errors, never a crash of the long-lived loop.
+  auto engine = MakeEngine();
+  ReleaseServer server(*engine);
+  ASSERT_TRUE(
+      JsonValue::Parse(server.HandleLine(
+                           R"json({"cmd": "register", "name": "d", "source": )json"
+                           R"json("generated:uniform(tuples=30,seed=2)",)json"
+                           R"json( "attributes": ["A:6", "B:4", "C:6"], )json"
+                           R"json("relations": ["R1:A,B", "R2:B,C"]})json"))
+          ->Find("ok")
+          ->AsBool());
+  auto released = JsonValue::Parse(server.HandleLine(
+      R"json({"cmd": "release", "dataset": "d", "seed": 1, "spec": ")json" +
+      DemoSpec("ub", "1.0", "laplace") + R"json("})json"));
+  ASSERT_TRUE(released.ok() && released->Find("ok")->AsBool());
+  const std::string release_id = released->Find("release")->AsString();
+
+  const std::string bad_requests[] = {
+      R"json({"cmd": "query", "release": ")json" + release_id +
+          R"json(", "queries": [1e300]})json",
+      R"json({"cmd": "query", "release": ")json" + release_id +
+          R"json(", "queries": [-1e300]})json",
+      R"json({"cmd": "query", "release": ")json" + release_id +
+          R"json(", "queries": [1.5]})json",
+      R"json({"cmd": "release", "dataset": "d", "seed": 1e300, "spec": ")json" +
+          DemoSpec("ub2", "0.1", "laplace") + R"json("})json",
+      R"json({"cmd": "release", "dataset": "d", "seed": -3, "spec": ")json" +
+          DemoSpec("ub3", "0.1", "laplace") + R"json("})json",
+  };
+  for (const std::string& line : bad_requests) {
+    auto response = JsonValue::Parse(server.HandleLine(line));
+    ASSERT_TRUE(response.ok()) << line;
+    EXPECT_FALSE(response->Find("ok")->AsBool()) << line;
+  }
+  // The loop survived and the release still serves.
+  auto fine = JsonValue::Parse(server.HandleLine(
+      R"json({"cmd": "query", "release": ")json" + release_id +
+      R"json(", "queries": [0]})json"));
+  ASSERT_TRUE(fine.ok());
+  EXPECT_TRUE(fine->Find("ok")->AsBool()) << fine->Serialize();
+}
+
+TEST(ServerTest, ServeLoopAnswersUntilShutdown) {
+  auto engine = MakeEngine();
+  ReleaseServer server(*engine);
+  std::istringstream in(
+      "{\"cmd\": \"stats\"}\n"
+      "\n"
+      "{\"cmd\": \"ledger\"}\n"
+      "{\"cmd\": \"shutdown\"}\n"
+      "{\"cmd\": \"stats\"}\n");  // after shutdown: never reached
+  std::ostringstream out;
+  const int64_t handled = server.Serve(in, out);
+  EXPECT_EQ(handled, 3);
+  std::vector<std::string> responses;
+  std::istringstream parse(out.str());
+  std::string line;
+  while (std::getline(parse, line)) responses.push_back(line);
+  ASSERT_EQ(responses.size(), 3u);
+  for (const std::string& response : responses) {
+    auto v = JsonValue::Parse(response);
+    ASSERT_TRUE(v.ok()) << response;
+    EXPECT_TRUE(v->Find("ok")->AsBool());
+  }
+}
+
+TEST(ServerTest, ConcurrentClientsShareOneBudgetAndCache) {
+  // 8 threads drive the same server: one register, then everyone races the
+  // same release + query. Exactly one mechanism run may spend.
+  auto engine = MakeEngine();
+  ReleaseServer server(*engine);
+  ASSERT_TRUE(
+      JsonValue::Parse(server.HandleLine(
+                           R"json({"cmd": "register", "name": "d", "source": )json"
+                           R"json("generated:uniform(tuples=90,seed=2)",)json"
+                           R"json( "attributes": ["A:6", "B:4", "C:6"], )json"
+                           R"json("relations": ["R1:A,B", "R2:B,C"]})json"))
+          ->Find("ok")
+          ->AsBool());
+  const std::string release_line =
+      R"json({"cmd": "release", "dataset": "d", "seed": 1, "spec": ")json" +
+      DemoSpec("shared", "1.0", "laplace") + R"json("})json";
+  std::atomic<int> fresh{0}, cached{0}, failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 5; ++i) {
+        auto response = JsonValue::Parse(server.HandleLine(release_line));
+        if (!response.ok() || !response->Find("ok")->AsBool()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        (response->Find("from_cache")->AsBool() ? cached : fresh)
+            .fetch_add(1);
+        auto query = JsonValue::Parse(server.HandleLine(
+            R"json({"cmd": "query", "release": ")json" +
+            response->Find("release")->AsString() + R"json(", "all": true})json"));
+        if (!query.ok() || !query->Find("ok")->AsBool()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(fresh.load(), 1) << "exactly one client paid";
+  EXPECT_EQ(cached.load(), 39);
+  EXPECT_EQ(engine->ledger().num_committed(), 1);
+  EXPECT_DOUBLE_EQ(engine->ledger().SpentEpsilon(), 1.0);
+}
+
+TEST(ServerTest, LedgerPersistsAcrossServerRestart) {
+  const std::string ledger_path =
+      ::testing::TempDir() + "/server_ledger.json";
+  std::remove(ledger_path.c_str());
+  ServerOptions options;
+  options.ledger_path = ledger_path;
+  const std::string register_line =
+      R"json({"cmd": "register", "name": "d", "source": )json"
+      R"json("generated:zipf(tuples=80,s=1.0,seed=6)",)json"
+      R"json( "attributes": ["A:6", "B:4", "C:6"], )json"
+      R"json("relations": ["R1:A,B", "R2:B,C"]})json";
+  {
+    auto engine = MakeEngine();  // cap ε = 2.5
+    ReleaseServer server(*engine, options);
+    ASSERT_TRUE(server.startup_status().ok());  // no file yet: fresh start
+    ASSERT_TRUE(JsonValue::Parse(server.HandleLine(register_line))
+                    ->Find("ok")
+                    ->AsBool());
+    auto response = JsonValue::Parse(server.HandleLine(
+        R"json({"cmd": "release", "dataset": "d", "seed": 3, "spec": ")json" +
+        DemoSpec("persisted", "2.0", "laplace") + R"json("})json"));
+    ASSERT_TRUE(response.ok() && response->Find("ok")->AsBool())
+        << response->Serialize();
+  }
+  {
+    // Restart: the spent (2.0, 1e-5) is restored, so a second 2.0-ε release
+    // is refused even though this process never ran a mechanism.
+    auto engine = MakeEngine();
+    ReleaseServer server(*engine, options);
+    ASSERT_TRUE(server.startup_status().ok()) << server.startup_status();
+    EXPECT_EQ(engine->ledger().num_committed(), 1);
+    EXPECT_DOUBLE_EQ(engine->ledger().SpentEpsilon(), 2.0);
+    ASSERT_TRUE(JsonValue::Parse(server.HandleLine(register_line))
+                    ->Find("ok")
+                    ->AsBool());
+    auto refused = JsonValue::Parse(server.HandleLine(
+        R"json({"cmd": "release", "dataset": "d", "seed": 4, "spec": ")json" +
+        DemoSpec("greedy", "2.0", "laplace") + R"json("})json"));
+    ASSERT_TRUE(refused.ok());
+    EXPECT_FALSE(refused->Find("ok")->AsBool());
+    EXPECT_NE(refused->Find("error")->AsString().find("FailedPrecondition"),
+              std::string::npos);
+  }
+  {
+    // A restart with a smaller cap refuses the file (startup_status).
+    ReleaseEngine small(PrivacyParams(1.0, 1e-2));
+    ReleaseServer server(small, options);
+    EXPECT_TRUE(server.startup_status().IsFailedPrecondition())
+        << server.startup_status();
+  }
+  {
+    // An EXISTING but unreadable ledger path is a startup error, never a
+    // silent fresh start — here the path is a directory, which stat()s
+    // fine but cannot be read as a ledger.
+    ServerOptions dir_options;
+    dir_options.ledger_path = ::testing::TempDir();
+    auto engine = MakeEngine();
+    ReleaseServer server(*engine, dir_options);
+    EXPECT_FALSE(server.startup_status().ok());
+  }
+  std::remove(ledger_path.c_str());
+}
+
+TEST(ServerTest, UnregisterFreesTheNameWhilePaidReleasesKeepServing) {
+  auto engine = MakeEngine();
+  ReleaseServer server(*engine);
+  ASSERT_TRUE(
+      JsonValue::Parse(server.HandleLine(
+                           R"json({"cmd": "register", "name": "d", "source": )json"
+                           R"json("generated:uniform(tuples=40,seed=3)",)json"
+                           R"json( "attributes": ["A:6", "B:4", "C:6"], )json"
+                           R"json("relations": ["R1:A,B", "R2:B,C"]})json"))
+          ->Find("ok")
+          ->AsBool());
+  auto released = JsonValue::Parse(server.HandleLine(
+      R"json({"cmd": "release", "dataset": "d", "seed": 2, "spec": ")json" +
+      DemoSpec("kept", "1.0", "laplace") + R"json("})json"));
+  ASSERT_TRUE(released.ok() && released->Find("ok")->AsBool());
+
+  auto dropped = JsonValue::Parse(
+      server.HandleLine(R"json({"cmd": "unregister", "name": "d"})json"));
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_TRUE(dropped->Find("ok")->AsBool()) << dropped->Serialize();
+  EXPECT_EQ(engine->catalog().size(), 0u);
+  // Unknown name → clean error; double-unregister too.
+  auto again = JsonValue::Parse(
+      server.HandleLine(R"json({"cmd": "unregister", "name": "d"})json"));
+  EXPECT_FALSE(again->Find("ok")->AsBool());
+
+  // The paid release still serves (handles are shared, not owned by the
+  // catalog) — but a re-release of the dropped name is NotFound.
+  auto query = JsonValue::Parse(server.HandleLine(
+      R"json({"cmd": "query", "release": ")json" +
+      released->Find("release")->AsString() + R"json(", "queries": [0]})json"));
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query->Find("ok")->AsBool()) << query->Serialize();
+}
+
+TEST(ServerTest, RegisterTrimsSchemaTokensLikeTheSpecParser) {
+  // "R1:A, B" must mean the same thing on both front doors (spec files
+  // already trim each token).
+  auto engine = MakeEngine();
+  ReleaseServer server(*engine);
+  auto response = JsonValue::Parse(server.HandleLine(
+      R"json({"cmd": "register", "name": "spaced", "source": )json"
+      R"json("generated:uniform(tuples=10,seed=1)",)json"
+      R"json( "attributes": ["A : 6", "B:4", "C:6"], )json"
+      R"json("relations": ["R1:A, B", "R2: B , C"]})json"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->Find("ok")->AsBool()) << response->Serialize();
+  EXPECT_DOUBLE_EQ(response->Find("num_relations")->AsDouble(), 2.0);
+}
+
+}  // namespace
+}  // namespace dpjoin

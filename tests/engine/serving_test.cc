@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "query/evaluation.h"
@@ -146,6 +148,100 @@ TEST(ReleaseCacheTest, PutRefreshesExistingKey) {
   cache.Put(3, MakeDummyHandle(3.0));  // evicts key 2
   EXPECT_EQ(cache.Get(2), nullptr);
   EXPECT_EQ(cache.Get(1), second);
+}
+
+TEST(ReleaseCacheTest, TouchBumpsRecencyWithoutCountingStats) {
+  ReleaseCache cache(2);
+  auto handle = MakeDummyHandle(1.0);
+  cache.Put(1, handle);
+  cache.Put(2, MakeDummyHandle(2.0));
+  // Touch finds the handle and protects it from eviction...
+  EXPECT_EQ(cache.Touch(1), handle);
+  EXPECT_EQ(cache.Touch(99), nullptr);
+  cache.Put(3, MakeDummyHandle(3.0));  // evicts 2 (LRU), not the touched 1
+  EXPECT_NE(cache.Touch(1), nullptr);
+  EXPECT_EQ(cache.Touch(2), nullptr);
+  // ...but never moves the hit/miss counters (query traffic must not skew
+  // the submission-dedup ratio).
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+}
+
+TEST(ReleaseCacheTest, GetInterleavedWithReplacingPutStaysConsistent) {
+  // A Put of an existing key must atomically replace BOTH the stored
+  // handle and its LRU slot: a concurrent Get sees either the old or the
+  // new handle (never null, never a mix), and the key occupies exactly one
+  // LRU position afterwards.
+  ReleaseCache cache(2);
+  auto old_handle = MakeDummyHandle(1.0);
+  cache.Put(1, old_handle);
+  std::atomic<bool> stop{false};
+  std::atomic<int> nulls{0};
+  std::thread getter([&] {
+    while (!stop.load()) {
+      if (cache.Get(1) == nullptr) nulls.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    cache.Put(1, MakeDummyHandle(static_cast<double>(i)));
+  }
+  stop.store(true);
+  getter.join();
+  EXPECT_EQ(nulls.load(), 0) << "replacement must never expose a miss";
+  EXPECT_EQ(cache.size(), 1u) << "one key, one slot";
+  // LRU accounting survived the refresh storm: after 2 and 3 arrive, the
+  // oldest key (1) is the one evicted — it held exactly one LRU position.
+  cache.Put(2, MakeDummyHandle(7.0));
+  cache.Put(3, MakeDummyHandle(8.0));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+}
+
+TEST(ReleaseCacheTest, ConcurrentGetPutClearStress) {
+  // N threads hammer a small cache with mixed Get/Put/Clear. Run under
+  // TSan (build-tsan) this is the data-race detector for the LRU
+  // accounting; under any build it checks the invariants that survive
+  // arbitrary interleavings: size <= capacity, hits + misses == gets, and
+  // every returned handle is non-null with its full answer vector intact.
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 3000;
+  constexpr uint64_t kKeySpace = 12;
+  ReleaseCache cache(4);
+  auto handle = MakeDummyHandle(5.0);  // shared: contents must stay valid
+  std::atomic<int64_t> gets{0};
+  std::atomic<int> corrupt{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Deterministic per-thread op mix (no shared RNG).
+      uint64_t state = 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(t + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const uint64_t key = (state >> 33) % kKeySpace;
+        const uint64_t op = (state >> 61) & 7;
+        if (op < 4) {
+          if (auto h = cache.Get(key)) {
+            if (h->NumQueries() <= 0) corrupt.fetch_add(1);
+          }
+          gets.fetch_add(1);
+        } else if (op < 7) {
+          cache.Put(key, handle);
+        } else {
+          cache.Clear();
+        }
+        if (cache.size() > cache.capacity()) corrupt.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_EQ(cache.hits() + cache.misses(), gets.load());
+  // The cache still works after the storm.
+  cache.Clear();
+  cache.Put(999, handle);
+  EXPECT_EQ(cache.Get(999), handle);
 }
 
 }  // namespace
