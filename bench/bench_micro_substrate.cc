@@ -159,6 +159,85 @@ void BM_ParallelJoinCountThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelJoinCountThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// --- Grain sweeps (ROADMAP NUMA/grain follow-up): the block sizes are
+// runtime-tunable (ExecutionContext::SetTensorGrain / SetJoinRootGrain,
+// DPJOIN_GRAIN_* env vars); these series measure their perf sensitivity.
+// The argument is the grain; each benchmark restores the default after. ---
+
+void BM_EvaluateAllOnTensorGrain(benchmark::State& state) {
+  const JoinQuery query = MakeTwoTableQuery(128, 4, 128);
+  Rng rng(31);
+  const Instance instance = MakeZipfTwoTableInstance(query, 400, 1.0, rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 15, rng);
+  const DenseTensor tensor = JoinTensor(instance);
+  ExecutionContext::SetTensorGrain(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateAllOnTensor(family, tensor));
+  }
+  ExecutionContext::SetTensorGrain(0);
+  state.SetItemsProcessed(state.iterations() * family.TotalCount());
+}
+BENCHMARK(BM_EvaluateAllOnTensorGrain)
+    ->Arg(512)->Arg(4096)->Arg(32768)->Arg(262144);
+
+void BM_PmwReleaseGrain(benchmark::State& state) {
+  const JoinQuery query = MakeTwoTableQuery(64, 4, 64);
+  Rng data_rng(33);
+  const Instance instance = MakeZipfTwoTableInstance(query, 400, 1.0, data_rng);
+  Rng wl_rng(34);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kPrefix, 8, wl_rng);
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 8.0;
+  options.num_rounds = 8;
+  ExecutionContext::SetTensorGrain(state.range(0));
+  for (auto _ : state) {
+    Rng rng(35);
+    benchmark::DoNotOptimize(
+        PrivateMultiplicativeWeights(instance, family, options, rng));
+  }
+  ExecutionContext::SetTensorGrain(0);
+  state.SetItemsProcessed(state.iterations() * options.num_rounds);
+}
+BENCHMARK(BM_PmwReleaseGrain)->Arg(512)->Arg(4096)->Arg(32768);
+
+void BM_ParallelJoinCountGrain(benchmark::State& state) {
+  const Instance instance = ZipfInstance(50000);
+  ExecutionContext::SetJoinRootGrain(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParallelJoinCount(instance));
+  }
+  ExecutionContext::SetJoinRootGrain(0);
+  state.SetItemsProcessed(state.iterations() * instance.InputSize());
+}
+BENCHMARK(BM_ParallelJoinCountGrain)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_JoinTensorThreads(benchmark::State& state) {
+  const JoinQuery query = MakeTwoTableQuery(16, 64, 16);
+  Rng rng(37);
+  const Instance instance =
+      MakeZipfTwoTableInstance(query, 10000, 1.0, rng);
+  const ScopedThreads scoped(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JoinTensor(instance));
+  }
+  state.SetItemsProcessed(state.iterations() * instance.InputSize());
+}
+BENCHMARK(BM_JoinTensorThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ResidualSensitivityThreads(benchmark::State& state) {
+  const JoinQuery query = MakePathQuery(3, 32);
+  Rng rng(39);
+  const Instance instance = MakeZipfPathInstance(query, 3000, 1.0, rng);
+  const ScopedThreads scoped(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ResidualSensitivityValue(instance, 0.02));
+  }
+}
+BENCHMARK(BM_ResidualSensitivityThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_PartitionTwoTable(benchmark::State& state) {
   const Instance instance = ZipfInstance(state.range(0));
   const PrivacyParams params(1.0, 1e-4);

@@ -95,7 +95,7 @@ echo "==> bench smoke (DPJOIN_BENCH_QUICK=1, DPJOIN_THREADS=2)"
 SMOKE_DIR="${BUILD_DIR}/bench-smoke"
 mkdir -p "${SMOKE_DIR}"
 for bench in bench_thm34_delta_floor bench_pmw_single_table \
-             bench_engine_serving; do
+             bench_thm15_multi_table bench_engine_serving; do
   DPJOIN_BENCH_QUICK=1 DPJOIN_THREADS=2 DPJOIN_BENCH_JSON_DIR="${SMOKE_DIR}" \
     "${BUILD_DIR}/bench/${bench}"
 done
@@ -114,6 +114,41 @@ for s in report["series"]:
 print(f"ok: {sys.argv[1]} — {len(report['series'])} series, "
       f"{len(report['verdicts'])} verdicts, all_passed={report['all_passed']}")
 EOF
+done
+
+echo "==> factored PMW round-loop speedup verdicts"
+# The factored round loop (cached evaluator + sparse sub-box updates) must
+# be measured >= 3x faster per round than the retained oracle loop, and
+# match it within tolerance — as PASS verdicts in BENCH_E9/BENCH_THM15.
+for json in "${SMOKE_DIR}/BENCH_E9.json" "${SMOKE_DIR}/BENCH_THM15.json"; do
+  python3 - "${json}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+speedups = [s for s in report["series"] if s["name"] == "round.speedup"]
+assert speedups and speedups[0]["values"], "no round.speedup series recorded"
+verdicts = [v for v in report["verdicts"] if ">= 3x faster" in v["message"]]
+assert verdicts, "no factored >= 3x speedup verdict recorded"
+assert all(v["pass"] for v in verdicts), verdicts
+tolerance = [v for v in report["verdicts"] if "matches the oracle loop" in v["message"]]
+assert tolerance and all(v["pass"] for v in tolerance), tolerance
+print(f"ok: {sys.argv[1]} — factored round loop "
+      f"{speedups[0]['values'][0]:.2f}x the oracle, within tolerance")
+EOF
+done
+
+echo "==> ASan run of the factored-loop / determinism suites"
+# The new sparse/fused hot paths index raw storage directly; run their
+# suites under AddressSanitizer on every CI pass.
+ASAN_DIR="${BUILD_DIR}-asan"
+cmake -B "${ASAN_DIR}" -S . -DDPJOIN_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "${ASAN_DIR}" -j "${JOBS}" --target \
+  workload_evaluator_test pmw_factored_test parallel_determinism_test \
+  dense_tensor_test
+for suite in workload_evaluator_test pmw_factored_test \
+             parallel_determinism_test dense_tensor_test; do
+  "${ASAN_DIR}/tests/${suite}" --gtest_brief=1
 done
 
 echo "==> ci.sh: all green"

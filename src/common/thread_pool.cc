@@ -177,6 +177,45 @@ void ExecutionContext::SetThreads(int n) {
                           std::memory_order_relaxed);
 }
 
+namespace {
+
+std::atomic<int64_t> g_tensor_grain_override{0};     // 0 = env/default
+std::atomic<int64_t> g_join_root_grain_override{0};  // 0 = env/default
+
+int64_t GrainFromEnv(const char* name, int64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long long g = std::atoll(env);
+    if (g > 0) return static_cast<int64_t>(g);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int64_t ExecutionContext::TensorGrain() {
+  const int64_t g = g_tensor_grain_override.load(std::memory_order_relaxed);
+  if (g > 0) return g;
+  static const int64_t env_default =
+      GrainFromEnv("DPJOIN_GRAIN_TENSOR", kDefaultTensorGrain);
+  return env_default;
+}
+
+void ExecutionContext::SetTensorGrain(int64_t g) {
+  g_tensor_grain_override.store(g > 0 ? g : 0, std::memory_order_relaxed);
+}
+
+int64_t ExecutionContext::JoinRootGrain() {
+  const int64_t g = g_join_root_grain_override.load(std::memory_order_relaxed);
+  if (g > 0) return g;
+  static const int64_t env_default =
+      GrainFromEnv("DPJOIN_GRAIN_JOIN_ROOT", kDefaultJoinRootGrain);
+  return env_default;
+}
+
+void ExecutionContext::SetJoinRootGrain(int64_t g) {
+  g_join_root_grain_override.store(g > 0 ? g : 0, std::memory_order_relaxed);
+}
+
 ScopedThreads::ScopedThreads(int n) : engaged_(n > 0), saved_(0) {
   if (engaged_) {
     saved_ = t_thread_override;

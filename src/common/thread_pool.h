@@ -50,11 +50,28 @@ class ThreadPool {
   Impl* impl_;
 };
 
+/// Default block size (in cells) for parallel loops over dense-tensor
+/// cells; override at runtime with ExecutionContext::SetTensorGrain or the
+/// DPJOIN_GRAIN_TENSOR environment variable.
+inline constexpr int64_t kDefaultTensorGrain = 4096;
+
+/// Default number of depth-0 root tuples per block in the sharded join
+/// entry points; override with ExecutionContext::SetJoinRootGrain or
+/// DPJOIN_GRAIN_JOIN_ROOT.
+inline constexpr int64_t kDefaultJoinRootGrain = 8;
+
 /// Thread-count settings consulted by the Parallel* helpers. Two layers:
 /// a PROCESS-WIDE default (SetThreads / DPJOIN_THREADS) and a THREAD-LOCAL
 /// override (ScopedThreads), so concurrent user threads — e.g. several
 /// ServingHandle callers or mechanism invocations — can each carry their own
 /// count without racing on a global.
+///
+/// Also owns the parallel-loop GRAINS (block sizes). Grains are process-wide
+/// and consulted at the start of each parallel region; results stay
+/// bit-identical across THREAD counts for any fixed grain, but changing a
+/// grain changes the blocked floating-point grouping, so outputs are only
+/// comparable between runs that use the same grain settings (the NUMA/grain
+/// sweep in bench_micro_substrate measures the perf side of this knob).
 class ExecutionContext {
  public:
   /// DPJOIN_THREADS when set to a positive integer, else hardware
@@ -68,6 +85,24 @@ class ExecutionContext {
   /// Sets the process-wide default (clamped to [1, kMaxThreads]); n <= 0
   /// resets to DefaultThreads(). Does not touch thread-local overrides.
   static void SetThreads(int n);
+
+  /// Block size for parallel loops over dense-tensor cells. Resolution:
+  /// SetTensorGrain when set, else DPJOIN_GRAIN_TENSOR (read once), else
+  /// kDefaultTensorGrain.
+  static int64_t TensorGrain();
+
+  /// Sets the process-wide tensor grain; g <= 0 resets to the
+  /// DPJOIN_GRAIN_TENSOR / kDefaultTensorGrain default.
+  static void SetTensorGrain(int64_t g);
+
+  /// Depth-0 root tuples per block for the sharded join entry points.
+  /// Resolution: SetJoinRootGrain when set, else DPJOIN_GRAIN_JOIN_ROOT
+  /// (read once), else kDefaultJoinRootGrain.
+  static int64_t JoinRootGrain();
+
+  /// Sets the process-wide join root grain; g <= 0 resets to the
+  /// DPJOIN_GRAIN_JOIN_ROOT / kDefaultJoinRootGrain default.
+  static void SetJoinRootGrain(int64_t g);
 };
 
 /// RAII THREAD-LOCAL thread-count override; n <= 0 leaves the setting

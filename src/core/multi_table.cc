@@ -39,12 +39,14 @@ Result<ReleaseResult> MultiTable(const Instance& instance,
   pmw_options.max_rounds = options.pmw_max_rounds;
   pmw_options.record_trace = options.record_trace;
   pmw_options.per_round_epsilon_override = options.pmw_epsilon_prime_override;
+  pmw_options.use_factored_loop = options.pmw_use_factored;
   DPJOIN_ASSIGN_OR_RETURN(
       PmwResult pmw, PrivateMultiplicativeWeights(instance, family,
                                                   pmw_options, rng));
   result.synthetic = std::move(pmw.synthetic);
   result.noisy_total = pmw.noisy_total;
   result.pmw_rounds = pmw.rounds;
+  result.pmw_perf = std::move(pmw.perf);
   for (const auto& entry : pmw.accountant.entries()) {
     result.accountant.SpendSequential(entry.label, entry.params);
   }

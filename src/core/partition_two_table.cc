@@ -4,7 +4,10 @@
 #include <cmath>
 #include <map>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "dp/truncated_laplace.h"
 
 namespace dpjoin {
@@ -35,15 +38,43 @@ Result<TwoTablePartition> BuildPartition(
     (void)value;
     ++value_counts[bucket];
   }
+  // Tuple distribution, parallelized: the shared-attribute projection and
+  // bucket lookup per tuple run on the thread pool into per-block routing
+  // lists; the (hash-map) inserts stay serial, in block order. Every tuple
+  // code is distinct within its relation, so the routed contents — and the
+  // resulting partition — are identical to the serial loop for any thread
+  // count and any grain.
   for (int rel = 0; rel < 2; ++rel) {
     const Relation& source = instance.relation(rel);
-    for (const auto& [code, freq] : source.entries()) {
-      const int64_t value = source.ProjectCode(code, shared);
-      auto it = bucket_of.find(value);
-      DPJOIN_CHECK(it != bucket_of.end(), "join value missing from buckets");
-      instances.at(it->second)
-          .mutable_relation(rel)
-          .SetFrequencyByCode(code, freq);
+    std::vector<std::pair<int64_t, int64_t>> entries(
+        source.entries().begin(), source.entries().end());
+    struct Routed {
+      int bucket;
+      int64_t code;
+      int64_t freq;
+    };
+    constexpr int64_t kEntryGrain = 1024;
+    const int64_t n = static_cast<int64_t>(entries.size());
+    std::vector<std::vector<Routed>> per_block(
+        static_cast<size_t>(NumBlocks(0, n, kEntryGrain)));
+    ParallelForBlocks(
+        0, n, kEntryGrain, [&](int64_t block, int64_t lo, int64_t hi) {
+          std::vector<Routed>& routed = per_block[static_cast<size_t>(block)];
+          routed.reserve(static_cast<size_t>(hi - lo));
+          for (int64_t e = lo; e < hi; ++e) {
+            const auto& [code, freq] = entries[static_cast<size_t>(e)];
+            const int64_t value = source.ProjectCode(code, shared);
+            auto it = bucket_of.find(value);
+            DPJOIN_CHECK(it != bucket_of.end(),
+                         "join value missing from buckets");
+            routed.push_back({it->second, code, freq});
+          }
+        });
+    for (const auto& block : per_block) {
+      for (const Routed& r : block) {
+        instances.at(r.bucket).mutable_relation(rel).SetFrequencyByCode(
+            r.code, r.freq);
+      }
     }
   }
   TwoTablePartition partition;

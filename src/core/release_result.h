@@ -7,6 +7,7 @@
 
 #include "dp/composition.h"
 #include "query/dense_tensor.h"
+#include "release/pmw.h"
 
 namespace dpjoin {
 
@@ -21,6 +22,9 @@ struct ReleaseOptions {
   /// EXPERIMENTAL: forwarded to PmwOptions::per_round_epsilon_override
   /// (see release/pmw.h for the caveat); 0 = paper formula.
   double pmw_epsilon_prime_override = 0.0;
+  /// Forwarded to PmwOptions::use_factored_loop; false runs the retained
+  /// straightforward round loop (the bench/test oracle).
+  bool pmw_use_factored = true;
 };
 
 /// A released synthetic dataset F plus the mechanism diagnostics that the
@@ -33,6 +37,7 @@ struct ReleaseResult {
   double noisy_total = 0.0;     ///< n̂ used by PMW (privatized value).
   int64_t pmw_rounds = 0;       ///< k.
   PrivacyAccountant accountant; ///< full budget ledger.
+  PmwResult::Perf pmw_perf;     ///< per-round hot-loop timing breakdown.
 };
 
 }  // namespace dpjoin

@@ -242,6 +242,7 @@ Result<ReleaseResponse> ReleaseEngine::SubmitResolved(
         pmw.num_rounds = options.pmw_rounds;
         pmw.max_rounds = options.pmw_max_rounds;
         pmw.per_round_epsilon_override = options.pmw_epsilon_prime_override;
+        pmw.use_factored_loop = options.pmw_use_factored;
         auto result = PrivateMultiplicativeWeights(instance, family, pmw, rng);
         if (!result.ok()) return fail(result.status());
         accountant = result->accountant;

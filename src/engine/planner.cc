@@ -1,10 +1,12 @@
 #include "engine/planner.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "core/theory_bounds.h"
 #include "dp/composition.h"
+#include "query/workload_evaluator.h"
 #include "relational/join.h"
 #include "sensitivity/local_sensitivity.h"
 #include "sensitivity/residual_sensitivity.h"
@@ -79,6 +81,11 @@ InstanceStats ComputeInstanceStats(const Instance& instance,
         ResidualSensitivityValue(instance, 1.0 / params.Lambda());
   }
   return stats;
+}
+
+int64_t PmwLaplaceCrossoverQueries(double release_domain_cells) {
+  const double dim = std::log2(std::max(release_domain_cells, 2.0));
+  return std::max<int64_t>(1, static_cast<int64_t>(std::ceil(dim)));
 }
 
 double PredictedLaplaceError(double delta_tilde, int64_t query_count,
@@ -156,10 +163,31 @@ Result<Plan> PlanRelease(const ReleaseSpec& spec, const Instance& instance,
         << kDenseCellCap
         << "); independent Laplace is the only mechanism that never "
            "materializes x_i D_i";
-  } else if (stats.query_count == 1) {
+  } else if (stats.query_count <=
+             PmwLaplaceCrossoverQueries(stats.release_domain_cells)) {
     plan.mechanism = MechanismKind::kLaplace;
-    why << "auto: |Q| = 1 (counting only) — a single calibrated Laplace "
-           "answer beats paying PMW's f_upper factors for one query";
+    if (stats.query_count == 1) {
+      why << "auto: |Q| = 1 (counting only) — a single calibrated Laplace "
+             "answer beats paying PMW's f_upper factors for one query";
+    } else {
+      // Per-round cost of the factored PMW loop, from the evaluator's
+      // contraction model (data-independent: shapes and counts only).
+      std::vector<int64_t> domains, counts;
+      for (int r = 0; r < m; ++r) {
+        domains.push_back(query.relation_domain_size(r));
+        counts.push_back(family.CountForTable(r));
+      }
+      const double round_flops =
+          WorkloadEvaluator::EvaluationFlops(domains, counts);
+      why << "auto: |Q| = " << stats.query_count
+          << " <= log2|D| = " << PmwLaplaceCrossoverQueries(
+                 stats.release_domain_cells)
+          << " (the MW learning dimension) — PMW cannot amortize its "
+             "per-round evaluator cost (~"
+          << round_flops
+          << " flops/round) or its additive noise floor over so few "
+             "queries; independent Laplace answers each directly";
+    }
   } else if (m == 1) {
     plan.mechanism = MechanismKind::kPmw;
     why << "auto: single relation — single-table PMW meets the Theorem 1.3 "

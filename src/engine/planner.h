@@ -69,6 +69,17 @@ struct Plan {
 double PredictedLaplaceError(double delta_tilde, int64_t query_count,
                              const PrivacyParams& params, CompositionRule rule);
 
+/// The laplace-vs-pmw workload crossover: the largest |Q| for which `auto`
+/// answers directly with Laplace noise instead of building synthetic data.
+/// Multiplicative weights needs ~log₂|D| rounds before its convergence term
+/// n̂·sqrt(log|D|/k) starts paying off, and each round costs one
+/// WorkloadEvaluator pass plus budget — so a workload with no more queries
+/// than that learning dimension is answered directly (cheaper per the
+/// per-round cost model, and without PMW's additive Δ̃·sqrt(λ)·f_upper
+/// noise floor). Data-independent: a function of |D| alone, never of the
+/// instance. Always >= 1 (a single counting query is always direct).
+int64_t PmwLaplaceCrossoverQueries(double release_domain_cells);
+
 /// Resolves spec.mechanism (running the selection table when it is kAuto)
 /// and predicts the chosen mechanism's error from the paper's bounds.
 /// Explicit mechanism requests are validated against the query structure:

@@ -14,6 +14,10 @@ ServingHandle::ServingHandle(std::shared_ptr<const ReleasedDataset> dataset,
       family_(std::move(family)),
       plan_(std::move(plan)) {
   DPJOIN_CHECK(dataset_ != nullptr, "serving handle needs a dataset");
+  // Built exactly once per release; every consumer of the (shared,
+  // immutable) handle reuses the cached per-mode matrices.
+  evaluator_ = std::make_shared<const WorkloadEvaluator>(
+      family_, dataset_->tensor().shape());
 }
 
 ServingHandle::ServingHandle(std::vector<double> answers, QueryFamily family,
@@ -71,7 +75,7 @@ Result<std::vector<double>> ServingHandle::AnswerBatch(
 std::vector<double> ServingHandle::AnswerAll(int num_threads) const {
   const ScopedThreads scoped(num_threads);
   if (dataset_ == nullptr) return answers_;
-  return dataset_->AnswerAll(family_);
+  return evaluator_->EvaluateAll(dataset_->tensor());
 }
 
 ReleaseCache::ReleaseCache(size_t capacity) : capacity_(capacity) {

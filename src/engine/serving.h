@@ -31,6 +31,7 @@
 #include "core/released_dataset.h"
 #include "engine/planner.h"
 #include "query/query_family.h"
+#include "query/workload_evaluator.h"
 
 namespace dpjoin {
 
@@ -60,11 +61,18 @@ class ServingHandle {
                                           int num_threads = 0) const;
 
   /// Every query's answer, indexed by family.index(). Synthetic releases
-  /// use the mode-contraction path (cheaper than |Q| tensor scans).
+  /// use the cached WorkloadEvaluator (per-mode query matrices built once
+  /// at handle construction and shared by every consumer of the handle —
+  /// cheaper than re-flattening the family per call, and bit-identical to
+  /// the naive EvaluateAllOnTensor path).
   std::vector<double> AnswerAll(int num_threads = 0) const;
+
+  /// The handle's cached evaluator (null for direct-answer releases).
+  const WorkloadEvaluator* evaluator() const { return evaluator_.get(); }
 
  private:
   std::shared_ptr<const ReleasedDataset> dataset_;  // null for direct answers
+  std::shared_ptr<const WorkloadEvaluator> evaluator_;  // synthetic only
   std::vector<double> answers_;                     // direct answers only
   QueryFamily family_;
   Plan plan_;

@@ -7,23 +7,26 @@ namespace dpjoin {
 
 double DenseTensor::TotalMass() const {
   // Fixed-grain blocked reduction: deterministic for any thread count.
-  return ParallelSum(0, static_cast<int64_t>(values_.size()), kTensorBlockGrain,
-                     [&](int64_t lo, int64_t hi) {
-                       double sum = 0.0;
-                       for (int64_t i = lo; i < hi; ++i) {
-                         sum += values_[static_cast<size_t>(i)];
-                       }
-                       return sum;
-                     });
+  const double raw =
+      ParallelSum(0, static_cast<int64_t>(values_.size()),
+                  ExecutionContext::TensorGrain(), [&](int64_t lo, int64_t hi) {
+                    double sum = 0.0;
+                    for (int64_t i = lo; i < hi; ++i) {
+                      sum += values_[static_cast<size_t>(i)];
+                    }
+                    return sum;
+                  });
+  return scale_ * raw;
 }
 
 void DenseTensor::Fill(double v) {
+  DPJOIN_CHECK(scale_ == 1.0, "Fill on a tensor with a deferred scale");
   for (double& cell : values_) cell = v;
 }
 
 void DenseTensor::Scale(double f) {
-  ParallelFor(0, static_cast<int64_t>(values_.size()), kTensorBlockGrain,
-              [&](int64_t lo, int64_t hi) {
+  ParallelFor(0, static_cast<int64_t>(values_.size()),
+              ExecutionContext::TensorGrain(), [&](int64_t lo, int64_t hi) {
                 for (int64_t i = lo; i < hi; ++i) {
                   values_[static_cast<size_t>(i)] *= f;
                 }
@@ -36,10 +39,18 @@ void DenseTensor::NormalizeTo(double target) {
   Scale(target / mass);
 }
 
+void DenseTensor::Materialize() {
+  if (scale_ == 1.0) return;
+  Scale(scale_);
+  scale_ = 1.0;
+}
+
 void DenseTensor::AddTensor(const DenseTensor& other) {
   DPJOIN_CHECK_EQ(values_.size(), other.values_.size());
-  ParallelFor(0, static_cast<int64_t>(values_.size()), kTensorBlockGrain,
-              [&](int64_t lo, int64_t hi) {
+  DPJOIN_CHECK(scale_ == 1.0 && other.scale_ == 1.0,
+               "AddTensor needs both tensors materialized");
+  ParallelFor(0, static_cast<int64_t>(values_.size()),
+              ExecutionContext::TensorGrain(), [&](int64_t lo, int64_t hi) {
                 for (int64_t i = lo; i < hi; ++i) {
                   values_[static_cast<size_t>(i)] +=
                       other.values_[static_cast<size_t>(i)];

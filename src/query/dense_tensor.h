@@ -3,6 +3,14 @@
 // Used for (a) the synthetic dataset F : ×_i D_i → R≥0 that the release
 // algorithms output (paper §1.1) and (b) the materialized join function
 // JoinI. Mode i of the tensor indexes tuple codes of relation i's domain.
+//
+// The tensor carries a LAZY SCALAR MULTIPLIER (`deferred_scale`): the
+// logical cell value is scale·raw. PMW's factored round loop rescales the
+// whole tensor every round (NormalizeTo), which the lazy multiplier turns
+// into an O(1) update instead of a full-tensor pass; `Materialize()` folds
+// the multiplier back into storage. Raw-storage accessors (`values`,
+// `mutable_values`, `Set`, `Add`, `Fill`, `AddTensor`) CHECK that the scale
+// is 1 so no caller can silently mix raw and logical views.
 
 #ifndef DPJOIN_QUERY_DENSE_TENSOR_H_
 #define DPJOIN_QUERY_DENSE_TENSOR_H_
@@ -10,16 +18,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/mixed_radix.h"
 
 namespace dpjoin {
 
-/// Block size (in cells) for parallel loops over tensor cells. Fixed — never
-/// derived from the thread count — so blocked floating-point reductions
-/// group identically for any thread count.
-inline constexpr int64_t kTensorBlockGrain = 4096;
-
-/// A flat row-major tensor of doubles with a MixedRadix shape.
+/// A flat row-major tensor of doubles with a MixedRadix shape and a lazy
+/// scalar multiplier.
 class DenseTensor {
  public:
   DenseTensor() = default;
@@ -32,13 +37,16 @@ class DenseTensor {
   const MixedRadix& shape() const { return shape_; }
   int64_t size() const { return shape_.size(); }
 
+  /// Logical cell value scale·raw.
   double At(int64_t flat) const {
-    return values_[static_cast<size_t>(flat)];
+    return scale_ * values_[static_cast<size_t>(flat)];
   }
   void Set(int64_t flat, double v) {
+    DPJOIN_CHECK(scale_ == 1.0, "Set on a tensor with a deferred scale");
     values_[static_cast<size_t>(flat)] = v;
   }
   void Add(int64_t flat, double v) {
+    DPJOIN_CHECK(scale_ == 1.0, "Add on a tensor with a deferred scale");
     values_[static_cast<size_t>(flat)] += v;
   }
 
@@ -46,29 +54,68 @@ class DenseTensor {
     return At(shape_.Encode(digits));
   }
 
-  /// Σ_x T(x).
+  /// Σ_x T(x), including the deferred scale.
   double TotalMass() const;
 
   /// Sets every cell to `v`.
   void Fill(double v);
 
-  /// Multiplies every cell by `f`.
+  /// Multiplies every cell by `f` eagerly (one pass over storage).
   void Scale(double f);
 
   /// Rescales so TotalMass() == target (no-op target on an all-zero tensor
-  /// is a programmer error).
+  /// is a programmer error). Eager — use NormalizeDeferred when the current
+  /// mass is already known analytically.
   void NormalizeTo(double target);
 
+  /// The lazy multiplier applied by At()/TotalMass(); 1 unless a deferred
+  /// rescale is pending.
+  double deferred_scale() const { return scale_; }
+
+  /// Multiplies every logical cell by `f` in O(1) (scale_ *= f).
+  void ScaleDeferred(double f) { scale_ *= f; }
+
+  /// O(1) normalize for callers that track the total mass analytically:
+  /// sets the deferred scale so TotalMass() == target, given that the RAW
+  /// storage currently sums to `raw_mass` (CHECKed > 0).
+  void NormalizeDeferred(double target, double raw_mass) {
+    DPJOIN_CHECK_GT(raw_mass, 0.0);
+    scale_ = target / raw_mass;
+  }
+
+  /// Folds the deferred scale into storage (one parallel pass; no-op when
+  /// the scale is already 1). After this, values() is the logical view.
+  void Materialize();
+
   /// Element-wise sum with a same-shape tensor (dataset union — the ∪ of
-  /// Algorithm 4 over a shared domain is frequency addition).
+  /// Algorithm 4 over a shared domain is frequency addition). Both tensors
+  /// must be materialized (scale 1).
   void AddTensor(const DenseTensor& other);
 
-  const std::vector<double>& values() const { return values_; }
-  std::vector<double>* mutable_values() { return &values_; }
+  /// Raw storage. CHECKs the deferred scale is 1, so raw == logical.
+  const std::vector<double>& values() const {
+    DPJOIN_CHECK(scale_ == 1.0,
+                 "values() on a tensor with a deferred scale — call "
+                 "Materialize() first");
+    return values_;
+  }
+  std::vector<double>* mutable_values() {
+    DPJOIN_CHECK(scale_ == 1.0,
+                 "mutable_values() on a tensor with a deferred scale — call "
+                 "Materialize() first");
+    return &values_;
+  }
+
+  /// Raw storage WITHOUT the scale-1 check, for callers (PMW's factored
+  /// loop) that deliberately work in the raw view and carry the scale
+  /// algebra themselves.
+  std::vector<double>* raw_values() { return &values_; }
+  const std::vector<double>& raw_values() const { return values_; }
 
  private:
   MixedRadix shape_;
   std::vector<double> values_;
+  double scale_ = 1.0;
 };
 
 }  // namespace dpjoin

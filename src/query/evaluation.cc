@@ -26,12 +26,27 @@ MixedRadix ReleaseShape(const JoinQuery& query, int64_t max_cells) {
 DenseTensor JoinTensor(const Instance& instance) {
   DenseTensor tensor(ReleaseShape(instance.query()));
   const MixedRadix& shape = tensor.shape();
-  EnumerateSubJoin(
+  // Sharded enumeration with per-block (flat, weight) accumulators: blocks
+  // only touch their own list, then the lists merge in block order. Join
+  // weights are integers summed exactly in double, so the materialized
+  // tensor is bit-identical to the serial enumeration for any thread count
+  // (and any merge order).
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> per_block;
+  EnumerateSubJoinSharded(
       instance, instance.query().all_relations(),
-      [&](const std::vector<int64_t>& rel_codes, const std::vector<int64_t>&,
-          int64_t weight) {
-        tensor.Add(shape.Encode(rel_codes), static_cast<double>(weight));
+      [&](int64_t num_blocks) {
+        per_block.assign(static_cast<size_t>(num_blocks), {});
+      },
+      [&](int64_t block, const std::vector<int64_t>& rel_codes,
+          const std::vector<int64_t>&, int64_t weight) {
+        per_block[static_cast<size_t>(block)].emplace_back(
+            shape.Encode(rel_codes), weight);
       });
+  for (const auto& block : per_block) {
+    for (const auto& [flat, weight] : block) {
+      tensor.Add(flat, static_cast<double>(weight));
+    }
+  }
   return tensor;
 }
 
@@ -49,7 +64,7 @@ double EvaluateOnTensor(const QueryFamily& family,
   }
   // Each block walks its own odometer seeded at `lo`; the fixed grain keeps
   // the summation grouping identical for any thread count.
-  return ParallelSum(0, shape.size(), kTensorBlockGrain,
+  return ParallelSum(0, shape.size(), ExecutionContext::TensorGrain(),
                      [&](int64_t lo, int64_t hi) {
                        double sum = 0.0;
                        internal::ForEachProductCell(
@@ -60,10 +75,8 @@ double EvaluateOnTensor(const QueryFamily& family,
                      });
 }
 
-namespace {
+namespace internal {
 
-// Contracts mode `mode` of V (shape `shape`) with the c×d matrix M (flat
-// row-major): out[p, j, x] = Σ_d V[p, d, x]·M[j*d_dim + d].
 void ContractMode(const std::vector<double>& in,
                   const std::vector<int64_t>& shape, size_t mode,
                   const double* matrix, int64_t out_dim,
@@ -99,7 +112,6 @@ void ContractMode(const std::vector<double>& in,
   (*out_shape)[mode] = out_dim;
 }
 
-// Flattens family queries for relation r into a row-major (c × |D_r|) matrix.
 std::vector<double> QueryMatrix(const QueryFamily& family, int rel) {
   const auto& queries = family.table_queries(rel);
   DPJOIN_CHECK(!queries.empty(),
@@ -115,7 +127,7 @@ std::vector<double> QueryMatrix(const QueryFamily& family, int rel) {
   return matrix;
 }
 
-}  // namespace
+}  // namespace internal
 
 std::vector<double> EvaluateAllOnTensor(const QueryFamily& family,
                                         const DenseTensor& tensor) {
@@ -126,11 +138,13 @@ std::vector<double> EvaluateAllOnTensor(const QueryFamily& family,
   // Contract the last un-contracted mode first; earlier modes keep their
   // data contiguous until their turn.
   for (size_t mode = m; mode-- > 0;) {
-    const std::vector<double> matrix = QueryMatrix(family, static_cast<int>(mode));
+    const std::vector<double> matrix =
+        internal::QueryMatrix(family, static_cast<int>(mode));
     const int64_t c = family.CountForTable(static_cast<int>(mode));
     std::vector<double> next;
     std::vector<int64_t> next_shape;
-    ContractMode(values, shape, mode, matrix.data(), c, &next, &next_shape);
+    internal::ContractMode(values, shape, mode, matrix.data(), c, &next,
+                           &next_shape);
     values = std::move(next);
     shape = std::move(next_shape);
   }

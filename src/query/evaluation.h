@@ -45,6 +45,20 @@ void ForEachProductCell(const MixedRadix& shape,
   }
 }
 
+/// Contracts mode `mode` of V (shape `shape`) with the c×d matrix M (flat
+/// row-major): out[p, j, x] = Σ_d V[p, d, x]·M[j*d_dim + d]. Rows (p, j) are
+/// sharded over the thread pool; each is written by exactly one block, so
+/// the result is bit-identical for any thread count. Shared by
+/// EvaluateAllOnTensor and the cached WorkloadEvaluator.
+void ContractMode(const std::vector<double>& in,
+                  const std::vector<int64_t>& shape, size_t mode,
+                  const double* matrix, int64_t out_dim,
+                  std::vector<double>* out, std::vector<int64_t>* out_shape);
+
+/// Flattens family queries for relation `rel` into a row-major
+/// (|Q_rel| × |D_rel|) matrix.
+std::vector<double> QueryMatrix(const QueryFamily& family, int rel);
+
 }  // namespace internal
 
 /// The release domain D = ×_i D_i of an instance as a tensor shape (mode i

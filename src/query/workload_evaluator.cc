@@ -1,0 +1,179 @@
+#include "query/workload_evaluator.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "query/evaluation.h"
+
+namespace dpjoin {
+
+WorkloadEvaluator::WorkloadEvaluator(const QueryFamily& family,
+                                     const MixedRadix& shape)
+    : shape_(shape) {
+  const int m = family.num_relations();
+  DPJOIN_CHECK_EQ(static_cast<size_t>(m), shape_.num_digits());
+  counts_.reserve(static_cast<size_t>(m));
+  matrices_.reserve(static_cast<size_t>(m));
+  info_.reserve(static_cast<size_t>(m));
+  total_queries_ = 1;
+  for (int rel = 0; rel < m; ++rel) {
+    const auto& queries = family.table_queries(rel);
+    DPJOIN_CHECK_EQ(static_cast<int64_t>(queries[0].values.size()),
+                    shape_.radix(static_cast<size_t>(rel)));
+    counts_.push_back(static_cast<int64_t>(queries.size()));
+    total_queries_ *= counts_.back();
+    matrices_.push_back(internal::QueryMatrix(family, rel));
+
+    std::vector<QueryInfo> mode_info(queries.size());
+    for (size_t j = 0; j < queries.size(); ++j) {
+      QueryInfo& qi = mode_info[j];
+      qi.is_indicator = true;
+      for (size_t d = 0; d < queries[j].values.size(); ++d) {
+        const double v = queries[j].values[d];
+        if (v == 1.0) {
+          qi.support.push_back(static_cast<int64_t>(d));
+        } else if (v != 0.0) {
+          qi.is_indicator = false;
+          break;
+        }
+      }
+      if (!qi.is_indicator) {
+        qi.support.clear();
+      } else {
+        qi.is_all_ones = qi.support.size() == queries[j].values.size();
+      }
+    }
+    info_.push_back(std::move(mode_info));
+  }
+  DPJOIN_CHECK_EQ(total_queries_, family.TotalCount());
+}
+
+namespace {
+
+// Shared last-to-first contraction over an arbitrary starting tensor. The
+// first contraction reads `input` in place (no full-tensor copy — the
+// intermediate buffers are already |Q_last|/|D_last| the size); only the
+// shrunk intermediates are owned.
+std::vector<double> ContractAll(const std::vector<double>& input,
+                                std::vector<int64_t> shape,
+                                const std::vector<const double*>& matrices,
+                                const std::vector<int64_t>& counts) {
+  std::vector<double> values;
+  bool first = true;
+  for (size_t mode = shape.size(); mode-- > 0;) {
+    std::vector<double> next;
+    std::vector<int64_t> next_shape;
+    internal::ContractMode(first ? input : values, shape, mode,
+                           matrices[mode], counts[mode], &next, &next_shape);
+    values = std::move(next);
+    shape = std::move(next_shape);
+    first = false;
+  }
+  if (first) values = input;  // zero modes: identity (not reachable today)
+  return values;
+}
+
+}  // namespace
+
+std::vector<double> WorkloadEvaluator::EvaluateAllRaw(
+    const std::vector<double>& values) const {
+  DPJOIN_CHECK_EQ(static_cast<int64_t>(values.size()), shape_.size());
+  std::vector<const double*> mats(matrices_.size());
+  for (size_t i = 0; i < matrices_.size(); ++i) mats[i] = matrices_[i].data();
+  std::vector<double> answers =
+      ContractAll(values, shape_.radices(), mats, counts_);
+  DPJOIN_CHECK_EQ(static_cast<int64_t>(answers.size()), total_queries_);
+  return answers;
+}
+
+std::vector<double> WorkloadEvaluator::EvaluateAll(
+    const DenseTensor& tensor) const {
+  std::vector<double> answers = EvaluateAllRaw(tensor.raw_values());
+  const double scale = tensor.deferred_scale();
+  if (scale != 1.0) {
+    for (double& a : answers) a *= scale;
+  }
+  return answers;
+}
+
+bool WorkloadEvaluator::IsProductIndicator(
+    const std::vector<int64_t>& parts) const {
+  DPJOIN_CHECK_EQ(parts.size(), counts_.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (!info(static_cast<int>(i), parts[i]).is_indicator) return false;
+  }
+  return true;
+}
+
+bool WorkloadEvaluator::IsAllOnes(const std::vector<int64_t>& parts) const {
+  DPJOIN_CHECK_EQ(parts.size(), counts_.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (!info(static_cast<int>(i), parts[i]).is_all_ones) return false;
+  }
+  return true;
+}
+
+int64_t WorkloadEvaluator::BoxCells(const std::vector<int64_t>& parts) const {
+  int64_t cells = 1;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const QueryInfo& qi = info(static_cast<int>(i), parts[i]);
+    DPJOIN_CHECK(qi.is_indicator, "BoxCells on a non-indicator query");
+    cells *= static_cast<int64_t>(qi.support.size());
+  }
+  return cells;
+}
+
+std::vector<double> WorkloadEvaluator::EvaluateAllOnBox(
+    const std::vector<int64_t>& parts,
+    const std::vector<double>& box_values) const {
+  DPJOIN_CHECK_EQ(static_cast<int64_t>(box_values.size()), BoxCells(parts));
+  const size_t m = counts_.size();
+  // Restrict each mode's matrix to its support columns; the box tensor is
+  // indexed by support positions, so the restricted contraction computes
+  // exactly Σ_{x∈box} values[x]·Π_i q_i(x_i).
+  std::vector<std::vector<double>> restricted(m);
+  std::vector<const double*> mats(m);
+  std::vector<int64_t> box_shape(m);
+  for (size_t i = 0; i < m; ++i) {
+    const QueryInfo& qi = info(static_cast<int>(i), parts[i]);
+    const int64_t dom = shape_.radix(i);
+    const int64_t b = static_cast<int64_t>(qi.support.size());
+    box_shape[i] = b;
+    if (qi.is_all_ones) {
+      mats[i] = matrices_[i].data();  // full support: no restriction needed
+      continue;
+    }
+    restricted[i].resize(static_cast<size_t>(counts_[i] * b));
+    for (int64_t j = 0; j < counts_[i]; ++j) {
+      for (int64_t t = 0; t < b; ++t) {
+        restricted[i][static_cast<size_t>(j * b + t)] =
+            matrices_[i][static_cast<size_t>(j * dom + qi.support[t])];
+      }
+    }
+    mats[i] = restricted[i].data();
+  }
+  std::vector<double> answers =
+      ContractAll(box_values, box_shape, mats, counts_);
+  DPJOIN_CHECK_EQ(static_cast<int64_t>(answers.size()), total_queries_);
+  return answers;
+}
+
+double WorkloadEvaluator::EvaluationFlops(
+    const std::vector<int64_t>& domain_sizes,
+    const std::vector<int64_t>& query_counts) {
+  DPJOIN_CHECK_EQ(domain_sizes.size(), query_counts.size());
+  double flops = 0.0;
+  double suffix = 1.0;  // Π_{j>i} |Q_j| — modes contract last-to-first
+  for (size_t mode = domain_sizes.size(); mode-- > 0;) {
+    double prefix = 1.0;
+    for (size_t j = 0; j < mode; ++j) {
+      prefix *= static_cast<double>(domain_sizes[j]);
+    }
+    flops += prefix * static_cast<double>(query_counts[mode]) *
+             static_cast<double>(domain_sizes[mode]) * suffix;
+    suffix *= static_cast<double>(query_counts[mode]);
+  }
+  return flops;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,99 @@
+// Cached all-query evaluator over a (family, shape) pair — the factored
+// heart of PMW's round loop.
+//
+// EvaluateAllOnTensor re-flattens every per-mode query matrix and re-derives
+// the query structure on every call; PMW calls it every round, and every
+// ServingHandle re-does the same work per AnswerAll. WorkloadEvaluator
+// precomputes, ONCE per (family, shape):
+//   * the per-mode query-value matrices (|Q_i| × |D_i|, row-major) fed to
+//     the blocked mode contractions, and
+//   * per-query structure metadata: whether each table query is a 0/1
+//     indicator (interval/threshold/point/marginal workloads) and, if so,
+//     its support — which is what lets the multiplicative-weights update
+//     touch only the affected sub-box instead of the whole tensor.
+//
+// EvaluateAll matches EvaluateAllOnTensor bit-for-bit (same contraction
+// kernel, same matrices); the naive path is retained as the test oracle.
+
+#ifndef DPJOIN_QUERY_WORKLOAD_EVALUATOR_H_
+#define DPJOIN_QUERY_WORKLOAD_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mixed_radix.h"
+#include "query/dense_tensor.h"
+#include "query/query_family.h"
+
+namespace dpjoin {
+
+class WorkloadEvaluator {
+ public:
+  /// Structure of one per-table query, detected once at construction.
+  struct QueryInfo {
+    bool is_indicator = false;  ///< every value ∈ {0, 1}
+    bool is_all_ones = false;   ///< indicator with full support (q ≡ 1)
+    /// Codes with value 1, ascending (indicator queries only).
+    std::vector<int64_t> support;
+  };
+
+  /// `shape` must be the release domain of the family's query (mode i has
+  /// radix |D_i|); CHECK-fails on a mode-count or domain-size mismatch.
+  WorkloadEvaluator(const QueryFamily& family, const MixedRadix& shape);
+
+  const MixedRadix& shape() const { return shape_; }
+  int num_modes() const { return static_cast<int>(counts_.size()); }
+  int64_t TotalQueries() const { return total_queries_; }
+
+  /// All-query answers over raw cell values (length shape().size()),
+  /// by blocked mode contraction with the cached matrices. Bit-identical
+  /// to EvaluateAllOnTensor on the same values, for any thread count.
+  std::vector<double> EvaluateAllRaw(const std::vector<double>& values) const;
+
+  /// EvaluateAllRaw on the tensor's raw storage, with the deferred scale
+  /// applied to the answers (linear queries commute with the scale).
+  std::vector<double> EvaluateAll(const DenseTensor& tensor) const;
+
+  /// Metadata for table query `j` of relation `rel`.
+  const QueryInfo& info(int rel, int64_t j) const {
+    return info_[static_cast<size_t>(rel)][static_cast<size_t>(j)];
+  }
+
+  /// True when every per-mode factor of the product query `parts` is a 0/1
+  /// indicator — the update then touches only ×_i support_i.
+  bool IsProductIndicator(const std::vector<int64_t>& parts) const;
+
+  /// True when the product query is identically 1 (the counting query).
+  bool IsAllOnes(const std::vector<int64_t>& parts) const;
+
+  /// Π_i |support_i| for an indicator product query (CHECKed).
+  int64_t BoxCells(const std::vector<int64_t>& parts) const;
+
+  /// All-query answers restricted to the sub-box of the indicator product
+  /// query `parts`: result[q] = Σ_{x ∈ box} box_values[pos(x)]·q(x), where
+  /// `box_values` is the box extracted in row-major support order (as
+  /// produced by iterating supports mode by mode, last mode fastest).
+  /// Same contraction kernel over support-restricted matrices, so the
+  /// result is bit-identical for any thread count.
+  std::vector<double> EvaluateAllOnBox(
+      const std::vector<int64_t>& parts,
+      const std::vector<double>& box_values) const;
+
+  /// Multiply-add count of one all-query evaluation, from shapes alone (no
+  /// family construction needed — this is the planner's per-round PMW cost
+  /// model): contracting modes last-to-first, mode i costs
+  /// Π_{j<i}|D_j| · |Q_i| · |D_i| · Π_{j>i}|Q_j|.
+  static double EvaluationFlops(const std::vector<int64_t>& domain_sizes,
+                                const std::vector<int64_t>& query_counts);
+
+ private:
+  MixedRadix shape_;
+  std::vector<int64_t> counts_;               // |Q_i|
+  std::vector<std::vector<double>> matrices_;  // per-mode |Q_i| × |D_i|
+  std::vector<std::vector<QueryInfo>> info_;
+  int64_t total_queries_ = 0;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_QUERY_WORKLOAD_EVALUATOR_H_

@@ -169,9 +169,11 @@ void EnumerateFromRoots(const JoinPlan& plan,
 }
 
 // Root entries per parallel block. Each root can expand into a large
-// sub-tree, so blocks are small; determinism never depends on the grain
-// (join weights are integers, summed exactly in double).
-constexpr int64_t kRootGrain = 8;
+// sub-tree, so blocks are small by default; determinism never depends on
+// the grain (join weights are integers, summed exactly in double). The
+// grain is runtime-tunable: ExecutionContext::SetJoinRootGrain /
+// DPJOIN_GRAIN_JOIN_ROOT.
+int64_t RootGrain() { return ExecutionContext::JoinRootGrain(); }
 
 // Appends `value` as the next mixed-radix digit of a group key. CHECKs
 // against int64 wraparound, which would silently alias distinct groups on
@@ -228,7 +230,7 @@ void EnumerateSubJoinSharded(const Instance& instance, RelationSet rels,
   constexpr int64_t kMaxShardBlocks = 4096;
   const int64_t num_roots = static_cast<int64_t>(roots.size());
   const int64_t grain =
-      std::max(kRootGrain, (num_roots + kMaxShardBlocks - 1) / kMaxShardBlocks);
+      std::max(RootGrain(), (num_roots + kMaxShardBlocks - 1) / kMaxShardBlocks);
   prepare(NumBlocks(0, num_roots, grain));
   ParallelForBlocks(
       0, num_roots, grain,
@@ -269,7 +271,7 @@ double ParallelSubJoinCount(const Instance& instance, RelationSet rels,
   // double (exact below 2^53), so any block merge order is bit-identical to
   // the serial sum.
   return ParallelSum(
-      0, static_cast<int64_t>(roots.size()), kRootGrain,
+      0, static_cast<int64_t>(roots.size()), RootGrain(),
       [&](int64_t lo, int64_t hi) {
         double block_total = 0.0;
         EnumerateFromRoots(plan, roots, lo, hi,
@@ -324,12 +326,15 @@ std::unordered_map<int64_t, double> ParallelGroupedJoinSizes(
   const std::vector<int> group_attrs = group_by.Elements();
   const std::vector<std::pair<int64_t, int64_t>> roots =
       SortedRootEntries(plan);
+  // Read once: a concurrent SetJoinRootGrain must not desync the accumulator
+  // sizing from the block decomposition.
+  const int64_t grain = RootGrain();
   const int64_t blocks =
-      NumBlocks(0, static_cast<int64_t>(roots.size()), kRootGrain);
+      NumBlocks(0, static_cast<int64_t>(roots.size()), grain);
   std::vector<std::unordered_map<int64_t, double>> per_block(
       static_cast<size_t>(blocks));
   ParallelForBlocks(
-      0, static_cast<int64_t>(roots.size()), kRootGrain,
+      0, static_cast<int64_t>(roots.size()), grain,
       [&](int64_t block, int64_t lo, int64_t hi) {
         std::unordered_map<int64_t, double>& groups =
             per_block[static_cast<size_t>(block)];

@@ -1,6 +1,7 @@
 #include "release/pmw.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/math_util.h"
@@ -8,6 +9,7 @@
 #include "dp/exponential_mechanism.h"
 #include "dp/laplace.h"
 #include "dp/truncated_laplace.h"
+#include "query/workload_evaluator.h"
 #include "relational/join.h"
 
 namespace dpjoin {
@@ -25,24 +27,337 @@ int64_t PmwTheoryRounds(double noisy_total, double epsilon, double delta,
 
 namespace {
 
-// F_i(x) ∝ F_{i−1}(x)·exp(q(x)·eta), renormalized to total mass `mass`.
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+// F_i(x) ∝ F_{i−1}(x)·exp(q(x)·eta), NOT yet renormalized.
 // q(x) = Π_t q_t(x_t) with per-mode value vectors `qvals`.
-void MultiplicativeUpdate(DenseTensor* tensor,
-                          const std::vector<const double*>& qvals, double eta,
-                          double mass) {
+void ExpUpdate(DenseTensor* tensor, const std::vector<const double*>& qvals,
+               double eta) {
   const MixedRadix& shape = tensor->shape();
   std::vector<double>& values = *tensor->mutable_values();
   // Per-cell updates are independent; each block seeds its own odometer at
   // `lo` and writes only its [lo, hi) slice, so the result is bit-identical
   // for any thread count.
-  ParallelFor(0, shape.size(), kTensorBlockGrain, [&](int64_t lo, int64_t hi) {
-    internal::ForEachProductCell(shape, qvals, lo, hi,
-                                 [&](int64_t flat, double q) {
-                                   values[static_cast<size_t>(flat)] *=
-                                       std::exp(q * eta);
-                                 });
-  });
-  tensor->NormalizeTo(mass);
+  ParallelFor(0, shape.size(), ExecutionContext::TensorGrain(),
+              [&](int64_t lo, int64_t hi) {
+                internal::ForEachProductCell(
+                    shape, qvals, lo, hi, [&](int64_t flat, double q) {
+                      values[static_cast<size_t>(flat)] *= std::exp(q * eta);
+                    });
+              });
+}
+
+// The retained straightforward round loop — Algorithm 2 line by line, four
+// full-tensor passes per round (all-query evaluation, exp update,
+// NormalizeTo, average accumulation). Kept as the oracle the factored loop
+// is pinned against (pmw_factored_test, bench speedup baselines).
+void RunOracleRounds(const QueryFamily& family, const PmwOptions& options,
+                     const std::vector<double>& answers_instance,
+                     const MixedRadix& shape, Rng& rng, PmwResult* result) {
+  DenseTensor current(shape);
+  DenseTensor average(shape);
+  current.Fill(result->noisy_total / static_cast<double>(shape.size()));
+
+  std::vector<const double*> qvals(
+      static_cast<size_t>(family.num_relations()));
+  for (int64_t round = 0; round < result->rounds; ++round) {
+    // Lines 4–5: EM selection with score |q(F_{i−1}) − q(I)| / Δ̃.
+    const Clock::time_point eval_start = Clock::now();
+    const std::vector<double> answers_synthetic =
+        EvaluateAllOnTensor(family, current);
+    std::vector<double> scores(answers_instance.size());
+    for (size_t qi = 0; qi < scores.size(); ++qi) {
+      scores[qi] = std::abs(answers_synthetic[qi] - answers_instance[qi]) /
+                   options.delta_tilde;
+    }
+    result->perf.eval_us.push_back(MicrosSince(eval_start));
+    const size_t chosen =
+        ExponentialMechanism(scores, result->per_round_epsilon, rng);
+
+    // Line 6: noisy measurement.
+    const double measurement =
+        AddLaplaceNoise(answers_instance[chosen], options.delta_tilde,
+                        result->per_round_epsilon, rng);
+
+    // Line 7: multiplicative update; the proof needs |q(x)·η| ≤ 1, so η is
+    // clamped to [-1, 1].
+    const std::vector<int64_t> parts =
+        family.Decompose(static_cast<int64_t>(chosen));
+    for (size_t i = 0; i < qvals.size(); ++i) {
+      qvals[i] = family.table_queries(static_cast<int>(i))
+                     [static_cast<size_t>(parts[i])]
+                         .values.data();
+    }
+    const double eta =
+        Clamp((measurement - answers_synthetic[chosen]) /
+                  (2.0 * result->noisy_total),
+              -1.0, 1.0);
+    const Clock::time_point update_start = Clock::now();
+    ExpUpdate(&current, qvals, eta);
+    result->perf.update_us.push_back(MicrosSince(update_start));
+    const Clock::time_point normalize_start = Clock::now();
+    current.NormalizeTo(result->noisy_total);
+    average.AddTensor(current);
+    result->perf.normalize_us.push_back(MicrosSince(normalize_start));
+
+    if (options.record_trace) {
+      result->trace.push_back({static_cast<int64_t>(chosen),
+                              scores[chosen] * options.delta_tilde,
+                              measurement});
+    }
+  }
+
+  average.Scale(1.0 / static_cast<double>(result->rounds));  // Line 8.
+  result->synthetic = std::move(average);
+}
+
+// The factored round loop. Representation invariants, with G the RAW cell
+// array, s the tensor's deferred scale, and n̂ the noisy total:
+//   F_i           = s·G                (the current synthetic dataset)
+//   s·T           = n̂                 (T = Σ_x G[x], tracked analytically)
+//   Σ_{j≤i} F_j   = a·G + R           (a = Σ_j s_j; R a residual array)
+//   answers       = s·rawans          (rawans = all-query answers on G)
+//
+// When the EM-chosen query is a 0/1 product indicator with support box B,
+// exp(q(x)·η) is e^η on B and 1 elsewhere, so the round updates ONLY B:
+// one fused pass extracts the old box values (for the incremental answer
+// delta), multiplies G by e^η inside B, and folds the average-accumulation
+// residual R += a·(1−e^η)·G_old in the same traversal. The new total is
+// analytic (T += (e^η−1)·box_mass), so NormalizeTo is the O(1) deferred
+// rescale s = n̂/T. Non-indicator queries fall back to ONE fused full-tensor
+// pass (exp + residual + total) plus a full answer recomputation — still
+// two fewer passes than the oracle. All reductions use fixed-grain blocked
+// merges, so results stay bit-identical for any thread count.
+void RunFactoredRounds(const QueryFamily& family, const PmwOptions& options,
+                       const std::vector<double>& answers_instance,
+                       const MixedRadix& shape, Rng& rng, PmwResult* result) {
+  const WorkloadEvaluator evaluator(family, shape);
+  const double n_hat = result->noisy_total;
+  const int64_t cells = shape.size();
+  const size_t m = static_cast<size_t>(family.num_relations());
+
+  DenseTensor current(shape);
+  current.Fill(n_hat / static_cast<double>(cells));
+  std::vector<double>& graw = *current.raw_values();
+  std::vector<double> residual(static_cast<size_t>(cells), 0.0);
+  double avg_coeff = 0.0;  // a
+  double raw_total = n_hat;  // T
+  double log_drift = 0.0;  // Σ|η| since the last rebase
+
+  std::vector<double> rawans = evaluator.EvaluateAllRaw(graw);
+  std::vector<double> scores(rawans.size());
+  std::vector<const double*> qvals(m);
+
+  for (int64_t round = 0; round < result->rounds; ++round) {
+    // Lines 4–5: EM selection; answers are s·rawans.
+    const Clock::time_point eval_start = Clock::now();
+    const double s = current.deferred_scale();
+    for (size_t qi = 0; qi < scores.size(); ++qi) {
+      scores[qi] =
+          std::abs(s * rawans[qi] - answers_instance[qi]) / options.delta_tilde;
+    }
+    double eval_us = MicrosSince(eval_start);
+    const size_t chosen =
+        ExponentialMechanism(scores, result->per_round_epsilon, rng);
+
+    // Line 6: noisy measurement.
+    const double measurement =
+        AddLaplaceNoise(answers_instance[chosen], options.delta_tilde,
+                        result->per_round_epsilon, rng);
+
+    // Line 7 (+ the average accumulation of line 8, folded into the same
+    // traversal via R).
+    const std::vector<int64_t> parts =
+        family.Decompose(static_cast<int64_t>(chosen));
+    const double eta = Clamp((measurement - s * rawans[chosen]) /
+                                 (2.0 * n_hat),
+                             -1.0, 1.0);
+    const double exp_eta = std::exp(eta);
+
+    double update_us = 0.0;
+    double normalize_us = 0.0;
+    const bool indicator = evaluator.IsProductIndicator(parts);
+    const int64_t box_cells = indicator ? evaluator.BoxCells(parts) : 0;
+    if (indicator && (evaluator.IsAllOnes(parts) || box_cells == 0)) {
+      // q ≡ 1: the exp update is a uniform e^η rescale that NormalizeTo
+      // undoes exactly — F_i = F_{i−1}. q ≡ 0 (empty support): the update
+      // itself is the identity. Either way only the average advances.
+      const Clock::time_point normalize_start = Clock::now();
+      avg_coeff += s;
+      ++result->perf.scale_only_rounds;
+      normalize_us = MicrosSince(normalize_start);
+    } else if (indicator && box_cells * 2 <= cells) {
+      // Sparse path: one fused pass over the sub-box B = ×_i support_i.
+      const Clock::time_point update_start = Clock::now();
+      std::vector<std::vector<int64_t>> offsets(m);
+      for (size_t i = 0; i < m; ++i) {
+        const auto& support =
+            evaluator.info(static_cast<int>(i), parts[i]).support;
+        offsets[i].resize(support.size());
+        for (size_t t = 0; t < support.size(); ++t) {
+          offsets[i][t] = support[t] * shape.stride(i);
+        }
+      }
+      const std::vector<int64_t>& inner = offsets[m - 1];
+      const int64_t inner_size = static_cast<int64_t>(inner.size());
+      const int64_t rows = box_cells / inner_size;
+      // Whole box rows per block; grain fixed by the tensor grain alone, so
+      // the decomposition (and the box-mass merge order) never depends on
+      // the thread count.
+      const int64_t row_grain = std::max<int64_t>(
+          1, ExecutionContext::TensorGrain() / inner_size);
+      std::vector<double> box_values(static_cast<size_t>(box_cells));
+      std::vector<double> block_mass(
+          static_cast<size_t>(NumBlocks(0, rows, row_grain)), 0.0);
+      const double a = avg_coeff;
+      ParallelForBlocks(
+          0, rows, row_grain, [&](int64_t block, int64_t lo, int64_t hi) {
+            double mass = 0.0;
+            for (int64_t r = lo; r < hi; ++r) {
+              // Decode the row index into support positions of the outer
+              // modes (last outer mode fastest — row-major box order).
+              int64_t rem = r;
+              int64_t base = 0;
+              for (size_t i = m - 1; i-- > 0;) {
+                const int64_t b = static_cast<int64_t>(offsets[i].size());
+                base += offsets[i][static_cast<size_t>(rem % b)];
+                rem /= b;
+              }
+              double* brow =
+                  box_values.data() + r * inner_size;
+              for (int64_t t = 0; t < inner_size; ++t) {
+                const int64_t flat = base + inner[static_cast<size_t>(t)];
+                const double g = graw[static_cast<size_t>(flat)];
+                brow[t] = g;
+                mass += g;
+                graw[static_cast<size_t>(flat)] = g * exp_eta;
+                residual[static_cast<size_t>(flat)] +=
+                    a * (1.0 - exp_eta) * g;
+              }
+            }
+            block_mass[static_cast<size_t>(block)] = mass;
+          });
+      double box_mass = 0.0;  // merged in block order: thread-count-free
+      for (const double bm : block_mass) box_mass += bm;
+      update_us = MicrosSince(update_start);
+
+      const Clock::time_point delta_start = Clock::now();
+      const std::vector<double> delta =
+          evaluator.EvaluateAllOnBox(parts, box_values);
+      for (size_t qi = 0; qi < rawans.size(); ++qi) {
+        rawans[qi] += (exp_eta - 1.0) * delta[qi];
+      }
+      eval_us += MicrosSince(delta_start);
+
+      const Clock::time_point normalize_start = Clock::now();
+      raw_total += (exp_eta - 1.0) * box_mass;
+      current.NormalizeDeferred(n_hat, raw_total);
+      avg_coeff += current.deferred_scale();
+      log_drift += std::abs(eta);
+      normalize_us = MicrosSince(normalize_start);
+      ++result->perf.sparse_rounds;
+    } else {
+      // Dense fallback (non-indicator query, or a box covering most of the
+      // tensor): ONE fused full pass (exp + residual + total)…
+      const Clock::time_point update_start = Clock::now();
+      for (size_t i = 0; i < m; ++i) {
+        qvals[i] = family.table_queries(static_cast<int>(i))
+                       [static_cast<size_t>(parts[i])]
+                           .values.data();
+      }
+      const int64_t grain = ExecutionContext::TensorGrain();
+      std::vector<double> block_total(
+          static_cast<size_t>(NumBlocks(0, cells, grain)), 0.0);
+      const double a = avg_coeff;
+      ParallelForBlocks(
+          0, cells, grain, [&](int64_t block, int64_t lo, int64_t hi) {
+            double total = 0.0;
+            internal::ForEachProductCell(
+                shape, qvals, lo, hi, [&](int64_t flat, double q) {
+                  const double g = graw[static_cast<size_t>(flat)];
+                  const double e = std::exp(q * eta);
+                  const double gn = g * e;
+                  graw[static_cast<size_t>(flat)] = gn;
+                  residual[static_cast<size_t>(flat)] += a * (1.0 - e) * g;
+                  total += gn;
+                });
+            block_total[static_cast<size_t>(block)] = total;
+          });
+      double new_total = 0.0;
+      for (const double bt : block_total) new_total += bt;
+      update_us = MicrosSince(update_start);
+
+      // …plus a full answer refresh (an arbitrary per-cell factor admits no
+      // box-local delta).
+      const Clock::time_point refresh_start = Clock::now();
+      rawans = evaluator.EvaluateAllRaw(graw);
+      eval_us += MicrosSince(refresh_start);
+
+      const Clock::time_point normalize_start = Clock::now();
+      raw_total = new_total;
+      current.NormalizeDeferred(n_hat, raw_total);
+      avg_coeff += current.deferred_scale();
+      log_drift += std::abs(eta);
+      normalize_us = MicrosSince(normalize_start);
+      ++result->perf.dense_rounds;
+    }
+
+    if (options.record_trace) {
+      result->trace.push_back({static_cast<int64_t>(chosen),
+                              scores[chosen] * options.delta_tilde,
+                              measurement});
+    }
+
+    // Drift control. Rebase: fold the deferred scale into storage before
+    // box cells (which grow by e^η per hit, never renormalized in raw form)
+    // can overflow. Refresh: periodically recompute the incremental answer
+    // vector exactly. Both schedules depend only on round index and η —
+    // never the thread count.
+    const Clock::time_point upkeep_start = Clock::now();
+    if (log_drift > options.factored_rebase_log_limit) {
+      const double s_fold = current.deferred_scale();
+      current.Materialize();
+      raw_total = n_hat;  // s_fold·T by the invariant
+      for (double& ra : rawans) ra *= s_fold;
+      avg_coeff /= s_fold;
+      log_drift = 0.0;
+    }
+    normalize_us += MicrosSince(upkeep_start);
+    if (options.factored_refresh_rounds > 0 &&
+        (round + 1) % options.factored_refresh_rounds == 0 &&
+        round + 1 < result->rounds) {
+      const Clock::time_point refresh_start = Clock::now();
+      rawans = evaluator.EvaluateAllRaw(graw);
+      eval_us += MicrosSince(refresh_start);
+    }
+
+    result->perf.eval_us.push_back(eval_us);
+    result->perf.update_us.push_back(update_us);
+    result->perf.normalize_us.push_back(normalize_us);
+  }
+
+  // Line 8: avg F_i = (a·G + R)/k, one fused pass. The exact value is an
+  // average of positive tensors; clamp the tiny negative residue fp
+  // cancellation can leave near zero.
+  DenseTensor synthetic(shape);
+  std::vector<double>& out = *synthetic.raw_values();
+  const double a = avg_coeff;
+  const double inv_k = 1.0 / static_cast<double>(result->rounds);
+  ParallelFor(0, cells, ExecutionContext::TensorGrain(),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  out[static_cast<size_t>(i)] = std::max(
+                      0.0, (a * graw[static_cast<size_t>(i)] +
+                            residual[static_cast<size_t>(i)]) *
+                               inv_k);
+                }
+              });
+  result->synthetic = std::move(synthetic);
 }
 
 }  // namespace
@@ -83,8 +398,6 @@ Result<PmwResult> PrivateMultiplicativeWeights(const Instance& instance,
 
   const MixedRadix shape = ReleaseShape(instance.query());
   const double domain_size = static_cast<double>(shape.size());
-  DenseTensor current(shape);
-  DenseTensor average(shape);
   if (result.noisy_total <= 0.0) {
     // count = 0 and the (measure-zero) zero noise draw: nothing to release.
     // The mechanism was still charged the full (ε, δ) — record the unused
@@ -94,10 +407,9 @@ Result<PmwResult> PrivateMultiplicativeWeights(const Instance& instance,
     result.per_round_epsilon = 0.0;
     result.accountant.SpendSequential("pmw/rounds(degenerate)",
                                       PrivacyParams(epsilon / 2, delta / 2));
-    result.synthetic = std::move(current);
+    result.synthetic = DenseTensor(shape);
     return result;
   }
-  current.Fill(result.noisy_total / domain_size);  // Line 2: F_0.
 
   // Line 3: round count and per-round ε′.
   result.rounds =
@@ -116,55 +428,16 @@ Result<PmwResult> PrivateMultiplicativeWeights(const Instance& instance,
   const std::vector<double> answers_instance =
       EvaluateAllOnInstance(family, instance);
 
-  std::vector<const double*> qvals(
-      static_cast<size_t>(family.num_relations()));
-  for (int64_t round = 0; round < result.rounds; ++round) {
-    // Lines 4–5: EM selection with score |q(F_{i−1}) − q(I)| / Δ̃.
-    const std::vector<double> answers_synthetic =
-        EvaluateAllOnTensor(family, current);
-    std::vector<double> scores(answers_instance.size());
-    for (size_t qi = 0; qi < scores.size(); ++qi) {
-      scores[qi] = std::abs(answers_synthetic[qi] - answers_instance[qi]) /
-                   options.delta_tilde;
-    }
-    const size_t chosen =
-        ExponentialMechanism(scores, result.per_round_epsilon, rng);
-
-    // Line 6: noisy measurement.
-    const double measurement =
-        AddLaplaceNoise(answers_instance[chosen], options.delta_tilde,
-                        result.per_round_epsilon, rng);
-
-    // Line 7: multiplicative update; the proof needs |q(x)·η| ≤ 1, so η is
-    // clamped to [-1, 1].
-    const std::vector<int64_t> parts =
-        family.Decompose(static_cast<int64_t>(chosen));
-    for (size_t i = 0; i < qvals.size(); ++i) {
-      qvals[i] = family.table_queries(static_cast<int>(i))
-                     [static_cast<size_t>(parts[i])]
-                         .values.data();
-    }
-    const double eta =
-        Clamp((measurement - answers_synthetic[chosen]) /
-                  (2.0 * result.noisy_total),
-              -1.0, 1.0);
-    MultiplicativeUpdate(&current, qvals, eta, result.noisy_total);
-    average.AddTensor(current);
-
-    if (options.record_trace) {
-      result.trace.push_back({static_cast<int64_t>(chosen),
-                              scores[chosen] * options.delta_tilde,
-                              measurement});
-    }
+  if (options.use_factored_loop) {
+    RunFactoredRounds(family, options, answers_instance, shape, rng, &result);
+  } else {
+    RunOracleRounds(family, options, answers_instance, shape, rng, &result);
   }
 
   // The k rounds of (EM + Laplace) at ε′ each compose (advanced composition,
   // Theorem A.1) into the second (ε/2, δ/2) share.
   result.accountant.SpendSequential("pmw/rounds",
                                     PrivacyParams(epsilon / 2, delta / 2));
-
-  average.Scale(1.0 / static_cast<double>(result.rounds));  // Line 8.
-  result.synthetic = std::move(average);
   return result;
 }
 

@@ -64,6 +64,29 @@ struct PmwOptions {
   /// Record per-round diagnostics into PmwResult::trace.
   bool record_trace = false;
 
+  /// Use the factored round loop: a cached WorkloadEvaluator answers the
+  /// family via precomputed per-mode matrices, the multiplicative update
+  /// touches only the chosen query's sub-box when the query is a 0/1
+  /// product indicator (falling back to one fused full-tensor pass
+  /// otherwise), normalization is an O(1) deferred rescale, and the
+  /// average accumulates in the same traversal. Released answers agree
+  /// with the straightforward loop up to floating-point associativity
+  /// (~1e-9 relative over default round counts; see pmw_factored_test),
+  /// and remain bit-identical across thread counts. Set false to run the
+  /// retained straightforward loop (the test/bench oracle).
+  bool use_factored_loop = true;
+
+  /// Factored loop: recompute the full answer vector from the tensor every
+  /// N rounds (incremental answers accumulate fp drift otherwise);
+  /// 0 disables periodic refresh.
+  int64_t factored_refresh_rounds = 64;
+
+  /// Factored loop: fold the deferred scale back into storage once the
+  /// accumulated |η| exceeds this limit (box cells grow by e^η per hit and
+  /// would eventually overflow without rebasing). The default keeps raw
+  /// cells far below the double range; tests shrink it to force rebases.
+  double factored_rebase_log_limit = 300.0;
+
   /// Worker threads for the per-cell update and contraction loops; 0 uses
   /// the ExecutionContext default (DPJOIN_THREADS / hardware concurrency).
   /// The released output is identical for every setting: noise draws stay
@@ -92,6 +115,18 @@ struct PmwResult {
     double measurement = 0.0;  ///< m_i.
   };
   std::vector<Round> trace;
+
+  /// Per-round wall-clock breakdown of the hot loop (always recorded; the
+  /// vectors have one entry per executed round).
+  struct Perf {
+    std::vector<double> eval_us;       ///< workload evaluation / scoring
+    std::vector<double> update_us;     ///< multiplicative-update traversal
+    std::vector<double> normalize_us;  ///< renormalize + average accumulation
+    int64_t sparse_rounds = 0;      ///< factored: sub-box update fired
+    int64_t dense_rounds = 0;       ///< factored: fused full-tensor fallback
+    int64_t scale_only_rounds = 0;  ///< factored: all-ones/empty query, O(1)
+  };
+  Perf perf;
 };
 
 /// Runs Algorithm 2. Fails with InvalidArgument when Δ̃ ≤ 0 or the release

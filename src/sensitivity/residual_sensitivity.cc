@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "relational/join.h"
 
 namespace dpjoin {
@@ -133,34 +134,77 @@ ResidualSensitivityResult ResidualSensitivityFromBoundaries(
   for (int i = 0; i < m; ++i) {
     const InnerPolynomial poly = BuildInnerPolynomial(query, i, boundary);
     const size_t p = poly.coords.size();
-    std::vector<int64_t> s(p, 0);
-    auto recurse = [&](auto&& self, size_t coord) -> void {
-      if (coord == p) {
-        double g = 0.0;
-        int64_t k = 0;
-        for (size_t j = 0; j < p; ++j) k += s[j];
-        for (uint64_t e = 0; e < (uint64_t{1} << p); ++e) {
-          double term = poly.coefficients[e];
-          if (term == 0.0) continue;
-          for (size_t j = 0; j < p && term != 0.0; ++j) {
-            if ((e >> j) & 1) term *= static_cast<double>(s[j]);
-          }
-          g += term;
+
+    // One leaf evaluation of g(s)·e^{−βk} at the fixed assignment `s`.
+    auto evaluate = [&](const std::vector<int64_t>& s, double* best_value,
+                        int64_t* best_k, int64_t* searched) {
+      double g = 0.0;
+      int64_t k = 0;
+      for (size_t j = 0; j < p; ++j) k += s[j];
+      for (uint64_t e = 0; e < (uint64_t{1} << p); ++e) {
+        double term = poly.coefficients[e];
+        if (term == 0.0) continue;
+        for (size_t j = 0; j < p && term != 0.0; ++j) {
+          if ((e >> j) & 1) term *= static_cast<double>(s[j]);
         }
-        const double value = std::exp(-beta * static_cast<double>(k)) * g;
-        if (value > result.value) {
-          result.value = value;
-          result.argmax_k = k;
-        }
-        ++result.k_searched;
-        return;
+        g += term;
       }
-      for (int64_t v = 0; v <= box; ++v) {
-        s[coord] = v;
-        self(self, coord + 1);
+      const double value = std::exp(-beta * static_cast<double>(k)) * g;
+      if (value > *best_value) {
+        *best_value = value;
+        *best_k = k;
       }
+      ++*searched;
     };
-    recurse(recurse, 0);
+
+    if (p == 0) {
+      std::vector<int64_t> s;
+      double value = result.value;
+      int64_t k = result.argmax_k;
+      evaluate(s, &value, &k, &result.k_searched);
+      result.value = value;
+      result.argmax_k = k;
+      continue;
+    }
+
+    // Coordinate slabs: one task per value of s_0, each sweeping the
+    // remaining [0, box]^{p−1} sub-box serially. Slab results merge in slab
+    // order with the same strictly-greater update the serial sweep uses, so
+    // value/argmax (first maximizer in lexicographic order) and k_searched
+    // are identical for any thread count.
+    struct SlabBest {
+      double value = 0.0;
+      int64_t argmax_k = 0;
+      int64_t searched = 0;
+    };
+    std::vector<SlabBest> slabs(static_cast<size_t>(box + 1));
+    ParallelForBlocks(
+        0, box + 1, /*grain=*/1, [&](int64_t, int64_t lo, int64_t hi) {
+          for (int64_t v = lo; v < hi; ++v) {
+            SlabBest& slab = slabs[static_cast<size_t>(v)];
+            slab.value = -1.0;  // any leaf (g >= 0) replaces the sentinel
+            std::vector<int64_t> s(p, 0);
+            s[0] = v;
+            auto recurse = [&](auto&& self, size_t coord) -> void {
+              if (coord == p) {
+                evaluate(s, &slab.value, &slab.argmax_k, &slab.searched);
+                return;
+              }
+              for (int64_t w = 0; w <= box; ++w) {
+                s[coord] = w;
+                self(self, coord + 1);
+              }
+            };
+            recurse(recurse, 1);
+          }
+        });
+    for (const SlabBest& slab : slabs) {
+      if (slab.value > result.value) {
+        result.value = slab.value;
+        result.argmax_k = slab.argmax_k;
+      }
+      result.k_searched += slab.searched;
+    }
   }
   return result;
 }

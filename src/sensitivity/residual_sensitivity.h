@@ -45,6 +45,10 @@ double LsHatK(const JoinQuery& query,
 /// s_j ≤ 1/β, so the exact integer maximizer lies in the box
 /// [0, ⌈1/β⌉]^{m−1} and the search costs O((1/β)^{m−1}·2^m) per removed
 /// relation — polynomial, as Dong–Yi promise for residual sensitivity.
+/// The box search runs on the thread pool (one slab per value of the first
+/// coordinate, per removed relation) with an ordered strictly-greater
+/// merge, so value/argmax_k/k_searched are bit-identical to the serial
+/// sweep for any thread count.
 ResidualSensitivityResult ResidualSensitivity(const Instance& instance,
                                               double beta);
 

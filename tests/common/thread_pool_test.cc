@@ -192,6 +192,20 @@ TEST(ExecutionContextTest, SetThreadsDoesNotOverrideScoped) {
   ExecutionContext::SetThreads(0);
 }
 
+TEST(ExecutionContextTest, GrainsAreRuntimeTunable) {
+  // Defaults (no env override in the test environment).
+  EXPECT_EQ(ExecutionContext::TensorGrain(), kDefaultTensorGrain);
+  EXPECT_EQ(ExecutionContext::JoinRootGrain(), kDefaultJoinRootGrain);
+  ExecutionContext::SetTensorGrain(1024);
+  ExecutionContext::SetJoinRootGrain(32);
+  EXPECT_EQ(ExecutionContext::TensorGrain(), 1024);
+  EXPECT_EQ(ExecutionContext::JoinRootGrain(), 32);
+  ExecutionContext::SetTensorGrain(0);  // reset to default
+  ExecutionContext::SetJoinRootGrain(-1);
+  EXPECT_EQ(ExecutionContext::TensorGrain(), kDefaultTensorGrain);
+  EXPECT_EQ(ExecutionContext::JoinRootGrain(), kDefaultJoinRootGrain);
+}
+
 TEST(ParallelForTest, ManySmallRegionsStress) {
   // Exercises region turnover (job publication, completion wait, worker
   // re-parking) looking for lost-wakeup or stale-worker races.

@@ -184,9 +184,11 @@ TEST(EngineIntegrationTest, AutoResolvesWithRationale) {
     EXPECT_NE(release->plan.rationale.find("auto"), std::string::npos);
     EXPECT_GT(release->plan.predicted_error, 0.0);
   }
-  // auto on a two-table join → two_table.
+  // auto on a two-table join → two_table (workload sized past the
+  // |Q| <= log2|D| laplace crossover).
   {
-    const ReleaseSpec spec = TwoTableSpec(MechanismKind::kAuto);
+    ReleaseSpec spec = TwoTableSpec(MechanismKind::kAuto);
+    spec.workload_per_table = 3;  // |Q| = 16 > log2(400) = 9
     const Instance instance = InstanceFor(spec, 19);
     Rng rng(43);
     auto release = engine.Run(spec, instance, rng);

@@ -51,7 +51,10 @@ Fixture MakeFixture(const JoinQuery& query, const ReleaseSpec& spec,
 
 TEST(PlannerTest, AutoPicksPmwForSingleRelation) {
   const JoinQuery query = *JoinQuery::Create({{"A", 16}}, {{"A"}});
-  const ReleaseSpec spec = SpecFor(query);
+  ReleaseSpec spec = SpecFor(query);
+  // Above the |Q| <= log2|D| crossover, so the workload-size rule defers
+  // to the relation-count dispatch.
+  spec.workload_per_table = 7;
   Fixture fx = MakeFixture(query, spec);
   auto plan = PlanRelease(spec, fx.instance, fx.family);
   ASSERT_TRUE(plan.ok()) << plan.status();
@@ -63,7 +66,8 @@ TEST(PlannerTest, AutoPicksPmwForSingleRelation) {
 
 TEST(PlannerTest, AutoPicksTwoTableForTwoRelations) {
   const JoinQuery query = MakeTwoTableQuery(4, 5, 4);
-  const ReleaseSpec spec = SpecFor(query);
+  ReleaseSpec spec = SpecFor(query);
+  spec.workload_per_table = 3;  // |Q| = 16 > log2|D| = 9: past the crossover
   Fixture fx = MakeFixture(query, spec);
   auto plan = PlanRelease(spec, fx.instance, fx.family);
   ASSERT_TRUE(plan.ok()) << plan.status();
@@ -91,6 +95,35 @@ TEST(PlannerTest, AutoPicksPmwForNonHierarchicalPath) {
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_EQ(plan->mechanism, MechanismKind::kPmw);
   EXPECT_NE(plan->rationale.find("non-hierarchical"), std::string::npos);
+}
+
+TEST(PlannerTest, CrossoverQueriesIsTheMwLearningDimension) {
+  EXPECT_EQ(PmwLaplaceCrossoverQueries(2.0), 1);
+  EXPECT_EQ(PmwLaplaceCrossoverQueries(16.0), 4);
+  EXPECT_EQ(PmwLaplaceCrossoverQueries(400.0), 9);   // ceil(log2 400)
+  EXPECT_EQ(PmwLaplaceCrossoverQueries(1 << 26), 26);
+  EXPECT_GE(PmwLaplaceCrossoverQueries(1.0), 1);
+}
+
+TEST(PlannerTest, AutoCrossesOverToLaplaceForSmallWorkloads) {
+  // |Q| = 9 <= log2|D| = 9 on a two-table join: below the MW learning
+  // dimension, auto answers directly instead of dispatching on m.
+  const JoinQuery query = MakeTwoTableQuery(4, 5, 4);
+  const ReleaseSpec spec = SpecFor(query);  // per_table = 2 -> |Q| = 9
+  Fixture fx = MakeFixture(query, spec);
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->mechanism, MechanismKind::kLaplace);
+  EXPECT_NE(plan->rationale.find("learning dimension"), std::string::npos);
+  EXPECT_NE(plan->rationale.find("flops/round"), std::string::npos);
+
+  // A single relation with a tiny domain crosses over too.
+  const JoinQuery single = *JoinQuery::Create({{"A", 16}}, {{"A"}});
+  const ReleaseSpec sspec = SpecFor(single);  // |Q| = 3 <= log2 16 = 4
+  Fixture sfx = MakeFixture(single, sspec);
+  auto splan = PlanRelease(sspec, sfx.instance, sfx.family);
+  ASSERT_TRUE(splan.ok()) << splan.status();
+  EXPECT_EQ(splan->mechanism, MechanismKind::kLaplace);
 }
 
 TEST(PlannerTest, AutoPicksLaplaceForCountingWorkload) {

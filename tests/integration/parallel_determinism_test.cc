@@ -10,11 +10,13 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/partition_two_table.h"
 #include "query/evaluation.h"
 #include "query/workloads.h"
 #include "release/pmw.h"
 #include "relational/generators.h"
 #include "relational/join.h"
+#include "sensitivity/residual_sensitivity.h"
 #include "testing/brute_force.h"
 #include "testing/queries.h"
 
@@ -150,6 +152,130 @@ TEST_P(ParallelDeterminismTest, PmwBitIdentical) {
     for (size_t i = 0; i < values.size(); ++i) {
       EXPECT_EQ(values[i], expected[i])
           << "cell " << i << ", threads = " << threads;
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, FactoredPmwBitIdentical) {
+  const ShapeParam& param = GetParam();
+  Rng setup_rng(param.seed + 50);
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const Instance instance =
+      testing::RandomInstance(query, param.tuples, setup_rng);
+  // Prefix indicators: the sparse sub-box update path must be bit-identical
+  // across thread counts too (ordered block merges everywhere).
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kPrefix, 3, setup_rng);
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 4.0;
+  options.num_rounds = 8;
+  options.use_factored_loop = true;
+
+  auto run = [&](int threads) {
+    options.num_threads = threads;
+    Rng rng(param.seed + 51);
+    auto result = PrivateMultiplicativeWeights(instance, family, options, rng);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  };
+
+  const PmwResult baseline = run(1);
+  EXPECT_GT(baseline.perf.sparse_rounds, 0)
+      << "prefix workload never took the sparse path";
+  for (int threads : {2, 8}) {
+    const PmwResult result = run(threads);
+    EXPECT_EQ(result.noisy_total, baseline.noisy_total);
+    EXPECT_EQ(result.perf.sparse_rounds, baseline.perf.sparse_rounds);
+    const auto& values = result.synthetic.values();
+    const auto& expected = baseline.synthetic.values();
+    ASSERT_EQ(values.size(), expected.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(values[i], expected[i])
+          << "cell " << i << ", threads = " << threads;
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, JoinTensorBitIdentical) {
+  const ShapeParam& param = GetParam();
+  Rng rng(param.seed + 60);
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const Instance instance = testing::RandomInstance(query, param.tuples, rng);
+
+  std::vector<double> baseline;
+  {
+    ScopedThreads scoped(1);
+    baseline = JoinTensor(instance).values();
+  }
+  for (int threads : {2, 8}) {
+    ScopedThreads scoped(threads);
+    const std::vector<double> values = JoinTensor(instance).values();
+    ASSERT_EQ(values.size(), baseline.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(values[i], baseline[i])
+          << "cell " << i << ", threads = " << threads;
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, ResidualSensitivityBitIdentical) {
+  const ShapeParam& param = GetParam();
+  Rng rng(param.seed + 70);
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const Instance instance = testing::RandomInstance(query, param.tuples, rng);
+
+  ResidualSensitivityResult baseline;
+  {
+    ScopedThreads scoped(1);
+    baseline = ResidualSensitivity(instance, 0.4);
+  }
+  for (int threads : {2, 8}) {
+    ScopedThreads scoped(threads);
+    const ResidualSensitivityResult result =
+        ResidualSensitivity(instance, 0.4);
+    EXPECT_EQ(result.value, baseline.value) << "threads = " << threads;
+    EXPECT_EQ(result.argmax_k, baseline.argmax_k) << "threads = " << threads;
+    EXPECT_EQ(result.k_searched, baseline.k_searched)
+        << "threads = " << threads;
+    EXPECT_EQ(result.ls_hat_0, baseline.ls_hat_0) << "threads = " << threads;
+  }
+}
+
+TEST(PartitionDeterminismTest, PartitionTwoTableBitIdentical) {
+  const JoinQuery query = MakeTwoTableQuery(6, 8, 6);
+  Rng data_rng(611);
+  const Instance instance = testing::RandomInstance(query, 60, data_rng);
+  const PrivacyParams params(1.0, 1e-4);
+
+  auto run = [&](int threads) {
+    ScopedThreads scoped(threads);
+    Rng rng(612);  // identical noise stream for every thread count
+    auto partition = PartitionTwoTable(instance, params, 0.0, rng);
+    EXPECT_TRUE(partition.ok());
+    return std::move(partition).value();
+  };
+
+  const TwoTablePartition baseline = run(1);
+  for (int threads : {2, 8}) {
+    const TwoTablePartition partition = run(threads);
+    ASSERT_EQ(partition.buckets.size(), baseline.buckets.size())
+        << "threads = " << threads;
+    for (size_t b = 0; b < baseline.buckets.size(); ++b) {
+      EXPECT_EQ(partition.buckets[b].bucket_index,
+                baseline.buckets[b].bucket_index);
+      EXPECT_EQ(partition.buckets[b].num_join_values,
+                baseline.buckets[b].num_join_values);
+      for (int rel = 0; rel < 2; ++rel) {
+        const auto& got = partition.buckets[b].sub_instance.relation(rel);
+        const auto& want = baseline.buckets[b].sub_instance.relation(rel);
+        ASSERT_EQ(got.entries().size(), want.entries().size());
+        for (const auto& [code, freq] : want.entries()) {
+          const auto it = got.entries().find(code);
+          ASSERT_NE(it, got.entries().end());
+          EXPECT_EQ(it->second, freq);
+        }
+      }
     }
   }
 }

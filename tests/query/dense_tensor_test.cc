@@ -50,6 +50,44 @@ TEST(DenseTensorTest, AddTensorIsElementwiseUnion) {
   EXPECT_DOUBLE_EQ(a.TotalMass(), 7.0);
 }
 
+TEST(DenseTensorTest, DeferredScaleIsAppliedLazily) {
+  DenseTensor t(MixedRadix({4}));
+  for (int64_t i = 0; i < 4; ++i) t.Set(i, static_cast<double>(i + 1));
+  EXPECT_DOUBLE_EQ(t.deferred_scale(), 1.0);
+  t.ScaleDeferred(0.5);
+  EXPECT_DOUBLE_EQ(t.deferred_scale(), 0.5);
+  EXPECT_DOUBLE_EQ(t.At(3), 2.0);  // logical view scales
+  const DenseTensor& ct = t;
+  EXPECT_DOUBLE_EQ(ct.raw_values()[3], 4.0);  // raw storage untouched
+  EXPECT_DOUBLE_EQ(t.TotalMass(), 5.0);    // 10 * 0.5
+  t.Materialize();
+  EXPECT_DOUBLE_EQ(t.deferred_scale(), 1.0);
+  EXPECT_DOUBLE_EQ(t.At(3), 2.0);          // logical view unchanged
+  EXPECT_DOUBLE_EQ(t.values()[3], 2.0);    // now folded into storage
+}
+
+TEST(DenseTensorTest, NormalizeDeferredIsAnO1Rescale) {
+  DenseTensor t(MixedRadix({2, 2}));
+  t.Fill(2.0);  // raw mass 8
+  t.NormalizeDeferred(/*target=*/40.0, /*raw_mass=*/8.0);
+  EXPECT_DOUBLE_EQ(t.deferred_scale(), 5.0);
+  EXPECT_DOUBLE_EQ(t.TotalMass(), 40.0);
+  EXPECT_DOUBLE_EQ(t.At(0), 10.0);
+}
+
+TEST(DenseTensorDeathTest, RawAccessorsRejectPendingScale) {
+  DenseTensor t(MixedRadix({2}));
+  t.Set(0, 1.0);
+  t.ScaleDeferred(2.0);
+  EXPECT_DEATH(t.values(), "deferred scale");
+  EXPECT_DEATH(t.mutable_values(), "deferred scale");
+  EXPECT_DEATH(t.Set(0, 1.0), "deferred scale");
+  EXPECT_DEATH(t.Add(0, 1.0), "deferred scale");
+  EXPECT_DEATH(t.Fill(1.0), "deferred scale");
+  t.Materialize();
+  EXPECT_DOUBLE_EQ(t.values()[0], 2.0);  // fine again once materialized
+}
+
 TEST(DenseTensorDeathTest, MismatchedShapesAbort) {
   DenseTensor a(MixedRadix({2, 2}));
   DenseTensor b(MixedRadix({2, 3}));

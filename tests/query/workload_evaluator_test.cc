@@ -1,0 +1,192 @@
+// WorkloadEvaluator: the cached all-query evaluator must agree BIT-FOR-BIT
+// with the retained naive EvaluateAllOnTensor (same contraction kernel, same
+// matrices), its indicator metadata must describe the workload exactly, and
+// the box-restricted evaluation must equal the brute-force box sum.
+
+#include "query/workload_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "query/evaluation.h"
+#include "query/workloads.h"
+#include "relational/generators.h"
+#include "testing/brute_force.h"
+#include "testing/queries.h"
+
+namespace dpjoin {
+namespace {
+
+struct Case {
+  const char* name;
+  int kind;       // 0 = two-table, 1 = path3, 2 = star
+  WorkloadKind workload;
+  int64_t per_table;
+};
+
+JoinQuery MakeQueryByKind(int kind) {
+  switch (kind) {
+    case 0:
+      return MakeTwoTableQuery(5, 7, 6);
+    case 1:
+      return MakePathQuery(3, 4);
+    default:
+      return testing::MakeSmallStarQuery(3, 5, 4);
+  }
+}
+
+class WorkloadEvaluatorTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadEvaluatorTest, EvaluateAllMatchesOracleBitForBit) {
+  const Case& param = GetParam();
+  Rng rng(100 + static_cast<uint64_t>(param.kind) * 17 +
+          static_cast<uint64_t>(param.workload));
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const Instance instance = testing::RandomInstance(query, 30, rng);
+  const QueryFamily family =
+      MakeWorkload(query, param.workload, param.per_table, rng);
+  const DenseTensor tensor = JoinTensor(instance);
+
+  const WorkloadEvaluator evaluator(family, tensor.shape());
+  const std::vector<double> oracle = EvaluateAllOnTensor(family, tensor);
+  const std::vector<double> cached = evaluator.EvaluateAll(tensor);
+  ASSERT_EQ(cached.size(), oracle.size());
+  for (size_t q = 0; q < oracle.size(); ++q) {
+    EXPECT_EQ(cached[q], oracle[q]) << "query " << q;
+  }
+  // Bit-identical across thread counts too (cached matrices change nothing
+  // about the contraction's block decomposition).
+  for (int threads : {2, 8}) {
+    ScopedThreads scoped(threads);
+    const std::vector<double> answers = evaluator.EvaluateAll(tensor);
+    for (size_t q = 0; q < oracle.size(); ++q) {
+      EXPECT_EQ(answers[q], oracle[q]) << "query " << q << " threads "
+                                       << threads;
+    }
+  }
+}
+
+TEST_P(WorkloadEvaluatorTest, IndicatorMetadataMatchesTheQueryValues) {
+  const Case& param = GetParam();
+  Rng rng(300 + static_cast<uint64_t>(param.kind) * 17 +
+          static_cast<uint64_t>(param.workload));
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const QueryFamily family =
+      MakeWorkload(query, param.workload, param.per_table, rng);
+  const WorkloadEvaluator evaluator(family, ReleaseShape(query));
+
+  for (int rel = 0; rel < family.num_relations(); ++rel) {
+    const auto& queries = family.table_queries(rel);
+    for (size_t j = 0; j < queries.size(); ++j) {
+      const auto& info = evaluator.info(rel, static_cast<int64_t>(j));
+      bool expect_indicator = true;
+      std::vector<int64_t> expect_support;
+      for (size_t d = 0; d < queries[j].values.size(); ++d) {
+        const double v = queries[j].values[d];
+        if (v == 1.0) {
+          expect_support.push_back(static_cast<int64_t>(d));
+        } else if (v != 0.0) {
+          expect_indicator = false;
+        }
+      }
+      EXPECT_EQ(info.is_indicator, expect_indicator);
+      if (expect_indicator) {
+        EXPECT_EQ(info.support, expect_support);
+        EXPECT_EQ(info.is_all_ones,
+                  expect_support.size() == queries[j].values.size());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, WorkloadEvaluatorTest,
+    ::testing::Values(
+        Case{"two_table_prefix", 0, WorkloadKind::kPrefix, 4},
+        Case{"two_table_sign", 0, WorkloadKind::kRandomSign, 3},
+        Case{"two_table_uniform", 0, WorkloadKind::kRandomUniform, 3},
+        Case{"path3_point", 1, WorkloadKind::kPoint, 3},
+        Case{"path3_marginal", 1, WorkloadKind::kMarginal, 0},
+        Case{"star_prefix", 2, WorkloadKind::kPrefix, 3},
+        Case{"star_uniform", 2, WorkloadKind::kRandomUniform, 2}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.name;
+    });
+
+TEST(WorkloadEvaluatorBoxTest, BoxEvaluationMatchesBruteForceBoxSum) {
+  const JoinQuery query = MakeTwoTableQuery(4, 5, 4);
+  Rng rng(7);
+  const Instance instance = testing::RandomInstance(query, 25, rng);
+  const QueryFamily family = MakeWorkload(query, WorkloadKind::kPrefix, 3, rng);
+  const DenseTensor tensor = JoinTensor(instance);
+  const MixedRadix& shape = tensor.shape();
+  const WorkloadEvaluator evaluator(family, shape);
+
+  // Every indicator product query of the family is a candidate box.
+  for (int64_t flat = 0; flat < family.TotalCount(); ++flat) {
+    const std::vector<int64_t> parts = family.Decompose(flat);
+    ASSERT_TRUE(evaluator.IsProductIndicator(parts));
+    const int64_t box_cells = evaluator.BoxCells(parts);
+
+    // Extract the box in row-major support order.
+    std::vector<double> box_values;
+    box_values.reserve(static_cast<size_t>(box_cells));
+    const auto& s0 = evaluator.info(0, parts[0]).support;
+    const auto& s1 = evaluator.info(1, parts[1]).support;
+    for (int64_t c0 : s0) {
+      for (int64_t c1 : s1) {
+        box_values.push_back(tensor.At(shape.Encode({c0, c1})));
+      }
+    }
+
+    const std::vector<double> delta =
+        evaluator.EvaluateAllOnBox(parts, box_values);
+    // Brute-force: for every query q, sum q over the box only.
+    for (int64_t other = 0; other < family.TotalCount(); ++other) {
+      const std::vector<int64_t> op = family.Decompose(other);
+      const auto& q0 = family.table_queries(0)[static_cast<size_t>(op[0])];
+      const auto& q1 = family.table_queries(1)[static_cast<size_t>(op[1])];
+      double expected = 0.0;
+      for (int64_t c0 : s0) {
+        for (int64_t c1 : s1) {
+          expected += tensor.At(shape.Encode({c0, c1})) *
+                      q0.values[static_cast<size_t>(c0)] *
+                      q1.values[static_cast<size_t>(c1)];
+        }
+      }
+      EXPECT_NEAR(delta[static_cast<size_t>(other)], expected,
+                  1e-9 * (1.0 + std::abs(expected)))
+          << "box " << flat << " query " << other;
+    }
+  }
+}
+
+TEST(WorkloadEvaluatorBoxTest, NonIndicatorQueriesAreReported) {
+  const JoinQuery query = MakeTwoTableQuery(4, 3, 4);
+  Rng rng(9);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomUniform, 2, rng);
+  const WorkloadEvaluator evaluator(family, ReleaseShape(query));
+  // Query 0 per table is the all-ones query: indicator with full support.
+  EXPECT_TRUE(evaluator.IsProductIndicator({0, 0}));
+  EXPECT_TRUE(evaluator.IsAllOnes({0, 0}));
+  // Uniform-valued queries are not indicators.
+  EXPECT_FALSE(evaluator.IsProductIndicator({1, 1}));
+  EXPECT_FALSE(evaluator.IsProductIndicator({0, 2}));
+}
+
+TEST(WorkloadEvaluatorFlopsTest, MatchesTheContractionSequenceCost) {
+  // Two modes, |D| = (3, 4), |Q| = (2, 5): contracting mode 1 first costs
+  // 3·5·4 = 60, then mode 0 costs 2·3·5 = 30.
+  EXPECT_DOUBLE_EQ(WorkloadEvaluator::EvaluationFlops({3, 4}, {2, 5}), 90.0);
+  // Single mode: |Q|·|D|.
+  EXPECT_DOUBLE_EQ(WorkloadEvaluator::EvaluationFlops({16}, {3}), 48.0);
+}
+
+}  // namespace
+}  // namespace dpjoin

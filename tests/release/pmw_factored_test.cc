@@ -1,0 +1,235 @@
+// Oracle-equivalence suite for PMW's factored round loop: on randomized
+// shapes and workloads, the factored loop (sparse sub-box updates, deferred
+// normalization, fused average accumulation, incremental answers) must
+// produce the same release as the retained straightforward loop, up to
+// floating-point associativity. Non-indicator workloads must take the dense
+// fallback and still agree; forced rebases and answer refreshes must not
+// change the result beyond tolerance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "query/workloads.h"
+#include "release/pmw.h"
+#include "relational/generators.h"
+#include "testing/brute_force.h"
+#include "testing/queries.h"
+
+namespace dpjoin {
+namespace {
+
+struct Case {
+  const char* name;
+  int kind;  // 0 = two-table, 1 = path3, 2 = star, 3 = single relation
+  WorkloadKind workload;
+  int64_t per_table;
+  uint64_t seed;
+};
+
+JoinQuery MakeQueryByKind(int kind) {
+  switch (kind) {
+    case 0:
+      return MakeTwoTableQuery(6, 5, 6);
+    case 1:
+      return MakePathQuery(3, 4);
+    case 2:
+      return testing::MakeSmallStarQuery(4, 5, 4);
+    default: {
+      auto q = JoinQuery::Create({{"A", 24}}, {{"A"}});
+      DPJOIN_CHECK(q.ok(), q.status().ToString());
+      return std::move(q).value();
+    }
+  }
+}
+
+// Relative ℓ∞ distance between two releases, scaled by the released mass.
+double MaxRelDiff(const PmwResult& a, const PmwResult& b) {
+  const auto& va = a.synthetic.values();
+  const auto& vb = b.synthetic.values();
+  EXPECT_EQ(va.size(), vb.size());
+  const double scale = std::max(1.0, std::abs(a.noisy_total));
+  double worst = 0.0;
+  for (size_t i = 0; i < va.size(); ++i) {
+    worst = std::max(worst, std::abs(va[i] - vb[i]) / scale);
+  }
+  return worst;
+}
+
+PmwResult RunPmw(const Instance& instance, const QueryFamily& family,
+              PmwOptions options, bool factored, uint64_t seed) {
+  options.use_factored_loop = factored;
+  Rng rng(seed);
+  auto result = PrivateMultiplicativeWeights(instance, family, options, rng);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+class PmwFactoredTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PmwFactoredTest, FactoredMatchesOracleWithinTolerance) {
+  const Case& param = GetParam();
+  Rng setup_rng(param.seed);
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const Instance instance = testing::RandomInstance(query, 40, setup_rng);
+  const QueryFamily family =
+      MakeWorkload(query, param.workload, param.per_table, setup_rng);
+
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 4.0;
+  options.num_rounds = 20;
+
+  const PmwResult oracle =
+      RunPmw(instance, family, options, /*factored=*/false, param.seed + 1);
+  const PmwResult factored =
+      RunPmw(instance, family, options, /*factored=*/true, param.seed + 1);
+
+  // Identical noise stream and selection sequence: the privatized scalars
+  // match exactly, the tensors up to fp associativity.
+  EXPECT_EQ(factored.noisy_total, oracle.noisy_total);
+  EXPECT_EQ(factored.rounds, oracle.rounds);
+  EXPECT_EQ(factored.per_round_epsilon, oracle.per_round_epsilon);
+  EXPECT_LE(MaxRelDiff(oracle, factored), 1e-9);
+
+  // The loop classified every round.
+  EXPECT_EQ(factored.perf.sparse_rounds + factored.perf.dense_rounds +
+                factored.perf.scale_only_rounds,
+            factored.rounds);
+  EXPECT_EQ(static_cast<int64_t>(factored.perf.eval_us.size()),
+            factored.rounds);
+}
+
+TEST_P(PmwFactoredTest, TraceAndAccountingMatchTheOracle) {
+  const Case& param = GetParam();
+  Rng setup_rng(param.seed + 7);
+  const JoinQuery query = MakeQueryByKind(param.kind);
+  const Instance instance = testing::RandomInstance(query, 25, setup_rng);
+  const QueryFamily family =
+      MakeWorkload(query, param.workload, param.per_table, setup_rng);
+
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 4.0;
+  options.num_rounds = 8;
+  options.record_trace = true;
+
+  const PmwResult oracle =
+      RunPmw(instance, family, options, /*factored=*/false, param.seed + 8);
+  const PmwResult factored =
+      RunPmw(instance, family, options, /*factored=*/true, param.seed + 8);
+  ASSERT_EQ(factored.trace.size(), oracle.trace.size());
+  for (size_t i = 0; i < oracle.trace.size(); ++i) {
+    EXPECT_EQ(factored.trace[i].query_flat, oracle.trace[i].query_flat)
+        << "round " << i << " selected a different query";
+    EXPECT_EQ(factored.trace[i].measurement, oracle.trace[i].measurement);
+    EXPECT_NEAR(factored.trace[i].score, oracle.trace[i].score,
+                1e-6 * (1.0 + std::abs(oracle.trace[i].score)));
+  }
+  EXPECT_EQ(factored.accountant.Total().epsilon,
+            oracle.accountant.Total().epsilon);
+  EXPECT_EQ(factored.accountant.Total().delta,
+            oracle.accountant.Total().delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndWorkloads, PmwFactoredTest,
+    ::testing::Values(
+        // Indicator workloads: the sparse sub-box path.
+        Case{"two_table_prefix", 0, WorkloadKind::kPrefix, 4, 901},
+        Case{"two_table_point", 0, WorkloadKind::kPoint, 3, 902},
+        Case{"path3_marginal", 1, WorkloadKind::kMarginal, 0, 903},
+        Case{"star_prefix", 2, WorkloadKind::kPrefix, 3, 904},
+        Case{"single_prefix", 3, WorkloadKind::kPrefix, 5, 905},
+        // Non-indicator workloads: the dense fused fallback must fire.
+        Case{"two_table_sign", 0, WorkloadKind::kRandomSign, 3, 906},
+        Case{"path3_uniform", 1, WorkloadKind::kRandomUniform, 2, 907},
+        Case{"single_uniform", 3, WorkloadKind::kRandomUniform, 4, 908}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.name;
+    });
+
+TEST(PmwFactoredPathsTest, NonIndicatorWorkloadTakesTheDenseFallback) {
+  Rng setup_rng(31);
+  const JoinQuery query = MakeTwoTableQuery(5, 4, 5);
+  const Instance instance = testing::RandomInstance(query, 30, setup_rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomUniform, 3, setup_rng);
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 4.0;
+  options.num_rounds = 10;
+  const PmwResult result =
+      RunPmw(instance, family, options, /*factored=*/true, 32);
+  // Every selected non-ones query is non-indicator here.
+  EXPECT_EQ(result.perf.sparse_rounds, 0);
+  EXPECT_EQ(result.perf.dense_rounds + result.perf.scale_only_rounds,
+            result.rounds);
+}
+
+TEST(PmwFactoredPathsTest, ForcedRebasesAndRefreshesPreserveTheRelease) {
+  Rng setup_rng(41);
+  const JoinQuery query = MakePathQuery(3, 4);
+  const Instance instance = testing::RandomInstance(query, 40, setup_rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kPrefix, 4, setup_rng);
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 4.0;
+  options.num_rounds = 24;
+
+  const PmwResult baseline =
+      RunPmw(instance, family, options, /*factored=*/true, 42);
+
+  // Rebase after (almost) every round, refresh every round: pure
+  // bookkeeping — the release must stay within tolerance of the default
+  // schedule (and of the oracle).
+  PmwOptions stressed = options;
+  stressed.factored_rebase_log_limit = 1e-6;
+  stressed.factored_refresh_rounds = 1;
+  const PmwResult rebased =
+      RunPmw(instance, family, stressed, /*factored=*/true, 42);
+  EXPECT_EQ(rebased.noisy_total, baseline.noisy_total);
+  EXPECT_LE(MaxRelDiff(baseline, rebased), 1e-9);
+
+  const PmwResult oracle =
+      RunPmw(instance, family, options, /*factored=*/false, 42);
+  EXPECT_LE(MaxRelDiff(oracle, rebased), 1e-9);
+}
+
+TEST(PmwFactoredPathsTest, LongRunsWithManyRoundsStayFinite) {
+  // 300 rounds on a concentrated single-table instance: the raw cells of a
+  // frequently-hit box would overflow without the rebase guard; the release
+  // must stay finite and close to the oracle.
+  auto q = JoinQuery::Create({{"A", 32}}, {{"A"}});
+  ASSERT_TRUE(q.ok());
+  const JoinQuery query = std::move(q).value();
+  Instance instance = Instance::Make(query);
+  Rng setup_rng(51);
+  for (int64_t t = 0; t < 400; ++t) {
+    instance.mutable_relation(0).AddFrequencyByCode(setup_rng.UniformInt(0, 3),
+                                                    1);
+  }
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kPoint, 6, setup_rng);
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 1.0;
+  options.num_rounds = 300;
+  options.max_rounds = 300;
+  options.per_round_epsilon_override = 0.25;
+  const PmwResult factored =
+      RunPmw(instance, family, options, /*factored=*/true, 52);
+  for (double v : factored.synthetic.values()) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_GE(v, 0.0);
+  }
+  const PmwResult oracle =
+      RunPmw(instance, family, options, /*factored=*/false, 52);
+  EXPECT_LE(MaxRelDiff(oracle, factored), 1e-6);
+}
+
+}  // namespace
+}  // namespace dpjoin
