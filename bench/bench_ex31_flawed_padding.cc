@@ -24,14 +24,14 @@ QueryFamily RegionFamily(const JoinQuery& query, int64_t dom) {
   // indicator so PMW actually models the region.
   std::vector<TableQuery> q1 = {MakeAllOnesQuery(query, 0)};
   TableQuery region1{"b0", std::vector<double>(
-      static_cast<size_t>(query.relation_domain_size(0)), 0.0)};
+      static_cast<size_t>(query.relation_domain_size(0)), 0.0), {}};
   for (int64_t a = 0; a < dom; ++a) {
     region1.values[static_cast<size_t>(a * dom)] = 1.0;
   }
   q1.push_back(std::move(region1));
   std::vector<TableQuery> q2 = {MakeAllOnesQuery(query, 1)};
   TableQuery region2{"b0c0", std::vector<double>(
-      static_cast<size_t>(query.relation_domain_size(1)), 0.0)};
+      static_cast<size_t>(query.relation_domain_size(1)), 0.0), {}};
   region2.values[0] = 1.0;
   q2.push_back(std::move(region2));
   auto family = QueryFamily::Create(query, {std::move(q1), std::move(q2)});

@@ -138,16 +138,19 @@ EOF
 done
 
 echo "==> ASan run of the factored-loop / determinism suites"
-# The new sparse/fused hot paths index raw storage directly; run their
-# suites under AddressSanitizer on every CI pass.
+# The sparse/fused hot paths and the product-form (FactoredTensor) backing
+# index raw storage directly; run their suites under AddressSanitizer on
+# every CI pass. factored_tensor_test + the ProductBacking suites inside
+# pmw_factored_test cover the dense-vs-factored equivalence contract.
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "${ASAN_DIR}" -S . -DDPJOIN_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "${ASAN_DIR}" -j "${JOBS}" --target \
   workload_evaluator_test pmw_factored_test parallel_determinism_test \
-  dense_tensor_test
+  dense_tensor_test factored_tensor_test serving_test
 for suite in workload_evaluator_test pmw_factored_test \
-             parallel_determinism_test dense_tensor_test; do
+             parallel_determinism_test dense_tensor_test \
+             factored_tensor_test serving_test; do
   "${ASAN_DIR}/tests/${suite}" --gtest_brief=1
 done
 

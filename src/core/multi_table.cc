@@ -47,6 +47,7 @@ Result<ReleaseResult> MultiTable(const Instance& instance,
   result.noisy_total = pmw.noisy_total;
   result.pmw_rounds = pmw.rounds;
   result.pmw_perf = std::move(pmw.perf);
+  result.evaluator = std::move(pmw.evaluator);
   for (const auto& entry : pmw.accountant.entries()) {
     result.accountant.SpendSequential(entry.label, entry.params);
   }

@@ -87,6 +87,51 @@ Result<TwoTablePartition> BuildPartition(
   return partition;
 }
 
+// Parallel Relation::DegreeMap: deg(b) = Σ_{t : t|Y = b} freq(t). The
+// per-tuple projections run on the thread pool; each block keeps its
+// projected keys in first-occurrence order (with a block-local position map
+// for dedup), and the blocks merge serially in block order. The resulting
+// insertion sequence into the degree map is exactly the serial scan's
+// first-occurrence sequence over the same entries() snapshot, so the map's
+// bucket layout — and therefore the ITERATION order that downstream code
+// draws bucketing noise in — is identical for every thread count.
+std::unordered_map<int64_t, int64_t> ParallelDegreeMap(const Relation& rel,
+                                                       AttributeSet y) {
+  std::vector<std::pair<int64_t, int64_t>> entries(rel.entries().begin(),
+                                                   rel.entries().end());
+  struct BlockSums {
+    std::vector<std::pair<int64_t, int64_t>> ordered;  // first-occurrence
+  };
+  constexpr int64_t kEntryGrain = 1024;
+  const int64_t n = static_cast<int64_t>(entries.size());
+  std::vector<BlockSums> per_block(
+      static_cast<size_t>(NumBlocks(0, n, kEntryGrain)));
+  ParallelForBlocks(
+      0, n, kEntryGrain, [&](int64_t block, int64_t lo, int64_t hi) {
+        BlockSums& out = per_block[static_cast<size_t>(block)];
+        out.ordered.reserve(static_cast<size_t>(hi - lo));
+        std::unordered_map<int64_t, size_t> pos;
+        pos.reserve(static_cast<size_t>(hi - lo));
+        for (int64_t e = lo; e < hi; ++e) {
+          const auto& [code, f] = entries[static_cast<size_t>(e)];
+          const int64_t value = rel.ProjectCode(code, y);
+          const auto [it, inserted] = pos.emplace(value, out.ordered.size());
+          if (inserted) {
+            out.ordered.emplace_back(value, f);
+          } else {
+            out.ordered[it->second].second += f;
+          }
+        }
+      });
+  std::unordered_map<int64_t, int64_t> degrees;
+  for (const BlockSums& block : per_block) {
+    for (const auto& [value, sum] : block.ordered) {
+      degrees[value] += sum;
+    }
+  }
+  return degrees;
+}
+
 Result<AttributeSet> SharedAttribute(const Instance& instance) {
   if (instance.query().num_relations() != 2) {
     return Status::InvalidArgument(
@@ -109,8 +154,8 @@ Result<TwoTablePartition> PartitionTwoTable(const Instance& instance,
   DPJOIN_ASSIGN_OR_RETURN(AttributeSet shared, SharedAttribute(instance));
   if (lambda <= 0.0) lambda = params.Lambda();
 
-  const auto deg1 = instance.relation(0).DegreeMap(shared);
-  const auto deg2 = instance.relation(1).DegreeMap(shared);
+  const auto deg1 = ParallelDegreeMap(instance.relation(0), shared);
+  const auto deg2 = ParallelDegreeMap(instance.relation(1), shared);
 
   // Values of dom(B) with no tuple in either relation produce empty
   // restrictions regardless of their noisy bucket, so only realized join
@@ -144,8 +189,8 @@ Result<TwoTablePartition> UniformPartitionTwoTable(const Instance& instance,
                                                    double lambda) {
   DPJOIN_ASSIGN_OR_RETURN(AttributeSet shared, SharedAttribute(instance));
   DPJOIN_CHECK_GT(lambda, 0.0);
-  const auto deg1 = instance.relation(0).DegreeMap(shared);
-  const auto deg2 = instance.relation(1).DegreeMap(shared);
+  const auto deg1 = ParallelDegreeMap(instance.relation(0), shared);
+  const auto deg2 = ParallelDegreeMap(instance.relation(1), shared);
   std::unordered_map<int64_t, int> bucket_of;
   auto consider = [&](int64_t value) {
     if (bucket_of.count(value) > 0) return;

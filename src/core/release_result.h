@@ -38,6 +38,11 @@ struct ReleaseResult {
   int64_t pmw_rounds = 0;       ///< k.
   PrivacyAccountant accountant; ///< full budget ledger.
   PmwResult::Perf pmw_perf;     ///< per-round hot-loop timing breakdown.
+  /// The WorkloadEvaluator PMW's round loop built (null when the oracle
+  /// loop ran, or no PMW rounds ran). Pure post-processing state — a
+  /// ServingHandle over the same release reuses it instead of rebuilding
+  /// the per-mode query matrices.
+  std::shared_ptr<const WorkloadEvaluator> evaluator;
 };
 
 }  // namespace dpjoin

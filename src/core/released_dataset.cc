@@ -16,17 +16,71 @@ ReleasedDataset::ReleasedDataset(std::shared_ptr<const JoinQuery> query,
                   static_cast<size_t>(query_->num_relations()));
 }
 
+ReleasedDataset::ReleasedDataset(
+    std::shared_ptr<const JoinQuery> query,
+    std::shared_ptr<const FactoredTensor> factored)
+    : query_(std::move(query)), factored_(std::move(factored)) {
+  DPJOIN_CHECK(query_ != nullptr, "ReleasedDataset needs a query");
+  DPJOIN_CHECK(factored_ != nullptr, "ReleasedDataset needs a distribution");
+  // The factored backing lives on a single relation's attribute space.
+  DPJOIN_CHECK_EQ(query_->num_relations(), 1);
+  DPJOIN_CHECK(factored_->shape().radices() ==
+                   query_->tuple_space(0).radices(),
+               "factored release shape does not match relation 0's tuple "
+               "space");
+}
+
+const DenseTensor& ReleasedDataset::tensor() const {
+  DPJOIN_CHECK(!factored_,
+               "tensor() on a factored release — use factored()/dense()");
+  return tensor_;
+}
+
+const SyntheticDistribution& ReleasedDataset::distribution() const {
+  if (factored_) return *factored_;
+  return tensor_;
+}
+
 double ReleasedDataset::Answer(const QueryFamily& family,
                                const std::vector<int64_t>& parts) const {
-  return EvaluateOnTensor(family, parts, tensor_);
+  if (!factored_) return EvaluateOnTensor(family, parts, tensor_);
+  DPJOIN_CHECK_EQ(parts.size(), size_t{1});
+  const TableQuery& tq =
+      family.table_queries(0)[static_cast<size_t>(parts[0])];
+  DPJOIN_CHECK(tq.HasFactors(),
+               "factored release needs product-form queries: " + tq.label);
+  std::vector<const double*> qvals(tq.factors.size());
+  for (size_t d = 0; d < tq.factors.size(); ++d) {
+    qvals[d] = tq.factors[d].data();
+  }
+  return factored_->AnswerProduct(qvals);
 }
 
 std::vector<double> ReleasedDataset::AnswerAll(
     const QueryFamily& family) const {
-  return EvaluateAllOnTensor(family, tensor_);
+  if (!factored_) return EvaluateAllOnTensor(family, tensor_);
+  // Cold path: one product contraction per query, O(|Q|·Σ factor cells).
+  // Hot consumers (ServingHandle) use a cached WorkloadEvaluator instead.
+  const auto& queries = family.table_queries(0);
+  std::vector<double> answers(queries.size());
+  std::vector<const double*> qvals;
+  for (size_t j = 0; j < queries.size(); ++j) {
+    const TableQuery& tq = queries[j];
+    DPJOIN_CHECK(tq.HasFactors(),
+                 "factored release needs product-form queries: " + tq.label);
+    qvals.assign(tq.factors.size(), nullptr);
+    for (size_t d = 0; d < tq.factors.size(); ++d) {
+      qvals[d] = tq.factors[d].data();
+    }
+    answers[j] = factored_->AnswerProduct(qvals);
+  }
+  return answers;
 }
 
 ReleasedDataset ReleasedDataset::Quantized(Rng& rng) const {
+  DPJOIN_CHECK(!factored_,
+               "Quantized() would materialize a factored release's domain "
+               "densely; quantization needs the dense backing");
   return ReleasedDataset(query_, QuantizeRandomized(tensor_, rng));
 }
 
@@ -42,6 +96,13 @@ std::string ReleasedDataset::CsvHeader() const {
 }
 
 Status ReleasedDataset::WriteCsv(std::ostream& os) const {
+  if (factored_) {
+    return Status::FailedPrecondition(
+        "WriteCsv would materialize one row per cell of a factored "
+        "release's domain (" +
+        std::to_string(factored_->DomainCells()) +
+        " cells); export marginals via the query surface instead");
+  }
   os << CsvHeader() << "\n";
   const MixedRadix& shape = tensor_.shape();
   std::vector<int64_t> rel_codes(shape.num_digits());

@@ -1,9 +1,16 @@
 // ReleasedDataset: the user-facing handle on a DP release.
 //
-// Bundles the synthetic tensor with its query/schema context and provides
-// the operations a downstream consumer performs: answer queries (all
-// post-processing — no further budget), quantize to an integer synthetic
-// table (the paper's F : ×D_i → N), and export records as CSV.
+// Bundles the released synthetic distribution with its query/schema context
+// and provides the operations a downstream consumer performs: answer
+// queries (all post-processing — no further budget), quantize to an integer
+// synthetic table (the paper's F : ×D_i → N), and export records as CSV.
+//
+// Two backings:
+//   * dense — one DenseTensor cell per point of the release domain
+//     (every mechanism; the only backing that supports Quantized/WriteCsv);
+//   * factored — a product-form FactoredTensor over a single relation's
+//     attribute space (PMW beyond the dense envelope). Queries must then be
+//     product-form (TableQuery::factors); materializing cells is refused.
 
 #ifndef DPJOIN_CORE_RELEASED_DATASET_H_
 #define DPJOIN_CORE_RELEASED_DATASET_H_
@@ -16,7 +23,9 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "query/dense_tensor.h"
+#include "query/factored_tensor.h"
 #include "query/query_family.h"
+#include "query/synthetic_distribution.h"
 #include "relational/join_query.h"
 
 namespace dpjoin {
@@ -25,15 +34,31 @@ namespace dpjoin {
 /// post-processing of the DP output.
 class ReleasedDataset {
  public:
+  /// Dense release over the m-mode release domain (one mode per relation).
   ReleasedDataset(std::shared_ptr<const JoinQuery> query, DenseTensor tensor);
 
+  /// Product-form release over a single relation's attribute tuple space.
+  ReleasedDataset(std::shared_ptr<const JoinQuery> query,
+                  std::shared_ptr<const FactoredTensor> factored);
+
   const JoinQuery& query() const { return *query_; }
-  const DenseTensor& tensor() const { return tensor_; }
+
+  /// The dense tensor; CHECK-fails on a factored release (legacy accessor —
+  /// callers that handle both backings use dense()/factored()).
+  const DenseTensor& tensor() const;
+
+  /// The backing, or null for the other one.
+  const DenseTensor* dense() const { return factored_ ? nullptr : &tensor_; }
+  const FactoredTensor* factored() const { return factored_.get(); }
+
+  /// The released distribution, backing-agnostic.
+  const SyntheticDistribution& distribution() const;
 
   /// Total released mass (the privatized n̂).
-  double TotalMass() const { return tensor_.TotalMass(); }
+  double TotalMass() const { return distribution().TotalMass(); }
 
   /// q(F) for one product query of `family` (per-table indices `parts`).
+  /// Factored releases require the query to carry its product form.
   double Answer(const QueryFamily& family,
                 const std::vector<int64_t>& parts) const;
 
@@ -42,11 +67,14 @@ class ReleasedDataset {
 
   /// Integer synthetic dataset via unbiased randomized rounding (the
   /// paper's F : ×D_i → N). Post-processing; no budget consumed.
+  /// CHECK-fails on a factored release (rounding a product form cell by
+  /// cell would materialize the domain).
   ReleasedDataset Quantized(Rng& rng) const;
 
   /// Writes the dataset as CSV: one row per joint record with positive
   /// (integer or real) mass — columns are one attribute-value list per
   /// relation plus the multiplicity. Quantize first for integer rows.
+  /// FailedPrecondition on a factored release.
   Status WriteCsv(std::ostream& os) const;
 
   /// CSV header matching WriteCsv ("R1.A,R1.B,R2.B,R2.C,mass").
@@ -54,7 +82,8 @@ class ReleasedDataset {
 
  private:
   std::shared_ptr<const JoinQuery> query_;
-  DenseTensor tensor_;
+  DenseTensor tensor_;  // dense backing (empty when factored_ is set)
+  std::shared_ptr<const FactoredTensor> factored_;
 };
 
 }  // namespace dpjoin

@@ -232,7 +232,8 @@ Result<ReleaseResponse> ReleaseEngine::SubmitResolved(
       break;
     }
     case MechanismKind::kPmw: {
-      DenseTensor synthetic;
+      std::shared_ptr<const ReleasedDataset> dataset;
+      std::shared_ptr<const WorkloadEvaluator> evaluator;
       if (instance.num_relations() == 1) {
         // Degenerate join: a single relation's count moves by 1 between
         // neighbors, so PMW runs directly with Δ̃ = 1 (Theorem 1.3).
@@ -243,20 +244,35 @@ Result<ReleaseResponse> ReleaseEngine::SubmitResolved(
         pmw.max_rounds = options.pmw_max_rounds;
         pmw.per_round_epsilon_override = options.pmw_epsilon_prime_override;
         pmw.use_factored_loop = options.pmw_use_factored;
-        auto result = PrivateMultiplicativeWeights(instance, family, pmw, rng);
-        if (!result.ok()) return fail(result.status());
-        accountant = result->accountant;
-        synthetic = std::move(result->synthetic);
+        if (plan.factored) {
+          // Beyond the dense envelope: product-form FactoredTensor
+          // backing, grouped by the planner's workload factorization.
+          auto result = PrivateMultiplicativeWeightsFactored(
+              instance, family, plan.factor_groups, pmw, rng);
+          if (!result.ok()) return fail(result.status());
+          accountant = result->accountant;
+          evaluator = std::move(result->evaluator);
+          dataset = std::make_shared<const ReleasedDataset>(
+              instance.query_ptr(), std::move(result->factored_synthetic));
+        } else {
+          auto result =
+              PrivateMultiplicativeWeights(instance, family, pmw, rng);
+          if (!result.ok()) return fail(result.status());
+          accountant = result->accountant;
+          evaluator = std::move(result->evaluator);
+          dataset = std::make_shared<const ReleasedDataset>(
+              instance.query_ptr(), std::move(result->synthetic));
+        }
       } else {
         auto result = MultiTable(instance, family, budget, options, rng);
         if (!result.ok()) return fail(result.status());
         accountant = result->accountant;
-        synthetic = std::move(result->synthetic);
+        evaluator = std::move(result->evaluator);
+        dataset = std::make_shared<const ReleasedDataset>(
+            instance.query_ptr(), std::move(result->synthetic));
       }
-      auto dataset = std::make_shared<const ReleasedDataset>(
-          instance.query_ptr(), std::move(synthetic));
       handle = std::make_shared<ServingHandle>(std::move(dataset), family,
-                                               plan);
+                                               plan, std::move(evaluator));
       break;
     }
     case MechanismKind::kAuto:

@@ -6,6 +6,7 @@
 
 #include "core/theory_bounds.h"
 #include "dp/composition.h"
+#include "query/factored_tensor.h"
 #include "query/workload_evaluator.h"
 #include "relational/join.h"
 #include "sensitivity/local_sensitivity.h"
@@ -56,6 +57,32 @@ double PredictSyntheticError(MechanismKind mechanism,
       break;
   }
   return 0.0;
+}
+
+// A factorization PMW's product-form backing can run: every query factors
+// over the attribute groups, every group's table fits the dense envelope,
+// and so does their sum (the factored release's total memory).
+bool FactorizationFits(const WorkloadFactorization& wf) {
+  return wf.product_form &&
+         static_cast<double>(wf.max_group_cells) <= kDenseCellCap &&
+         wf.sum_cells <= kDenseCellCap;
+}
+
+// "3 disjoint attribute groups (factor sizes 256 + 16 + 4096 = 4368 cells
+// vs 1.6777e+07 dense)" — the factor-size math behind a factored plan.
+void AppendFactorSizes(const WorkloadFactorization& wf, std::ostream& os) {
+  os << wf.groups.size() << " disjoint attribute groups (factor sizes ";
+  for (size_t k = 0; k < wf.group_cells.size(); ++k) {
+    if (k > 0) os << " + ";
+    os << wf.group_cells[k];
+  }
+  os << " = " << wf.sum_cells << " cells vs " << wf.total_cells << " dense)";
+}
+
+void AdoptFactorization(WorkloadFactorization wf, Plan* plan) {
+  plan->factored = true;
+  plan->factor_groups = std::move(wf.groups);
+  plan->factor_cells = std::move(wf.group_cells);
 }
 
 }  // namespace
@@ -149,20 +176,59 @@ Result<Plan> PlanRelease(const ReleaseSpec& spec, const Instance& instance,
         break;  // unreachable
     }
     if (spec.mechanism != MechanismKind::kLaplace && !dense_ok) {
-      return Status::InvalidArgument(
-          "mechanism " + std::string(MechanismName(spec.mechanism)) +
-          " materializes the release domain densely, but |D| = " +
-          std::to_string(stats.release_domain_cells) + " cells exceeds the " +
-          std::to_string(kDenseCellCap) +
-          "-cell envelope (use laplace, or shrink attribute domains)");
+      // One escape hatch: single-relation PMW whose workload factorizes
+      // into envelope-sized groups runs on the product-form backing.
+      bool factored_ok = false;
+      if (spec.mechanism == MechanismKind::kPmw && m == 1 &&
+          spec.pmw_backing != PmwBackingKind::kDense) {
+        WorkloadFactorization wf = ComputeWorkloadFactorization(query, family);
+        if (FactorizationFits(wf)) {
+          why << "; |D| = " << stats.release_domain_cells
+              << " cells exceeds the dense envelope (" << kDenseCellCap
+              << ") but the workload factors into ";
+          AppendFactorSizes(wf, why);
+          why << " — product-form FactoredTensor backing";
+          AdoptFactorization(std::move(wf), &plan);
+          factored_ok = true;
+        }
+      }
+      if (!factored_ok) {
+        return Status::InvalidArgument(
+            "mechanism " + std::string(MechanismName(spec.mechanism)) +
+            " materializes the release domain densely, but |D| = " +
+            std::to_string(stats.release_domain_cells) +
+            " cells exceeds the " + std::to_string(kDenseCellCap) +
+            "-cell envelope (use laplace, shrink attribute domains, or — for "
+            "single-relation pmw — a product-form workload such as "
+            "marginal_all so the factored backing applies)");
+      }
     }
   } else if (!dense_ok) {
-    plan.mechanism = MechanismKind::kLaplace;
-    why << "auto: release domain |D| = " << stats.release_domain_cells
-        << " cells exceeds the dense-materialization envelope ("
-        << kDenseCellCap
-        << "); independent Laplace is the only mechanism that never "
-           "materializes x_i D_i";
+    bool factored_ok = false;
+    if (m == 1 && spec.pmw_backing != PmwBackingKind::kDense &&
+        stats.query_count >
+            PmwLaplaceCrossoverQueries(stats.release_domain_cells)) {
+      WorkloadFactorization wf = ComputeWorkloadFactorization(query, family);
+      if (FactorizationFits(wf)) {
+        plan.mechanism = MechanismKind::kPmw;
+        why << "auto: release domain |D| = " << stats.release_domain_cells
+            << " cells exceeds the dense envelope (" << kDenseCellCap
+            << ") but the workload factors into ";
+        AppendFactorSizes(wf, why);
+        why << " — single-table PMW on the product-form FactoredTensor "
+               "backing (memory ~ sum of factor sizes)";
+        AdoptFactorization(std::move(wf), &plan);
+        factored_ok = true;
+      }
+    }
+    if (!factored_ok) {
+      plan.mechanism = MechanismKind::kLaplace;
+      why << "auto: release domain |D| = " << stats.release_domain_cells
+          << " cells exceeds the dense-materialization envelope ("
+          << kDenseCellCap
+          << "); independent Laplace is the only mechanism that never "
+             "materializes x_i D_i";
+    }
   } else if (stats.query_count <=
              PmwLaplaceCrossoverQueries(stats.release_domain_cells)) {
     plan.mechanism = MechanismKind::kLaplace;
@@ -207,6 +273,34 @@ Result<Plan> PlanRelease(const ReleaseSpec& spec, const Instance& instance,
     why << "auto: " << m
         << " relations, non-hierarchical — MultiTable (Algorithm 3) with "
            "residual-sensitivity-calibrated PMW is the general mechanism";
+  }
+
+  // An explicitly requested factored backing binds even inside the dense
+  // envelope (memory-constrained callers; the equivalence tests); it still
+  // needs a single-relation pmw plan and a factorizable workload.
+  if (spec.pmw_backing == PmwBackingKind::kFactored && !plan.factored) {
+    if (plan.mechanism != MechanismKind::kPmw || m != 1) {
+      return Status::InvalidArgument(
+          "pmw_backing = factored needs a single-relation pmw release, but "
+          "the plan is " +
+          std::string(MechanismName(plan.mechanism)) + " over " +
+          std::to_string(m) +
+          " relation(s) (set mechanism = pmw on a one-relation schema)");
+    }
+    WorkloadFactorization wf = ComputeWorkloadFactorization(query, family);
+    if (!FactorizationFits(wf)) {
+      return Status::InvalidArgument(
+          "pmw_backing = factored, but " +
+          (wf.product_form
+               ? "a factor group of " + std::to_string(wf.max_group_cells) +
+                     " cells exceeds the " + std::to_string(kDenseCellCap) +
+                     "-cell envelope"
+               : wf.reason) +
+          " (use pmw_backing = auto or a product-form workload)");
+    }
+    why << "; pmw_backing = factored: ";
+    AppendFactorSizes(wf, why);
+    AdoptFactorization(std::move(wf), &plan);
   }
 
   if (plan.mechanism == MechanismKind::kLaplace) {

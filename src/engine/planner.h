@@ -12,7 +12,10 @@
 //
 // Selection table under `auto` (dense envelope = release domain |D| fits the
 // PMW materialization cap):
-//   |D| too large                 -> laplace      (only mechanism that never
+//   |D| too large, m == 1, workload factors into groups that each fit the
+//   envelope (and their total fits)  -> pmw on the product-form
+//                                       FactoredTensor backing
+//   |D| too large otherwise       -> laplace      (only mechanism that never
 //                                                  materializes ×_i D_i)
 //   |Q| == 1                      -> laplace      (one counting query: a
 //                                                  single calibrated answer
@@ -28,6 +31,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "engine/release_spec.h"
@@ -60,6 +64,17 @@ struct Plan {
   std::string rationale;       ///< why this mechanism, human-readable
   double predicted_error = 0.0;  ///< closed-form bound (diagnostic)
   InstanceStats stats;
+
+  /// kPmw, single relation only: run PMW on the product-form
+  /// FactoredTensor backing over `factor_groups` (disjoint attribute-digit
+  /// subsets from the workload's co-occurrence components) instead of the
+  /// dense tensor. Memory is then Σ factor_cells, not Π — the only way
+  /// past the dense envelope with synthetic data. Selection is
+  /// data-independent: a function of the schema and the workload's query
+  /// structure alone.
+  bool factored = false;
+  std::vector<std::vector<size_t>> factor_groups;
+  std::vector<int64_t> factor_cells;  ///< cells per group (diagnostic)
 };
 
 /// Closed-form error prediction for answering |Q| queries independently

@@ -92,6 +92,8 @@ const char* WorkloadFamilyName(WorkloadFamilyKind kind) {
       return "point";
     case WorkloadFamilyKind::kMarginal:
       return "marginal";
+    case WorkloadFamilyKind::kMarginalAll:
+      return "marginal_all";
   }
   return "unknown";
 }
@@ -103,10 +105,31 @@ Result<WorkloadFamilyKind> ParseWorkloadFamily(const std::string& token) {
   if (token == "prefix") return WorkloadFamilyKind::kPrefix;
   if (token == "point") return WorkloadFamilyKind::kPoint;
   if (token == "marginal") return WorkloadFamilyKind::kMarginal;
+  if (token == "marginal_all") return WorkloadFamilyKind::kMarginalAll;
   return Status::InvalidArgument(
       "unknown workload '" + token +
       "' (expected counting|random_sign|random_uniform|prefix|point|"
-      "marginal)");
+      "marginal|marginal_all)");
+}
+
+const char* PmwBackingName(PmwBackingKind kind) {
+  switch (kind) {
+    case PmwBackingKind::kAuto:
+      return "auto";
+    case PmwBackingKind::kDense:
+      return "dense";
+    case PmwBackingKind::kFactored:
+      return "factored";
+  }
+  return "unknown";
+}
+
+Result<PmwBackingKind> ParsePmwBacking(const std::string& token) {
+  if (token == "auto") return PmwBackingKind::kAuto;
+  if (token == "dense") return PmwBackingKind::kDense;
+  if (token == "factored") return PmwBackingKind::kFactored;
+  return Status::InvalidArgument("unknown pmw_backing '" + token +
+                                 "' (expected auto|dense|factored)");
 }
 
 Status ReleaseSpec::Validate() const {
@@ -145,7 +168,8 @@ Status ReleaseSpec::ValidateFields() const {
     }
   }
   if (workload != WorkloadFamilyKind::kCounting &&
-      workload != WorkloadFamilyKind::kMarginal && workload_per_table < 1) {
+      workload != WorkloadFamilyKind::kMarginal &&
+      workload != WorkloadFamilyKind::kMarginalAll && workload_per_table < 1) {
     return Status::InvalidArgument("workload per-table count must be >= 1");
   }
   if (pmw_rounds < 0) {
@@ -178,15 +202,19 @@ Result<QueryFamily> ReleaseSpec::BuildWorkload(const JoinQuery& query) const {
     return MakeCountingFamily(query);
   }
   WorkloadKind kind = WorkloadKind::kRandomSign;
+  bool needs_dense_values = false;
   switch (workload) {
     case WorkloadFamilyKind::kRandomSign:
       kind = WorkloadKind::kRandomSign;
+      needs_dense_values = true;
       break;
     case WorkloadFamilyKind::kRandomUniform:
       kind = WorkloadKind::kRandomUniform;
+      needs_dense_values = true;
       break;
     case WorkloadFamilyKind::kPrefix:
       kind = WorkloadKind::kPrefix;
+      needs_dense_values = true;
       break;
     case WorkloadFamilyKind::kPoint:
       kind = WorkloadKind::kPoint;
@@ -194,8 +222,27 @@ Result<QueryFamily> ReleaseSpec::BuildWorkload(const JoinQuery& query) const {
     case WorkloadFamilyKind::kMarginal:
       kind = WorkloadKind::kMarginal;
       break;
+    case WorkloadFamilyKind::kMarginalAll:
+      kind = WorkloadKind::kMarginalAll;
+      break;
     case WorkloadFamilyKind::kCounting:
       break;  // handled above
+  }
+  if (needs_dense_values) {
+    // These generators draw one dense value per cell of a relation's tuple
+    // space (arbitrary per-cell values have no product form); beyond the
+    // dense cap only the product-form families are representable.
+    for (int r = 0; r < query.num_relations(); ++r) {
+      if (query.relation_domain_size(r) > kDenseQueryValueCap) {
+        return Status::InvalidArgument(
+            "workload " + std::string(WorkloadFamilyName(workload)) +
+            " materializes " + std::to_string(query.relation_domain_size(r)) +
+            " dense values per query over relation " + std::to_string(r) +
+            ", beyond the " + std::to_string(kDenseQueryValueCap) +
+            "-cell cap; use a product-form workload "
+            "(counting|point|marginal|marginal_all)");
+      }
+    }
   }
   Rng rng(workload_seed);
   return MakeWorkload(query, kind, workload_per_table, rng);
@@ -244,6 +291,11 @@ std::string ReleaseSpec::CanonicalString() const {
   oss << "pmw_max_rounds=" << pmw_max_rounds << "\n";
   std::snprintf(buffer, sizeof(buffer), "%.17g", pmw_epsilon_prime);
   oss << "pmw_epsilon_prime=" << buffer << "\n";
+  if (pmw_backing != PmwBackingKind::kAuto) {
+    // Emitted only when non-default so pre-existing spec hashes (and the
+    // releases cached under them) are unchanged.
+    oss << "pmw_backing=" << PmwBackingName(pmw_backing) << "\n";
+  }
   oss << "laplace_rule="
       << (laplace_rule == CompositionRule::kBasic ? "basic" : "advanced")
       << "\n";
@@ -357,6 +409,8 @@ Result<ReleaseSpec> ParseReleaseSpec(std::istream& is) {
       DPJOIN_ASSIGN_OR_RETURN(spec.pmw_max_rounds, ParseInt(value));
     } else if (key == "pmw_epsilon_prime") {
       DPJOIN_ASSIGN_OR_RETURN(spec.pmw_epsilon_prime, ParseDouble(value));
+    } else if (key == "pmw_backing") {
+      DPJOIN_ASSIGN_OR_RETURN(spec.pmw_backing, ParsePmwBacking(value));
     } else if (key == "laplace_rule") {
       if (value == "basic") {
         spec.laplace_rule = CompositionRule::kBasic;

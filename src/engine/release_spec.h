@@ -22,12 +22,13 @@
 //   mechanism = auto           # auto|laplace|two_table|hierarchical|pmw
 //   workload  = prefix:4       # KIND[:PER_TABLE], KIND in counting|
 //                              #   random_sign|random_uniform|prefix|point|
-//                              #   marginal
+//                              #   marginal|marginal_all
 //   workload_seed = 13
 //   threads   = 2              # 0 = ExecutionContext default
 //   pmw_rounds = 0             # 0 = theory-driven k
 //   pmw_max_rounds = 24
 //   pmw_epsilon_prime = 0.25   # EXPERIMENTAL override, 0 = paper formula
+//   pmw_backing = auto         # auto|dense|factored synthetic-data backing
 //   laplace_rule = advanced    # basic|advanced (mechanism = laplace only)
 //   dataset   = csv:data/two_table.csv
 //
@@ -78,10 +79,23 @@ enum class WorkloadFamilyKind {
   kPrefix,
   kPoint,
   kMarginal,
+  kMarginalAll,  ///< every one-way marginal of every attribute (+ counting)
 };
 
 const char* WorkloadFamilyName(WorkloadFamilyKind kind);
 Result<WorkloadFamilyKind> ParseWorkloadFamily(const std::string& token);
+
+/// Which synthetic-data backing PMW uses for a single-relation release.
+enum class PmwBackingKind {
+  kAuto,      ///< planner decides: dense within the envelope, else factored
+  kDense,     ///< always the dense tensor (refused beyond the envelope)
+  kFactored,  ///< always the product-form FactoredTensor (refused when the
+              ///< workload does not factorize)
+};
+
+/// "auto", "dense", "factored".
+const char* PmwBackingName(PmwBackingKind kind);
+Result<PmwBackingKind> ParsePmwBacking(const std::string& token);
 
 /// Declarative description of one release. Fields mirror the config keys;
 /// `Validate()` / the parser enforce every invariant, so downstream engine
@@ -111,6 +125,12 @@ struct ReleaseSpec {
   int64_t pmw_rounds = 0;
   int64_t pmw_max_rounds = 64;
   double pmw_epsilon_prime = 0.0;
+  /// Synthetic-data backing for single-relation PMW. kAuto lets the planner
+  /// pick the dense tensor within the materialization envelope and the
+  /// product-form FactoredTensor beyond it (when the workload factorizes).
+  /// Emitted in CanonicalString() only when non-default, so existing spec
+  /// hashes are unchanged.
+  PmwBackingKind pmw_backing = PmwBackingKind::kAuto;
   CompositionRule laplace_rule = CompositionRule::kAdvanced;
 
   /// Worker threads for the mechanism's parallel hot paths; 0 = the

@@ -8,16 +8,54 @@
 
 namespace dpjoin {
 
-ServingHandle::ServingHandle(std::shared_ptr<const ReleasedDataset> dataset,
-                             QueryFamily family, Plan plan)
+namespace {
+
+// The mechanism's evaluator is reusable iff it was built for the same
+// backing kind, the same release shape, and the same workload size. PMW
+// hands over exactly such an evaluator; anything else falls back to a
+// fresh build.
+bool EvaluatorMatches(const WorkloadEvaluator& ev,
+                      const ReleasedDataset& dataset,
+                      const QueryFamily& family) {
+  if (ev.TotalQueries() != family.TotalCount()) return false;
+  if (const FactoredTensor* ft = dataset.factored()) {
+    if (!ev.factored()) return false;
+    if (ev.shape().radices() != ft->shape().radices()) return false;
+    if (ev.num_factors() != ft->num_factors()) return false;
+    for (size_t k = 0; k < ft->num_factors(); ++k) {
+      if (ev.factor_modes(k) != ft->factor(k).modes) return false;
+    }
+    return true;
+  }
+  return !ev.factored() &&
+         ev.shape().radices() == dataset.tensor().shape().radices();
+}
+
+}  // namespace
+
+ServingHandle::ServingHandle(
+    std::shared_ptr<const ReleasedDataset> dataset, QueryFamily family,
+    Plan plan, std::shared_ptr<const WorkloadEvaluator> evaluator)
     : dataset_(std::move(dataset)),
       family_(std::move(family)),
       plan_(std::move(plan)) {
   DPJOIN_CHECK(dataset_ != nullptr, "serving handle needs a dataset");
+  if (evaluator != nullptr && EvaluatorMatches(*evaluator, *dataset_,
+                                               family_)) {
+    // Shared with the mechanism that produced the release (PMW's round
+    // loop) — the per-mode query matrices are built once per release.
+    evaluator_ = std::move(evaluator);
+    return;
+  }
   // Built exactly once per release; every consumer of the (shared,
   // immutable) handle reuses the cached per-mode matrices.
-  evaluator_ = std::make_shared<const WorkloadEvaluator>(
-      family_, dataset_->tensor().shape());
+  if (const FactoredTensor* ft = dataset_->factored()) {
+    evaluator_ = std::make_shared<const WorkloadEvaluator>(
+        WorkloadEvaluator::ForFactored(family_, *ft));
+  } else {
+    evaluator_ = std::make_shared<const WorkloadEvaluator>(
+        family_, dataset_->tensor().shape());
+  }
 }
 
 ServingHandle::ServingHandle(std::vector<double> answers, QueryFamily family,
@@ -54,6 +92,22 @@ Result<std::vector<double>> ServingHandle::AnswerBatch(
         num_threads);
     return answers;
   }
+  if (const FactoredTensor* ft = dataset_->factored()) {
+    // Factored release: each request contracts only its touched factors
+    // (O(Σ factor cells) worst case), via the handle's cached per-factor
+    // query matrices. Serial per request, so bit-identical regardless of
+    // thread count.
+    ParallelFor(
+        0, static_cast<int64_t>(batch.size()), /*grain=*/1,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            answers[static_cast<size_t>(i)] = evaluator_->EvaluateOneFactored(
+                batch[static_cast<size_t>(i)], *ft);
+          }
+        },
+        num_threads);
+    return answers;
+  }
   // Synthetic data: each request scans the tensor once. One request per
   // block; each block writes only its own slot, and the per-request tensor
   // reduction runs inline with its own fixed-grain grouping, so the batch
@@ -75,7 +129,9 @@ Result<std::vector<double>> ServingHandle::AnswerBatch(
 std::vector<double> ServingHandle::AnswerAll(int num_threads) const {
   const ScopedThreads scoped(num_threads);
   if (dataset_ == nullptr) return answers_;
-  return evaluator_->EvaluateAll(dataset_->tensor());
+  // Dispatches on the backing: dense stays bit-identical to the
+  // EvaluateAll(tensor) path; factored contracts per touched factor.
+  return evaluator_->EvaluateAllOn(dataset_->distribution());
 }
 
 ReleaseCache::ReleaseCache(size_t capacity) : capacity_(capacity) {

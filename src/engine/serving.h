@@ -38,9 +38,15 @@ namespace dpjoin {
 /// Immutable handle answering workload queries from a finished release.
 class ServingHandle {
  public:
-  /// Synthetic-data release: queries are evaluated on the released tensor.
+  /// Synthetic-data release: queries are evaluated on the released
+  /// distribution (dense or factored backing). When the mechanism already
+  /// built a compatible WorkloadEvaluator (PMW's round loop evaluates the
+  /// same family against the same distribution), pass it as `evaluator` and
+  /// the handle shares it instead of re-flattening the per-mode query
+  /// matrices; incompatible or null evaluators fall back to a fresh build.
   ServingHandle(std::shared_ptr<const ReleasedDataset> dataset,
-                QueryFamily family, Plan plan);
+                QueryFamily family, Plan plan,
+                std::shared_ptr<const WorkloadEvaluator> evaluator = nullptr);
 
   /// Direct-answer release (independent Laplace): query q's answer is the
   /// q-th precomputed noisy value.

@@ -1,7 +1,10 @@
 #include "query/dense_tensor.h"
 
+#include <cmath>
+
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "query/evaluation.h"
 
 namespace dpjoin {
 
@@ -17,6 +20,44 @@ double DenseTensor::TotalMass() const {
                     return sum;
                   });
   return scale_ * raw;
+}
+
+void DenseTensor::MultiplicativeUpdate(
+    const std::vector<const double*>& qvals, double eta) {
+  DPJOIN_CHECK_EQ(qvals.size(), shape_.num_digits());
+  // Per-cell updates are independent; each block seeds its own odometer at
+  // `lo` and writes only its [lo, hi) slice, so the result is bit-identical
+  // for any thread count.
+  ParallelFor(0, shape_.size(), ExecutionContext::TensorGrain(),
+              [&](int64_t lo, int64_t hi) {
+                internal::ForEachProductCell(
+                    shape_, qvals, lo, hi, [&](int64_t flat, double q) {
+                      values_[static_cast<size_t>(flat)] *= std::exp(q * eta);
+                    });
+              });
+}
+
+std::vector<double> DenseTensor::MarginalOver(
+    const std::vector<size_t>& modes) const {
+  std::vector<int64_t> radices;
+  radices.reserve(modes.size());
+  for (size_t i = 0; i < modes.size(); ++i) {
+    DPJOIN_CHECK(modes[i] < shape_.num_digits(), "marginal mode out of range");
+    DPJOIN_CHECK(i == 0 || modes[i] > modes[i - 1],
+                 "marginal modes must be ascending");
+    radices.push_back(shape_.radix(modes[i]));
+  }
+  const MixedRadix out_shape(std::move(radices));
+  std::vector<double> out(static_cast<size_t>(out_shape.size()), 0.0);
+  Odometer odo(shape_);
+  std::vector<int64_t> sel(modes.size());
+  for (int64_t flat = 0; flat < shape_.size(); ++flat) {
+    for (size_t i = 0; i < modes.size(); ++i) sel[i] = odo.digit(modes[i]);
+    out[static_cast<size_t>(out_shape.Encode(sel))] +=
+        scale_ * values_[static_cast<size_t>(flat)];
+    odo.Advance();
+  }
+  return out;
 }
 
 void DenseTensor::Fill(double v) {

@@ -20,12 +20,13 @@
 
 #include "common/check.h"
 #include "common/mixed_radix.h"
+#include "query/synthetic_distribution.h"
 
 namespace dpjoin {
 
 /// A flat row-major tensor of doubles with a MixedRadix shape and a lazy
-/// scalar multiplier.
-class DenseTensor {
+/// scalar multiplier. The fully-materialized SyntheticDistribution backing.
+class DenseTensor : public SyntheticDistribution {
  public:
   DenseTensor() = default;
 
@@ -34,7 +35,12 @@ class DenseTensor {
       : shape_(std::move(shape)),
         values_(static_cast<size_t>(shape_.size()), 0.0) {}
 
-  const MixedRadix& shape() const { return shape_; }
+  DenseTensor(const DenseTensor&) = default;
+  DenseTensor(DenseTensor&&) = default;
+  DenseTensor& operator=(const DenseTensor&) = default;
+  DenseTensor& operator=(DenseTensor&&) = default;
+
+  const MixedRadix& shape() const override { return shape_; }
   int64_t size() const { return shape_.size(); }
 
   /// Logical cell value scale·raw.
@@ -55,7 +61,26 @@ class DenseTensor {
   }
 
   /// Σ_x T(x), including the deferred scale.
-  double TotalMass() const;
+  double TotalMass() const override;
+
+  /// |domain| as a double.
+  double DomainCells() const override {
+    return static_cast<double>(shape_.size());
+  }
+
+  /// Dense storage materializes every cell.
+  int64_t StorageCells() const override { return shape_.size(); }
+
+  /// T(x) *= exp(q(x)·eta) with q(x) = Π_i qvals[i][x_i]; NOT renormalized.
+  /// One blocked parallel pass, bit-identical for any thread count.
+  void MultiplicativeUpdate(const std::vector<const double*>& qvals,
+                            double eta) override;
+
+  /// Marginal onto ascending mode subset `modes` (serial; cold path).
+  std::vector<double> MarginalOver(
+      const std::vector<size_t>& modes) const override;
+
+  const DenseTensor* AsDense() const override { return this; }
 
   /// Sets every cell to `v`.
   void Fill(double v);
@@ -66,7 +91,7 @@ class DenseTensor {
   /// Rescales so TotalMass() == target (no-op target on an all-zero tensor
   /// is a programmer error). Eager — use NormalizeDeferred when the current
   /// mass is already known analytically.
-  void NormalizeTo(double target);
+  void NormalizeTo(double target) override;
 
   /// The lazy multiplier applied by At()/TotalMass(); 1 unless a deferred
   /// rescale is pending.

@@ -120,6 +120,10 @@ std::vector<double> QueryMatrix(const QueryFamily& family, int rel) {
   const size_t dom = queries[0].values.size();
   std::vector<double> matrix(queries.size() * dom);
   for (size_t j = 0; j < queries.size(); ++j) {
+    DPJOIN_CHECK(queries[j].HasDense(),
+                 "query '" + queries[j].label +
+                     "' has no dense values (product form only) — dense "
+                     "evaluation is unavailable for this family");
     for (size_t d = 0; d < dom; ++d) {
       matrix[j * dom + d] = queries[j].values[d];
     }
@@ -157,11 +161,10 @@ double EvaluateOnInstance(const QueryFamily& family,
                           const Instance& instance) {
   const size_t m = static_cast<size_t>(instance.num_relations());
   DPJOIN_CHECK_EQ(parts.size(), m);
-  std::vector<const double*> qvals(m);
+  std::vector<const TableQuery*> queries(m);
   for (size_t i = 0; i < m; ++i) {
-    qvals[i] = family.table_queries(static_cast<int>(i))
-                   [static_cast<size_t>(parts[i])]
-                       .values.data();
+    queries[i] = &family.table_queries(static_cast<int>(i))
+                      [static_cast<size_t>(parts[i])];
   }
   double total = 0.0;
   EnumerateSubJoin(instance, instance.query().all_relations(),
@@ -169,7 +172,12 @@ double EvaluateOnInstance(const QueryFamily& family,
                        const std::vector<int64_t>&, int64_t weight) {
                      double value = static_cast<double>(weight);
                      for (size_t i = 0; i < m; ++i) {
-                       value *= qvals[i][rel_codes[i]];
+                       // Dense when available, per-digit product otherwise
+                       // (huge-domain product-form workloads).
+                       value *= TableQueryValue(
+                           *queries[i],
+                           instance.query().tuple_space(static_cast<int>(i)),
+                           rel_codes[i]);
                      }
                      total += value;
                    });
@@ -207,11 +215,13 @@ std::vector<double> EvaluateAllOnInstance(const QueryFamily& family,
             return;
           }
           const auto& queries = family.table_queries(static_cast<int>(rel));
+          const MixedRadix& coder =
+              instance.query().tuple_space(static_cast<int>(rel));
           const int64_t stride = family.index().stride(rel);
           const int64_t code = rel_codes[rel];
           for (size_t j = 0; j < queries.size(); ++j) {
             self(self, rel + 1, flat_base + static_cast<int64_t>(j) * stride,
-                 partial * queries[j].values[static_cast<size_t>(code)]);
+                 partial * TableQueryValue(queries[j], coder, code));
           }
         };
         recurse(recurse, 0, 0, static_cast<double>(weight));

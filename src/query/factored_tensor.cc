@@ -1,0 +1,323 @@
+#include "query/factored_tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "query/evaluation.h"
+
+namespace dpjoin {
+
+namespace {
+
+bool IsAllOnesVector(const double* v, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (v[i] != 1.0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FactoredTensor::FactoredTensor(MixedRadix shape,
+                               std::vector<std::vector<size_t>> groups,
+                               double total_mass)
+    : shape_(std::move(shape)) {
+  const size_t num_modes = shape_.num_digits();
+  std::vector<bool> covered(num_modes, false);
+  for (const auto& group : groups) {
+    DPJOIN_CHECK(!group.empty(), "empty factor group");
+    for (size_t i = 0; i < group.size(); ++i) {
+      DPJOIN_CHECK(group[i] < num_modes, "factor mode out of range");
+      DPJOIN_CHECK(i == 0 || group[i] > group[i - 1],
+                   "factor modes must be ascending");
+      DPJOIN_CHECK(!covered[group[i]], "factor groups must be disjoint");
+      covered[group[i]] = true;
+    }
+  }
+  // Uncovered attributes become uniform singleton factors (snippet-2's
+  // ProductDist convention): the product then spans the full domain.
+  for (size_t mode = 0; mode < num_modes; ++mode) {
+    if (!covered[mode]) groups.push_back({mode});
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              return a.front() < b.front();
+            });
+
+  mode_factor_.resize(num_modes);
+  mode_digit_.resize(num_modes);
+  factors_.reserve(groups.size());
+  for (size_t k = 0; k < groups.size(); ++k) {
+    Factor f;
+    f.modes = std::move(groups[k]);
+    std::vector<int64_t> radices;
+    radices.reserve(f.modes.size());
+    for (size_t i = 0; i < f.modes.size(); ++i) {
+      mode_factor_[f.modes[i]] = k;
+      mode_digit_[f.modes[i]] = i;
+      radices.push_back(shape_.radix(f.modes[i]));
+    }
+    f.shape = MixedRadix(std::move(radices));
+    // Uniform with factor mass exactly 1, so the product's mass is carried
+    // entirely by the global scale.
+    f.values.assign(static_cast<size_t>(f.shape.size()),
+                    1.0 / static_cast<double>(f.shape.size()));
+    factors_.push_back(std::move(f));
+  }
+  scale_ = total_mass;
+}
+
+double FactoredTensor::TotalMass() const {
+  double mass = scale_;
+  for (const Factor& f : factors_) {
+    double sum = 0.0;
+    for (const double v : f.values) sum += v;
+    mass *= f.scale * sum;
+  }
+  return mass;
+}
+
+void FactoredTensor::NormalizeTo(double target) {
+  const double mass = TotalMass();
+  DPJOIN_CHECK_GT(mass, 0.0);
+  scale_ *= target / mass;
+}
+
+int64_t FactoredTensor::StorageCells() const {
+  int64_t cells = 0;
+  for (const Factor& f : factors_) {
+    cells += static_cast<int64_t>(f.values.size());
+  }
+  return cells;
+}
+
+void FactoredTensor::MultiplicativeUpdate(
+    const std::vector<const double*>& qvals, double eta) {
+  DPJOIN_CHECK_EQ(qvals.size(), shape_.num_digits());
+  // The query's support: modes whose value vector is not identically 1.
+  // The product form survives the update only when they share one factor.
+  int touched = -1;
+  for (size_t mode = 0; mode < qvals.size(); ++mode) {
+    if (IsAllOnesVector(qvals[mode], shape_.radix(mode))) continue;
+    const int k = static_cast<int>(mode_factor_[mode]);
+    DPJOIN_CHECK(touched == -1 || touched == k,
+                 "multiplicative update crosses factors — the query's "
+                 "support must lie inside a single factor");
+    touched = k;
+  }
+  if (touched < 0) {
+    // q ≡ 1: the update is the uniform rescale e^η.
+    scale_ *= std::exp(eta);
+    return;
+  }
+  Factor& f = factors_[static_cast<size_t>(touched)];
+  std::vector<const double*> fvals(f.modes.size());
+  for (size_t i = 0; i < f.modes.size(); ++i) fvals[i] = qvals[f.modes[i]];
+  internal::ForEachProductCell(f.shape, fvals, 0, f.shape.size(),
+                               [&](int64_t flat, double q) {
+                                 f.values[static_cast<size_t>(flat)] *=
+                                     std::exp(q * eta);
+                               });
+}
+
+std::vector<double> FactoredTensor::MarginalOver(
+    const std::vector<size_t>& modes) const {
+  std::vector<int64_t> radices;
+  radices.reserve(modes.size());
+  for (size_t i = 0; i < modes.size(); ++i) {
+    DPJOIN_CHECK(modes[i] < shape_.num_digits(), "marginal mode out of range");
+    DPJOIN_CHECK(i == 0 || modes[i] > modes[i - 1],
+                 "marginal modes must be ascending");
+    radices.push_back(shape_.radix(modes[i]));
+  }
+  const MixedRadix out_shape(radices);
+
+  // Per factor: contract away the unselected modes, keeping a table over
+  // the factor's selected modes (empty selection -> the factor's mass).
+  std::vector<std::vector<size_t>> sel_in_factor(factors_.size());
+  for (size_t i = 0; i < modes.size(); ++i) {
+    sel_in_factor[mode_factor_[modes[i]]].push_back(digit_in_factor(modes[i]));
+  }
+  double mass_of_unselected = scale_;
+  std::vector<std::vector<double>> tables(factors_.size());
+  std::vector<MixedRadix> table_shapes(factors_.size());
+  for (size_t k = 0; k < factors_.size(); ++k) {
+    const Factor& f = factors_[k];
+    if (sel_in_factor[k].empty()) {
+      double sum = 0.0;
+      for (const double v : f.values) sum += v;
+      mass_of_unselected *= f.scale * sum;
+      continue;
+    }
+    std::vector<int64_t> trad;
+    for (const size_t d : sel_in_factor[k]) trad.push_back(f.shape.radix(d));
+    table_shapes[k] = MixedRadix(std::move(trad));
+    tables[k].assign(static_cast<size_t>(table_shapes[k].size()), 0.0);
+    Odometer odo(f.shape);
+    std::vector<int64_t> digits(sel_in_factor[k].size());
+    for (int64_t flat = 0; flat < f.shape.size(); ++flat) {
+      for (size_t i = 0; i < sel_in_factor[k].size(); ++i) {
+        digits[i] = odo.digit(sel_in_factor[k][i]);
+      }
+      tables[k][static_cast<size_t>(table_shapes[k].Encode(digits))] +=
+          f.scale * f.values[static_cast<size_t>(flat)];
+      odo.Advance();
+    }
+  }
+
+  // Combine: out[y] = mass_of_unselected · Π_{k selected} table_k(y|f_k).
+  std::vector<double> out(static_cast<size_t>(out_shape.size()));
+  Odometer odo(out_shape);
+  std::vector<std::vector<int64_t>> fdigits(factors_.size());
+  for (size_t k = 0; k < factors_.size(); ++k) {
+    fdigits[k].resize(sel_in_factor[k].size());
+  }
+  // Position of each selected mode within its factor's selected list.
+  std::vector<std::pair<size_t, size_t>> slot(modes.size());
+  {
+    std::vector<size_t> next(factors_.size(), 0);
+    for (size_t i = 0; i < modes.size(); ++i) {
+      const size_t k = mode_factor_[modes[i]];
+      slot[i] = {k, next[k]++};
+    }
+  }
+  for (int64_t flat = 0; flat < out_shape.size(); ++flat) {
+    for (size_t i = 0; i < modes.size(); ++i) {
+      fdigits[slot[i].first][slot[i].second] = odo.digit(i);
+    }
+    double v = mass_of_unselected;
+    for (size_t k = 0; k < factors_.size(); ++k) {
+      if (sel_in_factor[k].empty()) continue;
+      v *= tables[k][static_cast<size_t>(table_shapes[k].Encode(fdigits[k]))];
+    }
+    out[static_cast<size_t>(flat)] = v;
+    odo.Advance();
+  }
+  return out;
+}
+
+double FactoredTensor::AtDigits(const std::vector<int64_t>& digits) const {
+  DPJOIN_CHECK_EQ(digits.size(), shape_.num_digits());
+  double v = scale_;
+  std::vector<int64_t> fdigits;
+  for (const Factor& f : factors_) {
+    fdigits.resize(f.modes.size());
+    for (size_t i = 0; i < f.modes.size(); ++i) {
+      fdigits[i] = digits[f.modes[i]];
+    }
+    v *= f.scale * f.values[static_cast<size_t>(f.shape.Encode(fdigits))];
+  }
+  return v;
+}
+
+double FactoredTensor::AnswerProduct(
+    const std::vector<const double*>& qvals) const {
+  DPJOIN_CHECK_EQ(qvals.size(), shape_.num_digits());
+  double ans = scale_;
+  std::vector<const double*> fvals;
+  for (const Factor& f : factors_) {
+    fvals.assign(f.modes.size(), nullptr);
+    for (size_t i = 0; i < f.modes.size(); ++i) fvals[i] = qvals[f.modes[i]];
+    double dot = 0.0;
+    internal::ForEachProductCell(
+        f.shape, fvals, 0, f.shape.size(), [&](int64_t flat, double q) {
+          dot += f.values[static_cast<size_t>(flat)] * q;
+        });
+    ans *= f.scale * dot;
+  }
+  return ans;
+}
+
+DenseTensor FactoredTensor::ToDense() const {
+  DPJOIN_CHECK(shape_.size() <= (int64_t{1} << 26),
+               "ToDense beyond the dense envelope");
+  DenseTensor dense(shape_);
+  std::vector<double>& out = *dense.mutable_values();
+  Odometer odo(shape_);
+  std::vector<int64_t> fdigits;
+  for (int64_t flat = 0; flat < shape_.size(); ++flat) {
+    double v = scale_;
+    for (const Factor& f : factors_) {
+      fdigits.resize(f.modes.size());
+      for (size_t i = 0; i < f.modes.size(); ++i) {
+        fdigits[i] = odo.digit(f.modes[i]);
+      }
+      v *= f.scale * f.values[static_cast<size_t>(f.shape.Encode(fdigits))];
+    }
+    out[static_cast<size_t>(flat)] = v;
+    odo.Advance();
+  }
+  return dense;
+}
+
+WorkloadFactorization ComputeWorkloadFactorization(const JoinQuery& query,
+                                                   const QueryFamily& family) {
+  WorkloadFactorization out;
+  if (query.num_relations() != 1) {
+    out.reason = "factored backing supports single-relation releases only";
+    return out;
+  }
+  const MixedRadix& coder = query.tuple_space(0);
+  const size_t num_modes = coder.num_digits();
+  out.total_cells = 1.0;
+  for (size_t d = 0; d < num_modes; ++d) {
+    out.total_cells *= static_cast<double>(coder.radix(d));
+  }
+
+  // Union-find over attribute digits; each query cliques its support.
+  std::vector<size_t> parent(num_modes);
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  const auto find = [&parent](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const TableQuery& tq : family.table_queries(0)) {
+    if (!tq.HasFactors()) {
+      out.reason = "query '" + tq.label +
+                   "' has no per-attribute product form (only dense values)";
+      return out;
+    }
+    size_t first = num_modes;  // sentinel: no support digit seen yet
+    for (size_t d = 0; d < num_modes; ++d) {
+      if (IsAllOnesVector(tq.factors[d].data(), coder.radix(d))) continue;
+      if (first == num_modes) {
+        first = d;
+      } else {
+        parent[find(d)] = find(first);
+      }
+    }
+  }
+
+  // Components, ordered by their smallest digit; untouched digits fall out
+  // as singletons automatically.
+  std::vector<std::vector<size_t>> groups;
+  std::vector<int64_t> root_group(num_modes, num_modes);
+  for (size_t d = 0; d < num_modes; ++d) {
+    const size_t r = find(d);
+    if (root_group[r] == static_cast<int64_t>(num_modes)) {
+      root_group[r] = static_cast<int64_t>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<size_t>(root_group[r])].push_back(d);
+  }
+
+  out.product_form = true;
+  out.groups = std::move(groups);
+  out.group_cells.reserve(out.groups.size());
+  for (const auto& group : out.groups) {
+    int64_t cells = 1;
+    for (const size_t d : group) cells *= coder.radix(d);
+    out.group_cells.push_back(cells);
+    out.max_group_cells = std::max(out.max_group_cells, cells);
+    out.sum_cells += static_cast<double>(cells);
+  }
+  return out;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,134 @@
+// Product-form synthetic distribution (private-pgm's ProductDist, the
+// factored backing of MWEM/PMW).
+//
+// A FactoredTensor represents F over a full attribute tuple space
+// ×_d D_d as a product of low-dimensional factors over DISJOINT attribute
+// subsets f_1, ..., f_K (uncovered attributes are auto-filled as uniform
+// singleton factors):
+//
+//   F(x) = scale · Π_k  factor_scale_k · raw_k(x|f_k)
+//
+// Memory is O(Σ_k Π_{d∈f_k} |D_d|) — the SUM of factor sizes — instead of
+// the dense backing's O(Π_d |D_d|) product, which is what lets PMW run on
+// domains far beyond the 2^26 dense envelope (e.g. 10 attributes of size
+// 16, 2^40 cells, in ~10·16 doubles). The representation is EXACT (not an
+// approximation) for PMW whenever every workload query's support lies
+// inside a single factor: a multiplicative update exp(q(x)·η) then touches
+// only that factor and preserves the product form. ComputeWorkloadFactorization
+// derives the coarsest such grouping from the workload — connected
+// components of the attribute co-occurrence graph of the query family.
+//
+// Like DenseTensor, every factor carries a lazy scalar multiplier so PMW's
+// per-round renormalization is O(1); Materialize-style folds happen per
+// factor via the raw accessors.
+
+#ifndef DPJOIN_QUERY_FACTORED_TENSOR_H_
+#define DPJOIN_QUERY_FACTORED_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mixed_radix.h"
+#include "query/dense_tensor.h"
+#include "query/query_family.h"
+#include "query/synthetic_distribution.h"
+#include "relational/join_query.h"
+
+namespace dpjoin {
+
+/// Product of disjoint low-dimensional factors over a mixed-radix domain.
+class FactoredTensor : public SyntheticDistribution {
+ public:
+  /// One factor: a dense table over a subset of the domain's modes.
+  struct Factor {
+    std::vector<size_t> modes;   ///< ascending mode indices of shape()
+    MixedRadix shape;            ///< radices of those modes
+    std::vector<double> values;  ///< raw table, logical = scale·values
+    double scale = 1.0;          ///< lazy per-factor multiplier
+  };
+
+  /// Uniform distribution of mass `total_mass` over `shape`, factored by
+  /// `groups` (disjoint ascending mode subsets; modes not covered by any
+  /// group become uniform singleton factors). Factors are ordered by their
+  /// first mode.
+  FactoredTensor(MixedRadix shape, std::vector<std::vector<size_t>> groups,
+                 double total_mass);
+
+  const MixedRadix& shape() const override { return shape_; }
+  double TotalMass() const override;
+  void NormalizeTo(double target) override;
+  double DomainCells() const override {
+    return static_cast<double>(shape_.size());
+  }
+  int64_t StorageCells() const override;
+  void MultiplicativeUpdate(const std::vector<const double*>& qvals,
+                            double eta) override;
+  std::vector<double> MarginalOver(
+      const std::vector<size_t>& modes) const override;
+  const FactoredTensor* AsFactored() const override { return this; }
+
+  size_t num_factors() const { return factors_.size(); }
+  const Factor& factor(size_t k) const { return factors_[k]; }
+
+  /// Factor index covering `mode`, and the mode's digit position within
+  /// that factor's shape.
+  size_t factor_of_mode(size_t mode) const { return mode_factor_[mode]; }
+  size_t digit_in_factor(size_t mode) const { return mode_digit_[mode]; }
+
+  /// Logical cell value scale·Π_k scale_k·raw_k at a flat index / digit
+  /// vector of shape(). O(num modes); for tests and spot answers.
+  double At(int64_t flat) const { return AtDigits(shape_.Decode(flat)); }
+  double AtDigits(const std::vector<int64_t>& digits) const;
+
+  /// Answer of the product query q(x) = Π_d qvals[d][x_d] (one value
+  /// vector per mode of shape()): Σ_x F(x)·q(x), computed per factor in
+  /// O(Σ_k factor cells).
+  double AnswerProduct(const std::vector<const double*>& qvals) const;
+
+  /// Materializes the full dense tensor; CHECKs the domain fits the dense
+  /// envelope (tests only).
+  DenseTensor ToDense() const;
+
+  /// Raw mutation surface for PMW's round loop, which carries the scale
+  /// algebra itself (mirrors DenseTensor::raw_values).
+  std::vector<double>* mutable_factor_values(size_t k) {
+    return &factors_[k].values;
+  }
+  double factor_scale(size_t k) const { return factors_[k].scale; }
+  void set_factor_scale(size_t k, double s) { factors_[k].scale = s; }
+  double scale() const { return scale_; }
+  void set_scale(double s) { scale_ = s; }
+
+ private:
+  MixedRadix shape_;
+  std::vector<Factor> factors_;
+  std::vector<size_t> mode_factor_;  // mode -> factor index
+  std::vector<size_t> mode_digit_;   // mode -> digit within factor
+  double scale_ = 1.0;               // global lazy multiplier
+};
+
+/// A workload-driven factorization of a single-relation release domain:
+/// connected components of the attribute co-occurrence graph, where each
+/// product-form query cliques together the attributes its non-trivial
+/// factors touch. Every query's support then lies inside one group, which
+/// is exactly the condition under which PMW on a FactoredTensor is exact.
+struct WorkloadFactorization {
+  bool product_form = false;  ///< every query factorizes over attributes
+  std::string reason;         ///< why not, when product_form is false
+  std::vector<std::vector<size_t>> groups;  ///< ascending attribute digits
+  std::vector<int64_t> group_cells;         ///< Π |D_d| per group
+  int64_t max_group_cells = 0;
+  double sum_cells = 0.0;    ///< Σ group cells (factored memory)
+  double total_cells = 0.0;  ///< Π |D_d| (dense memory)
+};
+
+/// Derives the coarsest exact factorization of relation 0's tuple space for
+/// `family`. Requires a single-relation query; product_form is false (with
+/// a reason) when any query lacks the per-attribute product form.
+WorkloadFactorization ComputeWorkloadFactorization(const JoinQuery& query,
+                                                   const QueryFamily& family);
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_QUERY_FACTORED_TENSOR_H_

@@ -2,6 +2,16 @@
 
 namespace dpjoin {
 
+double TableQueryValue(const TableQuery& tq, const MixedRadix& coder,
+                       int64_t code) {
+  if (tq.HasDense()) return tq.values[static_cast<size_t>(code)];
+  double q = 1.0;
+  for (size_t d = 0; d < tq.factors.size(); ++d) {
+    q *= tq.factors[d][static_cast<size_t>(coder.Digit(code, d))];
+  }
+  return q;
+}
+
 Result<QueryFamily> QueryFamily::Create(
     const JoinQuery& query, std::vector<std::vector<TableQuery>> per_table) {
   if (static_cast<int>(per_table.size()) != query.num_relations()) {
@@ -14,16 +24,46 @@ Result<QueryFamily> QueryFamily::Create(
                                      std::to_string(r));
     }
     const int64_t dom = query.relation_domain_size(r);
+    const MixedRadix& coder = query.tuple_space(r);
     for (const TableQuery& tq : per_table[static_cast<size_t>(r)]) {
-      if (static_cast<int64_t>(tq.values.size()) != dom) {
+      if (!tq.HasDense() && !tq.HasFactors()) {
         return Status::InvalidArgument(
-            "query '" + tq.label + "' has wrong arity for relation " +
-            std::to_string(r));
+            "query '" + tq.label + "' has neither dense values nor factors");
       }
-      for (double v : tq.values) {
-        if (v < -1.0 || v > 1.0) {
-          return Status::InvalidArgument("query '" + tq.label +
-                                         "' has a value outside [-1, 1]");
+      if (tq.HasDense()) {
+        if (static_cast<int64_t>(tq.values.size()) != dom) {
+          return Status::InvalidArgument(
+              "query '" + tq.label + "' has wrong arity for relation " +
+              std::to_string(r));
+        }
+        for (double v : tq.values) {
+          if (v < -1.0 || v > 1.0) {
+            return Status::InvalidArgument("query '" + tq.label +
+                                           "' has a value outside [-1, 1]");
+          }
+        }
+      }
+      if (tq.HasFactors()) {
+        if (tq.factors.size() != coder.num_digits()) {
+          return Status::InvalidArgument(
+              "query '" + tq.label + "' has " +
+              std::to_string(tq.factors.size()) + " factors for the " +
+              std::to_string(coder.num_digits()) + " attributes of relation " +
+              std::to_string(r));
+        }
+        for (size_t d = 0; d < tq.factors.size(); ++d) {
+          if (static_cast<int64_t>(tq.factors[d].size()) != coder.radix(d)) {
+            return Status::InvalidArgument(
+                "query '" + tq.label + "' factor " + std::to_string(d) +
+                " has wrong arity for relation " + std::to_string(r));
+          }
+          for (double v : tq.factors[d]) {
+            if (v < -1.0 || v > 1.0) {
+              return Status::InvalidArgument(
+                  "query '" + tq.label +
+                  "' has a factor value outside [-1, 1]");
+            }
+          }
         }
       }
     }

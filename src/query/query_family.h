@@ -19,12 +19,31 @@
 
 namespace dpjoin {
 
-/// One per-table linear query: values[code] ∈ [-1, 1] for every tuple code
-/// of the table's domain.
+/// One per-table linear query, in one (or both) of two forms:
+///   * dense: values[code] ∈ [-1, 1] for every tuple code of the table's
+///     domain (required by the dense evaluation paths);
+///   * product: factors[d][v] ∈ [-1, 1] per attribute digit d of the
+///     relation's tuple space, with q(t) = Π_d factors[d][digit_d(t)]
+///     (required by the factored backing, and the only representable form
+///     once the relation's domain exceeds the dense-materialization
+///     envelope).
+/// Workload generators emit the product form whenever the query factorizes
+/// over attributes, and materialize the dense vector only while the domain
+/// is small enough; when both are present they must describe the same
+/// query.
 struct TableQuery {
   std::string label;
   std::vector<double> values;
+  std::vector<std::vector<double>> factors;
+
+  bool HasDense() const { return !values.empty(); }
+  bool HasFactors() const { return !factors.empty(); }
 };
+
+/// q(t) for tuple code `t` under the relation's tuple space `coder`, from
+/// the dense vector when present, else the per-digit product form.
+double TableQueryValue(const TableQuery& tq, const MixedRadix& coder,
+                       int64_t code);
 
 /// Product family Q = ×_i Q_i over a join query.
 class QueryFamily {

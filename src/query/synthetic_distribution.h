@@ -1,0 +1,82 @@
+// The synthetic-dataset abstraction behind every release mechanism.
+//
+// PMW (and the mechanisms built on it) only ever ask a synthetic dataset F
+// for a handful of operations: total mass, normalization, a multiplicative
+// update on a product query's support, and marginal contraction. Nothing in
+// that contract requires a materialized cell array — only the historical
+// DenseTensor backing does. SyntheticDistribution names the contract so the
+// engine can carry either backing:
+//
+//   * DenseTensor      — one double per cell of ×_i D_i (the original
+//                        backing; exact for arbitrary workloads, memory
+//                        O(Π |D_i|)).
+//   * FactoredTensor   — a product of low-dimensional factors over disjoint
+//                        attribute subsets (private-pgm's ProductDist);
+//                        memory O(Σ factor sizes), exact for workloads whose
+//                        queries each live inside one factor.
+//
+// Hot loops never dispatch through this interface: PMW's round loop and the
+// WorkloadEvaluator bind the concrete backing up front (AsDense/AsFactored)
+// and run backing-specific kernels. The virtuals exist for the cold paths —
+// serving-layer plumbing, planners, tests — where one signature per backing
+// would leak the representation into every layer above.
+
+#ifndef DPJOIN_QUERY_SYNTHETIC_DISTRIBUTION_H_
+#define DPJOIN_QUERY_SYNTHETIC_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mixed_radix.h"
+
+namespace dpjoin {
+
+class DenseTensor;
+class FactoredTensor;
+
+/// A non-negative distribution (up to scale) over a mixed-radix domain.
+class SyntheticDistribution {
+ public:
+  virtual ~SyntheticDistribution() = default;
+
+  /// The domain's mode structure. For DenseTensor, one mode per relation
+  /// (the release shape); for FactoredTensor, one mode per attribute digit
+  /// of its single relation's tuple space.
+  virtual const MixedRadix& shape() const = 0;
+
+  /// Σ_x F(x), including any deferred scale.
+  virtual double TotalMass() const = 0;
+
+  /// Rescales so TotalMass() == target (CHECKs the current mass is > 0).
+  virtual void NormalizeTo(double target) = 0;
+
+  /// |domain| as a double (exact for domains within int64, meaningful
+  /// beyond the dense-materialization envelope either way).
+  virtual double DomainCells() const = 0;
+
+  /// Doubles actually allocated for the cell representation — Π |D_i| for
+  /// the dense backing, Σ_f Π_{i∈f} |D_i| for the factored one. This is the
+  /// number the planner's memory envelope reasons about.
+  virtual int64_t StorageCells() const = 0;
+
+  /// F(x) *= exp(q(x)·eta) for the product query q(x) = Π_i qvals[i][x_i],
+  /// one per-mode value vector per mode of shape(). NOT renormalized. The
+  /// factored backing CHECKs that the query's support (modes whose vector
+  /// is not all-ones) lies inside a single factor.
+  virtual void MultiplicativeUpdate(const std::vector<const double*>& qvals,
+                                    double eta) = 0;
+
+  /// Marginal onto the given ascending mode subset: result[y] =
+  /// Σ_{x: x|modes = y} F(x), row-major over the selected radices.
+  virtual std::vector<double> MarginalOver(
+      const std::vector<size_t>& modes) const = 0;
+
+  /// Closed-world downcasts (exactly two backings exist; cold-path callers
+  /// branch on these instead of paying a virtual per cell).
+  virtual const DenseTensor* AsDense() const { return nullptr; }
+  virtual const FactoredTensor* AsFactored() const { return nullptr; }
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_QUERY_SYNTHETIC_DISTRIBUTION_H_

@@ -1,8 +1,10 @@
 #include "query/workload_evaluator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "query/evaluation.h"
 
 namespace dpjoin {
@@ -46,21 +48,87 @@ WorkloadEvaluator::WorkloadEvaluator(const QueryFamily& family,
     info_.push_back(std::move(mode_info));
   }
   DPJOIN_CHECK_EQ(total_queries_, family.TotalCount());
+
+  // Contraction order: last-to-first, EXCEPT when exactly one mode carries
+  // a non-indicator query — then the indicator modes go first so the one
+  // expensive dense matrix touches the smallest intermediate (indicator
+  // contractions shrink |D_i| to |Q_i| and skip zero coefficients).
+  std::vector<size_t> non_indicator_modes;
+  for (size_t mode = 0; mode < info_.size(); ++mode) {
+    for (const QueryInfo& qi : info_[mode]) {
+      if (!qi.is_indicator) {
+        non_indicator_modes.push_back(mode);
+        break;
+      }
+    }
+  }
+  order_.reserve(static_cast<size_t>(m));
+  if (m > 1 && non_indicator_modes.size() == 1) {
+    for (size_t mode = static_cast<size_t>(m); mode-- > 0;) {
+      if (mode != non_indicator_modes[0]) order_.push_back(mode);
+    }
+    order_.push_back(non_indicator_modes[0]);
+  } else {
+    for (size_t mode = static_cast<size_t>(m); mode-- > 0;) {
+      order_.push_back(mode);
+    }
+  }
+}
+
+WorkloadEvaluator WorkloadEvaluator::ForFactored(
+    const QueryFamily& family, const FactoredTensor& backing) {
+  DPJOIN_CHECK_EQ(family.num_relations(), 1);
+  WorkloadEvaluator ev;
+  ev.factored_ = true;
+  ev.shape_ = backing.shape();
+  const auto& queries = family.table_queries(0);
+  ev.total_queries_ = static_cast<int64_t>(queries.size());
+  DPJOIN_CHECK_EQ(ev.total_queries_, family.TotalCount());
+
+  const size_t num_modes = ev.shape_.num_digits();
+  std::vector<const double*> fvals;
+  for (size_t k = 0; k < backing.num_factors(); ++k) {
+    const FactoredTensor::Factor& f = backing.factor(k);
+    ev.factor_modes_.push_back(f.modes);
+    ev.factor_cells_.push_back(f.shape.size());
+    const int64_t cells = f.shape.size();
+    std::vector<double> matrix(queries.size() * static_cast<size_t>(cells));
+    for (size_t j = 0; j < queries.size(); ++j) {
+      const TableQuery& tq = queries[j];
+      DPJOIN_CHECK(tq.HasFactors(),
+                   "query '" + tq.label +
+                       "' has no product form — the factored evaluator "
+                       "needs per-attribute factors");
+      DPJOIN_CHECK_EQ(tq.factors.size(), num_modes);
+      fvals.assign(f.modes.size(), nullptr);
+      for (size_t i = 0; i < f.modes.size(); ++i) {
+        fvals[i] = tq.factors[f.modes[i]].data();
+      }
+      double* row = matrix.data() + j * static_cast<size_t>(cells);
+      internal::ForEachProductCell(
+          f.shape, fvals, 0, cells,
+          [&](int64_t flat, double q) { row[flat] = q; });
+    }
+    ev.factor_matrices_.push_back(std::move(matrix));
+  }
+  return ev;
 }
 
 namespace {
 
-// Shared last-to-first contraction over an arbitrary starting tensor. The
-// first contraction reads `input` in place (no full-tensor copy — the
-// intermediate buffers are already |Q_last|/|D_last| the size); only the
-// shrunk intermediates are owned.
+// Shared contraction over an arbitrary starting tensor, following the
+// evaluator's precomputed mode order. The first contraction reads `input`
+// in place (no full-tensor copy — the intermediate buffers are already
+// |Q|/|D| the size); only the shrunk intermediates are owned. ContractMode
+// preserves mode positions, so any order yields the same answer layout.
 std::vector<double> ContractAll(const std::vector<double>& input,
                                 std::vector<int64_t> shape,
                                 const std::vector<const double*>& matrices,
-                                const std::vector<int64_t>& counts) {
+                                const std::vector<int64_t>& counts,
+                                const std::vector<size_t>& order) {
   std::vector<double> values;
   bool first = true;
-  for (size_t mode = shape.size(); mode-- > 0;) {
+  for (const size_t mode : order) {
     std::vector<double> next;
     std::vector<int64_t> next_shape;
     internal::ContractMode(first ? input : values, shape, mode,
@@ -77,11 +145,12 @@ std::vector<double> ContractAll(const std::vector<double>& input,
 
 std::vector<double> WorkloadEvaluator::EvaluateAllRaw(
     const std::vector<double>& values) const {
+  DPJOIN_CHECK(!factored_, "EvaluateAllRaw on a factored evaluator");
   DPJOIN_CHECK_EQ(static_cast<int64_t>(values.size()), shape_.size());
   std::vector<const double*> mats(matrices_.size());
   for (size_t i = 0; i < matrices_.size(); ++i) mats[i] = matrices_[i].data();
   std::vector<double> answers =
-      ContractAll(values, shape_.radices(), mats, counts_);
+      ContractAll(values, shape_.radices(), mats, counts_, order_);
   DPJOIN_CHECK_EQ(static_cast<int64_t>(answers.size()), total_queries_);
   return answers;
 }
@@ -153,27 +222,127 @@ std::vector<double> WorkloadEvaluator::EvaluateAllOnBox(
     mats[i] = restricted[i].data();
   }
   std::vector<double> answers =
-      ContractAll(box_values, box_shape, mats, counts_);
+      ContractAll(box_values, box_shape, mats, counts_, order_);
   DPJOIN_CHECK_EQ(static_cast<int64_t>(answers.size()), total_queries_);
   return answers;
+}
+
+std::vector<double> WorkloadEvaluator::EvaluateAllFactored(
+    const FactoredTensor& tensor) const {
+  DPJOIN_CHECK(factored_, "EvaluateAllFactored on a dense evaluator");
+  DPJOIN_CHECK_EQ(tensor.num_factors(), factor_modes_.size());
+  std::vector<double> answers(static_cast<size_t>(total_queries_),
+                              tensor.scale());
+  std::vector<double> dots(static_cast<size_t>(total_queries_));
+  for (size_t k = 0; k < factor_modes_.size(); ++k) {
+    FactorDotsRaw(k, tensor.factor(k).values, &dots);
+    const double fs = tensor.factor_scale(k);
+    for (size_t j = 0; j < answers.size(); ++j) {
+      answers[j] *= fs * dots[j];
+    }
+  }
+  return answers;
+}
+
+double WorkloadEvaluator::EvaluateOneFactored(
+    int64_t flat, const FactoredTensor& tensor) const {
+  DPJOIN_CHECK(factored_, "EvaluateOneFactored on a dense evaluator");
+  DPJOIN_CHECK(flat >= 0 && flat < total_queries_, "query index out of range");
+  double ans = tensor.scale();
+  for (size_t k = 0; k < factor_modes_.size(); ++k) {
+    const int64_t cells = factor_cells_[k];
+    const double* row = factor_matrices_[k].data() +
+                        static_cast<size_t>(flat) * static_cast<size_t>(cells);
+    const std::vector<double>& raw = tensor.factor(k).values;
+    double dot = 0.0;
+    for (int64_t x = 0; x < cells; ++x) {
+      dot += row[x] * raw[static_cast<size_t>(x)];
+    }
+    ans *= tensor.factor_scale(k) * dot;
+  }
+  return ans;
+}
+
+void WorkloadEvaluator::FactorDotsRaw(size_t k,
+                                      const std::vector<double>& raw_values,
+                                      std::vector<double>* dots) const {
+  DPJOIN_CHECK(factored_, "FactorDotsRaw on a dense evaluator");
+  const int64_t cells = factor_cells_[k];
+  DPJOIN_CHECK_EQ(static_cast<int64_t>(raw_values.size()), cells);
+  dots->resize(static_cast<size_t>(total_queries_));
+  const std::vector<double>& matrix = factor_matrices_[k];
+  // Each answer row is written by exactly one block; the grain depends only
+  // on the factor size, so results are bit-identical for any thread count.
+  constexpr int64_t kGrainFlops = int64_t{1} << 15;
+  const int64_t grain = std::max<int64_t>(1, kGrainFlops / std::max<int64_t>(
+                                                              cells, 1));
+  ParallelFor(0, total_queries_, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t j = lo; j < hi; ++j) {
+      const double* row =
+          matrix.data() + static_cast<size_t>(j) * static_cast<size_t>(cells);
+      double dot = 0.0;
+      for (int64_t x = 0; x < cells; ++x) {
+        dot += row[x] * raw_values[static_cast<size_t>(x)];
+      }
+      (*dots)[static_cast<size_t>(j)] = dot;
+    }
+  });
+}
+
+std::vector<double> WorkloadEvaluator::EvaluateAllOn(
+    const SyntheticDistribution& dist) const {
+  if (const DenseTensor* dense = dist.AsDense()) {
+    return EvaluateAll(*dense);
+  }
+  const FactoredTensor* factored = dist.AsFactored();
+  DPJOIN_CHECK(factored != nullptr, "unknown synthetic-distribution backing");
+  return EvaluateAllFactored(*factored);
 }
 
 double WorkloadEvaluator::EvaluationFlops(
     const std::vector<int64_t>& domain_sizes,
     const std::vector<int64_t>& query_counts) {
-  DPJOIN_CHECK_EQ(domain_sizes.size(), query_counts.size());
-  double flops = 0.0;
-  double suffix = 1.0;  // Π_{j>i} |Q_j| — modes contract last-to-first
+  std::vector<size_t> order;
+  order.reserve(domain_sizes.size());
   for (size_t mode = domain_sizes.size(); mode-- > 0;) {
-    double prefix = 1.0;
-    for (size_t j = 0; j < mode; ++j) {
-      prefix *= static_cast<double>(domain_sizes[j]);
+    order.push_back(mode);
+  }
+  return EvaluationFlops(domain_sizes, query_counts, order);
+}
+
+double WorkloadEvaluator::EvaluationFlops(
+    const std::vector<int64_t>& domain_sizes,
+    const std::vector<int64_t>& query_counts,
+    const std::vector<size_t>& order) {
+  DPJOIN_CHECK_EQ(domain_sizes.size(), query_counts.size());
+  DPJOIN_CHECK_EQ(order.size(), domain_sizes.size());
+  // Walk the order, tracking each mode's current dimension (|D| before its
+  // contraction, |Q| after).
+  std::vector<double> dims(domain_sizes.size());
+  for (size_t i = 0; i < dims.size(); ++i) {
+    dims[i] = static_cast<double>(domain_sizes[i]);
+  }
+  double flops = 0.0;
+  for (const size_t mode : order) {
+    double others = 1.0;
+    for (size_t i = 0; i < dims.size(); ++i) {
+      if (i != mode) others *= dims[i];
     }
-    flops += prefix * static_cast<double>(query_counts[mode]) *
-             static_cast<double>(domain_sizes[mode]) * suffix;
-    suffix *= static_cast<double>(query_counts[mode]);
+    flops += others * static_cast<double>(query_counts[mode]) * dims[mode];
+    dims[mode] = static_cast<double>(query_counts[mode]);
   }
   return flops;
+}
+
+double WorkloadEvaluator::FactoredEvaluationFlops(
+    const std::vector<int64_t>& factor_cells, int64_t query_count) {
+  double flops = 0.0;
+  for (const int64_t cells : factor_cells) {
+    flops += static_cast<double>(cells);
+  }
+  flops += static_cast<double>(
+      std::max<size_t>(factor_cells.size(), 1) - 1);
+  return flops * static_cast<double>(query_count);
 }
 
 }  // namespace dpjoin

@@ -23,7 +23,9 @@
 
 #include "common/mixed_radix.h"
 #include "query/dense_tensor.h"
+#include "query/factored_tensor.h"
 #include "query/query_family.h"
+#include "query/synthetic_distribution.h"
 
 namespace dpjoin {
 
@@ -41,9 +43,23 @@ class WorkloadEvaluator {
   /// radix |D_i|); CHECK-fails on a mode-count or domain-size mismatch.
   WorkloadEvaluator(const QueryFamily& family, const MixedRadix& shape);
 
+  /// Factored-backing evaluator: per-factor answer matrices R_k
+  /// (|Q| × factor-cells, row j the product of query j's per-attribute
+  /// factors over the factor's modes), so EvaluateAllFactored costs
+  /// Σ_k |Q|·cells_k instead of anything proportional to the domain.
+  /// Requires a single-relation product-form family whose tuple space
+  /// matches `backing.shape()`.
+  static WorkloadEvaluator ForFactored(const QueryFamily& family,
+                                       const FactoredTensor& backing);
+
   const MixedRadix& shape() const { return shape_; }
   int num_modes() const { return static_cast<int>(counts_.size()); }
   int64_t TotalQueries() const { return total_queries_; }
+
+  /// True when built by ForFactored; the dense evaluation surface
+  /// (EvaluateAll*, info, box helpers) then CHECK-fails and the factored
+  /// one (EvaluateAllFactored, FactorDotsRaw) is live — and vice versa.
+  bool factored() const { return factored_; }
 
   /// All-query answers over raw cell values (length shape().size()),
   /// by blocked mode contraction with the cached matrices. Bit-identical
@@ -79,6 +95,48 @@ class WorkloadEvaluator {
       const std::vector<int64_t>& parts,
       const std::vector<double>& box_values) const;
 
+  /// The mode contraction order EvaluateAll* uses. Default: modes
+  /// last-to-first. When EXACTLY ONE mode carries a non-indicator query
+  /// (mixed workloads), the indicator modes contract first (last-to-first
+  /// among themselves) so the expensive dense matrix touches the smallest
+  /// intermediate — indicator contractions shrink |D_i| to |Q_i| while
+  /// skipping their zero coefficients. Reordering changes the answers only
+  /// by floating-point associativity; homogeneous workloads keep the
+  /// historical order, so they stay bit-identical to EvaluateAllOnTensor.
+  const std::vector<size_t>& contraction_order() const { return order_; }
+
+  /// All-query answers against the factored backing:
+  /// ans_j = scale·Π_k scale_k·⟨R_k[j], raw_k⟩. Bit-identical for any
+  /// thread count (each answer row is written by exactly one block).
+  std::vector<double> EvaluateAllFactored(const FactoredTensor& tensor) const;
+
+  /// One flat query against the factored backing, O(Σ_k cells_k).
+  double EvaluateOneFactored(int64_t flat, const FactoredTensor& tensor) const;
+
+  /// Raw per-factor dot products dots[j] = ⟨R_k[j], raw_values⟩ — the
+  /// incremental currency of PMW's factored round loop, which tracks the
+  /// per-factor scales itself.
+  void FactorDotsRaw(size_t k, const std::vector<double>& raw_values,
+                     std::vector<double>* dots) const;
+
+  size_t num_factors() const { return factor_modes_.size(); }
+  int64_t factor_cells(size_t k) const { return factor_cells_[k]; }
+
+  /// Row `flat` of factor k's answer matrix — query `flat`'s per-cell
+  /// restriction over the factor's modes (the update coefficients of PMW's
+  /// factored round loop).
+  const double* FactorRow(size_t k, int64_t flat) const {
+    return factor_matrices_[k].data() +
+           static_cast<size_t>(flat) * static_cast<size_t>(factor_cells_[k]);
+  }
+  const std::vector<size_t>& factor_modes(size_t k) const {
+    return factor_modes_[k];
+  }
+
+  /// All-query answers against either backing (cold-path dispatch for the
+  /// serving layer).
+  std::vector<double> EvaluateAllOn(const SyntheticDistribution& dist) const;
+
   /// Multiply-add count of one all-query evaluation, from shapes alone (no
   /// family construction needed — this is the planner's per-round PMW cost
   /// model): contracting modes last-to-first, mode i costs
@@ -86,12 +144,32 @@ class WorkloadEvaluator {
   static double EvaluationFlops(const std::vector<int64_t>& domain_sizes,
                                 const std::vector<int64_t>& query_counts);
 
+  /// Same, following an explicit contraction order (what an evaluator with
+  /// a reordered mixed workload actually pays).
+  static double EvaluationFlops(const std::vector<int64_t>& domain_sizes,
+                                const std::vector<int64_t>& query_counts,
+                                const std::vector<size_t>& order);
+
+  /// Multiply-add count of one factored all-query evaluation:
+  /// |Q|·(Σ_k cells_k) dot products plus |Q|·(K−1) cross-factor combines.
+  static double FactoredEvaluationFlops(
+      const std::vector<int64_t>& factor_cells, int64_t query_count);
+
  private:
+  WorkloadEvaluator() = default;  // ForFactored fills the fields directly
+
   MixedRadix shape_;
   std::vector<int64_t> counts_;               // |Q_i|
   std::vector<std::vector<double>> matrices_;  // per-mode |Q_i| × |D_i|
   std::vector<std::vector<QueryInfo>> info_;
+  std::vector<size_t> order_;  // dense contraction order
   int64_t total_queries_ = 0;
+
+  // Factored mode (ForFactored).
+  bool factored_ = false;
+  std::vector<std::vector<size_t>> factor_modes_;
+  std::vector<int64_t> factor_cells_;
+  std::vector<std::vector<double>> factor_matrices_;  // |Q| × cells_k
 };
 
 }  // namespace dpjoin

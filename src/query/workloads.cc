@@ -6,10 +6,44 @@
 
 namespace dpjoin {
 
+namespace {
+
+// Fills the dense value vector from the per-attribute factors — but only
+// while the relation's domain fits the dense-materialization cap, so the
+// product-form generators stay usable on factored-backing-sized domains.
+void MaterializeDenseWithinCap(const MixedRadix& coder, TableQuery* tq) {
+  if (coder.size() > kDenseQueryValueCap) return;
+  tq->values.resize(static_cast<size_t>(coder.size()));
+  Odometer odo(coder);
+  for (int64_t code = 0; code < coder.size(); ++code) {
+    double v = 1.0;
+    for (size_t d = 0; d < tq->factors.size(); ++d) {
+      v *= tq->factors[d][static_cast<size_t>(odo.digit(d))];
+    }
+    tq->values[static_cast<size_t>(code)] = v;
+    odo.Advance();
+  }
+}
+
+// All-ones factor vectors over every attribute of the relation.
+std::vector<std::vector<double>> OnesFactors(const MixedRadix& coder) {
+  std::vector<std::vector<double>> factors(coder.num_digits());
+  for (size_t d = 0; d < coder.num_digits(); ++d) {
+    factors[d].assign(static_cast<size_t>(coder.radix(d)), 1.0);
+  }
+  return factors;
+}
+
+}  // namespace
+
 TableQuery MakeAllOnesQuery(const JoinQuery& query, int rel) {
   TableQuery tq;
   tq.label = "ones";
-  tq.values.assign(static_cast<size_t>(query.relation_domain_size(rel)), 1.0);
+  tq.factors = OnesFactors(query.tuple_space(rel));
+  const int64_t dom = query.relation_domain_size(rel);
+  if (dom <= kDenseQueryValueCap) {
+    tq.values.assign(static_cast<size_t>(dom), 1.0);
+  }
   return tq;
 }
 
@@ -74,15 +108,42 @@ std::vector<TableQuery> MakePointQueries(const JoinQuery& query, int rel,
   std::vector<TableQuery> out;
   out.push_back(MakeAllOnesQuery(query, rel));
   const size_t dom = static_cast<size_t>(query.relation_domain_size(rel));
+  const MixedRadix& coder = query.tuple_space(rel);
   for (int64_t j = 0; j < count; ++j) {
     TableQuery tq;
     tq.label = "pt" + std::to_string(j);
-    tq.values.assign(dom, 0.0);
-    tq.values[rng.UniformIndex(dom)] = 1.0;
+    const int64_t code = static_cast<int64_t>(rng.UniformIndex(dom));
+    // A point indicator factors as the product of one-hot digit indicators.
+    tq.factors.resize(coder.num_digits());
+    for (size_t d = 0; d < coder.num_digits(); ++d) {
+      tq.factors[d].assign(static_cast<size_t>(coder.radix(d)), 0.0);
+      tq.factors[d][static_cast<size_t>(coder.Digit(code, d))] = 1.0;
+    }
+    MaterializeDenseWithinCap(coder, &tq);
     out.push_back(std::move(tq));
   }
   return out;
 }
+
+namespace {
+
+// The marginal indicator 1[π_attr t = v], in product form: all-ones factors
+// everywhere except a one-hot at `attr`'s digit.
+TableQuery MakeOneMarginalQuery(const JoinQuery& query, int rel, int attr,
+                                int digit, int64_t v) {
+  const MixedRadix& coder = query.tuple_space(rel);
+  TableQuery tq;
+  tq.label = query.attribute_name(attr) + "=" + std::to_string(v);
+  tq.factors = OnesFactors(coder);
+  tq.factors[static_cast<size_t>(digit)]
+      .assign(static_cast<size_t>(coder.radix(static_cast<size_t>(digit))),
+              0.0);
+  tq.factors[static_cast<size_t>(digit)][static_cast<size_t>(v)] = 1.0;
+  MaterializeDenseWithinCap(coder, &tq);
+  return tq;
+}
+
+}  // namespace
 
 std::vector<TableQuery> MakeMarginalQueries(const JoinQuery& query, int rel,
                                             int attr) {
@@ -90,7 +151,6 @@ std::vector<TableQuery> MakeMarginalQueries(const JoinQuery& query, int rel,
                "attribute not in relation");
   std::vector<TableQuery> out;
   out.push_back(MakeAllOnesQuery(query, rel));
-  const MixedRadix& coder = query.tuple_space(rel);
   // Digit position of `attr` within the relation's ascending order.
   int digit = -1;
   const auto& order = query.attribute_order_of(rel);
@@ -99,15 +159,22 @@ std::vector<TableQuery> MakeMarginalQueries(const JoinQuery& query, int rel,
   }
   DPJOIN_CHECK_GE(digit, 0);
   for (int64_t v = 0; v < query.domain_size(attr); ++v) {
-    TableQuery tq;
-    tq.label = query.attribute_name(attr) + "=" + std::to_string(v);
-    tq.values.assign(static_cast<size_t>(coder.size()), 0.0);
-    for (int64_t code = 0; code < coder.size(); ++code) {
-      if (coder.Digit(code, static_cast<size_t>(digit)) == v) {
-        tq.values[static_cast<size_t>(code)] = 1.0;
-      }
+    out.push_back(MakeOneMarginalQuery(query, rel, attr, digit, v));
+  }
+  return out;
+}
+
+std::vector<TableQuery> MakeAllAttributeMarginalQueries(const JoinQuery& query,
+                                                        int rel) {
+  std::vector<TableQuery> out;
+  out.push_back(MakeAllOnesQuery(query, rel));
+  const auto& order = query.attribute_order_of(rel);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const int attr = order[i];
+    for (int64_t v = 0; v < query.domain_size(attr); ++v) {
+      out.push_back(
+          MakeOneMarginalQuery(query, rel, attr, static_cast<int>(i), v));
     }
-    out.push_back(std::move(tq));
   }
   return out;
 }
@@ -136,6 +203,10 @@ QueryFamily MakeWorkload(const JoinQuery& query, WorkloadKind kind,
       case WorkloadKind::kMarginal:
         per_table_queries.push_back(MakeMarginalQueries(
             query, r, query.attribute_order_of(r).front()));
+        break;
+      case WorkloadKind::kMarginalAll:
+        per_table_queries.push_back(
+            MakeAllAttributeMarginalQueries(query, r));
         break;
     }
   }

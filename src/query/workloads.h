@@ -19,6 +19,13 @@
 
 namespace dpjoin {
 
+/// Largest relation domain for which generators materialize the dense
+/// per-tuple value vector. Product-form generators (ones / point / marginal)
+/// always emit per-attribute factors and skip the dense vector beyond this
+/// cap, so they stay usable on domains only the factored backing can serve.
+/// Matches the planner's dense-materialization envelope.
+inline constexpr int64_t kDenseQueryValueCap = int64_t{1} << 26;
+
 /// The all-ones query over relation `rel` (q ≡ +1).
 TableQuery MakeAllOnesQuery(const JoinQuery& query, int rel);
 
@@ -50,6 +57,13 @@ std::vector<TableQuery> MakePointQueries(const JoinQuery& query, int rel,
 std::vector<TableQuery> MakeMarginalQueries(const JoinQuery& query, int rel,
                                             int attr);
 
+/// Marginal indicators over EVERY attribute of the relation: the all-ones
+/// query, then for each attribute (ascending) one query per domain value.
+/// |Q_rel| = 1 + Σ_a |dom(a)| — the marginal workload regime the factored
+/// backing targets (each query touches exactly one attribute).
+std::vector<TableQuery> MakeAllAttributeMarginalQueries(const JoinQuery& query,
+                                                        int rel);
+
 /// Assembles a product family with the same generator applied to every
 /// relation.
 enum class WorkloadKind {
@@ -57,7 +71,8 @@ enum class WorkloadKind {
   kRandomUniform,
   kPrefix,
   kPoint,
-  kMarginal,  ///< per-relation marginals over its lowest-index attribute
+  kMarginal,     ///< per-relation marginals over its lowest-index attribute
+  kMarginalAll,  ///< per-relation marginals over every attribute
 };
 
 /// Builds Q = ×_i Q_i with `per_table` queries per relation (plus the

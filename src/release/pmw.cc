@@ -116,8 +116,21 @@ void RunOracleRounds(const QueryFamily& family, const PmwOptions& options,
   result->synthetic = std::move(average);
 }
 
-// The factored round loop. Representation invariants, with G the RAW cell
-// array, s the tensor's deferred scale, and n̂ the noisy total:
+// ---------------------------------------------------------------------------
+// The factored round loop, generic over the synthetic-data backing.
+//
+// RunRounds owns Algorithm 2's skeleton — scoring, EM selection, the noisy
+// measurement, η, trace — which is identical for every backing (and whose
+// noise draws therefore stay in the same order). Each backing policy owns
+// the representation-specific state and the three representation-specific
+// steps: answering (BeginRound/Answer), the fused multiplicative-update /
+// average-accumulation / renormalize pass (ApplyRound), and the drift
+// control (Upkeep).
+// ---------------------------------------------------------------------------
+
+// Dense backing — one double per cell of ×_i D_i. Representation
+// invariants, with G the RAW cell array, s the tensor's deferred scale, and
+// n̂ the noisy total:
 //   F_i           = s·G                (the current synthetic dataset)
 //   s·T           = n̂                 (T = Σ_x G[x], tracked analytically)
 //   Σ_{j≤i} F_j   = a·G + R           (a = Σ_j s_j; R a residual array)
@@ -133,33 +146,524 @@ void RunOracleRounds(const QueryFamily& family, const PmwOptions& options,
 // pass (exp + residual + total) plus a full answer recomputation — still
 // two fewer passes than the oracle. All reductions use fixed-grain blocked
 // merges, so results stay bit-identical for any thread count.
-void RunFactoredRounds(const QueryFamily& family, const PmwOptions& options,
-                       const std::vector<double>& answers_instance,
-                       const MixedRadix& shape, Rng& rng, PmwResult* result) {
-  const WorkloadEvaluator evaluator(family, shape);
-  const double n_hat = result->noisy_total;
+class DenseBacking {
+ public:
+  DenseBacking(const QueryFamily& family, const PmwOptions& options,
+               const MixedRadix& shape, double n_hat)
+      : family_(family),
+        options_(options),
+        n_hat_(n_hat),
+        m_(static_cast<size_t>(family.num_relations())),
+        current_(shape),
+        residual_(static_cast<size_t>(shape.size()), 0.0),
+        qvals_(m_) {
+    if (options.shared_evaluator) {
+      DPJOIN_CHECK(!options.shared_evaluator->factored(),
+                   "shared evaluator is factored but the backing is dense");
+      DPJOIN_CHECK(options.shared_evaluator->shape().radices() ==
+                       shape.radices(),
+                   "shared evaluator shape mismatch");
+      DPJOIN_CHECK_EQ(options.shared_evaluator->TotalQueries(),
+                      family.TotalCount());
+      evaluator_ = options.shared_evaluator;
+    } else {
+      evaluator_ = std::make_shared<const WorkloadEvaluator>(family, shape);
+    }
+    current_.Fill(n_hat_ / static_cast<double>(shape.size()));
+    raw_total_ = n_hat_;
+    rawans_ = evaluator_->EvaluateAllRaw(*current_.raw_values());
+  }
+
+  double n_hat() const { return n_hat_; }
+
+  void BeginRound() { s_ = current_.deferred_scale(); }
+  double Answer(size_t qi) const { return s_ * rawans_[qi]; }
+
+  void ApplyRound(size_t chosen, double eta, PmwResult::Perf* perf,
+                  double* eval_us, double* update_us, double* normalize_us);
+  void Upkeep(int64_t round, int64_t total_rounds, double* eval_us,
+              double* normalize_us);
+  void Finish(PmwResult* result);
+
+ private:
+  const QueryFamily& family_;
+  const PmwOptions& options_;
+  const double n_hat_;
+  const size_t m_;
+  std::shared_ptr<const WorkloadEvaluator> evaluator_;
+  DenseTensor current_;
+  std::vector<double> residual_;
+  std::vector<const double*> qvals_;
+  std::vector<double> rawans_;
+  double avg_coeff_ = 0.0;   // a
+  double raw_total_ = 0.0;   // T (the ctor sets it to n̂)
+  double log_drift_ = 0.0;   // Σ|η| since the last rebase
+  double s_ = 1.0;           // this round's cached deferred scale
+};
+
+void DenseBacking::ApplyRound(size_t chosen, double eta,
+                              PmwResult::Perf* perf, double* eval_us,
+                              double* update_us, double* normalize_us) {
+  const WorkloadEvaluator& evaluator = *evaluator_;
+  const MixedRadix& shape = current_.shape();
   const int64_t cells = shape.size();
-  const size_t m = static_cast<size_t>(family.num_relations());
+  const size_t m = m_;
+  std::vector<double>& graw = *current_.raw_values();
+  std::vector<double>& residual = residual_;
+  std::vector<double>& rawans = rawans_;
+  const double n_hat = n_hat_;
 
-  DenseTensor current(shape);
-  current.Fill(n_hat / static_cast<double>(cells));
-  std::vector<double>& graw = *current.raw_values();
-  std::vector<double> residual(static_cast<size_t>(cells), 0.0);
-  double avg_coeff = 0.0;  // a
-  double raw_total = n_hat;  // T
-  double log_drift = 0.0;  // Σ|η| since the last rebase
+  // Line 7 (+ the average accumulation of line 8, folded into the same
+  // traversal via R).
+  const std::vector<int64_t> parts =
+      family_.Decompose(static_cast<int64_t>(chosen));
+  const double exp_eta = std::exp(eta);
 
-  std::vector<double> rawans = evaluator.EvaluateAllRaw(graw);
-  std::vector<double> scores(rawans.size());
-  std::vector<const double*> qvals(m);
+  const bool indicator = evaluator.IsProductIndicator(parts);
+  const int64_t box_cells = indicator ? evaluator.BoxCells(parts) : 0;
+  if (indicator && (evaluator.IsAllOnes(parts) || box_cells == 0)) {
+    // q ≡ 1: the exp update is a uniform e^η rescale that NormalizeTo
+    // undoes exactly — F_i = F_{i−1}. q ≡ 0 (empty support): the update
+    // itself is the identity. Either way only the average advances.
+    const Clock::time_point normalize_start = Clock::now();
+    avg_coeff_ += s_;
+    ++perf->scale_only_rounds;
+    *normalize_us = MicrosSince(normalize_start);
+  } else if (indicator && box_cells * 2 <= cells) {
+    // Sparse path: one fused pass over the sub-box B = ×_i support_i.
+    const Clock::time_point update_start = Clock::now();
+    std::vector<std::vector<int64_t>> offsets(m);
+    for (size_t i = 0; i < m; ++i) {
+      const auto& support =
+          evaluator.info(static_cast<int>(i), parts[i]).support;
+      offsets[i].resize(support.size());
+      for (size_t t = 0; t < support.size(); ++t) {
+        offsets[i][t] = support[t] * shape.stride(i);
+      }
+    }
+    const std::vector<int64_t>& inner = offsets[m - 1];
+    const int64_t inner_size = static_cast<int64_t>(inner.size());
+    const int64_t rows = box_cells / inner_size;
+    // Whole box rows per block; grain fixed by the tensor grain alone, so
+    // the decomposition (and the box-mass merge order) never depends on
+    // the thread count.
+    const int64_t row_grain = std::max<int64_t>(
+        1, ExecutionContext::TensorGrain() / inner_size);
+    std::vector<double> box_values(static_cast<size_t>(box_cells));
+    std::vector<double> block_mass(
+        static_cast<size_t>(NumBlocks(0, rows, row_grain)), 0.0);
+    const double a = avg_coeff_;
+    ParallelForBlocks(
+        0, rows, row_grain, [&](int64_t block, int64_t lo, int64_t hi) {
+          double mass = 0.0;
+          for (int64_t r = lo; r < hi; ++r) {
+            // Decode the row index into support positions of the outer
+            // modes (last outer mode fastest — row-major box order).
+            int64_t rem = r;
+            int64_t base = 0;
+            for (size_t i = m - 1; i-- > 0;) {
+              const int64_t b = static_cast<int64_t>(offsets[i].size());
+              base += offsets[i][static_cast<size_t>(rem % b)];
+              rem /= b;
+            }
+            double* brow =
+                box_values.data() + r * inner_size;
+            for (int64_t t = 0; t < inner_size; ++t) {
+              const int64_t flat = base + inner[static_cast<size_t>(t)];
+              const double g = graw[static_cast<size_t>(flat)];
+              brow[t] = g;
+              mass += g;
+              graw[static_cast<size_t>(flat)] = g * exp_eta;
+              residual[static_cast<size_t>(flat)] +=
+                  a * (1.0 - exp_eta) * g;
+            }
+          }
+          block_mass[static_cast<size_t>(block)] = mass;
+        });
+    double box_mass = 0.0;  // merged in block order: thread-count-free
+    for (const double bm : block_mass) box_mass += bm;
+    *update_us = MicrosSince(update_start);
 
+    const Clock::time_point delta_start = Clock::now();
+    const std::vector<double> delta =
+        evaluator.EvaluateAllOnBox(parts, box_values);
+    for (size_t qi = 0; qi < rawans.size(); ++qi) {
+      rawans[qi] += (exp_eta - 1.0) * delta[qi];
+    }
+    *eval_us += MicrosSince(delta_start);
+
+    const Clock::time_point normalize_start = Clock::now();
+    raw_total_ += (exp_eta - 1.0) * box_mass;
+    current_.NormalizeDeferred(n_hat, raw_total_);
+    avg_coeff_ += current_.deferred_scale();
+    log_drift_ += std::abs(eta);
+    *normalize_us = MicrosSince(normalize_start);
+    ++perf->sparse_rounds;
+  } else {
+    // Dense fallback (non-indicator query, or a box covering most of the
+    // tensor): ONE fused full pass (exp + residual + total)…
+    const Clock::time_point update_start = Clock::now();
+    for (size_t i = 0; i < m; ++i) {
+      qvals_[i] = family_.table_queries(static_cast<int>(i))
+                      [static_cast<size_t>(parts[i])]
+                          .values.data();
+    }
+    const int64_t grain = ExecutionContext::TensorGrain();
+    std::vector<double> block_total(
+        static_cast<size_t>(NumBlocks(0, cells, grain)), 0.0);
+    const double a = avg_coeff_;
+    ParallelForBlocks(
+        0, cells, grain, [&](int64_t block, int64_t lo, int64_t hi) {
+          double total = 0.0;
+          internal::ForEachProductCell(
+              shape, qvals_, lo, hi, [&](int64_t flat, double q) {
+                const double g = graw[static_cast<size_t>(flat)];
+                const double e = std::exp(q * eta);
+                const double gn = g * e;
+                graw[static_cast<size_t>(flat)] = gn;
+                residual[static_cast<size_t>(flat)] += a * (1.0 - e) * g;
+                total += gn;
+              });
+          block_total[static_cast<size_t>(block)] = total;
+        });
+    double new_total = 0.0;
+    for (const double bt : block_total) new_total += bt;
+    *update_us = MicrosSince(update_start);
+
+    // …plus a full answer refresh (an arbitrary per-cell factor admits no
+    // box-local delta).
+    const Clock::time_point refresh_start = Clock::now();
+    rawans = evaluator.EvaluateAllRaw(graw);
+    *eval_us += MicrosSince(refresh_start);
+
+    const Clock::time_point normalize_start = Clock::now();
+    raw_total_ = new_total;
+    current_.NormalizeDeferred(n_hat, raw_total_);
+    avg_coeff_ += current_.deferred_scale();
+    log_drift_ += std::abs(eta);
+    *normalize_us = MicrosSince(normalize_start);
+    ++perf->dense_rounds;
+  }
+}
+
+void DenseBacking::Upkeep(int64_t round, int64_t total_rounds,
+                          double* eval_us, double* normalize_us) {
+  // Drift control. Rebase: fold the deferred scale into storage before
+  // box cells (which grow by e^η per hit, never renormalized in raw form)
+  // can overflow. Refresh: periodically recompute the incremental answer
+  // vector exactly. Both schedules depend only on round index and η —
+  // never the thread count.
+  const Clock::time_point upkeep_start = Clock::now();
+  if (log_drift_ > options_.factored_rebase_log_limit) {
+    const double s_fold = current_.deferred_scale();
+    current_.Materialize();
+    raw_total_ = n_hat_;  // s_fold·T by the invariant
+    for (double& ra : rawans_) ra *= s_fold;
+    avg_coeff_ /= s_fold;
+    log_drift_ = 0.0;
+  }
+  *normalize_us += MicrosSince(upkeep_start);
+  if (options_.factored_refresh_rounds > 0 &&
+      (round + 1) % options_.factored_refresh_rounds == 0 &&
+      round + 1 < total_rounds) {
+    const Clock::time_point refresh_start = Clock::now();
+    rawans_ = evaluator_->EvaluateAllRaw(*current_.raw_values());
+    *eval_us += MicrosSince(refresh_start);
+  }
+}
+
+void DenseBacking::Finish(PmwResult* result) {
+  // Line 8: avg F_i = (a·G + R)/k, one fused pass. The exact value is an
+  // average of positive tensors; clamp the tiny negative residue fp
+  // cancellation can leave near zero.
+  const MixedRadix& shape = current_.shape();
+  const std::vector<double>& graw = *current_.raw_values();
+  DenseTensor synthetic(shape);
+  std::vector<double>& out = *synthetic.raw_values();
+  const double a = avg_coeff_;
+  const double inv_k = 1.0 / static_cast<double>(result->rounds);
+  ParallelFor(0, shape.size(), ExecutionContext::TensorGrain(),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  out[static_cast<size_t>(i)] = std::max(
+                      0.0, (a * graw[static_cast<size_t>(i)] +
+                            residual_[static_cast<size_t>(i)]) *
+                               inv_k);
+                }
+              });
+  result->synthetic = std::move(synthetic);
+  result->evaluator = evaluator_;
+}
+
+// Product-form backing — the synthetic dataset is a FactoredTensor over
+// disjoint attribute groups, and every query's support lies inside ONE
+// group (CHECKed at construction), so the multiplicative update touches a
+// single factor and the product form is preserved EXACTLY. Invariants, per
+// factor k with raw table p_k, per-factor scale s_k, and n̂ the (fixed)
+// global scale:
+//   F_i              = n̂ · Π_k s_k·p_k    (each factor a mass-1 distribution)
+//   s_k·T_k          = 1                  (T_k = Σ_x p_k[x], analytic)
+//   Σ_{j≤i} s_k^(j)·p_k^(j) = a_k·p_k + R_k   (per-factor running average)
+//   answers          = n̂ · Π_k s_k·draws_k[j] (draws_k[j] = ⟨R_k-row j, p_k⟩)
+//
+// The released tensor is the PRODUCT OF PER-FACTOR AVERAGES. That is not
+// the (non-product-form) average of products cell-for-cell, but it answers
+// every within-factor query IDENTICALLY: for q supported in factor g,
+// q(avg_j F_j) = n̂·avg_j ⟨q, s_g^(j) p_g^(j)⟩·Π_{k≠g} 1 = n̂·⟨q, A_g⟩,
+// because every untouched factor of every F_j has mass exactly 1. So on
+// the release's own query family (and any query within one group) the
+// factored release equals the dense release up to floating point.
+//
+// Per-factor draws are recomputed EXACTLY on every factor update (the
+// factor is small — that is the point), so unlike the dense backing there
+// is no incremental-answer drift and no periodic refresh. The per-factor
+// deferred scale and rebase machinery mirror the dense loop's.
+class ProductBacking {
+ public:
+  ProductBacking(const QueryFamily& family, const PmwOptions& options,
+                 const MixedRadix& shape,
+                 const std::vector<std::vector<size_t>>& groups, double n_hat)
+      : family_(family),
+        options_(options),
+        n_hat_(n_hat),
+        current_(shape, groups, n_hat) {
+    DPJOIN_CHECK_EQ(family.num_relations(), 1);
+    if (options.shared_evaluator) {
+      const WorkloadEvaluator& ev = *options.shared_evaluator;
+      DPJOIN_CHECK(ev.factored(),
+                   "shared evaluator is dense but the backing is factored");
+      DPJOIN_CHECK(ev.shape().radices() == shape.radices(),
+                   "shared evaluator shape mismatch");
+      DPJOIN_CHECK_EQ(ev.TotalQueries(), family.TotalCount());
+      DPJOIN_CHECK_EQ(ev.num_factors(), current_.num_factors());
+      for (size_t k = 0; k < current_.num_factors(); ++k) {
+        DPJOIN_CHECK(ev.factor_modes(k) == current_.factor(k).modes,
+                     "shared evaluator factor-structure mismatch");
+      }
+      evaluator_ = options.shared_evaluator;
+    } else {
+      evaluator_ = std::make_shared<const WorkloadEvaluator>(
+          WorkloadEvaluator::ForFactored(family, current_));
+    }
+
+    const size_t num_factors = current_.num_factors();
+    totals_.assign(num_factors, 1.0);
+    avg_coeff_.assign(num_factors, 0.0);
+    log_drift_.assign(num_factors, 0.0);
+    residual_.resize(num_factors);
+    draws_.resize(num_factors);
+    for (size_t k = 0; k < num_factors; ++k) {
+      residual_[k].assign(current_.factor(k).values.size(), 0.0);
+      evaluator_->FactorDotsRaw(k, current_.factor(k).values, &draws_[k]);
+    }
+
+    // Per-query structure: the single factor the query's support touches
+    // (−1 for the all-ones counting query), plus whether it is a 0/1
+    // indicator (perf accounting only — the update is one small-factor
+    // pass either way).
+    const auto& queries = family.table_queries(0);
+    touched_.resize(queries.size());
+    indicator_.resize(queries.size());
+    for (size_t j = 0; j < queries.size(); ++j) {
+      const TableQuery& tq = queries[j];
+      DPJOIN_CHECK(tq.HasFactors(),
+                   "factored PMW needs product-form queries: " + tq.label);
+      int touched = -1;
+      bool is_indicator = true;
+      for (size_t d = 0; d < tq.factors.size(); ++d) {
+        bool all_ones = true;
+        for (const double v : tq.factors[d]) {
+          if (v != 1.0) all_ones = false;
+          if (v != 0.0 && v != 1.0) is_indicator = false;
+        }
+        if (all_ones) continue;
+        const int f = static_cast<int>(current_.factor_of_mode(d));
+        DPJOIN_CHECK(touched < 0 || touched == f,
+                     "query support crosses factor groups: " + tq.label);
+        touched = f;
+      }
+      touched_[j] = touched;
+      indicator_[j] = is_indicator ? 1 : 0;
+    }
+    ans_.resize(queries.size());
+  }
+
+  double n_hat() const { return n_hat_; }
+
+  void BeginRound() {
+    // ans_j = n̂ · Π_k s_k·draws_k[j]; O(|Q|·K), no domain-sized work.
+    const size_t num_factors = current_.num_factors();
+    for (size_t j = 0; j < ans_.size(); ++j) {
+      double a = current_.scale();
+      for (size_t k = 0; k < num_factors; ++k) {
+        a *= current_.factor_scale(k) * draws_[k][j];
+      }
+      ans_[j] = a;
+    }
+  }
+  double Answer(size_t qi) const { return ans_[qi]; }
+
+  void ApplyRound(size_t chosen, double eta, PmwResult::Perf* perf,
+                  double* eval_us, double* update_us, double* normalize_us);
+  void Upkeep(int64_t round, int64_t total_rounds, double* eval_us,
+              double* normalize_us);
+  void Finish(PmwResult* result);
+
+ private:
+  const QueryFamily& family_;
+  const PmwOptions& options_;
+  const double n_hat_;
+  FactoredTensor current_;
+  std::shared_ptr<const WorkloadEvaluator> evaluator_;
+  std::vector<double> totals_;     // T_k (analytic raw factor masses)
+  std::vector<double> avg_coeff_;  // a_k
+  std::vector<double> log_drift_;  // Σ|η| per factor since its last rebase
+  std::vector<std::vector<double>> residual_;  // R_k
+  std::vector<std::vector<double>> draws_;     // ⟨R_k-row j, p_k⟩
+  std::vector<int> touched_;    // query -> factor index, −1 = all-ones
+  std::vector<char> indicator_;
+  std::vector<double> ans_;     // this round's cached answers
+};
+
+void ProductBacking::ApplyRound(size_t chosen, double eta,
+                                PmwResult::Perf* perf, double* eval_us,
+                                double* update_us, double* normalize_us) {
+  const int g = touched_[chosen];
+  const size_t num_factors = current_.num_factors();
+  if (g < 0) {
+    // All-ones counting query: F_i = F_{i−1} (the uniform e^η rescale is
+    // undone by normalization); only the per-factor averages advance.
+    const Clock::time_point normalize_start = Clock::now();
+    for (size_t k = 0; k < num_factors; ++k) {
+      avg_coeff_[k] += current_.factor_scale(k);
+    }
+    ++perf->scale_only_rounds;
+    *normalize_us = MicrosSince(normalize_start);
+    return;
+  }
+
+  // One fused pass over the single touched factor: exp update + residual
+  // fold + new raw total, blocked and merged in block order.
+  const Clock::time_point update_start = Clock::now();
+  const size_t gk = static_cast<size_t>(g);
+  std::vector<double>& raw = *current_.mutable_factor_values(gk);
+  std::vector<double>& res = residual_[gk];
+  const double* qrow = evaluator_->FactorRow(gk, static_cast<int64_t>(chosen));
+  const double a_g = avg_coeff_[gk];
+  const int64_t cells = static_cast<int64_t>(raw.size());
+  const int64_t grain = ExecutionContext::TensorGrain();
+  std::vector<double> block_total(
+      static_cast<size_t>(NumBlocks(0, cells, grain)), 0.0);
+  ParallelForBlocks(
+      0, cells, grain, [&](int64_t block, int64_t lo, int64_t hi) {
+        double total = 0.0;
+        for (int64_t x = lo; x < hi; ++x) {
+          const double old = raw[static_cast<size_t>(x)];
+          const double e = std::exp(qrow[x] * eta);
+          const double gn = old * e;
+          raw[static_cast<size_t>(x)] = gn;
+          res[static_cast<size_t>(x)] += a_g * (1.0 - e) * old;
+          total += gn;
+        }
+        block_total[static_cast<size_t>(block)] = total;
+      });
+  double new_total = 0.0;
+  for (const double bt : block_total) new_total += bt;
+  *update_us = MicrosSince(update_start);
+
+  // Exact per-factor answer refresh — O(|Q|·factor cells), no drift.
+  const Clock::time_point refresh_start = Clock::now();
+  evaluator_->FactorDotsRaw(gk, raw, &draws_[gk]);
+  *eval_us += MicrosSince(refresh_start);
+
+  // Renormalize: only factor g's mass changed, so s_g = 1/T_g restores a
+  // mass-1 factor (the other factors already have s_k·T_k = 1, keeping the
+  // global mass at n̂). Then every factor's average advances.
+  const Clock::time_point normalize_start = Clock::now();
+  DPJOIN_CHECK_GT(new_total, 0.0);
+  totals_[gk] = new_total;
+  current_.set_factor_scale(gk, 1.0 / new_total);
+  for (size_t k = 0; k < num_factors; ++k) {
+    avg_coeff_[k] += current_.factor_scale(k);
+  }
+  log_drift_[gk] += std::abs(eta);
+  *normalize_us = MicrosSince(normalize_start);
+  if (indicator_[chosen] != 0) {
+    ++perf->sparse_rounds;
+  } else {
+    ++perf->dense_rounds;
+  }
+}
+
+void ProductBacking::Upkeep(int64_t round, int64_t total_rounds,
+                            double* eval_us, double* normalize_us) {
+  // Per-factor rebase, same trigger as the dense loop. No periodic answer
+  // refresh: draws are recomputed exactly on every factor update.
+  (void)round;
+  (void)total_rounds;
+  (void)eval_us;
+  const Clock::time_point upkeep_start = Clock::now();
+  for (size_t k = 0; k < current_.num_factors(); ++k) {
+    if (log_drift_[k] <= options_.factored_rebase_log_limit) continue;
+    const double s_fold = current_.factor_scale(k);
+    std::vector<double>& raw = *current_.mutable_factor_values(k);
+    ParallelFor(0, static_cast<int64_t>(raw.size()),
+                ExecutionContext::TensorGrain(), [&](int64_t lo, int64_t hi) {
+                  for (int64_t x = lo; x < hi; ++x) {
+                    raw[static_cast<size_t>(x)] *= s_fold;
+                  }
+                });
+    for (double& d : draws_[k]) d *= s_fold;
+    totals_[k] = 1.0;  // s_fold·T_k by the invariant
+    avg_coeff_[k] /= s_fold;
+    current_.set_factor_scale(k, 1.0);
+    log_drift_[k] = 0.0;
+  }
+  *normalize_us += MicrosSince(upkeep_start);
+}
+
+void ProductBacking::Finish(PmwResult* result) {
+  // Line 8, per factor: A_k = (a_k·p_k + R_k)/k is the factor's running
+  // average (mass 1 — each of the k summands has mass exactly 1); the
+  // release is n̂·Π_k A_k. Clamp the tiny negative fp residue near zero.
+  const double inv_k = 1.0 / static_cast<double>(result->rounds);
+  for (size_t k = 0; k < current_.num_factors(); ++k) {
+    std::vector<double>& raw = *current_.mutable_factor_values(k);
+    const std::vector<double>& res = residual_[k];
+    const double a = avg_coeff_[k];
+    ParallelFor(0, static_cast<int64_t>(raw.size()),
+                ExecutionContext::TensorGrain(), [&](int64_t lo, int64_t hi) {
+                  for (int64_t x = lo; x < hi; ++x) {
+                    raw[static_cast<size_t>(x)] = std::max(
+                        0.0, (a * raw[static_cast<size_t>(x)] +
+                              res[static_cast<size_t>(x)]) *
+                                 inv_k);
+                  }
+                });
+    current_.set_factor_scale(k, 1.0);
+  }
+  current_.set_scale(n_hat_);
+  result->factored_synthetic =
+      std::make_shared<const FactoredTensor>(std::move(current_));
+  result->evaluator = evaluator_;
+}
+
+// Algorithm 2's round skeleton, shared by both backings. Noise draws (EM
+// selection + Laplace measurement) happen here in a fixed order, so the
+// trajectory depends only on the backing's answers — which the product
+// backing reproduces exactly for within-factor workloads.
+template <typename Backing>
+void RunRounds(const PmwOptions& options,
+               const std::vector<double>& answers_instance, Rng& rng,
+               PmwResult* result, Backing* backing) {
+  std::vector<double> scores(answers_instance.size());
   for (int64_t round = 0; round < result->rounds; ++round) {
-    // Lines 4–5: EM selection; answers are s·rawans.
+    // Lines 4–5: EM selection; answers come from the backing's cache.
     const Clock::time_point eval_start = Clock::now();
-    const double s = current.deferred_scale();
+    backing->BeginRound();
     for (size_t qi = 0; qi < scores.size(); ++qi) {
-      scores[qi] =
-          std::abs(s * rawans[qi] - answers_instance[qi]) / options.delta_tilde;
+      scores[qi] = std::abs(backing->Answer(qi) - answers_instance[qi]) /
+                   options.delta_tilde;
     }
     double eval_us = MicrosSince(eval_start);
     const size_t chosen =
@@ -170,142 +674,15 @@ void RunFactoredRounds(const QueryFamily& family, const PmwOptions& options,
         AddLaplaceNoise(answers_instance[chosen], options.delta_tilde,
                         result->per_round_epsilon, rng);
 
-    // Line 7 (+ the average accumulation of line 8, folded into the same
-    // traversal via R).
-    const std::vector<int64_t> parts =
-        family.Decompose(static_cast<int64_t>(chosen));
-    const double eta = Clamp((measurement - s * rawans[chosen]) /
-                                 (2.0 * n_hat),
-                             -1.0, 1.0);
-    const double exp_eta = std::exp(eta);
+    // Line 7: the proof needs |q(x)·η| ≤ 1, so η is clamped to [-1, 1].
+    const double eta = Clamp(
+        (measurement - backing->Answer(chosen)) / (2.0 * backing->n_hat()),
+        -1.0, 1.0);
 
     double update_us = 0.0;
     double normalize_us = 0.0;
-    const bool indicator = evaluator.IsProductIndicator(parts);
-    const int64_t box_cells = indicator ? evaluator.BoxCells(parts) : 0;
-    if (indicator && (evaluator.IsAllOnes(parts) || box_cells == 0)) {
-      // q ≡ 1: the exp update is a uniform e^η rescale that NormalizeTo
-      // undoes exactly — F_i = F_{i−1}. q ≡ 0 (empty support): the update
-      // itself is the identity. Either way only the average advances.
-      const Clock::time_point normalize_start = Clock::now();
-      avg_coeff += s;
-      ++result->perf.scale_only_rounds;
-      normalize_us = MicrosSince(normalize_start);
-    } else if (indicator && box_cells * 2 <= cells) {
-      // Sparse path: one fused pass over the sub-box B = ×_i support_i.
-      const Clock::time_point update_start = Clock::now();
-      std::vector<std::vector<int64_t>> offsets(m);
-      for (size_t i = 0; i < m; ++i) {
-        const auto& support =
-            evaluator.info(static_cast<int>(i), parts[i]).support;
-        offsets[i].resize(support.size());
-        for (size_t t = 0; t < support.size(); ++t) {
-          offsets[i][t] = support[t] * shape.stride(i);
-        }
-      }
-      const std::vector<int64_t>& inner = offsets[m - 1];
-      const int64_t inner_size = static_cast<int64_t>(inner.size());
-      const int64_t rows = box_cells / inner_size;
-      // Whole box rows per block; grain fixed by the tensor grain alone, so
-      // the decomposition (and the box-mass merge order) never depends on
-      // the thread count.
-      const int64_t row_grain = std::max<int64_t>(
-          1, ExecutionContext::TensorGrain() / inner_size);
-      std::vector<double> box_values(static_cast<size_t>(box_cells));
-      std::vector<double> block_mass(
-          static_cast<size_t>(NumBlocks(0, rows, row_grain)), 0.0);
-      const double a = avg_coeff;
-      ParallelForBlocks(
-          0, rows, row_grain, [&](int64_t block, int64_t lo, int64_t hi) {
-            double mass = 0.0;
-            for (int64_t r = lo; r < hi; ++r) {
-              // Decode the row index into support positions of the outer
-              // modes (last outer mode fastest — row-major box order).
-              int64_t rem = r;
-              int64_t base = 0;
-              for (size_t i = m - 1; i-- > 0;) {
-                const int64_t b = static_cast<int64_t>(offsets[i].size());
-                base += offsets[i][static_cast<size_t>(rem % b)];
-                rem /= b;
-              }
-              double* brow =
-                  box_values.data() + r * inner_size;
-              for (int64_t t = 0; t < inner_size; ++t) {
-                const int64_t flat = base + inner[static_cast<size_t>(t)];
-                const double g = graw[static_cast<size_t>(flat)];
-                brow[t] = g;
-                mass += g;
-                graw[static_cast<size_t>(flat)] = g * exp_eta;
-                residual[static_cast<size_t>(flat)] +=
-                    a * (1.0 - exp_eta) * g;
-              }
-            }
-            block_mass[static_cast<size_t>(block)] = mass;
-          });
-      double box_mass = 0.0;  // merged in block order: thread-count-free
-      for (const double bm : block_mass) box_mass += bm;
-      update_us = MicrosSince(update_start);
-
-      const Clock::time_point delta_start = Clock::now();
-      const std::vector<double> delta =
-          evaluator.EvaluateAllOnBox(parts, box_values);
-      for (size_t qi = 0; qi < rawans.size(); ++qi) {
-        rawans[qi] += (exp_eta - 1.0) * delta[qi];
-      }
-      eval_us += MicrosSince(delta_start);
-
-      const Clock::time_point normalize_start = Clock::now();
-      raw_total += (exp_eta - 1.0) * box_mass;
-      current.NormalizeDeferred(n_hat, raw_total);
-      avg_coeff += current.deferred_scale();
-      log_drift += std::abs(eta);
-      normalize_us = MicrosSince(normalize_start);
-      ++result->perf.sparse_rounds;
-    } else {
-      // Dense fallback (non-indicator query, or a box covering most of the
-      // tensor): ONE fused full pass (exp + residual + total)…
-      const Clock::time_point update_start = Clock::now();
-      for (size_t i = 0; i < m; ++i) {
-        qvals[i] = family.table_queries(static_cast<int>(i))
-                       [static_cast<size_t>(parts[i])]
-                           .values.data();
-      }
-      const int64_t grain = ExecutionContext::TensorGrain();
-      std::vector<double> block_total(
-          static_cast<size_t>(NumBlocks(0, cells, grain)), 0.0);
-      const double a = avg_coeff;
-      ParallelForBlocks(
-          0, cells, grain, [&](int64_t block, int64_t lo, int64_t hi) {
-            double total = 0.0;
-            internal::ForEachProductCell(
-                shape, qvals, lo, hi, [&](int64_t flat, double q) {
-                  const double g = graw[static_cast<size_t>(flat)];
-                  const double e = std::exp(q * eta);
-                  const double gn = g * e;
-                  graw[static_cast<size_t>(flat)] = gn;
-                  residual[static_cast<size_t>(flat)] += a * (1.0 - e) * g;
-                  total += gn;
-                });
-            block_total[static_cast<size_t>(block)] = total;
-          });
-      double new_total = 0.0;
-      for (const double bt : block_total) new_total += bt;
-      update_us = MicrosSince(update_start);
-
-      // …plus a full answer refresh (an arbitrary per-cell factor admits no
-      // box-local delta).
-      const Clock::time_point refresh_start = Clock::now();
-      rawans = evaluator.EvaluateAllRaw(graw);
-      eval_us += MicrosSince(refresh_start);
-
-      const Clock::time_point normalize_start = Clock::now();
-      raw_total = new_total;
-      current.NormalizeDeferred(n_hat, raw_total);
-      avg_coeff += current.deferred_scale();
-      log_drift += std::abs(eta);
-      normalize_us = MicrosSince(normalize_start);
-      ++result->perf.dense_rounds;
-    }
+    backing->ApplyRound(chosen, eta, &result->perf, &eval_us, &update_us,
+                        &normalize_us);
 
     if (options.record_trace) {
       result->trace.push_back({static_cast<int64_t>(chosen),
@@ -313,51 +690,65 @@ void RunFactoredRounds(const QueryFamily& family, const PmwOptions& options,
                               measurement});
     }
 
-    // Drift control. Rebase: fold the deferred scale into storage before
-    // box cells (which grow by e^η per hit, never renormalized in raw form)
-    // can overflow. Refresh: periodically recompute the incremental answer
-    // vector exactly. Both schedules depend only on round index and η —
-    // never the thread count.
-    const Clock::time_point upkeep_start = Clock::now();
-    if (log_drift > options.factored_rebase_log_limit) {
-      const double s_fold = current.deferred_scale();
-      current.Materialize();
-      raw_total = n_hat;  // s_fold·T by the invariant
-      for (double& ra : rawans) ra *= s_fold;
-      avg_coeff /= s_fold;
-      log_drift = 0.0;
-    }
-    normalize_us += MicrosSince(upkeep_start);
-    if (options.factored_refresh_rounds > 0 &&
-        (round + 1) % options.factored_refresh_rounds == 0 &&
-        round + 1 < result->rounds) {
-      const Clock::time_point refresh_start = Clock::now();
-      rawans = evaluator.EvaluateAllRaw(graw);
-      eval_us += MicrosSince(refresh_start);
-    }
+    backing->Upkeep(round, result->rounds, &eval_us, &normalize_us);
 
     result->perf.eval_us.push_back(eval_us);
     result->perf.update_us.push_back(update_us);
     result->perf.normalize_us.push_back(normalize_us);
   }
 
-  // Line 8: avg F_i = (a·G + R)/k, one fused pass. The exact value is an
-  // average of positive tensors; clamp the tiny negative residue fp
-  // cancellation can leave near zero.
-  DenseTensor synthetic(shape);
-  std::vector<double>& out = *synthetic.raw_values();
-  const double a = avg_coeff;
-  const double inv_k = 1.0 / static_cast<double>(result->rounds);
-  ParallelFor(0, cells, ExecutionContext::TensorGrain(),
-              [&](int64_t lo, int64_t hi) {
-                for (int64_t i = lo; i < hi; ++i) {
-                  out[static_cast<size_t>(i)] = std::max(
-                      0.0, (a * graw[static_cast<size_t>(i)] +
-                            residual[static_cast<size_t>(i)]) *
-                               inv_k);
-                }
-              });
-  result->synthetic = std::move(synthetic);
+  backing->Finish(result);  // Line 8.
+}
+
+// Lines 1 and 3, shared by both entry points: the noisy total (and its
+// ledger share), then the round schedule. Returns true on the degenerate
+// n̂ ≤ 0 release — rounds = 0, the full budget recorded as spent, and the
+// caller emits an empty release of its backing.
+bool PmwPreamble(const Instance& instance, const QueryFamily& family,
+                 const PmwOptions& options, double domain_size, Rng& rng,
+                 PmwResult* result) {
+  const double epsilon = options.params.epsilon;
+  const double delta = options.params.delta;
+  result->exact_count = JoinCount(instance);
+
+  // Line 1: n̂ = count(I) + TLap^{τ(ε/2,δ/2,Δ̃)}_{2Δ̃/ε}.
+  if (options.leak_exact_total) {
+    result->noisy_total = result->exact_count;
+    result->accountant.SpendSequential("pmw/noisy-total(LEAKED)",
+                                       PrivacyParams(epsilon / 2, delta / 2));
+  } else {
+    const TruncatedLaplace tlap = TruncatedLaplace::ForSensitivity(
+        epsilon / 2, delta / 2, options.delta_tilde);
+    result->noisy_total = result->exact_count + tlap.Sample(rng);
+    result->accountant.SpendSequential("pmw/noisy-total",
+                                       PrivacyParams(epsilon / 2, delta / 2));
+  }
+
+  if (result->noisy_total <= 0.0) {
+    // count = 0 and the (measure-zero) zero noise draw: nothing to release.
+    // The mechanism was still charged the full (ε, δ) — record the unused
+    // rounds share so callers summing the ledger see what was spent, and
+    // leave rounds/ε′ at their explicit "no rounds ran" values.
+    result->rounds = 0;
+    result->per_round_epsilon = 0.0;
+    result->accountant.SpendSequential("pmw/rounds(degenerate)",
+                                       PrivacyParams(epsilon / 2, delta / 2));
+    return true;
+  }
+
+  // Line 3: round count and per-round ε′.
+  result->rounds =
+      options.num_rounds > 0
+          ? std::min(options.num_rounds, options.max_rounds)
+          : PmwTheoryRounds(result->noisy_total, epsilon, delta,
+                            options.delta_tilde, domain_size,
+                            static_cast<double>(family.TotalCount()),
+                            options.max_rounds);
+  result->per_round_epsilon =
+      options.per_round_epsilon_override > 0.0
+          ? options.per_round_epsilon_override
+          : PmwPerRoundEpsilon(epsilon, delta, result->rounds);
+  return false;
 }
 
 }  // namespace
@@ -369,9 +760,7 @@ Result<PmwResult> PrivateMultiplicativeWeights(const Instance& instance,
   if (options.delta_tilde <= 0.0) {
     return Status::InvalidArgument("PMW needs a positive sensitivity bound");
   }
-  const double epsilon = options.params.epsilon;
-  const double delta = options.params.delta;
-  if (delta <= 0.0) {
+  if (options.params.delta <= 0.0) {
     return Status::InvalidArgument("PMW needs delta > 0");
   }
 
@@ -381,63 +770,71 @@ Result<PmwResult> PrivateMultiplicativeWeights(const Instance& instance,
   const ScopedThreads scoped_threads(options.num_threads);
 
   PmwResult result;
-  result.exact_count = JoinCount(instance);
-
-  // Line 1: n̂ = count(I) + TLap^{τ(ε/2,δ/2,Δ̃)}_{2Δ̃/ε}.
-  if (options.leak_exact_total) {
-    result.noisy_total = result.exact_count;
-    result.accountant.SpendSequential("pmw/noisy-total(LEAKED)",
-                                      PrivacyParams(epsilon / 2, delta / 2));
-  } else {
-    const TruncatedLaplace tlap = TruncatedLaplace::ForSensitivity(
-        epsilon / 2, delta / 2, options.delta_tilde);
-    result.noisy_total = result.exact_count + tlap.Sample(rng);
-    result.accountant.SpendSequential("pmw/noisy-total",
-                                      PrivacyParams(epsilon / 2, delta / 2));
-  }
-
   const MixedRadix shape = ReleaseShape(instance.query());
-  const double domain_size = static_cast<double>(shape.size());
-  if (result.noisy_total <= 0.0) {
-    // count = 0 and the (measure-zero) zero noise draw: nothing to release.
-    // The mechanism was still charged the full (ε, δ) — record the unused
-    // rounds share so callers summing the ledger see what was spent, and
-    // leave rounds/ε′ at their explicit "no rounds ran" values.
-    result.rounds = 0;
-    result.per_round_epsilon = 0.0;
-    result.accountant.SpendSequential("pmw/rounds(degenerate)",
-                                      PrivacyParams(epsilon / 2, delta / 2));
+  if (PmwPreamble(instance, family, options,
+                  static_cast<double>(shape.size()), rng, &result)) {
     result.synthetic = DenseTensor(shape);
     return result;
   }
-
-  // Line 3: round count and per-round ε′.
-  result.rounds =
-      options.num_rounds > 0
-          ? std::min(options.num_rounds, options.max_rounds)
-          : PmwTheoryRounds(result.noisy_total, epsilon, delta,
-                            options.delta_tilde, domain_size,
-                            static_cast<double>(family.TotalCount()),
-                            options.max_rounds);
-  result.per_round_epsilon =
-      options.per_round_epsilon_override > 0.0
-          ? options.per_round_epsilon_override
-          : PmwPerRoundEpsilon(epsilon, delta, result.rounds);
 
   // q(I) for every query, once (exact values; only noisy views are released).
   const std::vector<double> answers_instance =
       EvaluateAllOnInstance(family, instance);
 
   if (options.use_factored_loop) {
-    RunFactoredRounds(family, options, answers_instance, shape, rng, &result);
+    DenseBacking backing(family, options, shape, result.noisy_total);
+    RunRounds(options, answers_instance, rng, &result, &backing);
   } else {
     RunOracleRounds(family, options, answers_instance, shape, rng, &result);
   }
 
   // The k rounds of (EM + Laplace) at ε′ each compose (advanced composition,
   // Theorem A.1) into the second (ε/2, δ/2) share.
-  result.accountant.SpendSequential("pmw/rounds",
-                                    PrivacyParams(epsilon / 2, delta / 2));
+  result.accountant.SpendSequential(
+      "pmw/rounds",
+      PrivacyParams(options.params.epsilon / 2, options.params.delta / 2));
+  return result;
+}
+
+Result<PmwResult> PrivateMultiplicativeWeightsFactored(
+    const Instance& instance, const QueryFamily& family,
+    const std::vector<std::vector<size_t>>& factor_groups,
+    const PmwOptions& options, Rng& rng) {
+  if (options.delta_tilde <= 0.0) {
+    return Status::InvalidArgument("PMW needs a positive sensitivity bound");
+  }
+  if (options.params.delta <= 0.0) {
+    return Status::InvalidArgument("PMW needs delta > 0");
+  }
+  if (instance.query().num_relations() != 1) {
+    return Status::InvalidArgument(
+        "factored PMW supports single-relation releases only");
+  }
+
+  const ScopedThreads scoped_threads(options.num_threads);
+
+  PmwResult result;
+  // Deliberately NOT ReleaseShape(): the tuple space may be far beyond the
+  // dense envelope — that is the whole point of the product backing. Only
+  // log|D| enters the round schedule.
+  const MixedRadix& shape = instance.query().tuple_space(0);
+  if (PmwPreamble(instance, family, options,
+                  instance.query().ReleaseDomainSize(), rng, &result)) {
+    result.factored_synthetic = std::make_shared<const FactoredTensor>(
+        shape, factor_groups, 0.0);
+    return result;
+  }
+
+  const std::vector<double> answers_instance =
+      EvaluateAllOnInstance(family, instance);
+
+  ProductBacking backing(family, options, shape, factor_groups,
+                         result.noisy_total);
+  RunRounds(options, answers_instance, rng, &result, &backing);
+
+  result.accountant.SpendSequential(
+      "pmw/rounds",
+      PrivacyParams(options.params.epsilon / 2, options.params.delta / 2));
   return result;
 }
 

@@ -20,6 +20,7 @@
 #define DPJOIN_RELEASE_PMW_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -28,7 +29,9 @@
 #include "dp/privacy_params.h"
 #include "query/dense_tensor.h"
 #include "query/evaluation.h"
+#include "query/factored_tensor.h"
 #include "query/query_family.h"
+#include "query/workload_evaluator.h"
 #include "relational/instance.h"
 
 namespace dpjoin {
@@ -98,11 +101,25 @@ struct PmwOptions {
   /// different user threads can each carry their own count without racing
   /// on the process-wide setting.
   int num_threads = 0;
+
+  /// Reuse a WorkloadEvaluator built for the same (family, shape) — e.g.
+  /// the one a previous release's ServingHandle holds — instead of
+  /// constructing a fresh one (CHECKed for backing/shape compatibility).
+  /// The evaluator actually used is returned in PmwResult::evaluator either
+  /// way, so the ServingHandle built from this release can share it.
+  std::shared_ptr<const WorkloadEvaluator> shared_evaluator;
 };
 
 /// Output of a PMW run.
 struct PmwResult {
-  DenseTensor synthetic;       ///< F = avg_{i≤k} F_i, total mass n̂.
+  /// F = avg_{i≤k} F_i, total mass n̂ — dense runs only (empty for
+  /// factored runs, which fill factored_synthetic instead).
+  DenseTensor synthetic;
+  /// The factored release (PrivateMultiplicativeWeightsFactored only).
+  std::shared_ptr<const FactoredTensor> factored_synthetic;
+  /// The workload evaluator the round loop used (null for the oracle
+  /// loop); ServingHandle reuses it instead of rebuilding per release.
+  std::shared_ptr<const WorkloadEvaluator> evaluator;
   double noisy_total = 0.0;    ///< n̂.
   double exact_count = 0.0;    ///< count(I) (diagnostic; never released).
   int64_t rounds = 0;          ///< k.
@@ -135,6 +152,22 @@ Result<PmwResult> PrivateMultiplicativeWeights(const Instance& instance,
                                                const QueryFamily& family,
                                                const PmwOptions& options,
                                                Rng& rng);
+
+/// Algorithm 2 on the PRODUCT-FORM backing: the synthetic dataset is a
+/// FactoredTensor over `factor_groups` (disjoint ascending attribute-digit
+/// subsets of the single relation's tuple space — normally the connected
+/// components from ComputeWorkloadFactorization). Requires every query of
+/// the family to be product-form with support inside one group; the round
+/// loop then touches only the chosen query's factor, memory stays
+/// O(Σ group cells), and the release is EXACT PMW (the same trajectory the
+/// dense loop would follow, up to floating point) on domains far beyond the
+/// dense envelope. Ignores use_factored_loop (there is no oracle loop at
+/// this scale); honors every other option, including the per-factor analogs
+/// of the deferred-scale, rebase, and refresh machinery.
+Result<PmwResult> PrivateMultiplicativeWeightsFactored(
+    const Instance& instance, const QueryFamily& family,
+    const std::vector<std::vector<size_t>>& factor_groups,
+    const PmwOptions& options, Rng& rng);
 
 /// The theory-driven round count (Appendix A):
 /// k = n̂·ε·sqrt(log|D|) / (Δ̃·log|Q|·sqrt(log(1/δ))).

@@ -66,14 +66,14 @@ TEST(FlawedTest, PadMasksTotalButLeaksRegionMass) {
   // Q1 = {ones, 1[B = b0]}, Q2 = {ones, 1[(b0, c0)]}.
   std::vector<TableQuery> q1 = {MakeAllOnesQuery(query, 0)};
   TableQuery region1{"b0", std::vector<double>(
-      static_cast<size_t>(query.relation_domain_size(0)), 0.0)};
+      static_cast<size_t>(query.relation_domain_size(0)), 0.0), {}};
   for (int64_t a = 0; a < 16; ++a) {
     region1.values[static_cast<size_t>(a * 16)] = 1.0;  // tuples (a, b=0)
   }
   q1.push_back(region1);
   std::vector<TableQuery> q2 = {MakeAllOnesQuery(query, 1)};
   TableQuery region2{"b0c0", std::vector<double>(
-      static_cast<size_t>(query.relation_domain_size(1)), 0.0)};
+      static_cast<size_t>(query.relation_domain_size(1)), 0.0), {}};
   region2.values[0] = 1.0;  // tuple (b=0, c=0)
   q2.push_back(region2);
   auto family = QueryFamily::Create(query, {q1, q2});

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
@@ -194,6 +195,79 @@ TEST(EngineIntegrationTest, AutoResolvesWithRationale) {
     auto release = engine.Run(spec, instance, rng);
     ASSERT_TRUE(release.ok()) << release.status();
     EXPECT_EQ(release->plan.mechanism, MechanismKind::kTwoTable);
+  }
+}
+
+// 10 attributes of size 16 in one relation: |D| = 2^40 cells — the dense
+// backing cannot even be allocated, so this spec used to fail planning.
+ReleaseSpec HugeFactoredSpec(MechanismKind mechanism) {
+  ReleaseSpec spec;
+  spec.name = std::string("huge_factored_") + MechanismName(mechanism);
+  for (int d = 0; d < 10; ++d) {
+    spec.attributes.push_back({std::string(1, static_cast<char>('A' + d)),
+                               16});
+    spec.relation_attrs.resize(1);
+    spec.relation_attrs[0].push_back(spec.attributes.back().name);
+  }
+  spec.relation_names = {"R1"};
+  spec.epsilon = 1.0;
+  spec.delta = 1e-5;
+  spec.mechanism = mechanism;
+  spec.workload = WorkloadFamilyKind::kMarginalAll;  // |Q| = 161
+  spec.workload_seed = 27;
+  spec.pmw_max_rounds = 6;
+  return spec;
+}
+
+TEST(EngineIntegrationTest, FactoredReleaseServesBeyondTheDenseEnvelope) {
+  const ReleaseSpec spec = HugeFactoredSpec(MechanismKind::kAuto);
+  ReleaseEngine engine(PrivacyParams(8.0, 1e-2));
+  const Instance instance = InstanceFor(spec, 29);
+  Rng rng(47);
+  auto release = engine.Run(spec, instance, rng);
+  ASSERT_TRUE(release.ok()) << release.status();
+  EXPECT_EQ(release->plan.mechanism, MechanismKind::kPmw);
+  ASSERT_TRUE(release->plan.factored);
+  EXPECT_EQ(release->plan.factor_groups.size(), 10u);
+
+  const ServingHandle& handle = *release->handle;
+  ASSERT_NE(handle.dataset(), nullptr);
+  const FactoredTensor* tensor = handle.dataset()->factored();
+  ASSERT_NE(tensor, nullptr);
+  // Memory proportional to the SUM of factor sizes, not the 2^40 product.
+  EXPECT_EQ(tensor->StorageCells(), 160);
+  EXPECT_DOUBLE_EQ(tensor->DomainCells(), std::pow(2.0, 40.0));
+  ASSERT_NE(handle.evaluator(), nullptr);
+  EXPECT_TRUE(handle.evaluator()->factored());
+
+  // The full workload serves through both surfaces, finitely, and the
+  // all-ones query returns the released mass.
+  const std::vector<double> all = handle.AnswerAll();
+  ASSERT_EQ(static_cast<int64_t>(all.size()), handle.NumQueries());
+  for (const double a : all) ASSERT_TRUE(std::isfinite(a));
+  EXPECT_NEAR(all[0], handle.dataset()->TotalMass(),
+              1e-6 * (1.0 + std::abs(all[0])));
+  std::vector<int64_t> batch;
+  for (int64_t q = 0; q < handle.NumQueries(); ++q) batch.push_back(q);
+  auto batched = handle.AnswerBatch(batch);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  for (int64_t q = 0; q < handle.NumQueries(); ++q) {
+    EXPECT_NEAR((*batched)[static_cast<size_t>(q)],
+                all[static_cast<size_t>(q)],
+                1e-9 * (1.0 + std::abs(all[static_cast<size_t>(q)])))
+        << "query " << q;
+  }
+}
+
+TEST(EngineIntegrationTest, FactoredReleaseIsBitIdenticalAcrossThreads) {
+  const ReleaseSpec spec = HugeFactoredSpec(MechanismKind::kPmw);
+  const std::vector<double> base = ReleaseAndServe(spec, 1, 53);
+  for (const int threads : {2, 8}) {
+    const std::vector<double> other = ReleaseAndServe(spec, threads, 53);
+    ASSERT_EQ(other.size(), base.size());
+    for (size_t q = 0; q < base.size(); ++q) {
+      ASSERT_EQ(other[q], base[q]) << "threads=" << threads << " query " << q;
+    }
   }
 }
 

@@ -200,6 +200,105 @@ TEST(PlannerTest, ExplicitMechanismIsValidatedStructurally) {
   }
 }
 
+// A single relation with 10 attributes of size 16: |D| = 2^40 cells, far
+// beyond the 2^26 dense envelope, but every attribute's marginal workload
+// factors into 10 groups of 16 cells.
+JoinQuery MakeHugeProductQuery() {
+  std::vector<AttributeSpec> attrs;
+  std::vector<std::string> order;
+  for (int d = 0; d < 10; ++d) {
+    const std::string name(1, static_cast<char>('A' + d));
+    attrs.push_back({name, 16});
+    order.push_back(name);
+  }
+  return *JoinQuery::Create(attrs, {order});
+}
+
+TEST(PlannerTest, AutoPlansFactoredPmwBeyondTheDenseEnvelope) {
+  const JoinQuery query = MakeHugeProductQuery();
+  ReleaseSpec spec = SpecFor(query);
+  spec.workload = WorkloadFamilyKind::kMarginalAll;
+  // |Q| = 1 + 10·16 = 161 > log2|D| = 40: the workload-size rule wants MW.
+  Fixture fx = MakeFixture(query, spec);
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->mechanism, MechanismKind::kPmw);
+  EXPECT_TRUE(plan->factored);
+  ASSERT_EQ(plan->factor_groups.size(), 10u);
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(plan->factor_groups[k], (std::vector<size_t>{k}));
+    EXPECT_EQ(plan->factor_cells[k], 16);
+  }
+  // The rationale quotes the factor sizes and the factored memory total.
+  EXPECT_NE(plan->rationale.find("FactoredTensor"), std::string::npos)
+      << plan->rationale;
+  EXPECT_NE(plan->rationale.find("160 cells"), std::string::npos)
+      << plan->rationale;
+  EXPECT_NE(plan->rationale.find("10 disjoint attribute groups"),
+            std::string::npos)
+      << plan->rationale;
+}
+
+TEST(PlannerTest, ExplicitPmwBeyondTheEnvelopeUsesTheFactoredBacking) {
+  const JoinQuery query = MakeHugeProductQuery();
+  ReleaseSpec spec = SpecFor(query, MechanismKind::kPmw);
+  spec.workload = WorkloadFamilyKind::kMarginalAll;
+  Fixture fx = MakeFixture(query, spec);
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->mechanism, MechanismKind::kPmw);
+  EXPECT_TRUE(plan->factored);
+
+  // Pinning pmw_backing = dense keeps the old refusal.
+  ReleaseSpec dense = spec;
+  dense.pmw_backing = PmwBackingKind::kDense;
+  auto refused = PlanRelease(dense, fx.instance, fx.family);
+  EXPECT_TRUE(refused.status().IsInvalidArgument());
+  EXPECT_NE(refused.status().message().find("envelope"), std::string::npos);
+}
+
+TEST(PlannerTest, ExplicitFactoredBackingAppliesOnFeasibleDomainsToo) {
+  const JoinQuery query =
+      *JoinQuery::Create({{"A", 8}, {"B", 4}}, {{"A", "B"}});
+  ReleaseSpec spec = SpecFor(query, MechanismKind::kPmw);
+  spec.workload = WorkloadFamilyKind::kMarginalAll;
+  spec.pmw_backing = PmwBackingKind::kFactored;
+  Fixture fx = MakeFixture(query, spec);
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->factored);
+  EXPECT_EQ(plan->factor_groups.size(), 2u);
+  EXPECT_NE(plan->rationale.find("pmw_backing = factored"),
+            std::string::npos)
+      << plan->rationale;
+}
+
+TEST(PlannerTest, FactoredBackingRefusesNonProductWorkloads) {
+  const JoinQuery query =
+      *JoinQuery::Create({{"A", 8}, {"B", 4}}, {{"A", "B"}});
+  ReleaseSpec spec = SpecFor(query, MechanismKind::kPmw);
+  spec.workload = WorkloadFamilyKind::kRandomSign;  // dense values only
+  spec.pmw_backing = PmwBackingKind::kFactored;
+  Fixture fx = MakeFixture(query, spec);
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  EXPECT_TRUE(plan.status().IsInvalidArgument());
+  EXPECT_NE(plan.status().message().find("product"), std::string::npos)
+      << plan.status().message();
+}
+
+TEST(PlannerTest, FactoredBackingNeedsASingleRelationPmwRelease) {
+  const JoinQuery query = MakeTwoTableQuery(4, 5, 4);
+  ReleaseSpec spec = SpecFor(query, MechanismKind::kPmw);
+  spec.workload = WorkloadFamilyKind::kMarginalAll;
+  spec.pmw_backing = PmwBackingKind::kFactored;
+  Fixture fx = MakeFixture(query, spec);
+  auto plan = PlanRelease(spec, fx.instance, fx.family);
+  EXPECT_TRUE(plan.status().IsInvalidArgument());
+  EXPECT_NE(plan.status().message().find("single-relation"),
+            std::string::npos)
+      << plan.status().message();
+}
+
 TEST(PlannerTest, StatsMeasureTheInstance) {
   const JoinQuery query = MakeTwoTableQuery(4, 5, 4);
   const ReleaseSpec spec = SpecFor(query);

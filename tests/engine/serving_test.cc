@@ -107,6 +107,97 @@ TEST(ServingHandleTest, DirectAnswerHandleServesLookups) {
   EXPECT_EQ(handle.AnswerAll(), answers);
 }
 
+struct FactoredFixture {
+  std::shared_ptr<const ReleasedDataset> dataset;
+  std::shared_ptr<const FactoredTensor> tensor;
+  QueryFamily family;
+  Plan plan;
+};
+
+FactoredFixture MakeFactoredFixture(uint64_t seed = 13) {
+  Rng rng(seed);
+  const auto query = std::make_shared<JoinQuery>(
+      *JoinQuery::Create({{"A", 5}, {"B", 3}, {"C", 4}}, {{"A", "B", "C"}}));
+  QueryFamily family =
+      MakeWorkload(*query, WorkloadKind::kMarginalAll, 0, rng);
+  auto tensor = std::make_shared<FactoredTensor>(
+      query->tuple_space(0), std::vector<std::vector<size_t>>{{0}, {1}, {2}},
+      42.0);
+  // Skew each factor so answers are non-trivial.
+  for (size_t k = 0; k < 3; ++k) {
+    for (double& v : *tensor->mutable_factor_values(k)) {
+      v *= rng.UniformDouble(0.5, 1.5);
+    }
+  }
+  std::shared_ptr<const FactoredTensor> frozen = std::move(tensor);
+  Plan plan;
+  plan.mechanism = MechanismKind::kPmw;
+  plan.factored = true;
+  plan.rationale = "test fixture";
+  auto dataset = std::make_shared<const ReleasedDataset>(query, frozen);
+  return FactoredFixture{std::move(dataset), std::move(frozen),
+                         std::move(family), std::move(plan)};
+}
+
+TEST(ServingHandleTest, FactoredBackingServesBatchesAndAnswerAll) {
+  FactoredFixture fx = MakeFactoredFixture();
+  const ServingHandle handle(fx.dataset, fx.family, fx.plan);
+  ASSERT_NE(handle.evaluator(), nullptr);
+  EXPECT_TRUE(handle.evaluator()->factored());
+  ASSERT_NE(handle.dataset()->factored(), nullptr);
+
+  // Every served answer matches the dense materialization's answer.
+  const DenseTensor dense = fx.tensor->ToDense();
+  std::vector<int64_t> batch;
+  for (int64_t q = 0; q < handle.NumQueries(); ++q) batch.push_back(q);
+  batch.push_back(1);  // duplicates allowed
+  auto answers = handle.AnswerBatch(batch);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  const std::vector<double> all = handle.AnswerAll();
+  ASSERT_EQ(static_cast<int64_t>(all.size()), fx.family.TotalCount());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto parts = fx.family.Decompose(batch[i]);
+    const double want =
+        fx.dataset->Answer(fx.family, parts);  // AnswerProduct path
+    EXPECT_NEAR((*answers)[i], want, 1e-9 * (1.0 + std::abs(want)));
+    EXPECT_NEAR(all[static_cast<size_t>(batch[i])], want,
+                1e-9 * (1.0 + std::abs(want)));
+  }
+  // Thread counts do not change a single bit.
+  for (const int threads : {1, 2, 8}) {
+    auto again = handle.AnswerBatch(batch, threads);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, *answers) << "threads=" << threads;
+    EXPECT_EQ(handle.AnswerAll(threads), all) << "threads=" << threads;
+  }
+}
+
+TEST(ServingHandleTest, CompatibleMechanismEvaluatorIsShared) {
+  FactoredFixture fx = MakeFactoredFixture(14);
+  auto shared = std::make_shared<const WorkloadEvaluator>(
+      WorkloadEvaluator::ForFactored(fx.family, *fx.tensor));
+  const ServingHandle handle(fx.dataset, fx.family, fx.plan, shared);
+  // Same object, not an equivalent rebuild.
+  EXPECT_EQ(handle.evaluator(), shared.get());
+
+  // An incompatible evaluator (dense, wrong shape) is ignored.
+  SyntheticFixture other = MakeSyntheticFixture(15);
+  auto mismatched = std::make_shared<const WorkloadEvaluator>(
+      other.family, other.dataset->tensor().shape());
+  const ServingHandle fresh(fx.dataset, fx.family, fx.plan, mismatched);
+  EXPECT_NE(fresh.evaluator(), mismatched.get());
+  ASSERT_NE(fresh.evaluator(), nullptr);
+  EXPECT_TRUE(fresh.evaluator()->factored());
+}
+
+TEST(ServingHandleTest, DenseHandleSharesCompatibleEvaluatorToo) {
+  SyntheticFixture fx = MakeSyntheticFixture(16);
+  auto shared = std::make_shared<const WorkloadEvaluator>(
+      fx.family, fx.dataset->tensor().shape());
+  const ServingHandle handle(fx.dataset, fx.family, fx.plan, shared);
+  EXPECT_EQ(handle.evaluator(), shared.get());
+}
+
 std::shared_ptr<const ServingHandle> MakeDummyHandle(double tag) {
   SyntheticFixture fx = MakeSyntheticFixture(9);
   std::vector<double> answers(static_cast<size_t>(fx.family.TotalCount()),

@@ -1,0 +1,226 @@
+// FactoredTensor unit suite: the product-form backing must agree with its
+// dense materialization on every cell, every product answer, and every
+// marginal — and ComputeWorkloadFactorization must derive exactly the
+// connected components of the workload's attribute co-occurrence graph.
+
+#include "query/factored_tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/workloads.h"
+
+namespace dpjoin {
+namespace {
+
+// A {4,3,2} domain factored as {0,2} (mode 1 auto-fills as a singleton).
+FactoredTensor MakeUniform(double mass) {
+  return FactoredTensor(MixedRadix({4, 3, 2}), {{0, 2}}, mass);
+}
+
+TEST(FactoredTensorTest, UniformConstructionFillsSingletons) {
+  const FactoredTensor t = MakeUniform(24.0);
+  ASSERT_EQ(t.num_factors(), 2u);
+  EXPECT_EQ(t.factor(0).modes, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(t.factor(1).modes, (std::vector<size_t>{1}));
+  EXPECT_DOUBLE_EQ(t.TotalMass(), 24.0);
+  EXPECT_DOUBLE_EQ(t.DomainCells(), 24.0);
+  EXPECT_EQ(t.StorageCells(), 8 + 3);  // sum of factor sizes, not product
+  for (int64_t flat = 0; flat < 24; ++flat) {
+    EXPECT_NEAR(t.At(flat), 1.0, 1e-12);  // 24/24 per cell
+  }
+  EXPECT_EQ(t.factor_of_mode(2), 0u);
+  EXPECT_EQ(t.digit_in_factor(2), 1u);
+  EXPECT_EQ(t.factor_of_mode(1), 1u);
+}
+
+TEST(FactoredTensorTest, AtMatchesToDenseAfterUpdates) {
+  FactoredTensor t = MakeUniform(10.0);
+  // Touch the {0,2} factor with a product indicator on modes 0 and 2.
+  const std::vector<double> q0 = {1, 0, 0, 1};
+  const std::vector<double> ones1 = {1, 1, 1};
+  const std::vector<double> q2 = {0, 1};
+  t.MultiplicativeUpdate({q0.data(), ones1.data(), q2.data()}, 0.7);
+  // Touch the singleton factor.
+  const std::vector<double> ones0 = {1, 1, 1, 1};
+  const std::vector<double> q1 = {0.5, -0.5, 1.0};
+  const std::vector<double> ones2 = {1, 1};
+  t.MultiplicativeUpdate({ones0.data(), q1.data(), ones2.data()}, -0.3);
+  const DenseTensor dense = t.ToDense();
+  for (int64_t flat = 0; flat < dense.size(); ++flat) {
+    EXPECT_NEAR(t.At(flat), dense.At(flat), 1e-12 * (1.0 + dense.At(flat)));
+  }
+  EXPECT_NEAR(t.TotalMass(), dense.TotalMass(), 1e-9);
+}
+
+TEST(FactoredTensorTest, AllOnesUpdateIsAPureRescale) {
+  FactoredTensor t = MakeUniform(5.0);
+  const std::vector<double> ones0 = {1, 1, 1, 1};
+  const std::vector<double> ones1 = {1, 1, 1};
+  const std::vector<double> ones2 = {1, 1};
+  t.MultiplicativeUpdate({ones0.data(), ones1.data(), ones2.data()}, 0.4);
+  EXPECT_NEAR(t.TotalMass(), 5.0 * std::exp(0.4), 1e-12);
+  EXPECT_NEAR(t.At(0) / t.At(23), 1.0, 1e-12);  // still uniform
+}
+
+TEST(FactoredTensorDeathTest, CrossFactorUpdateIsRejected) {
+  FactoredTensor t = MakeUniform(5.0);
+  const std::vector<double> q0 = {1, 0, 0, 0};
+  const std::vector<double> q1 = {0, 1, 0};
+  const std::vector<double> ones2 = {1, 1};
+  EXPECT_DEATH(
+      t.MultiplicativeUpdate({q0.data(), q1.data(), ones2.data()}, 0.5),
+      "crosses factors");
+}
+
+TEST(FactoredTensorTest, NormalizeToPreservesRatios) {
+  FactoredTensor t = MakeUniform(10.0);
+  const std::vector<double> q0 = {1, 0, 0, 0};
+  const std::vector<double> ones1 = {1, 1, 1};
+  const std::vector<double> ones2 = {1, 1};
+  t.MultiplicativeUpdate({q0.data(), ones1.data(), ones2.data()}, 1.0);
+  const double ratio = t.At(0) / t.At(23);
+  t.NormalizeTo(3.0);
+  EXPECT_NEAR(t.TotalMass(), 3.0, 1e-12);
+  EXPECT_NEAR(t.At(0) / t.At(23), ratio, 1e-12);
+}
+
+TEST(FactoredTensorTest, AnswerProductMatchesDenseDot) {
+  Rng rng(17);
+  FactoredTensor t = MakeUniform(7.0);
+  const std::vector<double> q0 = {0, 1, 1, 0};
+  const std::vector<double> ones1 = {1, 1, 1};
+  const std::vector<double> q2 = {1, 0};
+  t.MultiplicativeUpdate({q0.data(), ones1.data(), q2.data()}, 0.9);
+  // A random product query spanning both factors.
+  std::vector<std::vector<double>> qv(3);
+  for (size_t d = 0; d < 3; ++d) {
+    const int64_t radix = t.shape().radix(d);
+    for (int64_t v = 0; v < radix; ++v) {
+      qv[d].push_back(rng.UniformDouble(-1.0, 1.0));
+    }
+  }
+  const double got = t.AnswerProduct({qv[0].data(), qv[1].data(),
+                                      qv[2].data()});
+  const DenseTensor dense = t.ToDense();
+  double want = 0.0;
+  std::vector<int64_t> digits;
+  for (int64_t flat = 0; flat < dense.size(); ++flat) {
+    digits = t.shape().Decode(flat);
+    double q = 1.0;
+    for (size_t d = 0; d < 3; ++d) q *= qv[d][static_cast<size_t>(digits[d])];
+    want += dense.At(flat) * q;
+  }
+  EXPECT_NEAR(got, want, 1e-9 * (1.0 + std::abs(want)));
+}
+
+TEST(FactoredTensorTest, MarginalOverMatchesDense) {
+  FactoredTensor t = MakeUniform(9.0);
+  const std::vector<double> q0 = {1, 1, 0, 0};
+  const std::vector<double> ones1 = {1, 1, 1};
+  const std::vector<double> q2 = {0, 1};
+  t.MultiplicativeUpdate({q0.data(), ones1.data(), q2.data()}, -0.6);
+  // Marginal over modes {1, 2}: one selected mode per factor kind
+  // (singleton and a strict subset of the {0,2} factor).
+  const std::vector<double> got = t.MarginalOver({1, 2});
+  const DenseTensor dense = t.ToDense();
+  const MixedRadix out_shape({3, 2});
+  std::vector<double> want(6, 0.0);
+  for (int64_t flat = 0; flat < dense.size(); ++flat) {
+    const std::vector<int64_t> digits = t.shape().Decode(flat);
+    want[static_cast<size_t>(out_shape.Encode({digits[1], digits[2]}))] +=
+        dense.At(flat);
+  }
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9 * (1.0 + want[i])) << "cell " << i;
+  }
+}
+
+TEST(FactoredTensorTest, ScaleAccessorsComposeWithLogicalView) {
+  FactoredTensor t = MakeUniform(4.0);
+  t.set_factor_scale(0, 2.0);
+  t.set_scale(t.scale() * 0.5);
+  EXPECT_NEAR(t.TotalMass(), 4.0, 1e-12);  // 0.5 · 2 cancels
+  EXPECT_NEAR(t.At(0), 4.0 / 24.0, 1e-12);
+}
+
+JoinQuery SingleRelationQuery() {
+  auto q = JoinQuery::Create({{"A", 4}, {"B", 3}, {"C", 2}}, {{"A", "B", "C"}});
+  DPJOIN_CHECK(q.ok(), q.status().ToString());
+  return std::move(q).value();
+}
+
+TEST(WorkloadFactorizationTest, MarginalAllSplitsIntoSingletons) {
+  const JoinQuery query = SingleRelationQuery();
+  Rng rng(3);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kMarginalAll, 0, rng);
+  const WorkloadFactorization wf = ComputeWorkloadFactorization(query, family);
+  ASSERT_TRUE(wf.product_form) << wf.reason;
+  // Each marginal touches one attribute: three singleton components.
+  ASSERT_EQ(wf.groups.size(), 3u);
+  EXPECT_EQ(wf.groups[0], (std::vector<size_t>{0}));
+  EXPECT_EQ(wf.groups[1], (std::vector<size_t>{1}));
+  EXPECT_EQ(wf.groups[2], (std::vector<size_t>{2}));
+  EXPECT_EQ(wf.group_cells, (std::vector<int64_t>{4, 3, 2}));
+  EXPECT_EQ(wf.max_group_cells, 4);
+  EXPECT_DOUBLE_EQ(wf.sum_cells, 9.0);
+  EXPECT_DOUBLE_EQ(wf.total_cells, 24.0);
+}
+
+TEST(WorkloadFactorizationTest, PointQueriesCliqueEverything) {
+  const JoinQuery query = SingleRelationQuery();
+  Rng rng(5);
+  const QueryFamily family = MakeWorkload(query, WorkloadKind::kPoint, 3, rng);
+  const WorkloadFactorization wf = ComputeWorkloadFactorization(query, family);
+  ASSERT_TRUE(wf.product_form) << wf.reason;
+  // A point indicator supports every attribute, so one component spans all.
+  ASSERT_EQ(wf.groups.size(), 1u);
+  EXPECT_EQ(wf.groups[0], (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(wf.max_group_cells, 24);
+}
+
+TEST(WorkloadFactorizationTest, DenseWorkloadIsNotProductForm) {
+  const JoinQuery query = SingleRelationQuery();
+  Rng rng(7);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 2, rng);
+  const WorkloadFactorization wf = ComputeWorkloadFactorization(query, family);
+  EXPECT_FALSE(wf.product_form);
+  EXPECT_NE(wf.reason.find("product form"), std::string::npos) << wf.reason;
+}
+
+TEST(WorkloadFactorizationTest, MultiRelationQueriesAreRefused) {
+  auto q = JoinQuery::Create({{"A", 3}, {"B", 3}}, {{"A"}, {"A", "B"}});
+  ASSERT_TRUE(q.ok());
+  const JoinQuery query = std::move(q).value();
+  Rng rng(9);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kMarginal, 0, rng);
+  const WorkloadFactorization wf = ComputeWorkloadFactorization(query, family);
+  EXPECT_FALSE(wf.product_form);
+  EXPECT_NE(wf.reason.find("single-relation"), std::string::npos);
+}
+
+TEST(FactoredTensorTest, HugeDomainStaysWithinFactorStorage) {
+  // 10 attributes of size 16: |D| = 2^40 cells, yet storage is 10·16
+  // doubles when the workload splits every attribute into its own factor.
+  std::vector<int64_t> radices(10, 16);
+  std::vector<std::vector<size_t>> groups;
+  for (size_t d = 0; d < 10; ++d) groups.push_back({d});
+  const FactoredTensor t(MixedRadix(radices), std::move(groups), 1000.0);
+  EXPECT_EQ(t.StorageCells(), 160);
+  EXPECT_DOUBLE_EQ(t.DomainCells(), std::pow(2.0, 40.0));
+  EXPECT_NEAR(t.TotalMass(), 1000.0, 1e-9);
+  // Spot-check a cell of the (huge) logical domain.
+  EXPECT_NEAR(t.At(int64_t{123456789}),
+              1000.0 / std::pow(2.0, 40.0), 1e-24);
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -9,8 +9,8 @@ namespace dpjoin {
 namespace {
 
 std::vector<TableQuery> TwoQueries(int64_t dom) {
-  TableQuery ones{"ones", std::vector<double>(static_cast<size_t>(dom), 1.0)};
-  TableQuery half{"half", std::vector<double>(static_cast<size_t>(dom), 0.5)};
+  TableQuery ones{"ones", std::vector<double>(static_cast<size_t>(dom), 1.0), {}};
+  TableQuery half{"half", std::vector<double>(static_cast<size_t>(dom), 0.5), {}};
   return {ones, half};
 }
 
@@ -59,7 +59,7 @@ TEST(QueryFamilyTest, ValidatesShape) {
                   .status()
                   .IsInvalidArgument());
   // Out-of-range value.
-  TableQuery bad{"bad", std::vector<double>(4, 2.0)};
+  TableQuery bad{"bad", std::vector<double>(4, 2.0), {}};
   EXPECT_TRUE(QueryFamily::Create(query, {TwoQueries(4), {bad}})
                   .status()
                   .IsInvalidArgument());

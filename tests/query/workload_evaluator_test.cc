@@ -180,6 +180,44 @@ TEST(WorkloadEvaluatorBoxTest, NonIndicatorQueriesAreReported) {
   EXPECT_FALSE(evaluator.IsProductIndicator({0, 2}));
 }
 
+TEST(WorkloadEvaluatorOrderTest, SoleNonIndicatorModeContractsLast) {
+  // Relation 0 carries indicator (point) queries, relation 1 the only
+  // non-indicator (uniform-valued) ones. The contraction must run the
+  // indicator mode FIRST so the single dense matrix touches the already
+  // shrunk |Q_0|-sized intermediate — i.e. mode 1 goes last, reversing the
+  // default last-to-first order.
+  const JoinQuery query = MakeTwoTableQuery(4, 3, 4);
+  Rng rng(11);
+  auto family = QueryFamily::Create(
+      query, {MakePointQueries(query, 0, 2, rng),
+              MakeRandomUniformQueries(query, 1, 3, rng)});
+  ASSERT_TRUE(family.ok());
+  const WorkloadEvaluator evaluator(*family, ReleaseShape(query));
+  EXPECT_EQ(evaluator.contraction_order(), (std::vector<size_t>{0, 1}));
+
+  // All-indicator and several-non-indicator families keep last-to-first.
+  auto indicators = QueryFamily::Create(
+      query, {MakePointQueries(query, 0, 2, rng),
+              MakePointQueries(query, 1, 2, rng)});
+  ASSERT_TRUE(indicators.ok());
+  EXPECT_EQ(WorkloadEvaluator(*indicators, ReleaseShape(query))
+                .contraction_order(),
+            (std::vector<size_t>{1, 0}));
+
+  // The reordering is a pure scheduling choice: answers still match the
+  // brute-force per-query evaluation.
+  Rng data_rng(12);
+  const Instance instance = testing::RandomInstance(query, 30, data_rng);
+  const DenseTensor tensor = JoinTensor(instance);
+  const std::vector<double> got = evaluator.EvaluateAll(tensor);
+  const std::vector<double> want = EvaluateAllOnTensor(*family, tensor);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9 * (1.0 + std::abs(want[i])))
+        << "query " << i;
+  }
+}
+
 TEST(WorkloadEvaluatorFlopsTest, MatchesTheContractionSequenceCost) {
   // Two modes, |D| = (3, 4), |Q| = (2, 5): contracting mode 1 first costs
   // 3·5·4 = 60, then mode 0 costs 2·3·5 = 30.
