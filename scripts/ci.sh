@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verify + bench smoke, as CI runs it:
-#   1. configure + build with -Wall -Wextra -Werror (the tree is
-#      warning-clean — keep it that way),
-#   2. ctest over every discovered test,
-#   3. a DPJOIN_BENCH_QUICK=1 smoke run of one bench binary, validating the
-#      BENCH_*.json it writes.
+# Tier-1 verify + static analysis + bench smoke, as CI runs it:
+#   1. probe required/optional tools (fail or skip EARLY with a clear
+#      message, never half-way through a 10-minute build),
+#   2. lint: scripts/dpjoin_lint.py self-test + tree scan (layering DAG,
+#      raw-thread/random/mutex, stdout, unchecked-result rules),
+#   3. configure + build with -Wall -Wextra -Werror (the tree is
+#      warning-clean — keep it that way; under Clang this also enables
+#      -Wthread-safety, making lock-discipline violations hard errors),
+#   4. ctest over every discovered test,
+#   5. serving-protocol + ledger-persistence sessions, bench smoke with
+#      BENCH_*.json validation, ASan suites (as before),
+#   6. tidy: clang-tidy over src/ via compile_commands.json (skipped with a
+#      message when clang-tidy is not installed),
+#   7. tsan: ThreadSanitizer build + `ctest -L tsan` over the six
+#      concurrency suites (thread_pool, catalog, ledger, serving, server,
+#      parallel_determinism).
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build-ci)
 
@@ -13,6 +23,43 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "==> tool probe"
+# Required tools first: better one clear line now than a bash "command not
+# found" after the build already ran for minutes.
+for tool in cmake python3; do
+  if ! command -v "${tool}" > /dev/null 2>&1; then
+    echo "ERROR: required tool '${tool}' is not installed (ci.sh uses it" \
+         "for the build and for validating bench/server JSON output)" >&2
+    exit 1
+  fi
+done
+# Optional tools degrade to a skip, announced here so the log says up front
+# which stages will run.
+HAVE_CLANG_TIDY=0
+if command -v clang-tidy > /dev/null 2>&1 && command -v clang++ > /dev/null 2>&1; then
+  HAVE_CLANG_TIDY=1
+  echo "    clang-tidy: $(clang-tidy --version | head -2 | tail -1)"
+else
+  echo "    clang-tidy: not installed — the tidy stage will be SKIPPED"
+fi
+HAVE_CLANG_FORMAT=0
+if command -v clang-format > /dev/null 2>&1; then
+  HAVE_CLANG_FORMAT=1
+  echo "    clang-format: $(clang-format --version)"
+else
+  echo "    clang-format: not installed — format check will be SKIPPED"
+fi
+
+echo "==> lint (scripts/dpjoin_lint.py)"
+# Self-test first: a linter whose rules silently died would pass any tree.
+python3 scripts/dpjoin_lint.py --self-test
+python3 scripts/dpjoin_lint.py
+if [[ "${HAVE_CLANG_FORMAT}" == 1 ]]; then
+  echo "==> clang-format check (src/)"
+  find src -name '*.h' -o -name '*.cc' | xargs clang-format --dry-run -Werror \
+    || { echo "ERROR: clang-format violations (run clang-format -i)"; exit 1; }
+fi
 
 echo "==> configure (${BUILD_DIR}, warnings-as-errors)"
 cmake -B "${BUILD_DIR}" -S . -DDPJOIN_WERROR=ON
@@ -153,5 +200,44 @@ for suite in workload_evaluator_test pmw_factored_test \
              factored_tensor_test serving_test; do
   "${ASAN_DIR}/tests/${suite}" --gtest_brief=1
 done
+
+echo "==> clang-tidy over src/ (bugprone-*, concurrency-*, performance-*)"
+if [[ "${HAVE_CLANG_TIDY}" == 1 ]]; then
+  # A Clang compile database, so clang-tidy sees the same flags a tidy-preset
+  # build would (the main ${BUILD_DIR} database may be GCC-flavored). This
+  # configure also runs the thread_annotations_compile_test registration
+  # (Clang has -Wthread-safety), and the build makes every lock-discipline or
+  # nodiscard violation a hard -Werror failure.
+  TIDY_DIR="${BUILD_DIR}-tidy"
+  cmake -B "${TIDY_DIR}" -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DDPJOIN_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "${TIDY_DIR}" -j "${JOBS}"
+  ctest --test-dir "${TIDY_DIR}" --output-on-failure \
+    -R thread_annotations_compile_test
+  mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+  if command -v run-clang-tidy > /dev/null 2>&1; then
+    run-clang-tidy -p "${TIDY_DIR}" -quiet -j "${JOBS}" "${TIDY_SOURCES[@]}"
+  else
+    clang-tidy -p "${TIDY_DIR}" --quiet "${TIDY_SOURCES[@]}"
+  fi
+else
+  echo "SKIPPED: clang-tidy/clang++ not installed (probe above); install" \
+       "clang + clang-tidy to run the tidy stage locally"
+fi
+
+echo "==> TSan run of the concurrency suites (ctest -L tsan)"
+# The six suites that hammer the mutex-holding classes (ThreadPool,
+# DataCatalog, BudgetLedger, ReleaseCache/ServingHandle, ReleaseServer, and
+# the cross-thread determinism contract) run under ThreadSanitizer on every
+# CI pass — the TSan coverage is a reproducible gate, not an anecdote.
+# Scoped to the labelled suites to keep CI wall-clock reasonable.
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "${TSAN_DIR}" -S . -DDPJOIN_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=Debug -DDPJOIN_BUILD_BENCH=OFF \
+  -DDPJOIN_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
+  thread_pool_test catalog_test budget_ledger_test serving_test \
+  server_test parallel_determinism_test
+ctest --test-dir "${TSAN_DIR}" --output-on-failure -L tsan -j "${JOBS}"
 
 echo "==> ci.sh: all green"

@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""dpjoin_lint.py — repo-specific invariants no off-the-shelf tool knows.
+
+Rules (each violation prints `path:line: [rule] message`):
+
+  layering    src/<layer>/ may only #include from itself and the layers it
+              is allowed to depend on. The DAG mirrors src/CMakeLists.txt:
+              common at the bottom, engine at the top, no back-edges.
+  raw-thread  std::thread outside common/thread_pool.* — all parallelism
+              goes through the pool so the block-decomposition bit-identity
+              contract holds for every thread count.
+  raw-random  rand()/srand()/std::random_device/std::mt19937 outside
+              common/rng.h — every random draw flows from a seeded Rng, or
+              releases stop being reproducible (and DP noise stops being
+              auditable).
+  raw-mutex   std::mutex/std::lock_guard/std::unique_lock/
+              std::condition_variable outside common/mutex.h — new locks
+              must use the annotated Mutex/MutexLock/CondVar wrappers so
+              Clang's -Wthread-safety can check the locking discipline.
+  stdout      std::cout in src/ libraries — library code reports through
+              Status/Result or an ostream parameter, never by printing.
+  unchecked-result
+              `Foo(...).value()` directly on a freshly returned Result in
+              src/ — the error path is silently converted to an abort;
+              use DPJOIN_ASSIGN_OR_RETURN or check ok() first.
+
+Suppression: append `dpjoin-lint: allow(<rule>)` in a comment on the
+offending line or the line above it. Use sparingly, with justification.
+
+Usage:
+  scripts/dpjoin_lint.py              lint the repo (exit 1 on violations)
+  scripts/dpjoin_lint.py --self-test  verify every rule fires on a seeded
+                                      violation (exit 1 if any rule is dead)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Allowed #include dependencies per layer, mirroring the DEPS lists in
+# src/CMakeLists.txt. A file in src/<layer>/ may include its own layer and
+# anything listed here; everything else is a layering back-edge.
+LAYER_DEPS = {
+    "common": set(),
+    "dp": {"common"},
+    "relational": {"common"},
+    "query": {"common", "relational"},
+    "sensitivity": {"common", "relational"},
+    "release": {"common", "dp", "query", "relational"},
+    "core": {"common", "dp", "query", "relational", "release", "sensitivity"},
+    "hierarchical": {"common", "core", "dp", "query", "relational",
+                     "sensitivity"},
+    "lowerbound": {"common", "query", "relational"},
+    "engine": {"common", "core", "dp", "hierarchical", "query", "relational",
+               "release", "sensitivity"},
+}
+
+# Files exempt from specific rules because they IMPLEMENT the primitive the
+# rule protects (relative to src/).
+RAW_THREAD_OK = {"common/thread_pool.h", "common/thread_pool.cc"}
+RAW_RANDOM_OK = {"common/rng.h"}
+RAW_MUTEX_OK = {"common/mutex.h"}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+ALLOW_RE = re.compile(r"dpjoin-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+TOKEN_RULES = [
+    # (rule, regex, exempt-set, message)
+    ("raw-thread", re.compile(r"\bstd::thread\b(?!::)"), RAW_THREAD_OK,
+     "raw std::thread — use common/thread_pool.h (ParallelFor/ParallelSum) "
+     "so the bit-identity contract holds"),
+    ("raw-random",
+     re.compile(r"\b(?:s?rand\s*\(|std::random_device\b|std::mt19937)"),
+     RAW_RANDOM_OK,
+     "raw randomness — draw from a seeded dpjoin::Rng (common/rng.h) so "
+     "releases stay reproducible"),
+    ("raw-mutex",
+     re.compile(r"\bstd::(?:mutex|lock_guard|unique_lock|scoped_lock|"
+                r"condition_variable(?:_any)?)\b"),
+     RAW_MUTEX_OK,
+     "raw std locking primitive — use the annotated Mutex/MutexLock/CondVar "
+     "from common/mutex.h so -Wthread-safety can check it"),
+    ("stdout", re.compile(r"\bstd::cout\b"), set(),
+     "std::cout in library code — return a Status/Result or take an "
+     "ostream& parameter"),
+    ("unchecked-result",
+     re.compile(r"\)\s*\.value\(\)"), set(),
+     "bare .value() on a freshly returned Result — use "
+     "DPJOIN_ASSIGN_OR_RETURN or check ok() first"),
+]
+
+# std::move(result).value() is the ASSIGN_OR_RETURN unwrapping idiom, not an
+# unchecked call chain.
+MOVE_VALUE_RE = re.compile(r"std::move\s*\([^()]*\)\s*\.value\(\)")
+
+
+def strip_noise(line: str) -> str:
+    """Removes string literals and // comments so tokens inside them don't
+    trigger rules (documentation legitimately mentions std::cout etc.)."""
+    out = []
+    i, n = 0, len(line)
+    in_string = None
+    while i < n:
+        c = line[i]
+        if in_string:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_string:
+                in_string = None
+            i += 1
+            continue
+        if c in "\"'":
+            in_string = c
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(lines: list[str], idx: int) -> set[str]:
+    """Rules suppressed on line `idx` (0-based): markers on the line itself
+    or the line above."""
+    allowed: set[str] = set()
+    for j in (idx - 1, idx):
+        if 0 <= j < len(lines):
+            m = ALLOW_RE.search(lines[j])
+            if m:
+                allowed.update(r.strip() for r in m.group(1).split(","))
+    return allowed
+
+
+def lint_file(path: Path, rel_to_src: str) -> list[tuple[int, str, str]]:
+    """Returns (line_number, rule, message) violations for one src/ file."""
+    violations = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    layer = rel_to_src.split("/", 1)[0]
+    in_block_comment = False
+
+    for idx, raw_line in enumerate(lines):
+        lineno = idx + 1
+        allowed = allowed_rules(lines, idx)
+
+        # Block comments: track /* ... */ state so documentation can't
+        # trigger token rules. (String-literal and // stripping is per-line.)
+        line = raw_line
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        stripped = strip_noise(line)
+        start = stripped.find("/*")
+        if start >= 0:
+            end = stripped.find("*/", start + 2)
+            if end < 0:
+                in_block_comment = True
+                stripped = stripped[:start]
+            else:
+                stripped = stripped[:start] + stripped[end + 2:]
+
+        include = INCLUDE_RE.match(raw_line)
+        if include and layer in LAYER_DEPS and "layering" not in allowed:
+            target = include.group(1).split("/", 1)[0]
+            if target in LAYER_DEPS and target != layer and \
+                    target not in LAYER_DEPS[layer]:
+                violations.append((
+                    lineno, "layering",
+                    f'src/{layer}/ must not include "{include.group(1)}" — '
+                    f"{target} is not among its allowed deps "
+                    f"({', '.join(sorted(LAYER_DEPS[layer])) or 'none'}); "
+                    "see the DAG in src/CMakeLists.txt"))
+
+        for rule, pattern, exempt, message in TOKEN_RULES:
+            if rule in allowed or rel_to_src in exempt:
+                continue
+            haystack = stripped
+            if rule == "unchecked-result":
+                haystack = MOVE_VALUE_RE.sub("", haystack)
+            if pattern.search(haystack):
+                violations.append((lineno, rule, message))
+    return violations
+
+
+def lint_tree(src_root: Path) -> int:
+    """Lints every .h/.cc under `src_root`; returns the violation count."""
+    count = 0
+    for path in sorted(src_root.rglob("*")):
+        if path.suffix not in (".h", ".cc", ".cpp"):
+            continue
+        rel = path.relative_to(src_root).as_posix()
+        for lineno, rule, message in lint_file(path, rel):
+            print(f"{src_root.name}/{rel}:{lineno}: [{rule}] {message}")
+            count += 1
+    return count
+
+
+# --- self-test ------------------------------------------------------------
+
+SEEDED_VIOLATIONS = {
+    # rule -> (relative path inside a fake src/, file contents)
+    "layering": ("query/bad_layering.h",
+                 '#include "engine/engine.h"\n'),
+    "raw-thread": ("dp/bad_thread.cc",
+                   "void f() { std::thread t([] {}); }\n"),
+    "raw-random": ("release/bad_random.cc",
+                   "int f() { return rand(); }\n"),
+    "raw-mutex": ("engine/bad_mutex.h",
+                  "struct S { std::mutex mu_; };\n"),
+    "stdout": ("core/bad_stdout.cc",
+               'void f() { std::cout << "x"; }\n'),
+    "unchecked-result": ("engine/bad_unwrap.cc",
+                         "int f() { return G().value(); }\n"),
+}
+
+CLEAN_FILES = {
+    # Legitimate patterns that must NOT fire.
+    "query/fine.cc": (
+        '#include "relational/join.h"\n'
+        "// a comment mentioning std::cout and std::thread is fine\n"
+        'const char* s = "std::mutex in a string is fine";\n'
+        "auto v = std::move(result).value();  // ASSIGN_OR_RETURN idiom\n"),
+    "common/thread_pool.cc": "std::thread worker;\n",
+    "common/rng.h": "std::mt19937_64 engine_;\n",
+    "common/mutex.h": "std::mutex mu_; std::condition_variable_any cv_;\n",
+    "engine/suppressed.cc": (
+        "// dpjoin-lint: allow(raw-thread) — justified exception\n"
+        "std::thread t;\n"),
+}
+
+
+def self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="dpjoin_lint_selftest_") as tmp:
+        src = Path(tmp) / "src"
+        for rule, (rel, contents) in SEEDED_VIOLATIONS.items():
+            path = src / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(contents)
+            found = [r for _, r, _ in lint_file(path, rel)]
+            if rule in found:
+                print(f"self-test ok: [{rule}] fires on seeded {rel}")
+            else:
+                print(f"self-test FAIL: [{rule}] did not fire on {rel} "
+                      f"(got {found})")
+                failures += 1
+            path.unlink()
+        for rel, contents in CLEAN_FILES.items():
+            path = src / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(contents)
+            found = lint_file(path, rel)
+            if found:
+                print(f"self-test FAIL: clean file {rel} triggered {found}")
+                failures += 1
+            else:
+                print(f"self-test ok: no false positive on {rel}")
+    if failures:
+        print(f"self-test: {failures} dead or over-eager rule(s)")
+        return 1
+    print("self-test: every rule fires exactly where seeded")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if "--help" in argv or "-h" in argv:
+        print(__doc__)
+        return 0
+    if "--self-test" in argv:
+        return self_test()
+    src_root = REPO_ROOT / "src"
+    if not src_root.is_dir():
+        print(f"dpjoin_lint: no src/ under {REPO_ROOT}", file=sys.stderr)
+        return 2
+    count = lint_tree(src_root)
+    if count:
+        print(f"dpjoin_lint: {count} violation(s)")
+        return 1
+    print("dpjoin_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,88 @@
+// Annotated mutex primitives: the lock types the thread-safety analysis
+// understands.
+//
+// std::mutex from libstdc++ carries no capability attributes, so Clang's
+// `-Wthread-safety` cannot reason about it. These thin wrappers add the
+// annotations (and nothing else — each is exactly a std::mutex /
+// std::lock_guard / std::condition_variable_any under the hood):
+//
+//   Mutex      — a CAPABILITY("mutex"); fields it protects are declared
+//                `T field GUARDED_BY(mu_);`.
+//   MutexLock  — SCOPED_CAPABILITY std::lock_guard equivalent.
+//   CondVar    — condition variable waiting directly on a Mutex; Wait()
+//                REQUIRES the mutex (it is released while blocked and
+//                reacquired before returning, like std::condition_variable).
+//
+// Explicit Lock()/Unlock() (annotated ACQUIRE/RELEASE) exist for the rare
+// code shape a scoped guard cannot express — e.g. a worker loop that
+// unlocks around a work phase (see common/thread_pool.cc). Prefer
+// MutexLock everywhere else.
+
+#ifndef DPJOIN_COMMON_MUTEX_H_
+#define DPJOIN_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dpjoin {
+
+/// An annotated std::mutex. Non-recursive, non-copyable.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spelling, so CondVar (condition_variable_any) can park
+  /// on the Mutex directly. Library code should use Lock()/Unlock().
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over a Mutex, visible to the analysis: holding a
+/// MutexLock satisfies GUARDED_BY/REQUIRES on everything `mu` protects for
+/// the lexical scope of the guard.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable parking directly on a Mutex. Semantics match
+/// std::condition_variable: Wait atomically releases the mutex while
+/// blocked and holds it again when it returns; spurious wakeups are
+/// possible, so callers re-test their predicate in a loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One wakeup-to-wakeup wait; `mu` must be held.
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_COMMON_MUTEX_H_

@@ -15,8 +15,13 @@ namespace dpjoin {
 ///
 /// Access to the value when the Result holds an error is a programmer error
 /// and aborts (DPJOIN_CHECK), mirroring arrow::Result semantics.
+///
+/// [[nodiscard]]: ignoring a returned Result drops an error path on the
+/// floor — in this library that can mean a privacy-accounting step silently
+/// failed, so every discard is a compile error under -Werror. A genuinely
+/// intentional discard must be spelled `(void)expr;` with a comment.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, enables `return value;`).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

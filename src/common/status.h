@@ -34,7 +34,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Status is cheap to copy in the OK case (a null pointer); error state is
 /// heap-allocated since errors are rare.
-class Status {
+///
+/// [[nodiscard]]: a Status that is never looked at is an error silently
+/// swallowed; the compiler rejects the discard under -Werror. Spell an
+/// intentional best-effort call `(void)expr;` with a comment saying why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

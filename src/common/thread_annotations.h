@@ -1,0 +1,124 @@
+// Clang thread-safety annotation macros.
+//
+// These expand to Clang's `-Wthread-safety` attributes so the compiler can
+// prove, at compile time, that every access to a `GUARDED_BY(mu)` field
+// happens with `mu` held and that lock/unlock calls balance on every path.
+// On compilers without the attributes (GCC) they expand to nothing — the
+// code still builds everywhere, and a Clang `tidy` build (see the `tidy`
+// CMake preset and scripts/ci.sh) turns violations into hard errors.
+//
+// Usage, together with the annotated wrappers in common/mutex.h:
+//
+//   class Account {
+//    public:
+//     void Deposit(double amount) {
+//       MutexLock lock(mu_);
+//       balance_ += amount;            // OK: mu_ is held
+//     }
+//    private:
+//     Mutex mu_;
+//     double balance_ GUARDED_BY(mu_) = 0.0;  // unguarded access = error
+//   };
+//
+// Private helpers that assume the lock is already held are annotated with
+// REQUIRES(mu_); RAII guards are SCOPED_CAPABILITY classes. The repo
+// convention (see CONTRIBUTING.md) is that every new mutex-guarded field
+// carries a GUARDED_BY annotation.
+//
+// Names follow the Clang documentation (and Chromium/LLVM practice); every
+// macro is #ifndef-guarded so an embedding project that already defines
+// them wins.
+
+#ifndef DPJOIN_COMMON_THREAD_ANNOTATIONS_H_
+#define DPJOIN_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define DPJOIN_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DPJOIN_THREAD_ANNOTATION_(x)  // no-op: GCC has no -Wthread-safety
+#endif
+
+/// Marks a class as a lockable capability ("mutex"), usable in the
+/// annotations below.
+#ifndef CAPABILITY
+#define CAPABILITY(x) DPJOIN_THREAD_ANNOTATION_(capability(x))
+#endif
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (std::lock_guard-style).
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY DPJOIN_THREAD_ANNOTATION_(scoped_lockable)
+#endif
+
+/// Declares that the annotated field/variable may only be read or written
+/// while holding `x`.
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) DPJOIN_THREAD_ANNOTATION_(guarded_by(x))
+#endif
+
+/// Like GUARDED_BY, but guards the data POINTED TO by the annotated pointer
+/// (the pointer itself is unguarded).
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) DPJOIN_THREAD_ANNOTATION_(pt_guarded_by(x))
+#endif
+
+/// Declares that callers must hold the given capabilities before calling
+/// the annotated function (which does not acquire them itself).
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  DPJOIN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#endif
+
+/// Declares that callers must NOT hold the given capabilities (the function
+/// acquires them itself; calling with them held would deadlock).
+#ifndef EXCLUDES
+#define EXCLUDES(...) DPJOIN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#endif
+
+/// The annotated function acquires the given capabilities and returns with
+/// them held.
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  DPJOIN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#endif
+
+/// The annotated function releases the given capabilities (held on entry).
+#ifndef RELEASE
+#define RELEASE(...) \
+  DPJOIN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#endif
+
+/// The annotated function acquires the capabilities iff it returns `value`.
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(value, ...) \
+  DPJOIN_THREAD_ANNOTATION_(try_acquire_capability(value, __VA_ARGS__))
+#endif
+
+/// Lock-ordering declarations (deadlock prevention).
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  DPJOIN_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#endif
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  DPJOIN_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#endif
+
+/// The annotated function returns a reference to the given capability.
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) DPJOIN_THREAD_ANNOTATION_(lock_returned(x))
+#endif
+
+/// Escape hatch: disables analysis inside the annotated function. Use only
+/// with a comment explaining why the analysis cannot see the invariant.
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DPJOIN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+#endif
+
+/// Runtime assertion that the capability is held (informs the analysis).
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) DPJOIN_THREAD_ANNOTATION_(assert_capability(x))
+#endif
+
+#endif  // DPJOIN_COMMON_THREAD_ANNOTATIONS_H_

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dpjoin {
 
@@ -22,36 +23,44 @@ thread_local bool t_in_parallel_region = false;
 }  // namespace
 
 struct ThreadPool::Impl {
-  std::mutex region_mu;  // serializes parallel regions
+  Mutex region_mu ACQUIRED_BEFORE(mu);  // serializes parallel regions
 
-  std::mutex mu;  // guards everything below
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
-  std::vector<std::thread> workers;
-  bool shutdown = false;
+  Mutex mu;  // guards everything below
+  CondVar work_cv;
+  CondVar done_cv;
+  std::vector<std::thread> workers GUARDED_BY(mu);
+  bool shutdown GUARDED_BY(mu) = false;
 
   // Active job, published under `mu` with a fresh generation number.
-  uint64_t gen = 0;
-  const std::function<void(int64_t)>* job = nullptr;
-  int64_t num_blocks = 0;
-  int max_participants = 0;
+  uint64_t gen GUARDED_BY(mu) = 0;
+  const std::function<void(int64_t)>* job GUARDED_BY(mu) = nullptr;
+  int64_t num_blocks GUARDED_BY(mu) = 0;
+  int max_participants GUARDED_BY(mu) = 0;
   std::atomic<int64_t> next_block{0};
-  int64_t blocks_done = 0;  // under mu
-  int participants = 0;     // workers currently inside the claim loop
+  int64_t blocks_done GUARDED_BY(mu) = 0;
+  int participants GUARDED_BY(mu) = 0;  // workers inside the claim loop
 
-  void WorkerLoop() {
+  // Explicit Lock/Unlock rather than a scoped guard: the loop drops `mu`
+  // around the block-claiming work phase, a shape MutexLock cannot express.
+  // The lock is held at the top and bottom of every iteration, which is
+  // exactly what the thread-safety analysis verifies.
+  void WorkerLoop() EXCLUDES(mu) {
     uint64_t seen_gen = 0;
-    std::unique_lock<std::mutex> lock(mu);
+    mu.Lock();
     for (;;) {
-      work_cv.wait(
-          lock, [&] { return shutdown || (job != nullptr && gen != seen_gen); });
-      if (shutdown) return;
+      while (!shutdown && !(job != nullptr && gen != seen_gen)) {
+        work_cv.Wait(mu);
+      }
+      if (shutdown) {
+        mu.Unlock();
+        return;
+      }
       seen_gen = gen;
       if (participants >= max_participants) continue;  // job fully staffed
       ++participants;
       const std::function<void(int64_t)>* my_job = job;
       const int64_t my_blocks = num_blocks;
-      lock.unlock();
+      mu.Unlock();
       t_in_parallel_region = true;
       int64_t done = 0;
       for (;;) {
@@ -61,14 +70,14 @@ struct ThreadPool::Impl {
         ++done;
       }
       t_in_parallel_region = false;
-      lock.lock();
+      mu.Lock();
       --participants;
       blocks_done += done;
-      done_cv.notify_all();
+      done_cv.NotifyAll();
     }
   }
 
-  void EnsureWorkers(size_t n) {
+  void EnsureWorkers(size_t n) REQUIRES(mu) {
     // Caller holds `mu`; safe because workers only read shared state under
     // `mu` or via the atomic block counter.
     while (workers.size() < n) {
@@ -85,12 +94,17 @@ ThreadPool& ThreadPool::Global() {
 ThreadPool::ThreadPool() : impl_(new Impl) {}
 
 ThreadPool::~ThreadPool() {
+  // Move the worker handles out under the lock (no Run can be concurrent
+  // with destruction), then join without holding `mu` — a parked worker
+  // needs the lock to observe `shutdown` and exit.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->shutdown = true;
+    workers = std::move(impl_->workers);
   }
-  impl_->work_cv.notify_all();
-  for (std::thread& worker : impl_->workers) worker.join();
+  impl_->work_cv.NotifyAll();
+  for (std::thread& worker : workers) worker.join();
   delete impl_;
 }
 
@@ -107,9 +121,9 @@ void ThreadPool::Run(int64_t num_blocks, int max_threads,
   }
 
   Impl& impl = *impl_;
-  std::lock_guard<std::mutex> region(impl.region_mu);
+  MutexLock region(impl.region_mu);
   {
-    std::lock_guard<std::mutex> lock(impl.mu);
+    MutexLock lock(impl.mu);
     impl.EnsureWorkers(static_cast<size_t>(max_threads - 1));
     impl.job = &job;
     impl.num_blocks = num_blocks;
@@ -118,7 +132,7 @@ void ThreadPool::Run(int64_t num_blocks, int max_threads,
     impl.blocks_done = 0;
     ++impl.gen;
   }
-  impl.work_cv.notify_all();
+  impl.work_cv.NotifyAll();
 
   // The calling thread is a participant too.
   t_in_parallel_region = true;
@@ -134,11 +148,11 @@ void ThreadPool::Run(int64_t num_blocks, int max_threads,
   // Wait until every block finished AND no worker is still inside the claim
   // loop — a late worker must not survive into the next region, where the
   // reset block counter would hand it stale work.
-  std::unique_lock<std::mutex> lock(impl.mu);
+  MutexLock lock(impl.mu);
   impl.blocks_done += done;
-  impl.done_cv.wait(lock, [&] {
-    return impl.blocks_done == num_blocks && impl.participants == 0;
-  });
+  while (!(impl.blocks_done == num_blocks && impl.participants == 0)) {
+    impl.done_cv.Wait(impl.mu);
+  }
   impl.job = nullptr;
 }
 

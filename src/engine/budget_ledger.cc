@@ -53,7 +53,7 @@ std::string EscapeLabel(const std::string& s) {
 
 Result<int64_t> BudgetLedger::Reserve(const std::string& label,
                                       const PrivacyParams& request) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const double remaining_eps = RemainingEpsilonLocked();
   const double remaining_del = RemainingDeltaLocked();
   if (request.epsilon > remaining_eps + 1e-12 ||
@@ -73,7 +73,7 @@ Result<int64_t> BudgetLedger::Reserve(const std::string& label,
 }
 
 void BudgetLedger::Commit(int64_t ticket, const PrivacyAccountant& accountant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = outstanding_.find(ticket);
   DPJOIN_CHECK(it != outstanding_.end(), "unknown or settled ledger ticket");
   const std::string label = it->second.label;
@@ -88,7 +88,7 @@ void BudgetLedger::Commit(int64_t ticket, const PrivacyAccountant& accountant) {
 }
 
 void BudgetLedger::Abandon(int64_t ticket) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = outstanding_.find(ticket);
   DPJOIN_CHECK(it != outstanding_.end(), "unknown or settled ledger ticket");
   reserved_epsilon_ -= it->second.request.epsilon;
@@ -97,18 +97,18 @@ void BudgetLedger::Abandon(int64_t ticket) {
 }
 
 PrivacyParams BudgetLedger::Total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DPJOIN_CHECK(!committed_.empty(), "BudgetLedger::Total() with no releases");
   return PrivacyParams(committed_epsilon_, std::min(committed_delta_, 0.5));
 }
 
 double BudgetLedger::SpentEpsilon() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return committed_epsilon_;
 }
 
 double BudgetLedger::SpentDelta() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return committed_delta_;
 }
 
@@ -121,32 +121,32 @@ double BudgetLedger::RemainingDeltaLocked() const {
 }
 
 double BudgetLedger::RemainingEpsilon() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return RemainingEpsilonLocked();
 }
 
 double BudgetLedger::RemainingDelta() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return RemainingDeltaLocked();
 }
 
 int64_t BudgetLedger::num_committed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int64_t>(committed_.size());
 }
 
 int64_t BudgetLedger::num_outstanding() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int64_t>(outstanding_.size());
 }
 
 std::vector<BudgetLedger::Entry> BudgetLedger::Entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return committed_;
 }
 
 std::string BudgetLedger::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream oss;
   oss << "budget cap (" << cap_.epsilon << ", " << cap_.delta << ")\n";
   for (const Entry& entry : committed_) {
@@ -163,7 +163,7 @@ std::string BudgetLedger::ToString() const {
 }
 
 std::string BudgetLedger::SerializeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream oss;
   oss << "{\"cap\": ";
   AppendParamsJson(oss, cap_.epsilon, cap_.delta);
@@ -196,7 +196,7 @@ void BudgetLedger::Snapshot(double* spent_epsilon, double* spent_delta,
                             double* remaining_epsilon,
                             double* remaining_delta,
                             int64_t* num_committed) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   *spent_epsilon = committed_epsilon_;
   *spent_delta = committed_delta_;
   *remaining_epsilon = RemainingEpsilonLocked();
@@ -348,7 +348,7 @@ Status BudgetLedger::LoadJson(const std::string& path) {
     entries.push_back(std::move(entry));
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!committed_.empty() || !outstanding_.empty()) {
     return Status::FailedPrecondition(
         "LoadJson needs an empty ledger: this one has " +

@@ -24,12 +24,13 @@
 #define DPJOIN_ENGINE_BUDGET_LEDGER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "dp/composition.h"
 #include "dp/privacy_params.h"
 
@@ -48,8 +49,8 @@ class BudgetLedger {
   /// FailedPrecondition (naming the overshoot) when committed + reserved +
   /// request would exceed the cap in ε or δ. Returns a ticket for
   /// Commit/Abandon.
-  Result<int64_t> Reserve(const std::string& label,
-                          const PrivacyParams& request);
+  [[nodiscard]] Result<int64_t> Reserve(const std::string& label,
+                                        const PrivacyParams& request);
 
   /// Converts the reservation into a committed entry recording the
   /// mechanism's own accountant: the entry total is accountant.Total() and
@@ -101,7 +102,7 @@ class BudgetLedger {
   /// Persists the committed entries (SerializeJson) to `path`, atomically
   /// enough for a single writer (write temp, rename). A restarted process
   /// LoadJson()s the file so its spent budget survives the restart.
-  Status SaveJson(const std::string& path) const;
+  [[nodiscard]] Status SaveJson(const std::string& path) const;
 
   /// Restores committed entries from a SaveJson file into THIS ledger,
   /// which must be empty (no commits, no outstanding reservations).
@@ -109,26 +110,26 @@ class BudgetLedger {
   /// configured cap — a restart must never resurrect more budget than the
   /// process is configured to allow. The file's own "cap" record is
   /// informational only.
-  Status LoadJson(const std::string& path);
+  [[nodiscard]] Status LoadJson(const std::string& path);
 
  private:
-  double RemainingEpsilonLocked() const;
-  double RemainingDeltaLocked() const;
+  double RemainingEpsilonLocked() const REQUIRES(mu_);
+  double RemainingDeltaLocked() const REQUIRES(mu_);
 
   struct Reservation {
     std::string label;
     PrivacyParams request;
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   const PrivacyParams cap_;
-  std::vector<Entry> committed_;
-  std::unordered_map<int64_t, Reservation> outstanding_;
-  double committed_epsilon_ = 0.0;
-  double committed_delta_ = 0.0;
-  double reserved_epsilon_ = 0.0;
-  double reserved_delta_ = 0.0;
-  int64_t next_ticket_ = 1;
+  std::vector<Entry> committed_ GUARDED_BY(mu_);
+  std::unordered_map<int64_t, Reservation> outstanding_ GUARDED_BY(mu_);
+  double committed_epsilon_ GUARDED_BY(mu_) = 0.0;
+  double committed_delta_ GUARDED_BY(mu_) = 0.0;
+  double reserved_epsilon_ GUARDED_BY(mu_) = 0.0;
+  double reserved_delta_ GUARDED_BY(mu_) = 0.0;
+  int64_t next_ticket_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace dpjoin

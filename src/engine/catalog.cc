@@ -239,7 +239,7 @@ Result<std::shared_ptr<const DatasetHandle>> DataCatalog::Insert(
   // O(n log n) cost is paid, and it must not serialize concurrent lookups.
   auto handle = std::make_shared<const DatasetHandle>(name, source_desc,
                                                       std::move(instance));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto [it, inserted] = datasets_.emplace(name, handle);
   if (!inserted) {
     return Status::AlreadyExists(
@@ -331,7 +331,7 @@ Result<std::shared_ptr<const DatasetHandle>> DataCatalog::Resolve(
 
 Result<std::shared_ptr<const DatasetHandle>> DataCatalog::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = datasets_.find(name);
   if (it != datasets_.end()) return it->second;
   // Deliberately does NOT enumerate the registered names: the message
@@ -345,18 +345,18 @@ Result<std::shared_ptr<const DatasetHandle>> DataCatalog::Get(
 
 std::shared_ptr<const DatasetHandle> DataCatalog::Find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = datasets_.find(name);
   return it == datasets_.end() ? nullptr : it->second;
 }
 
 bool DataCatalog::Unregister(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return datasets_.erase(name) > 0;
 }
 
 std::vector<std::string> DataCatalog::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(datasets_.size());
   for (const auto& [name, handle] : datasets_) names.push_back(name);
@@ -364,7 +364,7 @@ std::vector<std::string> DataCatalog::Names() const {
 }
 
 size_t DataCatalog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return datasets_.size();
 }
 

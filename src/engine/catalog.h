@@ -35,11 +35,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "relational/instance.h"
 
 namespace dpjoin {
@@ -174,8 +175,9 @@ class DataCatalog {
       const std::string& name, Instance instance,
       const std::string& source_desc);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const DatasetHandle>> datasets_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<const DatasetHandle>> datasets_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace dpjoin

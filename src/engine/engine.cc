@@ -20,17 +20,18 @@ class ReleaseEngine::InFlightGuard {
  public:
   InFlightGuard(ReleaseEngine& engine, uint64_t key)
       : engine_(engine), key_(key) {
-    std::unique_lock<std::mutex> lock(engine_.in_flight_mu_);
-    engine_.in_flight_cv_.wait(
-        lock, [&] { return engine_.in_flight_.count(key_) == 0; });
+    MutexLock lock(engine_.in_flight_mu_);
+    while (engine_.in_flight_.count(key_) != 0) {
+      engine_.in_flight_cv_.Wait(engine_.in_flight_mu_);
+    }
     engine_.in_flight_.insert(key_);
   }
   ~InFlightGuard() {
     {
-      std::lock_guard<std::mutex> lock(engine_.in_flight_mu_);
+      MutexLock lock(engine_.in_flight_mu_);
       engine_.in_flight_.erase(key_);
     }
-    engine_.in_flight_cv_.notify_all();
+    engine_.in_flight_cv_.NotifyAll();
   }
   InFlightGuard(const InFlightGuard&) = delete;
   InFlightGuard& operator=(const InFlightGuard&) = delete;

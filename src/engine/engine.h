@@ -41,15 +41,15 @@
 #ifndef DPJOIN_ENGINE_ENGINE_H_
 #define DPJOIN_ENGINE_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "engine/budget_ledger.h"
 #include "engine/catalog.h"
 #include "engine/planner.h"
@@ -172,9 +172,9 @@ class ReleaseEngine {
   DataCatalog catalog_;
   BudgetLedger ledger_;
   ReleaseCache cache_;
-  std::mutex in_flight_mu_;
-  std::condition_variable in_flight_cv_;
-  std::unordered_set<uint64_t> in_flight_;
+  Mutex in_flight_mu_;
+  CondVar in_flight_cv_;
+  std::unordered_set<uint64_t> in_flight_ GUARDED_BY(in_flight_mu_);
 };
 
 }  // namespace dpjoin

@@ -398,7 +398,7 @@ JsonValue ReleaseServer::HandleStats() {
 
 void ReleaseServer::MaybeSaveLedger() {
   if (options_.ledger_path.empty()) return;
-  std::lock_guard<std::mutex> lock(save_mu_);
+  MutexLock lock(save_mu_);
   // Best-effort: a failed save must not fail the release that triggered it
   // (the budget was already spent); the next save retries. But never
   // silent — the operator needs to know the on-disk record is stale.

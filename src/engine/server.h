@@ -55,11 +55,12 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 
 #include "common/json.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "engine/engine.h"
 
 namespace dpjoin {
@@ -109,7 +110,7 @@ class ReleaseServer {
   JsonValue HandleLedger();
   JsonValue HandleStats();
 
-  void MaybeSaveLedger();
+  void MaybeSaveLedger() EXCLUDES(save_mu_);
 
   ReleaseEngine& engine_;
   const ServerOptions options_;
@@ -118,7 +119,10 @@ class ReleaseServer {
   // Failed ledger saves: logged to stderr and surfaced in `stats` so an
   // operator can see the on-disk record drifting from real spend.
   std::atomic<int64_t> ledger_save_failures_{0};
-  std::mutex save_mu_;  // serializes ledger-file writes
+  // Serializes ledger-file writes (guards the FILE at ledger_path, not a
+  // field — two interleaved SaveJson tmp+rename sequences could publish a
+  // stale spend record over a newer one).
+  Mutex save_mu_;
 };
 
 }  // namespace dpjoin

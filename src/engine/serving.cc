@@ -139,7 +139,7 @@ ReleaseCache::ReleaseCache(size_t capacity) : capacity_(capacity) {
 }
 
 std::shared_ptr<const ServingHandle> ReleaseCache::Get(uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = slots_.find(key);
   if (it == slots_.end()) {
     ++misses_;
@@ -151,7 +151,7 @@ std::shared_ptr<const ServingHandle> ReleaseCache::Get(uint64_t key) {
 }
 
 std::shared_ptr<const ServingHandle> ReleaseCache::Touch(uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = slots_.find(key);
   if (it == slots_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
@@ -161,7 +161,7 @@ std::shared_ptr<const ServingHandle> ReleaseCache::Touch(uint64_t key) {
 void ReleaseCache::Put(uint64_t key,
                        std::shared_ptr<const ServingHandle> handle) {
   DPJOIN_CHECK(handle != nullptr, "cannot cache a null handle");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = slots_.find(key);
   if (it != slots_.end()) {
     it->second.handle = std::move(handle);
@@ -177,22 +177,22 @@ void ReleaseCache::Put(uint64_t key,
 }
 
 size_t ReleaseCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return slots_.size();
 }
 
 int64_t ReleaseCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 int64_t ReleaseCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 void ReleaseCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slots_.clear();
   lru_.clear();
 }

@@ -23,11 +23,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/released_dataset.h"
 #include "engine/planner.h"
 #include "query/query_family.h"
@@ -117,11 +118,11 @@ class ReleaseCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<uint64_t> lru_;  // front = most recently used
-  std::unordered_map<uint64_t, Slot> slots_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  mutable Mutex mu_;
+  std::list<uint64_t> lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<uint64_t, Slot> slots_ GUARDED_BY(mu_);
+  int64_t hits_ GUARDED_BY(mu_) = 0;
+  int64_t misses_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpjoin

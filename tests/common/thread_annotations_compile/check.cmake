@@ -1,0 +1,43 @@
+# thread_annotations_compile_test driver (ctest runs this via cmake -P).
+#
+# Asserts that Clang's -Wthread-safety analysis is LIVE:
+#   1. guarded_access.cc   (correct locking)  -> must compile
+#   2. unguarded_access.cc (missing the lock) -> must FAIL to compile
+#      under -Werror=thread-safety-analysis
+#
+# Expected variables: CXX (compiler), SRC_DIR (repo src/ for the
+# common/mutex.h include), TEST_DIR (this directory).
+
+set(FLAGS -std=c++20 -fsyntax-only -Wthread-safety
+    -Werror=thread-safety-analysis "-I${SRC_DIR}")
+
+execute_process(
+  COMMAND "${CXX}" ${FLAGS} "${TEST_DIR}/guarded_access.cc"
+  RESULT_VARIABLE good_result
+  ERROR_VARIABLE good_stderr)
+if(NOT good_result EQUAL 0)
+  message(FATAL_ERROR
+    "positive control failed: guarded_access.cc (correct locking) did not "
+    "compile under -Wthread-safety — the analysis would reject everything.\n"
+    "${good_stderr}")
+endif()
+
+execute_process(
+  COMMAND "${CXX}" ${FLAGS} "${TEST_DIR}/unguarded_access.cc"
+  RESULT_VARIABLE bad_result
+  ERROR_VARIABLE bad_stderr)
+if(bad_result EQUAL 0)
+  message(FATAL_ERROR
+    "negative test failed: unguarded_access.cc writes a GUARDED_BY field "
+    "without the lock, yet compiled cleanly — -Wthread-safety is NOT live "
+    "(check the flags and the macros in src/common/thread_annotations.h).")
+endif()
+if(NOT bad_stderr MATCHES "thread-safety|guarded_by|requires holding")
+  message(FATAL_ERROR
+    "unguarded_access.cc failed to compile, but not with a thread-safety "
+    "diagnostic — something else is broken:\n${bad_stderr}")
+endif()
+
+message(STATUS
+  "thread-safety analysis is live: unguarded access rejected, guarded "
+  "access accepted")

@@ -1,0 +1,29 @@
+// Positive control for thread_annotations_compile_test: the same shape as
+// unguarded_access.cc but correctly locked, so it MUST compile cleanly
+// under -Werror=thread-safety-analysis. If this fails, the failure of the
+// negative test would prove nothing (the flags would reject everything).
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    dpjoin::MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  dpjoin::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

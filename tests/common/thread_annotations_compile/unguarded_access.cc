@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under -Werror=thread-safety-analysis.
+//
+// This file is the negative half of thread_annotations_compile_test: it
+// writes a GUARDED_BY field without holding the mutex. If this compiles,
+// the thread-safety analysis is dead (wrong flags, broken macros) and the
+// test fails — see check.cmake.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++count_;  // BUG (deliberate): mu_ is not held.
+  }
+
+ private:
+  dpjoin::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}
