@@ -1,0 +1,180 @@
+// Experiment NET — TCP serving front-end with cross-client micro-batching.
+//
+// One release is minted up front, then a NetServer fronts the engine on a
+// loopback TCP port. We sweep the concurrent-client count, each client
+// pipelining `all: true` query requests, and record end-to-end queries/sec.
+// Because the batcher coalesces same-release requests that arrive within
+// the window into a single AnswerAll (and serializes the shared response
+// once), multi-client throughput must clearly beat the degenerate
+// one-request-per-batch configuration (batch_max=1) on the identical load.
+// Every response is byte-compared against the inline ReleaseServer path:
+// batching must never change a single byte.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "engine/net_server.h"
+#include "engine/server.h"
+#include "net/line_channel.h"
+
+namespace dpjoin {
+namespace {
+
+struct SessionResult {
+  double qps = 0.0;
+  int64_t answer_all_calls = 0;
+  bool bytes_ok = false;
+};
+
+// Runs one serving session: a NetServer over `server`, `clients` concurrent
+// connections each pipelining `requests` copies of `line`, every response
+// byte-checked against `expected`.
+SessionResult RunSession(ReleaseServer& server, NetServerOptions options,
+                         int clients, int requests,
+                         const std::string& line,
+                         const std::string& expected) {
+  SessionResult result;
+  NetServer net(server, options);
+  const Status started = net.Start();
+  DPJOIN_CHECK(started.ok(), started.ToString());
+  std::thread loop([&net] { net.Run(); });
+
+  std::vector<int> bad(static_cast<size_t>(clients), 1);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int k = 0; k < clients; ++k) {
+    workers.emplace_back([&, k] {
+      auto client = LineClient::Connect("127.0.0.1", net.port());
+      if (!client.ok()) return;
+      for (int i = 0; i < requests; ++i) {
+        if (!client->SendLine(line).ok()) return;
+      }
+      int mismatches = 0;
+      for (int i = 0; i < requests; ++i) {
+        auto response = client->ReadLine();
+        if (!response.ok() || *response != expected) ++mismatches;
+      }
+      bad[static_cast<size_t>(k)] = mismatches;
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  net.RequestShutdown();
+  loop.join();
+
+  result.qps = static_cast<double>(clients) *
+               static_cast<double>(requests) / elapsed.count();
+  result.answer_all_calls = net.batcher().answer_all_calls();
+  result.bytes_ok = true;
+  for (int mismatches : bad) result.bytes_ok &= mismatches == 0;
+  return result;
+}
+
+int Run() {
+  bench::PrintHeader(
+      "NET", "TCP serving front-end + cross-client micro-batching",
+      "query requests from concurrent clients that land within one batch "
+      "window share a single engine evaluation and one serialized response; "
+      "multi-client throughput beats one-request-per-batch serving while "
+      "answering byte-identically to the inline path");
+
+  const int requests = bench::QuickMode() ? 8 : 16;
+  const int per_table = bench::QuickMode() ? 60 : 150;
+  const std::vector<int> client_counts =
+      bench::QuickMode() ? std::vector<int>{1, 2, 4}
+                         : std::vector<int>{1, 2, 4, 8};
+
+  ReleaseEngine engine(PrivacyParams(4.0, 1e-3), /*cache_capacity=*/8);
+  ReleaseServer server(engine);
+  const std::string register_line =
+      R"json({"cmd": "register", "name": "netbench", )json"
+      R"json("source": "generated:zipf(tuples=4000,s=1.0,seed=7)", )json"
+      R"json("attributes": ["A:32", "B:4", "C:32"], )json"
+      R"json("relations": ["R1:A,B", "R2:B,C"]})json";
+  const std::string release_line =
+      R"json({"cmd": "release", "dataset": "netbench", "seed": 5, )json"
+      R"json("spec": ")json"
+      "# dpjoin-release-spec v1\\nname = netbench\\nattribute = A:32\\n"
+      "attribute = B:4\\nattribute = C:32\\nrelation = R1:A,B\\n"
+      "relation = R2:B,C\\nepsilon = 1.0\\ndelta = 1e-5\\n"
+      "mechanism = auto\\nworkload = random_sign:" +
+      std::to_string(per_table) + R"json("})json";
+  auto registered = JsonValue::Parse(server.HandleLine(register_line));
+  DPJOIN_CHECK(registered.ok() && registered->Find("ok")->AsBool(),
+               "dataset registration failed");
+  auto released = JsonValue::Parse(server.HandleLine(release_line));
+  DPJOIN_CHECK(released.ok() && released->Find("ok")->AsBool(),
+               "release failed");
+  const std::string release_id = released->Find("release")->AsString();
+  const std::string query_line =
+      R"json({"cmd": "query", "release": ")json" + release_id +
+      R"json(", "all": true})json";
+  // The inline path defines the expected bytes for every TCP response.
+  const std::string expected = server.HandleLine(query_line);
+
+  NetServerOptions batched;
+  batched.batch_window_us = 2000;
+  NetServerOptions unbatched;
+  unbatched.batch_window_us = 0;
+  unbatched.batch_max = 1;
+
+  TablePrinter table({"clients", "batched qps", "engine calls",
+                      "unbatched qps", "speedup"});
+  std::vector<double> batched_qps, unbatched_qps;
+  bool bytes_ok = true;
+  int64_t top_batched_calls = 0;
+  const int total_requests = client_counts.back() * requests;
+  for (int clients : client_counts) {
+    const SessionResult with_batching =
+        RunSession(server, batched, clients, requests, query_line, expected);
+    const SessionResult without_batching = RunSession(
+        server, unbatched, clients, requests, query_line, expected);
+    bytes_ok &= with_batching.bytes_ok && without_batching.bytes_ok;
+    batched_qps.push_back(with_batching.qps);
+    unbatched_qps.push_back(without_batching.qps);
+    if (clients == client_counts.back()) {
+      top_batched_calls = with_batching.answer_all_calls;
+    }
+    table.AddRow({std::to_string(clients),
+                  TablePrinter::Num(with_batching.qps),
+                  std::to_string(with_batching.answer_all_calls),
+                  TablePrinter::Num(without_batching.qps),
+                  TablePrinter::Num(with_batching.qps /
+                                    without_batching.qps)});
+  }
+  bench::Emit(table, "net");
+  bench::RecordSeries("net.batched_qps", batched_qps);
+  bench::RecordSeries("net.unbatched_qps", unbatched_qps);
+  bench::RecordSeries(
+      "net.top_speedup",
+      {batched_qps.back() / unbatched_qps.back()});
+
+  bench::Verdict(bytes_ok,
+                 "every TCP response byte-identical to the inline path");
+  bench::Verdict(
+      top_batched_calls < total_requests,
+      "coalescing observed: " + std::to_string(top_batched_calls) +
+          " engine calls served " + std::to_string(total_requests) +
+          " requests at " + std::to_string(client_counts.back()) +
+          " clients");
+  bench::Verdict(
+      batched_qps.back() >= 2.0 * unbatched_qps.back(),
+      "batched multi-client throughput >= 2x one-request-per-batch (" +
+          TablePrinter::Num(batched_qps.back()) + " vs " +
+          TablePrinter::Num(unbatched_qps.back()) + " qps)");
+  return bench::Finish();
+}
+
+}  // namespace
+}  // namespace dpjoin
+
+int main(int argc, char** argv) {
+  dpjoin::bench::Init(argc, argv);
+  return dpjoin::Run();
+}

@@ -4,6 +4,8 @@
 //
 //   ./build/examples/dpjoin_serve --epsilon=4.0 --delta=0.01 --cache=64
 //       [--base-dir=examples/configs] [--ledger=/tmp/ledger.json]
+//       [--port=7070 [--batch-window-us=1000] [--batch-max=512]
+//        [--max-conns=1024]]
 //
 // Flags:
 //   --epsilon=E   global privacy cap ε (default 4.0)
@@ -14,6 +16,15 @@
 //                 file exists (refusing files whose spend exceeds the cap),
 //                 saved after every budget-spending release — a restarted
 //                 server resumes with its spent budget intact
+//   --port=N      serve TCP on 127.0.0.1:N instead of stdin/stdout (0 =
+//                 kernel-assigned; the actual port is printed to stderr as
+//                 "dpjoin_serve: listening on 127.0.0.1:<port>")
+//   --batch-window-us=U  how long the first pending query waits for
+//                 company before its cross-client batch flushes (TCP mode;
+//                 default 1000)
+//   --batch-max=N flush a batch at N pending queries (default 512; 1
+//                 disables coalescing)
+//   --max-conns=N refuse connections beyond N concurrent (default 1024)
 //
 // Try it interactively:
 //   {"cmd": "register", "name": "demo", "source": "generated:zipf(tuples=200,s=1.0,seed=7)", "attributes": ["A:6", "B:4", "C:6"], "relations": ["R1:A,B", "R2:B,C"]}
@@ -27,6 +38,7 @@
 #include <iostream>
 #include <string>
 
+#include "engine/net_server.h"
 #include "engine/server.h"
 
 using namespace dpjoin;  // examples only; library code never does this
@@ -48,6 +60,8 @@ int main(int argc, char** argv) {
   double delta = 0.01;
   size_t cache_capacity = 64;
   ServerOptions options;
+  bool tcp_mode = false;
+  NetServerOptions net_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -63,11 +77,24 @@ int main(int argc, char** argv) {
         options.base_dir = value;
       } else if (ParseFlag(arg, "ledger", &value)) {
         options.ledger_path = value;
+      } else if (ParseFlag(arg, "port", &value)) {
+        const unsigned long port = std::stoul(value);
+        if (port > 65535) throw std::out_of_range("port");
+        net_options.port = static_cast<uint16_t>(port);
+        tcp_mode = true;
+      } else if (ParseFlag(arg, "batch-window-us", &value)) {
+        net_options.batch_window_us = std::stoll(value);
+      } else if (ParseFlag(arg, "batch-max", &value)) {
+        net_options.batch_max = std::stoll(value);
+      } else if (ParseFlag(arg, "max-conns", &value)) {
+        net_options.max_conns = std::stoll(value);
       } else {
         std::cerr << "unknown flag " << arg << "\n"
                   << "usage: " << argv[0]
                   << " [--epsilon=E] [--delta=D] [--cache=N]"
-                     " [--base-dir=P] [--ledger=P]\n";
+                     " [--base-dir=P] [--ledger=P] [--port=N]"
+                     " [--batch-window-us=U] [--batch-max=N]"
+                     " [--max-conns=N]\n";
         return 2;
       }
     } catch (const std::exception&) {
@@ -77,6 +104,13 @@ int main(int argc, char** argv) {
   }
   if (!(epsilon > 0.0) || delta < 0.0 || delta > 0.5 || cache_capacity == 0) {
     std::cerr << "need epsilon > 0, delta in [0, 0.5], cache >= 1\n";
+    return 2;
+  }
+  if (tcp_mode &&
+      (net_options.batch_window_us < 0 || net_options.batch_max < 1 ||
+       net_options.max_conns < 1)) {
+    std::cerr << "need batch-window-us >= 0, batch-max >= 1, "
+                 "max-conns >= 1\n";
     return 2;
   }
 
@@ -89,7 +123,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const int64_t handled = server.Serve(std::cin, std::cout);
+  int64_t handled = 0;
+  if (tcp_mode) {
+    NetServer net(server, net_options);
+    const Status started = net.Start();
+    if (!started.ok()) {
+      std::cerr << "dpjoin_serve: cannot listen: " << started << "\n";
+      return 1;
+    }
+    // CI and scripts parse this line to discover a --port=0 assignment.
+    std::cerr << "dpjoin_serve: listening on 127.0.0.1:" << net.port()
+              << "\n";
+    handled = net.Run();
+  } else {
+    handled = server.Serve(std::cin, std::cout);
+  }
   std::cerr << "dpjoin_serve: handled " << handled << " request(s)\n";
   return 0;
 }

@@ -8,13 +8,14 @@
 #      warning-clean — keep it that way; under Clang this also enables
 #      -Wthread-safety, making lock-discipline violations hard errors),
 #   4. ctest over every discovered test,
-#   5. serving-protocol + ledger-persistence sessions, bench smoke with
-#      BENCH_*.json validation, ASan suites (as before),
+#   5. serving-protocol + ledger-persistence sessions, a real-TCP serve
+#      session with a many-client pipelined soak (byte-diffed against the
+#      stdio path), bench smoke with BENCH_*.json validation, ASan suites,
 #   6. tidy: clang-tidy over src/ via compile_commands.json (skipped with a
 #      message when clang-tidy is not installed),
-#   7. tsan: ThreadSanitizer build + `ctest -L tsan` over the six
-#      concurrency suites (thread_pool, catalog, ledger, serving, server,
-#      parallel_determinism).
+#   7. tsan: ThreadSanitizer build + `ctest -L tsan` over the concurrency
+#      suites (thread_pool, catalog, ledger, serving, server,
+#      parallel_determinism, net primitives, query batcher, net server).
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build-ci)
 
@@ -134,15 +135,124 @@ print("ok: restarted server refused to overspend the persisted ledger")
 '
 rm -f "${LEDGER_FILE}"
 
+echo "==> dpjoin_serve TCP session + many-client pipelined soak"
+# The TCP front-end must answer byte-identically to the stdio path: a
+# scripted session learns the (deterministic) release id over stdio, then
+# eight concurrent clients pipeline the same query lines over a real
+# loopback socket and byte-diff every response. The stats response must
+# show the cross-client batcher coalescing (engine calls < query requests).
+TCP_ERR="$(mktemp)"
+"${BUILD_DIR}/examples/dpjoin_serve" --epsilon=4 --delta=0.01 --port=0 \
+  --batch-window-us=1000 2> "${TCP_ERR}" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "${TCP_ERR}" && break
+  sleep 0.1
+done
+TCP_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${TCP_ERR}")"
+python3 - "${BUILD_DIR}/examples/dpjoin_serve" "${TCP_PORT}" <<'EOF'
+import json, socket, subprocess, sys, threading
+
+binary, port = sys.argv[1], int(sys.argv[2])
+register = ('{"cmd": "register", "name": "ci_tcp", "source": '
+            '"generated:zipf(tuples=200,s=1.0,seed=7)", '
+            '"attributes": ["A:6", "B:4", "C:6"], '
+            '"relations": ["R1:A,B", "R2:B,C"]}')
+release = ('{"cmd": "release", "dataset": "ci_tcp", "seed": 3, "spec": '
+           '"# dpjoin-release-spec v1\\nname = ci_tcp\\nattribute = A:6\\n'
+           'attribute = B:4\\nattribute = C:6\\nrelation = R1:A,B\\n'
+           'relation = R2:B,C\\nepsilon = 1.0\\ndelta = 1e-5\\n'
+           'mechanism = auto\\nworkload = prefix:3"}')
+
+# Stdio pass 1: learn the deterministic release id.
+out = subprocess.run([binary, "--epsilon=4", "--delta=0.01"],
+                     input=register + "\n" + release + "\n",
+                     capture_output=True, text=True, check=True).stdout
+released = json.loads(out.splitlines()[1])
+assert released["ok"], released
+rid = released["release"]
+queries = [
+    '{"cmd": "query", "release": "%s", "all": true}' % rid,
+    '{"cmd": "query", "release": "%s", "queries": [0, 1]}' % rid,
+    '{"cmd": "query", "release": "%s", "queries": [999]}' % rid,  # error
+]
+
+# Stdio pass 2: the reference bytes for every query line.
+script = "\n".join([register, release] + queries) + "\n"
+out = subprocess.run([binary, "--epsilon=4", "--delta=0.01"], input=script,
+                     capture_output=True, text=True, check=True).stdout
+expected = out.splitlines()[2:5]
+
+# One admin connection sets up the identical session over TCP.
+admin = socket.create_connection(("127.0.0.1", port)).makefile(
+    "rw", newline="\n")
+admin.write(register + "\n")
+admin.write(release + "\n")
+admin.flush()
+assert json.loads(admin.readline())["ok"]
+tcp_released = json.loads(admin.readline())
+assert tcp_released["release"] == rid, "TCP release id must match stdio"
+
+CLIENTS, ROUNDS = 8, 25
+errors = []
+
+def soak(k):
+    try:
+        sock = socket.create_connection(("127.0.0.1", port))
+        f = sock.makefile("rw", newline="\n")
+        for _ in range(ROUNDS):  # fully pipelined: all requests leave first
+            for q in queries:
+                f.write(q + "\n")
+        f.flush()
+        for i in range(ROUNDS * len(queries)):
+            got = f.readline().rstrip("\n")
+            want = expected[i % len(queries)]
+            if got != want:
+                errors.append("client %d line %d: %r != %r"
+                              % (k, i, got, want))
+                return
+        sock.close()
+    except Exception as exc:  # noqa: BLE001 — any failure fails the stage
+        errors.append("client %d: %r" % (k, exc))
+
+threads = [threading.Thread(target=soak, args=(k,)) for k in range(CLIENTS)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+assert not errors, errors[:3]
+
+admin.write('{"cmd": "stats"}\n')
+admin.flush()
+serving = json.loads(admin.readline())["serving"]
+# Two of the three pipelined query lines per round succeed ([999] is an
+# out-of-range error, which the serving stats do not count).
+assert serving["query_requests"] == CLIENTS * ROUNDS * 2, serving
+assert serving["engine_calls"] < serving["query_requests"], (
+    "no coalescing observed: %s" % serving)
+admin.write('{"cmd": "shutdown"}\n')
+admin.flush()
+assert json.loads(admin.readline())["ok"]
+print("ok: TCP soak — %d clients x %d pipelined requests byte-identical "
+      "to stdio; %d engine calls served %d query requests"
+      % (CLIENTS, ROUNDS * len(queries), serving["engine_calls"],
+         serving["query_requests"]))
+EOF
+wait "${SERVE_PID}"
+rm -f "${TCP_ERR}"
+
 echo "==> bench smoke (DPJOIN_BENCH_QUICK=1, DPJOIN_THREADS=2)"
 # DPJOIN_THREADS=2 exercises the parallel substrate on every CI run; the
 # determinism contract makes the outputs identical to a serial run.
 # bench_engine_serving validates BENCH_ENGINE.json (serving throughput +
-# ledger/cache verdicts) alongside the existing smoke benches.
+# ledger/cache verdicts) alongside the existing smoke benches;
+# bench_net_serving adds BENCH_NET.json (TCP qps vs client count, with the
+# batched >= 2x one-request-per-batch verdict).
 SMOKE_DIR="${BUILD_DIR}/bench-smoke"
 mkdir -p "${SMOKE_DIR}"
 for bench in bench_thm34_delta_floor bench_pmw_single_table \
-             bench_thm15_multi_table bench_engine_serving; do
+             bench_thm15_multi_table bench_engine_serving \
+             bench_net_serving; do
   DPJOIN_BENCH_QUICK=1 DPJOIN_THREADS=2 DPJOIN_BENCH_JSON_DIR="${SMOKE_DIR}" \
     "${BUILD_DIR}/bench/${bench}"
 done
@@ -226,18 +336,21 @@ else
 fi
 
 echo "==> TSan run of the concurrency suites (ctest -L tsan)"
-# The six suites that hammer the mutex-holding classes (ThreadPool,
-# DataCatalog, BudgetLedger, ReleaseCache/ServingHandle, ReleaseServer, and
-# the cross-thread determinism contract) run under ThreadSanitizer on every
-# CI pass — the TSan coverage is a reproducible gate, not an anecdote.
-# Scoped to the labelled suites to keep CI wall-clock reasonable.
+# The suites that hammer the mutex-holding classes (ThreadPool,
+# DataCatalog, BudgetLedger, ReleaseCache/ServingHandle, ReleaseServer, the
+# cross-thread determinism contract, and the TCP front-end: net primitives,
+# QueryBatcher, NetServer with concurrent loopback clients) run under
+# ThreadSanitizer on every CI pass — the TSan coverage is a reproducible
+# gate, not an anecdote. Scoped to the labelled suites to keep CI
+# wall-clock reasonable.
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "${TSAN_DIR}" -S . -DDPJOIN_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=Debug -DDPJOIN_BUILD_BENCH=OFF \
   -DDPJOIN_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
   thread_pool_test catalog_test budget_ledger_test serving_test \
-  server_test parallel_determinism_test
+  server_test parallel_determinism_test net_primitives_test \
+  query_batcher_test net_server_test
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -L tsan -j "${JOBS}"
 
 echo "==> ci.sh: all green"

@@ -23,6 +23,11 @@ Rules (each violation prints `path:line: [rule] message`):
               `Foo(...).value()` directly on a freshly returned Result in
               src/ — the error path is silently converted to an abort;
               use DPJOIN_ASSIGN_OR_RETURN or check ok() first.
+  raw-socket  socket(/bind(/listen(/accept(/epoll_* outside src/net/ — the
+              POSIX networking surface lives in one layer (Socket,
+              ListenTcp, AcceptConnection, Poller) so everything above it
+              stays platform-free and event-loop discipline is auditable in
+              one place.
 
 Suppression: append `dpjoin-lint: allow(<rule>)` in a comment on the
 offending line or the line above it. Use sparingly, with justification.
@@ -56,15 +61,18 @@ LAYER_DEPS = {
     "hierarchical": {"common", "core", "dp", "query", "relational",
                      "sensitivity"},
     "lowerbound": {"common", "query", "relational"},
-    "engine": {"common", "core", "dp", "hierarchical", "query", "relational",
-               "release", "sensitivity"},
+    "net": {"common"},
+    "engine": {"common", "core", "dp", "hierarchical", "net", "query",
+               "relational", "release", "sensitivity"},
 }
 
 # Files exempt from specific rules because they IMPLEMENT the primitive the
-# rule protects (relative to src/).
+# rule protects (relative to src/). An entry ending in "/" exempts the
+# whole directory.
 RAW_THREAD_OK = {"common/thread_pool.h", "common/thread_pool.cc"}
 RAW_RANDOM_OK = {"common/rng.h"}
 RAW_MUTEX_OK = {"common/mutex.h"}
+RAW_SOCKET_OK = {"net/"}
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 ALLOW_RE = re.compile(r"dpjoin-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
@@ -92,11 +100,22 @@ TOKEN_RULES = [
      re.compile(r"\)\s*\.value\(\)"), set(),
      "bare .value() on a freshly returned Result — use "
      "DPJOIN_ASSIGN_OR_RETURN or check ok() first"),
+    ("raw-socket",
+     re.compile(r"\b(?:socket|bind|listen|accept4?|epoll_\w+)\s*\("),
+     RAW_SOCKET_OK,
+     "raw socket/epoll syscall — the platform surface lives in src/net/ "
+     "(Socket/ListenTcp/AcceptConnection/Poller); speak through those "
+     "wrappers instead"),
 ]
 
 # std::move(result).value() is the ASSIGN_OR_RETURN unwrapping idiom, not an
 # unchecked call chain.
 MOVE_VALUE_RE = re.compile(r"std::move\s*\([^()]*\)\s*\.value\(\)")
+
+# std::bind (and any other std:: name) is not a socket syscall; strip
+# qualified names before the raw-socket scan so `::socket(` still fires but
+# `std::bind(` does not.
+STD_QUALIFIED_RE = re.compile(r"\bstd::\w+")
 
 
 def strip_noise(line: str) -> str:
@@ -182,11 +201,15 @@ def lint_file(path: Path, rel_to_src: str) -> list[tuple[int, str, str]]:
                     "see the DAG in src/CMakeLists.txt"))
 
         for rule, pattern, exempt, message in TOKEN_RULES:
-            if rule in allowed or rel_to_src in exempt:
+            if rule in allowed or rel_to_src in exempt or any(
+                    rel_to_src.startswith(prefix)
+                    for prefix in exempt if prefix.endswith("/")):
                 continue
             haystack = stripped
             if rule == "unchecked-result":
                 haystack = MOVE_VALUE_RE.sub("", haystack)
+            elif rule == "raw-socket":
+                haystack = STD_QUALIFIED_RE.sub("", haystack)
             if pattern.search(haystack):
                 violations.append((lineno, rule, message))
     return violations
@@ -221,6 +244,8 @@ SEEDED_VIOLATIONS = {
                'void f() { std::cout << "x"; }\n'),
     "unchecked-result": ("engine/bad_unwrap.cc",
                          "int f() { return G().value(); }\n"),
+    "raw-socket": ("engine/bad_socket.cc",
+                   "int f() { return ::socket(2, 1, 0); }\n"),
 }
 
 CLEAN_FILES = {
@@ -236,6 +261,10 @@ CLEAN_FILES = {
     "engine/suppressed.cc": (
         "// dpjoin-lint: allow(raw-thread) — justified exception\n"
         "std::thread t;\n"),
+    # std::bind is the <functional> helper, not the socket syscall; and the
+    # whole net/ directory IS the socket layer.
+    "engine/uses_std_bind.cc": "auto f = std::bind(&G::h, &g);\n",
+    "net/socket_impl.cc": "int fd = ::socket(2, 1, 0); ::listen(fd, 8);\n",
 }
 
 

@@ -1,0 +1,257 @@
+#include "engine/net_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/json.h"
+
+namespace dpjoin {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Peers that stop reading cannot hold shutdown hostage forever.
+constexpr int64_t kDrainBudgetUs = 5'000'000;
+
+}  // namespace
+
+NetServer::NetServer(ReleaseServer& server, NetServerOptions options)
+    : server_(server),
+      options_(options),
+      batcher_(server,
+               QueryBatcher::Options{std::max<int64_t>(1, options.batch_max)}),
+      poller_(options.backend) {}
+
+Status NetServer::Start() {
+  DPJOIN_ASSIGN_OR_RETURN(listener_, ListenTcp(options_.port));
+  DPJOIN_ASSIGN_OR_RETURN(port_, LocalPort(listener_));
+  DPJOIN_RETURN_NOT_OK(
+      poller_.Add(listener_.fd(), /*want_read=*/true, /*want_write=*/false));
+  DPJOIN_RETURN_NOT_OK(
+      poller_.Add(wake_.read_fd(), /*want_read=*/true, /*want_write=*/false));
+  return Status::OK();
+}
+
+void NetServer::RequestShutdown() {
+  shutdown_requested_.store(true);
+  wake_.Notify();
+}
+
+int64_t NetServer::Run() {
+  std::vector<Poller::Event> events;
+  for (;;) {
+    if (shutdown_requested_.load() && !shutting_down_) BeginShutdown();
+    if (shutting_down_ &&
+        (conns_.empty() || NowMicros() >= *drain_deadline_us_)) {
+      break;
+    }
+
+    int timeout_ms = -1;
+    if (shutting_down_) {
+      timeout_ms = 50;
+    } else if (batch_deadline_us_.has_value()) {
+      const int64_t remaining_us = *batch_deadline_us_ - NowMicros();
+      timeout_ms = remaining_us <= 0
+                       ? 0
+                       : static_cast<int>(
+                             std::min<int64_t>((remaining_us + 999) / 1000,
+                                               1000));
+    }
+
+    if (!poller_.Wait(timeout_ms, &events).ok()) break;
+
+    for (const Poller::Event& event : events) {
+      if (event.fd == listener_.fd() && listener_.valid()) {
+        if (!shutting_down_) AcceptNewConnections();
+        continue;
+      }
+      if (event.fd == wake_.read_fd()) {
+        wake_.Drain();
+        continue;
+      }
+      const auto mapped = fd_to_conn_.find(event.fd);
+      if (mapped == fd_to_conn_.end()) continue;
+      Conn& conn = *conns_.at(mapped->second);
+      if (event.error) {
+        conn.broken = true;
+        continue;
+      }
+      if (event.writable &&
+          conn.channel.FlushWrites() == LineChannel::ReadState::kError) {
+        conn.broken = true;
+        continue;
+      }
+      if (event.readable && !shutting_down_) ProcessReadable(conn);
+    }
+
+    if (batch_deadline_us_.has_value() &&
+        NowMicros() >= *batch_deadline_us_) {
+      FlushBatch();
+    }
+    SweepConnections();
+  }
+
+  while (!conns_.empty()) CloseConn(conns_.begin()->first);
+  if (listener_.valid()) {
+    (void)poller_.Remove(listener_.fd());
+    listener_.Close();
+  }
+  return handled_;
+}
+
+void NetServer::AcceptNewConnections() {
+  for (;;) {
+    auto socket = AcceptConnection(listener_);
+    if (!socket.ok() || !socket->valid()) return;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (static_cast<int64_t>(conns_.size()) >= options_.max_conns) {
+      JsonValue refusal = JsonValue::Object();
+      refusal.Set("ok", JsonValue::Bool(false));
+      refusal.Set("error",
+                  JsonValue::String(
+                      Status::FailedPrecondition(
+                          "connection limit (" +
+                          std::to_string(options_.max_conns) +
+                          ") reached; retry later")
+                          .ToString()));
+      const std::string line = refusal.Serialize() + "\n";
+      // Best effort: the refusal usually fits the fresh socket's buffer;
+      // if not, the close alone tells the client everything it needs.
+      (void)socket->Write(line.data(), line.size());
+      continue;
+    }
+    const int fd = socket->fd();
+    const uint64_t conn_id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(std::move(socket).value());
+    conn->id = conn_id;
+    if (!poller_.Add(fd, /*want_read=*/true, /*want_write=*/false).ok()) {
+      continue;  // conn destructs → fd closes; client sees a reset
+    }
+    fd_to_conn_[fd] = conn_id;
+    conns_[conn_id] = std::move(conn);
+  }
+}
+
+void NetServer::ProcessReadable(Conn& conn) {
+  std::vector<std::string> lines;
+  const LineChannel::ReadState state = conn.channel.ReadLines(&lines);
+  for (const std::string& line : lines) {
+    if (shutting_down_) break;  // drain answers what's in flight, no more
+    if (line.empty()) continue;  // mirror the stdio loop: blank lines skip
+    HandleRequestLine(conn, line);
+  }
+  if (state == LineChannel::ReadState::kEof) conn.peer_eof = true;
+  if (state == LineChannel::ReadState::kError) conn.broken = true;
+}
+
+void NetServer::HandleRequestLine(Conn& conn, const std::string& line) {
+  ++handled_;
+  const uint64_t seq = conn.next_seq++;
+  conn.slots.emplace_back(std::nullopt);
+
+  auto request = JsonValue::Parse(line);
+  if (request.ok() && request->is_object()) {
+    const JsonValue* cmd = request->Find("cmd");
+    if (cmd != nullptr && cmd->is_string()) {
+      if (cmd->AsString() == "query") {
+        auto parsed = ParseQueryCommand(*request);
+        if (parsed.ok()) {
+          const uint64_t conn_id = conn.id;
+          batcher_.Enqueue(std::move(parsed).value(),
+                           [this, conn_id, seq](std::string response) {
+                             FillSlot(conn_id, seq, std::move(response));
+                           });
+          if (!batch_deadline_us_.has_value()) {
+            batch_deadline_us_ = NowMicros() + options_.batch_window_us;
+          }
+          if (batcher_.ShouldFlushOnCap()) FlushBatch();
+          return;
+        }
+        // Malformed query: fall through to HandleLine, which re-derives
+        // the identical error bytes the stdio loop would emit.
+      } else if (cmd->AsString() == "shutdown") {
+        // Answer first — the ack must be queued before the drain starts.
+        FillSlot(conn.id, seq, server_.HandleLine(line));
+        BeginShutdown();
+        return;
+      }
+    }
+  }
+  FillSlot(conn.id, seq, server_.HandleLine(line));
+}
+
+void NetServer::FillSlot(uint64_t conn_id, uint64_t seq, std::string line) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // client vanished before its answer
+  Conn& conn = *it->second;
+  conn.slots[seq - conn.flushed_seq] = std::move(line);
+  // Emit the completed prefix — and only the prefix, so pipelined clients
+  // read responses in exactly the order they sent requests.
+  while (!conn.slots.empty() && conn.slots.front().has_value()) {
+    conn.channel.QueueLine(*conn.slots.front());
+    conn.slots.pop_front();
+    ++conn.flushed_seq;
+  }
+}
+
+void NetServer::FlushBatch() {
+  batch_deadline_us_.reset();
+  batcher_.Flush();
+}
+
+void NetServer::BeginShutdown() {
+  if (shutting_down_) return;
+  shutting_down_ = true;
+  FlushBatch();  // in-flight queries get real answers, not resets
+  if (listener_.valid()) {
+    (void)poller_.Remove(listener_.fd());
+    listener_.Close();
+  }
+  drain_deadline_us_ = NowMicros() + kDrainBudgetUs;
+}
+
+void NetServer::SweepConnections() {
+  std::vector<uint64_t> to_close;
+  for (auto& [conn_id, conn_ptr] : conns_) {
+    Conn& conn = *conn_ptr;
+    if (conn.broken) {
+      to_close.push_back(conn_id);
+      continue;
+    }
+    if (conn.channel.wants_write() &&
+        conn.channel.FlushWrites() == LineChannel::ReadState::kError) {
+      to_close.push_back(conn_id);
+      continue;
+    }
+    const bool finished = conn.slots.empty() && !conn.channel.wants_write();
+    if (finished && (conn.peer_eof || shutting_down_)) {
+      to_close.push_back(conn_id);
+      continue;
+    }
+    const bool want_read = !conn.peer_eof && !shutting_down_;
+    const bool want_write = conn.channel.wants_write();
+    if (want_read != conn.watch_read || want_write != conn.watch_write) {
+      (void)poller_.Update(conn.channel.fd(), want_read, want_write);
+      conn.watch_read = want_read;
+      conn.watch_write = want_write;
+    }
+  }
+  for (const uint64_t conn_id : to_close) CloseConn(conn_id);
+}
+
+void NetServer::CloseConn(uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  const int fd = it->second->channel.fd();
+  (void)poller_.Remove(fd);
+  fd_to_conn_.erase(fd);
+  conns_.erase(it);  // Conn → LineChannel → Socket closes the fd
+}
+
+}  // namespace dpjoin

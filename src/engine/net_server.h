@@ -1,0 +1,147 @@
+// TCP front-end for ReleaseServer: one event-loop thread multiplexing many
+// JSON-lines clients over src/net primitives, with cross-client
+// micro-batching of `query` requests.
+//
+// Request routing per line:
+//
+//   * a well-formed `query` line is parsed once (ParseQueryCommand) and
+//     parked in the QueryBatcher; the batch flushes when `batch_max`
+//     requests are pending or `batch_window_us` has elapsed since the
+//     first one — so concurrent clients querying the same release share
+//     engine evaluations;
+//   * everything else (register/release/ledger/stats/shutdown, and any
+//     malformed query) takes the classic inline HandleLine path.
+//
+// Responses leave each connection in request order. Every connection owns
+// a queue of ordered response slots: inline commands fill their slot
+// immediately, batched queries fill theirs at flush time, and only the
+// filled prefix is ever written — so pipelined clients see exactly the
+// byte stream the stdio loop would have produced.
+//
+// Shutdown (a client's `shutdown` command, or RequestShutdown() from any
+// thread) is graceful: the listener closes, pending batches flush, queued
+// responses drain (bounded by a few seconds for peers that stopped
+// reading), then Run() returns.
+
+#ifndef DPJOIN_ENGINE_NET_SERVER_H_
+#define DPJOIN_ENGINE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/query_batcher.h"
+#include "engine/server.h"
+#include "net/line_channel.h"
+#include "net/poller.h"
+#include "net/socket.h"
+
+namespace dpjoin {
+
+struct NetServerOptions {
+  /// 0 = kernel-assigned (read the real one from port() after Start()).
+  uint16_t port = 0;
+
+  /// How long the first parked query waits for company before the batch
+  /// flushes anyway. 0 = flush as soon as the read burst that delivered
+  /// the query is processed.
+  int64_t batch_window_us = 1000;
+
+  /// Flush once this many queries are pending. 1 disables coalescing
+  /// (every query is its own engine call — the benchmark baseline).
+  int64_t batch_max = 512;
+
+  /// Connections beyond this are answered with one ok:false line and
+  /// closed immediately.
+  int64_t max_conns = 1024;
+
+  /// Readiness backend (kAuto = epoll on Linux). kPoll keeps the portable
+  /// path testable on Linux too.
+  Poller::Backend backend = Poller::Backend::kAuto;
+};
+
+class NetServer {
+ public:
+  /// The ReleaseServer (and its engine) must outlive the NetServer.
+  NetServer(ReleaseServer& server, NetServerOptions options);
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1:options.port. After OK, port() is the
+  /// actual listening port.
+  Status Start();
+
+  uint16_t port() const { return port_; }
+
+  /// Runs the event loop until shutdown; returns the number of request
+  /// lines handled. Call from exactly one thread, after Start().
+  int64_t Run();
+
+  /// Thread-safe: asks the loop to begin the graceful shutdown sequence.
+  void RequestShutdown();
+
+  int64_t connections_accepted() const { return accepted_.load(); }
+  const QueryBatcher& batcher() const { return batcher_; }
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    LineChannel channel;
+    // slots[k] answers the request with sequence `flushed_seq + k`;
+    // nullopt = still being computed. Only the filled prefix is written.
+    std::deque<std::optional<std::string>> slots;
+    uint64_t next_seq = 0;
+    uint64_t flushed_seq = 0;
+    bool peer_eof = false;
+    // Socket error or protocol abuse — close without draining.
+    bool broken = false;
+    // Poller interest actually installed (avoid redundant syscalls).
+    bool watch_read = true;
+    bool watch_write = false;
+
+    explicit Conn(Socket socket) : channel(std::move(socket)) {}
+  };
+
+  void AcceptNewConnections();
+  void ProcessReadable(Conn& conn);
+  void HandleRequestLine(Conn& conn, const std::string& line);
+  void FillSlot(uint64_t conn_id, uint64_t seq, std::string line);
+  void FlushBatch();
+  void BeginShutdown();
+  /// Pushes bytes, reconciles poller interest, closes finished conns.
+  void SweepConnections();
+  void CloseConn(uint64_t conn_id);
+
+  ReleaseServer& server_;
+  const NetServerOptions options_;
+  QueryBatcher batcher_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  Poller poller_;
+  WakePipe wake_;
+  // conn_id (monotonic) -> connection. Keyed by id, not fd: a batched
+  // responder outliving its connection must miss cleanly, never hit a
+  // recycled fd.
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+  std::map<int, uint64_t> fd_to_conn_;
+  uint64_t next_conn_id_ = 1;
+  int64_t handled_ = 0;
+  // Wall-clock (microseconds, steady) when the open batch must flush;
+  // unset when nothing is pending.
+  std::optional<int64_t> batch_deadline_us_;
+  bool shutting_down_ = false;
+  std::optional<int64_t> drain_deadline_us_;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<int64_t> accepted_{0};
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_ENGINE_NET_SERVER_H_

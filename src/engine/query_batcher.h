@@ -1,0 +1,97 @@
+// Cross-client micro-batching for `query` requests.
+//
+// The net front-end parses each incoming query line (ParseQueryCommand)
+// and hands it here instead of answering inline. When the owner decides
+// the window is over — the request-count cap tripped, the batching window
+// expired, or the server is draining for shutdown — Flush() answers every
+// pending request with as few engine calls as possible:
+//
+//   * requests are grouped by release id (first-seen order);
+//   * all `all:true` requests against one release share ONE AnswerAll
+//     evaluation and ONE serialized response line;
+//   * id-list requests against one release merge into ONE AnswerBatch
+//     call, whose answers are sliced back per request.
+//
+// Byte-identity with the inline stdio path is a hard protocol guarantee,
+// not an aspiration: responses go through the same
+// QueryAnswersResponse/QueryErrorResponse serializers HandleQuery uses,
+// AnswerBatch computes every slot independently (so merging id lists
+// cannot change any answer), and a request whose ids fail validation is
+// answered by its OWN AnswerBatch call — which rejects before evaluating —
+// so its error message carries the request-local index, exactly as if it
+// had arrived alone.
+//
+// Thread-safe: Enqueue and Flush may race from any threads. Engine
+// evaluation and responder invocation happen OUTSIDE the lock, so a slow
+// responder cannot stall concurrent enqueues.
+
+#ifndef DPJOIN_ENGINE_QUERY_BATCHER_H_
+#define DPJOIN_ENGINE_QUERY_BATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "engine/server.h"
+
+namespace dpjoin {
+
+class QueryBatcher {
+ public:
+  struct Options {
+    /// Flush trigger: the owner should Flush() once this many requests are
+    /// pending (ShouldFlushOnCap turns true). The window trigger is the
+    /// owner's clock, not ours — keeping the batcher clock-free keeps its
+    /// unit tests deterministic.
+    int64_t max_requests = 512;
+  };
+
+  /// Receives exactly one serialized response line per enqueued request,
+  /// during some later Flush(), on the flushing thread.
+  using Responder = std::function<void(std::string line)>;
+
+  /// The server must outlive the batcher. Its engine answers the queries;
+  /// its request counter and serving stats absorb the batched traffic.
+  QueryBatcher(ReleaseServer& server, Options options);
+
+  /// Parks `cmd` until the next Flush(). Counts as a protocol request
+  /// immediately (stats.requests covers waiting requests too).
+  void Enqueue(QueryCommand cmd, Responder responder) EXCLUDES(mu_);
+
+  int64_t pending_requests() const EXCLUDES(mu_);
+  bool ShouldFlushOnCap() const EXCLUDES(mu_) {
+    return pending_requests() >= options_.max_requests;
+  }
+
+  /// Answers every request pending at entry; returns how many. Safe to
+  /// call with nothing pending (returns 0 without touching the engine).
+  int64_t Flush() EXCLUDES(mu_);
+
+  /// Engine-call counters — the coalescing ratio tests assert on these
+  /// (e.g. 8 pending all-requests against one release must cost exactly
+  /// one AnswerAll call).
+  int64_t answer_all_calls() const { return answer_all_calls_.load(); }
+  int64_t answer_batch_calls() const { return answer_batch_calls_.load(); }
+
+ private:
+  struct Pending {
+    QueryCommand cmd;
+    Responder responder;
+  };
+
+  ReleaseServer& server_;
+  const Options options_;
+  mutable Mutex mu_;
+  std::vector<Pending> pending_ GUARDED_BY(mu_);
+  std::atomic<int64_t> answer_all_calls_{0};
+  std::atomic<int64_t> answer_batch_calls_{0};
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_ENGINE_QUERY_BATCHER_H_

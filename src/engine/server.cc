@@ -129,6 +129,46 @@ Result<JoinQuery> BuildQueryFromJson(const JsonValue& request) {
 
 }  // namespace
 
+Result<QueryCommand> ParseQueryCommand(const JsonValue& request) {
+  QueryCommand cmd;
+  {
+    DPJOIN_ASSIGN_OR_RETURN(const std::string release_hex,
+                            GetString(request, "release", /*required=*/true));
+    DPJOIN_ASSIGN_OR_RETURN(cmd.release_id, ParseJsonHexId(release_hex));
+  }
+  const JsonValue* all = request.Find("all");
+  const JsonValue* queries = request.Find("queries");
+  if (all != nullptr && all->is_bool() && all->AsBool()) {
+    cmd.all = true;
+    return cmd;
+  }
+  if (queries != nullptr && queries->is_array()) {
+    cmd.ids.reserve(queries->items().size());
+    for (const JsonValue& q : queries->items()) {
+      DPJOIN_ASSIGN_OR_RETURN(
+          const int64_t id,
+          GetExactInt(q, "queries entries", -9007199254740992.0,
+                      9007199254740992.0));
+      cmd.ids.push_back(id);
+    }
+    return cmd;
+  }
+  return Status::InvalidArgument(
+      "query wants 'queries': [ids...] or 'all': true");
+}
+
+JsonValue QueryAnswersResponse(const std::vector<double>& answers) {
+  JsonValue response = OkResponse("query");
+  JsonValue array = JsonValue::Array();
+  for (const double a : answers) array.Append(JsonValue::Number(a));
+  response.Set("answers", std::move(array));
+  return response;
+}
+
+JsonValue QueryErrorResponse(const Status& status) {
+  return ErrorResponse("query", status);
+}
+
 ReleaseServer::ReleaseServer(ReleaseEngine& engine, ServerOptions options)
     : engine_(engine), options_(std::move(options)) {
   if (!options_.ledger_path.empty()) {
@@ -306,52 +346,27 @@ JsonValue ReleaseServer::HandleRelease(const JsonValue& request) {
 }
 
 JsonValue ReleaseServer::HandleQuery(const JsonValue& request) {
-  std::string release_hex;
-  {
-    auto release_or = GetString(request, "release", /*required=*/true);
-    if (!release_or.ok()) return ErrorResponse("query", release_or.status());
-    release_hex = *release_or;
-  }
-  uint64_t release_id = 0;
-  {
-    auto id = ParseJsonHexId(release_hex);
-    if (!id.ok()) return ErrorResponse("query", id.status());
-    release_id = *id;
-  }
-  auto handle = engine_.FindRelease(release_id);
-  if (!handle.ok()) return ErrorResponse("query", handle.status());
+  auto cmd = ParseQueryCommand(request);
+  if (!cmd.ok()) return QueryErrorResponse(cmd.status());
+  auto handle = engine_.FindRelease(cmd->release_id);
+  if (!handle.ok()) return QueryErrorResponse(handle.status());
 
-  const JsonValue* all = request.Find("all");
-  const JsonValue* queries = request.Find("queries");
   std::vector<double> answers;
-  if (all != nullptr && all->is_bool() && all->AsBool()) {
+  if (cmd->all) {
     answers = (*handle)->AnswerAll();
-  } else if (queries != nullptr && queries->is_array()) {
-    std::vector<int64_t> batch;
-    batch.reserve(queries->items().size());
-    for (const JsonValue& q : queries->items()) {
-      auto id = GetExactInt(q, "queries entries", -9007199254740992.0,
-                            9007199254740992.0);
-      if (!id.ok()) return ErrorResponse("query", id.status());
-      batch.push_back(*id);
-    }
-    auto batch_answers = (*handle)->AnswerBatch(batch);
+  } else {
+    auto batch_answers = (*handle)->AnswerBatch(cmd->ids);
     if (!batch_answers.ok()) {
-      return ErrorResponse("query", batch_answers.status());
+      return QueryErrorResponse(batch_answers.status());
     }
     answers = std::move(batch_answers).value();
-  } else {
-    return ErrorResponse("query",
-                         Status::InvalidArgument(
-                             "query wants 'queries': [ids...] or "
-                             "'all': true"));
   }
-
-  JsonValue response = OkResponse("query");
-  JsonValue array = JsonValue::Array();
-  for (const double a : answers) array.Append(JsonValue::Number(a));
-  response.Set("answers", std::move(array));
-  return response;
+  // An inline query is a batch of one — it lands in the histogram's "1"
+  // bucket, against which the net front-end's coalescing is measured.
+  serving_stats_.RecordBatch(cmd->release_id, /*requests=*/1,
+                             static_cast<int64_t>(answers.size()),
+                             /*used_answer_all=*/cmd->all);
+  return QueryAnswersResponse(answers);
 }
 
 JsonValue ReleaseServer::HandleLedger() {
@@ -393,6 +408,7 @@ JsonValue ReleaseServer::HandleStats() {
   response.Set("ledger_save_failures",
                JsonValue::Number(static_cast<double>(
                    ledger_save_failures_.load(std::memory_order_relaxed))));
+  response.Set("serving", serving_stats_.ToJson());
   return response;
 }
 

@@ -57,13 +57,40 @@
 #include <iosfwd>
 #include <string>
 
+#include <vector>
+
 #include "common/json.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "engine/engine.h"
+#include "engine/serving_stats.h"
 
 namespace dpjoin {
+
+/// A parsed `query` request: which release, and either the whole workload
+/// (`all`) or an explicit id list. Shared between the inline stdio path and
+/// the net front-end's micro-batcher so both produce byte-identical wire
+/// responses from identical requests.
+struct QueryCommand {
+  uint64_t release_id = 0;
+  bool all = false;
+  std::vector<int64_t> ids;
+};
+
+/// Parses the wire form ({"release": "0x...", "queries": [...]} or
+/// {"release": "0x...", "all": true}). Purely syntactic — the release is
+/// not looked up, so a batcher can parse at enqueue time and resolve at
+/// flush time.
+Result<QueryCommand> ParseQueryCommand(const JsonValue& request);
+
+/// The ok:true `query` response carrying `answers` — THE one serializer
+/// for query results, so batched and inline paths cannot drift.
+JsonValue QueryAnswersResponse(const std::vector<double>& answers);
+
+/// The ok:false `query` response for `status` (same shape every failed
+/// query gets, whichever path produced it).
+JsonValue QueryErrorResponse(const Status& status);
 
 struct ServerOptions {
   /// Base directory for relative `csv:` dataset paths.
@@ -98,6 +125,21 @@ class ReleaseServer {
 
   int64_t num_requests() const { return requests_.load(); }
 
+  /// The engine this server fronts — the net layer's batcher answers
+  /// queries against it directly (responses still flow through the shared
+  /// QueryAnswersResponse/QueryErrorResponse serializers).
+  ReleaseEngine& engine() { return engine_; }
+
+  /// Counts a request that bypassed HandleLine (a batched query taken off
+  /// a connection by the net front-end) so `stats.requests` stays the
+  /// number of protocol requests, not the number of HandleLine calls.
+  void RecordRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Per-release query counters + batch-size histogram, surfaced under
+  /// `stats.serving`. The batcher records coalesced batches here; the
+  /// inline query path records batches of one.
+  ServingStats& serving_stats() { return serving_stats_; }
+
  private:
   // `shutdown` (optional) is set when the request was a shutdown command,
   // so Serve() needs no second parse of the line.
@@ -115,6 +157,7 @@ class ReleaseServer {
   ReleaseEngine& engine_;
   const ServerOptions options_;
   Status startup_status_;
+  ServingStats serving_stats_;
   std::atomic<int64_t> requests_{0};
   // Failed ledger saves: logged to stderr and surfaced in `stats` so an
   // operator can see the on-disk record drifting from real spend.

@@ -1,0 +1,73 @@
+#include "engine/serving_stats.h"
+
+#include <string>
+#include <utility>
+
+namespace dpjoin {
+
+size_t ServingStats::BucketFor(int64_t batch_size) {
+  size_t bucket = 0;
+  int64_t upper = 1;
+  while (upper < batch_size && bucket + 1 < kNumBuckets) {
+    upper *= 2;
+    ++bucket;
+  }
+  return bucket;
+}
+
+void ServingStats::RecordBatch(uint64_t release_id, int64_t requests,
+                               int64_t queries, bool used_answer_all) {
+  if (requests <= 0) return;
+  MutexLock lock(mu_);
+  query_requests_ += requests;
+  engine_calls_ += 1;
+  if (used_answer_all) answer_all_calls_ += 1;
+  batch_hist_[BucketFor(requests)] += 1;
+  PerRelease& entry = per_release_[release_id];
+  entry.requests += requests;
+  entry.queries += queries;
+}
+
+int64_t ServingStats::query_requests() const {
+  MutexLock lock(mu_);
+  return query_requests_;
+}
+
+int64_t ServingStats::engine_calls() const {
+  MutexLock lock(mu_);
+  return engine_calls_;
+}
+
+JsonValue ServingStats::ToJson() const {
+  MutexLock lock(mu_);
+  JsonValue out = JsonValue::Object();
+  out.Set("query_requests",
+          JsonValue::Number(static_cast<double>(query_requests_)));
+  out.Set("engine_calls",
+          JsonValue::Number(static_cast<double>(engine_calls_)));
+  out.Set("answer_all_calls",
+          JsonValue::Number(static_cast<double>(answer_all_calls_)));
+
+  JsonValue hist = JsonValue::Object();
+  int64_t upper = 1;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (batch_hist_[b] != 0) {
+      hist.Set(std::to_string(upper),
+               JsonValue::Number(static_cast<double>(batch_hist_[b])));
+    }
+    upper *= 2;
+  }
+  out.Set("batch_size_histogram", std::move(hist));
+
+  JsonValue releases = JsonValue::Object();
+  for (const auto& [id, entry] : per_release_) {
+    JsonValue v = JsonValue::Object();
+    v.Set("requests", JsonValue::Number(static_cast<double>(entry.requests)));
+    v.Set("queries", JsonValue::Number(static_cast<double>(entry.queries)));
+    releases.Set(JsonHexId(id), std::move(v));
+  }
+  out.Set("per_release", std::move(releases));
+  return out;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,64 @@
+// Serving-side observability: per-release query counters and a batch-size
+// histogram that makes cross-client coalescing visible from the outside.
+//
+// Every engine-level answer call — whether it came from a single stdio
+// request or from N coalesced TCP requests — records one histogram sample
+// whose value is the number of client requests it satisfied. A server
+// that never coalesces puts every sample in the "1" bucket; a busy
+// micro-batching front-end shifts mass rightward, and the `stats` command
+// exposes exactly that shift.
+
+#ifndef DPJOIN_ENGINE_SERVING_STATS_H_
+#define DPJOIN_ENGINE_SERVING_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "common/json.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dpjoin {
+
+class ServingStats {
+ public:
+  /// Records one engine-level answer evaluation that satisfied `requests`
+  /// client requests totalling `queries` individual query ids against
+  /// `release_id`. `used_answer_all` distinguishes whole-workload
+  /// evaluations from id-batch evaluations.
+  void RecordBatch(uint64_t release_id, int64_t requests, int64_t queries,
+                   bool used_answer_all) EXCLUDES(mu_);
+
+  int64_t query_requests() const EXCLUDES(mu_);
+  int64_t engine_calls() const EXCLUDES(mu_);
+
+  /// The `stats` response fragment: totals, the power-of-two batch-size
+  /// histogram (only non-empty buckets, keyed by bucket upper bound), and
+  /// per-release request/query counts keyed by 0x-hex release id (sorted —
+  /// std::map keeps the wire format deterministic).
+  JsonValue ToJson() const EXCLUDES(mu_);
+
+ private:
+  struct PerRelease {
+    int64_t requests = 0;
+    int64_t queries = 0;
+  };
+
+  // Bucket b counts batches of size in (2^(b-1), 2^b]; bucket 0 is size 1.
+  // 2^20 requests in one batch is far beyond any configurable cap — the
+  // last bucket absorbs the (unreachable) tail rather than dropping it.
+  static constexpr size_t kNumBuckets = 21;
+  static size_t BucketFor(int64_t batch_size);
+
+  mutable Mutex mu_;
+  int64_t query_requests_ GUARDED_BY(mu_) = 0;
+  int64_t engine_calls_ GUARDED_BY(mu_) = 0;
+  int64_t answer_all_calls_ GUARDED_BY(mu_) = 0;
+  std::array<int64_t, kNumBuckets> batch_hist_ GUARDED_BY(mu_) = {};
+  std::map<uint64_t, PerRelease> per_release_ GUARDED_BY(mu_);
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_ENGINE_SERVING_STATS_H_

@@ -1,0 +1,120 @@
+#include "net/line_channel.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+namespace dpjoin {
+
+LineChannel::LineChannel(Socket socket, size_t max_line_bytes)
+    : socket_(std::move(socket)), max_line_bytes_(max_line_bytes) {}
+
+LineChannel::ReadState LineChannel::ReadLines(
+    std::vector<std::string>* lines) {
+  if (read_error_) return ReadState::kError;
+  char chunk[16384];
+  for (;;) {
+    auto n = socket_.Read(chunk, sizeof(chunk));
+    if (!n.ok()) {
+      read_error_ = true;
+      return ReadState::kError;
+    }
+    if (*n == -1) break;  // drained: would block
+    if (*n == 0) {
+      // Peer EOF. Any unterminated tail is discarded — a half-line at EOF
+      // is a truncated request, not a request.
+      return ReadState::kEof;
+    }
+    read_buffer_.append(chunk, static_cast<size_t>(*n));
+    size_t start = 0;
+    for (;;) {
+      const size_t newline = read_buffer_.find('\n', start);
+      if (newline == std::string::npos) break;
+      size_t end = newline;
+      if (end > start && read_buffer_[end - 1] == '\r') --end;
+      lines->emplace_back(read_buffer_, start, end - start);
+      ++lines_read_;
+      start = newline + 1;
+    }
+    if (start > 0) read_buffer_.erase(0, start);
+    if (read_buffer_.size() > max_line_bytes_) {
+      read_error_ = true;
+      return ReadState::kError;
+    }
+  }
+  return ReadState::kOpen;
+}
+
+void LineChannel::QueueLine(const std::string& line) {
+  // Compact the consumed prefix before growing — the buffer stays
+  // proportional to genuinely unsent bytes, not to connection lifetime.
+  if (write_pos_ > 0 && write_pos_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_pos_ = 0;
+  } else if (write_pos_ > (1u << 16)) {
+    write_buffer_.erase(0, write_pos_);
+    write_pos_ = 0;
+  }
+  write_buffer_.append(line);
+  write_buffer_.push_back('\n');
+  ++lines_written_;
+}
+
+LineChannel::ReadState LineChannel::FlushWrites() {
+  while (write_pos_ < write_buffer_.size()) {
+    auto n = socket_.Write(write_buffer_.data() + write_pos_,
+                           write_buffer_.size() - write_pos_);
+    if (!n.ok()) return ReadState::kError;
+    if (*n == -1) break;  // kernel buffer full: wait for POLLOUT
+    write_pos_ += static_cast<size_t>(*n);
+  }
+  return ReadState::kOpen;
+}
+
+Result<LineClient> LineClient::Connect(const std::string& host,
+                                       uint16_t port) {
+  DPJOIN_ASSIGN_OR_RETURN(Socket socket, ConnectTcp(host, port));
+  return LineClient(std::move(socket));
+}
+
+Status LineClient::SendLine(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    DPJOIN_ASSIGN_OR_RETURN(
+        int64_t n, socket_.Write(framed.data() + sent, framed.size() - sent));
+    // A blocking socket never returns would-block; treat it as a stall.
+    if (n <= 0) return Status::Internal("short write on blocking socket");
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  for (;;) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      size_t end = newline;
+      if (end > 0 && buffer_[end - 1] == '\r') --end;
+      std::string line = buffer_.substr(0, end);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[16384];
+    DPJOIN_ASSIGN_OR_RETURN(int64_t n, socket_.Read(chunk, sizeof(chunk)));
+    if (n == 0) {
+      return Status::NotFound("connection closed before a complete line");
+    }
+    if (n > 0) buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status LineClient::FinishWriting() {
+  if (::shutdown(socket_.fd(), SHUT_WR) < 0) {
+    return Status::Internal("shutdown(SHUT_WR) failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace dpjoin

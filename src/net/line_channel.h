@@ -1,0 +1,95 @@
+// Line framing over sockets.
+//
+// LineChannel is the server side of one connection: a non-blocking socket
+// plus a read buffer that reassembles '\n'-terminated protocol lines and a
+// write buffer that absorbs partial writes. It is owned and driven by a
+// single event-loop thread — NOT thread-safe by design (cross-thread
+// traffic reaches the loop through net::WakePipe, never through a channel).
+//
+// LineClient is the blocking client side (tests, benches, soak drivers):
+// connect, send request lines, read response lines.
+
+#ifndef DPJOIN_NET_LINE_CHANNEL_H_
+#define DPJOIN_NET_LINE_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace dpjoin {
+
+class LineChannel {
+ public:
+  /// Takes ownership of a NON-BLOCKING socket. A line longer than
+  /// `max_line_bytes` (protocol abuse — requests are single JSON lines)
+  /// puts the channel in the error state.
+  explicit LineChannel(Socket socket, size_t max_line_bytes = 1 << 20);
+
+  int fd() const { return socket_.fd(); }
+
+  enum class ReadState {
+    kOpen,   ///< more data may arrive later
+    kEof,    ///< peer closed its write side (delivered lines still valid)
+    kError,  ///< socket error or oversized line — close the connection
+  };
+
+  /// Drains everything currently readable, appending each complete line
+  /// (without the '\n'; a trailing '\r' is stripped so telnet-style
+  /// clients work) to `lines`.
+  ReadState ReadLines(std::vector<std::string>* lines);
+
+  /// Queues `line` plus '\n' for writing. Call FlushWrites to move bytes;
+  /// the caller owns write-interest bookkeeping via wants_write().
+  void QueueLine(const std::string& line);
+
+  /// Writes as much queued data as the socket accepts right now.
+  /// Returns kOpen (possibly with bytes still pending), or kError when the
+  /// peer is gone.
+  ReadState FlushWrites();
+
+  /// True while queued bytes remain unsent — keep POLLOUT interest on.
+  bool wants_write() const { return write_pos_ < write_buffer_.size(); }
+
+  int64_t lines_read() const { return lines_read_; }
+  int64_t lines_written() const { return lines_written_; }
+
+ private:
+  Socket socket_;
+  const size_t max_line_bytes_;
+  std::string read_buffer_;
+  std::string write_buffer_;
+  size_t write_pos_ = 0;
+  int64_t lines_read_ = 0;
+  int64_t lines_written_ = 0;
+  bool read_error_ = false;
+};
+
+/// Blocking request/response client for the JSON-lines protocol.
+class LineClient {
+ public:
+  /// Connects to 127.0.0.1-style `host`:`port`.
+  static Result<LineClient> Connect(const std::string& host, uint16_t port);
+
+  /// Sends `line` + '\n' (blocking until fully written).
+  Status SendLine(const std::string& line);
+
+  /// Reads one '\n'-terminated line (blocking). NotFound on clean EOF
+  /// before a complete line.
+  Result<std::string> ReadLine();
+
+  /// Half-close: no more requests, but responses can still be read.
+  Status FinishWriting();
+
+ private:
+  explicit LineClient(Socket socket) : socket_(std::move(socket)) {}
+
+  Socket socket_;
+  std::string buffer_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_NET_LINE_CHANNEL_H_

@@ -1,0 +1,161 @@
+#include "net/poller.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#define DPJOIN_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define DPJOIN_HAVE_EPOLL 0
+#endif
+
+namespace dpjoin {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Poller::Poller(Backend backend) : backend_(backend) {
+#if DPJOIN_HAVE_EPOLL
+  if (backend_ == Backend::kAuto) backend_ = Backend::kEpoll;
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) backend_ = Backend::kPoll;  // degrade, don't die
+  }
+#else
+  backend_ = Backend::kPoll;
+#endif
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+#if DPJOIN_HAVE_EPOLL
+namespace {
+
+uint32_t EpollMask(bool want_read, bool want_write) {
+  uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+
+}  // namespace
+#endif
+
+Status Poller::Add(int fd, bool want_read, bool want_write) {
+  if (interest_.count(fd) != 0) {
+    return Status::InvalidArgument("fd " + std::to_string(fd) +
+                                   " is already watched");
+  }
+#if DPJOIN_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return Errno("epoll_ctl(ADD)");
+    }
+  }
+#endif
+  interest_[fd] = {want_read, want_write};
+  return Status::OK();
+}
+
+Status Poller::Update(int fd, bool want_read, bool want_write) {
+  const auto it = interest_.find(fd);
+  if (it == interest_.end()) {
+    return Status::NotFound("fd " + std::to_string(fd) + " is not watched");
+  }
+#if DPJOIN_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+      return Errno("epoll_ctl(MOD)");
+    }
+  }
+#endif
+  it->second = {want_read, want_write};
+  return Status::OK();
+}
+
+Status Poller::Remove(int fd) {
+  if (interest_.erase(fd) == 0) {
+    return Status::NotFound("fd " + std::to_string(fd) + " is not watched");
+  }
+#if DPJOIN_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) < 0) {
+      return Errno("epoll_ctl(DEL)");
+    }
+  }
+#endif
+  return Status::OK();
+}
+
+Status Poller::Wait(int timeout_ms, std::vector<Event>* events) {
+  events->clear();
+#if DPJOIN_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    // One output slot per watched fd; epoll_wait fills at most that many.
+    std::vector<epoll_event> ready(interest_.empty() ? 1 : interest_.size());
+    const int n = ::epoll_wait(epoll_fd_, ready.data(),
+                               static_cast<int>(ready.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::OK();  // caller re-evaluates + waits
+      return Errno("epoll_wait");
+    }
+    events->reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event event;
+      event.fd = ready[static_cast<size_t>(i)].data.fd;
+      const uint32_t mask = ready[static_cast<size_t>(i)].events;
+      event.readable = (mask & EPOLLIN) != 0;
+      event.writable = (mask & EPOLLOUT) != 0;
+      event.error = (mask & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+    return Status::OK();
+  }
+#endif
+  // poll(2) path: rebuild the pollfd set from the interest map. Order is
+  // whatever the map yields — callers never depend on event order.
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, interest] : interest_) {
+    pollfd p{};
+    p.fd = fd;
+    if (interest.read) p.events |= POLLIN;
+    if (interest.write) p.events |= POLLOUT;
+    fds.push_back(p);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return Status::OK();
+    return Errno("poll");
+  }
+  events->reserve(static_cast<size_t>(n));
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    Event event;
+    event.fd = p.fd;
+    event.readable = (p.revents & POLLIN) != 0;
+    event.writable = (p.revents & POLLOUT) != 0;
+    event.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    events->push_back(event);
+  }
+  return Status::OK();
+}
+
+}  // namespace dpjoin

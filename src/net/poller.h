@@ -1,0 +1,74 @@
+// Readiness multiplexer: epoll on Linux, poll(2) everywhere (and as a
+// runtime-selectable fallback so both backends stay tested on Linux).
+//
+// The Poller owns no file descriptors — it only watches them. One event
+// loop thread owns a Poller; it is deliberately NOT thread-safe (wake it
+// from other threads through a registered WakePipe instead of mutating
+// interest sets cross-thread).
+
+#ifndef DPJOIN_NET_POLLER_H_
+#define DPJOIN_NET_POLLER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace dpjoin {
+
+class Poller {
+ public:
+  enum class Backend {
+    kAuto,   ///< epoll where available, poll otherwise
+    kEpoll,  ///< Linux epoll (falls back to poll off-Linux)
+    kPoll,   ///< portable poll(2)
+  };
+
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error or hangup on the descriptor — the owner should close it.
+    bool error = false;
+  };
+
+  explicit Poller(Backend backend = Backend::kAuto);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// The backend actually in use (kAuto/kEpoll resolve to kPoll where
+  /// epoll does not exist).
+  Backend backend() const { return backend_; }
+
+  /// Starts watching `fd`. InvalidArgument if already watched.
+  Status Add(int fd, bool want_read, bool want_write);
+
+  /// Changes the interest set of a watched `fd`.
+  Status Update(int fd, bool want_read, bool want_write);
+
+  /// Stops watching `fd` (call BEFORE closing it).
+  Status Remove(int fd);
+
+  size_t num_watched() const { return interest_.size(); }
+
+  /// Blocks until readiness, `timeout_ms` elapses (-1 = no timeout), or a
+  /// signal. Replaces `events` with the ready set (empty on timeout).
+  Status Wait(int timeout_ms, std::vector<Event>* events);
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  Backend backend_;
+  int epoll_fd_ = -1;  // kEpoll only
+  std::unordered_map<int, Interest> interest_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_NET_POLLER_H_

@@ -1,0 +1,181 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace dpjoin {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+// MSG_NOSIGNAL keeps a write to a peer-closed socket an EPIPE error instead
+// of a process-killing SIGPIPE — a serving daemon must survive any client.
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::SetNonBlocking(bool enabled) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int want = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status Socket::SetNoDelay(bool enabled) {
+  const int value = enabled ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &value, sizeof(value)) <
+      0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Socket::Read(void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n >= 0) return static_cast<int64_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return int64_t{-1};
+    return Errno("recv");
+  }
+}
+
+Result<int64_t> Socket::Write(const void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(fd_, buf, len, kSendFlags);
+    if (n >= 0) return static_cast<int64_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return int64_t{-1};
+    return Errno("send");
+  }
+}
+
+Result<Socket> ListenTcp(uint16_t port, const ListenOptions& options) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return Errno("socket");
+  const int reuse = 1;
+  if (::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &reuse,
+                   sizeof(reuse)) < 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      options.loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return Errno("bind(port " + std::to_string(port) + ")");
+  }
+  if (::listen(socket.fd(), options.backlog) < 0) return Errno("listen");
+  DPJOIN_RETURN_NOT_OK(socket.SetNonBlocking(true));
+  return socket;
+}
+
+Result<uint16_t> LocalPort(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> AcceptConnection(const Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket socket(fd);
+      DPJOIN_RETURN_NOT_OK(socket.SetNonBlocking(true));
+      // Best-effort: some accepted fds (e.g. AF_UNIX in future tests)
+      // have no TCP_NODELAY; a refusal is not fatal.
+      (void)socket.SetNoDelay(true);  // latency knob, not correctness
+      return socket;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Socket();
+    // Transient per-connection failures (the peer vanished between the
+    // poll and the accept) must not kill the accept loop.
+    if (errno == ECONNABORTED) continue;
+    return Errno("accept");
+  }
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 literal: '" + host + "'");
+  }
+  for (;;) {
+    if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      (void)socket.SetNoDelay(true);  // latency knob, not correctness
+      return socket;
+    }
+    if (errno == EINTR) continue;
+    return Errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+}
+
+WakePipe::WakePipe() {
+  int fds[2] = {-1, -1};
+  DPJOIN_CHECK(::pipe(fds) == 0, "WakePipe: pipe() failed");
+  read_end_ = Socket(fds[0]);
+  write_end_ = Socket(fds[1]);
+  DPJOIN_CHECK(read_end_.SetNonBlocking(true).ok(),
+               "WakePipe: cannot set O_NONBLOCK");
+  DPJOIN_CHECK(write_end_.SetNonBlocking(true).ok(),
+               "WakePipe: cannot set O_NONBLOCK");
+}
+
+void WakePipe::Notify() {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  (void)::write(write_end_.fd(), &byte, 1);
+}
+
+void WakePipe::Drain() {
+  char buf[64];
+  while (::read(read_end_.fd(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace dpjoin

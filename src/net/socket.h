@@ -1,0 +1,126 @@
+// POSIX socket primitives for the serving front-end.
+//
+// This is the ONLY place in the tree allowed to make raw socket syscalls
+// (socket/bind/listen/accept/connect/epoll_* — enforced by the
+// `raw-socket` rule in scripts/dpjoin_lint.py). Everything above speaks in
+// terms of these wrappers, so the platform surface stays in one layer:
+//
+//   Socket       RAII owner of one file descriptor (move-only; closes on
+//                destruction). Read/Write never raise SIGPIPE and report
+//                would-block as a value, not an error — the event loop
+//                treats EAGAIN as "try again after poll", never a failure.
+//   ListenTcp    bound + listening TCP socket (port 0 = kernel-assigned;
+//                read it back with LocalPort). Loopback-only by default:
+//                dpjoin_serve has no authentication story yet, so binding
+//                a wildcard address is an explicit opt-in.
+//   AcceptConnection / ConnectTcp
+//                non-blocking accept (invalid Socket = nothing pending)
+//                and blocking client connect (tests, benches, soak tools).
+//   WakePipe     self-pipe for waking a poll loop from another thread —
+//                the one cross-thread signal the event loop needs (e.g.
+//                RequestShutdown), without any shared mutable state.
+//
+// The layer is dependency-free POSIX: no third-party networking, no
+// global initialization. Windows is out of scope.
+
+#ifndef DPJOIN_NET_SOCKET_H_
+#define DPJOIN_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace dpjoin {
+
+/// Move-only owner of one socket (or pipe) file descriptor.
+class Socket {
+ public:
+  /// Default-constructs an invalid socket (fd -1).
+  Socket() = default;
+  /// Takes ownership of `fd`.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the descriptor now (idempotent).
+  void Close();
+
+  /// O_NONBLOCK on the descriptor.
+  Status SetNonBlocking(bool enabled);
+
+  /// TCP_NODELAY: the serving protocol is request/response with its own
+  /// micro-batching; Nagle's algorithm only adds latency under it.
+  Status SetNoDelay(bool enabled);
+
+  /// Reads up to `len` bytes. Returns the byte count, 0 on EOF, or -1 when
+  /// the read would block (EAGAIN on a non-blocking socket). EINTR is
+  /// retried internally; real errors are a Status.
+  Result<int64_t> Read(void* buf, size_t len);
+
+  /// Writes up to `len` bytes without ever raising SIGPIPE. Returns the
+  /// byte count (possibly short) or -1 when the write would block.
+  Result<int64_t> Write(const void* buf, size_t len);
+
+ private:
+  int fd_ = -1;
+};
+
+struct ListenOptions {
+  int backlog = 128;
+  /// Bind 127.0.0.1 (default) or the wildcard address.
+  bool loopback_only = true;
+};
+
+/// A bound, listening, NON-BLOCKING TCP socket on `port` (0 = ephemeral;
+/// recover the assignment with LocalPort). SO_REUSEADDR is set so a
+/// restarted daemon can rebind its port through TIME_WAIT.
+Result<Socket> ListenTcp(uint16_t port, const ListenOptions& options = {});
+
+/// The locally bound port of a listening socket.
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Accepts one pending connection from a non-blocking listener. The
+/// accepted socket is returned non-blocking with TCP_NODELAY set. An
+/// INVALID socket means nothing was pending (not an error).
+Result<Socket> AcceptConnection(const Socket& listener);
+
+/// Blocking client connect to host:port ("127.0.0.1" style IPv4 literal).
+/// The socket stays blocking — this is the test/bench/client side.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Self-pipe: Notify() from any thread makes the read end readable, so a
+/// poll loop parked in Poller::Wait wakes up. Notifications coalesce.
+class WakePipe {
+ public:
+  /// CHECK-fails if the pipe cannot be created (fd exhaustion at startup
+  /// is not a recoverable serving state).
+  WakePipe();
+
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  /// The readable end, for Poller registration.
+  int read_fd() const { return read_end_.fd(); }
+
+  /// Wakes the poller (async-signal-safe, callable from any thread).
+  void Notify();
+
+  /// Drains queued notifications (call after the read end polls readable).
+  void Drain();
+
+ private:
+  Socket read_end_;
+  Socket write_end_;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_NET_SOCKET_H_

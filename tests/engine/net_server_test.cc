@@ -1,0 +1,270 @@
+// Integration tests for the TCP serving front-end: concurrent pipelined
+// clients over real loopback sockets, byte-compared against a reference
+// ReleaseServer running the classic inline path, plus coalescing
+// observability, the connection cap, and graceful shutdown.
+
+#include "engine/net_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "engine/server.h"
+#include "net/line_channel.h"
+
+namespace dpjoin {
+namespace {
+
+constexpr char kRegisterLine[] =
+    R"json({"cmd": "register", "name": "demo", )json"
+    R"json("source": "generated:zipf(tuples=120,s=1.0,seed=7)", )json"
+    R"json("attributes": ["A:6", "B:4", "C:6"], )json"
+    R"json("relations": ["R1:A,B", "R2:B,C"]})json";
+
+std::string ReleaseLine() {
+  return R"json({"cmd": "release", "dataset": "demo", "seed": 5, "spec": ")json"
+         "# dpjoin-release-spec v1\\nname = net\\nattribute = A:6\\n"
+         "attribute = B:4\\nattribute = C:6\\nrelation = R1:A,B\\n"
+         "relation = R2:B,C\\nepsilon = 1.0\\ndelta = 1e-5\\n"
+         "mechanism = auto\\nworkload = prefix:3" R"json("})json";
+}
+
+// A NetServer over a fresh engine, its event loop on a background thread,
+// and an identically seeded reference ReleaseServer whose inline
+// HandleLine responses define the expected bytes.
+struct NetFixture {
+  std::unique_ptr<ReleaseEngine> engine;
+  std::unique_ptr<ReleaseServer> server;
+  std::unique_ptr<NetServer> net;
+  std::unique_ptr<ReleaseEngine> reference_engine;
+  std::unique_ptr<ReleaseServer> reference;
+  std::thread loop;
+  std::string release_id;
+
+  explicit NetFixture(NetServerOptions options) {
+    engine = std::make_unique<ReleaseEngine>(PrivacyParams(2.5, 1e-2),
+                                             /*cache_capacity=*/8);
+    server = std::make_unique<ReleaseServer>(*engine);
+    reference_engine = std::make_unique<ReleaseEngine>(
+        PrivacyParams(2.5, 1e-2), /*cache_capacity=*/8);
+    reference = std::make_unique<ReleaseServer>(*reference_engine);
+
+    // Same deterministic session on both servers — the released ids (and
+    // every noisy answer) must coincide, or nothing else below can.
+    server->HandleLine(kRegisterLine);
+    reference->HandleLine(kRegisterLine);
+    auto released = JsonValue::Parse(server->HandleLine(ReleaseLine()));
+    auto ref_released = JsonValue::Parse(reference->HandleLine(ReleaseLine()));
+    EXPECT_TRUE(released.ok() && released->Find("ok")->AsBool());
+    EXPECT_TRUE(ref_released.ok() && ref_released->Find("ok")->AsBool());
+    release_id = released->Find("release")->AsString();
+    EXPECT_EQ(release_id, ref_released->Find("release")->AsString())
+        << "identically seeded engines must mint the same release id";
+
+    net = std::make_unique<NetServer>(*server, options);
+    const Status started = net->Start();
+    EXPECT_TRUE(started.ok()) << started;
+    loop = std::thread([this] { net->Run(); });
+  }
+
+  ~NetFixture() {
+    if (loop.joinable()) {
+      net->RequestShutdown();
+      loop.join();
+    }
+  }
+
+  std::string Expected(const std::string& line) {
+    return reference->HandleLine(line);
+  }
+};
+
+TEST(NetServerTest, ConcurrentPipelinedClientsMatchInlineBytes) {
+  NetServerOptions options;
+  options.batch_window_us = 500;
+  NetFixture fx(options);
+  constexpr int kClients = 8;
+
+  // Per-client request scripts: good queries (ids and all), protocol
+  // errors (out-of-range id, unknown release, malformed query) — every
+  // line must answer with exactly the inline path's bytes, in order,
+  // despite cross-client batching.
+  std::vector<std::vector<std::string>> scripts(kClients);
+  std::vector<std::vector<std::string>> expected(kClients);
+  for (int k = 0; k < kClients; ++k) {
+    auto q = [&](const std::string& payload) {
+      return R"json({"cmd": "query", "release": ")json" + fx.release_id +
+             R"json(", )json" + payload + "}";
+    };
+    scripts[k] = {
+        q("\"queries\": [" + std::to_string(k % 3) + "]"),
+        q("\"all\": true"),
+        q("\"queries\": [" + std::to_string((k + 1) % 3) + ", " +
+          std::to_string(k % 3) + "]"),
+        q("\"queries\": [999]"),
+        R"json({"cmd": "query", "release": "0xdead", "queries": [0]})json",
+        q("\"nothing\": 1"),
+        q("\"queries\": []"),
+        q("\"all\": true"),
+    };
+    for (const std::string& line : scripts[k]) {
+      expected[k].push_back(fx.Expected(line));
+    }
+  }
+
+  std::vector<int> mismatches(kClients, -1);
+  std::vector<std::thread> clients;
+  for (int k = 0; k < kClients; ++k) {
+    clients.emplace_back([k, &fx, &scripts, &expected, &mismatches] {
+      auto client = LineClient::Connect("127.0.0.1", fx.net->port());
+      if (!client.ok()) return;  // leaves mismatches[k] == -1 → failure
+      // Fully pipelined: every request leaves before any response is read.
+      for (const std::string& line : scripts[k]) {
+        if (!client->SendLine(line).ok()) return;
+      }
+      int bad = 0;
+      for (size_t i = 0; i < scripts[k].size(); ++i) {
+        auto response = client->ReadLine();
+        if (!response.ok() || *response != expected[k][i]) ++bad;
+      }
+      mismatches[k] = bad;
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (int k = 0; k < kClients; ++k) {
+    EXPECT_EQ(mismatches[k], 0) << "client " << k;
+  }
+
+  // The coalescing must be visible: with 8 clients racing, at least one
+  // engine call served more than one request OR every call served one —
+  // either way the histogram totals match the request count.
+  auto stats = JsonValue::Parse(
+      fx.server->HandleLine(R"json({"cmd": "stats"})json"));
+  ASSERT_TRUE(stats.ok());
+  const JsonValue* serving = stats->Find("serving");
+  ASSERT_NE(serving, nullptr);
+  // 8 clients x 5 successful query lines each (three of the eight lines
+  // per script are protocol errors, which the stats do not count).
+  EXPECT_DOUBLE_EQ(serving->Find("query_requests")->AsDouble(),
+                   kClients * 5.0)
+      << stats->Serialize();
+}
+
+TEST(NetServerTest, CapTriggeredCoalescingIsObservableInStats) {
+  NetServerOptions options;
+  // Window far beyond test patience: only the cap can flush, so all 8
+  // parked queries MUST coalesce into exactly one engine call.
+  options.batch_window_us = 10'000'000;
+  options.batch_max = 8;
+  NetFixture fx(options);
+  constexpr int kClients = 8;
+
+  const std::string line =
+      R"json({"cmd": "query", "release": ")json" + fx.release_id +
+      R"json(", "all": true})json";
+  const std::string expected = fx.Expected(line);
+
+  std::vector<int> ok(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int k = 0; k < kClients; ++k) {
+    clients.emplace_back([k, &fx, &line, &expected, &ok] {
+      auto client = LineClient::Connect("127.0.0.1", fx.net->port());
+      if (!client.ok()) return;
+      if (!client->SendLine(line).ok()) return;
+      auto response = client->ReadLine();
+      ok[k] = response.ok() && *response == expected;
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (int k = 0; k < kClients; ++k) EXPECT_TRUE(ok[k]) << "client " << k;
+
+  EXPECT_EQ(fx.net->batcher().answer_all_calls(), 1)
+      << "8 cap-gated all-requests must share one AnswerAll";
+  auto stats = JsonValue::Parse(
+      fx.server->HandleLine(R"json({"cmd": "stats"})json"));
+  ASSERT_TRUE(stats.ok());
+  const JsonValue* hist =
+      stats->Find("serving")->Find("batch_size_histogram");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_NE(hist->Find("8"), nullptr) << stats->Serialize();
+  EXPECT_DOUBLE_EQ(hist->Find("8")->AsDouble(), 1.0) << stats->Serialize();
+}
+
+TEST(NetServerTest, RefusesConnectionsBeyondMaxConns) {
+  NetServerOptions options;
+  options.max_conns = 1;
+  NetFixture fx(options);
+
+  auto first = LineClient::Connect("127.0.0.1", fx.net->port());
+  ASSERT_TRUE(first.ok()) << first.status();
+  // A full round trip guarantees the loop accepted (and kept) us.
+  ASSERT_TRUE(first->SendLine(R"json({"cmd": "ledger"})json").ok());
+  auto ledger = first->ReadLine();
+  ASSERT_TRUE(ledger.ok()) << ledger.status();
+
+  auto second = LineClient::Connect("127.0.0.1", fx.net->port());
+  ASSERT_TRUE(second.ok()) << second.status();
+  auto refusal = second->ReadLine();
+  ASSERT_TRUE(refusal.ok()) << refusal.status();
+  auto parsed = JsonValue::Parse(*refusal);
+  ASSERT_TRUE(parsed.ok()) << *refusal;
+  EXPECT_FALSE(parsed->Find("ok")->AsBool());
+  EXPECT_NE(parsed->Find("error")->AsString().find("connection limit"),
+            std::string::npos);
+  auto eof = second->ReadLine();
+  EXPECT_FALSE(eof.ok()) << "refused connection must be closed";
+}
+
+TEST(NetServerTest, ShutdownDrainsParkedQueries) {
+  NetServerOptions options;
+  options.batch_window_us = 10'000'000;  // nothing flushes but the drain
+  NetFixture fx(options);
+
+  const std::string line =
+      R"json({"cmd": "query", "release": ")json" + fx.release_id +
+      R"json(", "queries": [0, 1, 2]})json";
+  const std::string expected = fx.Expected(line);
+
+  auto client = LineClient::Connect("127.0.0.1", fx.net->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  const int64_t before = fx.server->num_requests();
+  ASSERT_TRUE(client->SendLine(line).ok());
+  // Wait until the loop has parked the query in the batcher...
+  for (int i = 0; i < 5000 && fx.server->num_requests() == before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(fx.server->num_requests(), before) << "query never enqueued";
+
+  // ...then shut down from another thread: the parked query must still be
+  // answered (with the exact inline bytes) before the connection closes.
+  fx.net->RequestShutdown();
+  auto response = client->ReadLine();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(*response, expected);
+  auto eof = client->ReadLine();
+  EXPECT_FALSE(eof.ok()) << "connection must close after the drain";
+  fx.loop.join();
+}
+
+TEST(NetServerTest, ShutdownCommandAcksThenStopsTheLoop) {
+  NetFixture fx(NetServerOptions{});
+  auto client = LineClient::Connect("127.0.0.1", fx.net->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE(client->SendLine(R"json({"cmd": "shutdown"})json").ok());
+  auto ack = client->ReadLine();
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  EXPECT_EQ(*ack, fx.Expected(R"json({"cmd": "shutdown"})json"));
+  fx.loop.join();
+
+  // The listener is gone: new connections fail.
+  auto late = LineClient::Connect("127.0.0.1", fx.net->port());
+  EXPECT_FALSE(late.ok());
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,279 @@
+// Deterministic unit tests for cross-client query micro-batching.
+//
+// The load-bearing property is byte-identity: for any request, the
+// batched path must produce EXACTLY the response line the inline
+// ReleaseServer::HandleLine path produces. Every test here phrases its
+// expectation that way — the inline response is computed first and the
+// batched response is string-compared against it.
+
+#include "engine/query_batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "engine/server.h"
+
+namespace dpjoin {
+namespace {
+
+std::string DemoSpec(const std::string& name, const std::string& epsilon) {
+  return "# dpjoin-release-spec v1\\nname = " + name +
+         "\\nattribute = A:6\\nattribute = B:4\\nattribute = C:6\\n"
+         "relation = R1:A,B\\nrelation = R2:B,C\\nepsilon = " + epsilon +
+         "\\ndelta = 1e-5\\nmechanism = auto\\nworkload = prefix:3";
+}
+
+struct Fixture {
+  std::unique_ptr<ReleaseEngine> engine;
+  std::unique_ptr<ReleaseServer> server;
+
+  Fixture() {
+    engine = std::make_unique<ReleaseEngine>(PrivacyParams(2.5, 1e-2),
+                                             /*cache_capacity=*/8);
+    server = std::make_unique<ReleaseServer>(*engine);
+    const std::string registered = server->HandleLine(
+        R"json({"cmd": "register", "name": "demo", )json"
+        R"json("source": "generated:zipf(tuples=120,s=1.0,seed=7)", )json"
+        R"json("attributes": ["A:6", "B:4", "C:6"], )json"
+        R"json("relations": ["R1:A,B", "R2:B,C"]})json");
+    EXPECT_NE(registered.find("\"ok\": true"), std::string::npos)
+        << registered;
+  }
+
+  // Releases a spec and returns the 0x-hex release id.
+  std::string Release(const std::string& name, const std::string& epsilon) {
+    auto response = JsonValue::Parse(server->HandleLine(
+        R"json({"cmd": "release", "dataset": "demo", "seed": 5, "spec": ")json" +
+        DemoSpec(name, epsilon) + R"json("})json"));
+    EXPECT_TRUE(response.ok() && response->Find("ok")->AsBool())
+        << (response.ok() ? response->Serialize() : response.status().ToString());
+    return response->Find("release")->AsString();
+  }
+
+  std::string QueryLine(const std::string& release,
+                        const std::string& payload) {
+    return R"json({"cmd": "query", "release": ")json" + release +
+           R"json(", )json" + payload + "}";
+  }
+
+  // Enqueues the query line into `batcher`, returning a slot that receives
+  // the batched response.
+  std::shared_ptr<std::string> Enqueue(QueryBatcher& batcher,
+                                       const std::string& line) {
+    auto request = JsonValue::Parse(line);
+    EXPECT_TRUE(request.ok()) << line;
+    auto cmd = ParseQueryCommand(*request);
+    EXPECT_TRUE(cmd.ok()) << cmd.status();
+    auto slot = std::make_shared<std::string>();
+    batcher.Enqueue(std::move(cmd).value(),
+                    [slot](std::string response) { *slot = std::move(response); });
+    return slot;
+  }
+};
+
+TEST(QueryBatcherTest, CoalescesAllRequestsIntoOneAnswerAllCall) {
+  Fixture fx;
+  const std::string release = fx.Release("r1", "1.0");
+  const std::string line = fx.QueryLine(release, R"("all": true)");
+  const std::string inline_response = fx.server->HandleLine(line);
+
+  QueryBatcher batcher(*fx.server, {});
+  std::vector<std::shared_ptr<std::string>> slots;
+  for (int i = 0; i < 8; ++i) slots.push_back(fx.Enqueue(batcher, line));
+  EXPECT_EQ(batcher.pending_requests(), 8);
+
+  EXPECT_EQ(batcher.Flush(), 8);
+  EXPECT_EQ(batcher.answer_all_calls(), 1)
+      << "8 identical all-requests must share one engine evaluation";
+  EXPECT_EQ(batcher.answer_batch_calls(), 0);
+  EXPECT_EQ(batcher.pending_requests(), 0);
+  for (const auto& slot : slots) EXPECT_EQ(*slot, inline_response);
+}
+
+TEST(QueryBatcherTest, MergesIdListsIntoOneAnswerBatchCall) {
+  Fixture fx;
+  const std::string release = fx.Release("r2", "1.0");
+  const std::vector<std::string> lines = {
+      fx.QueryLine(release, R"("queries": [0, 1])"),
+      fx.QueryLine(release, R"("queries": [2])"),
+      fx.QueryLine(release, R"("queries": [1, 0, 2])"),
+      fx.QueryLine(release, R"("queries": [])"),
+  };
+  std::vector<std::string> inline_responses;
+  for (const std::string& line : lines) {
+    inline_responses.push_back(fx.server->HandleLine(line));
+  }
+
+  QueryBatcher batcher(*fx.server, {});
+  std::vector<std::shared_ptr<std::string>> slots;
+  for (const std::string& line : lines) {
+    slots.push_back(fx.Enqueue(batcher, line));
+  }
+  EXPECT_EQ(batcher.Flush(), static_cast<int64_t>(lines.size()));
+  EXPECT_EQ(batcher.answer_batch_calls(), 1)
+      << "same-release id lists must merge into one AnswerBatch";
+  for (size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(*slots[i], inline_responses[i]) << lines[i];
+  }
+}
+
+TEST(QueryBatcherTest, GroupsByReleaseId) {
+  Fixture fx;
+  const std::string r1 = fx.Release("g1", "0.5");
+  const std::string r2 = fx.Release("g2", "0.7");
+  ASSERT_NE(r1, r2);
+  const std::string line1 = fx.QueryLine(r1, R"("all": true)");
+  const std::string line2 = fx.QueryLine(r2, R"("all": true)");
+  const std::string inline1 = fx.server->HandleLine(line1);
+  const std::string inline2 = fx.server->HandleLine(line2);
+  ASSERT_NE(inline1, inline2) << "different releases must answer differently";
+
+  QueryBatcher batcher(*fx.server, {});
+  auto slot1a = fx.Enqueue(batcher, line1);
+  auto slot2 = fx.Enqueue(batcher, line2);
+  auto slot1b = fx.Enqueue(batcher, line1);
+  EXPECT_EQ(batcher.Flush(), 3);
+  EXPECT_EQ(batcher.answer_all_calls(), 2) << "one AnswerAll per release";
+  EXPECT_EQ(*slot1a, inline1);
+  EXPECT_EQ(*slot1b, inline1);
+  EXPECT_EQ(*slot2, inline2);
+}
+
+TEST(QueryBatcherTest, UnknownReleaseGetsInlineErrorBytes) {
+  Fixture fx;
+  const std::string line =
+      R"json({"cmd": "query", "release": "0xdeadbeef", "queries": [0]})json";
+  const std::string inline_response = fx.server->HandleLine(line);
+  ASSERT_NE(inline_response.find("\"ok\": false"), std::string::npos);
+
+  QueryBatcher batcher(*fx.server, {});
+  auto slot = fx.Enqueue(batcher, line);
+  EXPECT_EQ(batcher.Flush(), 1);
+  EXPECT_EQ(*slot, inline_response);
+  EXPECT_EQ(batcher.answer_all_calls(), 0);
+  EXPECT_EQ(batcher.answer_batch_calls(), 0);
+}
+
+TEST(QueryBatcherTest, OutOfRangeIdsKeepRequestLocalErrorBytes) {
+  Fixture fx;
+  const std::string release = fx.Release("r3", "1.0");
+  // The bad id sits at index 1 OF ITS OWN REQUEST; merging with the valid
+  // neighbor must not shift the index in the error message.
+  const std::string good = fx.QueryLine(release, R"("queries": [0, 1])");
+  const std::string bad = fx.QueryLine(release, R"("queries": [0, 99999])");
+  const std::string inline_good = fx.server->HandleLine(good);
+  const std::string inline_bad = fx.server->HandleLine(bad);
+  ASSERT_NE(inline_bad.find("batch[1]"), std::string::npos) << inline_bad;
+
+  QueryBatcher batcher(*fx.server, {});
+  auto slot_good = fx.Enqueue(batcher, good);
+  auto slot_bad = fx.Enqueue(batcher, bad);
+  EXPECT_EQ(batcher.Flush(), 2);
+  EXPECT_EQ(*slot_good, inline_good)
+      << "a bad neighbor must not poison a valid request";
+  EXPECT_EQ(*slot_bad, inline_bad);
+}
+
+TEST(QueryBatcherTest, FlushOnEmptyIsANoOp) {
+  Fixture fx;
+  QueryBatcher batcher(*fx.server, {});
+  EXPECT_EQ(batcher.Flush(), 0);
+  EXPECT_EQ(batcher.answer_all_calls(), 0);
+  EXPECT_EQ(batcher.answer_batch_calls(), 0);
+}
+
+TEST(QueryBatcherTest, ShouldFlushOnCapTracksOption) {
+  Fixture fx;
+  const std::string release = fx.Release("r4", "0.3");
+  QueryBatcher::Options options;
+  options.max_requests = 2;
+  QueryBatcher batcher(*fx.server, options);
+  const std::string line = fx.QueryLine(release, R"("queries": [0])");
+  fx.Enqueue(batcher, line);
+  EXPECT_FALSE(batcher.ShouldFlushOnCap());
+  fx.Enqueue(batcher, line);
+  EXPECT_TRUE(batcher.ShouldFlushOnCap());
+}
+
+TEST(QueryBatcherTest, RecordsServingStats) {
+  Fixture fx;
+  const std::string release = fx.Release("r5", "1.0");
+  QueryBatcher batcher(*fx.server, {});
+  const std::string line = fx.QueryLine(release, R"("queries": [0, 1])");
+  for (int i = 0; i < 4; ++i) fx.Enqueue(batcher, line);
+  batcher.Flush();
+
+  auto stats = JsonValue::Parse(
+      fx.server->HandleLine(R"json({"cmd": "stats"})json"));
+  ASSERT_TRUE(stats.ok());
+  const JsonValue* serving = stats->Find("serving");
+  ASSERT_NE(serving, nullptr);
+  EXPECT_DOUBLE_EQ(serving->Find("query_requests")->AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(serving->Find("engine_calls")->AsDouble(), 1.0);
+  const JsonValue* hist = serving->Find("batch_size_histogram");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_NE(hist->Find("4"), nullptr) << stats->Serialize();
+  EXPECT_DOUBLE_EQ(hist->Find("4")->AsDouble(), 1.0)
+      << "one batch of 4 lands in the '4' bucket";
+  const JsonValue* per_release = serving->Find("per_release");
+  ASSERT_NE(per_release, nullptr);
+  const JsonValue* entry = per_release->Find(release);
+  ASSERT_NE(entry, nullptr) << stats->Serialize();
+  EXPECT_DOUBLE_EQ(entry->Find("requests")->AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(entry->Find("queries")->AsDouble(), 8.0);
+}
+
+TEST(QueryBatcherTest, ConcurrentEnqueueAndFlushLosesNothing) {
+  Fixture fx;
+  const std::string release = fx.Release("r6", "1.0");
+  const std::string line = fx.QueryLine(release, R"("queries": [0])");
+  const std::string inline_response = fx.server->HandleLine(line);
+
+  QueryBatcher batcher(*fx.server, {});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::atomic<int> answered{0};
+  std::atomic<int> mismatched{0};
+
+  auto request = JsonValue::Parse(line);
+  ASSERT_TRUE(request.ok());
+  auto parsed = ParseQueryCommand(*request);
+  ASSERT_TRUE(parsed.ok());
+  const QueryCommand cmd = *parsed;
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&batcher, &answered, &mismatched, &cmd,
+                            &inline_response] {
+      for (int i = 0; i < kPerThread; ++i) {
+        batcher.Enqueue(cmd, [&answered, &mismatched,
+                              &inline_response](std::string response) {
+          if (response != inline_response) {
+            mismatched.fetch_add(1);
+          }
+          answered.fetch_add(1);
+        });
+      }
+    });
+  }
+  std::thread flusher([&batcher] {
+    for (int i = 0; i < 200; ++i) batcher.Flush();
+  });
+  for (std::thread& p : producers) p.join();
+  flusher.join();
+  batcher.Flush();  // whatever the racing flushes missed
+
+  EXPECT_EQ(answered.load(), kThreads * kPerThread)
+      << "every enqueued request must be answered exactly once";
+  EXPECT_EQ(mismatched.load(), 0);
+  EXPECT_EQ(batcher.pending_requests(), 0);
+}
+
+}  // namespace
+}  // namespace dpjoin

@@ -1,0 +1,339 @@
+// Unit tests for the src/net layer: RAII sockets, the epoll/poll
+// readiness multiplexer (both backends, on Linux), line framing over
+// non-blocking sockets, and the self-pipe wakeup.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/line_channel.h"
+#include "net/poller.h"
+#include "net/socket.h"
+
+namespace dpjoin {
+namespace {
+
+// Listener + connected client/server socket pair on 127.0.0.1.
+struct TcpPair {
+  Socket listener;
+  Socket client;  // blocking
+  Socket server;  // non-blocking (as accepted)
+};
+
+TcpPair MakePair() {
+  TcpPair pair;
+  auto listener = ListenTcp(0);
+  EXPECT_TRUE(listener.ok()) << listener.status();
+  pair.listener = std::move(listener).value();
+  auto port = LocalPort(pair.listener);
+  EXPECT_TRUE(port.ok()) << port.status();
+  auto client = ConnectTcp("127.0.0.1", *port);
+  EXPECT_TRUE(client.ok()) << client.status();
+  pair.client = std::move(client).value();
+  // The connect has completed, so the accept must eventually see it.
+  for (int i = 0; i < 1000; ++i) {
+    auto accepted = AcceptConnection(pair.listener);
+    EXPECT_TRUE(accepted.ok()) << accepted.status();
+    if (accepted->valid()) {
+      pair.server = std::move(accepted).value();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(pair.server.valid()) << "accept never saw the connection";
+  return pair;
+}
+
+TEST(SocketTest, ListenConnectAcceptRoundTrip) {
+  TcpPair pair = MakePair();
+  ASSERT_TRUE(pair.server.valid());
+
+  const std::string ping = "ping";
+  auto sent = pair.client.Write(ping.data(), ping.size());
+  ASSERT_TRUE(sent.ok()) << sent.status();
+  EXPECT_EQ(*sent, static_cast<int64_t>(ping.size()));
+
+  char buf[16] = {};
+  int64_t got = -1;
+  for (int i = 0; i < 1000 && got <= 0; ++i) {
+    auto n = pair.server.Read(buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status();
+    got = *n;
+    if (got == -1) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(std::string(buf, static_cast<size_t>(got)), ping);
+
+  // Close the client: the server side must observe clean EOF (0), not an
+  // error.
+  pair.client.Close();
+  int64_t eof = -1;
+  for (int i = 0; i < 1000 && eof == -1; ++i) {
+    auto n = pair.server.Read(buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status();
+    eof = *n;
+    if (eof == -1) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(eof, 0);
+}
+
+TEST(SocketTest, AcceptWithNothingPendingReturnsInvalid) {
+  auto listener = ListenTcp(0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  auto accepted = AcceptConnection(*listener);
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+  EXPECT_FALSE(accepted->valid());
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Bind a port, learn it, close it — connecting afterwards must be a
+  // clean Status, not a hang or crash.
+  uint16_t port = 0;
+  {
+    auto listener = ListenTcp(0);
+    ASSERT_TRUE(listener.ok());
+    auto bound = LocalPort(*listener);
+    ASSERT_TRUE(bound.ok());
+    port = *bound;
+    ASSERT_NE(port, 0);
+  }
+  auto client = ConnectTcp("127.0.0.1", port);
+  EXPECT_FALSE(client.ok());
+}
+
+class PollerBackendTest
+    : public ::testing::TestWithParam<Poller::Backend> {};
+
+TEST_P(PollerBackendTest, ReportsReadabilityAndRemoval) {
+  Poller poller(GetParam());
+#if defined(__linux__)
+  EXPECT_EQ(poller.backend(), GetParam());
+#endif
+  WakePipe wake;
+  ASSERT_TRUE(poller.Add(wake.read_fd(), true, false).ok());
+  EXPECT_EQ(poller.num_watched(), 1u);
+
+  std::vector<Poller::Event> events;
+  // Nothing pending: an immediate wait times out empty.
+  ASSERT_TRUE(poller.Wait(0, &events).ok());
+  EXPECT_TRUE(events.empty());
+
+  wake.Notify();
+  ASSERT_TRUE(poller.Wait(1000, &events).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, wake.read_fd());
+  EXPECT_TRUE(events[0].readable);
+  EXPECT_FALSE(events[0].error);
+
+  wake.Drain();
+  ASSERT_TRUE(poller.Wait(0, &events).ok());
+  EXPECT_TRUE(events.empty()) << "Drain must clear readability";
+
+  // Dropping read interest silences the fd even when data is pending.
+  wake.Notify();
+  ASSERT_TRUE(poller.Update(wake.read_fd(), false, false).ok());
+  ASSERT_TRUE(poller.Wait(0, &events).ok());
+  EXPECT_TRUE(events.empty());
+
+  ASSERT_TRUE(poller.Remove(wake.read_fd()).ok());
+  EXPECT_EQ(poller.num_watched(), 0u);
+  EXPECT_FALSE(poller.Remove(wake.read_fd()).ok()) << "double remove";
+  EXPECT_FALSE(poller.Update(wake.read_fd(), true, false).ok());
+}
+
+TEST_P(PollerBackendTest, RejectsDuplicateAdd) {
+  Poller poller(GetParam());
+  WakePipe wake;
+  ASSERT_TRUE(poller.Add(wake.read_fd(), true, false).ok());
+  EXPECT_FALSE(poller.Add(wake.read_fd(), true, false).ok());
+}
+
+TEST_P(PollerBackendTest, ReportsWritability) {
+  Poller poller(GetParam());
+  TcpPair pair = MakePair();
+  ASSERT_TRUE(pair.server.valid());
+  ASSERT_TRUE(poller.Add(pair.server.fd(), false, true).ok());
+  std::vector<Poller::Event> events;
+  ASSERT_TRUE(poller.Wait(1000, &events).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].writable) << "fresh socket has buffer space";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PollerBackendTest,
+                         ::testing::Values(Poller::Backend::kEpoll,
+                                           Poller::Backend::kPoll));
+
+TEST(LineChannelTest, ReassemblesSplitLinesAndStripsCrlf) {
+  TcpPair pair = MakePair();
+  ASSERT_TRUE(pair.server.valid());
+  LineChannel channel(std::move(pair.server));
+
+  const std::string part1 = "alpha\r\nbe";
+  ASSERT_TRUE(pair.client.Write(part1.data(), part1.size()).ok());
+  std::vector<std::string> lines;
+  for (int i = 0; i < 1000 && lines.empty(); ++i) {
+    ASSERT_EQ(channel.ReadLines(&lines), LineChannel::ReadState::kOpen);
+    if (lines.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_EQ(lines.size(), 1u) << "half a line must not be delivered";
+  EXPECT_EQ(lines[0], "alpha");
+
+  const std::string part2 = "ta\ngamma\n";
+  ASSERT_TRUE(pair.client.Write(part2.data(), part2.size()).ok());
+  lines.clear();
+  for (int i = 0; i < 1000 && lines.size() < 2; ++i) {
+    ASSERT_EQ(channel.ReadLines(&lines), LineChannel::ReadState::kOpen);
+    if (lines.size() < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "beta");
+  EXPECT_EQ(lines[1], "gamma");
+  EXPECT_EQ(channel.lines_read(), 3);
+
+  pair.client.Close();
+  lines.clear();
+  LineChannel::ReadState state = LineChannel::ReadState::kOpen;
+  for (int i = 0; i < 1000 && state == LineChannel::ReadState::kOpen; ++i) {
+    state = channel.ReadLines(&lines);
+    if (state == LineChannel::ReadState::kOpen) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(state, LineChannel::ReadState::kEof);
+}
+
+TEST(LineChannelTest, OversizedLineIsAnError) {
+  TcpPair pair = MakePair();
+  ASSERT_TRUE(pair.server.valid());
+  LineChannel channel(std::move(pair.server), /*max_line_bytes=*/64);
+  const std::string flood(256, 'x');  // no newline: unbounded "line"
+  ASSERT_TRUE(pair.client.Write(flood.data(), flood.size()).ok());
+  std::vector<std::string> lines;
+  LineChannel::ReadState state = LineChannel::ReadState::kOpen;
+  for (int i = 0; i < 1000 && state == LineChannel::ReadState::kOpen; ++i) {
+    state = channel.ReadLines(&lines);
+    if (state == LineChannel::ReadState::kOpen) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(state, LineChannel::ReadState::kError);
+  EXPECT_TRUE(lines.empty());
+  // The error state is sticky.
+  EXPECT_EQ(channel.ReadLines(&lines), LineChannel::ReadState::kError);
+}
+
+TEST(LineChannelTest, QueuedLinesReachABlockingReader) {
+  TcpPair pair = MakePair();
+  ASSERT_TRUE(pair.server.valid());
+  LineChannel channel(std::move(pair.server));
+  channel.QueueLine("first");
+  channel.QueueLine("second");
+  EXPECT_TRUE(channel.wants_write());
+  // Two lines comfortably fit the socket buffer: one flush drains them.
+  ASSERT_EQ(channel.FlushWrites(), LineChannel::ReadState::kOpen);
+  EXPECT_FALSE(channel.wants_write());
+  EXPECT_EQ(channel.lines_written(), 2);
+
+  char buf[64] = {};
+  size_t total = 0;
+  while (total < 13) {
+    auto n = pair.client.Read(buf + total, sizeof(buf) - total);
+    ASSERT_TRUE(n.ok()) << n.status();
+    ASSERT_GT(*n, 0);
+    total += static_cast<size_t>(*n);
+  }
+  EXPECT_EQ(std::string(buf, total), "first\nsecond\n");
+}
+
+TEST(LineClientTest, TalksToALineChannelPeer) {
+  TcpPair pair = MakePair();
+  ASSERT_TRUE(pair.server.valid());
+  LineChannel server_side(std::move(pair.server));
+  // Hand the connected client socket to a LineClient via a fresh connect:
+  // simplest is a dedicated pair — connect a LineClient to the listener.
+  auto port = LocalPort(pair.listener);
+  ASSERT_TRUE(port.ok());
+  auto client = LineClient::Connect("127.0.0.1", *port);
+  ASSERT_TRUE(client.ok()) << client.status();
+  Socket peer;
+  for (int i = 0; i < 1000 && !peer.valid(); ++i) {
+    auto accepted = AcceptConnection(pair.listener);
+    ASSERT_TRUE(accepted.ok());
+    if (accepted->valid()) {
+      peer = std::move(accepted).value();
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(peer.valid());
+  std::optional<LineChannel> echo(std::in_place, std::move(peer));
+
+  ASSERT_TRUE(client->SendLine("hello over tcp").ok());
+  std::vector<std::string> lines;
+  for (int i = 0; i < 1000 && lines.empty(); ++i) {
+    ASSERT_EQ(echo->ReadLines(&lines), LineChannel::ReadState::kOpen);
+    if (lines.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "hello over tcp");
+
+  echo->QueueLine("echo: " + lines[0]);
+  ASSERT_EQ(echo->FlushWrites(), LineChannel::ReadState::kOpen);
+  auto reply = client->ReadLine();
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(*reply, "echo: hello over tcp");
+
+  // Half-close: the peer sees EOF, the client can still read a goodbye.
+  ASSERT_TRUE(client->FinishWriting().ok());
+  lines.clear();
+  LineChannel::ReadState state = LineChannel::ReadState::kOpen;
+  for (int i = 0; i < 1000 && state == LineChannel::ReadState::kOpen; ++i) {
+    state = echo->ReadLines(&lines);
+    if (state == LineChannel::ReadState::kOpen) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(state, LineChannel::ReadState::kEof);
+  echo->QueueLine("goodbye");
+  ASSERT_EQ(echo->FlushWrites(), LineChannel::ReadState::kOpen);
+  auto goodbye = client->ReadLine();
+  ASSERT_TRUE(goodbye.ok()) << goodbye.status();
+  EXPECT_EQ(*goodbye, "goodbye");
+  // Destroying the channel closes its socket: the client now sees clean
+  // EOF, surfaced as NotFound.
+  echo.reset();
+  auto eof = client->ReadLine();
+  EXPECT_FALSE(eof.ok()) << "clean EOF must be NotFound, got " << *eof;
+}
+
+TEST(WakePipeTest, CoalescesNotificationsAcrossThreads) {
+  WakePipe wake;
+  Poller poller(Poller::Backend::kAuto);
+  ASSERT_TRUE(poller.Add(wake.read_fd(), true, false).ok());
+  std::thread notifier([&wake] {
+    for (int i = 0; i < 1000; ++i) wake.Notify();
+  });
+  std::vector<Poller::Event> events;
+  ASSERT_TRUE(poller.Wait(5000, &events).ok());
+  notifier.join();
+  ASSERT_FALSE(events.empty());
+  EXPECT_TRUE(events[0].readable);
+  wake.Drain();
+  // All 1000 notifications collapse into pending bytes that one Drain
+  // clears.
+  ASSERT_TRUE(poller.Wait(0, &events).ok());
+  EXPECT_TRUE(events.empty());
+}
+
+}  // namespace
+}  // namespace dpjoin
