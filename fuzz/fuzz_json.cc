@@ -1,0 +1,51 @@
+// Fuzz target: common/json parse → serialize → re-parse round-trip.
+//
+// The JSON parser is the first thing untrusted network bytes hit (every
+// dpjoin_serve request is one JSON line), so it must never crash, never
+// overflow, and — when it accepts an input — produce a serialization it
+// accepts again, byte-identically (Serialize() is the wire format of every
+// response and of the persisted ledger).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/json.h"
+
+namespace dpjoin_fuzz {
+
+namespace {
+
+[[noreturn]] void Fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "fuzz_json: %s\n%.512s\n", what, detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+int FuzzJson(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  auto parsed = dpjoin::JsonValue::Parse(input);
+  if (!parsed.ok()) return 0;  // rejecting garbage is fine — crashing isn't
+
+  const std::string once = parsed->Serialize();
+  auto reparsed = dpjoin::JsonValue::Parse(once);
+  if (!reparsed.ok()) {
+    Fail("accepted input, rejected own serialization", once);
+  }
+  const std::string twice = reparsed->Serialize();
+  if (once != twice) {
+    Fail("serialization is not a fixed point", once + "\n!=\n" + twice);
+  }
+  return 0;
+}
+
+}  // namespace dpjoin_fuzz
+
+#ifndef DPJOIN_FUZZ_NO_ENTRY
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return dpjoin_fuzz::FuzzJson(data, size);
+}
+#endif

@@ -1,0 +1,56 @@
+// Fuzz target: ReleaseSpec config parsing.
+//
+// Specs arrive over the wire (`release` requests embed them) and from user
+// files, so the parser sees arbitrary bytes. Properties: never crash; when
+// an input is accepted, the canonical form must (a) re-parse successfully,
+// (b) canonicalize to itself, and (c) keep the same Hash() — the canonical
+// string is the serving-cache key, so instability here silently splits or
+// aliases cache entries.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "engine/release_spec.h"
+
+namespace dpjoin_fuzz {
+
+namespace {
+
+[[noreturn]] void Fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "fuzz_release_spec: %s\n%.512s\n", what,
+               detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+int FuzzReleaseSpec(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  auto parsed = dpjoin::ParseReleaseSpec(input);
+  if (!parsed.ok()) return 0;
+
+  const std::string canonical = parsed->CanonicalString();
+  auto reparsed = dpjoin::ParseReleaseSpec(canonical);
+  if (!reparsed.ok()) {
+    Fail("accepted input, rejected own canonical form", canonical);
+  }
+  if (reparsed->CanonicalString() != canonical) {
+    Fail("canonical form is not a fixed point",
+         canonical + "\n!=\n" + reparsed->CanonicalString());
+  }
+  if (reparsed->Hash() != parsed->Hash()) {
+    Fail("hash changed across canonicalization", canonical);
+  }
+  return 0;
+}
+
+}  // namespace dpjoin_fuzz
+
+#ifndef DPJOIN_FUZZ_NO_ENTRY
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return dpjoin_fuzz::FuzzReleaseSpec(data, size);
+}
+#endif

@@ -1,0 +1,126 @@
+// Fallback driver for toolchains without libFuzzer (GCC): replays every
+// file in the corpus/regression paths given on the command line, then runs
+// a bounded deterministic mutation loop over the seeds (SplitMix64-driven
+// byte flips, truncations, duplications and splices). No coverage
+// feedback — libFuzzer under clang remains the real fuzzer; this keeps the
+// targets exercised (and the regression corpus replayed) everywhere.
+//
+// CLI: fuzz_<target> [-runs=N] [libFuzzer-style -flags ignored] PATH...
+// where PATH is a corpus file or directory. Exit 0 = no crash (property
+// failures abort(), matching libFuzzer semantics).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::string> CollectInputs(const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::string> in_dir;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(path, ec)) {
+        if (entry.is_regular_file()) in_dir.push_back(entry.path().string());
+      }
+      std::sort(in_dir.begin(), in_dir.end());  // deterministic replay order
+      files.insert(files.end(), in_dir.begin(), in_dir.end());
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::fprintf(stderr, "standalone fuzz: skipping %s (not found)\n",
+                   path.c_str());
+    }
+  }
+  return files;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void RunOne(const std::string& bytes) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+}
+
+std::string Mutate(const std::string& seed, uint64_t* rng) {
+  std::string out = seed;
+  const uint64_t op = SplitMix64(rng) % 5;
+  if (out.empty() || op == 0) {  // insert
+    const size_t at = out.empty() ? 0 : SplitMix64(rng) % (out.size() + 1);
+    out.insert(at, 1, static_cast<char>(SplitMix64(rng) & 0xff));
+    return out;
+  }
+  const size_t at = SplitMix64(rng) % out.size();
+  switch (op) {
+    case 1:  // byte flip
+      out[at] = static_cast<char>(out[at] ^ (1u << (SplitMix64(rng) % 8)));
+      break;
+    case 2:  // truncate
+      out.resize(at);
+      break;
+    case 3:  // duplicate a span
+      out.insert(at, out.substr(at, 1 + SplitMix64(rng) % 16));
+      break;
+    case 4:  // overwrite with interesting byte
+      out[at] = "\x00\x0a\x0d\x22\x5c\x7f\xff#=:"[SplitMix64(rng) % 10];
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = 2000;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "-runs=", 6) == 0) {
+      runs = std::atol(argv[i] + 6);
+    } else if (argv[i][0] == '-') {
+      // Ignore libFuzzer flags (-max_total_time=..., -seed=...) so CI can
+      // use one command shape for both drivers.
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  const std::vector<std::string> files = CollectInputs(paths);
+  std::vector<std::string> seeds;
+  for (const std::string& file : files) {
+    seeds.push_back(ReadFile(file));
+    RunOne(seeds.back());
+  }
+  std::printf("standalone fuzz: replayed %zu corpus file(s)\n",
+              seeds.size());
+  if (seeds.empty()) seeds.emplace_back();  // mutate from the empty input
+  uint64_t rng = 0x5eedu;
+  for (long r = 0; r < runs; ++r) {
+    std::string input = seeds[static_cast<size_t>(SplitMix64(&rng)) %
+                              seeds.size()];
+    const int stacked = 1 + static_cast<int>(SplitMix64(&rng) % 4);
+    for (int m = 0; m < stacked; ++m) input = Mutate(input, &rng);
+    RunOne(input);
+  }
+  std::printf("standalone fuzz: %ld mutation run(s), no crashes\n", runs);
+  return 0;
+}

@@ -3,7 +3,10 @@
 #   1. probe required/optional tools (fail or skip EARLY with a clear
 #      message, never half-way through a 10-minute build),
 #   2. lint: scripts/dpjoin_lint.py self-test + tree scan (layering DAG,
-#      raw-thread/random/mutex, stdout, unchecked-result rules),
+#      raw-thread/random/mutex, stdout, unchecked-result rules), then
+#      audit: scripts/dpjoin_audit.py self-test + call-graph scan
+#      (privacy-flow, determinism, pool-deadlock) and a 30s/target fuzz
+#      smoke over the network-facing parsers after the build,
 #   3. configure + build with -Wall -Wextra -Werror (the tree is
 #      warning-clean — keep it that way; under Clang this also enables
 #      -Wthread-safety, making lock-discipline violations hard errors),
@@ -56,6 +59,15 @@ echo "==> lint (scripts/dpjoin_lint.py)"
 # Self-test first: a linter whose rules silently died would pass any tree.
 python3 scripts/dpjoin_lint.py --self-test
 python3 scripts/dpjoin_lint.py
+
+echo "==> audit (scripts/dpjoin_audit.py — privacy-flow, determinism, pool-deadlock)"
+# Semantic rules over the call graph: noise draws must reach the
+# accountant, release-path loops must not iterate unordered containers,
+# and pool entry points must never run under a held lock. The frontend
+# auto-selects: clang AST JSON when clang + a compile database are
+# available, the built-in textual parser otherwise.
+python3 scripts/dpjoin_audit.py --self-test
+python3 scripts/dpjoin_audit.py
 if [[ "${HAVE_CLANG_FORMAT}" == 1 ]]; then
   echo "==> clang-format check (src/)"
   find src -name '*.h' -o -name '*.cc' | xargs clang-format --dry-run -Werror \
@@ -70,6 +82,24 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 echo "==> ctest"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "==> fuzz smoke (30s per target, corpus + bounded mutation)"
+# Every fuzz target replays its seed corpus and then fuzzes briefly — with
+# libFuzzer when clang built the targets, with the deterministic built-in
+# mutation runner otherwise. Findings land in fuzz/regressions/<target>/
+# and are replayed forever after by fuzz_regression_test under plain ctest.
+if [[ -x "${BUILD_DIR}/fuzz/fuzz_json" ]]; then
+  for target in fuzz_json fuzz_release_spec fuzz_line_framer; do
+    corpus="fuzz/corpus/${target#fuzz_}"
+    regressions="fuzz/regressions/${target#fuzz_}"
+    echo "    ${target} over ${corpus}"
+    "${BUILD_DIR}/fuzz/${target}" -runs=20000 -max_total_time=30 \
+      "${corpus}" "${regressions}"
+  done
+else
+  echo "SKIPPED: fuzz targets not built (DPJOIN_BUILD_FUZZERS=OFF or" \
+       "sanitizer-incompatible configuration)"
+fi
 
 echo "==> engine quickstart (checked-in sample configs)"
 # Drives every release mechanism through the catalog + Submit API from the
@@ -324,6 +354,11 @@ if [[ "${HAVE_CLANG_TIDY}" == 1 ]]; then
   cmake --build "${TIDY_DIR}" -j "${JOBS}"
   ctest --test-dir "${TIDY_DIR}" --output-on-failure \
     -R thread_annotations_compile_test
+  # Re-run the semantic audit on the REAL clang AST now that a Clang
+  # compile database exists — the text frontend earlier is the fallback,
+  # this is the grounded pass.
+  python3 scripts/dpjoin_audit.py --frontend=clang \
+    --compile-commands="${TIDY_DIR}/compile_commands.json"
   mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
   if command -v run-clang-tidy > /dev/null 2>&1; then
     run-clang-tidy -p "${TIDY_DIR}" -quiet -j "${JOBS}" "${TIDY_SOURCES[@]}"

@@ -284,6 +284,30 @@ def self_test() -> int:
                       f"(got {found})")
                 failures += 1
             path.unlink()
+        # Suppression direction: the SAME seeded violation, now carrying its
+        # allow marker, must NOT fire — a rule that ignores suppressions is
+        # as broken as one that never fires. Both placements are checked.
+        for rule, (rel, contents) in SEEDED_VIOLATIONS.items():
+            placements = {
+                "same-line":
+                    contents.rstrip("\n") +
+                    f"  // dpjoin-lint: allow({rule})\n",
+                "line-above":
+                    f"// dpjoin-lint: allow({rule}) — self-test seed\n" +
+                    contents,
+            }
+            for label, text in placements.items():
+                path = src / rel
+                path.write_text(text)
+                found = [r for _, r, _ in lint_file(path, rel)]
+                if rule in found:
+                    print(f"self-test FAIL: allow({rule}) does not suppress "
+                          f"({label}) on {rel}")
+                    failures += 1
+                else:
+                    print(f"self-test ok: allow({rule}) suppresses "
+                          f"({label}) on {rel}")
+                path.unlink()
         for rel, contents in CLEAN_FILES.items():
             path = src / rel
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -297,7 +321,8 @@ def self_test() -> int:
     if failures:
         print(f"self-test: {failures} dead or over-eager rule(s)")
         return 1
-    print("self-test: every rule fires exactly where seeded")
+    print("self-test: every rule fires exactly where seeded, and every "
+          "allow marker suppresses it")
     return 0
 
 

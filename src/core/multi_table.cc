@@ -48,6 +48,9 @@ Result<ReleaseResult> MultiTable(const Instance& instance,
   result.pmw_rounds = pmw.rounds;
   result.pmw_perf = std::move(pmw.perf);
   result.evaluator = std::move(pmw.evaluator);
+  // dpjoin-audit: allow(determinism) — PrivacyAccountant::entries() is an
+  // insertion-ordered vector; the auditor's name-based resolution collides
+  // with the unordered Relation::entries().
   for (const auto& entry : pmw.accountant.entries()) {
     result.accountant.SpendSequential(entry.label, entry.params);
   }

@@ -20,6 +20,29 @@ int BucketOf(double degree, double lambda) {
   return std::max(1, static_cast<int>(std::ceil(std::log2(degree / lambda))));
 }
 
+// Sorted, deduplicated union of the keys of two degree maps. Gives noisy
+// bucketing a hash-layout-independent draw order.
+std::vector<int64_t> SortedKeyUnion(
+    const std::unordered_map<int64_t, int64_t>& deg1,
+    const std::unordered_map<int64_t, int64_t>& deg2) {
+  std::vector<int64_t> values;
+  values.reserve(deg1.size() + deg2.size());
+  // dpjoin-audit: allow(determinism) — key collection only; sorted below
+  // before any caller draws noise.
+  for (const auto& [value, d] : deg1) {
+    (void)d;
+    values.push_back(value);
+  }
+  // dpjoin-audit: allow(determinism) — key collection only; sorted below.
+  for (const auto& [value, d] : deg2) {
+    (void)d;
+    values.push_back(value);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
 // Builds sub-instances from a bucket assignment over shared-attribute codes.
 Result<TwoTablePartition> BuildPartition(
     const Instance& instance, AttributeSet shared,
@@ -27,6 +50,8 @@ Result<TwoTablePartition> BuildPartition(
   // Collect per-bucket instances (ordered by bucket index).
   std::map<int, Instance> instances;
   std::map<int, int64_t> value_counts;
+  // dpjoin-audit: allow(determinism) — creates one (keyed) Instance per
+  // distinct bucket id; idempotent per bucket, so order-insensitive.
   for (const auto& [value, bucket] : bucket_of) {
     (void)value;
     if (instances.find(bucket) == instances.end()) {
@@ -34,6 +59,7 @@ Result<TwoTablePartition> BuildPartition(
       value_counts.emplace(bucket, 0);
     }
   }
+  // dpjoin-audit: allow(determinism) — commutative integer counting.
   for (const auto& [value, bucket] : bucket_of) {
     (void)value;
     ++value_counts[bucket];
@@ -163,9 +189,14 @@ Result<TwoTablePartition> PartitionTwoTable(const Instance& instance,
   // preserving the DP argument of Lemma C.1).
   const TruncatedLaplace tlap =
       TruncatedLaplace::ForSensitivity(params.epsilon, params.delta, 1.0);
+  // One noise draw per distinct realized join value, in sorted-value order:
+  // drawing while iterating the degree hash maps would tie the noise
+  // assignment to hash-map layout and break bit-identity across stdlib
+  // versions. Materialize the key union, sort, then draw.
+  std::vector<int64_t> values = SortedKeyUnion(deg1, deg2);
   std::unordered_map<int64_t, int> bucket_of;
-  auto consider = [&](int64_t value) {
-    if (bucket_of.count(value) > 0) return;
+  bucket_of.reserve(values.size());
+  for (const int64_t value : values) {
     const auto it1 = deg1.find(value);
     const auto it2 = deg2.find(value);
     const int64_t d1 = it1 == deg1.end() ? 0 : it1->second;
@@ -173,14 +204,6 @@ Result<TwoTablePartition> PartitionTwoTable(const Instance& instance,
     const double noisy =
         static_cast<double>(std::max(d1, d2)) + tlap.Sample(rng);
     bucket_of.emplace(value, BucketOf(noisy, lambda));
-  };
-  for (const auto& [value, d] : deg1) {
-    (void)d;
-    consider(value);
-  }
-  for (const auto& [value, d] : deg2) {
-    (void)d;
-    consider(value);
   }
   return BuildPartition(instance, shared, bucket_of, lambda);
 }
@@ -191,23 +214,16 @@ Result<TwoTablePartition> UniformPartitionTwoTable(const Instance& instance,
   DPJOIN_CHECK_GT(lambda, 0.0);
   const auto deg1 = ParallelDegreeMap(instance.relation(0), shared);
   const auto deg2 = ParallelDegreeMap(instance.relation(1), shared);
+  const std::vector<int64_t> values = SortedKeyUnion(deg1, deg2);
   std::unordered_map<int64_t, int> bucket_of;
-  auto consider = [&](int64_t value) {
-    if (bucket_of.count(value) > 0) return;
+  bucket_of.reserve(values.size());
+  for (const int64_t value : values) {
     const auto it1 = deg1.find(value);
     const auto it2 = deg2.find(value);
     const int64_t d1 = it1 == deg1.end() ? 0 : it1->second;
     const int64_t d2 = it2 == deg2.end() ? 0 : it2->second;
     bucket_of.emplace(value,
                       BucketOf(static_cast<double>(std::max(d1, d2)), lambda));
-  };
-  for (const auto& [value, d] : deg1) {
-    (void)d;
-    consider(value);
-  }
-  for (const auto& [value, d] : deg2) {
-    (void)d;
-    consider(value);
   }
   return BuildPartition(instance, shared, bucket_of, lambda);
 }

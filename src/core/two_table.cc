@@ -45,6 +45,9 @@ Result<ReleaseResult> TwoTable(const Instance& instance,
   result.noisy_total = pmw.noisy_total;
   result.pmw_rounds = pmw.rounds;
   result.pmw_perf = std::move(pmw.perf);
+  // dpjoin-audit: allow(determinism) — PrivacyAccountant::entries() is an
+  // insertion-ordered vector; the auditor's name-based resolution collides
+  // with the unordered Relation::entries().
   for (const auto& entry : pmw.accountant.entries()) {
     result.accountant.SpendSequential(entry.label, entry.params);
   }

@@ -318,6 +318,7 @@ JsonValue ReleaseServer::HandleRelease(const JsonValue& request) {
   auto response_or = engine_.Submit(release_request);
   if (!response_or.ok()) return ErrorResponse("release", response_or.status());
   const ReleaseResponse& submitted = *response_or;
+  serving_stats_.RecordRelease(submitted.dataset_name, submitted.from_cache);
   if (!submitted.from_cache) MaybeSaveLedger();
 
   JsonValue response = OkResponse("release");

@@ -28,6 +28,17 @@ void ServingStats::RecordBatch(uint64_t release_id, int64_t requests,
   entry.queries += queries;
 }
 
+void ServingStats::RecordRelease(const std::string& dataset,
+                                 bool from_cache) {
+  MutexLock lock(mu_);
+  PerDataset& entry = per_dataset_[dataset];
+  if (from_cache) {
+    ++entry.hits;
+  } else {
+    ++entry.misses;
+  }
+}
+
 int64_t ServingStats::query_requests() const {
   MutexLock lock(mu_);
   return query_requests_;
@@ -67,6 +78,20 @@ JsonValue ServingStats::ToJson() const {
     releases.Set(JsonHexId(id), std::move(v));
   }
   out.Set("per_release", std::move(releases));
+
+  JsonValue datasets = JsonValue::Object();
+  for (const auto& [name, entry] : per_dataset_) {
+    const int64_t total = entry.hits + entry.misses;
+    JsonValue v = JsonValue::Object();
+    v.Set("hits", JsonValue::Number(static_cast<double>(entry.hits)));
+    v.Set("misses", JsonValue::Number(static_cast<double>(entry.misses)));
+    v.Set("hit_rate",
+          JsonValue::Number(total == 0 ? 0.0
+                                       : static_cast<double>(entry.hits) /
+                                             static_cast<double>(total)));
+    datasets.Set(name, std::move(v));
+  }
+  out.Set("per_dataset", std::move(datasets));
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <string>
 
 #include "common/json.h"
 #include "common/mutex.h"
@@ -30,6 +31,14 @@ class ServingStats {
   void RecordBatch(uint64_t release_id, int64_t requests, int64_t queries,
                    bool used_answer_all) EXCLUDES(mu_);
 
+  /// Records one `release` submission against the dataset it resolved to:
+  /// a serving-cache hit (`from_cache`) or a fresh mechanism run. The
+  /// engine-wide cache hit rate already exists in `stats.cache`; this is
+  /// the per-dataset breakdown — the signal for WHICH datasets would
+  /// churn under eviction (the ROADMAP's unbounded-dataset-churn item).
+  void RecordRelease(const std::string& dataset, bool from_cache)
+      EXCLUDES(mu_);
+
   int64_t query_requests() const EXCLUDES(mu_);
   int64_t engine_calls() const EXCLUDES(mu_);
 
@@ -44,6 +53,10 @@ class ServingStats {
     int64_t requests = 0;
     int64_t queries = 0;
   };
+  struct PerDataset {
+    int64_t hits = 0;    // release requests answered from the serving cache
+    int64_t misses = 0;  // release requests that ran the mechanism
+  };
 
   // Bucket b counts batches of size in (2^(b-1), 2^b]; bucket 0 is size 1.
   // 2^20 requests in one batch is far beyond any configurable cap — the
@@ -57,6 +70,8 @@ class ServingStats {
   int64_t answer_all_calls_ GUARDED_BY(mu_) = 0;
   std::array<int64_t, kNumBuckets> batch_hist_ GUARDED_BY(mu_) = {};
   std::map<uint64_t, PerRelease> per_release_ GUARDED_BY(mu_);
+  // Keyed by catalog dataset name; std::map keeps the wire format sorted.
+  std::map<std::string, PerDataset> per_dataset_ GUARDED_BY(mu_);
 };
 
 }  // namespace dpjoin

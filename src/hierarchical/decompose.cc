@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "dp/truncated_laplace.h"
 #include "hierarchical/max_degree.h"
@@ -33,9 +34,25 @@ Result<std::vector<DecomposeBucket>> Decompose(const Instance& instance,
   const TruncatedLaplace tlap =
       TruncatedLaplace::ForSensitivity(params.epsilon, params.delta, 1.0);
 
+  // Materialize the realized y-codes first, then draw noise in sorted
+  // y-code order: one truncated-Laplace draw per distinct y-value, in an
+  // order independent of hash-map layout, so releases stay bit-identical
+  // across stdlib versions and rehashes.
+  std::vector<int64_t> y_codes;
+  for (int rel : rels.Elements()) {
+    const Relation& r = instance.relation(rel);
+    // dpjoin-audit: allow(determinism) — key collection only; the codes
+    // are sorted below before any noise is drawn.
+    for (const auto& [code, freq] : r.entries()) {
+      (void)freq;
+      y_codes.push_back(r.ProjectCode(code, y));
+    }
+  }
+  std::sort(y_codes.begin(), y_codes.end());
+  y_codes.erase(std::unique(y_codes.begin(), y_codes.end()), y_codes.end());
+
   std::unordered_map<int64_t, int> bucket_of;
-  auto bucket_for = [&](int64_t y_code) {
-    if (bucket_of.count(y_code) > 0) return;
+  for (const int64_t y_code : y_codes) {
     const auto it = degrees.find(y_code);
     const double deg = it == degrees.end() ? 0.0
                                            : static_cast<double>(it->second);
@@ -45,17 +62,12 @@ Result<std::vector<DecomposeBucket>> Decompose(const Instance& instance,
             ? 1
             : std::max(1, static_cast<int>(std::ceil(std::log2(noisy / lambda))));
     bucket_of.emplace(y_code, bucket);
-  };
-  for (int rel : rels.Elements()) {
-    const Relation& r = instance.relation(rel);
-    for (const auto& [code, freq] : r.entries()) {
-      (void)freq;
-      bucket_for(r.ProjectCode(code, y));
-    }
   }
 
   // Lines 7–10: split relations of E by bucket; relations outside E shared.
   std::map<int, Instance> outputs;
+  // dpjoin-audit: allow(determinism) — creates one (keyed) output Instance
+  // per distinct bucket id; idempotent per bucket, so order-insensitive.
   for (const auto& [y_code, bucket] : bucket_of) {
     (void)y_code;
     if (outputs.find(bucket) == outputs.end()) {
@@ -70,6 +82,9 @@ Result<std::vector<DecomposeBucket>> Decompose(const Instance& instance,
   }
   for (int rel : rels.Elements()) {
     const Relation& source = instance.relation(rel);
+    // dpjoin-audit: allow(determinism) — each tuple lands in the bucket
+    // keyed by its own code (SetFrequencyByCode); no draws, no
+    // accumulation, so iteration order cannot affect the result.
     for (const auto& [code, freq] : source.entries()) {
       const int bucket = bucket_of.at(source.ProjectCode(code, y));
       outputs.at(bucket).mutable_relation(rel).SetFrequencyByCode(code, freq);

@@ -43,11 +43,14 @@ Result<HierarchicalPartition> PartitionHierarchical(
   for (int rel = 0; rel < instance.num_relations(); ++rel) {
     std::unordered_map<int64_t, int64_t> appearances;
     for (const ConfiguredSubInstance& entry : partition.sub_instances) {
+      // dpjoin-audit: allow(determinism) — commutative integer counting
+      // keyed by tuple code; no draws, order-insensitive.
       for (const auto& [code, freq] : entry.sub_instance.relation(rel).entries()) {
         (void)freq;
         ++appearances[code];
       }
     }
+    // dpjoin-audit: allow(determinism) — integer max; order-insensitive.
     for (const auto& [code, count] : appearances) {
       (void)code;
       partition.max_participation =

@@ -7,7 +7,7 @@
 namespace dpjoin {
 
 LineChannel::LineChannel(Socket socket, size_t max_line_bytes)
-    : socket_(std::move(socket)), max_line_bytes_(max_line_bytes) {}
+    : socket_(std::move(socket)), framer_(max_line_bytes) {}
 
 LineChannel::ReadState LineChannel::ReadLines(
     std::vector<std::string>* lines) {
@@ -25,19 +25,10 @@ LineChannel::ReadState LineChannel::ReadLines(
       // is a truncated request, not a request.
       return ReadState::kEof;
     }
-    read_buffer_.append(chunk, static_cast<size_t>(*n));
-    size_t start = 0;
-    for (;;) {
-      const size_t newline = read_buffer_.find('\n', start);
-      if (newline == std::string::npos) break;
-      size_t end = newline;
-      if (end > start && read_buffer_[end - 1] == '\r') --end;
-      lines->emplace_back(read_buffer_, start, end - start);
-      ++lines_read_;
-      start = newline + 1;
-    }
-    if (start > 0) read_buffer_.erase(0, start);
-    if (read_buffer_.size() > max_line_bytes_) {
+    const bool ok = framer_.Append(chunk, static_cast<size_t>(*n));
+    // Lines completed before an oversized tail are still delivered.
+    lines_read_ += static_cast<int64_t>(framer_.DrainLines(lines));
+    if (!ok) {
       read_error_ = true;
       return ReadState::kError;
     }
@@ -93,20 +84,14 @@ Status LineClient::SendLine(const std::string& line) {
 
 Result<std::string> LineClient::ReadLine() {
   for (;;) {
-    const size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      size_t end = newline;
-      if (end > 0 && buffer_[end - 1] == '\r') --end;
-      std::string line = buffer_.substr(0, end);
-      buffer_.erase(0, newline + 1);
-      return line;
-    }
+    std::string line;
+    if (framer_.PopLine(&line)) return line;
     char chunk[16384];
     DPJOIN_ASSIGN_OR_RETURN(int64_t n, socket_.Read(chunk, sizeof(chunk)));
     if (n == 0) {
       return Status::NotFound("connection closed before a complete line");
     }
-    if (n > 0) buffer_.append(chunk, static_cast<size_t>(n));
+    if (n > 0) framer_.Append(chunk, static_cast<size_t>(n));
   }
 }
 

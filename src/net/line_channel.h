@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "net/line_framer.h"
 #include "net/socket.h"
 
 namespace dpjoin {
@@ -58,8 +59,7 @@ class LineChannel {
 
  private:
   Socket socket_;
-  const size_t max_line_bytes_;
-  std::string read_buffer_;
+  LineFramer framer_;
   std::string write_buffer_;
   size_t write_pos_ = 0;
   int64_t lines_read_ = 0;
@@ -87,7 +87,9 @@ class LineClient {
   explicit LineClient(Socket socket) : socket_(std::move(socket)) {}
 
   Socket socket_;
-  std::string buffer_;
+  // Responses (large query-answer batches) have no line cap on the
+  // client side; only server-side requests are bounded.
+  LineFramer framer_{SIZE_MAX};
 };
 
 }  // namespace dpjoin

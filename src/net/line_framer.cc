@@ -1,0 +1,41 @@
+#include "net/line_framer.h"
+
+namespace dpjoin {
+
+bool LineFramer::Append(const char* data, size_t n) {
+  if (overflowed_) return false;
+  buffer_.append(data, n);
+  size_t start = 0;
+  for (;;) {
+    const size_t newline = buffer_.find('\n', start);
+    if (newline == std::string::npos) break;
+    size_t end = newline;
+    if (end > start && buffer_[end - 1] == '\r') --end;
+    lines_.emplace_back(buffer_, start, end - start);
+    start = newline + 1;
+  }
+  if (start > 0) buffer_.erase(0, start);
+  if (buffer_.size() > max_line_bytes_) {
+    overflowed_ = true;
+    return false;
+  }
+  return true;
+}
+
+size_t LineFramer::DrainLines(std::vector<std::string>* lines) {
+  const size_t count = lines_.size();
+  for (auto& line : lines_) {
+    lines->push_back(std::move(line));
+  }
+  lines_.clear();
+  return count;
+}
+
+bool LineFramer::PopLine(std::string* line) {
+  if (lines_.empty()) return false;
+  *line = std::move(lines_.front());
+  lines_.pop_front();
+  return true;
+}
+
+}  // namespace dpjoin

@@ -1,0 +1,54 @@
+// Socket-free '\n' framing.
+//
+// LineFramer reassembles a byte stream into protocol lines: feed it raw
+// chunks in any split, pop complete lines (without the '\n'; a single
+// trailing '\r' is stripped so telnet-style clients work). Both sides of
+// the JSON-lines transport — the event-loop LineChannel and the blocking
+// LineClient — share this logic, and the fuzz harness drives it directly
+// with adversarial chunkings, no sockets involved.
+
+#ifndef DPJOIN_NET_LINE_FRAMER_H_
+#define DPJOIN_NET_LINE_FRAMER_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace dpjoin {
+
+class LineFramer {
+ public:
+  /// An unterminated tail longer than `max_line_bytes` is protocol abuse
+  /// (requests are single JSON lines); Append reports it as overflow.
+  explicit LineFramer(size_t max_line_bytes = 1 << 20)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends `n` raw bytes, splitting off every complete line into the
+  /// pending-line queue. Returns false (and latches the overflow state)
+  /// when the unterminated tail exceeds max_line_bytes — the caller
+  /// should drop the connection.
+  bool Append(const char* data, size_t n);
+
+  /// Moves every pending complete line into `lines`; returns how many.
+  size_t DrainLines(std::vector<std::string>* lines);
+
+  /// Pops the oldest pending complete line, if any.
+  bool PopLine(std::string* line);
+
+  bool overflowed() const { return overflowed_; }
+  bool has_line() const { return !lines_.empty(); }
+  /// Bytes of the unterminated tail (a half-line at EOF is a truncated
+  /// request, not a request — callers decide what to do with it).
+  size_t tail_bytes() const { return buffer_.size(); }
+
+ private:
+  const size_t max_line_bytes_;
+  std::string buffer_;            // unterminated tail only
+  std::deque<std::string> lines_; // complete lines, oldest first
+  bool overflowed_ = false;
+};
+
+}  // namespace dpjoin
+
+#endif  // DPJOIN_NET_LINE_FRAMER_H_

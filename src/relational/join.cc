@@ -106,8 +106,16 @@ JoinPlan BuildJoinPlan(const Instance& instance, RelationSet rels) {
     for (int attr : rel.attributes().Minus(level.bound).Elements()) {
       level.new_attrs.push_back(attr);
     }
+    // dpjoin-audit: allow(determinism) — bucket collection only; every
+    // bucket is sorted right below, so the plan (and the enumeration and
+    // floating-point accumulation order it induces) is independent of
+    // hash-map layout.
     for (const auto& [code, freq] : rel.entries()) {
       level.index[rel.ProjectCode(code, level.bound)].emplace_back(code, freq);
+    }
+    for (auto& [key, bucket] : level.index) {
+      (void)key;
+      std::sort(bucket.begin(), bucket.end());
     }
     bound_so_far = bound_so_far.Union(rel.attributes());
   }
@@ -363,6 +371,8 @@ std::unordered_map<int64_t, double> ParallelGroupedJoinSizes(
 double QAggregate(const Instance& instance, RelationSet rels, AttributeSet y) {
   if (rels.Empty()) return 1.0;  // empty product over the empty tuple
   double best = 0.0;
+  // dpjoin-audit: allow(determinism) — max over the group sizes; max is
+  // commutative and draws nothing, so iteration order is irrelevant.
   for (const auto& [key, size] : ParallelGroupedJoinSizes(instance, rels, y)) {
     (void)key;
     best = std::max(best, size);

@@ -109,6 +109,8 @@ std::unordered_map<int64_t, int64_t> Relation::DegreeMap(
 
 int64_t Relation::MaxDegree(AttributeSet y) const {
   int64_t best = 0;
+  // dpjoin-audit: allow(determinism) — integer max over the degree map;
+  // commutative, no draws, so iteration order is irrelevant.
   for (const auto& [key, deg] : DegreeMap(y)) {
     (void)key;
     best = std::max(best, deg);

@@ -202,6 +202,68 @@ TEST(ServerTest, RepeatedReleaseIsACacheHitWithZeroSpend) {
             answers->Find("answers")->items()[2].AsDouble());
 }
 
+TEST(ServerTest, StatsBreakDownCacheHitsPerDataset) {
+  // The engine-wide cache hit rate hides which datasets actually churn;
+  // `stats.serving.per_dataset` must attribute every release submission
+  // to the dataset it resolved to.
+  auto engine = MakeEngine();
+  ReleaseServer server(*engine);
+  for (const char* name : {"alpha", "beta"}) {
+    ASSERT_TRUE(JsonValue::Parse(
+                    server.HandleLine(
+                        std::string(R"json({"cmd": "register", "name": ")json") +
+                        name +
+                        R"json(", "source": "generated:uniform(tuples=40,seed=7)",)json"
+                        R"json( "attributes": ["A:6", "B:4", "C:6"], )json"
+                        R"json("relations": ["R1:A,B", "R2:B,C"]})json"))
+                    ->Find("ok")
+                    ->AsBool());
+  }
+  auto release = [&](const std::string& dataset, const std::string& spec_name) {
+    auto response = JsonValue::Parse(server.HandleLine(
+        R"json({"cmd": "release", "dataset": ")json" + dataset +
+        R"json(", "seed": 3, "spec": ")json" +
+        DemoSpec(spec_name, "0.25", "laplace") + R"json("})json"));
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_TRUE(response->Find("ok")->AsBool()) << response->Serialize();
+  };
+  // alpha: 1 mechanism run + 2 cache hits; beta: 2 distinct runs, 0 hits.
+  release("alpha", "a1");
+  release("alpha", "a1");
+  release("alpha", "a1");
+  release("beta", "b1");
+  release("beta", "b2");
+
+  auto stats = JsonValue::Parse(server.HandleLine(R"json({"cmd": "stats"})json"));
+  ASSERT_TRUE(stats.ok() && stats->Find("ok")->AsBool());
+  const JsonValue* per_dataset =
+      stats->Find("serving")->Find("per_dataset");
+  ASSERT_NE(per_dataset, nullptr);
+  ASSERT_EQ(per_dataset->members().size(), 2u);
+
+  const JsonValue* alpha = per_dataset->Find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_DOUBLE_EQ(alpha->Find("hits")->AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(alpha->Find("misses")->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(alpha->Find("hit_rate")->AsDouble(), 2.0 / 3.0);
+
+  const JsonValue* beta = per_dataset->Find("beta");
+  ASSERT_NE(beta, nullptr);
+  EXPECT_DOUBLE_EQ(beta->Find("hits")->AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(beta->Find("misses")->AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(beta->Find("hit_rate")->AsDouble(), 0.0);
+
+  // Failed submissions (unknown dataset) must not be attributed anywhere.
+  auto bad = JsonValue::Parse(server.HandleLine(
+      R"json({"cmd": "release", "dataset": "ghost", "seed": 3, "spec": ")json" +
+      DemoSpec("g", "0.25", "laplace") + R"json("})json"));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->Find("ok")->AsBool());
+  auto after = JsonValue::Parse(server.HandleLine(R"json({"cmd": "stats"})json"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->Find("serving")->Find("per_dataset")->members().size(), 2u);
+}
+
 TEST(ServerTest, MalformedInputNeverKillsTheLoop) {
   auto engine = MakeEngine();
   ReleaseServer server(*engine);

@@ -1,0 +1,70 @@
+// Replays the fuzz seed corpus and regression corpus through the fuzz
+// target logic as ordinary assertions. Fuzz findings land in
+// fuzz/regressions/<target>/ and from then on are tier-1 tests: a
+// reintroduced parser bug aborts here (death by property violation),
+// failing plain ctest with no fuzzer in the loop.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dpjoin_fuzz {
+int FuzzJson(const uint8_t* data, size_t size);
+int FuzzReleaseSpec(const uint8_t* data, size_t size);
+int FuzzLineFramer(const uint8_t* data, size_t size);
+}  // namespace dpjoin_fuzz
+
+namespace {
+
+using FuzzTarget = int (*)(const uint8_t*, size_t);
+
+std::vector<std::filesystem::path> CorpusFiles(const std::string& target) {
+  std::vector<std::filesystem::path> files;
+  for (const char* kind : {"corpus", "regressions"}) {
+    const std::filesystem::path dir =
+        std::filesystem::path(DPJOIN_FUZZ_DIR) / kind / target;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (it->is_regular_file()) files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void ReplayAll(const std::string& target, FuzzTarget fn) {
+  const auto files = CorpusFiles(target);
+  ASSERT_FALSE(files.empty())
+      << "no corpus files for " << target << " under " << DPJOIN_FUZZ_DIR;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.string());
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    // A property violation aborts the whole test binary — that IS the
+    // failure signal, with the offending file named by the trace above.
+    fn(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  }
+}
+
+TEST(FuzzRegressionTest, JsonCorpusHoldsProperties) {
+  ReplayAll("json", dpjoin_fuzz::FuzzJson);
+}
+
+TEST(FuzzRegressionTest, ReleaseSpecCorpusHoldsProperties) {
+  ReplayAll("release_spec", dpjoin_fuzz::FuzzReleaseSpec);
+}
+
+TEST(FuzzRegressionTest, LineFramerCorpusHoldsProperties) {
+  ReplayAll("line_framer", dpjoin_fuzz::FuzzLineFramer);
+}
+
+}  // namespace
