@@ -6,9 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "bench_report.h"
 #include "common/thread_pool.h"
 #include "core/partition_two_table.h"
 #include "query/evaluation.h"
@@ -214,6 +220,41 @@ void BM_ParallelJoinCountGrain(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelJoinCountGrain)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
+// --- Region overlap: two top-level ParallelSum regions issued at once vs
+// the same two run back-to-back. With the concurrent-region pool the pair
+// must overlap on a multi-core box; the serialized variant is the floor
+// either way. (bench_net_serving runs the PASS/FAIL version of this; here
+// the pair is exposed as a tunable google-benchmark series.) ---
+
+double HarmonicBlockSum(int64_t lo, int64_t hi) {
+  double s = 0.0;
+  for (int64_t i = lo; i < hi; ++i) s += 1.0 / static_cast<double>(i + 1);
+  return s;
+}
+
+void BM_SerializedParallelSumRegions(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParallelSum(0, n, 4096, HarmonicBlockSum, 2));
+    benchmark::DoNotOptimize(ParallelSum(0, n, 4096, HarmonicBlockSum, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_SerializedParallelSumRegions)->Arg(100000)->Arg(400000);
+
+void BM_ConcurrentParallelSumRegions(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    std::thread other([n] {
+      benchmark::DoNotOptimize(ParallelSum(0, n, 4096, HarmonicBlockSum, 2));
+    });
+    benchmark::DoNotOptimize(ParallelSum(0, n, 4096, HarmonicBlockSum, 2));
+    other.join();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_ConcurrentParallelSumRegions)->Arg(100000)->Arg(400000);
+
 void BM_JoinTensorThreads(benchmark::State& state) {
   const JoinQuery query = MakeTwoTableQuery(16, 64, 16);
   Rng rng(37);
@@ -250,6 +291,109 @@ void BM_PartitionTwoTable(benchmark::State& state) {
 BENCHMARK(BM_PartitionTwoTable)->Arg(10000)->Arg(50000);
 
 }  // namespace
+
+// --- grain.recommended: capture the BM_*Grain sweeps as they run and write
+// each sweep's argmin into BENCH_E12.json (plus a copy-pasteable export
+// line on stderr), so a box can bake its fastest DPJOIN_GRAIN_* values.
+// README "Threading & performance" documents the workflow. ---
+
+class GrainSweepReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Point {
+    int64_t grain = 0;
+    double seconds_per_iter = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      if (run.error_occurred || run.iterations <= 0) continue;
+      const std::string name = run.benchmark_name();
+      const size_t slash = name.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string family = name.substr(0, slash);
+      if (family.find("Grain") == std::string::npos) continue;
+      sweeps_[family].push_back(
+          {std::atoll(name.c_str() + slash + 1),
+           run.real_accumulated_time / static_cast<double>(run.iterations)});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::map<std::string, std::vector<Point>>& sweeps() const {
+    return sweeps_;
+  }
+
+ private:
+  std::map<std::string, std::vector<Point>> sweeps_;
+};
+
+namespace {
+
+// Argmin grain of `family`'s sweep, or 0 when the sweep did not run (e.g.
+// excluded with --benchmark_filter).
+int64_t BestGrain(const std::map<std::string,
+                                 std::vector<GrainSweepReporter::Point>>&
+                      sweeps,
+                  const std::string& family) {
+  const auto it = sweeps.find(family);
+  if (it == sweeps.end() || it->second.empty()) return 0;
+  const GrainSweepReporter::Point* best = &it->second.front();
+  for (const GrainSweepReporter::Point& p : it->second) {
+    if (p.seconds_per_iter < best->seconds_per_iter) best = &p;
+  }
+  return best->grain;
+}
+
+}  // namespace
+
+void EmitGrainReport(const GrainSweepReporter& reporter) {
+  const int64_t tensor =
+      BestGrain(reporter.sweeps(), "BM_EvaluateAllOnTensorGrain");
+  const int64_t tensor_pmw = BestGrain(reporter.sweeps(), "BM_PmwReleaseGrain");
+  const int64_t join_root =
+      BestGrain(reporter.sweeps(), "BM_ParallelJoinCountGrain");
+  if (tensor > 0 && join_root > 0) {
+    std::fprintf(stderr,
+                 "bench_micro_substrate: bake this box's block grains with\n"
+                 "  export DPJOIN_GRAIN_TENSOR=%lld DPJOIN_GRAIN_JOIN_ROOT="
+                 "%lld\n",
+                 static_cast<long long>(tensor),
+                 static_cast<long long>(join_root));
+  }
+  const char* dir = std::getenv("DPJOIN_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  bench::BenchReport report;
+  report.SetExperiment(
+      "E12", "substrate micro-benchmarks (google-benchmark)",
+      "per-box argmin of the BM_*Grain sweeps; bake the result via the "
+      "DPJOIN_GRAIN_TENSOR / DPJOIN_GRAIN_JOIN_ROOT env vars");
+  report.AddSeries("grain.recommended",
+                   {static_cast<double>(tensor),
+                    static_cast<double>(join_root)});
+  report.AddSeries("grain.recommended_tensor",
+                   {static_cast<double>(tensor)});
+  report.AddSeries("grain.recommended_tensor_pmw",
+                   {static_cast<double>(tensor_pmw)});
+  report.AddSeries("grain.recommended_join_root",
+                   {static_cast<double>(join_root)});
+  for (const auto& entry : reporter.sweeps()) {
+    std::vector<double> grains, ns;
+    for (const GrainSweepReporter::Point& p : entry.second) {
+      grains.push_back(static_cast<double>(p.grain));
+      ns.push_back(p.seconds_per_iter * 1e9);
+    }
+    report.AddSeries("grain." + entry.first + ".grain", grains);
+    report.AddSeries("grain." + entry.first + ".ns_per_iter", ns);
+  }
+  report.AddVerdict(tensor > 0 && tensor_pmw > 0 && join_root > 0,
+                    "all three BM_*Grain sweeps produced a recommendation");
+  const std::string path = report.WriteJsonFile(dir);
+  if (!path.empty()) {
+    std::fprintf(stderr, "bench_micro_substrate: wrote %s\n", path.c_str());
+  }
+}
+
 }  // namespace dpjoin
 
 int main(int argc, char** argv) {
@@ -270,7 +414,12 @@ int main(int argc, char** argv) {
   argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  // The display reporter doubles as the BM_*Grain sweep collector; after the
+  // run it turns each sweep's argmin into a grain.recommended series in
+  // BENCH_E12.json (written when DPJOIN_BENCH_JSON_DIR is set).
+  dpjoin::GrainSweepReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  dpjoin::EmitGrainReport(reporter);
   benchmark::Shutdown();
   return 0;
 }

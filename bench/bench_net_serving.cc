@@ -10,12 +10,14 @@
 // Every response is byte-compared against the inline ReleaseServer path:
 // batching must never change a single byte.
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "engine/engine.h"
 #include "engine/net_server.h"
 #include "engine/server.h"
@@ -31,12 +33,13 @@ struct SessionResult {
 };
 
 // Runs one serving session: a NetServer over `server`, `clients` concurrent
-// connections each pipelining `requests` copies of `line`, every response
-// byte-checked against `expected`.
+// connections each pipelining `requests` copies of its line (client k uses
+// lines[k % lines.size()], so several releases can be queried at once),
+// every response byte-checked against the matching expected line.
 SessionResult RunSession(ReleaseServer& server, NetServerOptions options,
                          int clients, int requests,
-                         const std::string& line,
-                         const std::string& expected) {
+                         const std::vector<std::string>& lines,
+                         const std::vector<std::string>& expected) {
   SessionResult result;
   NetServer net(server, options);
   const Status started = net.Start();
@@ -48,6 +51,9 @@ SessionResult RunSession(ReleaseServer& server, NetServerOptions options,
   std::vector<std::thread> workers;
   for (int k = 0; k < clients; ++k) {
     workers.emplace_back([&, k] {
+      const std::string& line = lines[static_cast<size_t>(k) % lines.size()];
+      const std::string& want =
+          expected[static_cast<size_t>(k) % expected.size()];
       auto client = LineClient::Connect("127.0.0.1", net.port());
       if (!client.ok()) return;
       for (int i = 0; i < requests; ++i) {
@@ -56,7 +62,7 @@ SessionResult RunSession(ReleaseServer& server, NetServerOptions options,
       int mismatches = 0;
       for (int i = 0; i < requests; ++i) {
         auto response = client->ReadLine();
-        if (!response.ok() || *response != expected) ++mismatches;
+        if (!response.ok() || *response != want) ++mismatches;
       }
       bad[static_cast<size_t>(k)] = mismatches;
     });
@@ -131,10 +137,10 @@ int Run() {
   int64_t top_batched_calls = 0;
   const int total_requests = client_counts.back() * requests;
   for (int clients : client_counts) {
-    const SessionResult with_batching =
-        RunSession(server, batched, clients, requests, query_line, expected);
+    const SessionResult with_batching = RunSession(
+        server, batched, clients, requests, {query_line}, {expected});
     const SessionResult without_batching = RunSession(
-        server, unbatched, clients, requests, query_line, expected);
+        server, unbatched, clients, requests, {query_line}, {expected});
     bytes_ok &= with_batching.bytes_ok && without_batching.bytes_ok;
     batched_qps.push_back(with_batching.qps);
     unbatched_qps.push_back(without_batching.qps);
@@ -155,8 +161,101 @@ int Run() {
       "net.top_speedup",
       {batched_qps.back() / unbatched_qps.back()});
 
+  // --- concurrency: qps vs --workers at a fixed client count ------------
+  // A second release gives each flush two independent release groups —
+  // exactly the work --workers exists to overlap on the concurrent-region
+  // pool. Clients alternate between the two releases.
+  const std::string release2_line =
+      R"json({"cmd": "release", "dataset": "netbench", "seed": 11, )json"
+      R"json("spec": ")json"
+      "# dpjoin-release-spec v1\\nname = netbench2\\nattribute = A:32\\n"
+      "attribute = B:4\\nattribute = C:32\\nrelation = R1:A,B\\n"
+      "relation = R2:B,C\\nepsilon = 1.0\\ndelta = 1e-5\\n"
+      "mechanism = auto\\nworkload = random_sign:" +
+      std::to_string(per_table) + R"json("})json";
+  auto released2 = JsonValue::Parse(server.HandleLine(release2_line));
+  DPJOIN_CHECK(released2.ok() && released2->Find("ok")->AsBool(),
+               "second release failed");
+  const std::string query2_line =
+      R"json({"cmd": "query", "release": ")json" +
+      released2->Find("release")->AsString() + R"json(", "all": true})json";
+  const std::string expected2 = server.HandleLine(query2_line);
+
+  TablePrinter concurrency_table({"workers", "qps"});
+  std::vector<double> worker_counts, worker_qps;
+  const int fixed_clients = client_counts.back();
+  for (int workers : {0, 1, 2, 4}) {
+    NetServerOptions options = batched;
+    options.workers = workers;
+    const SessionResult session =
+        RunSession(server, options, fixed_clients, requests,
+                   {query_line, query2_line}, {expected, expected2});
+    bytes_ok &= session.bytes_ok;
+    worker_counts.push_back(static_cast<double>(workers));
+    worker_qps.push_back(session.qps);
+    concurrency_table.AddRow(
+        {std::to_string(workers), TablePrinter::Num(session.qps)});
+  }
+  bench::Emit(concurrency_table, "concurrency");
+  bench::RecordSeries("concurrency.workers", worker_counts);
+  bench::RecordSeries("concurrency.qps", worker_qps);
+
+  // --- concurrency: raw region overlap on the thread pool ---------------
+  // Two threads each run K ParallelSum regions at once, against 2K of the
+  // same regions run back-to-back on one thread. On a multi-core box the
+  // concurrent form must win (regions genuinely overlap); on one core it
+  // must merely not collapse. Every region's sum is bit-compared to the
+  // serial result — overlap may never touch the output.
+  const int64_t overlap_n = bench::QuickMode() ? 200000 : 400000;
+  const int overlap_reps = bench::QuickMode() ? 4 : 8;
+  auto block_sum = [](int64_t lo, int64_t hi) {
+    double s = 0.0;
+    for (int64_t i = lo; i < hi; ++i) s += 1.0 / static_cast<double>(i + 1);
+    return s;
+  };
+  const double overlap_expected =
+      ParallelSum(0, overlap_n, 4096, block_sum, 1);
+  std::atomic<int> overlap_mismatches{0};
+  auto region_work = [&](int reps) {
+    for (int r = 0; r < reps; ++r) {
+      const double sum = ParallelSum(0, overlap_n, 4096, block_sum, 2);
+      if (sum != overlap_expected) overlap_mismatches.fetch_add(1);
+    }
+  };
+  const auto serialized_start = std::chrono::steady_clock::now();
+  region_work(2 * overlap_reps);
+  const std::chrono::duration<double> serialized_elapsed =
+      std::chrono::steady_clock::now() - serialized_start;
+  const auto concurrent_start = std::chrono::steady_clock::now();
+  std::thread other([&] { region_work(overlap_reps); });
+  region_work(overlap_reps);
+  other.join();
+  const std::chrono::duration<double> concurrent_elapsed =
+      std::chrono::steady_clock::now() - concurrent_start;
+  const double overlap_speedup =
+      serialized_elapsed.count() / concurrent_elapsed.count();
+  bench::RecordSeries("concurrency.region_overlap_speedup",
+                      {overlap_speedup});
+
   bench::Verdict(bytes_ok,
                  "every TCP response byte-identical to the inline path");
+  bench::Verdict(overlap_mismatches.load() == 0,
+                 "concurrent-region sums bit-identical to serial");
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores >= 2) {
+    bench::Verdict(
+        overlap_speedup >= 1.15,
+        "concurrent parallel regions beat serialized execution on " +
+            std::to_string(cores) + " cores (speedup " +
+            TablePrinter::Num(overlap_speedup) + "x)");
+  } else {
+    // One core cannot overlap compute; require only that concurrency does
+    // not collapse throughput (generous bound absorbs scheduler noise).
+    bench::Verdict(overlap_speedup >= 0.6,
+                   "no concurrent-region regression on a 1-core runner "
+                   "(ratio " +
+                       TablePrinter::Num(overlap_speedup) + "x)");
+  }
   bench::Verdict(
       top_batched_calls < total_requests,
       "coalescing observed: " + std::to_string(top_batched_calls) +

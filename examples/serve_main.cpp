@@ -5,7 +5,7 @@
 //   ./build/examples/dpjoin_serve --epsilon=4.0 --delta=0.01 --cache=64
 //       [--base-dir=examples/configs] [--ledger=/tmp/ledger.json]
 //       [--port=7070 [--batch-window-us=1000] [--batch-max=512]
-//        [--max-conns=1024]]
+//        [--max-conns=1024] [--workers=4]]
 //
 // Flags:
 //   --epsilon=E   global privacy cap ε (default 4.0)
@@ -25,6 +25,11 @@
 //   --batch-max=N flush a batch at N pending queries (default 512; 1
 //                 disables coalescing)
 //   --max-conns=N refuse connections beyond N concurrent (default 1024)
+//   --workers=N   request-execution threads (TCP mode; default 0 =
+//                 execute on the event-loop thread). With N >= 1 the
+//                 event loop only does I/O + batching and independent
+//                 releases' evaluations overlap on the thread pool;
+//                 response bytes are identical for any N
 //
 // Try it interactively:
 //   {"cmd": "register", "name": "demo", "source": "generated:zipf(tuples=200,s=1.0,seed=7)", "attributes": ["A:6", "B:4", "C:6"], "relations": ["R1:A,B", "R2:B,C"]}
@@ -88,13 +93,15 @@ int main(int argc, char** argv) {
         net_options.batch_max = std::stoll(value);
       } else if (ParseFlag(arg, "max-conns", &value)) {
         net_options.max_conns = std::stoll(value);
+      } else if (ParseFlag(arg, "workers", &value)) {
+        net_options.workers = std::stoll(value);
       } else {
         std::cerr << "unknown flag " << arg << "\n"
                   << "usage: " << argv[0]
                   << " [--epsilon=E] [--delta=D] [--cache=N]"
                      " [--base-dir=P] [--ledger=P] [--port=N]"
                      " [--batch-window-us=U] [--batch-max=N]"
-                     " [--max-conns=N]\n";
+                     " [--max-conns=N] [--workers=N]\n";
         return 2;
       }
     } catch (const std::exception&) {
@@ -108,9 +115,9 @@ int main(int argc, char** argv) {
   }
   if (tcp_mode &&
       (net_options.batch_window_us < 0 || net_options.batch_max < 1 ||
-       net_options.max_conns < 1)) {
+       net_options.max_conns < 1 || net_options.workers < 0)) {
     std::cerr << "need batch-window-us >= 0, batch-max >= 1, "
-                 "max-conns >= 1\n";
+                 "max-conns >= 1, workers >= 0\n";
     return 2;
   }
 

@@ -12,8 +12,10 @@
 #      -Wthread-safety, making lock-discipline violations hard errors),
 #   4. ctest over every discovered test,
 #   5. serving-protocol + ledger-persistence sessions, a real-TCP serve
-#      session with a many-client pipelined soak (byte-diffed against the
-#      stdio path), bench smoke with BENCH_*.json validation, ASan suites,
+#      session with a many-client pipelined soak under --workers=2
+#      (byte-diffed against the stdio path), bench smoke with BENCH_*.json
+#      validation including the concurrent parallel-region verdicts, ASan
+#      suites,
 #   6. tidy: clang-tidy over src/ via compile_commands.json (skipped with a
 #      message when clang-tidy is not installed),
 #   7. tsan: ThreadSanitizer build + `ctest -L tsan` over the concurrency
@@ -165,15 +167,17 @@ print("ok: restarted server refused to overspend the persisted ledger")
 '
 rm -f "${LEDGER_FILE}"
 
-echo "==> dpjoin_serve TCP session + many-client pipelined soak"
+echo "==> dpjoin_serve TCP session + many-client pipelined soak (--workers=2)"
 # The TCP front-end must answer byte-identically to the stdio path: a
 # scripted session learns the (deterministic) release id over stdio, then
 # eight concurrent clients pipeline the same query lines over a real
 # loopback socket and byte-diff every response. The stats response must
 # show the cross-client batcher coalescing (engine calls < query requests).
+# --workers=2 routes every parsed request through the multi-worker
+# execution stage, so the soak also proves worker-mode byte-identity.
 TCP_ERR="$(mktemp)"
 "${BUILD_DIR}/examples/dpjoin_serve" --epsilon=4 --delta=0.01 --port=0 \
-  --batch-window-us=1000 2> "${TCP_ERR}" &
+  --batch-window-us=1000 --workers=2 2> "${TCP_ERR}" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
   grep -q "listening on" "${TCP_ERR}" && break
@@ -260,6 +264,7 @@ serving = json.loads(admin.readline())["serving"]
 assert serving["query_requests"] == CLIENTS * ROUNDS * 2, serving
 assert serving["engine_calls"] < serving["query_requests"], (
     "no coalescing observed: %s" % serving)
+assert serving["workers"] == 2, "stats must report --workers: %s" % serving
 admin.write('{"cmd": "shutdown"}\n')
 admin.flush()
 assert json.loads(admin.readline())["ok"]
@@ -323,6 +328,28 @@ print(f"ok: {sys.argv[1]} — factored round loop "
       f"{speedups[0]['values'][0]:.2f}x the oracle, within tolerance")
 EOF
 done
+
+echo "==> concurrent parallel-region verdicts (BENCH_NET)"
+# bench_net_serving sweeps --workers at a fixed client count and times two
+# concurrent ParallelSum regions against the same work serialized. Both the
+# bit-identity verdict and the overlap verdict (speedup on multi-core, mere
+# no-regression on one core) must PASS on every CI run.
+python3 - "${SMOKE_DIR}/BENCH_NET.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+series = {s["name"]: s["values"] for s in report["series"]}
+assert series.get("concurrency.workers"), "no concurrency.workers series"
+assert series.get("concurrency.qps"), "no concurrency.qps series"
+speedup = series.get("concurrency.region_overlap_speedup")
+assert speedup, "no concurrency.region_overlap_speedup series"
+concurrency = [v for v in report["verdicts"]
+               if "concurrent" in v["message"]]
+assert concurrency, "no concurrent-region verdicts recorded"
+assert all(v["pass"] for v in concurrency), concurrency
+print(f"ok: {sys.argv[1]} — region overlap ratio {speedup[0]:.2f}x, "
+      f"{len(concurrency)} concurrency verdicts PASS")
+EOF
 
 echo "==> ASan run of the factored-loop / determinism suites"
 # The sparse/fused hot paths and the product-form (FactoredTensor) backing

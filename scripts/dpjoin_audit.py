@@ -34,11 +34,14 @@ Rules (each violation prints `path:line: [rule] message`):
                    ParallelForBlocks/ParallelSum/ThreadPool::Run — or any
                    function that transitively reaches them, e.g.
                    ServingHandle::AnswerAll) while holding a MutexLock, or
-                   from a function annotated REQUIRES(mu), is an error: the
-                   pool serializes top-level regions, so a worker that
-                   blocks on the caller-held lock deadlocks the region.
-                   This is the contract any work-stealing rewrite of the
-                   pool must preserve, checked at analysis time.
+                   from a function annotated REQUIRES(mu), is an error:
+                   pool workers are shared across all concurrent regions,
+                   so a worker that blocks on the caller-held lock stalls
+                   every in-flight region (and inverts the lock order when
+                   another region's block takes the same lock). The rule
+                   survived the concurrent-region rewrite of the pool
+                   unchanged — it is the contract, checked at analysis
+                   time.
 
 Suppression: `// dpjoin-audit: allow(<rule>)` on the offending line or the
 line above (justify in the comment). `// dpjoin-audit: mechanism-internal`
@@ -1083,9 +1086,10 @@ def run_rules(model: Model, allow_maps: dict[str, dict[int, set[str]]],
             violations.append(Violation(
                 fn.file, call.line, "pool-deadlock",
                 f"{fn.qual}() {held} while calling into the parallel "
-                f"substrate ({reason}) — the pool serializes top-level "
-                "regions, so a worker blocking on the caller-held lock "
-                "deadlocks; release the lock before fanning out"))
+                f"substrate ({reason}) — pool workers are shared across "
+                "all concurrent regions, so a worker blocking on the "
+                "caller-held lock stalls every in-flight region; release "
+                "the lock before fanning out"))
 
     return violations
 

@@ -14,73 +14,114 @@
 
 namespace dpjoin {
 
-namespace {
-
-// Set while the current thread executes blocks of an active parallel region;
-// nested regions run inline (a worker waiting for the pool would deadlock).
-thread_local bool t_in_parallel_region = false;
-
-}  // namespace
-
+// Concurrent-region design. Every Run() publishes a Region — the job, the
+// block count, and a region-local atomic block cursor — onto a FIFO list.
+// Pool workers interleave across ALL active regions: each picks the oldest
+// region that still has unclaimed blocks and spare helper slots, claims
+// blocks from that region's cursor until it runs dry, then goes back to the
+// list. The caller always participates in its own region and, once its
+// cursor is exhausted, waits on the region's own CondVar until every claimed
+// block has retired. Two consequences fall out of callers draining their own
+// regions:
+//   * no deadlock for nested regions: a region submitted from inside a
+//     worker's block makes progress on the submitting thread even if every
+//     pool worker is busy elsewhere, so waits only ever follow the acyclic
+//     caller→nested-region tree;
+//   * no cross-region starvation: a region completes even if the pool never
+//     donates a helper to it.
+// Bit-identity is untouched by any of this: the block decomposition is fixed
+// by (range, grain) before the region is published, and reductions merge
+// per-block results in block order, so which thread (or how many, or what
+// else is in flight) runs a block never reaches the output.
 struct ThreadPool::Impl {
-  Mutex region_mu ACQUIRED_BEFORE(mu);  // serializes parallel regions
-
-  Mutex mu;  // guards everything below
+  Mutex mu;  // the pool's only lock; guards the region list and worker set
   CondVar work_cv;
-  CondVar done_cv;
   std::vector<std::thread> workers GUARDED_BY(mu);
   bool shutdown GUARDED_BY(mu) = false;
 
-  // Active job, published under `mu` with a fresh generation number.
-  uint64_t gen GUARDED_BY(mu) = 0;
-  const std::function<void(int64_t)>* job GUARDED_BY(mu) = nullptr;
-  int64_t num_blocks GUARDED_BY(mu) = 0;
-  int max_participants GUARDED_BY(mu) = 0;
-  std::atomic<int64_t> next_block{0};
-  int64_t blocks_done GUARDED_BY(mu) = 0;
-  int participants GUARDED_BY(mu) = 0;  // workers inside the claim loop
+  // One active parallel region. Lives on the stack of the Run() call that
+  // published it; Run() unlinks it from `regions` only after blocks_done ==
+  // num_blocks and active_helpers == 0, so no worker can hold a dangling
+  // pointer. All fields except the lock-free block cursor are guarded by the
+  // pool's `mu` (not expressible with GUARDED_BY across the nesting).
+  struct Region {
+    const std::function<void(int64_t)>* job = nullptr;
+    int64_t num_blocks = 0;
+    std::atomic<int64_t> next_block{0};  // lock-free claim cursor
+    int64_t blocks_done = 0;     // guarded by Impl::mu
+    int active_helpers = 0;      // workers currently claiming, guarded by mu
+    int max_helpers = 0;         // caller's max_threads - 1, guarded by mu
+    CondVar done_cv;             // signalled when the region may be complete
+  };
+
+  // Publish order; workers scan front-to-back so older regions finish first.
+  std::vector<Region*> regions GUARDED_BY(mu);
+
+  // Oldest region that still has unclaimed blocks and a free helper slot,
+  // or nullptr. The relaxed cursor read is a heuristic — a stale value only
+  // costs a worker one futile claim attempt, never a missed wakeup (the
+  // caller of an exhausted region is responsible for its remaining blocks).
+  Region* PickRegion() REQUIRES(mu) {
+    for (Region* region : regions) {
+      if (region->active_helpers < region->max_helpers &&
+          region->next_block.load(std::memory_order_relaxed) <
+              region->num_blocks) {
+        return region;
+      }
+    }
+    return nullptr;
+  }
+
+  // Claims blocks from `region` until its cursor runs dry; returns how many
+  // this thread ran. Called without `mu`: the cursor is the only shared
+  // state touched.
+  static int64_t DrainBlocks(Region& region) {
+    int64_t done = 0;
+    for (;;) {
+      const int64_t block = region.next_block.fetch_add(1);
+      if (block >= region.num_blocks) break;
+      (*region.job)(block);
+      ++done;
+    }
+    return done;
+  }
 
   // Explicit Lock/Unlock rather than a scoped guard: the loop drops `mu`
-  // around the block-claiming work phase, a shape MutexLock cannot express.
+  // around the block-draining work phase, a shape MutexLock cannot express.
   // The lock is held at the top and bottom of every iteration, which is
   // exactly what the thread-safety analysis verifies.
   void WorkerLoop() EXCLUDES(mu) {
-    uint64_t seen_gen = 0;
     mu.Lock();
     for (;;) {
-      while (!shutdown && !(job != nullptr && gen != seen_gen)) {
+      Region* region = nullptr;
+      while (!shutdown && (region = PickRegion()) == nullptr) {
         work_cv.Wait(mu);
       }
       if (shutdown) {
         mu.Unlock();
         return;
       }
-      seen_gen = gen;
-      if (participants >= max_participants) continue;  // job fully staffed
-      ++participants;
-      const std::function<void(int64_t)>* my_job = job;
-      const int64_t my_blocks = num_blocks;
+      ++region->active_helpers;
       mu.Unlock();
-      t_in_parallel_region = true;
-      int64_t done = 0;
-      for (;;) {
-        const int64_t block = next_block.fetch_add(1);
-        if (block >= my_blocks) break;
-        (*my_job)(block);
-        ++done;
-      }
-      t_in_parallel_region = false;
+      const int64_t done = DrainBlocks(*region);
       mu.Lock();
-      --participants;
-      blocks_done += done;
-      done_cv.NotifyAll();
+      --region->active_helpers;
+      region->blocks_done += done;
+      if (region->blocks_done == region->num_blocks &&
+          region->active_helpers == 0) {
+        region->done_cv.NotifyAll();
+      }
     }
   }
 
-  void EnsureWorkers(size_t n) REQUIRES(mu) {
-    // Caller holds `mu`; safe because workers only read shared state under
-    // `mu` or via the atomic block counter.
-    while (workers.size() < n) {
+  // Grows the worker set to cover the summed helper demand of every active
+  // region (bounded by kMaxThreads). Workers are persistent: a burst of
+  // concurrent regions ratchets the pool up once, after which it parks.
+  void EnsureWorkers() REQUIRES(mu) {
+    int64_t demand = 0;
+    for (const Region* region : regions) demand += region->max_helpers;
+    demand = std::min<int64_t>(demand, kMaxThreads);
+    while (static_cast<int64_t>(workers.size()) < demand) {
       workers.emplace_back([this] { WorkerLoop(); });
     }
   }
@@ -112,48 +153,39 @@ void ThreadPool::Run(int64_t num_blocks, int max_threads,
                      const std::function<void(int64_t)>& job) {
   if (num_blocks <= 0) return;
   max_threads = std::clamp(max_threads, 1, kMaxThreads);
-  if (max_threads == 1 || num_blocks == 1 || t_in_parallel_region) {
-    const bool was_nested = t_in_parallel_region;
-    t_in_parallel_region = true;
+  if (max_threads == 1 || num_blocks == 1) {
     for (int64_t block = 0; block < num_blocks; ++block) job(block);
-    t_in_parallel_region = was_nested;
     return;
   }
 
   Impl& impl = *impl_;
-  MutexLock region(impl.region_mu);
+  Impl::Region region;
+  region.job = &job;
+  region.num_blocks = num_blocks;
   {
     MutexLock lock(impl.mu);
-    impl.EnsureWorkers(static_cast<size_t>(max_threads - 1));
-    impl.job = &job;
-    impl.num_blocks = num_blocks;
-    impl.max_participants = max_threads - 1;
-    impl.next_block.store(0);
-    impl.blocks_done = 0;
-    ++impl.gen;
+    region.max_helpers = max_threads - 1;
+    impl.regions.push_back(&region);
+    impl.EnsureWorkers();
   }
   impl.work_cv.NotifyAll();
 
-  // The calling thread is a participant too.
-  t_in_parallel_region = true;
-  int64_t done = 0;
-  for (;;) {
-    const int64_t block = impl.next_block.fetch_add(1);
-    if (block >= num_blocks) break;
-    job(block);
-    ++done;
-  }
-  t_in_parallel_region = false;
+  // The calling thread drains its own region first — this is what makes a
+  // region submitted from inside a worker's block deadlock-free: progress
+  // never depends on the pool donating a helper.
+  const int64_t done = Impl::DrainBlocks(region);
 
-  // Wait until every block finished AND no worker is still inside the claim
-  // loop — a late worker must not survive into the next region, where the
-  // reset block counter would hand it stale work.
+  // Wait until every block retired AND no helper is still inside the claim
+  // loop — `region` lives on this stack frame, so a late helper must not
+  // survive past the unlink below.
   MutexLock lock(impl.mu);
-  impl.blocks_done += done;
-  while (!(impl.blocks_done == num_blocks && impl.participants == 0)) {
-    impl.done_cv.Wait(impl.mu);
+  region.blocks_done += done;
+  while (
+      !(region.blocks_done == num_blocks && region.active_helpers == 0)) {
+    region.done_cv.Wait(impl.mu);
   }
-  impl.job = nullptr;
+  impl.regions.erase(
+      std::find(impl.regions.begin(), impl.regions.end(), &region));
 }
 
 namespace {

@@ -24,10 +24,17 @@
 namespace dpjoin {
 
 /// Process-wide pool of persistent worker threads. Workers are spawned
-/// lazily (up to the largest concurrency ever requested, bounded by
-/// kMaxThreads) and parked on a condition variable between parallel
-/// regions; regions are serialized, and a region entered from inside a
-/// worker runs inline to avoid deadlock.
+/// lazily (up to the summed helper demand of the regions in flight, bounded
+/// by kMaxThreads) and parked on a condition variable when idle. Multiple
+/// top-level parallel regions execute CONCURRENTLY: each Run publishes its
+/// own region (job + block cursor) onto a FIFO list and workers interleave
+/// across every active region, oldest first. The calling thread always
+/// drains its own region's blocks before waiting, so a region submitted
+/// from inside a worker makes progress on the submitting thread and never
+/// deadlocks, and a region completes even when the pool donates no helpers.
+/// Concurrency never reaches the results: block decomposition depends only
+/// on (range, grain), so outputs are bit-identical across thread counts AND
+/// across whatever mix of regions happens to be in flight.
 class ThreadPool {
  public:
   static constexpr int kMaxThreads = 64;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <utility>
 
 #include "common/json.h"
+#include "common/thread_pool.h"
 
 namespace dpjoin {
 
@@ -26,7 +28,9 @@ NetServer::NetServer(ReleaseServer& server, NetServerOptions options)
       options_(options),
       batcher_(server,
                QueryBatcher::Options{std::max<int64_t>(1, options.batch_max)}),
-      poller_(options.backend) {}
+      poller_(options.backend) {
+  server_.serving_stats().SetWorkers(std::max<int64_t>(0, options_.workers));
+}
 
 Status NetServer::Start() {
   DPJOIN_ASSIGN_OR_RETURN(listener_, ListenTcp(options_.port));
@@ -44,6 +48,7 @@ void NetServer::RequestShutdown() {
 }
 
 int64_t NetServer::Run() {
+  if (options_.workers > 0) StartWorkers();
   std::vector<Poller::Event> events;
   for (;;) {
     if (shutdown_requested_.load() && !shutting_down_) BeginShutdown();
@@ -94,9 +99,16 @@ int64_t NetServer::Run() {
         NowMicros() >= *batch_deadline_us_) {
       FlushBatch();
     }
+    if (options_.workers > 0) DrainCompletions();
     SweepConnections();
   }
 
+  if (options_.workers > 0) {
+    // Workers drain their queue before exiting; any completions that
+    // arrive for already-gone connections miss cleanly in FillSlot.
+    StopWorkers();
+    DrainCompletions();
+  }
   while (!conns_.empty()) CloseConn(conns_.begin()->first);
   if (listener_.valid()) {
     (void)poller_.Remove(listener_.fd());
@@ -163,10 +175,20 @@ void NetServer::HandleRequestLine(Conn& conn, const std::string& line) {
         auto parsed = ParseQueryCommand(*request);
         if (parsed.ok()) {
           const uint64_t conn_id = conn.id;
-          batcher_.Enqueue(std::move(parsed).value(),
-                           [this, conn_id, seq](std::string response) {
-                             FillSlot(conn_id, seq, std::move(response));
-                           });
+          QueryBatcher::Responder responder;
+          if (options_.workers > 0) {
+            // Executed on a worker: marshal the line back to the loop
+            // thread, which alone touches connections. The task wrapper
+            // in FlushBatch rings the wake pipe once per group.
+            responder = [this, conn_id, seq](std::string response) {
+              PushCompletion({conn_id, seq, std::move(response), false});
+            };
+          } else {
+            responder = [this, conn_id, seq](std::string response) {
+              FillSlot(conn_id, seq, std::move(response));
+            };
+          }
+          batcher_.Enqueue(std::move(parsed).value(), std::move(responder));
           if (!batch_deadline_us_.has_value()) {
             batch_deadline_us_ = NowMicros() + options_.batch_window_us;
           }
@@ -176,14 +198,38 @@ void NetServer::HandleRequestLine(Conn& conn, const std::string& line) {
         // Malformed query: fall through to HandleLine, which re-derives
         // the identical error bytes the stdio loop would emit.
       } else if (cmd->AsString() == "shutdown") {
-        // Answer first — the ack must be queued before the drain starts.
+        // Answer on the loop thread — the ack must be queued before the
+        // drain starts, even when workers handle everything else.
         FillSlot(conn.id, seq, server_.HandleLine(line));
         BeginShutdown();
         return;
       }
     }
   }
-  FillSlot(conn.id, seq, server_.HandleLine(line));
+  DispatchHandleLine(conn, seq, line);
+}
+
+void NetServer::DispatchHandleLine(Conn& conn, uint64_t seq,
+                                   const std::string& line) {
+  if (options_.workers <= 0) {
+    FillSlot(conn.id, seq, server_.HandleLine(line));
+    return;
+  }
+  if (conn.lane_busy) {
+    conn.lane.emplace_back(seq, line);
+    return;
+  }
+  conn.lane_busy = true;
+  SubmitLaneTask(conn.id, seq, line);
+}
+
+void NetServer::SubmitLaneTask(uint64_t conn_id, uint64_t seq,
+                               std::string line) {
+  EnqueueTask([this, conn_id, seq, line = std::move(line)] {
+    std::string response = server_.HandleLine(line);
+    PushCompletion({conn_id, seq, std::move(response), /*advance_lane=*/true});
+    wake_.Notify();
+  });
 }
 
 void NetServer::FillSlot(uint64_t conn_id, uint64_t seq, std::string line) {
@@ -202,7 +248,102 @@ void NetServer::FillSlot(uint64_t conn_id, uint64_t seq, std::string line) {
 
 void NetServer::FlushBatch() {
   batch_deadline_us_.reset();
-  batcher_.Flush();
+  if (options_.workers <= 0) {
+    batcher_.Flush();
+    return;
+  }
+  // One task per release group: groups against distinct releases carry no
+  // shared state, so their AnswerAll/AnswerBatch parallel regions overlap
+  // on the concurrent-region thread pool.
+  std::vector<QueryBatcher::ReleaseGroup> groups = batcher_.TakeGroups();
+  for (QueryBatcher::ReleaseGroup& group : groups) {
+    auto task_group = std::make_shared<QueryBatcher::ReleaseGroup>(
+        std::move(group));
+    const int64_t enqueued_us = NowMicros();
+    EnqueueTask([this, task_group, enqueued_us] {
+      batcher_.ExecuteGroup(*task_group, NowMicros() - enqueued_us);
+      wake_.Notify();  // responders queued completions; wake the loop once
+    });
+  }
+}
+
+void NetServer::StartWorkers() {
+  {
+    MutexLock lock(exec_mu_);
+    exec_stop_ = false;
+  }
+  const int64_t n =
+      std::min<int64_t>(options_.workers, ThreadPool::kMaxThreads);
+  for (int64_t i = 0; i < n; ++i) {
+    exec_threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void NetServer::StopWorkers() {
+  {
+    MutexLock lock(exec_mu_);
+    exec_stop_ = true;
+  }
+  exec_cv_.NotifyAll();
+  // dpjoin-lint: allow(raw-thread) — joining the I/O-stage workers
+  for (std::thread& worker : exec_threads_) worker.join();
+  exec_threads_.clear();
+}
+
+void NetServer::WorkerLoop() {
+  // Explicit Lock/Unlock: the loop drops the lock around task execution,
+  // which MutexLock cannot express. Stop only wins once the queue is dry,
+  // so shutdown never discards accepted work.
+  exec_mu_.Lock();
+  for (;;) {
+    while (exec_queue_.empty() && !exec_stop_) {
+      exec_cv_.Wait(exec_mu_);
+    }
+    if (exec_queue_.empty()) {
+      exec_mu_.Unlock();
+      return;
+    }
+    std::function<void()> task = std::move(exec_queue_.front());
+    exec_queue_.pop_front();
+    exec_mu_.Unlock();
+    task();
+    exec_mu_.Lock();
+  }
+}
+
+void NetServer::EnqueueTask(std::function<void()> task) {
+  {
+    MutexLock lock(exec_mu_);
+    exec_queue_.push_back(std::move(task));
+  }
+  exec_cv_.NotifyOne();
+}
+
+void NetServer::PushCompletion(Completion completion) {
+  MutexLock lock(done_mu_);
+  completions_.push_back(std::move(completion));
+}
+
+void NetServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    MutexLock lock(done_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    FillSlot(completion.conn_id, completion.seq, std::move(completion.line));
+    if (!completion.advance_lane) continue;
+    const auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // client vanished; lane dies with it
+    Conn& conn = *it->second;
+    if (conn.lane.empty()) {
+      conn.lane_busy = false;
+      continue;
+    }
+    auto [seq, line] = std::move(conn.lane.front());
+    conn.lane.pop_front();
+    SubmitLaneTask(conn.id, seq, std::move(line));
+  }
 }
 
 void NetServer::BeginShutdown() {

@@ -10,13 +10,27 @@
 //     first one — so concurrent clients querying the same release share
 //     engine evaluations;
 //   * everything else (register/release/ledger/stats/shutdown, and any
-//     malformed query) takes the classic inline HandleLine path.
+//     malformed query) takes the classic HandleLine path.
+//
+// Execution stage (`workers` option): with workers == 0 all request
+// execution happens on the event-loop thread. With workers >= 1 the loop
+// keeps doing ONLY I/O + framing + batching, and hands parsed work to a
+// small pool of request-execution threads: each flushed query batch is
+// split into per-release groups (QueryBatcher::TakeGroups) dispatched as
+// independent tasks — so concurrent AnswerAlls against different releases
+// genuinely overlap on the ThreadPool's concurrent regions — while
+// HandleLine commands ride a per-connection ordered lane (at most one in
+// flight per connection) so a pipelined register→release pair still
+// executes in submission order. Workers marshal finished response lines
+// back to the loop thread through the wake pipe; only the loop thread
+// touches connections.
 //
 // Responses leave each connection in request order. Every connection owns
-// a queue of ordered response slots: inline commands fill their slot
-// immediately, batched queries fill theirs at flush time, and only the
-// filled prefix is ever written — so pipelined clients see exactly the
-// byte stream the stdio loop would have produced.
+// a queue of ordered response slots: each request reserves a slot at parse
+// time and fills it when its execution finishes — inline, at flush time,
+// or on a worker — and only the filled prefix is ever written. So for any
+// worker count, pipelined clients see exactly the byte stream the stdio
+// loop would have produced.
 //
 // Shutdown (a client's `shutdown` command, or RequestShutdown() from any
 // thread) is graceful: the listener closes, pending batches flush, queued
@@ -29,13 +43,18 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "engine/query_batcher.h"
 #include "engine/server.h"
 #include "net/line_channel.h"
@@ -60,6 +79,13 @@ struct NetServerOptions {
   /// Connections beyond this are answered with one ok:false line and
   /// closed immediately.
   int64_t max_conns = 1024;
+
+  /// Request-execution threads. 0 = execute on the event-loop thread
+  /// (classic single-threaded behavior); N >= 1 dispatches parsed work to
+  /// N workers so independent releases' evaluations overlap on the
+  /// concurrent-region thread pool. Response bytes are identical for any
+  /// value.
+  int64_t workers = 0;
 
   /// Readiness backend (kAuto = epoll on Linux). kPoll keeps the portable
   /// path testable on Linux too.
@@ -105,8 +131,22 @@ class NetServer {
     // Poller interest actually installed (avoid redundant syscalls).
     bool watch_read = true;
     bool watch_write = false;
+    // Ordered execution lane for HandleLine commands when workers > 0: at
+    // most one in flight per connection, the rest park here, so pipelined
+    // state-changing commands (register → release) keep submission order.
+    std::deque<std::pair<uint64_t, std::string>> lane;
+    bool lane_busy = false;
 
     explicit Conn(Socket socket) : channel(std::move(socket)) {}
+  };
+
+  /// A finished piece of work, marshalled from a worker back to the loop
+  /// thread (which alone may touch `conns_`).
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    std::string line;
+    bool advance_lane = false;  // a lane task: start the conn's next one
   };
 
   void AcceptNewConnections();
@@ -118,6 +158,19 @@ class NetServer {
   /// Pushes bytes, reconciles poller interest, closes finished conns.
   void SweepConnections();
   void CloseConn(uint64_t conn_id);
+
+  // Request-execution stage (workers > 0).
+  void StartWorkers();
+  void StopWorkers();
+  void WorkerLoop() EXCLUDES(exec_mu_);
+  void EnqueueTask(std::function<void()> task) EXCLUDES(exec_mu_);
+  void PushCompletion(Completion completion) EXCLUDES(done_mu_);
+  /// Loop thread: applies queued completions (FillSlot + lane advance).
+  void DrainCompletions() EXCLUDES(done_mu_);
+  /// Routes one HandleLine command: inline when workers == 0, else onto
+  /// the connection's ordered lane.
+  void DispatchHandleLine(Conn& conn, uint64_t seq, const std::string& line);
+  void SubmitLaneTask(uint64_t conn_id, uint64_t seq, std::string line);
 
   ReleaseServer& server_;
   const NetServerOptions options_;
@@ -140,6 +193,22 @@ class NetServer {
   std::optional<int64_t> drain_deadline_us_;
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<int64_t> accepted_{0};
+
+  // Execution-stage state. Tasks are closures over `this` + plain ids —
+  // never over Conn pointers, so a vanished connection is a clean miss.
+  Mutex exec_mu_;
+  CondVar exec_cv_;
+  std::deque<std::function<void()>> exec_queue_ GUARDED_BY(exec_mu_);
+  bool exec_stop_ GUARDED_BY(exec_mu_) = false;
+  // Not pool compute: these threads orchestrate request execution (the
+  // parallel math still runs on ThreadPool inside AnswerAll/AnswerBatch).
+  // dpjoin-lint: allow(raw-thread) — I/O-stage workers, not parallel compute
+  std::vector<std::thread> exec_threads_;
+  // exec_mu_ and done_mu_ are never held together (queue pops, task
+  // execution, and completion swaps each run lock-free of the other), so
+  // there is no lock order to document.
+  Mutex done_mu_;
+  std::vector<Completion> completions_ GUARDED_BY(done_mu_);
 };
 
 }  // namespace dpjoin

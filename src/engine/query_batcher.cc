@@ -18,117 +18,130 @@ int64_t QueryBatcher::pending_requests() const {
   return static_cast<int64_t>(pending_.size());
 }
 
-int64_t QueryBatcher::Flush() {
+std::vector<QueryBatcher::ReleaseGroup> QueryBatcher::TakeGroups() {
   std::vector<Pending> batch;
   {
     MutexLock lock(mu_);
     batch.swap(pending_);
   }
-  if (batch.empty()) return 0;
-
-  // Group indices by release id, first-seen order (so responses come out
-  // in a stable order for any given request sequence).
-  std::vector<std::pair<uint64_t, std::vector<size_t>>> groups;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const uint64_t id = batch[i].cmd.release_id;
+  // Group by release id, first-seen order (so responses come out in a
+  // stable order for any given request sequence); members keep arrival
+  // order within the group.
+  std::vector<ReleaseGroup> groups;
+  for (Pending& pending : batch) {
+    const uint64_t id = pending.cmd.release_id;
     auto it = groups.begin();
     for (; it != groups.end(); ++it) {
-      if (it->first == id) break;
+      if (it->release_id == id) break;
     }
     if (it == groups.end()) {
       groups.push_back({id, {}});
       it = groups.end() - 1;
     }
-    it->second.push_back(i);
+    it->members.push_back(std::move(pending));
   }
+  return groups;
+}
 
-  for (const auto& [release_id, members] : groups) {
-    auto handle = server_.engine().FindRelease(release_id);
-    if (!handle.ok()) {
-      // Same bytes a lone request gets: FindRelease's status, serialized
-      // by the shared error builder.
-      const std::string line = QueryErrorResponse(handle.status()).Serialize();
-      for (const size_t i : members) batch[i].responder(line);
+void QueryBatcher::ExecuteGroup(ReleaseGroup& group, int64_t wait_us) {
+  std::vector<Pending>& members = group.members;
+  if (members.empty()) return;
+  const uint64_t release_id = group.release_id;
+
+  auto handle = server_.engine().FindRelease(release_id);
+  if (!handle.ok()) {
+    // Same bytes a lone request gets: FindRelease's status, serialized
+    // by the shared error builder.
+    const std::string line = QueryErrorResponse(handle.status()).Serialize();
+    for (Pending& member : members) member.responder(line);
+    return;
+  }
+  server_.serving_stats().RecordGroupWait(release_id, wait_us);
+  const ServingHandle& serving = **handle;
+  const int64_t num_queries = serving.NumQueries();
+
+  std::vector<size_t> all_members;
+  std::vector<size_t> id_members;   // ids pre-validated in range
+  std::vector<size_t> bad_members;  // at least one id out of range
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i].cmd.all) {
+      all_members.push_back(i);
       continue;
     }
-    const ServingHandle& serving = **handle;
-    const int64_t num_queries = serving.NumQueries();
-
-    std::vector<size_t> all_members;
-    std::vector<size_t> id_members;   // ids pre-validated in range
-    std::vector<size_t> bad_members;  // at least one id out of range
-    for (const size_t i : members) {
-      if (batch[i].cmd.all) {
-        all_members.push_back(i);
-        continue;
+    bool in_range = true;
+    for (const int64_t id : members[i].cmd.ids) {
+      if (id < 0 || id >= num_queries) {
+        in_range = false;
+        break;
       }
-      bool in_range = true;
-      for (const int64_t id : batch[i].cmd.ids) {
-        if (id < 0 || id >= num_queries) {
-          in_range = false;
-          break;
-        }
-      }
-      (in_range ? id_members : bad_members).push_back(i);
     }
+    (in_range ? id_members : bad_members).push_back(i);
+  }
 
-    // An out-of-range request is answered by its OWN AnswerBatch call:
-    // validation rejects before any evaluation, and the error message
-    // keeps its request-local index — identical to the inline path.
-    for (const size_t i : bad_members) {
-      auto answers = serving.AnswerBatch(batch[i].cmd.ids);
-      answer_batch_calls_.fetch_add(1, std::memory_order_relaxed);
-      batch[i].responder(QueryErrorResponse(answers.status()).Serialize());
+  // An out-of-range request is answered by its OWN AnswerBatch call:
+  // validation rejects before any evaluation, and the error message
+  // keeps its request-local index — identical to the inline path.
+  for (const size_t i : bad_members) {
+    auto answers = serving.AnswerBatch(members[i].cmd.ids);
+    answer_batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    members[i].responder(QueryErrorResponse(answers.status()).Serialize());
+  }
+
+  if (!all_members.empty()) {
+    const std::vector<double> answers = serving.AnswerAll();
+    answer_all_calls_.fetch_add(1, std::memory_order_relaxed);
+    // One evaluation, one serialization — every all-request against this
+    // release shares the identical response line.
+    const std::string line = QueryAnswersResponse(answers).Serialize();
+    for (const size_t i : all_members) members[i].responder(line);
+    server_.serving_stats().RecordBatch(
+        release_id, static_cast<int64_t>(all_members.size()),
+        static_cast<int64_t>(all_members.size()) *
+            static_cast<int64_t>(answers.size()),
+        /*used_answer_all=*/true);
+  }
+
+  if (!id_members.empty()) {
+    std::vector<int64_t> merged;
+    for (const size_t i : id_members) {
+      merged.insert(merged.end(), members[i].cmd.ids.begin(),
+                    members[i].cmd.ids.end());
     }
-
-    if (!all_members.empty()) {
-      const std::vector<double> answers = serving.AnswerAll();
-      answer_all_calls_.fetch_add(1, std::memory_order_relaxed);
-      // One evaluation, one serialization — every all-request against this
-      // release shares the identical response line.
-      const std::string line = QueryAnswersResponse(answers).Serialize();
-      for (const size_t i : all_members) batch[i].responder(line);
-      server_.serving_stats().RecordBatch(
-          release_id, static_cast<int64_t>(all_members.size()),
-          static_cast<int64_t>(all_members.size()) *
-              static_cast<int64_t>(answers.size()),
-          /*used_answer_all=*/true);
-    }
-
-    if (!id_members.empty()) {
-      std::vector<int64_t> merged;
+    auto answers = serving.AnswerBatch(merged);
+    answer_batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (!answers.ok()) {
+      // Unreachable given the pre-validation above, but an engine error
+      // must still answer every member rather than drop connections.
+      const std::string line = QueryErrorResponse(answers.status()).Serialize();
+      for (const size_t i : id_members) members[i].responder(line);
+    } else {
+      // Slice the merged answers back out. AnswerBatch evaluates each
+      // slot independently, so slice i is bit-identical to what request
+      // i would have computed alone.
+      size_t offset = 0;
       for (const size_t i : id_members) {
-        merged.insert(merged.end(), batch[i].cmd.ids.begin(),
-                      batch[i].cmd.ids.end());
+        const size_t n = members[i].cmd.ids.size();
+        const std::vector<double> slice(answers->begin() + offset,
+                                        answers->begin() + offset + n);
+        offset += n;
+        members[i].responder(QueryAnswersResponse(slice).Serialize());
       }
-      auto answers = serving.AnswerBatch(merged);
-      answer_batch_calls_.fetch_add(1, std::memory_order_relaxed);
-      if (!answers.ok()) {
-        // Unreachable given the pre-validation above, but an engine error
-        // must still answer every member rather than drop connections.
-        const std::string line =
-            QueryErrorResponse(answers.status()).Serialize();
-        for (const size_t i : id_members) batch[i].responder(line);
-      } else {
-        // Slice the merged answers back out. AnswerBatch evaluates each
-        // slot independently, so slice i is bit-identical to what request
-        // i would have computed alone.
-        size_t offset = 0;
-        for (const size_t i : id_members) {
-          const size_t n = batch[i].cmd.ids.size();
-          const std::vector<double> slice(answers->begin() + offset,
-                                          answers->begin() + offset + n);
-          offset += n;
-          batch[i].responder(QueryAnswersResponse(slice).Serialize());
-        }
-        server_.serving_stats().RecordBatch(
-            release_id, static_cast<int64_t>(id_members.size()),
-            static_cast<int64_t>(merged.size()),
-            /*used_answer_all=*/false);
-      }
+      server_.serving_stats().RecordBatch(
+          release_id, static_cast<int64_t>(id_members.size()),
+          static_cast<int64_t>(merged.size()),
+          /*used_answer_all=*/false);
     }
   }
-  return static_cast<int64_t>(batch.size());
+}
+
+int64_t QueryBatcher::Flush() {
+  std::vector<ReleaseGroup> groups = TakeGroups();
+  int64_t answered = 0;
+  for (ReleaseGroup& group : groups) {
+    answered += static_cast<int64_t>(group.members.size());
+    ExecuteGroup(group, /*wait_us=*/0);
+  }
+  return answered;
 }
 
 }  // namespace dpjoin

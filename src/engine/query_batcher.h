@@ -52,8 +52,23 @@ class QueryBatcher {
   };
 
   /// Receives exactly one serialized response line per enqueued request,
-  /// during some later Flush(), on the flushing thread.
+  /// during some later Flush()/ExecuteGroup(), on the executing thread.
   using Responder = std::function<void(std::string line)>;
+
+  struct Pending {
+    QueryCommand cmd;
+    Responder responder;
+  };
+
+  /// Every request pending against one release, arrival order preserved.
+  /// TakeGroups() carves the pending set into these; groups against
+  /// DISTINCT releases are independent — executing them on different
+  /// threads overlaps their AnswerAll/AnswerBatch parallel regions on the
+  /// pool without changing a single response byte.
+  struct ReleaseGroup {
+    uint64_t release_id = 0;
+    std::vector<Pending> members;
+  };
 
   /// The server must outlive the batcher. Its engine answers the queries;
   /// its request counter and serving stats absorb the batched traffic.
@@ -68,8 +83,21 @@ class QueryBatcher {
     return pending_requests() >= options_.max_requests;
   }
 
-  /// Answers every request pending at entry; returns how many. Safe to
-  /// call with nothing pending (returns 0 without touching the engine).
+  /// Takes every request pending at entry, grouped by release id in
+  /// first-seen order. The caller owns execution: ExecuteGroup each group
+  /// inline, or hand the groups to worker threads.
+  std::vector<ReleaseGroup> TakeGroups() EXCLUDES(mu_);
+
+  /// Answers every member of `group` (engine evaluation + responder
+  /// invocation, no lock held). `wait_us` is how long the group sat queued
+  /// between TakeGroups and execution — recorded per release as the
+  /// execution-stage wait (0 on the inline path). Thread-safe: groups for
+  /// distinct releases may execute concurrently.
+  void ExecuteGroup(ReleaseGroup& group, int64_t wait_us) EXCLUDES(mu_);
+
+  /// Answers every request pending at entry (TakeGroups + inline
+  /// ExecuteGroup per group); returns how many. Safe to call with nothing
+  /// pending (returns 0 without touching the engine).
   int64_t Flush() EXCLUDES(mu_);
 
   /// Engine-call counters — the coalescing ratio tests assert on these
@@ -79,11 +107,6 @@ class QueryBatcher {
   int64_t answer_batch_calls() const { return answer_batch_calls_.load(); }
 
  private:
-  struct Pending {
-    QueryCommand cmd;
-    Responder responder;
-  };
-
   ReleaseServer& server_;
   const Options options_;
   mutable Mutex mu_;

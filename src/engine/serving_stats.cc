@@ -1,5 +1,6 @@
 #include "engine/serving_stats.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -28,6 +29,20 @@ void ServingStats::RecordBatch(uint64_t release_id, int64_t requests,
   entry.queries += queries;
 }
 
+void ServingStats::SetWorkers(int64_t workers) {
+  MutexLock lock(mu_);
+  workers_ = workers;
+}
+
+void ServingStats::RecordGroupWait(uint64_t release_id, int64_t wait_us) {
+  if (wait_us < 0) wait_us = 0;  // clock hiccups must not corrupt totals
+  MutexLock lock(mu_);
+  PerRelease& entry = per_release_[release_id];
+  entry.wait_count += 1;
+  entry.wait_total_us += wait_us;
+  entry.wait_max_us = std::max(entry.wait_max_us, wait_us);
+}
+
 void ServingStats::RecordRelease(const std::string& dataset,
                                  bool from_cache) {
   MutexLock lock(mu_);
@@ -52,6 +67,7 @@ int64_t ServingStats::engine_calls() const {
 JsonValue ServingStats::ToJson() const {
   MutexLock lock(mu_);
   JsonValue out = JsonValue::Object();
+  out.Set("workers", JsonValue::Number(static_cast<double>(workers_)));
   out.Set("query_requests",
           JsonValue::Number(static_cast<double>(query_requests_)));
   out.Set("engine_calls",
@@ -75,6 +91,14 @@ JsonValue ServingStats::ToJson() const {
     JsonValue v = JsonValue::Object();
     v.Set("requests", JsonValue::Number(static_cast<double>(entry.requests)));
     v.Set("queries", JsonValue::Number(static_cast<double>(entry.queries)));
+    JsonValue wait = JsonValue::Object();
+    wait.Set("count",
+             JsonValue::Number(static_cast<double>(entry.wait_count)));
+    wait.Set("total_us",
+             JsonValue::Number(static_cast<double>(entry.wait_total_us)));
+    wait.Set("max_us",
+             JsonValue::Number(static_cast<double>(entry.wait_max_us)));
+    v.Set("wait", std::move(wait));
     releases.Set(JsonHexId(id), std::move(v));
   }
   out.Set("per_release", std::move(releases));

@@ -39,6 +39,19 @@ class ServingStats {
   void RecordRelease(const std::string& dataset, bool from_cache)
       EXCLUDES(mu_);
 
+  /// Number of request-execution workers the front-end runs (0 = every
+  /// request executes on the accepting thread). Set once at server start;
+  /// surfaces in the `stats` response so a saturated box is diagnosable
+  /// remotely.
+  void SetWorkers(int64_t workers) EXCLUDES(mu_);
+
+  /// Records how long one release's query group sat queued between being
+  /// handed to the execution stage and actually starting to run — i.e. the
+  /// delay before the group's first parallel block could begin. The inline
+  /// path records 0 (it executes at hand-off), so `wait.count` always
+  /// equals the number of executed groups for the release.
+  void RecordGroupWait(uint64_t release_id, int64_t wait_us) EXCLUDES(mu_);
+
   int64_t query_requests() const EXCLUDES(mu_);
   int64_t engine_calls() const EXCLUDES(mu_);
 
@@ -52,6 +65,10 @@ class ServingStats {
   struct PerRelease {
     int64_t requests = 0;
     int64_t queries = 0;
+    // Execution-stage queueing, from RecordGroupWait.
+    int64_t wait_count = 0;
+    int64_t wait_total_us = 0;
+    int64_t wait_max_us = 0;
   };
   struct PerDataset {
     int64_t hits = 0;    // release requests answered from the serving cache
@@ -65,6 +82,7 @@ class ServingStats {
   static size_t BucketFor(int64_t batch_size);
 
   mutable Mutex mu_;
+  int64_t workers_ GUARDED_BY(mu_) = 0;
   int64_t query_requests_ GUARDED_BY(mu_) = 0;
   int64_t engine_calls_ GUARDED_BY(mu_) = 0;
   int64_t answer_all_calls_ GUARDED_BY(mu_) = 0;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -97,12 +98,14 @@ TEST(ParallelForTest, UsesMultipleThreadsWhenRequested) {
   EXPECT_GE(seen.size(), 1u);
 }
 
-TEST(ParallelForTest, NestedRegionsRunInline) {
+TEST(ParallelForTest, NestedRegionsComplete) {
+  // A region submitted from inside a worker's block goes to the shared pool
+  // like any other; it must complete (the submitting thread drains its own
+  // blocks, so progress never waits on a pool helper) and count every index.
   std::atomic<int64_t> total{0};
   ParallelFor(
       0, 16, 1,
       [&](int64_t lo, int64_t hi) {
-        // A nested region must not deadlock on the shared pool.
         ParallelFor(
             0, 8, 1,
             [&](int64_t nlo, int64_t nhi) { total.fetch_add(nhi - nlo); }, 4);
@@ -204,6 +207,105 @@ TEST(ExecutionContextTest, GrainsAreRuntimeTunable) {
   ExecutionContext::SetJoinRootGrain(-1);
   EXPECT_EQ(ExecutionContext::TensorGrain(), kDefaultTensorGrain);
   EXPECT_EQ(ExecutionContext::JoinRootGrain(), kDefaultJoinRootGrain);
+}
+
+TEST(ConcurrentRegionsTest, TwoTopLevelRegionsOverlap) {
+  // Proves regions are NOT serialized, without timing: a block of region A
+  // spins until region B — submitted from another thread while A is still
+  // running — has completed. Under a pool that serializes top-level regions
+  // B would queue behind A and this would never terminate; under the
+  // concurrent-region pool B's caller drains B itself, so the flag flips.
+  std::atomic<bool> a_entered{false};
+  std::atomic<bool> b_done{false};
+  std::atomic<bool> gave_up{false};
+  std::thread other([&] {
+    while (!a_entered.load()) std::this_thread::yield();
+    const double sum = ParallelSum(
+        0, 4, 1, [](int64_t lo, int64_t hi) { return double(hi - lo); }, 2);
+    EXPECT_EQ(sum, 4.0);
+    b_done.store(true);
+  });
+  ParallelFor(
+      0, 2, 1,
+      [&](int64_t lo, int64_t) {
+        if (lo != 0) return;
+        a_entered.store(true);
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (!b_done.load()) {
+          if (std::chrono::steady_clock::now() > deadline) {
+            gave_up.store(true);
+            return;
+          }
+          std::this_thread::yield();
+        }
+      },
+      2);
+  other.join();
+  EXPECT_FALSE(gave_up.load())
+      << "region B never completed while region A was in flight";
+  EXPECT_TRUE(b_done.load());
+}
+
+TEST(ConcurrentRegionsTest, SumsBitIdenticalAcrossConcurrentRegions) {
+  // The block decomposition (and the block-order merge in ParallelSum)
+  // depends only on (range, grain) — so N identical regions racing on the
+  // pool must all reproduce the serial sum bit-for-bit.
+  auto block_sum = [](int64_t lo, int64_t hi) {
+    double s = 0.0;
+    for (int64_t i = lo; i < hi; ++i) s += 1.0 / static_cast<double>(i + 1);
+    return s;
+  };
+  const double serial = ParallelSum(0, 50000, 512, block_sum, 1);
+  for (int round = 0; round < 20; ++round) {
+    constexpr int kCallers = 4;
+    double results[kCallers] = {0.0};
+    std::vector<std::thread> callers;
+    for (int t = 0; t < kCallers; ++t) {
+      callers.emplace_back(
+          [&, t] { results[t] = ParallelSum(0, 50000, 512, block_sum, 2); });
+    }
+    for (auto& caller : callers) caller.join();
+    for (int t = 0; t < kCallers; ++t) {
+      ASSERT_EQ(serial, results[t]) << "round " << round << " caller " << t;
+    }
+  }
+}
+
+TEST(ConcurrentRegionsTest, MixedShapeRegionsStress) {
+  // Differently-shaped regions (distinct ranges, grains, thread budgets)
+  // churning concurrently: every region must still visit each of its own
+  // indices exactly once, and nested submission from inside a region must
+  // keep working while other top-level regions are in flight.
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t] {
+      const int64_t n = 64 + 97 * t;
+      const int64_t grain = 3 + 2 * t;
+      for (int round = 0; round < 50 && !failed.load(); ++round) {
+        std::atomic<int64_t> count{0};
+        ParallelFor(
+            0, n, grain,
+            [&](int64_t lo, int64_t hi) {
+              if (t == 0) {
+                // One caller nests a region per block.
+                ParallelFor(
+                    0, 4, 1,
+                    [&](int64_t nlo, int64_t nhi) {
+                      count.fetch_add(0 * (nhi - nlo));
+                    },
+                    2);
+              }
+              count.fetch_add(hi - lo);
+            },
+            2 + t % 3);
+        if (count.load() != n) failed.store(true);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_FALSE(failed.load());
 }
 
 TEST(ParallelForTest, ManySmallRegionsStress) {

@@ -195,6 +195,152 @@ TEST(NetServerTest, CapTriggeredCoalescingIsObservableInStats) {
   EXPECT_DOUBLE_EQ(hist->Find("8")->AsDouble(), 1.0) << stats->Serialize();
 }
 
+// Runs the 8-client fully pipelined soak against one fixture; returns the
+// per-client mismatch counts (-1 = connect/send failure). `rounds` repeats
+// the 8-line script, so each client pipelines 8 * rounds requests.
+std::vector<int> RunPipelinedSoak(NetFixture& fx, int rounds) {
+  constexpr int kClients = 8;
+  std::vector<std::vector<std::string>> scripts(kClients);
+  std::vector<std::vector<std::string>> expected(kClients);
+  for (int k = 0; k < kClients; ++k) {
+    auto q = [&](const std::string& payload) {
+      return R"json({"cmd": "query", "release": ")json" + fx.release_id +
+             R"json(", )json" + payload + "}";
+    };
+    const std::vector<std::string> round = {
+        q("\"queries\": [" + std::to_string(k % 3) + "]"),
+        q("\"all\": true"),
+        q("\"queries\": [" + std::to_string((k + 1) % 3) + ", " +
+          std::to_string(k % 3) + "]"),
+        q("\"queries\": [999]"),
+        R"json({"cmd": "query", "release": "0xdead", "queries": [0]})json",
+        q("\"nothing\": 1"),
+        q("\"queries\": []"),
+        q("\"all\": true"),
+    };
+    for (int r = 0; r < rounds; ++r) {
+      scripts[k].insert(scripts[k].end(), round.begin(), round.end());
+    }
+    for (const std::string& line : scripts[k]) {
+      expected[k].push_back(fx.Expected(line));
+    }
+  }
+
+  std::vector<int> mismatches(kClients, -1);
+  std::vector<std::thread> clients;
+  for (int k = 0; k < kClients; ++k) {
+    clients.emplace_back([k, &fx, &scripts, &expected, &mismatches] {
+      auto client = LineClient::Connect("127.0.0.1", fx.net->port());
+      if (!client.ok()) return;
+      for (const std::string& line : scripts[k]) {
+        if (!client->SendLine(line).ok()) return;
+      }
+      int bad = 0;
+      for (size_t i = 0; i < scripts[k].size(); ++i) {
+        auto response = client->ReadLine();
+        if (!response.ok() || *response != expected[k][i]) ++bad;
+      }
+      mismatches[k] = bad;
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  return mismatches;
+}
+
+TEST(NetServerTest, MultiWorkerSoakByteIdenticalToSingleWorkerAndStdio) {
+  // The expected bytes come from the reference server's inline HandleLine —
+  // i.e. exactly the stdio loop's output — so a zero-mismatch soak proves
+  // --workers=4 ≡ --workers=1 ≡ stdio, byte for byte, under full
+  // 8-client pipelining.
+  for (const int64_t workers : {int64_t{4}, int64_t{1}}) {
+    NetServerOptions options;
+    options.batch_window_us = 500;
+    options.workers = workers;
+    NetFixture fx(options);
+    const std::vector<int> mismatches = RunPipelinedSoak(fx, /*rounds=*/3);
+    for (size_t k = 0; k < mismatches.size(); ++k) {
+      EXPECT_EQ(mismatches[k], 0) << "workers=" << workers << " client " << k;
+    }
+  }
+}
+
+TEST(NetServerTest, MultiWorkerStatsExposeWorkersAndGroupWaits) {
+  NetServerOptions options;
+  options.batch_window_us = 500;
+  options.workers = 4;
+  NetFixture fx(options);
+  const std::vector<int> mismatches = RunPipelinedSoak(fx, /*rounds=*/1);
+  for (size_t k = 0; k < mismatches.size(); ++k) {
+    EXPECT_EQ(mismatches[k], 0) << "client " << k;
+  }
+
+  auto stats =
+      JsonValue::Parse(fx.server->HandleLine(R"json({"cmd": "stats"})json"));
+  ASSERT_TRUE(stats.ok());
+  const JsonValue* serving = stats->Find("serving");
+  ASSERT_NE(serving, nullptr);
+  ASSERT_NE(serving->Find("workers"), nullptr) << stats->Serialize();
+  EXPECT_DOUBLE_EQ(serving->Find("workers")->AsDouble(), 4.0);
+
+  // The soaked release must expose its execution-stage wait: one sample
+  // per executed group, totals consistent with the maximum.
+  const JsonValue* per_release = serving->Find("per_release");
+  ASSERT_NE(per_release, nullptr);
+  const JsonValue* entry = per_release->Find(fx.release_id);
+  ASSERT_NE(entry, nullptr) << stats->Serialize();
+  const JsonValue* wait = entry->Find("wait");
+  ASSERT_NE(wait, nullptr) << stats->Serialize();
+  const double count = wait->Find("count")->AsDouble();
+  const double total_us = wait->Find("total_us")->AsDouble();
+  const double max_us = wait->Find("max_us")->AsDouble();
+  EXPECT_GE(count, 1.0) << stats->Serialize();
+  EXPECT_GE(max_us, 0.0);
+  EXPECT_GE(total_us, max_us);
+  EXPECT_LE(total_us, count * 60e6) << "a group waited over a minute?";
+}
+
+TEST(NetServerTest, MultiWorkerLaneKeepsPipelinedCommandOrder) {
+  // One client pipelines state-changing commands whose SECOND depends on
+  // the FIRST having executed (release needs the just-registered dataset).
+  // The per-connection lane must keep submission order even with 4 workers
+  // racing; the reference server defines the expected bytes.
+  NetServerOptions options;
+  options.workers = 4;
+  NetFixture fx(options);
+
+  const std::string register2 =
+      R"json({"cmd": "register", "name": "demo2", )json"
+      R"json("source": "generated:zipf(tuples=90,s=1.1,seed=11)", )json"
+      R"json("attributes": ["A:6", "B:4", "C:6"], )json"
+      R"json("relations": ["R1:A,B", "R2:B,C"]})json";
+  const std::string release2 =
+      R"json({"cmd": "release", "dataset": "demo2", "seed": 9, "spec": ")json"
+      "# dpjoin-release-spec v1\\nname = lane\\nattribute = A:6\\n"
+      "attribute = B:4\\nattribute = C:6\\nrelation = R1:A,B\\n"
+      "relation = R2:B,C\\nepsilon = 1.0\\ndelta = 1e-5\\n"
+      "mechanism = auto\\nworkload = prefix:3" R"json("})json";
+  const std::vector<std::string> script = {
+      register2, release2, R"json({"cmd": "ledger"})json",
+      R"json({"cmd": "unknown-cmd"})json"};
+  std::vector<std::string> expected;
+  for (const std::string& line : script) expected.push_back(fx.Expected(line));
+
+  auto client = LineClient::Connect("127.0.0.1", fx.net->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  for (const std::string& line : script) {
+    ASSERT_TRUE(client->SendLine(line).ok());
+  }
+  for (size_t i = 0; i < script.size(); ++i) {
+    auto response = client->ReadLine();
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(*response, expected[i]) << "line " << i;
+  }
+  auto released = JsonValue::Parse(expected[1]);
+  ASSERT_TRUE(released.ok());
+  EXPECT_TRUE(released->Find("ok")->AsBool())
+      << "release must have found the just-registered dataset";
+}
+
 TEST(NetServerTest, RefusesConnectionsBeyondMaxConns) {
   NetServerOptions options;
   options.max_conns = 1;

@@ -236,6 +236,11 @@ TEST(ServerTest, StatsBreakDownCacheHitsPerDataset) {
 
   auto stats = JsonValue::Parse(server.HandleLine(R"json({"cmd": "stats"})json"));
   ASSERT_TRUE(stats.ok() && stats->Find("ok")->AsBool());
+  // A stdio server has no request-execution stage: the workers field must
+  // exist (so dashboards can always read it) and be zero.
+  const JsonValue* workers = stats->Find("serving")->Find("workers");
+  ASSERT_NE(workers, nullptr) << stats->Serialize();
+  EXPECT_DOUBLE_EQ(workers->AsDouble(), 0.0);
   const JsonValue* per_dataset =
       stats->Find("serving")->Find("per_dataset");
   ASSERT_NE(per_dataset, nullptr);

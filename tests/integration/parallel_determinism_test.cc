@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -301,6 +302,132 @@ TEST_P(ParallelDeterminismTest, ParallelJoinsBitIdenticalToSerial) {
       const auto it = groups.find(key);
       ASSERT_NE(it, groups.end()) << "missing group " << key;
       EXPECT_EQ(it->second, mass) << "threads = " << threads;
+    }
+  }
+}
+
+// --- Concurrent top-level regions ---------------------------------------
+//
+// The pool interleaves workers across every region in flight, so the
+// bit-identity contract has a second axis: results must be unchanged not
+// just for any thread count, but for any MIX of regions running at once.
+// These tests run full releases / whole-workload evaluations from several
+// user threads simultaneously and bit-compare each against the serial run.
+
+TEST(ConcurrentRegionsDeterminismTest, PmwReleasesBitIdenticalToSerial) {
+  Rng setup_rng(901);
+  const JoinQuery query = MakeQueryByKind(0);
+  const Instance instance = testing::RandomInstance(query, 25, setup_rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 2, setup_rng);
+  PmwOptions options;
+  options.params = PrivacyParams(1.0, 1e-5);
+  options.delta_tilde = 4.0;
+  options.num_rounds = 6;
+
+  auto run = [&](int threads) {
+    PmwOptions opt = options;
+    opt.num_threads = threads;
+    Rng rng(902);  // fresh identical noise stream per run
+    auto result = PrivateMultiplicativeWeights(instance, family, opt, rng);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  };
+
+  const PmwResult baseline = run(1);
+  // Heterogeneous thread budgets {1, 2, 8, 8} racing on the pool — the
+  // widest interleaving spread the contract promises to survive.
+  const int budgets[] = {1, 2, 8, 8};
+  constexpr int kCallers = 4;
+  std::vector<PmwResult> results(kCallers);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] { results[t] = run(budgets[t]); });
+  }
+  for (auto& caller : callers) caller.join();
+
+  for (int t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(results[t].noisy_total, baseline.noisy_total) << "caller " << t;
+    EXPECT_EQ(results[t].rounds, baseline.rounds) << "caller " << t;
+    const auto& values = results[t].synthetic.values();
+    const auto& expected = baseline.synthetic.values();
+    ASSERT_EQ(values.size(), expected.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(values[i], expected[i]) << "cell " << i << ", caller " << t;
+    }
+  }
+}
+
+TEST(ConcurrentRegionsDeterminismTest, EvaluateAllBitIdenticalToSerial) {
+  // The serving layer's AnswerAll is EvaluateAllOnTensor over a release's
+  // synthetic tensor; with --workers several of these race on the pool.
+  Rng rng(911);
+  const JoinQuery query = MakeQueryByKind(0);
+  const Instance instance = testing::RandomInstance(query, 25, rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomUniform, 3, rng);
+  const DenseTensor tensor = JoinTensor(instance);
+
+  std::vector<double> baseline;
+  {
+    ScopedThreads scoped(1);
+    baseline = EvaluateAllOnTensor(family, tensor);
+  }
+  for (int round = 0; round < 5; ++round) {
+    constexpr int kCallers = 4;
+    std::vector<std::vector<double>> results(kCallers);
+    std::vector<std::thread> callers;
+    for (int t = 0; t < kCallers; ++t) {
+      callers.emplace_back([&, t] {
+        ScopedThreads scoped(t == 0 ? 1 : 8);
+        results[t] = EvaluateAllOnTensor(family, tensor);
+      });
+    }
+    for (auto& caller : callers) caller.join();
+    for (int t = 0; t < kCallers; ++t) {
+      ASSERT_EQ(results[t].size(), baseline.size());
+      for (size_t i = 0; i < baseline.size(); ++i) {
+        ASSERT_EQ(results[t][i], baseline[i])
+            << "round " << round << " caller " << t << " query " << i;
+      }
+    }
+  }
+}
+
+TEST(ConcurrentRegionsDeterminismTest, NestedRegionFromWorkerDoesNotDeadlock) {
+  // A region submitted from inside a pool worker (here: each block of an
+  // outer ParallelFor runs a whole-workload evaluation, itself a parallel
+  // region) must complete and reproduce the serial answers — the caller of
+  // a nested region drains its own blocks, so no cycle of waits can form.
+  Rng rng(921);
+  const JoinQuery query = MakeQueryByKind(0);
+  const Instance instance = testing::RandomInstance(query, 25, rng);
+  const QueryFamily family =
+      MakeWorkload(query, WorkloadKind::kRandomSign, 2, rng);
+  const DenseTensor tensor = JoinTensor(instance);
+
+  std::vector<double> baseline;
+  {
+    ScopedThreads scoped(1);
+    baseline = EvaluateAllOnTensor(family, tensor);
+  }
+  constexpr int64_t kOuter = 8;
+  std::vector<std::vector<double>> results(kOuter);
+  ParallelFor(
+      0, kOuter, 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          ScopedThreads scoped(4);  // nested regions get their own budget
+          results[static_cast<size_t>(i)] =
+              EvaluateAllOnTensor(family, tensor);
+        }
+      },
+      4);
+  for (int64_t i = 0; i < kOuter; ++i) {
+    ASSERT_EQ(results[static_cast<size_t>(i)].size(), baseline.size());
+    for (size_t q = 0; q < baseline.size(); ++q) {
+      ASSERT_EQ(results[static_cast<size_t>(i)][q], baseline[q])
+          << "outer block " << i << " query " << q;
     }
   }
 }
